@@ -1,0 +1,64 @@
+//! Ablation: the Low-Load filtering step (keep probability
+//! `1/(1 + 1/(2d))`, Lemma 9). Sweeping the keep probability shows the
+//! trade-off the paper's choice balances: keep too little and the
+//! duplication signal (and hence convergence) weakens; keep too much
+//! and `|H(V)|` — and with it the per-round work — grows without bound.
+
+use lpt::LpType;
+use lpt_bench::{banner, mean, runs, write_csv};
+use lpt_gossip::low_load::LowLoadConfig;
+use lpt_gossip::runner::{run_low_load, LowLoadRunConfig};
+use lpt_problems::Med;
+use lpt_workloads::med::MedDataset;
+
+fn main() {
+    let n = 1usize << 10;
+    let runs = runs(5);
+    let d = 3.0f64;
+    let paper_keep = 1.0 / (1.0 + 1.0 / (2.0 * d));
+    banner(&format!(
+        "Ablation: filtering keep-probability (n = {n}, {runs} runs; paper value {paper_keep:.3})"
+    ));
+
+    println!(
+        "{:>10} {:>12} {:>14} {:>14}",
+        "keep prob", "term rounds", "max load", "max total load"
+    );
+    let mut rows = Vec::new();
+    let keeps = [0.60, 0.75, paper_keep, 0.92, 0.98, 1.0];
+    for &keep in &keeps {
+        let mut rounds = Vec::new();
+        let mut max_load = 0u64;
+        let mut max_total = 0u64;
+        for run in 0..runs {
+            let seed = ((keep * 1000.0) as u64) << 20 ^ run ^ 0xF117;
+            let points = MedDataset::TripleDisk.generate(n, seed);
+            let oracle = Med.basis_of(&points);
+            let cfg = LowLoadRunConfig {
+                protocol: LowLoadConfig { keep_prob: Some(keep), ..Default::default() },
+                max_rounds: 2_000,
+                ..Default::default()
+            };
+            // Full-termination run: the load dynamics only diverge over
+            // the whole O(log n)-round lifetime, not in the handful of
+            // rounds to the first solution.
+            let report = run_low_load(&Med, &points, n, cfg, seed);
+            assert!(report.all_halted, "keep = {keep}, run {run}");
+            let basis = report.consensus_output().expect("consensus");
+            assert!(Med.values_close(&basis.value, &oracle.value));
+            rounds.push(report.rounds as f64);
+            max_load = max_load.max(report.metrics.max_load());
+            max_total = max_total
+                .max(report.metrics.rounds.iter().map(|r| r.total_load).max().unwrap_or(0));
+        }
+        let avg = mean(&rounds);
+        println!("{:>10.3} {:>12.2} {:>14} {:>14}", keep, avg, max_load, max_total);
+        rows.push(format!("{keep:.3},{avg:.3},{max_load},{max_total}"));
+    }
+    write_csv("ablation_filtering.csv", "keep_prob,avg_rounds,max_load,max_total_load", &rows);
+
+    println!();
+    println!("keep = 1.0 (no filtering) lets |H(V)| grow without bound over the run —");
+    println!("exactly what Lemma 9's filter prevents; the paper's 1/(1+1/(2d)) keeps the");
+    println!("total load pinned at O(|H0|) at no cost in rounds.");
+}

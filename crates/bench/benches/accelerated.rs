@@ -1,0 +1,73 @@
+//! Section 3.1: the accelerated High-Load variant. Sweeps the
+//! acceleration parameter `C ∈ {1, log^0.5 n, log n, 2·log n}` and
+//! reports the rounds/work trade-off; Theorem 4 predicts rounds shrink
+//! toward `O(d log n / log log n)` while per-round work grows with `C`.
+
+use lpt::LpType;
+use lpt_bench::{banner, max_i, mean, runs, write_csv};
+use lpt_gossip::high_load::HighLoadConfig;
+use lpt_gossip::runner::{rounds_to_first_solution_high_load, HighLoadRunConfig};
+use lpt_problems::Med;
+use lpt_workloads::med::MedDataset;
+
+fn main() {
+    let i = max_i(12).min(13);
+    let n = 1usize << i;
+    let runs = runs(5);
+    let log2n = (n as f64).log2();
+    banner(&format!("Section 3.1: accelerated High-Load (n = 2^{i}, {runs} runs/C)"));
+
+    let c_values = [
+        1usize,
+        log2n.sqrt().ceil() as usize,
+        log2n.ceil() as usize,
+        (2.0 * log2n).ceil() as usize,
+    ];
+    println!(
+        "{:>8} {:>12} {:>16} {:>16} {:>14}",
+        "C", "avg rounds", "rounds/log2 n", "max work/round", "work·rounds"
+    );
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for &c in &c_values {
+        let mut rounds = Vec::new();
+        let mut max_work = 0u64;
+        for run in 0..runs {
+            let seed = 0xACC ^ (c as u64) << 16 ^ run;
+            let points = MedDataset::TripleDisk.generate(n, seed);
+            let target = Med.basis_of(&points).value;
+            let cfg = HighLoadRunConfig {
+                protocol: HighLoadConfig { push_count: c, ..Default::default() },
+                ..Default::default()
+            };
+            let (first, metrics) =
+                rounds_to_first_solution_high_load(&Med, &points, n, cfg, seed, &target);
+            assert!(first.reached, "C = {c} run {run}");
+            rounds.push(first.rounds as f64);
+            max_work = max_work.max(metrics.max_node_work());
+        }
+        let avg = mean(&rounds);
+        println!(
+            "{:>8} {:>12.2} {:>16.2} {:>16} {:>14.0}",
+            c,
+            avg,
+            avg / log2n,
+            max_work,
+            avg * max_work as f64
+        );
+        rows.push(format!("{c},{avg:.3},{max_work}"));
+        series.push((c, avg, max_work));
+    }
+    write_csv("accelerated.csv", "C,avg_rounds,max_work", &rows);
+
+    println!();
+    let base = series[0].1;
+    let fastest = series.iter().map(|s| s.1).fold(f64::INFINITY, f64::min);
+    println!("speedup of best C over C = 1: {:.2}x", base / fastest);
+    assert!(
+        fastest <= base,
+        "acceleration must not slow the algorithm down on average"
+    );
+    let work_grows = series.windows(2).all(|w| w[1].2 >= w[0].2);
+    println!("work grows monotonically with C: {work_grows}");
+}

@@ -1,0 +1,72 @@
+//! Section 1.1's motivating comparison: the gossip Low-Load algorithm
+//! (`O(d log n)` rounds) versus the hypercube-emulated Clarkson baseline
+//! (`O(d log² n)` rounds — each of its `O(d log n)` iterations costs
+//! `Θ(log n)` hypercube communication rounds). The gap should widen
+//! linearly in `log n`.
+
+use lpt::LpType;
+use lpt_bench::{banner, max_i, mean, runs, write_csv};
+use lpt_gossip::hypercube::hypercube_clarkson;
+use lpt_gossip::runner::{rounds_to_first_solution_low_load, LowLoadRunConfig};
+use lpt_problems::Med;
+use lpt_workloads::med::MedDataset;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let max_i = max_i(12);
+    let runs = runs(3);
+    banner(&format!("Baseline: gossip Low-Load vs hypercube Clarkson (i = 6..={max_i})"));
+
+    println!(
+        "{:>4} {:>8} | {:>14} {:>18} {:>8}",
+        "i", "n", "gossip rounds", "hypercube rounds", "ratio"
+    );
+    let mut rows = Vec::new();
+    let mut ratios = Vec::new();
+    for i in 6..=max_i {
+        let n = 1usize << i;
+        let mut gossip = Vec::new();
+        let mut hyper = Vec::new();
+        for run in 0..runs {
+            let seed = (u64::from(i) << 20) ^ run ^ 0xBA5E;
+            let points = MedDataset::TripleDisk.generate(n, seed);
+            let target = Med.basis_of(&points).value;
+            let (first, _) = rounds_to_first_solution_low_load(
+                &Med,
+                &points,
+                n,
+                LowLoadRunConfig::default(),
+                seed,
+                &target,
+            );
+            assert!(first.reached);
+            gossip.push(first.rounds as f64);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let rep = hypercube_clarkson(&Med, &points, n, &mut rng).expect("hypercube");
+            assert!(
+                (rep.basis.value.r2 - target.r2).abs() <= 1e-6 * target.r2.max(1.0),
+                "baseline must be correct too"
+            );
+            hyper.push(rep.rounds as f64);
+        }
+        let g = mean(&gossip);
+        let h = mean(&hyper);
+        println!("{:>4} {:>8} | {:>14.1} {:>18.1} {:>8.2}", i, n, g, h, h / g);
+        rows.push(format!("{i},{n},{g:.2},{h:.2}"));
+        ratios.push((i, h / g));
+    }
+    write_csv("baseline_comparison.csv", "i,n,gossip_rounds,hypercube_rounds", &rows);
+
+    println!();
+    let (first_i, first_ratio) = ratios.first().copied().unwrap();
+    let (last_i, last_ratio) = ratios.last().copied().unwrap();
+    println!(
+        "ratio grew from {first_ratio:.1} (i = {first_i}) to {last_ratio:.1} (i = {last_i}) — \
+         the Θ(log n) separation the paper's algorithms close."
+    );
+    assert!(
+        last_ratio > 1.5,
+        "hypercube baseline should be clearly slower at scale"
+    );
+}

@@ -1,0 +1,72 @@
+//! Figure 3: average rounds until a node first finds the minimum
+//! enclosing disk under the **High-Load Clarkson Algorithm** (`C = 1`),
+//! over the four dataset families and `n = 2^i`, `i = 1..14`.
+//!
+//! Paper claims to reproduce: duo-disk ≈ `0.9·log2 n` rounds; the three
+//! basis-size-3 families cluster at ≈ `1.1·log2 n`.
+
+use lpt_bench::sweep::{fit_affine, fit_constant, sweep_dataset, Algo};
+use lpt_bench::{banner, max_i, runs, write_csv};
+use lpt_workloads::med::{MedDataset, MED_DATASETS};
+
+fn main() {
+    let max_i = max_i(12);
+    let runs = runs(5);
+    banner(&format!(
+        "Figure 3: High-Load Clarkson on MED (runs/cell = {runs}, i = 1..={max_i})"
+    ));
+
+    println!("{:<12} {:>4} {:>8} {:>12} {:>8} {:>10}", "dataset", "i", "n", "avg rounds", "std", "max work");
+    let mut csv_rows = Vec::new();
+    let mut fits = Vec::new();
+    for ds in MED_DATASETS {
+        let cells = sweep_dataset(Algo::HighLoad { push_count: 1 }, ds, 1, max_i, runs);
+        for c in &cells {
+            println!(
+                "{:<12} {:>4} {:>8} {:>12.2} {:>8.2} {:>10}",
+                ds.name(),
+                c.i,
+                c.n,
+                c.avg_rounds,
+                c.std_rounds,
+                c.max_work
+            );
+            csv_rows.push(format!(
+                "{},{},{},{:.3},{:.3},{},{}",
+                ds.name(),
+                c.i,
+                c.n,
+                c.avg_rounds,
+                c.std_rounds,
+                c.max_work,
+                c.max_load
+            ));
+        }
+        fits.push((ds, fit_constant(&cells), fit_affine(&cells)));
+        println!();
+    }
+    write_csv("fig3_high_load.csv", "dataset,i,n,avg_rounds,std_rounds,max_work,max_load", &csv_rows);
+
+    println!("fitted curves, paper description: duo-disk ~0.9 log n, others ~1.1 log n:");
+    for (ds, a, (slope, icept)) in &fits {
+        println!(
+            "  {:<12} through-origin a = {:.2}; affine rounds = {:.2}*log2(n) {:+.2}",
+            ds.name(),
+            a,
+            slope,
+            icept
+        );
+    }
+    let duo = fits.iter().find(|(ds, _, _)| *ds == MedDataset::DuoDisk).unwrap().1;
+    for (ds, a, _) in &fits {
+        if *ds != MedDataset::DuoDisk {
+            assert!(
+                *a >= duo * 0.9,
+                "{} fitted constant {a:.2} unexpectedly below duo-disk {duo:.2}",
+                ds.name()
+            );
+        }
+    }
+    println!();
+    println!("shape check: duo-disk fastest; constants below the low-load ones (Figure 2).");
+}

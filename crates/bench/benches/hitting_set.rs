@@ -1,0 +1,87 @@
+//! Theorem 5: the distributed hitting-set algorithm finds a hitting set
+//! of size `O(d log(ds))` in `O(d log n)` rounds. Sweeps `n`, `s`, and
+//! `d` on planted instances and compares the found size against the
+//! theorem's bound, the greedy baseline, and (where feasible) the exact
+//! optimum; set cover is exercised via the dual reduction.
+
+use lpt_bench::{banner, max_i, runs, write_csv};
+use lpt_gossip::hitting_set::HittingSetConfig;
+use lpt_gossip::runner::run_hitting_set;
+use lpt_problems::{greedy_hitting_set, min_hitting_set_exact};
+use lpt_workloads::sets::{planted_hitting_set, planted_set_cover};
+use std::sync::Arc;
+
+fn main() {
+    let max_i = max_i(12).min(13);
+    let runs = runs(3);
+    banner(&format!("Theorem 5: distributed hitting set (runs/cell = {runs})"));
+
+    println!(
+        "{:>8} {:>6} {:>4} | {:>10} {:>10} {:>8} {:>8} {:>8} {:>10}",
+        "n", "s", "d", "avg rounds", "found size", "bound r", "greedy", "exact", "log2 n"
+    );
+    let mut rows = Vec::new();
+    // Grid chosen so the Theorem 5 bound r = O(d log(ds)) stays well below
+    // n — otherwise a single sample trivially hits everything in round 0.
+    for i in (10..=max_i.max(10)).step_by(2) {
+        let n = 1usize << i;
+        for (s, d) in [(64usize, 2usize), (256, 3), (512, 4)] {
+            let mut rounds_sum = 0.0;
+            let mut size_sum = 0.0;
+            let mut bound = 0usize;
+            let mut greedy_size = 0usize;
+            let mut exact_size = None;
+            for run in 0..runs {
+                let seed = (u64::from(i) << 40) ^ ((s as u64) << 8) ^ run;
+                let (sys, _planted) = planted_hitting_set(n, s, d, 6, seed);
+                let sys = Arc::new(sys);
+                greedy_size = greedy_hitting_set(&sys).len();
+                if n <= 256 {
+                    exact_size = min_hitting_set_exact(&sys, d).map(|h| h.len());
+                }
+                let report = run_hitting_set(sys.clone(), n, &HittingSetConfig::new(d), 10_000, seed);
+                assert!(report.all_halted, "n={n} s={s} d={d} run={run}");
+                let best = report.best_output().expect("solution").clone();
+                assert!(sys.is_hitting_set(&best));
+                bound = report.size_bound;
+                assert!(best.len() <= bound, "size {} > bound {bound}", best.len());
+                rounds_sum += report.first_found_round.unwrap_or(report.rounds) as f64;
+                size_sum += best.len() as f64;
+            }
+            let avg_rounds = rounds_sum / runs as f64;
+            let avg_size = size_sum / runs as f64;
+            println!(
+                "{:>8} {:>6} {:>4} | {:>10.1} {:>10.1} {:>8} {:>8} {:>8} {:>10}",
+                n,
+                s,
+                d,
+                avg_rounds,
+                avg_size,
+                bound,
+                greedy_size,
+                exact_size.map_or("-".into(), |e| e.to_string()),
+                i
+            );
+            rows.push(format!("{n},{s},{d},{avg_rounds:.2},{avg_size:.2},{bound},{greedy_size}"));
+        }
+    }
+    write_csv("hitting_set.csv", "n,s,d,avg_rounds,avg_size,bound,greedy", &rows);
+
+    // Set cover through the dual.
+    println!();
+    println!("set cover via dual reduction:");
+    let sc = planted_set_cover(1 << 9, 64, 4, 7);
+    let dual = Arc::new(sc.dual_hitting_set());
+    let report = run_hitting_set(dual, sc.n_elements(), &HittingSetConfig::new(4), 10_000, 7);
+    assert!(report.all_halted);
+    let cover = report.best_output().unwrap();
+    assert!(sc.is_cover(cover));
+    println!(
+        "  |X| = {}, |S| = {}: cover of {} sets (bound {}) in {} rounds",
+        sc.n_elements(),
+        sc.num_sets(),
+        cover.len(),
+        report.size_bound,
+        report.rounds
+    );
+}

@@ -1,0 +1,143 @@
+//! Criterion micro-benchmarks for the computational kernels every
+//! simulated round leans on: Welzl's MED, sequential Clarkson, the
+//! violation test, Fenwick-backed multiset sampling, and one full
+//! simulated gossip round of each algorithm.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use gossip_sim::{Network, NetworkConfig};
+use lpt::{LpType, Multiset};
+use lpt_gossip::high_load::{HighLoadClarkson, HighLoadConfig};
+use lpt_gossip::low_load::{LowLoadClarkson, LowLoadConfig};
+use lpt_gossip::runner::scatter;
+use lpt_problems::Med;
+use lpt_workloads::med::MedDataset;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_welzl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("welzl_med");
+    for &n in &[100usize, 1_000, 10_000] {
+        let points = MedDataset::Hull.generate(n, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &points, |b, pts| {
+            b.iter(|| black_box(Med.basis_of(pts)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sequential_clarkson(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sequential_clarkson");
+    for &n in &[1_000usize, 10_000] {
+        let points = MedDataset::TripleDisk.generate(n, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &points, |b, pts| {
+            b.iter_batched(
+                || ChaCha8Rng::seed_from_u64(3),
+                |mut rng| black_box(lpt::clarkson(&Med, pts, &mut rng).unwrap()),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_violation_test(c: &mut Criterion) {
+    let points = MedDataset::TripleDisk.generate(4096, 4);
+    let basis = Med.basis_of(&points);
+    c.bench_function("violation_test_4096", |b| {
+        b.iter(|| {
+            let mut count = 0usize;
+            for p in &points {
+                if Med.violates(black_box(&basis), p) {
+                    count += 1;
+                }
+            }
+            black_box(count)
+        });
+    });
+}
+
+fn bench_multiset_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multiset_sample_without_replacement");
+    for &n in &[1_000usize, 100_000] {
+        let weights: Vec<u128> = (0..n).map(|i| 1 + (i as u128 % 7)).collect();
+        let items: Vec<u32> = (0..n as u32).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter_batched(
+                || (Multiset::with_weights(items.clone(), &weights), ChaCha8Rng::seed_from_u64(5)),
+                |(mut ms, mut rng)| black_box(ms.sample_without_replacement(54, &mut rng)),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_gossip_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("one_gossip_round");
+    group.sample_size(10);
+    for &n in &[1_024usize, 8_192] {
+        let points = MedDataset::TripleDisk.generate(n, 6);
+        group.bench_with_input(BenchmarkId::new("low_load", n), &n, |b, _| {
+            b.iter_batched(
+                || {
+                    let proto = LowLoadClarkson::new(Med, n, &LowLoadConfig::default());
+                    let states: Vec<_> = scatter(&points, n, 7)
+                        .into_iter()
+                        .map(|h0| proto.initial_state(h0))
+                        .collect();
+                    Network::new(proto, states, NetworkConfig::with_seed(7))
+                },
+                |mut net| {
+                    net.round();
+                    black_box(net.round_index())
+                },
+                BatchSize::SmallInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("high_load", n), &n, |b, _| {
+            b.iter_batched(
+                || {
+                    let proto = HighLoadClarkson::new(Med, n, &HighLoadConfig::default());
+                    let states: Vec<_> = scatter(&points, n, 8)
+                        .into_iter()
+                        .map(|h| proto.initial_state(h))
+                        .collect();
+                    Network::new(proto, states, NetworkConfig::with_seed(8))
+                },
+                |mut net| {
+                    net.round();
+                    black_box(net.round_index())
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_rng_derivation(c: &mut Criterion) {
+    c.bench_function("derive_rng", |b| {
+        b.iter(|| {
+            let mut rng = gossip_sim::rng::derive_rng(
+                black_box(1),
+                black_box(2),
+                black_box(3),
+                black_box(4),
+            );
+            black_box(rng.gen::<u64>())
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_welzl,
+    bench_sequential_clarkson,
+    bench_violation_test,
+    bench_multiset_sampling,
+    bench_gossip_round,
+    bench_rng_derivation
+);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Theorems 3 and 4, empirically: maximum per-node communication work
+//! per round and maximum per-node load across the `n = 2^i` sweep.
+//!
+//! * Low-Load: work `O(d² + log n)` — dominated by the `s = c(6d²+log n)`
+//!   sampling pulls; load `O(|H₀|/n + log n)` per node (Lemma 9 keeps
+//!   the global multiset linear in `|H₀|`).
+//! * High-Load: work `O(d log n)` — basis pushes + violator pushes +
+//!   termination entries; no filtering, load grows only additively.
+
+use lpt::LpType;
+use lpt_bench::{banner, max_i, runs, write_csv};
+use lpt_gossip::runner::{
+    rounds_to_first_solution_high_load, rounds_to_first_solution_low_load, HighLoadRunConfig,
+    LowLoadRunConfig,
+};
+use lpt_problems::Med;
+use lpt_workloads::med::MedDataset;
+
+fn main() {
+    let max_i = max_i(12);
+    let runs = runs(3);
+    banner(&format!("Theorems 3/4: work and load bounds (i = 4..={max_i}, {runs} runs)"));
+
+    println!(
+        "{:>4} {:>8} | {:>14} {:>12} | {:>14} {:>12} | {:>10}",
+        "i", "n", "low work", "low load", "high work", "high load", "d²+log2n"
+    );
+    let ds = MedDataset::TripleDisk;
+    let mut rows = Vec::new();
+    let mut low_work_per_bound = Vec::new();
+    for i in 4..=max_i {
+        let n = 1usize << i;
+        let mut low_work = 0u64;
+        let mut low_load = 0u64;
+        let mut high_work = 0u64;
+        let mut high_load = 0u64;
+        for run in 0..runs {
+            let seed = (u64::from(i) << 24) ^ run;
+            let points = ds.generate(n, seed);
+            let target = Med.basis_of(&points).value;
+            let (fl, ml) = rounds_to_first_solution_low_load(
+                &Med,
+                &points,
+                n,
+                LowLoadRunConfig::default(),
+                seed,
+                &target,
+            );
+            assert!(fl.reached);
+            low_work = low_work.max(ml.max_node_work());
+            low_load = low_load.max(ml.max_load());
+            let (fh, mh) = rounds_to_first_solution_high_load(
+                &Med,
+                &points,
+                n,
+                HighLoadRunConfig::default(),
+                seed,
+                &target,
+            );
+            assert!(fh.reached);
+            high_work = high_work.max(mh.max_node_work());
+            high_load = high_load.max(mh.max_load());
+        }
+        let d = 3.0f64;
+        let bound_unit = d * d + f64::from(i);
+        println!(
+            "{:>4} {:>8} | {:>14} {:>12} | {:>14} {:>12} | {:>10.0}",
+            i, n, low_work, low_load, high_work, high_load, bound_unit
+        );
+        rows.push(format!("{i},{n},{low_work},{low_load},{high_work},{high_load}"));
+        low_work_per_bound.push(low_work as f64 / bound_unit);
+    }
+    write_csv(
+        "work_bounds.csv",
+        "i,n,low_work,low_load,high_work,high_load",
+        &rows,
+    );
+
+    // The Theorem 3 shape: low-load work / (d² + log n) stays bounded
+    // (no super-logarithmic growth).
+    let first = low_work_per_bound.first().copied().unwrap_or(1.0);
+    let last = low_work_per_bound.last().copied().unwrap_or(1.0);
+    println!();
+    println!(
+        "low-load work / (d²+log2 n): first = {first:.1}, last = {last:.1} (flat ⇒ Theorem 3 shape)"
+    );
+    assert!(
+        last <= first * 3.0 + 10.0,
+        "low-load work grew super-logarithmically: {low_work_per_bound:?}"
+    );
+}

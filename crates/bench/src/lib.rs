@@ -1,0 +1,130 @@
+//! # `lpt-bench` — experiment harness
+//!
+//! Shared utilities for the benchmark targets under `benches/`, each of
+//! which regenerates one table or figure of the paper (see `DESIGN.md`
+//! for the experiment index and `EXPERIMENTS.md` for recorded results):
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `fig1_datasets` | Figure 1 (dataset families) |
+//! | `fig2_low_load` | Figure 2 (Low-Load rounds vs `n`) |
+//! | `fig3_high_load` | Figure 3 (High-Load rounds vs `n`) |
+//! | `table_constants` | §5 fitted constants (1.2/1.7/0.9/1.1·log n) |
+//! | `work_bounds` | Theorems 3–4 work/load bounds |
+//! | `accelerated` | §3.1 accelerated variant |
+//! | `hitting_set` | Theorem 5 |
+//! | `baseline_comparison` | §1.1 hypercube baseline |
+//! | `termination_latency` | Lemma 12 |
+//! | `ablation_filtering`, `ablation_sample_size` | design-choice ablations |
+//! | `micro` | Criterion micro-benchmarks |
+//!
+//! Environment knobs: `LPT_MAX_I` (largest `i` for the `n = 2^i` sweeps;
+//! default 12, paper scale 14–16), `LPT_RUNS` (runs per cell; default 5,
+//! paper 10). CSV copies of every series are written to
+//! `target/experiments/`.
+
+#![forbid(unsafe_code)]
+
+pub mod sweep;
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Largest exponent `i` of the `n = 2^i` sweeps (`LPT_MAX_I`, default 12).
+pub fn max_i(default: u32) -> u32 {
+    std::env::var("LPT_MAX_I").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Runs per sweep cell (`LPT_RUNS`, default 5; the paper used 10).
+pub fn runs(default: u64) -> u64 {
+    std::env::var("LPT_RUNS").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Directory CSV outputs are written to (`target/experiments`).
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/experiments");
+    fs::create_dir_all(&dir).expect("create experiments dir");
+    dir
+}
+
+/// Writes a CSV file into [`experiments_dir`].
+pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    let path = experiments_dir().join(name);
+    let mut f = fs::File::create(&path).expect("create csv");
+    writeln!(f, "{header}").unwrap();
+    for row in rows {
+        writeln!(f, "{row}").unwrap();
+    }
+    eprintln!("  [csv] wrote {}", path.display());
+}
+
+/// Least-squares slope of `y = a·x` through the origin (the paper
+/// summarizes its curves as `rounds ≈ a·log2 n`).
+pub fn fit_through_origin(points: &[(f64, f64)]) -> f64 {
+    let num: f64 = points.iter().map(|(x, y)| x * y).sum();
+    let den: f64 = points.iter().map(|(x, _)| x * x).sum();
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// Mean of a slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Prints a markdown-style table row.
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let mut line = String::from("|");
+    for (c, w) in cells.iter().zip(widths) {
+        line.push_str(&format!(" {c:>w$} |", w = w));
+    }
+    println!("{line}");
+}
+
+/// A banner for bench output sections.
+pub fn banner(title: &str) {
+    println!();
+    println!("=== {title} ===");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_recovers_exact_slope() {
+        let pts: Vec<(f64, f64)> = (1..10).map(|i| (i as f64, 1.7 * i as f64)).collect();
+        assert!((fit_through_origin(&pts) - 1.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_empty_is_zero() {
+        assert_eq!(fit_through_origin(&[]), 0.0);
+    }
+
+    #[test]
+    fn stats() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!((stddev(&[1.0, 2.0, 3.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(stddev(&[5.0]), 0.0);
+    }
+}

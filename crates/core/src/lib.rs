@@ -1,0 +1,59 @@
+//! # `lpt-gossip` — gossip-model distributed algorithms for LP-type
+//! problems of bounded dimension
+//!
+//! Reproduction of the algorithms of Hinnenthal, Scheideler & Struijs,
+//! *"Fast Distributed Algorithms for LP-Type Problems of Bounded
+//! Dimension"* (SPAA 2019, arXiv:1904.10706), on top of the
+//! [`gossip_sim`] network simulator:
+//!
+//! * [`low_load`] — the **Low-Load Clarkson Algorithm** (Algorithm 2)
+//!   with the pull-phase extension for `|H| < n` (Algorithm 4):
+//!   `O(d log n)` rounds, `O(d² + log n)` work per round (Theorem 3);
+//! * [`high_load`] — the **High-Load Clarkson Algorithm** (Algorithm 5)
+//!   and its accelerated variant (Section 3.1): `O(d log n)` rounds with
+//!   `O(d log n)` work, or `O(d log n / log log n)` rounds with
+//!   `O(d log^{1+ε} n)` work (Theorem 4);
+//! * [`hitting_set`] — the **Distributed Hitting Set Algorithm**
+//!   (Algorithm 6): an `O(d log(ds))`-size hitting set in `O(d log n)`
+//!   rounds (Theorem 5); set cover runs through the dual reduction in
+//!   `lpt_problems::set_cover`;
+//! * [`termination`] — the gossip termination-detection protocol
+//!   (Algorithm 3, Section 2.2) shared by the Clarkson protocols;
+//! * [`sampling`] — the uniform-multiset sampling subroutine
+//!   (Section 2.1);
+//! * [`hypercube`] — the hypercube-emulated distributed Clarkson
+//!   baseline the paper compares against (`O(d log² n)` rounds,
+//!   Section 1.1);
+//! * [`runner`] — one-call drivers that scatter an instance over a
+//!   simulated network, run a protocol to completion, and return
+//!   outputs + communication metrics.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use lpt_gossip::runner::{self, LowLoadRunConfig};
+//! use lpt_problems::Med;
+//! use lpt_workloads::med::duo_disk;
+//!
+//! let points = duo_disk(256, 42);
+//! let report = runner::run_low_load(&Med, &points, 256, LowLoadRunConfig::default(), 42);
+//! let basis = report.consensus_output().expect("all nodes agree");
+//! assert!((basis.value.r2.sqrt() - 10.0).abs() < 1e-6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod high_load;
+pub mod hitting_set;
+pub mod hypercube;
+pub mod low_load;
+pub mod runner;
+pub mod sampling;
+pub mod termination;
+
+pub use high_load::{HighLoadClarkson, HighLoadConfig, HighLoadState};
+pub use hitting_set::{HittingSetConfig, HittingSetGossip, HittingSetState};
+pub use hypercube::{hypercube_clarkson, HypercubeReport};
+pub use low_load::{LowLoadClarkson, LowLoadConfig, LowLoadState};
+pub use termination::{TermEntry, TermState};

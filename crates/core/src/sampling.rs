@@ -1,0 +1,182 @@
+//! The uniform-multiset sampling subroutine (paper, Section 2.1).
+//!
+//! A node samples a multiset `R_i` of size `r = 6d²` from the global
+//! multiset `H(V)` by asking `s = c·(6d² + log n)` uniformly random nodes
+//! (pull operations) for a uniformly random locally held element copy.
+//! Responses that name the same *copy* — same serving node and same slot
+//! — are deduplicated (Lemma 11 counts distinct returned elements); if at
+//! least `r` distinct copies arrive, `r` of them chosen at random form
+//! `R_i`, a uniform random sub-multiset of `H(V)`.
+//!
+//! **Small-instance relaxation.** When the global multiset itself has
+//! fewer than `r` copies (the paper's experiments start at `n = 2`!), no
+//! node can ever collect `r` distinct copies and the textbook rule would
+//! deadlock. If a large fraction of the pulls succeeded but still fewer
+//! than `r` distinct copies arrived, the global multiset is almost surely
+//! tiny and almost entirely contained in the response set, so we accept
+//! the distinct copies we got as `R_i`. This matches the paper's observed
+//! behaviour that "test instances of size < 2⁸ finish within one round",
+//! and it is *safe* regardless: an `R_i` that coincidentally misses part
+//! of `H` can only inject a candidate that the termination protocol's
+//! audit (Algorithm 3) then rejects.
+
+use gossip_sim::Response;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Result of one sampling attempt.
+#[derive(Clone, Debug)]
+pub enum SampleOutcome<E> {
+    /// A sample of the requested size (or of the whole visible multiset
+    /// under the small-instance relaxation).
+    Sample(Vec<E>),
+    /// Not enough distinct copies; the round is skipped (the paper's
+    /// "sampling fails").
+    Failed,
+}
+
+impl<E> SampleOutcome<E> {
+    /// The sample, if any.
+    pub fn into_sample(self) -> Option<Vec<E>> {
+        match self {
+            SampleOutcome::Sample(s) => Some(s),
+            SampleOutcome::Failed => None,
+        }
+    }
+}
+
+/// Extracts a sample of size `r` from pull responses.
+///
+/// `responses` holds one entry per pull issued (`None` = the contacted
+/// node had nothing to serve). `relaxed_threshold` is the fraction of
+/// *successful* responses (among all pulls) above which the
+/// small-instance relaxation applies; the paper-faithful strict rule is
+/// recovered with `relaxed_threshold > 1.0`.
+pub fn extract_sample<E: Clone, R: Rng + ?Sized>(
+    responses: &[Option<Response<E>>],
+    r: usize,
+    relaxed_threshold: f64,
+    rng: &mut R,
+) -> SampleOutcome<E> {
+    // Deduplicate by copy identity (serving node, slot).
+    let mut seen: Vec<(u32, u64)> = Vec::with_capacity(responses.len());
+    let mut distinct: Vec<&Response<E>> = Vec::with_capacity(responses.len());
+    let mut successful = 0usize;
+    for resp in responses.iter().flatten() {
+        successful += 1;
+        let key = (resp.from, resp.slot);
+        if !seen.contains(&key) {
+            seen.push(key);
+            distinct.push(resp);
+        }
+    }
+    if distinct.len() >= r {
+        let mut idx: Vec<usize> = (0..distinct.len()).collect();
+        idx.shuffle(rng);
+        idx.truncate(r);
+        return SampleOutcome::Sample(idx.into_iter().map(|i| distinct[i].msg.clone()).collect());
+    }
+    if !responses.is_empty()
+        && (successful as f64) >= relaxed_threshold * responses.len() as f64
+        && !distinct.is_empty()
+    {
+        // Small-instance relaxation: take everything we saw.
+        return SampleOutcome::Sample(distinct.into_iter().map(|r| r.msg.clone()).collect());
+    }
+    SampleOutcome::Failed
+}
+
+/// The paper's pull count `s = c·(6d² + log2 n)`.
+pub fn pull_count(d: usize, n: usize, c: f64) -> usize {
+    let log2n = (n.max(2) as f64).log2();
+    (c * (6.0 * (d * d) as f64 + log2n)).ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn resp(from: u32, slot: u64, v: i32) -> Option<Response<i32>> {
+        Some(Response { msg: v, from, slot })
+    }
+
+    #[test]
+    fn collects_r_distinct() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let responses: Vec<_> = (0..20).map(|i| resp(i, 0, i as i32)).collect();
+        match extract_sample(&responses, 10, 0.75, &mut rng) {
+            SampleOutcome::Sample(s) => assert_eq!(s.len(), 10),
+            SampleOutcome::Failed => panic!(),
+        }
+    }
+
+    #[test]
+    fn duplicate_copies_collapse() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        // 20 responses but only 5 distinct copies, 100% success: the
+        // relaxation yields all 5.
+        let responses: Vec<_> = (0..20).map(|i| resp(i % 5, 7, (i % 5) as i32)).collect();
+        match extract_sample(&responses, 10, 0.75, &mut rng) {
+            SampleOutcome::Sample(s) => {
+                assert_eq!(s.len(), 5);
+            }
+            SampleOutcome::Failed => panic!(),
+        }
+    }
+
+    #[test]
+    fn strict_mode_fails_without_r_distinct() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let responses: Vec<_> = (0..20).map(|i| resp(i % 5, 7, 0)).collect();
+        assert!(matches!(
+            extract_sample(&responses, 10, 1.1, &mut rng),
+            SampleOutcome::Failed
+        ));
+    }
+
+    #[test]
+    fn mostly_failed_pulls_fail_sampling() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut responses: Vec<Option<Response<i32>>> = vec![None; 18];
+        responses.push(resp(0, 0, 1));
+        responses.push(resp(1, 0, 2));
+        assert!(matches!(
+            extract_sample(&responses, 10, 0.75, &mut rng),
+            SampleOutcome::Failed
+        ));
+    }
+
+    #[test]
+    fn same_node_different_slots_are_distinct() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let responses: Vec<_> = (0..12).map(|i| resp(3, i as u64, i)).collect();
+        match extract_sample(&responses, 12, 0.75, &mut rng) {
+            SampleOutcome::Sample(s) => assert_eq!(s.len(), 12),
+            SampleOutcome::Failed => panic!(),
+        }
+    }
+
+    #[test]
+    fn pull_count_formula() {
+        // d = 3, n = 1024: s = c·(54 + 10).
+        assert_eq!(pull_count(3, 1024, 1.0), 64);
+        assert_eq!(pull_count(3, 1024, 2.0), 128);
+        // Tiny n is clamped so log2 is nonnegative.
+        assert!(pull_count(1, 1, 1.0) >= 6);
+    }
+
+    #[test]
+    fn sample_is_subset_of_responses() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let responses: Vec<_> = (0..30).map(|i| resp(i, 0, 100 + i as i32)).collect();
+        if let SampleOutcome::Sample(s) = extract_sample(&responses, 8, 0.75, &mut rng) {
+            for v in s {
+                assert!((100..130).contains(&v));
+            }
+        } else {
+            panic!();
+        }
+    }
+}

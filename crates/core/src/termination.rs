@@ -1,0 +1,298 @@
+//! Gossip termination detection (the paper's Algorithm 3, Section 2.2).
+//!
+//! When a node locally believes it has found the optimum (e.g. its
+//! sampled basis has no violators among its own elements), it *injects*
+//! an entry `(t, B, 1)`: round stamp, candidate basis, validity bit.
+//! Entries spread epidemically — every node pushes one copy of each
+//! stored entry per round — while being continuously *audited*: any node
+//! holding an element that violates `B` clears the bit to `(t, B, 0)`.
+//! Per round stamp `t`, only the entry with the largest `f(B)` survives
+//! merging (ties broken by the canonical basis order, mirroring the
+//! paper's assumption that `f(B') = f(B)` iff `B' = B`), and the validity
+//! bit merges by minimum. After `maturity` rounds an entry is *mature*:
+//! it is removed, and if its bit is still 1 the node outputs `f(B)` and
+//! halts.
+//!
+//! With `maturity = c·log n` for a large enough constant `c`, Lemma 12
+//! shows that (w.h.p.) every node outputs the same optimal value within
+//! `O(log n)` rounds of the first genuine detection, and that no node
+//! ever outputs a non-optimal value: an invalid entry needs `Θ(log n)`
+//! rounds to spread, by which time the `(t, B, 0)` version — spreading
+//! equally fast from the auditing nodes — has overwritten it everywhere.
+
+use lpt::{cmp_basis, BasisOf, LpType};
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+
+/// One termination entry `(t, B, x)`.
+#[derive(Debug)]
+pub struct TermEntry<P: LpType> {
+    /// Round stamp of the injection.
+    pub t: u64,
+    /// Candidate optimal basis.
+    pub basis: BasisOf<P>,
+    /// Validity bit: `true` until some node finds a violator.
+    pub valid: bool,
+}
+
+impl<P: LpType> Clone for TermEntry<P> {
+    fn clone(&self) -> Self {
+        TermEntry { t: self.t, basis: self.basis.clone(), valid: self.valid }
+    }
+}
+
+/// Outcome of one termination step at one node.
+#[derive(Debug, Default)]
+pub struct TermStep<P: LpType> {
+    /// Entries to push out this round (one copy per stored entry).
+    pub pushes: Vec<TermEntry<P>>,
+    /// If set, the node outputs this basis and halts.
+    pub output: Option<BasisOf<P>>,
+}
+
+/// Per-node state of the termination protocol.
+#[derive(Debug)]
+pub struct TermState<P: LpType> {
+    /// Live entries keyed by round stamp.
+    entries: BTreeMap<u64, (BasisOf<P>, bool)>,
+    /// Entries received this round, merged at the next step.
+    pending: Vec<TermEntry<P>>,
+    /// Maturity window (`c·log n`).
+    maturity: u64,
+    /// The largest basis (by `cmp_basis`) this node has ever seen in any
+    /// entry. Since every circulating basis is the basis of a subset of
+    /// `H`, monotonicity gives `f(B) ≤ f(H)` for all of them — so a
+    /// mature entry whose value is *below* `best_seen` is provably not
+    /// optimal and must not be output, even if its audit bit survived.
+    /// This is a safety net on top of the paper's audit: it turns "the
+    /// invalidation spread in time, w.h.p." into "… or the node has seen
+    /// any better candidate", which in practice removes the rare
+    /// premature outputs at moderate maturity windows.
+    best_seen: Option<BasisOf<P>>,
+}
+
+impl<P: LpType> Clone for TermState<P> {
+    fn clone(&self) -> Self {
+        TermState {
+            entries: self
+                .entries
+                .iter()
+                .map(|(&t, (b, v))| (t, (b.clone(), *v)))
+                .collect(),
+            pending: self.pending.clone(),
+            maturity: self.maturity,
+            best_seen: self.best_seen.clone(),
+        }
+    }
+}
+
+impl<P: LpType> TermState<P> {
+    /// Creates a state with the given maturity window (rounds an entry
+    /// must survive unchallenged before it is believed).
+    pub fn new(maturity: u64) -> Self {
+        TermState {
+            entries: BTreeMap::new(),
+            pending: Vec::new(),
+            maturity: maturity.max(1),
+            best_seen: None,
+        }
+    }
+
+    /// The maturity window.
+    pub fn maturity(&self) -> u64 {
+        self.maturity
+    }
+
+    /// Number of live entries (bounded by the maturity window).
+    pub fn live_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Buffers an entry received from the network.
+    pub fn receive(&mut self, entry: TermEntry<P>) {
+        self.pending.push(entry);
+    }
+
+    /// Injects a locally detected candidate (validity bit 1).
+    pub fn inject(&mut self, problem: &P, t: u64, basis: BasisOf<P>) {
+        self.merge(problem, TermEntry { t, basis, valid: true });
+    }
+
+    fn merge(&mut self, problem: &P, e: TermEntry<P>) {
+        let improves = match &self.best_seen {
+            None => true,
+            Some(best) => cmp_basis(problem, &e.basis, best) == Ordering::Greater,
+        };
+        if improves {
+            self.best_seen = Some(e.basis.clone());
+        }
+        match self.entries.get_mut(&e.t) {
+            None => {
+                self.entries.insert(e.t, (e.basis, e.valid));
+            }
+            Some((stored, valid)) => match cmp_basis(problem, &e.basis, stored) {
+                Ordering::Greater => {
+                    *stored = e.basis;
+                    *valid = e.valid;
+                }
+                Ordering::Equal => {
+                    *valid = *valid && e.valid;
+                }
+                Ordering::Less => {}
+            },
+        }
+    }
+
+    /// One round of Algorithm 3 at this node.
+    ///
+    /// `now` is the current round; `has_violator(B)` must return whether
+    /// any element currently held by this node violates `B` (the audit
+    /// `f(B) < f(B ∪ H(v_i))`).
+    pub fn step(
+        &mut self,
+        problem: &P,
+        now: u64,
+        mut has_violator: impl FnMut(&BasisOf<P>) -> bool,
+    ) -> TermStep<P> {
+        // Merge everything received since the last step.
+        let pending = std::mem::take(&mut self.pending);
+        for e in pending {
+            self.merge(problem, e);
+        }
+
+        let mut out = TermStep { pushes: Vec::new(), output: None };
+        let mut mature: Vec<u64> = Vec::new();
+        for (&t, (basis, valid)) in self.entries.iter_mut() {
+            if *valid && has_violator(basis) {
+                *valid = false;
+            }
+            if now.saturating_sub(t) >= self.maturity {
+                mature.push(t);
+            } else {
+                out.pushes.push(TermEntry { t, basis: basis.clone(), valid: *valid });
+            }
+        }
+        for t in mature {
+            let (basis, valid) = self.entries.remove(&t).expect("collected above");
+            let not_dominated = match &self.best_seen {
+                None => true,
+                Some(best) => cmp_basis(problem, &basis, best) != Ordering::Less,
+            };
+            if valid && not_dominated && out.output.is_none() {
+                out.output = Some(basis);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpt::exhaustive::test_problems::Interval;
+    use lpt::Basis;
+
+    fn basis(lo: i64, hi: i64) -> BasisOf<Interval> {
+        Basis::new(vec![lo, hi], hi - lo)
+    }
+
+    #[test]
+    fn valid_entry_matures_into_output() {
+        let p = Interval;
+        let mut st: TermState<Interval> = TermState::new(3);
+        st.inject(&p, 0, basis(0, 10));
+        for now in 0..3 {
+            let step = st.step(&p, now, |_| false);
+            assert!(step.output.is_none(), "round {now}");
+            assert_eq!(step.pushes.len(), 1);
+        }
+        let step = st.step(&p, 3, |_| false);
+        assert_eq!(step.output.unwrap().value, 10);
+        assert!(step.pushes.is_empty());
+        assert_eq!(st.live_entries(), 0);
+    }
+
+    #[test]
+    fn audited_entry_is_suppressed() {
+        let p = Interval;
+        let mut st: TermState<Interval> = TermState::new(2);
+        st.inject(&p, 0, basis(0, 10));
+        // A node holding the element 99 (outside [0,10]) audits it away.
+        let step = st.step(&p, 0, |b| Interval.violates(b, &99));
+        assert_eq!(step.pushes.len(), 1);
+        assert!(!step.pushes[0].valid);
+        let step = st.step(&p, 2, |_| false);
+        assert!(step.output.is_none(), "invalidated entry must not output");
+    }
+
+    #[test]
+    fn merge_keeps_larger_value() {
+        let p = Interval;
+        let mut st: TermState<Interval> = TermState::new(5);
+        st.inject(&p, 1, basis(0, 5));
+        st.receive(TermEntry { t: 1, basis: basis(0, 10), valid: true });
+        let step = st.step(&p, 1, |_| false);
+        assert_eq!(step.pushes.len(), 1);
+        assert_eq!(step.pushes[0].basis.value, 10, "larger f(B) wins the slot");
+    }
+
+    #[test]
+    fn merge_equal_basis_ands_validity() {
+        let p = Interval;
+        let mut st: TermState<Interval> = TermState::new(5);
+        st.inject(&p, 1, basis(0, 10));
+        st.receive(TermEntry { t: 1, basis: basis(0, 10), valid: false });
+        let step = st.step(&p, 1, |_| false);
+        assert!(!step.pushes[0].valid, "x merges by minimum");
+    }
+
+    #[test]
+    fn smaller_value_is_discarded() {
+        let p = Interval;
+        let mut st: TermState<Interval> = TermState::new(5);
+        st.inject(&p, 1, basis(0, 10));
+        st.receive(TermEntry { t: 1, basis: basis(2, 7), valid: false });
+        let step = st.step(&p, 1, |_| false);
+        assert_eq!(step.pushes[0].basis.value, 10);
+        assert!(step.pushes[0].valid, "discarded entry must not poison validity");
+    }
+
+    #[test]
+    fn entries_with_distinct_stamps_coexist() {
+        let p = Interval;
+        let mut st: TermState<Interval> = TermState::new(10);
+        st.inject(&p, 1, basis(0, 10));
+        st.inject(&p, 2, basis(0, 12));
+        let step = st.step(&p, 2, |_| false);
+        assert_eq!(step.pushes.len(), 2);
+        assert_eq!(st.live_entries(), 2);
+    }
+
+    #[test]
+    fn dominated_entry_defers_to_best_seen() {
+        let p = Interval;
+        let mut st: TermState<Interval> = TermState::new(1);
+        st.receive(TermEntry { t: 0, basis: basis(0, 10), valid: true });
+        st.receive(TermEntry { t: 1, basis: basis(0, 12), valid: true });
+        // At now = 5 both are long mature; the t = 0 entry is dominated
+        // by the best basis ever seen (value 12 > 10) and by
+        // monotonicity cannot be optimal, so the better one is output.
+        let step = st.step(&p, 5, |_| false);
+        assert_eq!(step.output.unwrap().value, 12, "dominated entries never output");
+    }
+
+    #[test]
+    fn dominated_then_better_arrives_later() {
+        let p = Interval;
+        let mut st: TermState<Interval> = TermState::new(3);
+        st.inject(&p, 0, basis(0, 10));
+        // Before the weak entry matures, a strictly better candidate is
+        // observed; the weak entry must be suppressed at maturity.
+        st.receive(TermEntry { t: 2, basis: basis(0, 15), valid: true });
+        let step = st.step(&p, 3, |_| false);
+        assert!(step.output.is_none(), "weak entry suppressed");
+        // The better entry matures (and equals best_seen): output.
+        let step = st.step(&p, 5, |_| false);
+        assert_eq!(step.output.unwrap().value, 15);
+    }
+}

@@ -1,0 +1,238 @@
+//! Minimum enclosing ball in dimension `d` (generalized Welzl).
+//!
+//! Same structure as the planar algorithm in [`crate::welzl`], but the
+//! boundary set may hold up to `d + 1` points and the ball through a
+//! boundary set is computed by solving a small linear system: with base
+//! point `p₀` and boundary points `p₁ … p_k`, the circumcenter `c = p₀ +
+//! Σ λⱼ (pⱼ − p₀)` satisfies `2 (pⱼ − p₀)·(c − p₀) = |pⱼ − p₀|²`, a
+//! `k × k` system solved by Gaussian elimination.
+
+use crate::linalg;
+use crate::point::PointD;
+use crate::leq_with_slack;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A closed ball in `d` dimensions; negative radius encodes the empty ball.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BallD {
+    /// Center.
+    pub center: PointD,
+    /// Radius; negative encodes the empty ball.
+    pub radius: f64,
+}
+
+impl BallD {
+    /// The empty ball in dimension `dim`.
+    pub fn empty(dim: usize) -> BallD {
+        BallD { center: PointD::new(vec![0.0; dim]), radius: -1.0 }
+    }
+
+    /// Closed containment with the global relative slack.
+    pub fn contains(&self, p: &PointD) -> bool {
+        if self.radius < 0.0 {
+            return false;
+        }
+        leq_with_slack(self.center.dist2(p), self.radius * self.radius)
+    }
+
+    /// Whether `p` is numerically on the boundary sphere.
+    pub fn on_boundary(&self, p: &PointD) -> bool {
+        if self.radius < 0.0 {
+            return false;
+        }
+        let d = self.center.dist(p);
+        (d - self.radius).abs() <= 1e-7 * self.radius.max(1.0)
+    }
+}
+
+/// Ball with all points of `boundary` on its sphere (the circumsphere of
+/// the boundary set). Empty boundary gives the empty ball; returns `None`
+/// when the boundary points are affinely dependent.
+pub fn circumball(boundary: &[PointD]) -> Option<BallD> {
+    let Some(p0) = boundary.first() else {
+        return Some(BallD::empty(0));
+    };
+    let dim = p0.dim();
+    let k = boundary.len() - 1;
+    if k == 0 {
+        return Some(BallD { center: p0.clone(), radius: 0.0 });
+    }
+    let mut a = vec![vec![0.0; k]; k];
+    let mut b = vec![0.0; k];
+    for j in 0..k {
+        let pj = &boundary[j + 1];
+        for l in 0..k {
+            let pl = &boundary[l + 1];
+            let mut dot = 0.0;
+            for t in 0..dim {
+                dot += (pj.coords[t] - p0.coords[t]) * (pl.coords[t] - p0.coords[t]);
+            }
+            a[j][l] = 2.0 * dot;
+        }
+        b[j] = pj.dist2(p0);
+    }
+    let lambda = linalg::solve_in_place(&mut a, &mut b)?;
+    let mut center = p0.coords.clone();
+    for j in 0..k {
+        for t in 0..dim {
+            center[t] += lambda[j] * (boundary[j + 1].coords[t] - p0.coords[t]);
+        }
+    }
+    let center = PointD::new(center);
+    let radius = center.dist(p0);
+    Some(BallD { center, radius })
+}
+
+/// Computes the minimum enclosing ball of `points` (all of equal dimension).
+///
+/// Returns the empty ball for empty input.
+pub fn min_enclosing_ball<R: Rng + ?Sized>(points: &[PointD], rng: &mut R) -> BallD {
+    let Some(first) = points.first() else {
+        return BallD::empty(0);
+    };
+    let dim = first.dim();
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.shuffle(rng);
+    let mut boundary: Vec<PointD> = Vec::with_capacity(dim + 1);
+    meb_recurse(points, &order, &mut boundary, dim)
+}
+
+fn meb_recurse(points: &[PointD], order: &[usize], boundary: &mut Vec<PointD>, dim: usize) -> BallD {
+    let mut ball = match circumball(boundary) {
+        Some(b) if !boundary.is_empty() => b,
+        _ => BallD::empty(dim),
+    };
+    if boundary.len() == dim + 1 {
+        return ball;
+    }
+    for i in 0..order.len() {
+        let p = &points[order[i]];
+        if !ball.contains(p) {
+            boundary.push(p.clone());
+            ball = meb_recurse(points, &order[..i], boundary, dim);
+            boundary.pop();
+        }
+    }
+    ball
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(17)
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(min_enclosing_ball(&[], &mut rng()).radius, -1.0);
+    }
+
+    #[test]
+    fn singleton() {
+        let b = min_enclosing_ball(&[PointD::new(vec![1.0, 2.0, 3.0])], &mut rng());
+        assert_eq!(b.radius, 0.0);
+    }
+
+    #[test]
+    fn antipodal_pair_3d() {
+        let pts = vec![
+            PointD::new(vec![-2.0, 0.0, 0.0]),
+            PointD::new(vec![2.0, 0.0, 0.0]),
+        ];
+        let b = min_enclosing_ball(&pts, &mut rng());
+        assert!((b.radius - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simplex_corners_3d() {
+        // Unit-simplex corners plus the origin: the MEB is the circumcircle
+        // of the face {e1, e2, e3} (radius sqrt(2/3)); the origin lies
+        // strictly inside it.
+        let pts = vec![
+            PointD::new(vec![1.0, 0.0, 0.0]),
+            PointD::new(vec![0.0, 1.0, 0.0]),
+            PointD::new(vec![0.0, 0.0, 1.0]),
+            PointD::new(vec![0.0, 0.0, 0.0]),
+        ];
+        let b = min_enclosing_ball(&pts, &mut rng());
+        for p in &pts {
+            assert!(b.contains(p));
+        }
+        assert!((b.radius - (2f64 / 3.0).sqrt()).abs() < 1e-9, "radius {}", b.radius);
+        assert!(b.on_boundary(&pts[0]));
+        assert!(!b.on_boundary(&pts[3]), "origin is interior");
+    }
+
+    #[test]
+    fn interior_points_ignored_5d() {
+        let mut tr = rng();
+        let mut pts = vec![
+            PointD::new(vec![3.0, 0.0, 0.0, 0.0, 0.0]),
+            PointD::new(vec![-3.0, 0.0, 0.0, 0.0, 0.0]),
+        ];
+        for _ in 0..200 {
+            let v: Vec<f64> = (0..5).map(|_| rand::Rng::gen_range(&mut tr, -1.0..1.0)).collect();
+            pts.push(PointD::new(v));
+        }
+        let b = min_enclosing_ball(&pts, &mut rng());
+        assert!((b.radius - 3.0).abs() < 1e-9, "radius {}", b.radius);
+    }
+
+    #[test]
+    fn matches_2d_welzl() {
+        use crate::point::Point2;
+        let mut tr = rng();
+        for trial in 0..50 {
+            let n = 3 + trial % 20;
+            let pts2: Vec<Point2> = (0..n)
+                .map(|_| {
+                    Point2::new(
+                        rand::Rng::gen_range(&mut tr, -5.0..5.0),
+                        rand::Rng::gen_range(&mut tr, -5.0..5.0),
+                    )
+                })
+                .collect();
+            let ptsd: Vec<PointD> = pts2.iter().map(|p| PointD::new(vec![p.x, p.y])).collect();
+            let d2 = crate::welzl::min_enclosing_disk(&pts2, &mut rng());
+            let bd = min_enclosing_ball(&ptsd, &mut rng());
+            assert!(
+                (d2.radius - bd.radius).abs() <= 1e-7 * d2.radius.max(1.0),
+                "trial {trial}: {} vs {}",
+                d2.radius,
+                bd.radius
+            );
+        }
+    }
+
+    #[test]
+    fn circumball_of_degenerate_boundary_is_none() {
+        // Three collinear points in 2D have no circumscribed circle.
+        let pts = vec![
+            PointD::new(vec![0.0, 0.0]),
+            PointD::new(vec![1.0, 0.0]),
+            PointD::new(vec![2.0, 0.0]),
+        ];
+        assert!(circumball(&pts).is_none());
+    }
+
+    #[test]
+    fn all_points_contained_randomized() {
+        let mut tr = rng();
+        for dim in [2usize, 3, 4, 6] {
+            let pts: Vec<PointD> = (0..100)
+                .map(|_| {
+                    PointD::new((0..dim).map(|_| rand::Rng::gen_range(&mut tr, -8.0..8.0)).collect())
+                })
+                .collect();
+            let b = min_enclosing_ball(&pts, &mut rng());
+            for p in &pts {
+                assert!(b.contains(p), "dim {dim}");
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Disks in the plane and the circumscribed disks of 1–3 points.
+
+use crate::point::Point2;
+use crate::leq_with_slack;
+
+/// A closed disk in the plane.
+///
+/// The *empty* disk (enclosing nothing) is represented with a negative
+/// radius so that every point is outside it; `Disk::EMPTY` compares below
+/// every real disk by radius.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Disk {
+    /// Center.
+    pub center: Point2,
+    /// Radius; negative encodes the empty disk.
+    pub radius: f64,
+}
+
+impl Disk {
+    /// The empty disk: contains no point, radius `-1`.
+    pub const EMPTY: Disk = Disk { center: Point2::new(0.0, 0.0), radius: -1.0 };
+
+    /// The degenerate disk consisting of a single point.
+    pub fn point(p: Point2) -> Disk {
+        Disk { center: p, radius: 0.0 }
+    }
+
+    /// The smallest disk through two points (diameter disk).
+    pub fn from_two(a: Point2, b: Point2) -> Disk {
+        let center = a.midpoint(&b);
+        Disk { center, radius: 0.5 * a.dist(&b) }
+    }
+
+    /// The disk through three points (circumcircle). Returns `None` when
+    /// the points are (numerically) collinear and no circumcircle exists.
+    pub fn circumcircle(a: Point2, b: Point2, c: Point2) -> Option<Disk> {
+        let ab = b.sub(&a);
+        let ac = c.sub(&a);
+        let det = 2.0 * ab.cross(&ac);
+        // Relative collinearity threshold: |det| vanishes like the area.
+        let scale = ab.dot(&ab).max(ac.dot(&ac));
+        if det.abs() <= 1e-14 * scale.max(1.0) {
+            return None;
+        }
+        let ab2 = ab.dot(&ab);
+        let ac2 = ac.dot(&ac);
+        let ux = (ac.y * ab2 - ab.y * ac2) / det;
+        let uy = (ab.x * ac2 - ac.x * ab2) / det;
+        let center = Point2::new(a.x + ux, a.y + uy);
+        let radius = (ux * ux + uy * uy).sqrt();
+        Some(Disk { center, radius })
+    }
+
+    /// The smallest disk enclosing three points: the circumcircle if the
+    /// triangle is acute, otherwise the diameter disk of its longest side.
+    /// (Used when three points must be *enclosed* rather than *on the
+    /// boundary*.)
+    pub fn enclosing_three(a: Point2, b: Point2, c: Point2) -> Disk {
+        let mut best: Option<Disk> = None;
+        for (p, q, r) in [(a, b, c), (a, c, b), (b, c, a)] {
+            let d = Disk::from_two(p, q);
+            if d.contains(&r) {
+                best = Some(match best {
+                    Some(cur) if cur.radius <= d.radius => cur,
+                    _ => d,
+                });
+            }
+        }
+        if let Some(d) = best {
+            return d;
+        }
+        Disk::circumcircle(a, b, c)
+            // Collinear points are always covered by a two-point disk above.
+            .expect("non-collinear points have a circumcircle")
+    }
+
+    /// Closed containment with the global relative slack.
+    #[inline]
+    pub fn contains(&self, p: &Point2) -> bool {
+        if self.radius < 0.0 {
+            return false;
+        }
+        leq_with_slack(self.center.dist2(p), self.radius * self.radius)
+    }
+
+    /// Whether `p` lies (numerically) on the boundary circle.
+    pub fn on_boundary(&self, p: &Point2) -> bool {
+        if self.radius < 0.0 {
+            return false;
+        }
+        let d = self.center.dist(p);
+        (d - self.radius).abs() <= 1e-7 * self.radius.max(1.0)
+    }
+
+    /// Squared radius (negative radius squares to a negative sentinel).
+    #[inline]
+    pub fn radius2(&self) -> f64 {
+        if self.radius < 0.0 {
+            -1.0
+        } else {
+            self.radius * self.radius
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_disk_contains_nothing() {
+        assert!(!Disk::EMPTY.contains(&Point2::new(0.0, 0.0)));
+    }
+
+    #[test]
+    fn point_disk_contains_itself_only() {
+        let d = Disk::point(Point2::new(1.0, 1.0));
+        assert!(d.contains(&Point2::new(1.0, 1.0)));
+        assert!(!d.contains(&Point2::new(1.0, 1.1)));
+    }
+
+    #[test]
+    fn two_point_disk() {
+        let d = Disk::from_two(Point2::new(-1.0, 0.0), Point2::new(1.0, 0.0));
+        assert_eq!(d.center, Point2::new(0.0, 0.0));
+        assert_eq!(d.radius, 1.0);
+        assert!(d.contains(&Point2::new(0.0, 1.0)));
+        assert!(!d.contains(&Point2::new(0.0, 1.001)));
+    }
+
+    #[test]
+    fn circumcircle_of_right_triangle() {
+        let d = Disk::circumcircle(
+            Point2::new(0.0, 0.0),
+            Point2::new(2.0, 0.0),
+            Point2::new(0.0, 2.0),
+        )
+        .unwrap();
+        assert!((d.center.x - 1.0).abs() < 1e-12);
+        assert!((d.center.y - 1.0).abs() < 1e-12);
+        assert!((d.radius - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circumcircle_collinear_is_none() {
+        assert!(Disk::circumcircle(
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(2.0, 2.0),
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn enclosing_three_obtuse_uses_diameter() {
+        // Nearly collinear wide triangle: the longest side's diameter disk
+        // covers the middle point.
+        let d = Disk::enclosing_three(
+            Point2::new(-1.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(0.0, 0.1),
+        );
+        assert!((d.radius - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn enclosing_three_acute_uses_circumcircle() {
+        let d = Disk::enclosing_three(
+            Point2::new(0.0, 1.0),
+            Point2::new(-(3f64.sqrt()) / 2.0, -0.5),
+            Point2::new(3f64.sqrt() / 2.0, -0.5),
+        );
+        assert!((d.radius - 1.0).abs() < 1e-9);
+        assert!(d.center.dist(&Point2::new(0.0, 0.0)) < 1e-9);
+    }
+
+    #[test]
+    fn boundary_predicate() {
+        let d = Disk::from_two(Point2::new(-1.0, 0.0), Point2::new(1.0, 0.0));
+        assert!(d.on_boundary(&Point2::new(1.0, 0.0)));
+        assert!(d.on_boundary(&Point2::new(0.0, 1.0)));
+        assert!(!d.on_boundary(&Point2::new(0.0, 0.0)));
+    }
+}

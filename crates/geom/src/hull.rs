@@ -1,0 +1,272 @@
+//! Convex hulls and distances between convex polygons.
+//!
+//! Supports the *polytope distance* LP-type problem from the paper's
+//! introduction: given two point sets `P`, `Q`, find the Euclidean
+//! distance between `conv(P)` and `conv(Q)`. All routines here are exact
+//! up to `f64` arithmetic and are only called with the small point sets
+//! that LP-type basis computations produce, so the quadratic edge-pair
+//! scan in [`polygon_distance`] is deliberate simplicity, not an
+//! oversight.
+
+use crate::point::Point2;
+
+/// Andrew's monotone-chain convex hull. Returns hull vertices in
+/// counter-clockwise order, without repetition of the first vertex.
+/// Collinear points on the hull boundary are dropped. Inputs of size
+/// ≤ 2 are returned (deduplicated) as-is.
+pub fn convex_hull(points: &[Point2]) -> Vec<Point2> {
+    let mut pts: Vec<Point2> = points.to_vec();
+    pts.sort_by(|a, b| a.total_cmp(b));
+    pts.dedup_by(|a, b| a.total_cmp(b) == std::cmp::Ordering::Equal);
+    let n = pts.len();
+    if n <= 2 {
+        return pts;
+    }
+    let cross = |o: &Point2, a: &Point2, b: &Point2| a.sub(o).cross(&b.sub(o));
+    let mut hull: Vec<Point2> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for p in &pts {
+        while hull.len() >= 2 && cross(&hull[hull.len() - 2], &hull[hull.len() - 1], p) <= 0.0 {
+            hull.pop();
+        }
+        hull.push(*p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len && cross(&hull[hull.len() - 2], &hull[hull.len() - 1], p) <= 0.0 {
+            hull.pop();
+        }
+        hull.push(*p);
+    }
+    hull.pop();
+    hull
+}
+
+/// Distance from point `p` to the closed segment `[a, b]`.
+pub fn point_segment_distance(p: &Point2, a: &Point2, b: &Point2) -> f64 {
+    let ab = b.sub(a);
+    let len2 = ab.dot(&ab);
+    if len2 <= 0.0 {
+        return p.dist(a);
+    }
+    let t = (p.sub(a).dot(&ab) / len2).clamp(0.0, 1.0);
+    let proj = Point2::new(a.x + t * ab.x, a.y + t * ab.y);
+    p.dist(&proj)
+}
+
+/// Distance between closed segments `[a1, b1]` and `[a2, b2]`.
+pub fn segment_segment_distance(a1: &Point2, b1: &Point2, a2: &Point2, b2: &Point2) -> f64 {
+    if segments_intersect(a1, b1, a2, b2) {
+        return 0.0;
+    }
+    point_segment_distance(a1, a2, b2)
+        .min(point_segment_distance(b1, a2, b2))
+        .min(point_segment_distance(a2, a1, b1))
+        .min(point_segment_distance(b2, a1, b1))
+}
+
+fn orient(a: &Point2, b: &Point2, c: &Point2) -> f64 {
+    b.sub(a).cross(&c.sub(a))
+}
+
+fn on_segment(a: &Point2, b: &Point2, p: &Point2) -> bool {
+    p.x >= a.x.min(b.x) && p.x <= a.x.max(b.x) && p.y >= a.y.min(b.y) && p.y <= a.y.max(b.y)
+}
+
+/// Proper-or-touching intersection test for closed segments.
+fn segments_intersect(a1: &Point2, b1: &Point2, a2: &Point2, b2: &Point2) -> bool {
+    let d1 = orient(a2, b2, a1);
+    let d2 = orient(a2, b2, b1);
+    let d3 = orient(a1, b1, a2);
+    let d4 = orient(a1, b1, b2);
+    if ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+        && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+    {
+        return true;
+    }
+    (d1 == 0.0 && on_segment(a2, b2, a1))
+        || (d2 == 0.0 && on_segment(a2, b2, b1))
+        || (d3 == 0.0 && on_segment(a1, b1, a2))
+        || (d4 == 0.0 && on_segment(a1, b1, b2))
+}
+
+/// Whether point `p` lies inside (or on) the convex polygon `hull`
+/// (counter-clockwise vertex order, as produced by [`convex_hull`]).
+pub fn point_in_convex_hull(p: &Point2, hull: &[Point2]) -> bool {
+    match hull.len() {
+        0 => false,
+        1 => hull[0].dist2(p) <= 1e-18,
+        2 => point_segment_distance(p, &hull[0], &hull[1]) <= 1e-9,
+        n => {
+            for i in 0..n {
+                if orient(&hull[i], &hull[(i + 1) % n], p) < -1e-12 {
+                    return false;
+                }
+            }
+            true
+        }
+    }
+}
+
+/// Euclidean distance between the convex hulls of two point sets.
+///
+/// Returns `0.0` when the hulls intersect and `f64::INFINITY` when either
+/// set is empty (matching the LP-type convention `f(∅) = -∞` after sign
+/// flip).
+pub fn polygon_distance(pa: &[Point2], pb: &[Point2]) -> f64 {
+    if pa.is_empty() || pb.is_empty() {
+        return f64::INFINITY;
+    }
+    let ha = convex_hull(pa);
+    let hb = convex_hull(pb);
+    // Containment covers the hull-inside-hull case the edge scan misses.
+    if point_in_convex_hull(&ha[0], &hb) || point_in_convex_hull(&hb[0], &ha) {
+        return 0.0;
+    }
+    let edges = |h: &[Point2]| -> Vec<(Point2, Point2)> {
+        match h.len() {
+            1 => vec![(h[0], h[0])],
+            2 => vec![(h[0], h[1])],
+            n => (0..n).map(|i| (h[i], h[(i + 1) % n])).collect(),
+        }
+    };
+    let ea = edges(&ha);
+    let eb = edges(&hb);
+    let mut best = f64::INFINITY;
+    for (a1, b1) in &ea {
+        for (a2, b2) in &eb {
+            best = best.min(segment_segment_distance(a1, b1, a2, b2));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hull_of_square_with_interior() {
+        let pts = [
+            Point2::new(0.0, 0.0),
+            Point2::new(2.0, 0.0),
+            Point2::new(2.0, 2.0),
+            Point2::new(0.0, 2.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(0.5, 0.5),
+        ];
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 4);
+    }
+
+    #[test]
+    fn hull_collinear_input() {
+        let pts: Vec<Point2> = (0..5).map(|i| Point2::new(i as f64, i as f64)).collect();
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h[0], Point2::new(0.0, 0.0));
+        assert_eq!(h[1], Point2::new(4.0, 4.0));
+    }
+
+    #[test]
+    fn hull_duplicates() {
+        let pts = vec![Point2::new(1.0, 1.0); 10];
+        assert_eq!(convex_hull(&pts).len(), 1);
+    }
+
+    #[test]
+    fn point_segment_basic() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(2.0, 0.0);
+        assert!((point_segment_distance(&Point2::new(1.0, 1.0), &a, &b) - 1.0).abs() < 1e-12);
+        assert!((point_segment_distance(&Point2::new(3.0, 0.0), &a, &b) - 1.0).abs() < 1e-12);
+        assert_eq!(point_segment_distance(&Point2::new(1.0, 0.0), &a, &b), 0.0);
+    }
+
+    #[test]
+    fn segment_distance_crossing_is_zero() {
+        let d = segment_segment_distance(
+            &Point2::new(-1.0, 0.0),
+            &Point2::new(1.0, 0.0),
+            &Point2::new(0.0, -1.0),
+            &Point2::new(0.0, 1.0),
+        );
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn segment_distance_parallel() {
+        let d = segment_segment_distance(
+            &Point2::new(0.0, 0.0),
+            &Point2::new(2.0, 0.0),
+            &Point2::new(0.0, 3.0),
+            &Point2::new(2.0, 3.0),
+        );
+        assert!((d - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polygon_distance_separated_squares() {
+        let a = [
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(0.0, 1.0),
+        ];
+        let b: Vec<Point2> = a.iter().map(|p| Point2::new(p.x + 3.0, p.y)).collect();
+        assert!((polygon_distance(&a, &b) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polygon_distance_overlapping_is_zero() {
+        let a = [
+            Point2::new(0.0, 0.0),
+            Point2::new(2.0, 0.0),
+            Point2::new(1.0, 2.0),
+        ];
+        let b = [
+            Point2::new(1.0, 0.5),
+            Point2::new(4.0, 0.0),
+            Point2::new(4.0, 4.0),
+        ];
+        assert_eq!(polygon_distance(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn polygon_distance_nested_is_zero() {
+        let outer = [
+            Point2::new(-5.0, -5.0),
+            Point2::new(5.0, -5.0),
+            Point2::new(5.0, 5.0),
+            Point2::new(-5.0, 5.0),
+        ];
+        let inner = [Point2::new(0.0, 0.0), Point2::new(1.0, 0.0), Point2::new(0.0, 1.0)];
+        assert_eq!(polygon_distance(&outer, &inner), 0.0);
+    }
+
+    #[test]
+    fn polygon_distance_point_sets() {
+        let a = [Point2::new(0.0, 0.0)];
+        let b = [Point2::new(3.0, 4.0)];
+        assert!((polygon_distance(&a, &b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polygon_distance_empty_is_infinite() {
+        assert_eq!(polygon_distance(&[], &[Point2::new(0.0, 0.0)]), f64::INFINITY);
+    }
+
+    #[test]
+    fn point_in_hull_edge_cases() {
+        let hull = convex_hull(&[
+            Point2::new(0.0, 0.0),
+            Point2::new(4.0, 0.0),
+            Point2::new(4.0, 4.0),
+            Point2::new(0.0, 4.0),
+        ]);
+        assert!(point_in_convex_hull(&Point2::new(2.0, 2.0), &hull));
+        assert!(point_in_convex_hull(&Point2::new(0.0, 0.0), &hull));
+        assert!(!point_in_convex_hull(&Point2::new(5.0, 2.0), &hull));
+    }
+}

@@ -1,0 +1,59 @@
+//! # `lpt-geom` — computational-geometry substrate
+//!
+//! Geometry primitives backing the concrete LP-type problems of the
+//! `lpt-problems` crate:
+//!
+//! * [`Point2`] / [`PointD`] — 2D and small-`d` Euclidean points;
+//! * [`Disk`] and the [`welzl`] module — minimum enclosing disk in the
+//!   plane (Welzl's randomized algorithm with support-set extraction),
+//!   the problem used in the paper's experimental evaluation (Section 5);
+//! * [`ball`] — minimum enclosing ball in dimension `d` (generalized
+//!   Welzl with a Gaussian-elimination circumsphere solver);
+//! * [`hull`] — convex hulls (Andrew's monotone chain), segment
+//!   distances, and the distance between two convex polygons (the
+//!   *polytope distance* problem of the paper's introduction);
+//! * [`lp`] — fixed-dimension linear programming: a Seidel-style
+//!   randomized incremental solver for `d = 2` and a vertex-enumeration
+//!   solver for small `d`, both over halfspace constraints;
+//! * [`linalg`] — dense Gaussian elimination for the tiny linear systems
+//!   the circumsphere and vertex solvers need.
+//!
+//! ## Robustness policy
+//!
+//! All predicates use `f64` with a single centralized *relative* slack
+//! ([`EPS`]): a point is inside a disk/ball if its squared distance to the
+//! center is at most `r²·(1 + EPS) + EPS`. Every violation test in the
+//! workspace goes through the same containment predicates, so the solvers'
+//! internal tests and the external violation tests can never disagree —
+//! the property that guarantees termination of Clarkson-style algorithms.
+//! Degeneracy (the paper's non-degeneracy assumption, Section 1.1) is
+//! handled by deterministic lexicographic tie-breaking rather than by
+//! input perturbation; see `DESIGN.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ball;
+pub mod disk;
+pub mod hull;
+pub mod linalg;
+pub mod lp;
+pub mod point;
+pub mod welzl;
+
+pub use ball::{min_enclosing_ball, BallD};
+pub use disk::Disk;
+pub use hull::{convex_hull, polygon_distance, segment_segment_distance};
+pub use lp::{solve_lp_vertex_enum, Halfspace, LpOutcome, LpSolution};
+pub use point::{Point2, PointD};
+pub use welzl::{min_enclosing_disk, min_enclosing_disk_with_support};
+
+/// Relative slack used by all containment predicates.
+pub const EPS: f64 = 1e-9;
+
+/// `true` iff `d2 <= bound2` up to the global slack; the single primitive
+/// all containment predicates reduce to.
+#[inline]
+pub fn leq_with_slack(d2: f64, bound2: f64) -> bool {
+    d2 <= bound2 * (1.0 + EPS) + EPS
+}

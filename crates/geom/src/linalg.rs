@@ -1,0 +1,122 @@
+//! Dense Gaussian elimination for the tiny (`k ≤ 9`) linear systems used
+//! by the circumsphere and LP-vertex solvers.
+
+/// Solves `A x = b` for a square system given in row-major order,
+/// destroying `a` and `b`. Returns `None` if the matrix is (numerically)
+/// singular.
+///
+/// Partial pivoting; the relative pivot threshold is scaled by the largest
+/// entry of the matrix so that well-conditioned systems of any magnitude
+/// are accepted.
+pub fn solve_in_place(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
+    let n = b.len();
+    debug_assert_eq!(a.len(), n);
+    debug_assert!(a.iter().all(|row| row.len() == n));
+    let scale = a
+        .iter()
+        .flat_map(|r| r.iter())
+        .fold(0.0f64, |m, &x| m.max(x.abs()))
+        .max(1e-300);
+
+    for col in 0..n {
+        // Partial pivot.
+        let mut piv = col;
+        for row in col + 1..n {
+            if a[row][col].abs() > a[piv][col].abs() {
+                piv = row;
+            }
+        }
+        if a[piv][col].abs() <= 1e-12 * scale {
+            return None;
+        }
+        a.swap(col, piv);
+        b.swap(col, piv);
+
+        let inv = 1.0 / a[col][col];
+        for row in col + 1..n {
+            let factor = a[row][col] * inv;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut s = b[col];
+        for k in col + 1..n {
+            s -= a[col][k] * x[k];
+        }
+        x[col] = s / a[col][col];
+    }
+    Some(x)
+}
+
+/// Solves `A x = b` without destroying the inputs.
+pub fn solve(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
+    let mut a = a.to_vec();
+    let mut b = b.to_vec();
+    solve_in_place(&mut a, &mut b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_2x2() {
+        let a = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+        let b = vec![5.0, 10.0];
+        let x = solve(&a, &b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_3x3_with_pivoting() {
+        // First pivot is zero; requires row swap.
+        let a = vec![
+            vec![0.0, 1.0, 1.0],
+            vec![2.0, 0.0, 1.0],
+            vec![1.0, 1.0, 0.0],
+        ];
+        let b = vec![5.0, 5.0, 3.0];
+        let x = solve(&a, &b).unwrap();
+        // Verify residual instead of hand-solving.
+        for (row, &bi) in a.iter().zip(&b) {
+            let r: f64 = row.iter().zip(&x).map(|(c, v)| c * v).sum();
+            assert!((r - bi).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn singular_matrix_is_none() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        let b = vec![1.0, 2.0];
+        assert!(solve(&a, &b).is_none());
+    }
+
+    #[test]
+    fn scale_invariance() {
+        let a = vec![vec![2e12, 1e12], vec![1e12, 3e12]];
+        let b = vec![5e12, 10e12];
+        let x = solve(&a, &b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identity_system() {
+        let a = vec![
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ];
+        let b = vec![7.0, -2.0, 0.5];
+        assert_eq!(solve(&a, &b).unwrap(), b);
+    }
+}

@@ -1,0 +1,260 @@
+//! Fixed-dimension linear programming over halfspace constraints.
+//!
+//! Linear programming with a constant number `d` of variables is the
+//! motivating special case of LP-type problems (paper, Section 1.1): `H`
+//! is the set of constraints and `f(G)` the optimum of the objective over
+//! the polytope `∩G`. This module provides the *small-set solver* that the
+//! LP-type machinery needs: [`solve_lp_vertex_enum`] enumerates candidate
+//! vertices (intersections of `d` constraint boundaries, including an
+//! implicit bounding box that keeps every subproblem bounded) and returns
+//! the optimum with deterministic lexicographic tie-breaking. It is
+//! exponential in `d` but linear-ish in the constraint count for fixed
+//! `d`, which is exactly the regime Clarkson-style algorithms call it in
+//! (sets of size `O(d²)`).
+//!
+//! For full instances the sequential oracle is `lpt::clarkson` over the
+//! `FixedDimLp` problem in `lpt-problems`, i.e. the paper's own framework;
+//! a dedicated Seidel/Megiddo solver would be redundant here.
+
+use crate::linalg;
+
+/// A halfspace constraint `a · x ≤ b` in `d` variables.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Halfspace {
+    /// Constraint normal (length `d`).
+    pub a: Vec<f64>,
+    /// Right-hand side.
+    pub b: f64,
+}
+
+impl Halfspace {
+    /// Creates a constraint `a · x ≤ b`.
+    pub fn new(a: Vec<f64>, b: f64) -> Self {
+        Halfspace { a, b }
+    }
+
+    /// Signed slack `b - a·x`; nonnegative iff `x` satisfies the
+    /// constraint exactly.
+    pub fn slack(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(self.a.len(), x.len());
+        self.b - self.a.iter().zip(x).map(|(ai, xi)| ai * xi).sum::<f64>()
+    }
+
+    /// Whether `x` satisfies the constraint up to relative tolerance.
+    pub fn satisfied(&self, x: &[f64]) -> bool {
+        let scale = self
+            .a
+            .iter()
+            .zip(x)
+            .map(|(ai, xi)| (ai * xi).abs())
+            .fold(self.b.abs(), f64::max)
+            .max(1.0);
+        self.slack(x) >= -1e-9 * scale
+    }
+}
+
+/// An optimal solution: the optimizing point and its objective value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LpSolution {
+    /// The optimal vertex (lexicographically smallest among optima).
+    pub x: Vec<f64>,
+    /// Objective value `c · x`.
+    pub value: f64,
+}
+
+/// Outcome of an LP solve.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LpOutcome {
+    /// A bounded optimum was found.
+    Optimal(LpSolution),
+    /// The constraint set (plus bounding box) is infeasible.
+    Infeasible,
+}
+
+/// Minimizes `c · x` subject to `constraints` and the implicit bounding
+/// box `|x_i| ≤ bound` by vertex enumeration.
+///
+/// Runs in `O((m + 2d choose d) · poly)` time for `m = constraints.len()`,
+/// intended for the small subproblems of LP-type solvers. Determinism: the
+/// optimum is the lexicographically smallest optimal vertex under
+/// `f64::total_cmp`.
+pub fn solve_lp_vertex_enum(c: &[f64], constraints: &[Halfspace], bound: f64) -> LpOutcome {
+    let d = c.len();
+    assert!(d >= 1, "objective must have at least one variable");
+    assert!(constraints.iter().all(|h| h.a.len() == d), "constraint dimension mismatch");
+
+    // All constraints including the 2d box walls.
+    let mut all: Vec<Halfspace> = Vec::with_capacity(constraints.len() + 2 * d);
+    all.extend(constraints.iter().cloned());
+    for i in 0..d {
+        let mut lo = vec![0.0; d];
+        lo[i] = -1.0;
+        all.push(Halfspace::new(lo, bound)); // -x_i <= bound
+        let mut hi = vec![0.0; d];
+        hi[i] = 1.0;
+        all.push(Halfspace::new(hi, bound)); // x_i <= bound
+    }
+
+    let mut best: Option<LpSolution> = None;
+    let m = all.len();
+    let mut combo: Vec<usize> = (0..d).collect();
+
+    // Enumerate all d-subsets of `all` (lexicographic combination walk).
+    loop {
+        if let Some(x) = vertex_of(&all, &combo, d) {
+            if all.iter().all(|h| h.satisfied(&x)) {
+                let value = c.iter().zip(&x).map(|(ci, xi)| ci * xi).sum::<f64>();
+                let better = match &best {
+                    None => true,
+                    Some(cur) => match value.total_cmp(&cur.value) {
+                        std::cmp::Ordering::Less => true,
+                        std::cmp::Ordering::Greater => false,
+                        std::cmp::Ordering::Equal => lex_less(&x, &cur.x),
+                    },
+                };
+                if better {
+                    best = Some(LpSolution { x, value });
+                }
+            }
+        }
+        // Next combination.
+        let mut i = d;
+        loop {
+            if i == 0 {
+                return match best {
+                    Some(sol) => LpOutcome::Optimal(sol),
+                    None => LpOutcome::Infeasible,
+                };
+            }
+            i -= 1;
+            if combo[i] != i + m - d {
+                combo[i] += 1;
+                for j in i + 1..d {
+                    combo[j] = combo[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+fn vertex_of(all: &[Halfspace], combo: &[usize], d: usize) -> Option<Vec<f64>> {
+    let mut a: Vec<Vec<f64>> = Vec::with_capacity(d);
+    let mut b: Vec<f64> = Vec::with_capacity(d);
+    for &i in combo {
+        a.push(all[i].a.clone());
+        b.push(all[i].b);
+    }
+    linalg::solve_in_place(&mut a, &mut b)
+}
+
+fn lex_less(a: &[f64], b: &[f64]) -> bool {
+    for (x, y) in a.iter().zip(b) {
+        match x.total_cmp(y) {
+            std::cmp::Ordering::Less => return true,
+            std::cmp::Ordering::Greater => return false,
+            std::cmp::Ordering::Equal => continue,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BOUND: f64 = 1e4;
+
+    #[test]
+    fn unconstrained_hits_box_corner() {
+        // minimize x + y with no constraints -> box corner (-B, -B).
+        let out = solve_lp_vertex_enum(&[1.0, 1.0], &[], BOUND);
+        match out {
+            LpOutcome::Optimal(sol) => {
+                assert_eq!(sol.x, vec![-BOUND, -BOUND]);
+                assert_eq!(sol.value, -2.0 * BOUND);
+            }
+            _ => panic!("expected optimum"),
+        }
+    }
+
+    #[test]
+    fn simple_2d_lp() {
+        // minimize -x - y  s.t. x + 2y <= 4, 3x + y <= 6, x,y >= 0.
+        let cons = vec![
+            Halfspace::new(vec![1.0, 2.0], 4.0),
+            Halfspace::new(vec![3.0, 1.0], 6.0),
+            Halfspace::new(vec![-1.0, 0.0], 0.0),
+            Halfspace::new(vec![0.0, -1.0], 0.0),
+        ];
+        let out = solve_lp_vertex_enum(&[-1.0, -1.0], &cons, BOUND);
+        match out {
+            LpOutcome::Optimal(sol) => {
+                // Optimal vertex: intersection of the two main constraints,
+                // x = 8/5, y = 6/5.
+                assert!((sol.x[0] - 1.6).abs() < 1e-9);
+                assert!((sol.x[1] - 1.2).abs() < 1e-9);
+                assert!((sol.value + 2.8).abs() < 1e-9);
+            }
+            _ => panic!("expected optimum"),
+        }
+    }
+
+    #[test]
+    fn infeasible_lp() {
+        let cons = vec![
+            Halfspace::new(vec![1.0], 0.0),  // x <= 0
+            Halfspace::new(vec![-1.0], -1.0), // x >= 1
+        ];
+        assert_eq!(solve_lp_vertex_enum(&[1.0], &cons, BOUND), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn one_dimensional() {
+        let cons = vec![Halfspace::new(vec![-1.0], -2.5)]; // x >= 2.5
+        match solve_lp_vertex_enum(&[1.0], &cons, BOUND) {
+            LpOutcome::Optimal(sol) => assert!((sol.x[0] - 2.5).abs() < 1e-9),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn three_dimensional_simplex() {
+        // minimize -(x+y+z) s.t. x+y+z <= 1, x,y,z >= 0 -> value -1.
+        let cons = vec![
+            Halfspace::new(vec![1.0, 1.0, 1.0], 1.0),
+            Halfspace::new(vec![-1.0, 0.0, 0.0], 0.0),
+            Halfspace::new(vec![0.0, -1.0, 0.0], 0.0),
+            Halfspace::new(vec![0.0, 0.0, -1.0], 0.0),
+        ];
+        match solve_lp_vertex_enum(&[-1.0, -1.0, -1.0], &cons, BOUND) {
+            LpOutcome::Optimal(sol) => assert!((sol.value + 1.0).abs() < 1e-9),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn tie_break_is_lexicographic() {
+        // minimize 0 over the unit square: optimum is lex-min vertex.
+        let cons = vec![
+            Halfspace::new(vec![-1.0, 0.0], 0.0),
+            Halfspace::new(vec![0.0, -1.0], 0.0),
+            Halfspace::new(vec![1.0, 0.0], 1.0),
+            Halfspace::new(vec![0.0, 1.0], 1.0),
+        ];
+        match solve_lp_vertex_enum(&[0.0, 0.0], &cons, BOUND) {
+            LpOutcome::Optimal(sol) => {
+                assert_eq!(sol.x, [-BOUND, -BOUND].iter().map(|_| 0.0).collect::<Vec<_>>().clone());
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn satisfied_has_tolerance() {
+        let h = Halfspace::new(vec![1.0, 1.0], 1.0);
+        assert!(h.satisfied(&[0.5, 0.5]));
+        assert!(h.satisfied(&[0.5, 0.5 + 1e-12]));
+        assert!(!h.satisfied(&[0.6, 0.6]));
+    }
+}

@@ -1,0 +1,157 @@
+//! Euclidean points in 2 and `d` dimensions.
+
+use std::cmp::Ordering;
+
+/// A point in the plane.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Point2 {
+    /// x coordinate.
+    pub x: f64,
+    /// y coordinate.
+    pub y: f64,
+}
+
+impl Point2 {
+    /// Creates a point.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point2 { x, y }
+    }
+
+    /// Squared Euclidean distance to `other`.
+    #[inline]
+    pub fn dist2(&self, other: &Point2) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(&self, other: &Point2) -> f64 {
+        self.dist2(other).sqrt()
+    }
+
+    /// Midpoint of `self` and `other`.
+    #[inline]
+    pub fn midpoint(&self, other: &Point2) -> Point2 {
+        Point2::new(0.5 * (self.x + other.x), 0.5 * (self.y + other.y))
+    }
+
+    /// Vector subtraction `self - other`.
+    #[inline]
+    pub fn sub(&self, other: &Point2) -> Point2 {
+        Point2::new(self.x - other.x, self.y - other.y)
+    }
+
+    /// Dot product (treating points as vectors).
+    #[inline]
+    pub fn dot(&self, other: &Point2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2D cross product `self.x * other.y - self.y * other.x`.
+    #[inline]
+    pub fn cross(&self, other: &Point2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Deterministic total order: lexicographic by `(x, y)` via
+    /// `f64::total_cmp`. Used for canonical bases and tie-breaking.
+    pub fn total_cmp(&self, other: &Point2) -> Ordering {
+        self.x.total_cmp(&other.x).then_with(|| self.y.total_cmp(&other.y))
+    }
+}
+
+/// A point in `d`-dimensional Euclidean space (small `d`).
+///
+/// Stored as an owned coordinate vector; the workspace only ever uses
+/// `d ≤ 8`, so the allocation cost is irrelevant next to the solver work.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct PointD {
+    /// Coordinates.
+    pub coords: Vec<f64>,
+}
+
+impl PointD {
+    /// Creates a point from coordinates.
+    pub fn new(coords: Vec<f64>) -> Self {
+        PointD { coords }
+    }
+
+    /// Dimension of the ambient space.
+    pub fn dim(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Squared Euclidean distance to `other`.
+    pub fn dist2(&self, other: &PointD) -> f64 {
+        debug_assert_eq!(self.dim(), other.dim());
+        self.coords
+            .iter()
+            .zip(&other.coords)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum()
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn dist(&self, other: &PointD) -> f64 {
+        self.dist2(other).sqrt()
+    }
+
+    /// Deterministic lexicographic total order via `f64::total_cmp`.
+    pub fn total_cmp(&self, other: &PointD) -> Ordering {
+        for (a, b) in self.coords.iter().zip(&other.coords) {
+            match a.total_cmp(b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        self.coords.len().cmp(&other.coords.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point2_arithmetic() {
+        let a = Point2::new(1.0, 2.0);
+        let b = Point2::new(4.0, 6.0);
+        assert_eq!(a.dist2(&b), 25.0);
+        assert_eq!(a.dist(&b), 5.0);
+        assert_eq!(a.midpoint(&b), Point2::new(2.5, 4.0));
+        assert_eq!(b.sub(&a), Point2::new(3.0, 4.0));
+        assert_eq!(a.dot(&b), 16.0);
+        assert_eq!(a.cross(&b), -2.0);
+    }
+
+    #[test]
+    fn point2_total_order() {
+        let a = Point2::new(1.0, 2.0);
+        let b = Point2::new(1.0, 3.0);
+        let c = Point2::new(0.0, 9.0);
+        assert_eq!(a.total_cmp(&b), Ordering::Less);
+        assert_eq!(b.total_cmp(&a), Ordering::Greater);
+        assert_eq!(c.total_cmp(&a), Ordering::Less);
+        assert_eq!(a.total_cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn pointd_distance() {
+        let a = PointD::new(vec![0.0, 0.0, 0.0]);
+        let b = PointD::new(vec![1.0, 2.0, 2.0]);
+        assert_eq!(a.dist2(&b), 9.0);
+        assert_eq!(a.dist(&b), 3.0);
+    }
+
+    #[test]
+    fn pointd_total_order_handles_nan_deterministically() {
+        let a = PointD::new(vec![f64::NAN, 0.0]);
+        let b = PointD::new(vec![0.0, 0.0]);
+        // total_cmp puts NaN after all numbers; the point is determinism,
+        // not a particular answer.
+        assert_eq!(a.total_cmp(&b), Ordering::Greater);
+        assert_eq!(a.total_cmp(&a), Ordering::Equal);
+    }
+}

@@ -1,0 +1,321 @@
+//! Welzl's randomized algorithm for the minimum enclosing disk (MED).
+//!
+//! Expected linear time after a random shuffle; recursion depth is bounded
+//! by the size of the boundary set (≤ 3), so the implementation is safe
+//! for inputs of any size. [`min_enclosing_disk_with_support`]
+//! additionally extracts a *support set* (an optimal basis in LP-type
+//! terms): at most 3 input indices whose own minimum enclosing disk equals
+//! the global one.
+
+use crate::disk::Disk;
+use crate::point::Point2;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Computes the minimum enclosing disk of `points`.
+///
+/// Returns [`Disk::EMPTY`] for an empty input. The `rng` drives the
+/// shuffle that makes the expected running time linear; correctness does
+/// not depend on it.
+pub fn min_enclosing_disk<R: Rng + ?Sized>(points: &[Point2], rng: &mut R) -> Disk {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.shuffle(rng);
+    med_indexed(points, &order)
+}
+
+/// As [`min_enclosing_disk`], but also returns the support set: indices
+/// (into `points`, sorted ascending) of at most 3 points on the boundary
+/// whose minimum enclosing disk equals the returned disk.
+pub fn min_enclosing_disk_with_support<R: Rng + ?Sized>(
+    points: &[Point2],
+    rng: &mut R,
+) -> (Disk, Vec<usize>) {
+    let disk = min_enclosing_disk(points, rng);
+    let support = extract_support(points, &disk);
+    (disk, support)
+}
+
+/// Welzl's algorithm over an explicit index order.
+fn med_indexed(points: &[Point2], order: &[usize]) -> Disk {
+    let mut disk = Disk::EMPTY;
+    for i in 0..order.len() {
+        let p = points[order[i]];
+        if !disk.contains(&p) {
+            disk = med_with_one(points, &order[..i], p);
+        }
+    }
+    disk
+}
+
+/// MED of `order`-points given that `q` is on the boundary.
+fn med_with_one(points: &[Point2], order: &[usize], q: Point2) -> Disk {
+    let mut disk = Disk::point(q);
+    for i in 0..order.len() {
+        let p = points[order[i]];
+        if !disk.contains(&p) {
+            disk = med_with_two(points, &order[..i], q, p);
+        }
+    }
+    disk
+}
+
+/// MED of `order`-points given that `q1, q2` are on the boundary.
+fn med_with_two(points: &[Point2], order: &[usize], q1: Point2, q2: Point2) -> Disk {
+    let mut disk = Disk::from_two(q1, q2);
+    for i in 0..order.len() {
+        let p = points[order[i]];
+        if !disk.contains(&p) {
+            // Three boundary points determine the disk: the circumcircle.
+            // Collinear triples cannot occur here in exact arithmetic (a
+            // collinear third point inside neither two-point disk is
+            // impossible); numerically we fall back to the largest
+            // two-point disk to stay total.
+            disk = Disk::circumcircle(q1, q2, p).unwrap_or_else(|| {
+                let d12 = Disk::from_two(q1, q2);
+                let d1p = Disk::from_two(q1, p);
+                let d2p = Disk::from_two(q2, p);
+                let mut best = d12;
+                for d in [d1p, d2p] {
+                    if d.radius > best.radius {
+                        best = d;
+                    }
+                }
+                best
+            });
+        }
+    }
+    disk
+}
+
+/// Extracts a minimal support set of the disk from the input points:
+/// candidates are the points numerically on the boundary; among those we
+/// search for a single point (r = 0), a diametral pair, or a triple whose
+/// circumcircle reproduces the disk.
+fn extract_support(points: &[Point2], disk: &Disk) -> Vec<usize> {
+    if disk.radius < 0.0 {
+        return vec![];
+    }
+    let mut cand: Vec<usize> = (0..points.len())
+        .filter(|&i| disk.on_boundary(&points[i]))
+        .collect();
+    // Duplicate coordinates (copies of the same input point) contribute
+    // nothing to a support set and can crowd out genuine support points;
+    // keep only the first index per distinct location.
+    {
+        let mut seen: Vec<Point2> = Vec::new();
+        cand.retain(|&i| {
+            if seen.iter().any(|p| p.x == points[i].x && p.y == points[i].y) {
+                false
+            } else {
+                seen.push(points[i]);
+                true
+            }
+        });
+    }
+    // Defensive cap: sort by boundary proximity and keep the closest few.
+    // In non-adversarial inputs |cand| ≤ 3 + ties.
+    if cand.len() > 16 {
+        cand.sort_by(|&a, &b| {
+            let da = (disk.center.dist(&points[a]) - disk.radius).abs();
+            let db = (disk.center.dist(&points[b]) - disk.radius).abs();
+            da.total_cmp(&db)
+        });
+        cand.truncate(16);
+        cand.sort_unstable();
+    }
+
+    let close = |d: &Disk| -> bool {
+        d.center.dist(&disk.center) <= 1e-6 * disk.radius.max(1.0)
+            && (d.radius - disk.radius).abs() <= 1e-6 * disk.radius.max(1.0)
+    };
+
+    if disk.radius <= 1e-12 {
+        if let Some(&i) = cand.first() {
+            return vec![i];
+        }
+    }
+    for (ai, &a) in cand.iter().enumerate() {
+        for &b in cand.iter().skip(ai + 1) {
+            if close(&Disk::from_two(points[a], points[b])) {
+                return vec![a, b];
+            }
+        }
+    }
+    for (ai, &a) in cand.iter().enumerate() {
+        for (bj, &b) in cand.iter().enumerate().skip(ai + 1) {
+            for &c in cand.iter().skip(bj + 1) {
+                if let Some(d) = Disk::circumcircle(points[a], points[b], points[c]) {
+                    if close(&d) {
+                        return vec![a, b, c];
+                    }
+                }
+            }
+        }
+    }
+    // Numerical fallback: return the (≤3) closest boundary candidates; the
+    // caller treats the support as advisory.
+    cand.truncate(3);
+    cand
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(99)
+    }
+
+    /// Brute-force MED for tiny inputs: try all 1-, 2-, 3-point disks.
+    fn brute_med(points: &[Point2]) -> Disk {
+        let n = points.len();
+        let mut best: Option<Disk> = None;
+        let mut consider = |d: Disk| {
+            if points.iter().all(|p| d.contains(p)) {
+                best = Some(match best {
+                    Some(cur) if cur.radius <= d.radius => cur,
+                    _ => d,
+                });
+            }
+        };
+        for i in 0..n {
+            consider(Disk::point(points[i]));
+            for j in i + 1..n {
+                consider(Disk::from_two(points[i], points[j]));
+                for k in j + 1..n {
+                    if let Some(d) = Disk::circumcircle(points[i], points[j], points[k]) {
+                        consider(d);
+                    }
+                }
+            }
+        }
+        best.unwrap_or(Disk::EMPTY)
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut r = rng();
+        assert_eq!(min_enclosing_disk(&[], &mut r).radius, -1.0);
+        let d = min_enclosing_disk(&[Point2::new(3.0, 4.0)], &mut r);
+        assert_eq!(d.radius, 0.0);
+        assert_eq!(d.center, Point2::new(3.0, 4.0));
+    }
+
+    #[test]
+    fn two_points() {
+        let mut r = rng();
+        let d = min_enclosing_disk(&[Point2::new(0.0, 0.0), Point2::new(2.0, 0.0)], &mut r);
+        assert!((d.radius - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn square_corners() {
+        let mut r = rng();
+        let pts = [
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(0.0, 1.0),
+            Point2::new(1.0, 1.0),
+        ];
+        let d = min_enclosing_disk(&pts, &mut r);
+        assert!((d.radius - (0.5f64.sqrt())).abs() < 1e-9);
+        for p in &pts {
+            assert!(d.contains(p));
+        }
+    }
+
+    #[test]
+    fn interior_points_do_not_matter() {
+        let mut r = rng();
+        let mut pts = vec![Point2::new(-5.0, 0.0), Point2::new(5.0, 0.0)];
+        for i in 0..100 {
+            let a = i as f64 * 0.37;
+            pts.push(Point2::new(3.0 * a.cos(), 2.0 * a.sin()));
+        }
+        let d = min_enclosing_disk(&pts, &mut r);
+        assert!((d.radius - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_small_sets() {
+        let mut r = rng();
+        for trial in 0..200u64 {
+            let mut tr = ChaCha8Rng::seed_from_u64(trial);
+            let n = 1 + (trial as usize % 9);
+            let pts: Vec<Point2> = (0..n)
+                .map(|_| {
+                    Point2::new(
+                        rand::Rng::gen_range(&mut tr, -10.0..10.0),
+                        rand::Rng::gen_range(&mut tr, -10.0..10.0),
+                    )
+                })
+                .collect();
+            let fast = min_enclosing_disk(&pts, &mut r);
+            let brute = brute_med(&pts);
+            assert!(
+                (fast.radius - brute.radius).abs() <= 1e-7 * brute.radius.max(1.0),
+                "trial {trial}: fast {} vs brute {}",
+                fast.radius,
+                brute.radius
+            );
+            for p in &pts {
+                assert!(fast.contains(p), "trial {trial}: point outside");
+            }
+        }
+    }
+
+    #[test]
+    fn support_set_reconstructs_disk() {
+        let mut r = rng();
+        for trial in 0..100u64 {
+            let mut tr = ChaCha8Rng::seed_from_u64(1000 + trial);
+            let n = 3 + (trial as usize % 30);
+            let pts: Vec<Point2> = (0..n)
+                .map(|_| {
+                    Point2::new(
+                        rand::Rng::gen_range(&mut tr, -10.0..10.0),
+                        rand::Rng::gen_range(&mut tr, -10.0..10.0),
+                    )
+                })
+                .collect();
+            let (disk, support) = min_enclosing_disk_with_support(&pts, &mut r);
+            assert!(!support.is_empty() && support.len() <= 3, "support {support:?}");
+            let sup_pts: Vec<Point2> = support.iter().map(|&i| pts[i]).collect();
+            let sup_disk = min_enclosing_disk(&sup_pts, &mut r);
+            assert!(
+                (sup_disk.radius - disk.radius).abs() <= 1e-5 * disk.radius.max(1.0),
+                "trial {trial}: support radius {} vs {}",
+                sup_disk.radius,
+                disk.radius
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_points_are_fine() {
+        let mut r = rng();
+        let pts = vec![Point2::new(1.0, 1.0); 50];
+        let d = min_enclosing_disk(&pts, &mut r);
+        assert_eq!(d.radius, 0.0);
+    }
+
+    #[test]
+    fn collinear_points() {
+        let mut r = rng();
+        let pts: Vec<Point2> = (0..50).map(|i| Point2::new(i as f64, 2.0 * i as f64)).collect();
+        let d = min_enclosing_disk(&pts, &mut r);
+        let expect = 0.5 * pts[0].dist(&pts[49]);
+        assert!((d.radius - expect).abs() < 1e-9 * expect);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pts: Vec<Point2> =
+            (0..500).map(|i| Point2::new((i as f64 * 0.7).sin() * 9.0, (i as f64 * 1.3).cos() * 9.0)).collect();
+        let d1 = min_enclosing_disk(&pts, &mut ChaCha8Rng::seed_from_u64(5));
+        let d2 = min_enclosing_disk(&pts, &mut ChaCha8Rng::seed_from_u64(5));
+        assert_eq!(d1, d2);
+    }
+}

@@ -1,0 +1,57 @@
+//! # `gossip-sim` — synchronous uniform-gossip network simulator
+//!
+//! The network model of the paper (Section 1.2): a fixed set of `n`
+//! anonymous nodes operating in synchronous rounds. In each round a node
+//! may execute any number of *push* operations (send a message to a node
+//! chosen uniformly at random) and *pull* operations (ask a node chosen
+//! uniformly at random to send it a message); messages sent or requested
+//! in round `i` arrive at the beginning of round `i + 1`. The number of
+//! push and pull operations a node executes in a round is its
+//! *communication work*.
+//!
+//! ## Round structure
+//!
+//! Following the paper's accounting convention ("for simplicity we just
+//! assume that an iteration of the repeat loop takes one round", Section
+//! 2), one simulated round corresponds to one iteration of a distributed
+//! algorithm's main loop and is split into four phases:
+//!
+//! 1. **pull** — every node issues pull requests ([`Protocol::pulls`]);
+//! 2. **serve** — each request is served by a uniformly random node
+//!    against its start-of-round state ([`Protocol::serve`]);
+//! 3. **compute** — every node processes its pull responses, updates its
+//!    state, and issues pushes ([`Protocol::compute`]);
+//! 4. **absorb** — pushed messages are delivered to uniformly random
+//!    nodes, which absorb them ([`Protocol::absorb`]).
+//!
+//! On a real network each such round costs a small constant number of
+//! communication rounds; the paper's round counts (and ours) count
+//! iterations. Work is counted exactly: one unit per push and per pull.
+//!
+//! ## Determinism and parallelism
+//!
+//! Every (round, node, phase) triple gets its own counter-derived
+//! [`rand_chacha::ChaCha8Rng`] stream (see [`rng::derive_rng`]), so a
+//! simulation's outcome depends only on the master seed — not on thread
+//! scheduling. Rounds are stepped with Rayon data-parallelism over nodes
+//! when the network is large enough to benefit; results are bit-identical
+//! in sequential and parallel mode (tested).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod net;
+pub mod protocol;
+pub mod rng;
+
+pub use metrics::{Metrics, RoundMetrics};
+pub use net::{Network, NetworkConfig, RunOutcome};
+pub use protocol::{NodeControl, Protocol, Response, Served};
+
+/// Identifier of a node within one simulated network (dense `0..n`).
+///
+/// Node identifiers exist only at the simulator level (to index state);
+/// the protocols themselves never read them except to seed per-node
+/// randomness, preserving the paper's anonymous-nodes assumption.
+pub type NodeId = u32;

@@ -1,0 +1,101 @@
+//! Per-round and cumulative communication-work accounting.
+
+/// Metrics for one simulated round.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RoundMetrics {
+    /// Round index (0-based).
+    pub round: u64,
+    /// Total pull operations issued by live nodes.
+    pub pulls: u64,
+    /// Total push operations issued by live nodes.
+    pub pushes: u64,
+    /// Maximum per-node communication work (pulls + pushes issued).
+    pub max_node_work: u64,
+    /// Pull requests that were served with a message (not failed).
+    pub served: u64,
+    /// Total message volume in `O(log n)`-bit words (pushes + responses).
+    pub msg_words: u64,
+    /// Sum of protocol-defined node loads at the end of the round.
+    pub total_load: u64,
+    /// Maximum protocol-defined node load at the end of the round.
+    pub max_load: u64,
+    /// Number of nodes that have halted by the end of the round.
+    pub halted: u64,
+}
+
+/// Cumulative metrics over a run.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    /// One entry per simulated round.
+    pub rounds: Vec<RoundMetrics>,
+}
+
+impl Metrics {
+    /// Number of simulated rounds.
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Whether any rounds were simulated.
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// Largest per-node work observed in any round.
+    pub fn max_node_work(&self) -> u64 {
+        self.rounds.iter().map(|r| r.max_node_work).max().unwrap_or(0)
+    }
+
+    /// Largest per-node load observed in any round.
+    pub fn max_load(&self) -> u64 {
+        self.rounds.iter().map(|r| r.max_load).max().unwrap_or(0)
+    }
+
+    /// Total operations (pulls + pushes) across the run.
+    pub fn total_ops(&self) -> u64 {
+        self.rounds.iter().map(|r| r.pulls + r.pushes).sum()
+    }
+
+    /// Total message words across the run.
+    pub fn total_msg_words(&self) -> u64 {
+        self.rounds.iter().map(|r| r.msg_words).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates() {
+        let mut m = Metrics::default();
+        assert!(m.is_empty());
+        m.rounds.push(RoundMetrics {
+            round: 0,
+            pulls: 10,
+            pushes: 5,
+            max_node_work: 4,
+            served: 9,
+            msg_words: 14,
+            total_load: 100,
+            max_load: 3,
+            halted: 0,
+        });
+        m.rounds.push(RoundMetrics {
+            round: 1,
+            pulls: 2,
+            pushes: 8,
+            max_node_work: 6,
+            served: 2,
+            msg_words: 10,
+            total_load: 90,
+            max_load: 9,
+            halted: 5,
+        });
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.max_node_work(), 6);
+        assert_eq!(m.max_load(), 9);
+        assert_eq!(m.total_ops(), 25);
+        assert_eq!(m.total_msg_words(), 24);
+    }
+}

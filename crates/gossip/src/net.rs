@@ -1,0 +1,531 @@
+//! The network simulator itself.
+
+use crate::metrics::{Metrics, RoundMetrics};
+use crate::protocol::{NodeControl, Protocol, Response};
+use crate::rng::{derive_rng, phase};
+use crate::NodeId;
+use rand::Rng;
+use rayon::prelude::*;
+
+/// Simulator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct NetworkConfig {
+    /// Master seed; the entire simulation is a deterministic function of
+    /// the seed, the protocol, and the initial states.
+    pub seed: u64,
+    /// Step nodes with Rayon when `n >= parallel_threshold`.
+    pub parallel: bool,
+    /// Minimum network size at which parallel stepping pays off.
+    pub parallel_threshold: usize,
+}
+
+impl NetworkConfig {
+    /// Config with the given seed and default parallel settings.
+    pub fn with_seed(seed: u64) -> Self {
+        NetworkConfig { seed, parallel: true, parallel_threshold: 4096 }
+    }
+
+    /// Forces sequential stepping (mainly for determinism tests).
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+}
+
+/// How a [`Network::run_until`] call ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every node halted.
+    AllHalted {
+        /// Total rounds simulated when the run stopped.
+        rounds: u64,
+    },
+    /// The caller's stop predicate returned `true`.
+    Predicate {
+        /// Total rounds simulated when the run stopped.
+        rounds: u64,
+    },
+    /// The round budget was exhausted first.
+    MaxRounds {
+        /// Total rounds simulated when the run stopped.
+        rounds: u64,
+    },
+}
+
+impl RunOutcome {
+    /// Rounds simulated when the run stopped.
+    pub fn rounds(&self) -> u64 {
+        match *self {
+            RunOutcome::AllHalted { rounds }
+            | RunOutcome::Predicate { rounds }
+            | RunOutcome::MaxRounds { rounds } => rounds,
+        }
+    }
+
+    /// Whether the run ended because every node halted.
+    pub fn all_halted(&self) -> bool {
+        matches!(self, RunOutcome::AllHalted { .. })
+    }
+}
+
+/// A simulated gossip network running protocol `P`.
+pub struct Network<P: Protocol> {
+    protocol: P,
+    states: Vec<P::State>,
+    halted: Vec<bool>,
+    round: u64,
+    cfg: NetworkConfig,
+    metrics: Metrics,
+}
+
+impl<P: Protocol> Network<P> {
+    /// Creates a network with one state per node.
+    ///
+    /// # Panics
+    /// Panics on an empty state vector.
+    pub fn new(protocol: P, states: Vec<P::State>, cfg: NetworkConfig) -> Self {
+        assert!(!states.is_empty(), "network needs at least one node");
+        let n = states.len();
+        Network { protocol, states, halted: vec![false; n], round: 0, cfg, metrics: Metrics::default() }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The protocol instance.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// All node states (halted nodes keep their final state).
+    pub fn states(&self) -> &[P::State] {
+        &self.states
+    }
+
+    /// Rounds simulated so far.
+    pub fn round_index(&self) -> u64 {
+        self.round
+    }
+
+    /// Per-round metrics so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Number of halted nodes.
+    pub fn halted_count(&self) -> u64 {
+        self.halted.iter().filter(|&&h| h).count() as u64
+    }
+
+    /// Whether node `i` has halted.
+    pub fn is_halted(&self, i: usize) -> bool {
+        self.halted[i]
+    }
+
+    fn use_parallel(&self) -> bool {
+        self.cfg.parallel && self.states.len() >= self.cfg.parallel_threshold
+    }
+
+    /// Simulates one round; returns that round's metrics.
+    pub fn round(&mut self) -> RoundMetrics {
+        let n = self.states.len();
+        let seed = self.cfg.seed;
+        let round = self.round;
+        let protocol = &self.protocol;
+
+        // ---- Phase 1: pull requests -----------------------------------
+        let queries: Vec<Vec<P::Query>> = {
+            let states = &self.states;
+            let halted = &self.halted;
+            let emit = |i: usize| -> Vec<P::Query> {
+                if halted[i] {
+                    return Vec::new();
+                }
+                let mut rng = derive_rng(seed, round, i as u64, phase::PULL);
+                let mut out = Vec::new();
+                protocol.pulls(i as NodeId, &states[i], &mut rng, &mut out);
+                out
+            };
+            if self.use_parallel() {
+                (0..n).into_par_iter().map(emit).collect()
+            } else {
+                (0..n).map(emit).collect()
+            }
+        };
+
+        // ---- Phase 2: serve pulls against the start-of-round snapshot --
+        let responses: Vec<Vec<Option<Response<P::Msg>>>> = {
+            let states = &self.states;
+            let serve_node = |i: usize| -> Vec<Option<Response<P::Msg>>> {
+                let qs = &queries[i];
+                if qs.is_empty() {
+                    return Vec::new();
+                }
+                let mut target_rng = derive_rng(seed, round, i as u64, phase::PULL_TARGET);
+                let mut serve_rng = derive_rng(seed, round, i as u64, phase::SERVE);
+                qs.iter()
+                    .map(|q| {
+                        let t = target_rng.gen_range(0..n);
+                        protocol
+                            .serve(t as NodeId, &states[t], q, &mut serve_rng)
+                            .map(|served| Response { msg: served.msg, from: t as NodeId, slot: served.slot })
+                    })
+                    .collect()
+            };
+            if self.use_parallel() {
+                (0..n).into_par_iter().map(serve_node).collect()
+            } else {
+                (0..n).map(serve_node).collect()
+            }
+        };
+
+        // ---- Phase 3: compute + emit pushes ----------------------------
+        struct ComputeOut<M> {
+            pushes: Vec<M>,
+            halt: bool,
+        }
+        let pull_counts: Vec<u64> = queries.iter().map(|q| q.len() as u64).collect();
+        let served: u64 = responses
+            .iter()
+            .map(|rs| rs.iter().filter(|r| r.is_some()).count() as u64)
+            .sum();
+        let response_words: u64 = responses
+            .iter()
+            .flat_map(|rs| rs.iter())
+            .filter_map(|r| r.as_ref())
+            .map(|r| protocol.msg_words(&r.msg) as u64)
+            .sum();
+
+        let compute_outs: Vec<ComputeOut<P::Msg>> = {
+            let halted = &self.halted;
+            let step = |(i, (state, resp)): (usize, (&mut P::State, Vec<Option<Response<P::Msg>>>))| {
+                if halted[i] {
+                    return ComputeOut { pushes: Vec::new(), halt: false };
+                }
+                let mut rng = derive_rng(seed, round, i as u64, phase::COMPUTE);
+                let mut pushes = Vec::new();
+                let control = protocol.compute(i as NodeId, state, resp, &mut rng, &mut pushes);
+                ComputeOut { pushes, halt: control == NodeControl::Halt }
+            };
+            if self.use_parallel() {
+                self.states
+                    .par_iter_mut()
+                    .zip(responses.into_par_iter())
+                    .enumerate()
+                    .map(step)
+                    .collect()
+            } else {
+                self.states
+                    .iter_mut()
+                    .zip(responses)
+                    .enumerate()
+                    .map(step)
+                    .collect()
+            }
+        };
+
+        // ---- Phase 4: deliver pushes, absorb ---------------------------
+        let mut pushes_total: u64 = 0;
+        let mut push_words: u64 = 0;
+        let mut max_work: u64 = 0;
+        let mut inboxes: Vec<Vec<P::Msg>> = (0..n).map(|_| Vec::new()).collect();
+        for (i, out) in compute_outs.iter().enumerate() {
+            let work = pull_counts[i] + out.pushes.len() as u64;
+            max_work = max_work.max(work);
+            pushes_total += out.pushes.len() as u64;
+            if out.pushes.is_empty() {
+                continue;
+            }
+            let mut dest_rng = derive_rng(seed, round, i as u64, phase::PUSH_DEST);
+            for msg in &out.pushes {
+                push_words += protocol.msg_words(msg) as u64;
+                let dest = dest_rng.gen_range(0..n);
+                inboxes[dest].push(msg.clone());
+            }
+        }
+
+        let absorb_halts: Vec<bool> = {
+            let halted = &self.halted;
+            let step = |(i, (state, inbox)): (usize, (&mut P::State, Vec<P::Msg>))| {
+                if halted[i] {
+                    return false;
+                }
+                let mut rng = derive_rng(seed, round, i as u64, phase::ABSORB);
+                protocol.absorb(i as NodeId, state, inbox, &mut rng) == NodeControl::Halt
+            };
+            if self.use_parallel() {
+                self.states
+                    .par_iter_mut()
+                    .zip(inboxes.into_par_iter())
+                    .enumerate()
+                    .map(step)
+                    .collect()
+            } else {
+                self.states
+                    .iter_mut()
+                    .zip(inboxes)
+                    .enumerate()
+                    .map(step)
+                    .collect()
+            }
+        };
+
+        for i in 0..n {
+            if compute_outs[i].halt || absorb_halts[i] {
+                self.halted[i] = true;
+            }
+        }
+
+        // ---- Metrics ----------------------------------------------------
+        let (total_load, max_load) = {
+            let loads = self.states.iter().map(|s| self.protocol.load(s) as u64);
+            let mut total = 0u64;
+            let mut max = 0u64;
+            for l in loads {
+                total += l;
+                max = max.max(l);
+            }
+            (total, max)
+        };
+        let rm = RoundMetrics {
+            round,
+            pulls: pull_counts.iter().sum(),
+            pushes: pushes_total,
+            max_node_work: max_work,
+            served,
+            msg_words: push_words + response_words,
+            total_load,
+            max_load,
+            halted: self.halted_count(),
+        };
+        self.metrics.rounds.push(rm);
+        self.round += 1;
+        rm
+    }
+
+    /// Runs until every node halts or `max_rounds` is exhausted.
+    pub fn run(&mut self, max_rounds: u64) -> RunOutcome {
+        self.run_until(max_rounds, |_| false)
+    }
+
+    /// Runs until every node halts, the predicate fires (checked after
+    /// each round), or `max_rounds` is exhausted.
+    pub fn run_until(
+        &mut self,
+        max_rounds: u64,
+        mut stop: impl FnMut(&Self) -> bool,
+    ) -> RunOutcome {
+        for _ in 0..max_rounds {
+            self.round();
+            if self.halted.iter().all(|&h| h) {
+                return RunOutcome::AllHalted { rounds: self.round };
+            }
+            if stop(self) {
+                return RunOutcome::Predicate { rounds: self.round };
+            }
+        }
+        RunOutcome::MaxRounds { rounds: self.round }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Served;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Push-based rumor spreading: informed nodes push one token per
+    /// round; nodes halt one round after becoming informed... they halt
+    /// immediately once informed and having pushed once.
+    struct PushRumor;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct RumorState {
+        informed: bool,
+        pushes_sent: u64,
+        received: u64,
+    }
+
+    impl Protocol for PushRumor {
+        type State = RumorState;
+        type Msg = ();
+        type Query = ();
+
+        fn pulls(&self, _: NodeId, _: &RumorState, _: &mut ChaCha8Rng, _: &mut Vec<()>) {}
+
+        fn serve(&self, _: NodeId, _: &RumorState, _: &(), _: &mut ChaCha8Rng) -> Option<Served<()>> {
+            None
+        }
+
+        fn compute(
+            &self,
+            _: NodeId,
+            state: &mut RumorState,
+            _: Vec<Option<Response<()>>>,
+            _: &mut ChaCha8Rng,
+            pushes: &mut Vec<()>,
+        ) -> NodeControl {
+            if state.informed {
+                pushes.push(());
+                state.pushes_sent += 1;
+            }
+            NodeControl::Continue
+        }
+
+        fn absorb(
+            &self,
+            _: NodeId,
+            state: &mut RumorState,
+            delivered: Vec<()>,
+            _: &mut ChaCha8Rng,
+        ) -> NodeControl {
+            state.received += delivered.len() as u64;
+            if !delivered.is_empty() {
+                state.informed = true;
+            }
+            NodeControl::Continue
+        }
+
+        fn load(&self, s: &RumorState) -> usize {
+            usize::from(s.informed)
+        }
+    }
+
+    fn rumor_states(n: usize) -> Vec<RumorState> {
+        (0..n)
+            .map(|i| RumorState { informed: i == 0, pushes_sent: 0, received: 0 })
+            .collect()
+    }
+
+    #[test]
+    fn rumor_spreads_in_logarithmic_rounds() {
+        let n = 4096;
+        let mut net = Network::new(PushRumor, rumor_states(n), NetworkConfig::with_seed(1));
+        let outcome = net.run_until(200, |net| net.states().iter().all(|s| s.informed));
+        let rounds = outcome.rounds();
+        // Push-only rumor spreading takes Θ(log n) rounds; allow slack.
+        assert!(rounds >= 10, "rounds = {rounds}");
+        assert!(rounds <= 60, "rounds = {rounds}");
+    }
+
+    #[test]
+    fn push_conservation() {
+        let n = 512;
+        let mut net = Network::new(PushRumor, rumor_states(n), NetworkConfig::with_seed(2));
+        for _ in 0..30 {
+            net.round();
+        }
+        let sent: u64 = net.states().iter().map(|s| s.pushes_sent).sum();
+        let recv: u64 = net.states().iter().map(|s| s.received).sum();
+        assert_eq!(sent, recv, "every push is delivered exactly once");
+        let metric_pushes: u64 = net.metrics().rounds.iter().map(|r| r.pushes).sum();
+        assert_eq!(metric_pushes, sent);
+    }
+
+    #[test]
+    fn deterministic_across_parallelism() {
+        let n = 6000; // above the default parallel threshold
+        let run = |parallel: bool| {
+            let cfg = if parallel {
+                NetworkConfig { seed: 3, parallel: true, parallel_threshold: 1 }
+            } else {
+                NetworkConfig::with_seed(3).sequential()
+            };
+            let mut net = Network::new(PushRumor, rumor_states(n), cfg);
+            for _ in 0..25 {
+                net.round();
+            }
+            (
+                net.states().to_vec(),
+                net.metrics().rounds.clone(),
+            )
+        };
+        let (s_par, m_par) = run(true);
+        let (s_seq, m_seq) = run(false);
+        assert_eq!(s_par, s_seq, "states must be identical");
+        assert_eq!(m_par, m_seq, "metrics must be identical");
+    }
+
+    /// Pull-based rumor: uninformed nodes pull; informed nodes serve.
+    struct PullRumor;
+
+    impl Protocol for PullRumor {
+        type State = RumorState;
+        type Msg = ();
+        type Query = ();
+
+        fn pulls(&self, _: NodeId, s: &RumorState, _: &mut ChaCha8Rng, out: &mut Vec<()>) {
+            if !s.informed {
+                out.push(());
+            }
+        }
+
+        fn serve(&self, _: NodeId, s: &RumorState, _: &(), _: &mut ChaCha8Rng) -> Option<Served<()>> {
+            s.informed.then_some(Served { msg: (), slot: 0 })
+        }
+
+        fn compute(
+            &self,
+            _: NodeId,
+            state: &mut RumorState,
+            responses: Vec<Option<Response<()>>>,
+            _: &mut ChaCha8Rng,
+            _: &mut Vec<()>,
+        ) -> NodeControl {
+            if responses.iter().any(|r| r.is_some()) {
+                state.informed = true;
+            }
+            NodeControl::Continue
+        }
+
+        fn absorb(&self, _: NodeId, s: &mut RumorState, _: Vec<()>, _: &mut ChaCha8Rng) -> NodeControl {
+            if s.informed {
+                NodeControl::Halt
+            } else {
+                NodeControl::Continue
+            }
+        }
+    }
+
+    #[test]
+    fn pull_rumor_reaches_everyone_and_halts() {
+        let n = 2048;
+        let mut net = Network::new(PullRumor, rumor_states(n), NetworkConfig::with_seed(4));
+        let outcome = net.run(300);
+        assert!(outcome.all_halted(), "outcome {outcome:?}");
+        assert!(net.states().iter().all(|s| s.informed));
+        // Work per node per round is at most 1 pull.
+        assert!(net.metrics().max_node_work() <= 1);
+    }
+
+    #[test]
+    fn halted_nodes_stop_working_but_still_serve() {
+        let n = 256;
+        let mut net = Network::new(PullRumor, rumor_states(n), NetworkConfig::with_seed(5));
+        net.run(300);
+        // After everyone halts, further rounds generate no work.
+        let rm = net.round();
+        assert_eq!(rm.pulls, 0);
+        assert_eq!(rm.pushes, 0);
+        assert_eq!(rm.halted, n as u64);
+    }
+
+    #[test]
+    fn metrics_track_round_indices() {
+        let mut net = Network::new(PushRumor, rumor_states(64), NetworkConfig::with_seed(6));
+        for _ in 0..5 {
+            net.round();
+        }
+        let idx: Vec<u64> = net.metrics().rounds.iter().map(|r| r.round).collect();
+        assert_eq!(idx, vec![0, 1, 2, 3, 4]);
+        assert_eq!(net.round_index(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_network_panics() {
+        let _ = Network::new(PushRumor, vec![], NetworkConfig::with_seed(0));
+    }
+}

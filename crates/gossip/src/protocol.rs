@@ -1,0 +1,116 @@
+//! The [`Protocol`] trait: what a distributed algorithm must implement to
+//! run on the simulator.
+
+use crate::NodeId;
+use rand_chacha::ChaCha8Rng;
+
+/// What a node reports at the end of a phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeControl {
+    /// Keep participating.
+    Continue,
+    /// The node has produced its output and halts. Halted nodes no longer
+    /// issue operations or change state, but they still serve incoming
+    /// pull requests (their state is frozen, not gone — a crashed node
+    /// would be a different model).
+    Halt,
+}
+
+/// A message returned by [`Protocol::serve`].
+#[derive(Clone, Debug)]
+pub struct Served<M> {
+    /// The message payload.
+    pub msg: M,
+    /// Which *copy* inside the server's state was chosen (e.g. an index
+    /// into its local element list). Lets pullers distinguish two pulls
+    /// that happened to return the same element copy from the same node,
+    /// which the paper's sampling procedure (Section 2.1, Lemma 11) needs
+    /// in order to count *distinct* returned elements.
+    pub slot: u64,
+}
+
+/// A pull response as delivered to the requesting node.
+#[derive(Clone, Debug)]
+pub struct Response<M> {
+    /// The payload.
+    pub msg: M,
+    /// The node that served the request.
+    pub from: NodeId,
+    /// The served copy's slot (see [`Served::slot`]).
+    pub slot: u64,
+}
+
+/// A distributed algorithm in the synchronous uniform-gossip model.
+///
+/// See the crate-level documentation for the four-phase round structure.
+/// All methods receive a dedicated deterministic RNG; implementations
+/// must draw randomness only from it (never from thread-local RNGs) to
+/// keep simulations reproducible.
+pub trait Protocol: Sync {
+    /// Per-node state.
+    type State: Send + Sync;
+    /// Push/response message payload. The simulator counts messages, and
+    /// [`Protocol::msg_words`] declares each payload's size in `O(log n)`-
+    /// bit machine words for the bandwidth accounting.
+    type Msg: Clone + Send + Sync;
+    /// Pull-request payload (e.g. "send me a random element of `H(v)`").
+    type Query: Clone + Send + Sync;
+
+    /// Phase 1: issue this round's pull requests into `out`.
+    ///
+    /// Each entry costs one unit of work; targets are chosen uniformly at
+    /// random by the simulator.
+    fn pulls(
+        &self,
+        id: NodeId,
+        state: &Self::State,
+        rng: &mut ChaCha8Rng,
+        out: &mut Vec<Self::Query>,
+    );
+
+    /// Phase 2: serve a pull request against the start-of-round state.
+    ///
+    /// Return `None` if the node has nothing to offer (the pull *fails*).
+    fn serve(
+        &self,
+        id: NodeId,
+        state: &Self::State,
+        query: &Self::Query,
+        rng: &mut ChaCha8Rng,
+    ) -> Option<Served<Self::Msg>>;
+
+    /// Phase 3: process pull responses (index-aligned with the queries
+    /// emitted in phase 1; `None` = failed pull), update state, and emit
+    /// pushes into `pushes`. Each push costs one unit of work and is
+    /// delivered to a uniformly random node in phase 4.
+    fn compute(
+        &self,
+        id: NodeId,
+        state: &mut Self::State,
+        responses: Vec<Option<Response<Self::Msg>>>,
+        rng: &mut ChaCha8Rng,
+        pushes: &mut Vec<Self::Msg>,
+    ) -> NodeControl;
+
+    /// Phase 4: absorb the messages delivered to this node this round.
+    fn absorb(
+        &self,
+        id: NodeId,
+        state: &mut Self::State,
+        delivered: Vec<Self::Msg>,
+        rng: &mut ChaCha8Rng,
+    ) -> NodeControl;
+
+    /// Size of a message in `O(log n)`-bit words, for bandwidth metrics.
+    /// Default: one word (a single element identifier/coordinate pair).
+    fn msg_words(&self, _msg: &Self::Msg) -> usize {
+        1
+    }
+
+    /// Protocol-defined load of a node (e.g. `|H(v_i)|`), recorded per
+    /// round in the metrics so experiments can verify the paper's memory
+    /// bounds (Lemma 9 / Lemma 20). Default: 0.
+    fn load(&self, _state: &Self::State) -> usize {
+        0
+    }
+}

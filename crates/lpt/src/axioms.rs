@@ -1,0 +1,270 @@
+//! Randomized checkers for the LP-type axioms and the solver contract.
+//!
+//! Every `LpType` implementation in this workspace is validated against
+//! these checkers in its test suite (both with hand-written cases and under
+//! `proptest`). The checkers evaluate `f(S)` through the implementation's
+//! own `basis_of`, so what they really verify is *self-consistency*: that
+//! the (basis computation, violation test) pair behaves like a function
+//! `f` satisfying monotonicity and locality. That self-consistency is
+//! precisely the precondition for the correctness of Clarkson-style
+//! algorithms.
+
+use crate::problem::{BasisOf, LpType};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::cmp::Ordering;
+
+/// A concrete counterexample to one of the axioms.
+#[derive(Clone, Debug)]
+pub enum AxiomViolation<E: std::fmt::Debug> {
+    /// `f(F) > f(G)` for some `F ⊆ G`.
+    Monotonicity {
+        /// The smaller set.
+        subset: Vec<E>,
+        /// The larger set.
+        superset: Vec<E>,
+    },
+    /// `f(F) = f(G)`, `h` violates `G` but not `F`, for some `F ⊆ G`.
+    Locality {
+        /// The smaller set.
+        subset: Vec<E>,
+        /// The larger set.
+        superset: Vec<E>,
+        /// The distinguishing element.
+        element: E,
+    },
+    /// `basis_of` broke its contract.
+    BasisContract {
+        /// Human-readable description of the broken clause.
+        reason: String,
+        /// The input set.
+        input: Vec<E>,
+    },
+}
+
+impl<E: std::fmt::Debug> std::fmt::Display for AxiomViolation<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AxiomViolation::Monotonicity { subset, superset } => {
+                write!(f, "monotonicity violated: f({subset:?}) > f({superset:?})")
+            }
+            AxiomViolation::Locality { subset, superset, element } => write!(
+                f,
+                "locality violated: f({subset:?}) = f({superset:?}) but {element:?} \
+                 violates only the superset"
+            ),
+            AxiomViolation::BasisContract { reason, input } => {
+                write!(f, "basis contract violated on {input:?}: {reason}")
+            }
+        }
+    }
+}
+
+fn value_of<P: LpType>(p: &P, s: &[P::Element]) -> BasisOf<P> {
+    p.basis_of(s)
+}
+
+/// Checks monotonicity on `trials` random chains `F ⊆ G ⊆ elements`.
+///
+/// A violation is flagged only when `f(F) > f(G)` *clearly*, i.e. the
+/// exact order says `Greater` and the values are not within the problem's
+/// numerical tolerance ([`LpType::values_close`]).
+pub fn check_monotonicity<P: LpType, R: Rng + ?Sized>(
+    problem: &P,
+    elements: &[P::Element],
+    trials: usize,
+    rng: &mut R,
+) -> Result<(), AxiomViolation<P::Element>> {
+    for _ in 0..trials {
+        let (subset, superset) = random_chain(elements, rng);
+        if subset.is_empty() {
+            continue;
+        }
+        let fv = value_of(problem, &subset);
+        let gv = value_of(problem, &superset);
+        if problem.cmp_value(&fv.value, &gv.value) == Ordering::Greater
+            && !problem.values_close(&fv.value, &gv.value)
+        {
+            return Err(AxiomViolation::Monotonicity { subset, superset });
+        }
+    }
+    Ok(())
+}
+
+/// Checks locality on `trials` random chains `F ⊆ G` with `f(F) = f(G)`
+/// and random probe elements `h`.
+///
+/// Semantic form of the axiom, evaluated through `basis_of` rather than
+/// the violation test so that the check is meaningful even when the two
+/// bases coincide: whenever `f(F) ≈ f(G)`, `f(G ∪ {h})` clearly exceeds
+/// `f(G)`, and `f(F ∪ {h})` clearly does *not* exceed `f(F)`, locality is
+/// broken. "Clearly" means beyond [`LpType::values_close`] tolerance.
+pub fn check_locality<P: LpType, R: Rng + ?Sized>(
+    problem: &P,
+    elements: &[P::Element],
+    trials: usize,
+    rng: &mut R,
+) -> Result<(), AxiomViolation<P::Element>> {
+    if elements.is_empty() {
+        return Ok(());
+    }
+    for _ in 0..trials {
+        let (subset, superset) = random_chain(elements, rng);
+        if subset.is_empty() {
+            continue;
+        }
+        let fb = value_of(problem, &subset);
+        let gb = value_of(problem, &superset);
+        if !problem.values_close(&fb.value, &gb.value) {
+            continue;
+        }
+        let h = elements.choose(rng).expect("non-empty").clone();
+        let with = |base: &[P::Element]| {
+            let mut v = base.to_vec();
+            v.push(h.clone());
+            v
+        };
+        let gvh = value_of(problem, &with(&superset));
+        let g_clearly_violated = problem.cmp_value(&gvh.value, &gb.value) == Ordering::Greater
+            && !problem.values_close(&gvh.value, &gb.value);
+        if !g_clearly_violated {
+            continue;
+        }
+        let fvh = value_of(problem, &with(&subset));
+        let f_increased = problem.cmp_value(&fvh.value, &fb.value) == Ordering::Greater
+            || problem.values_close(&fvh.value, &fb.value);
+        if !f_increased {
+            return Err(AxiomViolation::Locality { subset, superset, element: h });
+        }
+    }
+    Ok(())
+}
+
+/// Checks the `basis_of` contract on `trials` random subsets: the returned
+/// basis must be a sub(multi)set of the input, have at most `dim` elements,
+/// and have no violators within the input set.
+pub fn check_basis_contract<P: LpType, R: Rng + ?Sized>(
+    problem: &P,
+    elements: &[P::Element],
+    trials: usize,
+    rng: &mut R,
+) -> Result<(), AxiomViolation<P::Element>> {
+    for _ in 0..trials {
+        let mut input: Vec<P::Element> = elements
+            .iter()
+            .filter(|_| rng.gen_bool(0.5))
+            .cloned()
+            .collect();
+        if input.is_empty() {
+            if let Some(e) = elements.choose(rng) {
+                input.push(e.clone());
+            } else {
+                return Ok(());
+            }
+        }
+        let mut basis = problem.basis_of(&input);
+        problem.canonicalize(&mut basis);
+        if basis.len() > problem.dim() {
+            return Err(AxiomViolation::BasisContract {
+                reason: format!("basis size {} exceeds dimension {}", basis.len(), problem.dim()),
+                input,
+            });
+        }
+        for b in &basis.elements {
+            if !input.iter().any(|e| e == b) {
+                return Err(AxiomViolation::BasisContract {
+                    reason: format!("basis element {b:?} not in input"),
+                    input,
+                });
+            }
+        }
+        for h in &input {
+            if problem.violates(&basis, h) {
+                return Err(AxiomViolation::BasisContract {
+                    reason: format!("input element {h:?} violates own basis"),
+                    input,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs all three checks.
+pub fn check_all<P: LpType, R: Rng + ?Sized>(
+    problem: &P,
+    elements: &[P::Element],
+    trials: usize,
+    rng: &mut R,
+) -> Result<(), AxiomViolation<P::Element>> {
+    check_monotonicity(problem, elements, trials, rng)?;
+    check_locality(problem, elements, trials, rng)?;
+    check_basis_contract(problem, elements, trials, rng)?;
+    Ok(())
+}
+
+/// Draws a random chain `F ⊆ G ⊆ elements` by independent thinning.
+fn random_chain<E: Clone, R: Rng + ?Sized>(elements: &[E], rng: &mut R) -> (Vec<E>, Vec<E>) {
+    let superset: Vec<E> = elements.iter().filter(|_| rng.gen_bool(0.7)).cloned().collect();
+    let subset: Vec<E> = superset.iter().filter(|_| rng.gen_bool(0.6)).cloned().collect();
+    (subset, superset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::test_problems::{Interval, MaxProblem};
+    use crate::problem::Basis;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn interval_satisfies_axioms() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let elems: Vec<i64> = (0..40).map(|i| (i * 37) % 101 - 50).collect();
+        check_all(&Interval, &elems, 500, &mut rng).unwrap();
+    }
+
+    #[test]
+    fn max_satisfies_axioms() {
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let elems: Vec<i64> = (0..40).map(|i| (i * 61) % 97).collect();
+        check_all(&MaxProblem, &elems, 500, &mut rng).unwrap();
+    }
+
+    /// A deliberately broken problem: `f` = *minimum* of the set, which is
+    /// anti-monotone, so the monotonicity checker must catch it.
+    #[derive(Clone, Copy, Debug)]
+    struct BrokenMin;
+
+    impl LpType for BrokenMin {
+        type Element = i64;
+        type Value = i64;
+        fn dim(&self) -> usize {
+            1
+        }
+        fn basis_of(&self, elems: &[i64]) -> Basis<i64, i64> {
+            match elems.iter().min() {
+                Some(&m) => Basis::new(vec![m], m),
+                None => Basis::new(vec![], i64::MAX),
+            }
+        }
+        fn violates(&self, basis: &Basis<i64, i64>, h: &i64) -> bool {
+            basis.elements.first().is_none_or(|&m| *h < m)
+        }
+        fn cmp_value(&self, a: &i64, b: &i64) -> std::cmp::Ordering {
+            a.cmp(b)
+        }
+        fn cmp_element(&self, a: &i64, b: &i64) -> std::cmp::Ordering {
+            a.cmp(b)
+        }
+    }
+
+    #[test]
+    fn broken_problem_is_caught() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let elems: Vec<i64> = (0..30).collect();
+        let res = check_monotonicity(&BrokenMin, &elems, 2000, &mut rng);
+        assert!(matches!(res, Err(AxiomViolation::Monotonicity { .. })));
+    }
+}

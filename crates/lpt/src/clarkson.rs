@@ -1,0 +1,233 @@
+//! Clarkson's sequential algorithm for LP-type problems (Algorithm 1).
+//!
+//! This is the multiplicative-weights ("iterative reweighting") algorithm
+//! the paper builds on. Each element carries a multiplicity `µ_h` (initially
+//! 1). Each iteration samples a random sub-multiset `R` of size `r = 6·dim²`
+//! from `H(µ)`, computes an optimal basis of `R`, and collects the violators
+//! `V = {h : f(R) < f(R ∪ {h})}`. If the violator *mass* `µ(V)` is at most
+//! `|H(µ)| / (3·dim)` — a *successful* iteration — the multiplicity of every
+//! violator is doubled. The loop ends when `V = ∅`, at which point `f(R) =
+//! f(H)` (by locality) and the basis of `R` is an optimal basis of `H`.
+//!
+//! The expected number of iterations is `O(dim · log n)` (paper, Lemmas
+//! 1–2): each iteration is successful with probability ≥ 1/2 (Lemma 1 +
+//! Markov), and after `k·dim` successful iterations some element of an
+//! optimal basis has multiplicity ≥ 2^k while the total mass is below
+//! `n·e^{k/3}`, forcing termination once `k = Θ(log n)`.
+
+use crate::problem::{BasisOf, LpType};
+use crate::Multiset;
+use rand::Rng;
+
+/// Configuration knobs for [`clarkson_with_config`].
+#[derive(Clone, Debug)]
+#[derive(Default)]
+pub struct ClarksonConfig {
+    /// Sample size per iteration; defaults to `6·dim²` as in the paper.
+    pub sample_size: Option<usize>,
+    /// Safety valve: abort after this many iterations. The default
+    /// (100 + 200·dim·log2(n+2) iterations) is far beyond the expected
+    /// `O(dim log n)` and only trips if the problem violates the axioms.
+    pub max_iterations: Option<usize>,
+    /// Below this input size the problem is solved directly by a single
+    /// small-set basis computation; defaults to `6·dim²`.
+    pub direct_threshold: Option<usize>,
+}
+
+
+/// Counters describing one [`clarkson`] run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClarksonStats {
+    /// Total iterations of the repeat loop.
+    pub iterations: usize,
+    /// Iterations where `µ(V) ≤ |H(µ)| / (3·dim)` (weights were doubled).
+    pub successful_iterations: usize,
+    /// Total violation tests performed.
+    pub violation_tests: usize,
+    /// Total small-set basis computations performed.
+    pub basis_computations: usize,
+    /// Whether the input was small enough to solve directly.
+    pub solved_directly: bool,
+}
+
+/// The result of a [`clarkson`] run: the optimal basis plus run statistics.
+#[derive(Clone, Debug)]
+pub struct ClarksonResult<P: LpType> {
+    /// An optimal basis of the input, in canonical element order.
+    pub basis: BasisOf<P>,
+    /// Run statistics.
+    pub stats: ClarksonStats,
+}
+
+/// Errors from the sequential solver.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClarksonError {
+    /// The iteration safety valve tripped; almost certainly the problem
+    /// implementation violates the LP-type axioms or the basis contract.
+    IterationLimit {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+}
+
+impl std::fmt::Display for ClarksonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClarksonError::IterationLimit { iterations } => write!(
+                f,
+                "Clarkson iteration limit reached after {iterations} iterations; \
+                 the LpType implementation likely violates the axioms"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClarksonError {}
+
+/// Runs Clarkson's algorithm with default configuration.
+pub fn clarkson<P: LpType, R: Rng + ?Sized>(
+    problem: &P,
+    elements: &[P::Element],
+    rng: &mut R,
+) -> Result<ClarksonResult<P>, ClarksonError> {
+    clarkson_with_config(problem, elements, &ClarksonConfig::default(), rng)
+}
+
+/// Runs Clarkson's algorithm with explicit configuration.
+pub fn clarkson_with_config<P: LpType, R: Rng + ?Sized>(
+    problem: &P,
+    elements: &[P::Element],
+    config: &ClarksonConfig,
+    rng: &mut R,
+) -> Result<ClarksonResult<P>, ClarksonError> {
+    let d = problem.dim().max(1);
+    let r = config.sample_size.unwrap_or(6 * d * d).max(1);
+    let direct = config.direct_threshold.unwrap_or(6 * d * d);
+    let mut stats = ClarksonStats::default();
+
+    if elements.len() <= direct.max(r) {
+        stats.solved_directly = true;
+        stats.basis_computations = 1;
+        let mut basis = problem.basis_of(elements);
+        problem.canonicalize(&mut basis);
+        return Ok(ClarksonResult { basis, stats });
+    }
+
+    let n = elements.len();
+    let max_iters = config
+        .max_iterations
+        .unwrap_or(100 + 200 * d * (usize::BITS - (n + 2).leading_zeros()) as usize);
+
+    let mut mu = Multiset::with_unit_weights(elements.to_vec());
+    let mut scratch_sample: Vec<P::Element> = Vec::with_capacity(r);
+
+    loop {
+        stats.iterations += 1;
+        if stats.iterations > max_iters {
+            return Err(ClarksonError::IterationLimit { iterations: stats.iterations });
+        }
+
+        let sample_idx = mu
+            .sample_without_replacement(r, rng)
+            .expect("|H(µ)| >= |H| > r by construction");
+        scratch_sample.clear();
+        scratch_sample.extend(sample_idx.iter().map(|&i| mu.item(i).clone()));
+
+        stats.basis_computations += 1;
+        let mut basis = problem.basis_of(&scratch_sample);
+        problem.canonicalize(&mut basis);
+
+        // Collect violators over *distinct* elements; the violator mass is
+        // measured in multiplicities, matching the paper's |V| ≤ |H(µ)|/(3d).
+        let mut violators: Vec<usize> = Vec::new();
+        let mut violator_mass: u128 = 0;
+        for i in 0..mu.distinct_len() {
+            stats.violation_tests += 1;
+            if problem.violates(&basis, mu.item(i)) {
+                violator_mass = violator_mass.saturating_add(mu.multiplicity(i));
+                violators.push(i);
+            }
+        }
+
+        if violators.is_empty() {
+            return Ok(ClarksonResult { basis, stats });
+        }
+
+        if violator_mass <= mu.total() / (3 * d as u128) {
+            stats.successful_iterations += 1;
+            for &i in &violators {
+                mu.double(i);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::test_problems::{Interval, MaxProblem};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn small_input_solved_directly() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let res = clarkson(&Interval, &[3, -5, 7], &mut rng).unwrap();
+        assert!(res.stats.solved_directly);
+        assert_eq!(res.basis.value, 12);
+        assert_eq!(res.basis.elements, vec![-5, 7]);
+    }
+
+    #[test]
+    fn interval_large_input() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let points: Vec<i64> = (0..5000).map(|i| (i * 2654435761_i64) % 1001 - 500).collect();
+        let res = clarkson(&Interval, &points, &mut rng).unwrap();
+        assert!(!res.stats.solved_directly);
+        let lo = *points.iter().min().unwrap();
+        let hi = *points.iter().max().unwrap();
+        assert_eq!(res.basis.value, hi - lo);
+        assert_eq!(res.basis.elements, vec![lo, hi]);
+    }
+
+    #[test]
+    fn max_problem_dimension_one() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let xs: Vec<i64> = (0..10_000).map(|i| (i * 48271) % 7919).collect();
+        let res = clarkson(&MaxProblem, &xs, &mut rng).unwrap();
+        assert_eq!(res.basis.value, *xs.iter().max().unwrap());
+        assert_eq!(res.basis.len(), 1);
+    }
+
+    #[test]
+    fn iteration_count_is_logarithmic() {
+        // O(d log n) expected iterations: for n = 2^16 and d = 2 the run
+        // should finish well under 300 iterations.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let points: Vec<i64> = (0..(1 << 16)).map(|i| (i * 1103515245_i64) % 99991).collect();
+        let res = clarkson(&Interval, &points, &mut rng).unwrap();
+        assert!(res.stats.iterations < 300, "iterations = {}", res.stats.iterations);
+        assert!(res.stats.successful_iterations >= 1);
+    }
+
+    #[test]
+    fn custom_sample_size_still_correct() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let points: Vec<i64> = (0..2000).map(|i| (i * 69621) % 503 - 200).collect();
+        let cfg = ClarksonConfig { sample_size: Some(8), ..Default::default() };
+        let res = clarkson_with_config(&Interval, &points, &cfg, &mut rng).unwrap();
+        let lo = *points.iter().min().unwrap();
+        let hi = *points.iter().max().unwrap();
+        assert_eq!(res.basis.value, hi - lo);
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let points: Vec<i64> = (0..3000).map(|i| (i * 7_i64) % 881 - 440).collect();
+        let run = |seed: u64| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            clarkson(&Interval, &points, &mut rng).unwrap().stats
+        };
+        assert_eq!(run(42), run(42));
+    }
+}

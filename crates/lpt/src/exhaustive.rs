@@ -1,0 +1,212 @@
+//! Brute-force reference solver, used as a correctness oracle in tests.
+//!
+//! By monotonicity, `f(B) ≤ f(H)` for every `B ⊆ H`, and some subset of
+//! size at most `dim` (an optimal basis) attains `f(H)`. So the maximum of
+//! `f` over all subsets of size ≤ `dim` equals `f(H)`, and any maximizing
+//! subset's basis is an optimal basis of `H`. [`exhaustive_basis`]
+//! enumerates all `O(n^dim)` such subsets — exponential in the dimension,
+//! but the dimension is a constant (2–4) for every problem in this
+//! workspace and the oracle is only ever run on small inputs.
+
+use crate::problem::{cmp_basis, BasisOf, LpType};
+use std::cmp::Ordering;
+
+/// Errors from the exhaustive solver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExhaustiveError {
+    /// The input slice was empty and the problem's `basis_of(&[])` is the
+    /// only possible answer; exhaustive search has nothing to enumerate.
+    EmptyInput,
+}
+
+impl std::fmt::Display for ExhaustiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExhaustiveError::EmptyInput => write!(f, "exhaustive solver given empty input"),
+        }
+    }
+}
+
+impl std::error::Error for ExhaustiveError {}
+
+/// Computes an optimal basis of `elements` by enumerating every subset of
+/// size at most `problem.dim()` and taking the basis with the largest value
+/// (ties broken canonically).
+pub fn exhaustive_basis<P: LpType>(
+    problem: &P,
+    elements: &[P::Element],
+) -> Result<BasisOf<P>, ExhaustiveError> {
+    if elements.is_empty() {
+        return Err(ExhaustiveError::EmptyInput);
+    }
+    let d = problem.dim().max(1).min(elements.len());
+    let mut best: Option<BasisOf<P>> = None;
+    let mut subset: Vec<P::Element> = Vec::with_capacity(d);
+    enumerate(problem, elements, 0, d, &mut subset, &mut best);
+    Ok(best.expect("at least one non-empty subset exists"))
+}
+
+fn enumerate<P: LpType>(
+    problem: &P,
+    elements: &[P::Element],
+    start: usize,
+    remaining: usize,
+    subset: &mut Vec<P::Element>,
+    best: &mut Option<BasisOf<P>>,
+) {
+    if !subset.is_empty() {
+        let mut b = problem.basis_of(subset);
+        problem.canonicalize(&mut b);
+        let better = match best {
+            None => true,
+            // Prefer larger value; among equal values prefer the
+            // lexicographically smallest canonical basis so the oracle is
+            // deterministic.
+            Some(cur) => match problem.cmp_value(&b.value, &cur.value) {
+                Ordering::Greater => true,
+                Ordering::Less => false,
+                Ordering::Equal => cmp_basis(problem, &b, cur) == Ordering::Less,
+            },
+        };
+        if better {
+            *best = Some(b);
+        }
+    }
+    if remaining == 0 {
+        return;
+    }
+    for i in start..elements.len() {
+        subset.push(elements[i].clone());
+        enumerate(problem, elements, i + 1, remaining - 1, subset, best);
+        subset.pop();
+    }
+}
+
+/// Small self-contained LP-type problems used by unit tests across the
+/// workspace. They are public (behind `#[doc(hidden)]`) so that other
+/// crates' tests can reuse them.
+#[doc(hidden)]
+pub mod test_problems {
+    use crate::problem::{Basis, LpType};
+    use std::cmp::Ordering;
+
+    /// "Smallest enclosing interval" over `i64` points: `f(S)` is the
+    /// width of the smallest interval containing `S` (with the interval
+    /// endpoints as tie-break). Dimension 2.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Interval;
+
+    impl LpType for Interval {
+        type Element = i64;
+        type Value = i64;
+
+        fn dim(&self) -> usize {
+            2
+        }
+
+        fn basis_of(&self, elems: &[i64]) -> Basis<i64, i64> {
+            match (elems.iter().min(), elems.iter().max()) {
+                (Some(&lo), Some(&hi)) if lo == hi => Basis::new(vec![lo], 0),
+                (Some(&lo), Some(&hi)) => Basis::new(vec![lo, hi], hi - lo),
+                _ => Basis::new(vec![], -1),
+            }
+        }
+
+        fn violates(&self, basis: &Basis<i64, i64>, h: &i64) -> bool {
+            match basis.elements.len() {
+                0 => true,
+                1 => *h != basis.elements[0],
+                _ => {
+                    let lo = *basis.elements.iter().min().unwrap();
+                    let hi = *basis.elements.iter().max().unwrap();
+                    *h < lo || *h > hi
+                }
+            }
+        }
+
+        fn cmp_value(&self, a: &i64, b: &i64) -> Ordering {
+            a.cmp(b)
+        }
+
+        fn cmp_element(&self, a: &i64, b: &i64) -> Ordering {
+            a.cmp(b)
+        }
+    }
+
+    /// Maximum of a set of integers; the canonical dimension-1 LP-type
+    /// problem.
+    #[derive(Clone, Copy, Debug)]
+    pub struct MaxProblem;
+
+    impl LpType for MaxProblem {
+        type Element = i64;
+        type Value = i64;
+
+        fn dim(&self) -> usize {
+            1
+        }
+
+        fn basis_of(&self, elems: &[i64]) -> Basis<i64, i64> {
+            match elems.iter().max() {
+                Some(&m) => Basis::new(vec![m], m),
+                None => Basis::new(vec![], i64::MIN),
+            }
+        }
+
+        fn violates(&self, basis: &Basis<i64, i64>, h: &i64) -> bool {
+            basis.elements.first().is_none_or(|&m| *h > m)
+        }
+
+        fn cmp_value(&self, a: &i64, b: &i64) -> Ordering {
+            a.cmp(b)
+        }
+
+        fn cmp_element(&self, a: &i64, b: &i64) -> Ordering {
+            a.cmp(b)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_problems::{Interval, MaxProblem};
+    use super::*;
+
+    #[test]
+    fn empty_input_is_error() {
+        assert_eq!(exhaustive_basis(&Interval, &[]), Err(ExhaustiveError::EmptyInput));
+    }
+
+    #[test]
+    fn interval_oracle() {
+        let b = exhaustive_basis(&Interval, &[4, -2, 9, 0]).unwrap();
+        assert_eq!(b.value, 11);
+        assert_eq!(b.elements, vec![-2, 9]);
+    }
+
+    #[test]
+    fn singleton_input() {
+        let b = exhaustive_basis(&Interval, &[7]).unwrap();
+        assert_eq!(b.value, 0);
+        assert_eq!(b.elements, vec![7]);
+    }
+
+    #[test]
+    fn max_oracle() {
+        let b = exhaustive_basis(&MaxProblem, &[3, 1, 4, 1, 5]).unwrap();
+        assert_eq!(b.value, 5);
+    }
+
+    #[test]
+    fn oracle_matches_direct_solve() {
+        let elems = [5, -3, 8, 8, 0, -3, 12];
+        let direct = {
+            let mut b = Interval.basis_of(&elems);
+            Interval.canonicalize(&mut b);
+            b
+        };
+        let oracle = exhaustive_basis(&Interval, &elems).unwrap();
+        assert_eq!(direct.value, oracle.value);
+        assert_eq!(direct.elements, oracle.elements);
+    }
+}

@@ -1,0 +1,213 @@
+//! A Fenwick (binary indexed) tree over `u128` weights.
+//!
+//! Supports point updates, prefix sums, and — the operation the sampling
+//! code actually needs — `O(log n)` *weighted search*: given a target
+//! `t < total`, find the smallest index whose inclusive prefix sum exceeds
+//! `t`. This turns a uniform draw from `[0, total)` into a draw from the
+//! weighted distribution, which is how [`crate::Multiset`] samples from
+//! Clarkson's multiplicity function `µ`.
+//!
+//! Weights are `u128` because Clarkson-style doubling can push individual
+//! multiplicities past `2^64` before termination detection kicks in on
+//! adversarial inputs; all arithmetic saturates rather than wrapping so a
+//! pathological run degrades gracefully instead of panicking.
+
+/// Fenwick tree over saturating `u128` weights.
+#[derive(Clone, Debug)]
+pub struct Fenwick {
+    tree: Vec<u128>,
+    len: usize,
+}
+
+impl Fenwick {
+    /// Creates a tree of `len` zero weights.
+    pub fn new(len: usize) -> Self {
+        Fenwick { tree: vec![0; len + 1], len }
+    }
+
+    /// Creates a tree from initial weights in `O(n)`.
+    pub fn from_weights(weights: &[u128]) -> Self {
+        let len = weights.len();
+        let mut tree = vec![0u128; len + 1];
+        for (i, &w) in weights.iter().enumerate() {
+            let i = i + 1;
+            tree[i] = tree[i].saturating_add(w);
+            let j = i + (i & i.wrapping_neg());
+            if j <= len {
+                let v = tree[i];
+                tree[j] = tree[j].saturating_add(v);
+            }
+        }
+        Fenwick { tree, len }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree has zero slots.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Adds `delta` to the weight at `idx` (saturating).
+    pub fn add(&mut self, idx: usize, delta: u128) {
+        debug_assert!(idx < self.len);
+        let mut i = idx + 1;
+        while i <= self.len {
+            self.tree[i] = self.tree[i].saturating_add(delta);
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Subtracts `delta` from the weight at `idx`.
+    ///
+    /// The caller must ensure the weight at `idx` is at least `delta`;
+    /// this is checked in debug builds via [`Fenwick::weight`].
+    pub fn sub(&mut self, idx: usize, delta: u128) {
+        debug_assert!(idx < self.len);
+        debug_assert!(self.weight(idx) >= delta, "fenwick underflow at {idx}");
+        let mut i = idx + 1;
+        while i <= self.len {
+            self.tree[i] -= delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Inclusive prefix sum of weights `0..=idx`.
+    pub fn prefix(&self, idx: usize) -> u128 {
+        let mut i = (idx + 1).min(self.len);
+        let mut s: u128 = 0;
+        while i > 0 {
+            s = s.saturating_add(self.tree[i]);
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    /// Sum of all weights.
+    pub fn total(&self) -> u128 {
+        self.prefix(self.len.saturating_sub(1))
+    }
+
+    /// The individual weight at `idx`.
+    pub fn weight(&self, idx: usize) -> u128 {
+        let lo = if idx == 0 { 0 } else { self.prefix(idx - 1) };
+        self.prefix(idx) - lo
+    }
+
+    /// Finds the smallest `idx` with `prefix(idx) > target`.
+    ///
+    /// Precondition: `target < total()`. This maps a uniform draw
+    /// `target ∈ [0, total)` to index `i` with probability
+    /// `weight(i) / total`, i.e. weighted sampling.
+    pub fn search(&self, mut target: u128) -> usize {
+        debug_assert!(target < self.total(), "fenwick search target out of range");
+        let mut pos = 0usize;
+        let mut step = self.len.next_power_of_two();
+        while step > 0 {
+            let next = pos + step;
+            if next <= self.len && self.tree[next] <= target {
+                target -= self.tree[next];
+                pos = next;
+            }
+            step >>= 1;
+        }
+        debug_assert!(pos < self.len);
+        pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn from_weights_matches_adds() {
+        let w = [3u128, 0, 7, 1, 12, 5, 0, 2];
+        let ft = Fenwick::from_weights(&w);
+        let mut ft2 = Fenwick::new(w.len());
+        for (i, &x) in w.iter().enumerate() {
+            ft2.add(i, x);
+        }
+        for i in 0..w.len() {
+            assert_eq!(ft.prefix(i), ft2.prefix(i), "prefix {i}");
+            assert_eq!(ft.weight(i), w[i], "weight {i}");
+        }
+        assert_eq!(ft.total(), 30);
+    }
+
+    #[test]
+    fn search_finds_owning_slot() {
+        let w = [3u128, 0, 7, 1];
+        let ft = Fenwick::from_weights(&w);
+        // Cumulative: [3, 3, 10, 11]. Targets map as:
+        for t in 0..3 {
+            assert_eq!(ft.search(t), 0, "target {t}");
+        }
+        for t in 3..10 {
+            assert_eq!(ft.search(t), 2, "target {t}");
+        }
+        assert_eq!(ft.search(10), 3);
+    }
+
+    #[test]
+    fn search_never_returns_zero_weight_slot() {
+        let w = [0u128, 5, 0, 0, 1, 0];
+        let ft = Fenwick::from_weights(&w);
+        for t in 0..6 {
+            let idx = ft.search(t);
+            assert!(ft.weight(idx) > 0, "target {t} hit zero-weight slot {idx}");
+        }
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let mut ft = Fenwick::new(10);
+        ft.add(4, 100);
+        ft.add(9, 1);
+        ft.sub(4, 60);
+        assert_eq!(ft.weight(4), 40);
+        assert_eq!(ft.total(), 41);
+    }
+
+    #[test]
+    fn saturating_add_does_not_wrap() {
+        let mut ft = Fenwick::new(2);
+        ft.add(0, u128::MAX - 1);
+        ft.add(0, 5);
+        assert_eq!(ft.weight(0), u128::MAX);
+    }
+
+    #[test]
+    fn randomized_against_naive_prefix_sums() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for n in [1usize, 2, 3, 17, 64, 100] {
+            let mut naive = vec![0u128; n];
+            let mut ft = Fenwick::new(n);
+            for _ in 0..200 {
+                let i = rng.gen_range(0..n);
+                let d = rng.gen_range(0..50u128);
+                naive[i] += d;
+                ft.add(i, d);
+            }
+            let mut acc = 0u128;
+            for i in 0..n {
+                acc += naive[i];
+                assert_eq!(ft.prefix(i), acc);
+            }
+            let total = ft.total();
+            if total > 0 {
+                for _ in 0..100 {
+                    let t = rng.gen_range(0..total);
+                    let idx = ft.search(t);
+                    let lo = if idx == 0 { 0 } else { ft.prefix(idx - 1) };
+                    assert!(lo <= t && t < ft.prefix(idx));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! # `lpt` — LP-type problem framework
+//!
+//! LP-type problems (also called *generalized linear programs*) were
+//! introduced by Sharir and Welzl. An LP-type problem is a pair `(H, f)`
+//! where `H` is a finite set of *constraints* (here: [`LpType::Element`]s)
+//! and `f : 2^H -> T` maps subsets of `H` into a totally ordered set `T`
+//! (here: [`LpType::Value`]s) such that
+//!
+//! * **Monotonicity**: for all `F ⊆ G ⊆ H`, `f(F) ≤ f(G)`;
+//! * **Locality**: for all `F ⊆ G ⊆ H` with `f(F) = f(G)` and every
+//!   `h ∈ H`: if `f(G) < f(G ∪ {h})` then `f(F) < f(F ∪ {h})`.
+//!
+//! A minimal subset `B ⊆ H` with `f(B') < f(B)` for every proper subset
+//! `B'` is a *basis*; a basis with `f(B) = f(H)` is an *optimal basis*.
+//! The maximum cardinality of a basis is the *combinatorial dimension*.
+//!
+//! This crate provides:
+//!
+//! * the [`LpType`] trait — the violator-space style computational
+//!   interface (small-set basis computation + violation test) that every
+//!   concrete problem implements (see the `lpt-problems` crate);
+//! * [`clarkson`] — Clarkson's sequential multiplicative-weights algorithm
+//!   (Algorithm 1 of the paper), the baseline that all the distributed
+//!   gossip algorithms in `lpt-gossip` are derived from;
+//! * [`exhaustive_basis`] — a brute-force reference solver used as a test
+//!   oracle;
+//! * [`Multiset`] — a Fenwick-tree backed weighted multiset supporting the
+//!   `O(log n)`-time weighted sampling that Clarkson-style algorithms need;
+//! * [`axioms`] — randomized checkers for the monotonicity and locality
+//!   axioms and for the basis-computation contract, used heavily by the
+//!   property-based tests throughout the workspace.
+//!
+//! ## Example
+//!
+//! ```
+//! use lpt::{Basis, LpType};
+//! use std::cmp::Ordering;
+//!
+//! /// The "smallest interval containing all points" problem: a toy
+//! /// 2-dimensional LP-type problem over `i64` points.
+//! struct Interval;
+//!
+//! impl LpType for Interval {
+//!     type Element = i64;
+//!     type Value = i64; // interval width; -1 encodes f(∅) = -infinity
+//!
+//!     fn dim(&self) -> usize { 2 }
+//!     fn basis_of(&self, elems: &[i64]) -> Basis<i64, i64> {
+//!         match (elems.iter().min(), elems.iter().max()) {
+//!             (Some(&lo), Some(&hi)) if lo == hi => Basis::new(vec![lo], 0),
+//!             (Some(&lo), Some(&hi)) => Basis::new(vec![lo, hi], hi - lo),
+//!             _ => Basis::new(vec![], -1),
+//!         }
+//!     }
+//!     fn violates(&self, basis: &Basis<i64, i64>, h: &i64) -> bool {
+//!         match basis.elements.len() {
+//!             0 => true,
+//!             1 => *h != basis.elements[0],
+//!             _ => {
+//!                 let lo = *basis.elements.iter().min().unwrap();
+//!                 *h < lo || *h > lo + basis.value
+//!             }
+//!         }
+//!     }
+//!     fn cmp_value(&self, a: &i64, b: &i64) -> Ordering { a.cmp(b) }
+//!     fn cmp_element(&self, a: &i64, b: &i64) -> Ordering { a.cmp(b) }
+//! }
+//!
+//! let mut rng = rand::thread_rng();
+//! let points: Vec<i64> = (0..1000).map(|i| (i * 37) % 501 - 250).collect();
+//! let result = lpt::clarkson(&Interval, &points, &mut rng).unwrap();
+//! assert_eq!(result.basis.value, 500);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod axioms;
+pub mod clarkson;
+pub mod exhaustive;
+pub mod fenwick;
+pub mod multiset;
+pub mod problem;
+
+pub use clarkson::{clarkson, clarkson_with_config, ClarksonConfig, ClarksonResult, ClarksonStats};
+pub use exhaustive::{exhaustive_basis, ExhaustiveError};
+pub use fenwick::Fenwick;
+pub use multiset::Multiset;
+pub use problem::{cmp_basis, cmp_elements_lex, Basis, BasisOf, LpType};

@@ -1,0 +1,209 @@
+//! A weighted multiset `H(µ)` with `O(log n)` weighted sampling.
+//!
+//! Clarkson's algorithm maintains a multiplicity function `µ : H -> N` and
+//! repeatedly samples random sub-multisets of `H(µ)` (the multiset in which
+//! each `h` appears `µ_h` times). [`Multiset`] stores the distinct elements
+//! once and their multiplicities in a [`crate::Fenwick`] tree, so that
+//!
+//! * sampling one element `∝ µ` costs `O(log n)`,
+//! * sampling `r` elements *without replacement* (a uniform random
+//!   sub-multiset of size `r`) costs `O(r log n)`, and
+//! * the multiplicative-weights update "double `µ_h` for all `h ∈ V`"
+//!   costs `O(|V| log n)`.
+
+use crate::Fenwick;
+use rand::Rng;
+
+/// A multiset over elements of type `E` with `u128` multiplicities.
+#[derive(Clone, Debug)]
+pub struct Multiset<E> {
+    items: Vec<E>,
+    weights: Fenwick,
+}
+
+impl<E> Multiset<E> {
+    /// Creates a multiset where every item has multiplicity 1.
+    pub fn with_unit_weights(items: Vec<E>) -> Self {
+        let weights = Fenwick::from_weights(&vec![1u128; items.len()]);
+        Multiset { items, weights }
+    }
+
+    /// Creates a multiset with explicit multiplicities.
+    ///
+    /// # Panics
+    /// Panics if `items` and `mults` have different lengths.
+    pub fn with_weights(items: Vec<E>, mults: &[u128]) -> Self {
+        assert_eq!(items.len(), mults.len(), "items/mults length mismatch");
+        let weights = Fenwick::from_weights(mults);
+        Multiset { items, weights }
+    }
+
+    /// Number of *distinct* elements.
+    pub fn distinct_len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Total multiset size `|H(µ)| = Σ µ_h` (saturating).
+    pub fn total(&self) -> u128 {
+        self.weights.total()
+    }
+
+    /// The element at a distinct-element index.
+    pub fn item(&self, idx: usize) -> &E {
+        &self.items[idx]
+    }
+
+    /// All distinct elements.
+    pub fn items(&self) -> &[E] {
+        &self.items
+    }
+
+    /// Multiplicity of the element at `idx`.
+    pub fn multiplicity(&self, idx: usize) -> u128 {
+        self.weights.weight(idx)
+    }
+
+    /// Doubles the multiplicity of the element at `idx` (saturating).
+    pub fn double(&mut self, idx: usize) {
+        let w = self.weights.weight(idx);
+        self.weights.add(idx, w);
+    }
+
+    /// Samples the index of one element with probability `µ_h / |H(µ)|`.
+    ///
+    /// Returns `None` if the multiset is empty.
+    pub fn sample_one<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<usize> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let t = rng.gen_range(0..total);
+        Some(self.weights.search(t))
+    }
+
+    /// Samples a uniform random sub-multiset of size `r` *without
+    /// replacement* and returns the distinct-element indices (with
+    /// repetitions when an element is drawn more than once from its
+    /// multiplicity budget).
+    ///
+    /// Returns `None` if `r > |H(µ)|`. The multiset is unchanged on return
+    /// (weights are decremented during the draw and restored afterwards).
+    pub fn sample_without_replacement<R: Rng + ?Sized>(
+        &mut self,
+        r: usize,
+        rng: &mut R,
+    ) -> Option<Vec<usize>> {
+        let total = self.total();
+        if (r as u128) > total {
+            return None;
+        }
+        let mut drawn = Vec::with_capacity(r);
+        let mut remaining = total;
+        for _ in 0..r {
+            let t = rng.gen_range(0..remaining);
+            let idx = self.weights.search(t);
+            self.weights.sub(idx, 1);
+            remaining -= 1;
+            drawn.push(idx);
+        }
+        // Restore the multiplicities.
+        for &idx in &drawn {
+            self.weights.add(idx, 1);
+        }
+        Some(drawn)
+    }
+
+    /// Samples `r` element indices *with replacement* (i.i.d. `∝ µ`).
+    pub fn sample_with_replacement<R: Rng + ?Sized>(
+        &self,
+        r: usize,
+        rng: &mut R,
+    ) -> Option<Vec<usize>> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        Some(
+            (0..r)
+                .map(|_| self.weights.search(rng.gen_range(0..total)))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn unit_weights() {
+        let ms = Multiset::with_unit_weights(vec!['a', 'b', 'c']);
+        assert_eq!(ms.total(), 3);
+        assert_eq!(ms.distinct_len(), 3);
+        assert_eq!(ms.multiplicity(1), 1);
+    }
+
+    #[test]
+    fn double_grows_total() {
+        let mut ms = Multiset::with_unit_weights(vec![0, 1, 2]);
+        ms.double(2);
+        ms.double(2);
+        assert_eq!(ms.multiplicity(2), 4);
+        assert_eq!(ms.total(), 6);
+    }
+
+    #[test]
+    fn sample_without_replacement_respects_multiplicities() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut ms = Multiset::with_weights(vec!['x', 'y'], &[1, 3]);
+        for _ in 0..100 {
+            let s = ms.sample_without_replacement(4, &mut rng).unwrap();
+            // Drawing the whole multiset must yield exactly the multiset.
+            let xs = s.iter().filter(|&&i| i == 0).count();
+            let ys = s.iter().filter(|&&i| i == 1).count();
+            assert_eq!((xs, ys), (1, 3));
+            // Weights restored.
+            assert_eq!(ms.total(), 4);
+        }
+    }
+
+    #[test]
+    fn sample_without_replacement_too_large_fails() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut ms = Multiset::with_unit_weights(vec![1, 2, 3]);
+        assert!(ms.sample_without_replacement(4, &mut rng).is_none());
+        assert!(ms.sample_without_replacement(3, &mut rng).is_some());
+    }
+
+    #[test]
+    fn sample_one_empty_is_none() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let ms: Multiset<u8> = Multiset::with_unit_weights(vec![]);
+        assert!(ms.sample_one(&mut rng).is_none());
+    }
+
+    #[test]
+    fn sample_one_is_weight_proportional() {
+        // Chi-squared style sanity check: weight-3 element should appear
+        // about 3x as often as weight-1 element.
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let ms = Multiset::with_weights(vec!['x', 'y'], &[1, 3]);
+        let n = 40_000;
+        let mut hits = [0usize; 2];
+        for _ in 0..n {
+            hits[ms.sample_one(&mut rng).unwrap()] += 1;
+        }
+        let frac = hits[1] as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.02, "frac = {frac}");
+    }
+
+    #[test]
+    fn with_replacement_only_positive_weights() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let ms = Multiset::with_weights(vec![10, 20, 30], &[0, 5, 0]);
+        let s = ms.sample_with_replacement(50, &mut rng).unwrap();
+        assert!(s.iter().all(|&i| i == 1));
+    }
+}

@@ -1,0 +1,189 @@
+//! The [`LpType`] trait: the computational interface to an LP-type problem.
+//!
+//! The interface follows the *violator space* view of LP-type problems
+//! (Gärtner, Matoušek, Rüst, Škovroň): an algorithm never needs the raw
+//! value `f(S)` for large `S`; it only needs
+//!
+//! 1. a *small-set solver* [`LpType::basis_of`] that, given a set of at
+//!    most `O(dim²)` elements, returns an optimal basis of that set
+//!    together with its value, and
+//! 2. a *violation test* [`LpType::violates`] deciding whether
+//!    `f(B ∪ {h}) > f(B)` for a basis `B` and a single element `h`.
+//!
+//! All solvers in this workspace (sequential Clarkson, the gossip
+//! algorithms, the hypercube baseline) are generic over this trait.
+
+use std::cmp::Ordering;
+
+/// An optimal basis of some subset of constraints, together with its value.
+///
+/// Invariants (checked by [`crate::axioms::check_basis_contract`]):
+/// * `elements` is a subset of the set it was computed from;
+/// * `elements.len() <= dim` of the problem;
+/// * no element of the originating set violates the basis;
+/// * `value` equals `f(elements)` (= `f` of the originating set).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Basis<E, V> {
+    /// The basis elements, in the problem's canonical element order.
+    pub elements: Vec<E>,
+    /// The value `f(elements)`.
+    pub value: V,
+}
+
+impl<E, V> Basis<E, V> {
+    /// Creates a basis from elements and a value.
+    pub fn new(elements: Vec<E>, value: V) -> Self {
+        Basis { elements, value }
+    }
+
+    /// Number of elements in the basis.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Whether the basis is empty (the basis of `∅`).
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+}
+
+/// Shorthand for the basis type of a problem `P`.
+pub type BasisOf<P> = Basis<<P as LpType>::Element, <P as LpType>::Value>;
+
+/// An LP-type problem `(H, f)` of bounded combinatorial dimension.
+///
+/// Implementations must satisfy the monotonicity and locality axioms (see
+/// the crate-level documentation); [`crate::axioms`] provides randomized
+/// checkers. Implementations must also be *consistent*: `violates` must
+/// agree with `basis_of` in the sense that `violates(basis_of(S), h)` holds
+/// iff `f(S ∪ {h}) > f(S)`.
+///
+/// The trait object carries the problem *description* (e.g. the set system
+/// of a hitting-set instance, or the objective direction of an LP), not the
+/// constraint set `H` itself; constraints are passed around explicitly as
+/// slices of [`LpType::Element`]. This split is what makes the distributed
+/// algorithms possible: every node knows the description (`f`), while the
+/// elements of `H` are scattered over the network.
+pub trait LpType {
+    /// A single constraint `h ∈ H`. Cloned freely; must be cheap to clone
+    /// (the gossip algorithms ship elements in `O(log n)`-bit messages).
+    type Element: Clone + Send + Sync + PartialEq + std::fmt::Debug;
+
+    /// A value of `f`, an element of the totally ordered codomain `T`.
+    type Value: Clone + Send + Sync + std::fmt::Debug;
+
+    /// The combinatorial dimension of the problem: the maximum cardinality
+    /// of any basis.
+    fn dim(&self) -> usize;
+
+    /// Computes an optimal basis of the (small) constraint set `elems`.
+    ///
+    /// `elems` may be a multiset (contain repeated elements); the result
+    /// must not contain duplicates. Called with sets of size `O(dim²)`
+    /// only, so quadratic or even exponential-in-`dim` implementations are
+    /// acceptable.
+    fn basis_of(&self, elems: &[Self::Element]) -> Basis<Self::Element, Self::Value>;
+
+    /// The violation test: `true` iff `f(B ∪ {h}) > f(B)` where `B` is the
+    /// constraint set represented by `basis`.
+    fn violates(&self, basis: &Basis<Self::Element, Self::Value>, h: &Self::Element) -> bool;
+
+    /// Total order on values. For floating-point values, implementations
+    /// should use `f64::total_cmp` composed with any tie-breaking data
+    /// embedded in the value so that the order is total and deterministic.
+    fn cmp_value(&self, a: &Self::Value, b: &Self::Value) -> Ordering;
+
+    /// A deterministic total order on elements, used to put bases into
+    /// canonical form and to break ties between distinct bases of equal
+    /// value (the paper's Algorithm 3 assumes such a tie-breaker).
+    fn cmp_element(&self, a: &Self::Element, b: &Self::Element) -> Ordering;
+
+    /// Whether two values are equal *up to the problem's numerical
+    /// tolerance*. The total order [`LpType::cmp_value`] stays exact (it
+    /// must be a total order for the protocols); this predicate is what
+    /// the randomized axiom checkers use so that `f64` roundoff between
+    /// two evaluations of the same subset is not reported as an axiom
+    /// violation. Exact-arithmetic problems keep the default.
+    fn values_close(&self, a: &Self::Value, b: &Self::Value) -> bool {
+        self.cmp_value(a, b) == Ordering::Equal
+    }
+
+    /// Puts a basis into canonical form by sorting its elements with
+    /// [`LpType::cmp_element`]. Solvers call this before comparing or
+    /// transmitting bases.
+    fn canonicalize(&self, basis: &mut Basis<Self::Element, Self::Value>) {
+        basis.elements.sort_by(|a, b| self.cmp_element(a, b));
+        basis.elements.dedup_by(|a, b| self.cmp_element(a, b) == Ordering::Equal);
+    }
+}
+
+/// Lexicographic comparison of two element slices under the problem's
+/// element order. Both slices are assumed canonical (sorted).
+pub fn cmp_elements_lex<P: LpType + ?Sized>(
+    p: &P,
+    a: &[P::Element],
+    b: &[P::Element],
+) -> Ordering {
+    for (x, y) in a.iter().zip(b.iter()) {
+        match p.cmp_element(x, y) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+/// The total order on bases used by the termination-detection protocol:
+/// first by value, then lexicographically by (canonical) elements.
+///
+/// Two bases compare `Equal` under this order iff they represent the same
+/// basis, which is exactly the property Algorithm 3 of the paper needs
+/// from its tie-breaking rule ("`f(B') = f(B)` if and only if `B' = B`").
+pub fn cmp_basis<P: LpType + ?Sized>(p: &P, a: &BasisOf<P>, b: &BasisOf<P>) -> Ordering {
+    p.cmp_value(&a.value, &b.value)
+        .then_with(|| cmp_elements_lex(p, &a.elements, &b.elements))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::test_problems::Interval;
+
+    #[test]
+    fn basis_accessors() {
+        let b: Basis<i64, i64> = Basis::new(vec![1, 5], 4);
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+        let e: Basis<i64, i64> = Basis::new(vec![], -1);
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+    }
+
+    #[test]
+    fn canonicalize_sorts_and_dedups() {
+        let p = Interval;
+        let mut b = Basis::new(vec![5, 1, 5], 4);
+        p.canonicalize(&mut b);
+        assert_eq!(b.elements, vec![1, 5]);
+    }
+
+    #[test]
+    fn cmp_basis_orders_by_value_then_elements() {
+        let p = Interval;
+        let small = Basis::new(vec![0, 3], 3);
+        let big = Basis::new(vec![0, 7], 7);
+        assert_eq!(cmp_basis(&p, &small, &big), Ordering::Less);
+        let same_val_a = Basis::new(vec![0, 7], 7);
+        let same_val_b = Basis::new(vec![1, 8], 7);
+        assert_eq!(cmp_basis(&p, &same_val_a, &same_val_b), Ordering::Less);
+        assert_eq!(cmp_basis(&p, &same_val_a, &same_val_a.clone()), Ordering::Equal);
+    }
+
+    #[test]
+    fn cmp_elements_lex_prefix_is_smaller() {
+        let p = Interval;
+        assert_eq!(cmp_elements_lex(&p, &[1], &[1, 2]), Ordering::Less);
+        assert_eq!(cmp_elements_lex(&p, &[1, 2], &[1, 2]), Ordering::Equal);
+        assert_eq!(cmp_elements_lex(&p, &[2], &[1, 9, 9]), Ordering::Greater);
+    }
+}

@@ -1,0 +1,297 @@
+//! The hitting set problem (paper, Section 4).
+//!
+//! Given elements `X = {0, …, n−1}` and a collection `S` of subsets of
+//! `X`, a *hitting set* is a subset `H ⊆ X` intersecting every `S ∈ S`;
+//! the problem asks for a minimum-size one (NP-hard). Viewed as an
+//! LP-type problem, `f(U)` = number of sets intersected by `U` — but its
+//! combinatorial dimension can be as large as `|X|` even when a minimum
+//! hitting set has constant size, which is why the paper (and this crate)
+//! treats it with a dedicated algorithm instead of the generic `LpType`
+//! machinery.
+//!
+//! [`SetSystem`] holds the shared problem description (every node of the
+//! distributed algorithm knows `S`, paper Section 1.4) with bitset-backed
+//! membership tests; [`greedy_hitting_set`] is the classical `ln s`
+//! approximation baseline and [`min_hitting_set_exact`] a branch-and-bound
+//! exact solver for small instances (used to measure approximation
+//! ratios in the experiment harness).
+
+/// A set system `(X, S)` with bitset-accelerated membership queries.
+#[derive(Clone, Debug)]
+pub struct SetSystem {
+    n_elements: usize,
+    sets: Vec<Vec<u32>>,
+    /// Per-set bitmask over elements (`⌈n/64⌉` words each).
+    masks: Vec<Vec<u64>>,
+}
+
+impl SetSystem {
+    /// Builds a set system over elements `0..n_elements`.
+    ///
+    /// Sets are sorted and deduplicated; empty sets are rejected (they
+    /// can never be hit).
+    ///
+    /// # Panics
+    /// Panics if any set is empty or mentions an element `≥ n_elements`.
+    pub fn new(n_elements: usize, sets: Vec<Vec<u32>>) -> Self {
+        let words = n_elements.div_ceil(64);
+        let mut norm_sets = Vec::with_capacity(sets.len());
+        let mut masks = Vec::with_capacity(sets.len());
+        for (si, mut s) in sets.into_iter().enumerate() {
+            s.sort_unstable();
+            s.dedup();
+            assert!(!s.is_empty(), "set {si} is empty");
+            assert!(
+                (*s.last().unwrap() as usize) < n_elements,
+                "set {si} mentions element out of range"
+            );
+            let mut mask = vec![0u64; words];
+            for &x in &s {
+                mask[(x as usize) / 64] |= 1u64 << (x % 64);
+            }
+            norm_sets.push(s);
+            masks.push(mask);
+        }
+        SetSystem { n_elements, sets: norm_sets, masks }
+    }
+
+    /// Number of ground elements `|X|`.
+    pub fn n_elements(&self) -> usize {
+        self.n_elements
+    }
+
+    /// Number of sets `|S|`.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// The elements of set `si` (sorted).
+    pub fn set(&self, si: usize) -> &[u32] {
+        &self.sets[si]
+    }
+
+    /// Whether element `x` belongs to set `si`.
+    pub fn set_contains(&self, si: usize, x: u32) -> bool {
+        (x as usize) < self.n_elements
+            && self.masks[si][(x as usize) / 64] & (1u64 << (x % 64)) != 0
+    }
+
+    /// Builds the bitmask of a sample of elements.
+    pub fn sample_mask(&self, sample: &[u32]) -> Vec<u64> {
+        let mut mask = vec![0u64; self.n_elements.div_ceil(64)];
+        for &x in sample {
+            debug_assert!((x as usize) < self.n_elements);
+            mask[(x as usize) / 64] |= 1u64 << (x % 64);
+        }
+        mask
+    }
+
+    /// Whether set `si` is hit by the sample mask.
+    pub fn is_hit_mask(&self, si: usize, mask: &[u64]) -> bool {
+        self.masks[si].iter().zip(mask).any(|(a, b)| a & b != 0)
+    }
+
+    /// Indices of all sets *not* hit by `sample`.
+    pub fn uncovered_sets(&self, sample: &[u32]) -> Vec<usize> {
+        let mask = self.sample_mask(sample);
+        (0..self.num_sets()).filter(|&si| !self.is_hit_mask(si, &mask)).collect()
+    }
+
+    /// `f(U)`: the number of sets hit by `sample`.
+    pub fn hit_count(&self, sample: &[u32]) -> usize {
+        let mask = self.sample_mask(sample);
+        (0..self.num_sets()).filter(|&si| self.is_hit_mask(si, &mask)).count()
+    }
+
+    /// Whether `sample` hits every set.
+    pub fn is_hitting_set(&self, sample: &[u32]) -> bool {
+        let mask = self.sample_mask(sample);
+        (0..self.num_sets()).all(|si| self.is_hit_mask(si, &mask))
+    }
+}
+
+/// Greedy `O(ln s)`-approximate hitting set: repeatedly add the element
+/// hitting the most uncovered sets.
+pub fn greedy_hitting_set(sys: &SetSystem) -> Vec<u32> {
+    let mut covered = vec![false; sys.num_sets()];
+    let mut remaining = sys.num_sets();
+    let mut result = Vec::new();
+    while remaining > 0 {
+        let mut counts = vec![0u32; sys.n_elements()];
+        for si in 0..sys.num_sets() {
+            if !covered[si] {
+                for &x in sys.set(si) {
+                    counts[x as usize] += 1;
+                }
+            }
+        }
+        let best = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, c)| *c)
+            .map(|(x, _)| x as u32)
+            .expect("nonempty ground set");
+        result.push(best);
+        for si in 0..sys.num_sets() {
+            if !covered[si] && sys.set_contains(si, best) {
+                covered[si] = true;
+                remaining -= 1;
+            }
+        }
+    }
+    result.sort_unstable();
+    result
+}
+
+/// Exact minimum hitting set by iterative-deepening branch and bound.
+///
+/// Branches on the elements of an (arbitrary) uncovered set, so the
+/// branching factor is the maximum set size and the depth is the optimum
+/// size. Practical for the small instances the test-suite and the
+/// approximation-ratio experiments use.
+pub fn min_hitting_set_exact(sys: &SetSystem, max_size: usize) -> Option<Vec<u32>> {
+    for k in 0..=max_size {
+        let mut chosen: Vec<u32> = Vec::with_capacity(k);
+        if branch(sys, k, &mut chosen) {
+            chosen.sort_unstable();
+            return Some(chosen);
+        }
+    }
+    None
+}
+
+fn branch(sys: &SetSystem, budget: usize, chosen: &mut Vec<u32>) -> bool {
+    let uncovered = sys.uncovered_sets(chosen);
+    let Some(&first) = uncovered.first() else {
+        return true;
+    };
+    if budget == 0 {
+        return false;
+    }
+    for &x in sys.set(first) {
+        if chosen.contains(&x) {
+            continue;
+        }
+        chosen.push(x);
+        if branch(sys, budget - 1, chosen) {
+            return true;
+        }
+        chosen.pop();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_system() -> SetSystem {
+        // Min hitting set is {1, 4}: 1 hits sets 0,1; 4 hits sets 2,3.
+        SetSystem::new(
+            6,
+            vec![vec![0, 1], vec![1, 2], vec![3, 4], vec![4, 5]],
+        )
+    }
+
+    #[test]
+    fn membership_queries() {
+        let sys = small_system();
+        assert!(sys.set_contains(0, 1));
+        assert!(!sys.set_contains(0, 4));
+        assert_eq!(sys.num_sets(), 4);
+        assert_eq!(sys.n_elements(), 6);
+    }
+
+    #[test]
+    fn hit_count_and_uncovered() {
+        let sys = small_system();
+        assert_eq!(sys.hit_count(&[1]), 2);
+        assert_eq!(sys.uncovered_sets(&[1]), vec![2, 3]);
+        assert!(sys.is_hitting_set(&[1, 4]));
+        assert!(!sys.is_hitting_set(&[1, 3]));
+    }
+
+    #[test]
+    fn hit_count_is_monotone() {
+        let sys = small_system();
+        // f(U) ≤ f(U ∪ {x}) — the LP-type monotonicity axiom.
+        for x in 0..6u32 {
+            assert!(sys.hit_count(&[0]) <= sys.hit_count(&[0, x]));
+        }
+    }
+
+    #[test]
+    fn greedy_finds_a_hitting_set() {
+        let sys = small_system();
+        let h = greedy_hitting_set(&sys);
+        assert!(sys.is_hitting_set(&h));
+        assert!(h.len() <= 4);
+    }
+
+    #[test]
+    fn exact_finds_minimum() {
+        let sys = small_system();
+        let h = min_hitting_set_exact(&sys, 6).unwrap();
+        assert!(sys.is_hitting_set(&h));
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn exact_respects_budget() {
+        let sys = small_system();
+        assert!(min_hitting_set_exact(&sys, 1).is_none());
+    }
+
+    #[test]
+    fn large_element_space_bitsets() {
+        // Elements beyond one 64-bit word.
+        let sys = SetSystem::new(200, vec![vec![0, 199], vec![130], vec![64, 65]]);
+        assert!(sys.set_contains(0, 199));
+        assert!(sys.set_contains(1, 130));
+        assert!(sys.is_hitting_set(&[199, 130, 64]));
+        assert!(!sys.is_hitting_set(&[199, 130]));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_set_rejected() {
+        let _ = SetSystem::new(3, vec![vec![0], vec![]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        let _ = SetSystem::new(3, vec![vec![5]]);
+    }
+
+    #[test]
+    fn greedy_vs_exact_ratio_on_random_instances() {
+        use rand::Rng;
+        use rand_chacha::rand_core::SeedableRng;
+        use rand_chacha::ChaCha8Rng;
+        for seed in 0..10u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(80 + seed);
+            let n = 30;
+            let sets: Vec<Vec<u32>> = (0..15)
+                .map(|_| {
+                    let k = rng.gen_range(2..6);
+                    (0..k).map(|_| rng.gen_range(0..n as u32)).collect::<Vec<_>>()
+                })
+                .collect();
+            let sets: Vec<Vec<u32>> = sets
+                .into_iter()
+                .map(|mut s| {
+                    s.sort_unstable();
+                    s.dedup();
+                    s
+                })
+                .collect();
+            let sys = SetSystem::new(n, sets);
+            let greedy = greedy_hitting_set(&sys);
+            let exact = min_hitting_set_exact(&sys, n).unwrap();
+            assert!(sys.is_hitting_set(&greedy));
+            assert!(sys.is_hitting_set(&exact));
+            assert!(greedy.len() >= exact.len(), "greedy can't beat exact");
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # `lpt-problems` — concrete LP-type problem instances
+//!
+//! Implementations of [`lpt::LpType`] for every problem class the paper
+//! names, built on the `lpt-geom` substrate:
+//!
+//! * [`Med`] — minimum enclosing disk in the plane (dimension 3), the
+//!   problem of the paper's experimental evaluation (Section 5);
+//! * [`Meb`] — minimum enclosing ball in dimension `d` (dimension `d+1`);
+//! * [`FixedDimLp`] — linear programming with a constant number of
+//!   variables (dimension = #variables; instances are kept bounded by an
+//!   implicit box and are feasible by construction, see module docs);
+//! * [`PolytopeDistance`] — distance between two convex polygons in the
+//!   plane (dimension 4);
+//! * [`hitting_set`] / [`set_cover`] — the two NP-hard set problems of
+//!   Section 4. These are *not* exposed through `LpType` (their
+//!   combinatorial dimension can be as large as `|X|`, which is exactly
+//!   the paper's point); instead [`hitting_set::SetSystem`] provides the
+//!   primitives Algorithm 6 needs, plus greedy and exact sequential
+//!   baselines, and [`set_cover`] provides the classical dual reduction
+//!   to hitting set.
+//!
+//! Every element type carries a small integer `id`. Ids make elements
+//! `O(log n)`-bit messages, give the deterministic tie-breaking order the
+//! termination protocol needs, and identify copies of the same element
+//! created by the gossip algorithms' duplication steps.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hitting_set;
+pub mod lp;
+pub mod med;
+pub mod meb;
+pub mod polydist;
+pub mod set_cover;
+
+pub use hitting_set::{greedy_hitting_set, min_hitting_set_exact, SetSystem};
+pub use lp::{FixedDimLp, IdHalfspace, LpValue};
+pub use med::{IdPoint2, Med, MedValue};
+pub use meb::{IdPointD, Meb, MebValue};
+pub use polydist::{PdValue, PolytopeDistance, Side, SidedPoint};
+pub use set_cover::SetCover;

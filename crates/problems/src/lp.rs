@@ -1,0 +1,265 @@
+//! Fixed-dimension linear programming as an LP-type problem.
+//!
+//! `H` is a set of halfspace constraints `a·x ≤ b` in `d` variables and
+//! `f(G)` is the minimum of the objective `c·x` over `∩G`, intersected
+//! with an implicit bounding box `|x_i| ≤ bound` that keeps every
+//! subproblem bounded (the standard "big-M" device). The optimum point
+//! with lexicographic tie-breaking makes `f` uniquely valued, which is
+//! the paper's non-degeneracy convention (Section 1.1). Because every
+//! subset of constraints (plus the box) is feasible whenever the full
+//! instance is, and all workload generators in this workspace produce
+//! feasible instances, the combinatorial dimension equals the number of
+//! variables `d`.
+
+use lpt::{Basis, LpType};
+use lpt_geom::lp::{solve_lp_vertex_enum, Halfspace, LpOutcome};
+use std::cmp::Ordering;
+
+/// A halfspace constraint with an element id.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IdHalfspace {
+    /// Stable element identifier.
+    pub id: u32,
+    /// The constraint `a·x ≤ b`.
+    pub h: Halfspace,
+}
+
+impl IdHalfspace {
+    /// Creates an id-tagged constraint.
+    pub fn new(id: u32, a: Vec<f64>, b: f64) -> Self {
+        IdHalfspace { id, h: Halfspace::new(a, b) }
+    }
+}
+
+/// Value of `f`: the objective value and the optimizing vertex
+/// (lexicographic tie-break). `f64::INFINITY` objective encodes an
+/// infeasible subproblem (cannot occur for feasible instances).
+#[derive(Clone, Debug, PartialEq)]
+pub struct LpValue {
+    /// Objective value at the optimum.
+    pub objective: f64,
+    /// The optimal vertex.
+    pub x: Vec<f64>,
+}
+
+/// The fixed-dimension LP problem description: objective and box bound.
+#[derive(Clone, Debug)]
+pub struct FixedDimLp {
+    /// Objective coefficients (`minimize c·x`); length = #variables.
+    pub c: Vec<f64>,
+    /// Implicit bounding box half-width.
+    pub bound: f64,
+}
+
+impl FixedDimLp {
+    /// Creates an LP description; `bound` defaults to `1e4` via
+    /// [`FixedDimLp::with_default_bound`].
+    pub fn new(c: Vec<f64>, bound: f64) -> Self {
+        assert!(!c.is_empty());
+        assert!(bound > 0.0);
+        FixedDimLp { c, bound }
+    }
+
+    /// Creates an LP description with the default box bound `1e4`.
+    pub fn with_default_bound(c: Vec<f64>) -> Self {
+        Self::new(c, 1e4)
+    }
+
+    /// Number of variables.
+    pub fn vars(&self) -> usize {
+        self.c.len()
+    }
+
+    fn solve(&self, elems: &[IdHalfspace]) -> LpValue {
+        let constraints: Vec<Halfspace> = elems.iter().map(|e| e.h.clone()).collect();
+        match solve_lp_vertex_enum(&self.c, &constraints, self.bound) {
+            LpOutcome::Optimal(sol) => LpValue { objective: sol.value, x: sol.x },
+            LpOutcome::Infeasible => {
+                LpValue { objective: f64::INFINITY, x: vec![f64::INFINITY; self.vars()] }
+            }
+        }
+    }
+}
+
+impl LpType for FixedDimLp {
+    type Element = IdHalfspace;
+    type Value = LpValue;
+
+    fn dim(&self) -> usize {
+        self.vars()
+    }
+
+    fn basis_of(&self, elems: &[IdHalfspace]) -> Basis<IdHalfspace, LpValue> {
+        let value = self.solve(elems);
+        if !value.objective.is_finite() {
+            // Infeasible subproblem (not produced by our generators):
+            // return everything as a defensive certificate.
+            let mut all = elems.to_vec();
+            all.sort_by_key(|a| a.id);
+            all.dedup_by_key(|e| e.id);
+            return Basis::new(all, value);
+        }
+        // Tight constraints at the optimum are the basis candidates.
+        let mut candidates: Vec<IdHalfspace> = elems
+            .iter()
+            .filter(|e| {
+                let scale = e
+                    .h
+                    .a
+                    .iter()
+                    .zip(&value.x)
+                    .map(|(ai, xi)| (ai * xi).abs())
+                    .fold(e.h.b.abs(), f64::max)
+                    .max(1.0);
+                e.h.slack(&value.x).abs() <= 1e-7 * scale
+            })
+            .cloned()
+            .collect();
+        candidates.sort_by_key(|a| a.id);
+        candidates.dedup_by_key(|e| e.id);
+        // Greedy minimization: drop candidates whose removal keeps the
+        // optimum (value + vertex) unchanged.
+        let same = |v: &LpValue| -> bool {
+            (v.objective - value.objective).abs() <= 1e-7 * value.objective.abs().max(1.0)
+                && v.x
+                    .iter()
+                    .zip(&value.x)
+                    .all(|(a, b)| (a - b).abs() <= 1e-6 * b.abs().max(1.0))
+        };
+        let mut i = 0;
+        while i < candidates.len() {
+            let mut reduced = candidates.clone();
+            reduced.remove(i);
+            if same(&self.solve(&reduced)) {
+                candidates = reduced;
+            } else {
+                i += 1;
+            }
+        }
+        Basis::new(candidates, value)
+    }
+
+    fn violates(&self, basis: &Basis<IdHalfspace, LpValue>, h: &IdHalfspace) -> bool {
+        // f(B ∪ {h}) > f(B) iff the current optimum breaks h: if the
+        // optimum satisfies h the value is unchanged (the vertex stays
+        // feasible and stays lexicographically minimal); otherwise it
+        // strictly increases in the (objective, lex-x) order.
+        !h.h.satisfied(&basis.value.x)
+    }
+
+    fn cmp_value(&self, a: &LpValue, b: &LpValue) -> Ordering {
+        a.objective.total_cmp(&b.objective).then_with(|| {
+            for (x, y) in a.x.iter().zip(&b.x) {
+                match x.total_cmp(y) {
+                    Ordering::Equal => continue,
+                    ord => return ord,
+                }
+            }
+            Ordering::Equal
+        })
+    }
+
+    fn cmp_element(&self, a: &IdHalfspace, b: &IdHalfspace) -> Ordering {
+        a.id.cmp(&b.id)
+    }
+
+    fn values_close(&self, a: &LpValue, b: &LpValue) -> bool {
+        if a.objective == b.objective {
+            // Covers the infinite (infeasible) sentinel too.
+            return a.x.iter().zip(&b.x).all(|(x, y)| x == y || (x - y).abs() <= 1e-6);
+        }
+        let scale = a.objective.abs().max(b.objective.abs()).max(1.0);
+        (a.objective - b.objective).abs() <= 1e-7 * scale
+            && a.x
+                .iter()
+                .zip(&b.x)
+                .all(|(x, y)| (x - y).abs() <= 1e-6 * x.abs().max(y.abs()).max(1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpt::axioms;
+    use rand::Rng;
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Random feasible 2D instance: constraints are tangent halfplanes of
+    /// random directions pushed outward from the origin, so `x = 0` is
+    /// always feasible.
+    fn random_instance(n: usize, seed: u64) -> Vec<IdHalfspace> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let t: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+                let r: f64 = rng.gen_range(1.0..5.0);
+                IdHalfspace::new(i as u32, vec![t.cos(), t.sin()], r)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dim_equals_vars() {
+        assert_eq!(FixedDimLp::with_default_bound(vec![1.0, 1.0]).dim(), 2);
+    }
+
+    #[test]
+    fn basis_of_simple_lp() {
+        let p = FixedDimLp::with_default_bound(vec![-1.0, -1.0]);
+        let elems = vec![
+            IdHalfspace::new(0, vec![1.0, 2.0], 4.0),
+            IdHalfspace::new(1, vec![3.0, 1.0], 6.0),
+            IdHalfspace::new(2, vec![-1.0, 0.0], 0.0),
+            IdHalfspace::new(3, vec![0.0, -1.0], 0.0),
+        ];
+        let b = p.basis_of(&elems);
+        assert!((b.value.objective + 2.8).abs() < 1e-9);
+        // The two binding constraints form the basis.
+        let ids: Vec<u32> = b.elements.iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn violation_test_is_slack_sign() {
+        let p = FixedDimLp::with_default_bound(vec![-1.0, 0.0]);
+        let elems = vec![IdHalfspace::new(0, vec![1.0, 0.0], 2.0)];
+        let b = p.basis_of(&elems); // optimum x = (2, -bound)
+        assert!(p.violates(&b, &IdHalfspace::new(1, vec![1.0, 0.0], 1.0)));
+        assert!(!p.violates(&b, &IdHalfspace::new(2, vec![1.0, 0.0], 3.0)));
+    }
+
+    #[test]
+    fn axioms_hold_on_random_2d_instance() {
+        let p = FixedDimLp::with_default_bound(vec![-1.0, -2.0]);
+        let elems = random_instance(16, 40);
+        let mut rng = ChaCha8Rng::seed_from_u64(41);
+        axioms::check_all(&p, &elems, 200, &mut rng).unwrap();
+    }
+
+    #[test]
+    fn clarkson_matches_direct_solve() {
+        let p = FixedDimLp::with_default_bound(vec![-1.0, -1.0]);
+        let elems = random_instance(400, 42);
+        let mut rng = ChaCha8Rng::seed_from_u64(43);
+        let res = lpt::clarkson(&p, &elems, &mut rng).unwrap();
+        let direct = p.basis_of(&elems);
+        assert!(
+            (res.basis.value.objective - direct.value.objective).abs()
+                <= 1e-7 * direct.value.objective.abs().max(1.0),
+            "clarkson {} vs direct {}",
+            res.basis.value.objective,
+            direct.value.objective
+        );
+    }
+
+    #[test]
+    fn basis_size_at_most_dim() {
+        let p = FixedDimLp::with_default_bound(vec![-1.0, -1.0]);
+        for seed in 0..10 {
+            let elems = random_instance(20, 50 + seed);
+            let b = p.basis_of(&elems);
+            assert!(b.len() <= p.dim(), "seed {seed}: basis {:?}", b.elements);
+        }
+    }
+}

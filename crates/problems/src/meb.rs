@@ -1,0 +1,220 @@
+//! Minimum enclosing ball in dimension `d` as an LP-type problem of
+//! combinatorial dimension `d + 1` (paper, Section 1.1: "for `d`
+//! dimensions, at most `d + 1` points are sufficient").
+
+use lpt::{Basis, LpType};
+use lpt_geom::ball::{min_enclosing_ball, BallD};
+use lpt_geom::PointD;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::cmp::Ordering;
+
+/// A `d`-dimensional point with an element id.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IdPointD {
+    /// Stable element identifier.
+    pub id: u32,
+    /// Coordinates.
+    pub p: PointD,
+}
+
+impl IdPointD {
+    /// Creates an id-tagged point.
+    pub fn new(id: u32, coords: Vec<f64>) -> Self {
+        IdPointD { id, p: PointD::new(coords) }
+    }
+}
+
+/// Value of `f` for MEB: squared radius plus center coordinates as
+/// deterministic tie-break.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MebValue {
+    /// Squared radius (negative for the empty ball).
+    pub r2: f64,
+    /// Center coordinates.
+    pub center: Vec<f64>,
+}
+
+impl MebValue {
+    /// Reconstructs the ball this value describes.
+    pub fn ball(&self) -> BallD {
+        BallD {
+            center: PointD::new(self.center.clone()),
+            radius: if self.r2 < 0.0 { -1.0 } else { self.r2.sqrt() },
+        }
+    }
+}
+
+/// The minimum-enclosing-ball problem in `space_dim` dimensions.
+#[derive(Clone, Copy, Debug)]
+pub struct Meb {
+    /// Dimension of the ambient Euclidean space.
+    pub space_dim: usize,
+}
+
+impl Meb {
+    /// Creates the problem for the given ambient dimension.
+    pub fn new(space_dim: usize) -> Self {
+        assert!(space_dim >= 1);
+        Meb { space_dim }
+    }
+
+    fn shuffle_seed(elems: &[IdPointD]) -> u64 {
+        let mut acc: u64 = 0x452821E638D01377;
+        for e in elems {
+            let mut z = (e.id as u64).wrapping_add(0x9E3779B97F4A7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            acc = acc.rotate_left(9) ^ z;
+        }
+        acc
+    }
+}
+
+impl LpType for Meb {
+    type Element = IdPointD;
+    type Value = MebValue;
+
+    fn dim(&self) -> usize {
+        self.space_dim + 1
+    }
+
+    fn basis_of(&self, elems: &[IdPointD]) -> Basis<IdPointD, MebValue> {
+        if elems.is_empty() {
+            return Basis::new(vec![], MebValue { r2: -1.0, center: vec![0.0; self.space_dim] });
+        }
+        // Solve over the distinct element set (duplicates change nothing).
+        let mut elems: Vec<IdPointD> = elems.to_vec();
+        elems.sort_by_key(|a| a.id);
+        elems.dedup_by_key(|e| e.id);
+        let elems = &elems[..];
+        let pts: Vec<PointD> = elems.iter().map(|e| e.p.clone()).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(Self::shuffle_seed(elems));
+        let ball = min_enclosing_ball(&pts, &mut rng);
+        // Support extraction: boundary points, then a minimal sub-basis by
+        // greedy removal (re-solving the tiny boundary set each time).
+        let mut support: Vec<IdPointD> = elems
+            .iter()
+            .filter(|e| ball.on_boundary(&e.p))
+            .cloned()
+            .collect();
+        support.sort_by_key(|a| a.id);
+        support.dedup_by_key(|e| e.id);
+        // Greedy minimization, keeping the ball radius intact.
+        let radius_of = |sup: &[IdPointD]| -> f64 {
+            let pts: Vec<PointD> = sup.iter().map(|e| e.p.clone()).collect();
+            let mut r = ChaCha8Rng::seed_from_u64(1);
+            min_enclosing_ball(&pts, &mut r).radius
+        };
+        let target = ball.radius;
+        let tol = 1e-6 * target.max(1.0);
+        let mut i = 0;
+        while i < support.len() && support.len() > 1 {
+            let mut reduced = support.clone();
+            reduced.remove(i);
+            if (radius_of(&reduced) - target).abs() <= tol {
+                support = reduced;
+            } else {
+                i += 1;
+            }
+        }
+        Basis::new(
+            support,
+            MebValue { r2: ball.radius * ball.radius, center: ball.center.coords },
+        )
+    }
+
+    fn violates(&self, basis: &Basis<IdPointD, MebValue>, h: &IdPointD) -> bool {
+        !basis.value.ball().contains(&h.p)
+    }
+
+    fn cmp_value(&self, a: &MebValue, b: &MebValue) -> Ordering {
+        a.r2.total_cmp(&b.r2).then_with(|| {
+            for (x, y) in a.center.iter().zip(&b.center) {
+                match x.total_cmp(y) {
+                    Ordering::Equal => continue,
+                    ord => return ord,
+                }
+            }
+            Ordering::Equal
+        })
+    }
+
+    fn cmp_element(&self, a: &IdPointD, b: &IdPointD) -> Ordering {
+        a.id.cmp(&b.id).then_with(|| a.p.total_cmp(&b.p))
+    }
+
+    fn values_close(&self, a: &MebValue, b: &MebValue) -> bool {
+        let scale = a.r2.abs().max(b.r2.abs()).max(1.0);
+        (a.r2 - b.r2).abs() <= 1e-7 * scale
+            && a.center
+                .iter()
+                .zip(&b.center)
+                .all(|(x, y)| (x - y).abs() <= 1e-6 * scale.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpt::axioms;
+    use rand::Rng;
+
+    fn random_points(n: usize, dim: usize, seed: u64) -> Vec<IdPointD> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                IdPointD::new(i as u32, (0..dim).map(|_| rng.gen_range(-5.0..5.0)).collect())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dim_is_space_dim_plus_one() {
+        assert_eq!(Meb::new(3).dim(), 4);
+    }
+
+    #[test]
+    fn antipodal_pair_4d() {
+        let elems = vec![
+            IdPointD::new(0, vec![2.0, 0.0, 0.0, 0.0]),
+            IdPointD::new(1, vec![-2.0, 0.0, 0.0, 0.0]),
+        ];
+        let b = Meb::new(4).basis_of(&elems);
+        assert!((b.value.r2 - 4.0).abs() < 1e-9);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn axioms_hold_3d() {
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let elems = random_points(18, 3, 32);
+        axioms::check_all(&Meb::new(3), &elems, 250, &mut rng).unwrap();
+    }
+
+    #[test]
+    fn clarkson_matches_direct_3d() {
+        let problem = Meb::new(3);
+        let elems = random_points(800, 3, 33);
+        let mut rng = ChaCha8Rng::seed_from_u64(34);
+        let res = lpt::clarkson(&problem, &elems, &mut rng).unwrap();
+        let direct = problem.basis_of(&elems);
+        assert!(
+            (res.basis.value.r2 - direct.value.r2).abs() <= 1e-6 * direct.value.r2.max(1.0)
+        );
+    }
+
+    #[test]
+    fn support_minimization_drops_interior_boundary_ties() {
+        // Square in 2D: all 4 corners are on the MEB boundary, but 3 (or
+        // 2 diagonal) suffice. The basis must have ≤ dim = 3 elements.
+        let elems = vec![
+            IdPointD::new(0, vec![1.0, 1.0]),
+            IdPointD::new(1, vec![-1.0, 1.0]),
+            IdPointD::new(2, vec![-1.0, -1.0]),
+            IdPointD::new(3, vec![1.0, -1.0]),
+        ];
+        let b = Meb::new(2).basis_of(&elems);
+        assert!(b.len() <= 3, "basis len {}", b.len());
+        assert!((b.value.r2 - 2.0).abs() < 1e-9);
+    }
+}

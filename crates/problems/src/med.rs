@@ -1,0 +1,225 @@
+//! Minimum enclosing disk (MED) as an LP-type problem of dimension 3.
+//!
+//! `H` is a set of points in the plane; `f(S)` is the radius of the
+//! smallest disk enclosing `S`, with the disk center as deterministic
+//! tie-break. At most 3 points determine the disk, so the combinatorial
+//! dimension is 3 (paper, Section 1.1). This is the problem of the
+//! paper's experimental evaluation (Section 5, Figures 1–3).
+
+use lpt::{Basis, LpType};
+use lpt_geom::welzl::min_enclosing_disk_with_support;
+use lpt_geom::{Disk, Point2};
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::cmp::Ordering;
+
+/// A plane point with an element id.
+///
+/// The id is the element's identity for tie-breaking and for recognizing
+/// gossip-created copies; coordinates are payload. One `IdPoint2` is one
+/// `O(log n)`-bit message in the paper's accounting.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IdPoint2 {
+    /// Stable element identifier (index into the instance).
+    pub id: u32,
+    /// Coordinates.
+    pub p: Point2,
+}
+
+impl IdPoint2 {
+    /// Creates an id-tagged point.
+    pub fn new(id: u32, x: f64, y: f64) -> Self {
+        IdPoint2 { id, p: Point2::new(x, y) }
+    }
+}
+
+/// The value of `f` for MED: squared radius plus the center coordinates
+/// as deterministic tie-break, ordered lexicographically by
+/// `(r², cx, cy)` under `total_cmp`.
+///
+/// The empty set maps to `r² = -1` (i.e. `f(∅) = -∞`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MedValue {
+    /// Squared radius (negative for the empty disk).
+    pub r2: f64,
+    /// Center x.
+    pub cx: f64,
+    /// Center y.
+    pub cy: f64,
+}
+
+impl MedValue {
+    /// The disk this value describes.
+    pub fn disk(&self) -> Disk {
+        if self.r2 < 0.0 {
+            Disk::EMPTY
+        } else {
+            Disk { center: Point2::new(self.cx, self.cy), radius: self.r2.sqrt() }
+        }
+    }
+
+    fn from_disk(d: &Disk) -> MedValue {
+        MedValue { r2: d.radius2(), cx: d.center.x, cy: d.center.y }
+    }
+}
+
+/// The minimum-enclosing-disk LP-type problem (dimension 3).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Med;
+
+impl Med {
+    /// Derives the deterministic shuffle seed for a basis computation
+    /// from the multiset of element ids, so `basis_of` is a pure function
+    /// of its input (required for reproducible distributed runs).
+    fn shuffle_seed(elems: &[IdPoint2]) -> u64 {
+        let mut acc: u64 = 0x243F_6A88_85A3_08D3;
+        for e in elems {
+            let mut z = (e.id as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            acc = acc.rotate_left(7) ^ z;
+        }
+        acc ^ (elems.len() as u64).wrapping_mul(0xD1B5_4A32_D192_ED03)
+    }
+}
+
+impl LpType for Med {
+    type Element = IdPoint2;
+    type Value = MedValue;
+
+    fn dim(&self) -> usize {
+        3
+    }
+
+    fn basis_of(&self, elems: &[IdPoint2]) -> Basis<IdPoint2, MedValue> {
+        if elems.is_empty() {
+            return Basis::new(vec![], MedValue { r2: -1.0, cx: 0.0, cy: 0.0 });
+        }
+        // Copies of the same element (gossip-created duplicates) change
+        // neither the disk nor the basis: solve over the distinct set,
+        // which also makes the result a pure function of that set.
+        let mut distinct: Vec<IdPoint2> = elems.to_vec();
+        distinct.sort_by_key(|a| a.id);
+        distinct.dedup_by_key(|e| e.id);
+        let pts: Vec<Point2> = distinct.iter().map(|e| e.p).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(Self::shuffle_seed(&distinct));
+        let (disk, support) = min_enclosing_disk_with_support(&pts, &mut rng);
+        let mut elements: Vec<IdPoint2> = support.iter().map(|&i| distinct[i]).collect();
+        elements.sort_by_key(|a| a.id);
+        Basis::new(elements, MedValue::from_disk(&disk))
+    }
+
+    fn violates(&self, basis: &Basis<IdPoint2, MedValue>, h: &IdPoint2) -> bool {
+        !basis.value.disk().contains(&h.p)
+    }
+
+    fn cmp_value(&self, a: &MedValue, b: &MedValue) -> Ordering {
+        a.r2.total_cmp(&b.r2)
+            .then_with(|| a.cx.total_cmp(&b.cx))
+            .then_with(|| a.cy.total_cmp(&b.cy))
+    }
+
+    fn cmp_element(&self, a: &IdPoint2, b: &IdPoint2) -> Ordering {
+        a.id.cmp(&b.id).then_with(|| a.p.total_cmp(&b.p))
+    }
+
+    fn values_close(&self, a: &MedValue, b: &MedValue) -> bool {
+        let scale = a.r2.abs().max(b.r2.abs()).max(1.0);
+        (a.r2 - b.r2).abs() <= 1e-7 * scale
+            && (a.cx - b.cx).abs() <= 1e-6 * scale.sqrt()
+            && (a.cy - b.cy).abs() <= 1e-6 * scale.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpt::axioms;
+    use rand::Rng;
+
+    fn random_points(n: usize, seed: u64) -> Vec<IdPoint2> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| IdPoint2::new(i as u32, rng.gen_range(-10.0..10.0), rng.gen_range(-10.0..10.0)))
+            .collect()
+    }
+
+    #[test]
+    fn empty_set_has_minus_infinity_value() {
+        let b = Med.basis_of(&[]);
+        assert!(b.is_empty());
+        assert!(b.value.r2 < 0.0);
+        // Everything violates the empty basis.
+        assert!(Med.violates(&b, &IdPoint2::new(0, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn basis_of_two_antipodal_points() {
+        let elems = vec![IdPoint2::new(0, -3.0, 0.0), IdPoint2::new(1, 3.0, 0.0)];
+        let b = Med.basis_of(&elems);
+        assert_eq!(b.len(), 2);
+        assert!((b.value.r2 - 9.0).abs() < 1e-9);
+        assert!(!Med.violates(&b, &IdPoint2::new(9, 0.0, 2.9)));
+        assert!(Med.violates(&b, &IdPoint2::new(9, 0.0, 3.1)));
+    }
+
+    #[test]
+    fn basis_is_pure_function_of_input() {
+        let elems = random_points(40, 7);
+        let b1 = Med.basis_of(&elems);
+        let b2 = Med.basis_of(&elems);
+        assert_eq!(b1, b2);
+    }
+
+    #[test]
+    fn satisfies_lp_type_axioms() {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let elems = random_points(25, 8);
+        axioms::check_all(&Med, &elems, 400, &mut rng).unwrap();
+    }
+
+    #[test]
+    fn duplicated_copies_dedup_in_basis() {
+        let p = IdPoint2::new(5, 1.0, 1.0);
+        let q = IdPoint2::new(6, -1.0, -1.0);
+        let elems = vec![p, q, p, p, q];
+        let b = Med.basis_of(&elems);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn clarkson_matches_direct_welzl() {
+        let elems = random_points(3000, 9);
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let res = lpt::clarkson(&Med, &elems, &mut rng).unwrap();
+        let direct = Med.basis_of(&elems);
+        assert!(
+            (res.basis.value.r2 - direct.value.r2).abs() <= 1e-7 * direct.value.r2.max(1.0),
+            "clarkson {} vs direct {}",
+            res.basis.value.r2,
+            direct.value.r2
+        );
+    }
+
+    #[test]
+    fn exhaustive_oracle_agrees_on_small_sets() {
+        for seed in 0..20 {
+            let elems = random_points(8, 100 + seed);
+            let direct = Med.basis_of(&elems);
+            let oracle = lpt::exhaustive_basis(&Med, &elems).unwrap();
+            assert!(
+                (direct.value.r2 - oracle.value.r2).abs() <= 1e-7 * direct.value.r2.max(1.0),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn value_order_is_total_and_radius_first() {
+        let small = MedValue { r2: 1.0, cx: 9.0, cy: 9.0 };
+        let big = MedValue { r2: 2.0, cx: 0.0, cy: 0.0 };
+        assert_eq!(Med.cmp_value(&small, &big), Ordering::Less);
+        let tie_a = MedValue { r2: 1.0, cx: 0.0, cy: 0.0 };
+        let tie_b = MedValue { r2: 1.0, cx: 0.0, cy: 1.0 };
+        assert_eq!(Med.cmp_value(&tie_a, &tie_b), Ordering::Less);
+    }
+}

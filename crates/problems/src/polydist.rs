@@ -1,0 +1,391 @@
+//! Polytope distance as an LP-type problem of dimension 4 (in the plane).
+//!
+//! `H` is a set of points, each tagged with the polytope (`A` or `B`) it
+//! belongs to; for two-sided subsets `f(S) = -dist(conv(S∩A), conv(S∩B))`,
+//! i.e. larger `f` means *closer* polytopes, so adding points (growing
+//! the hulls) can only increase `f` — monotonicity. A closest pair of
+//! features is realized by at most 2 points per hull, so the
+//! combinatorial dimension is 4.
+//!
+//! Subsets missing one or both sides need care: with the naive
+//! convention `f = -∞` for all of them, locality fails (the basis of a
+//! one-sided set would be `∅` and could not witness which side is
+//! present). [`PdValue`] therefore grades values by the number of sides
+//! present (`0 < 1 < 2`), and the basis of a one-sided set retains one
+//! canonical witness point. Degenerate distance ties between distinct
+//! closest-feature pairs are resolved by canonical element order;
+//! workload generators produce instances in general position.
+
+use lpt::{Basis, LpType};
+use lpt_geom::hull::{convex_hull, point_in_convex_hull, polygon_distance, segment_segment_distance};
+use lpt_geom::Point2;
+use std::cmp::Ordering;
+
+/// Which polytope a point belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Side {
+    /// First polytope.
+    A,
+    /// Second polytope.
+    B,
+}
+
+/// A point tagged with its polytope and an element id.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SidedPoint {
+    /// Stable element identifier.
+    pub id: u32,
+    /// Which polytope the point belongs to.
+    pub side: Side,
+    /// Coordinates.
+    pub p: Point2,
+}
+
+impl SidedPoint {
+    /// Creates a tagged point.
+    pub fn new(id: u32, side: Side, x: f64, y: f64) -> Self {
+        SidedPoint { id, side, p: Point2::new(x, y) }
+    }
+}
+
+/// Value of `f`, graded by how many polytopes are represented.
+///
+/// Ordered by `sides` ascending, then by `dist` *descending* (smaller
+/// distance = larger `f`). `dist` is `+∞` unless both sides are present.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PdValue {
+    /// Number of sides present in the subset (0, 1 or 2).
+    pub sides: u8,
+    /// Distance between the hulls (finite iff `sides == 2`).
+    pub dist: f64,
+}
+
+/// The polytope-distance problem description (stateless).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PolytopeDistance;
+
+impl PolytopeDistance {
+    fn split(elems: &[SidedPoint]) -> (Vec<Point2>, Vec<Point2>) {
+        let a = elems.iter().filter(|e| e.side == Side::A).map(|e| e.p).collect();
+        let b = elems.iter().filter(|e| e.side == Side::B).map(|e| e.p).collect();
+        (a, b)
+    }
+
+    /// Hull distance of a subset (`+∞` when a side is missing).
+    pub fn distance(elems: &[SidedPoint]) -> f64 {
+        let (a, b) = Self::split(elems);
+        polygon_distance(&a, &b)
+    }
+
+    fn sides_present(elems: &[SidedPoint]) -> u8 {
+        let a = elems.iter().any(|e| e.side == Side::A);
+        let b = elems.iter().any(|e| e.side == Side::B);
+        u8::from(a) + u8::from(b)
+    }
+
+    /// Finds ≤ 4 witness elements realizing a finite distance.
+    fn witnesses(elems: &[SidedPoint], dist: f64) -> Vec<SidedPoint> {
+        let tol = 1e-7 * dist.max(1.0);
+        let (pa, pb) = Self::split(elems);
+        let ha = convex_hull(&pa);
+        let hb = convex_hull(&pb);
+        let find = |p: &Point2, side: Side| -> SidedPoint {
+            *elems
+                .iter()
+                .find(|e| e.side == side && e.p.dist2(p) <= 1e-18)
+                .expect("hull vertex must be an input point")
+        };
+        if dist <= tol {
+            // Intersecting case: check containment witnesses first.
+            for (inner, outer, si, so) in
+                [(&ha, &hb, Side::A, Side::B), (&hb, &ha, Side::B, Side::A)]
+            {
+                for p in inner.iter() {
+                    if point_in_convex_hull(p, outer) {
+                        // p plus a containing triangle fan of the outer hull.
+                        let mut w = vec![find(p, si)];
+                        if outer.len() <= 3 {
+                            w.extend(outer.iter().map(|q| find(q, so)));
+                        } else {
+                            for i in 1..outer.len() - 1 {
+                                let tri = [outer[0], outer[i], outer[i + 1]];
+                                if point_in_convex_hull(p, &tri) {
+                                    w.extend(tri.iter().map(|q| find(q, so)));
+                                    break;
+                                }
+                            }
+                        }
+                        w.truncate(4);
+                        return w;
+                    }
+                }
+            }
+        }
+        // Closest feature pair over hull edges (degenerate hulls become
+        // zero-length segments).
+        let edges = |h: &[Point2]| -> Vec<(Point2, Point2)> {
+            match h.len() {
+                0 => vec![],
+                1 => vec![(h[0], h[0])],
+                2 => vec![(h[0], h[1])],
+                n => (0..n).map(|i| (h[i], h[(i + 1) % n])).collect(),
+            }
+        };
+        let mut best: Option<((Point2, Point2), (Point2, Point2))> = None;
+        let mut best_d = f64::INFINITY;
+        for ea in edges(&ha) {
+            for eb in edges(&hb) {
+                let d = segment_segment_distance(&ea.0, &ea.1, &eb.0, &eb.1);
+                if d < best_d {
+                    best_d = d;
+                    best = Some((ea, eb));
+                }
+            }
+        }
+        let Some((ea, eb)) = best else { return vec![] };
+        let mut w: Vec<SidedPoint> = Vec::with_capacity(4);
+        for (p, side) in [(ea.0, Side::A), (ea.1, Side::A), (eb.0, Side::B), (eb.1, Side::B)] {
+            let e = find(&p, side);
+            if !w.iter().any(|x| x.id == e.id) {
+                w.push(e);
+            }
+        }
+        // Minimal subset among the witnesses reproducing the distance.
+        for size in 2..=w.len() {
+            let mut best_subset: Option<Vec<SidedPoint>> = None;
+            subsets(&w, size, &mut |subset| {
+                if best_subset.is_none() && (Self::distance(subset) - dist).abs() <= tol {
+                    best_subset = Some(subset.to_vec());
+                }
+            });
+            if let Some(s) = best_subset {
+                return s;
+            }
+        }
+        w
+    }
+}
+
+fn subsets<T: Clone>(items: &[T], size: usize, f: &mut impl FnMut(&[T])) {
+    fn rec<T: Clone>(
+        items: &[T],
+        size: usize,
+        start: usize,
+        cur: &mut Vec<T>,
+        f: &mut impl FnMut(&[T]),
+    ) {
+        if cur.len() == size {
+            f(cur);
+            return;
+        }
+        for i in start..items.len() {
+            cur.push(items[i].clone());
+            rec(items, size, i + 1, cur, f);
+            cur.pop();
+        }
+    }
+    let mut cur = Vec::with_capacity(size);
+    rec(items, size, 0, &mut cur, f);
+}
+
+impl LpType for PolytopeDistance {
+    type Element = SidedPoint;
+    type Value = PdValue;
+
+    fn dim(&self) -> usize {
+        4
+    }
+
+    fn basis_of(&self, elems: &[SidedPoint]) -> Basis<SidedPoint, PdValue> {
+        match Self::sides_present(elems) {
+            0 => Basis::new(vec![], PdValue { sides: 0, dist: f64::INFINITY }),
+            1 => {
+                // One canonical witness keeps the present side observable.
+                let w = *elems
+                    .iter()
+                    .min_by(|a, b| a.id.cmp(&b.id))
+                    .expect("non-empty by sides_present");
+                Basis::new(vec![w], PdValue { sides: 1, dist: f64::INFINITY })
+            }
+            _ => {
+                let dist = Self::distance(elems);
+                let mut w = Self::witnesses(elems, dist);
+                w.sort_by_key(|a| a.id);
+                w.dedup_by_key(|e| e.id);
+                Basis::new(w, PdValue { sides: 2, dist })
+            }
+        }
+    }
+
+    fn violates(&self, basis: &Basis<SidedPoint, PdValue>, h: &SidedPoint) -> bool {
+        match basis.value.sides {
+            0 => true, // any point raises the grade
+            1 => basis.elements[0].side != h.side,
+            _ => {
+                // Recompute-based test: does adding h strictly decrease
+                // the distance?
+                let mut with = basis.elements.clone();
+                with.push(*h);
+                let new = Self::distance(&with);
+                new < basis.value.dist - 1e-7 * basis.value.dist.max(1.0)
+            }
+        }
+    }
+
+    fn cmp_value(&self, a: &PdValue, b: &PdValue) -> Ordering {
+        // Grade ascending, then distance *descending*.
+        a.sides.cmp(&b.sides).then_with(|| b.dist.total_cmp(&a.dist))
+    }
+
+    fn cmp_element(&self, a: &SidedPoint, b: &SidedPoint) -> Ordering {
+        a.id.cmp(&b.id)
+    }
+
+    fn values_close(&self, a: &PdValue, b: &PdValue) -> bool {
+        if a.sides != b.sides {
+            return false;
+        }
+        if a.sides < 2 {
+            return true;
+        }
+        (a.dist - b.dist).abs() <= 1e-7 * a.dist.max(b.dist).max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Two separated clusters around (-5, 0) and (5, 0).
+    fn separated_instance(n: usize, seed: u64) -> Vec<SidedPoint> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(2 * n);
+        for i in 0..n {
+            out.push(SidedPoint::new(
+                i as u32,
+                Side::A,
+                -5.0 + rng.gen_range(-2.0..2.0),
+                rng.gen_range(-3.0..3.0),
+            ));
+            out.push(SidedPoint::new(
+                (n + i) as u32,
+                Side::B,
+                5.0 + rng.gen_range(-2.0..2.0),
+                rng.gen_range(-3.0..3.0),
+            ));
+        }
+        out
+    }
+
+    #[test]
+    fn graded_values_for_missing_sides() {
+        let p = PolytopeDistance;
+        let empty = p.basis_of(&[]);
+        assert_eq!(empty.value.sides, 0);
+        assert!(empty.is_empty());
+
+        let one = p.basis_of(&[SidedPoint::new(0, Side::A, 0.0, 0.0)]);
+        assert_eq!(one.value.sides, 1);
+        assert_eq!(one.len(), 1);
+
+        // Grade order: 0 < 1 < 2.
+        let two = PdValue { sides: 2, dist: 3.0 };
+        assert_eq!(p.cmp_value(&empty.value, &one.value), Ordering::Less);
+        assert_eq!(p.cmp_value(&one.value, &two), Ordering::Less);
+    }
+
+    #[test]
+    fn one_sided_violation_tests() {
+        let p = PolytopeDistance;
+        let b = p.basis_of(&[SidedPoint::new(0, Side::A, 0.0, 0.0)]);
+        // Other side raises the grade: violation.
+        assert!(p.violates(&b, &SidedPoint::new(1, Side::B, 3.0, 4.0)));
+        // Same side keeps grade 1: no violation.
+        assert!(!p.violates(&b, &SidedPoint::new(2, Side::A, 1.0, 1.0)));
+        // Everything violates the empty basis.
+        let e = p.basis_of(&[]);
+        assert!(p.violates(&e, &SidedPoint::new(3, Side::A, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn point_pair_distance() {
+        let elems = vec![
+            SidedPoint::new(0, Side::A, 0.0, 0.0),
+            SidedPoint::new(1, Side::B, 3.0, 4.0),
+        ];
+        let b = PolytopeDistance.basis_of(&elems);
+        assert_eq!(b.value.sides, 2);
+        assert!((b.value.dist - 5.0).abs() < 1e-12);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn basis_witnesses_reproduce_distance() {
+        for seed in 0..10 {
+            let elems = separated_instance(20, 60 + seed);
+            let b = PolytopeDistance.basis_of(&elems);
+            assert!(b.len() <= 4, "seed {seed}: basis len {}", b.len());
+            let d = PolytopeDistance::distance(&b.elements);
+            assert!(
+                (d - b.value.dist).abs() <= 1e-6 * b.value.dist.max(1.0),
+                "seed {seed}: {} vs {}",
+                d,
+                b.value.dist
+            );
+        }
+    }
+
+    #[test]
+    fn closer_point_violates() {
+        let elems = separated_instance(10, 70);
+        let b = PolytopeDistance.basis_of(&elems);
+        assert!(PolytopeDistance.violates(&b, &SidedPoint::new(999, Side::A, 4.9, 0.0)));
+    }
+
+    #[test]
+    fn interior_point_does_not_violate() {
+        let elems = separated_instance(10, 71);
+        let b = PolytopeDistance.basis_of(&elems);
+        assert!(!PolytopeDistance.violates(&b, &SidedPoint::new(999, Side::A, -9.0, 0.0)));
+    }
+
+    #[test]
+    fn axioms_hold() {
+        let mut rng = ChaCha8Rng::seed_from_u64(72);
+        let elems = separated_instance(12, 73);
+        lpt::axioms::check_all(&PolytopeDistance, &elems, 300, &mut rng).unwrap();
+    }
+
+    #[test]
+    fn clarkson_matches_direct() {
+        let elems = separated_instance(300, 74);
+        let mut rng = ChaCha8Rng::seed_from_u64(75);
+        let res = lpt::clarkson(&PolytopeDistance, &elems, &mut rng).unwrap();
+        let direct = PolytopeDistance::distance(&elems);
+        assert!(
+            (res.basis.value.dist - direct).abs() <= 1e-6 * direct.max(1.0),
+            "clarkson {} vs direct {}",
+            res.basis.value.dist,
+            direct
+        );
+    }
+
+    #[test]
+    fn intersecting_hulls_zero_distance() {
+        let elems = vec![
+            SidedPoint::new(0, Side::A, -1.0, -1.0),
+            SidedPoint::new(1, Side::A, 1.0, -1.0),
+            SidedPoint::new(2, Side::A, 0.0, 2.0),
+            SidedPoint::new(3, Side::B, 0.0, 0.0),
+            SidedPoint::new(4, Side::B, 5.0, 5.0),
+        ];
+        let b = PolytopeDistance.basis_of(&elems);
+        assert!(b.value.dist <= 1e-9);
+        assert!(b.len() <= 4);
+        let d = PolytopeDistance::distance(&b.elements);
+        assert!(d <= 1e-9, "witnesses must also intersect, got {d}");
+    }
+}

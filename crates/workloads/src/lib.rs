@@ -1,0 +1,21 @@
+//! # `lpt-workloads` — workload generators
+//!
+//! Dataset and instance generators for the experiments:
+//!
+//! * [`med`] — the four minimum-enclosing-disk dataset families of the
+//!   paper's Figure 1 (`duo-disk`, `triple-disk`, `triangle`, `hull`),
+//!   plus extra families for wider testing;
+//! * [`lp`] — random feasible fixed-dimension LP instances;
+//! * [`sets`] — hitting-set / set-cover instances with a planted small
+//!   hitting set, the regime of Theorem 5 (`d` small, `s` sets).
+//!
+//! All generators are deterministic functions of an explicit seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lp;
+pub mod med;
+pub mod sets;
+
+pub use med::{MedDataset, MED_DATASETS};

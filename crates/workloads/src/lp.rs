@@ -1,0 +1,88 @@
+//! Random feasible fixed-dimension LP instances.
+
+use lpt_problems::IdHalfspace;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Generates `n` halfspace constraints in `dim` variables, all satisfied
+/// at the origin (tangent hyperplanes of random directions pushed outward
+/// by a random offset in `[r_min, r_max]`), so every instance — and by
+/// monotonicity every subset — is feasible.
+pub fn random_feasible_lp(n: usize, dim: usize, seed: u64) -> Vec<IdHalfspace> {
+    assert!(dim >= 1);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x6C70_5F67_656E);
+    (0..n)
+        .map(|i| {
+            // Random unit direction via normalized Gaussian-ish sampling
+            // (sum of uniforms is fine for direction diversity here).
+            let mut a: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let norm = a.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-9);
+            for x in &mut a {
+                *x /= norm;
+            }
+            let b = rng.gen_range(1.0..8.0);
+            IdHalfspace::new(i as u32, a, b)
+        })
+        .collect()
+}
+
+/// A production-planning style 2-variable LP: maximize `p1·x + p2·y`
+/// (minimize the negation) under `n` random resource constraints
+/// `a·x + b·y ≤ c` with `a, b ≥ 0`, plus nonnegativity. Feasible at the
+/// origin by construction.
+pub fn production_lp(n: usize, seed: u64) -> (Vec<f64>, Vec<IdHalfspace>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x7072_6F64);
+    let objective = vec![-rng.gen_range(1.0..5.0), -rng.gen_range(1.0..5.0)];
+    let mut cons: Vec<IdHalfspace> = Vec::with_capacity(n + 2);
+    cons.push(IdHalfspace::new(0, vec![-1.0, 0.0], 0.0)); // x >= 0
+    cons.push(IdHalfspace::new(1, vec![0.0, -1.0], 0.0)); // y >= 0
+    for i in 0..n {
+        let a = rng.gen_range(0.1..3.0);
+        let b = rng.gen_range(0.1..3.0);
+        let c = rng.gen_range(2.0..20.0);
+        cons.push(IdHalfspace::new((i + 2) as u32, vec![a, b], c));
+    }
+    (objective, cons)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpt::LpType;
+    use lpt_problems::FixedDimLp;
+
+    #[test]
+    fn random_lp_is_feasible_at_origin() {
+        let cons = random_feasible_lp(200, 3, 1);
+        assert_eq!(cons.len(), 200);
+        for c in &cons {
+            assert!(c.h.satisfied(&[0.0, 0.0, 0.0]));
+        }
+    }
+
+    #[test]
+    fn random_lp_solves() {
+        let cons = random_feasible_lp(60, 2, 2);
+        let p = FixedDimLp::with_default_bound(vec![-1.0, -1.0]);
+        let b = p.basis_of(&cons);
+        assert!(b.value.objective.is_finite());
+        assert!(b.len() <= 2);
+    }
+
+    #[test]
+    fn production_lp_bounded_and_feasible() {
+        let (c, cons) = production_lp(30, 3);
+        let p = FixedDimLp::with_default_bound(c);
+        let b = p.basis_of(&cons);
+        assert!(b.value.objective.is_finite());
+        // Optimum must be in the nonnegative quadrant and away from the box.
+        assert!(b.value.x[0] >= -1e-9 && b.value.x[1] >= -1e-9);
+        assert!(b.value.x[0] < 1e3 && b.value.x[1] < 1e3);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(random_feasible_lp(10, 2, 9), random_feasible_lp(10, 2, 9));
+    }
+}

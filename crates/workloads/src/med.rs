@@ -1,0 +1,270 @@
+//! The four MED dataset families of the paper's experimental evaluation
+//! (Section 5, Figure 1).
+//!
+//! * **duo-disk** — 2 points lie on the solution disk (a diametral pair);
+//!   the rest are uniform in the interior. Optimal basis size 2.
+//! * **triple-disk** — 3 points lie on the solution disk; the rest are
+//!   uniform in the interior. Optimal basis size 3.
+//! * **triangle** — 3 points form a (non-obtuse) triangle; the rest are
+//!   uniform in its interior. Optimal basis size 3.
+//! * **hull** — points are slightly perturbed vertices of a regular
+//!   `n`-gon. Optimal basis size is typically 3 and the basis points are
+//!   not known in advance.
+//!
+//! The paper found duo-disk (basis size 2) noticeably faster than the
+//! three basis-size-3 families, which is the main qualitative claim the
+//! benchmark harness reproduces.
+
+use lpt_problems::IdPoint2;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Radius of the generated solution disks.
+const R: f64 = 10.0;
+
+/// The dataset families of Figure 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MedDataset {
+    /// Two points on the solution circle, rest strictly inside.
+    DuoDisk,
+    /// Three points on the solution circle, rest strictly inside.
+    TripleDisk,
+    /// Non-obtuse triangle corners plus interior points.
+    Triangle,
+    /// Perturbed regular-polygon vertices.
+    Hull,
+}
+
+/// All four datasets in the paper's plotting order.
+pub const MED_DATASETS: [MedDataset; 4] =
+    [MedDataset::TripleDisk, MedDataset::Triangle, MedDataset::Hull, MedDataset::DuoDisk];
+
+impl MedDataset {
+    /// The dataset's name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MedDataset::DuoDisk => "duo-disk",
+            MedDataset::TripleDisk => "triple-disk",
+            MedDataset::Triangle => "triangle",
+            MedDataset::Hull => "hull",
+        }
+    }
+
+    /// Size of the optimal basis this family is designed to have.
+    pub fn designed_basis_size(&self) -> usize {
+        match self {
+            MedDataset::DuoDisk => 2,
+            _ => 3,
+        }
+    }
+
+    /// Generates `n` points deterministically from `seed`.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<IdPoint2> {
+        match self {
+            MedDataset::DuoDisk => duo_disk(n, seed),
+            MedDataset::TripleDisk => triple_disk(n, seed),
+            MedDataset::Triangle => triangle(n, seed),
+            MedDataset::Hull => hull(n, seed),
+        }
+    }
+}
+
+fn rng_for(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed ^ 0x6D65_645F_6461_7461)
+}
+
+/// Uniform point strictly inside the disk of radius `r·shrink` centered
+/// at the origin.
+fn interior_point<Rn: Rng + ?Sized>(rng: &mut Rn, r: f64) -> (f64, f64) {
+    // Rejection-free: radius via sqrt transform, shrunk to keep points
+    // strictly interior.
+    let rr = r * 0.999 * rng.gen_range(0.0f64..1.0).sqrt();
+    let t = rng.gen_range(0.0..std::f64::consts::TAU);
+    (rr * t.cos(), rr * t.sin())
+}
+
+/// duo-disk (Figure 1a): a diametral pair on the circle of radius `R`,
+/// remaining points uniform in the interior.
+pub fn duo_disk(n: usize, seed: u64) -> Vec<IdPoint2> {
+    assert!(n >= 1);
+    let mut rng = rng_for(seed);
+    let phi = rng.gen_range(0.0..std::f64::consts::TAU);
+    let mut pts = Vec::with_capacity(n);
+    pts.push(IdPoint2::new(0, R * phi.cos(), R * phi.sin()));
+    if n >= 2 {
+        pts.push(IdPoint2::new(1, -R * phi.cos(), -R * phi.sin()));
+    }
+    for i in 2..n {
+        let (x, y) = interior_point(&mut rng, R);
+        pts.push(IdPoint2::new(i as u32, x, y));
+    }
+    pts
+}
+
+/// triple-disk (Figure 1b): three points on the circle of radius `R`
+/// whose MED is that circle (pairwise angular gaps < π), remaining points
+/// uniform in the interior.
+pub fn triple_disk(n: usize, seed: u64) -> Vec<IdPoint2> {
+    assert!(n >= 1);
+    let mut rng = rng_for(seed.wrapping_add(1));
+    let base = rng.gen_range(0.0..std::f64::consts::TAU);
+    // Perturbed equilateral angles: every gap stays well below π, so the
+    // triangle is acute and all three points support the MED.
+    let jitter = std::f64::consts::TAU / 18.0;
+    let angles: Vec<f64> = (0..3)
+        .map(|k| base + k as f64 * std::f64::consts::TAU / 3.0 + rng.gen_range(-jitter..jitter))
+        .collect();
+    let mut pts = Vec::with_capacity(n);
+    for (i, a) in angles.iter().enumerate().take(n.min(3)) {
+        pts.push(IdPoint2::new(i as u32, R * a.cos(), R * a.sin()));
+    }
+    for i in 3..n {
+        let (x, y) = interior_point(&mut rng, R);
+        pts.push(IdPoint2::new(i as u32, x, y));
+    }
+    pts
+}
+
+/// triangle (Figure 1c): corners of a non-obtuse triangle plus uniform
+/// interior points (by barycentric sampling).
+pub fn triangle(n: usize, seed: u64) -> Vec<IdPoint2> {
+    assert!(n >= 1);
+    let mut rng = rng_for(seed.wrapping_add(2));
+    // Acute triangle inscribed in the radius-R circle (same jittered
+    // equilateral construction as triple-disk, different magnitudes).
+    let base = rng.gen_range(0.0..std::f64::consts::TAU);
+    let jitter = std::f64::consts::TAU / 24.0;
+    let corners: Vec<(f64, f64)> = (0..3)
+        .map(|k| {
+            let a = base + k as f64 * std::f64::consts::TAU / 3.0 + rng.gen_range(-jitter..jitter);
+            (R * a.cos(), R * a.sin())
+        })
+        .collect();
+    let mut pts = Vec::with_capacity(n);
+    for (i, &(x, y)) in corners.iter().enumerate().take(n.min(3)) {
+        pts.push(IdPoint2::new(i as u32, x, y));
+    }
+    for i in 3..n {
+        // Uniform in the triangle via the reflection trick, pulled
+        // slightly toward the centroid to stay strictly interior.
+        let (mut u, mut v) = (rng.gen_range(0.0f64..1.0), rng.gen_range(0.0f64..1.0));
+        if u + v > 1.0 {
+            u = 1.0 - u;
+            v = 1.0 - v;
+        }
+        let w = 1.0 - u - v;
+        let shrink = 0.999;
+        let cx = (corners[0].0 + corners[1].0 + corners[2].0) / 3.0;
+        let cy = (corners[0].1 + corners[1].1 + corners[2].1) / 3.0;
+        let x = w * corners[0].0 + u * corners[1].0 + v * corners[2].0;
+        let y = w * corners[0].1 + u * corners[1].1 + v * corners[2].1;
+        pts.push(IdPoint2::new(
+            i as u32,
+            cx + shrink * (x - cx),
+            cy + shrink * (y - cy),
+        ));
+    }
+    pts
+}
+
+/// hull (Figure 1d): vertices of a regular `n`-gon of radius `R`,
+/// radially and angularly perturbed by a small relative amount.
+pub fn hull(n: usize, seed: u64) -> Vec<IdPoint2> {
+    assert!(n >= 1);
+    let mut rng = rng_for(seed.wrapping_add(3));
+    let perturb = 0.02;
+    (0..n)
+        .map(|i| {
+            let a = i as f64 / n as f64 * std::f64::consts::TAU
+                + rng.gen_range(-perturb..perturb) / n as f64;
+            let r = R * (1.0 + rng.gen_range(-perturb..perturb));
+            IdPoint2::new(i as u32, r * a.cos(), r * a.sin())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpt::LpType;
+    use lpt_problems::Med;
+
+    #[test]
+    fn sizes_and_ids_are_dense() {
+        for ds in MED_DATASETS {
+            let pts = ds.generate(100, 7);
+            assert_eq!(pts.len(), 100);
+            for (i, p) in pts.iter().enumerate() {
+                assert_eq!(p.id, i as u32, "{}", ds.name());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        for ds in MED_DATASETS {
+            assert_eq!(ds.generate(64, 5), ds.generate(64, 5));
+            assert_ne!(ds.generate(64, 5), ds.generate(64, 6));
+        }
+    }
+
+    #[test]
+    fn duo_disk_basis_is_the_planted_pair() {
+        for seed in 0..10 {
+            let pts = duo_disk(256, seed);
+            let b = Med.basis_of(&pts);
+            assert_eq!(b.len(), 2, "seed {seed}");
+            let ids: Vec<u32> = b.elements.iter().map(|e| e.id).collect();
+            assert_eq!(ids, vec![0, 1], "seed {seed}");
+            assert!((b.value.r2.sqrt() - R).abs() < 1e-9, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn triple_disk_basis_is_the_planted_triple() {
+        for seed in 0..10 {
+            let pts = triple_disk(256, seed);
+            let b = Med.basis_of(&pts);
+            assert_eq!(b.len(), 3, "seed {seed}");
+            let ids: Vec<u32> = b.elements.iter().map(|e| e.id).collect();
+            assert_eq!(ids, vec![0, 1, 2], "seed {seed}");
+            assert!((b.value.r2.sqrt() - R).abs() < 1e-9, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn triangle_basis_is_the_corners() {
+        for seed in 0..10 {
+            let pts = triangle(256, seed);
+            let b = Med.basis_of(&pts);
+            let ids: Vec<u32> = b.elements.iter().map(|e| e.id).collect();
+            assert_eq!(ids, vec![0, 1, 2], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn hull_basis_is_small_and_disk_covers_all() {
+        for seed in 0..5 {
+            let pts = hull(512, seed);
+            let b = Med.basis_of(&pts);
+            assert!(b.len() >= 2 && b.len() <= 3, "seed {seed}: {}", b.len());
+            let disk = b.value.disk();
+            for p in &pts {
+                assert!(disk.contains(&p.p), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_inputs_work() {
+        for ds in MED_DATASETS {
+            for n in 1..=4 {
+                let pts = ds.generate(n, 3);
+                assert_eq!(pts.len(), n);
+                let b = Med.basis_of(&pts);
+                assert!(b.len() <= 3);
+            }
+        }
+    }
+}

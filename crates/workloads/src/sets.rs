@@ -1,0 +1,150 @@
+//! Hitting-set / set-cover instances with a planted small hitting set —
+//! the regime of the paper's Theorem 5 (minimum hitting set of size `d`,
+//! `s` sets, `n` elements).
+
+use lpt_problems::{SetCover, SetSystem};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Generates a hitting-set instance over `n` elements with `s` sets such
+/// that a planted set of `d` elements hits everything (so the minimum
+/// hitting set has size ≤ `d`). Each set contains one planted element
+/// plus `set_size − 1` random fillers.
+///
+/// Returns `(system, planted)` with `planted` sorted.
+pub fn planted_hitting_set(
+    n: usize,
+    s: usize,
+    d: usize,
+    set_size: usize,
+    seed: u64,
+) -> (SetSystem, Vec<u32>) {
+    assert!(d >= 1 && d <= n);
+    assert!(set_size >= 1);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x6873_5F67_656E);
+    let mut ids: Vec<u32> = (0..n as u32).collect();
+    ids.shuffle(&mut rng);
+    let planted: Vec<u32> = {
+        let mut p = ids[..d].to_vec();
+        p.sort_unstable();
+        p
+    };
+    let sets: Vec<Vec<u32>> = (0..s)
+        .map(|_| {
+            let anchor = planted[rng.gen_range(0..d)];
+            let mut set = vec![anchor];
+            while set.len() < set_size {
+                let x = rng.gen_range(0..n as u32);
+                if !set.contains(&x) {
+                    set.push(x);
+                }
+            }
+            set
+        })
+        .collect();
+    (SetSystem::new(n, sets), planted)
+}
+
+/// Geometric hitting set: elements are `n` points on a line (positions
+/// `0..n`), sets are `s` random intervals of length in
+/// `[min_len, max_len]`. Interval systems have small VC dimension, the
+/// classical geometric regime for hitting-set approximation.
+pub fn interval_hitting_set(
+    n: usize,
+    s: usize,
+    min_len: usize,
+    max_len: usize,
+    seed: u64,
+) -> SetSystem {
+    assert!(min_len >= 1 && min_len <= max_len && max_len <= n);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x6976_6C73);
+    let sets: Vec<Vec<u32>> = (0..s)
+        .map(|_| {
+            let len = rng.gen_range(min_len..=max_len);
+            let start = rng.gen_range(0..=(n - len));
+            (start as u32..(start + len) as u32).collect()
+        })
+        .collect();
+    SetSystem::new(n, sets)
+}
+
+/// A set-cover instance whose dual has a planted small hitting set: `s`
+/// sets over `n` elements where `d` designated sets jointly cover `X`
+/// (so the minimum cover has size ≤ `d`).
+pub fn planted_set_cover(n: usize, s: usize, d: usize, seed: u64) -> SetCover {
+    assert!(d >= 1 && d <= s);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x7363_5F67_656E);
+    // Partition X among the d designated sets.
+    let mut sets: Vec<Vec<u32>> = vec![Vec::new(); s];
+    for x in 0..n as u32 {
+        sets[rng.gen_range(0..d)].push(x);
+    }
+    // Remaining sets are random subsets.
+    for set in sets.iter_mut().skip(d) {
+        let k = rng.gen_range(1..=(n / 4).max(1));
+        while set.len() < k {
+            let x = rng.gen_range(0..n as u32);
+            if !set.contains(&x) {
+                set.push(x);
+            }
+        }
+    }
+    // Designated sets might be empty when n < d (not allowed); guard.
+    for set in sets.iter_mut().take(d) {
+        if set.is_empty() {
+            set.push(rng.gen_range(0..n as u32));
+        }
+    }
+    SetCover::new(n, sets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpt_problems::{greedy_hitting_set, min_hitting_set_exact};
+
+    #[test]
+    fn planted_set_is_a_hitting_set() {
+        for seed in 0..10 {
+            let (sys, planted) = planted_hitting_set(100, 40, 3, 5, seed);
+            assert!(sys.is_hitting_set(&planted), "seed {seed}");
+            assert_eq!(planted.len(), 3);
+        }
+    }
+
+    #[test]
+    fn exact_optimum_at_most_planted() {
+        let (sys, planted) = planted_hitting_set(40, 25, 3, 4, 11);
+        let exact = min_hitting_set_exact(&sys, planted.len()).unwrap();
+        assert!(exact.len() <= planted.len());
+    }
+
+    #[test]
+    fn interval_instance_valid() {
+        let sys = interval_hitting_set(50, 20, 3, 10, 12);
+        assert_eq!(sys.num_sets(), 20);
+        let g = greedy_hitting_set(&sys);
+        assert!(sys.is_hitting_set(&g));
+    }
+
+    #[test]
+    fn planted_cover_has_small_cover() {
+        let sc = planted_set_cover(60, 20, 4, 13);
+        let cover: Vec<u32> = (0..4).collect();
+        assert!(sc.is_cover(&cover), "designated sets cover X");
+        // And the dual hitting-set view agrees.
+        assert!(sc.dual_hitting_set().is_hitting_set(&cover));
+    }
+
+    #[test]
+    fn determinism() {
+        let (a, pa) = planted_hitting_set(30, 10, 2, 3, 5);
+        let (b, pb) = planted_hitting_set(30, 10, 2, 3, 5);
+        assert_eq!(pa, pb);
+        for i in 0..a.num_sets() {
+            assert_eq!(a.set(i), b.set(i));
+        }
+    }
+}

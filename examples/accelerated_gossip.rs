@@ -1,0 +1,52 @@
+//! The accelerated High-Load variant (paper, Section 3.1): pushing the
+//! local basis `C` times per round trades work for rounds, reaching
+//! `O(d log n / log log n)` rounds at `C = log^ε n`. This example sweeps
+//! `C` on a fixed minimum-enclosing-disk instance and prints the
+//! rounds/work trade-off.
+//!
+//! ```sh
+//! cargo run --release --example accelerated_gossip [n]
+//! ```
+
+use lpt::LpType;
+use lpt_gossip::high_load::HighLoadConfig;
+use lpt_gossip::runner::{rounds_to_first_solution_high_load, HighLoadRunConfig};
+use lpt_problems::Med;
+use lpt_workloads::med::triple_disk;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2048);
+    let runs = 5u64;
+    let log2n = (n as f64).log2();
+    println!("accelerated high-load on triple-disk, n = {n} (log2 n = {log2n:.1}), {runs} runs per C");
+    println!();
+    println!("{:>6} {:>14} {:>18} {:>22}", "C", "avg rounds", "rounds/log2(n)", "max work/node/round");
+
+    let c_values = [
+        1usize,
+        (log2n.sqrt().ceil()) as usize, // C = log^0.5 n
+        log2n.ceil() as usize,          // C = log n
+        (2.0 * log2n).ceil() as usize,
+    ];
+    for &c in &c_values {
+        let mut rounds_sum = 0.0;
+        let mut max_work = 0u64;
+        for seed in 0..runs {
+            let points = triple_disk(n, seed);
+            let target = Med.basis_of(&points).value;
+            let cfg = HighLoadRunConfig {
+                protocol: HighLoadConfig { push_count: c, ..Default::default() },
+                ..Default::default()
+            };
+            let (first, metrics) =
+                rounds_to_first_solution_high_load(&Med, &points, n, cfg, seed, &target);
+            assert!(first.reached, "C = {c}, seed {seed} did not converge");
+            rounds_sum += first.rounds as f64;
+            max_work = max_work.max(metrics.max_node_work());
+        }
+        let avg = rounds_sum / runs as f64;
+        println!("{:>6} {:>14.1} {:>18.2} {:>22}", c, avg, avg / log2n, max_work);
+    }
+    println!();
+    println!("expected shape (Theorem 4): rounds shrink as C grows, work grows with C.");
+}

@@ -1,0 +1,55 @@
+//! Quickstart: solve a minimum enclosing disk problem on a simulated
+//! gossip network and compare against the sequential baselines.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use lpt::LpType;
+use lpt_gossip::runner::{run_low_load, LowLoadRunConfig};
+use lpt_problems::Med;
+use lpt_workloads::med::duo_disk;
+use rand_chacha::rand_core::SeedableRng;
+
+fn main() {
+    let n = 1024; // network size = number of points
+    let seed = 7;
+    let points = duo_disk(n, seed);
+
+    // Sequential baselines -------------------------------------------------
+    let direct = Med.basis_of(&points);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let clarkson = lpt::clarkson(&Med, &points, &mut rng).expect("clarkson");
+    println!("dataset             : duo-disk, {n} points on {n} nodes");
+    println!("welzl (sequential)  : r = {:.6}", direct.value.r2.sqrt());
+    println!(
+        "clarkson (sequential): r = {:.6} in {} iterations",
+        clarkson.basis.value.r2.sqrt(),
+        clarkson.stats.iterations
+    );
+
+    // Distributed gossip run ----------------------------------------------
+    let report = run_low_load(&Med, &points, n, LowLoadRunConfig::default(), seed);
+    assert!(report.all_halted, "network did not terminate");
+    let basis = report.consensus_output().expect("all nodes agree on the optimum");
+    println!(
+        "low-load gossip     : r = {:.6} in {} rounds (first candidate at round {:?})",
+        basis.value.r2.sqrt(),
+        report.rounds,
+        report.first_candidate_round
+    );
+    println!(
+        "                      max work/node/round = {}, total messages = {}",
+        report.metrics.max_node_work(),
+        report.metrics.total_ops()
+    );
+    println!(
+        "optimal basis       : {} points on the solution circle: {:?}",
+        basis.len(),
+        basis.elements.iter().map(|e| e.id).collect::<Vec<_>>()
+    );
+
+    let err = (basis.value.r2 - direct.value.r2).abs() / direct.value.r2.max(1.0);
+    assert!(err < 1e-7, "distributed and sequential answers must agree");
+    println!("agreement           : distributed == sequential (rel. err {err:.2e})");
+}

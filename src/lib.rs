@@ -1,0 +1,12 @@
+//! Umbrella crate for the `lpt-gossip` workspace.
+//!
+//! Re-exports the public API of every workspace crate so that the examples
+//! and integration tests in the repository root can use a single dependency.
+//! Library users should depend on the individual crates directly.
+
+pub use gossip_sim;
+pub use lpt;
+pub use lpt_geom;
+pub use lpt_gossip;
+pub use lpt_problems;
+pub use lpt_workloads;

@@ -1,0 +1,68 @@
+//! End-to-end: the distributed hitting-set algorithm (Theorem 5) and
+//! set cover through the dual reduction.
+
+use lpt_gossip::hitting_set::HittingSetConfig;
+use lpt_gossip::runner::run_hitting_set;
+use lpt_problems::{greedy_hitting_set, min_hitting_set_exact};
+use lpt_workloads::sets::{interval_hitting_set, planted_hitting_set, planted_set_cover};
+use std::sync::Arc;
+
+#[test]
+fn planted_instance_all_outputs_valid_and_bounded() {
+    let (sys, _) = planted_hitting_set(128, 32, 3, 6, 60);
+    let sys = Arc::new(sys);
+    let report = run_hitting_set(sys.clone(), 128, &HittingSetConfig::new(3), 5_000, 60);
+    assert!(report.all_halted);
+    for out in &report.outputs {
+        let hs = out.as_ref().expect("output");
+        assert!(sys.is_hitting_set(hs));
+        assert!(hs.len() <= report.size_bound);
+    }
+}
+
+#[test]
+fn size_close_to_greedy_and_exact_on_small_instance() {
+    let (sys, planted) = planted_hitting_set(64, 20, 2, 5, 61);
+    let sys = Arc::new(sys);
+    let exact = min_hitting_set_exact(&sys, planted.len()).expect("small optimum");
+    let greedy = greedy_hitting_set(&sys);
+    let report = run_hitting_set(sys.clone(), 64, &HittingSetConfig::new(2), 5_000, 61);
+    assert!(report.all_halted);
+    let best = report.best_output().unwrap();
+    // Theorem 5 promises O(d log(ds)), not optimality; sanity-check the
+    // relation chain exact ≤ greedy, exact ≤ distributed ≤ bound.
+    assert!(exact.len() <= greedy.len());
+    assert!(exact.len() <= best.len());
+    assert!(best.len() <= report.size_bound);
+}
+
+#[test]
+fn interval_system_geometric_instance() {
+    let sys = Arc::new(interval_hitting_set(256, 48, 8, 32, 62));
+    let report = run_hitting_set(sys.clone(), 256, &HittingSetConfig::new(4), 5_000, 62);
+    assert!(report.all_halted);
+    let best = report.best_output().unwrap();
+    assert!(sys.is_hitting_set(best));
+}
+
+#[test]
+fn set_cover_dual_end_to_end() {
+    let sc = planted_set_cover(200, 30, 4, 63);
+    let dual = Arc::new(sc.dual_hitting_set());
+    let report = run_hitting_set(dual.clone(), 200, &HittingSetConfig::new(4), 5_000, 63);
+    assert!(report.all_halted);
+    for out in &report.outputs {
+        let cover = out.as_ref().expect("output");
+        assert!(sc.is_cover(cover), "every node's output must be a valid cover");
+    }
+}
+
+#[test]
+fn deterministic_under_seed() {
+    let (sys, _) = planted_hitting_set(96, 24, 2, 5, 64);
+    let sys = Arc::new(sys);
+    let a = run_hitting_set(sys.clone(), 96, &HittingSetConfig::new(2), 5_000, 64);
+    let b = run_hitting_set(sys, 96, &HittingSetConfig::new(2), 5_000, 64);
+    assert_eq!(a.rounds, b.rounds);
+    assert_eq!(a.outputs, b.outputs);
+}

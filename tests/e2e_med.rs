@@ -1,0 +1,125 @@
+//! End-to-end: both gossip algorithms solve minimum enclosing disk on
+//! all four Figure-1 dataset families, agree with the sequential
+//! oracles, and reach full-network consensus.
+
+use lpt::LpType;
+use lpt_gossip::runner::{run_high_load, run_low_load, HighLoadRunConfig, LowLoadRunConfig};
+use lpt_problems::Med;
+use lpt_workloads::med::MED_DATASETS;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn assert_close(a: f64, b: f64, what: &str) {
+    assert!((a - b).abs() <= 1e-6 * b.abs().max(1.0), "{what}: {a} vs {b}");
+}
+
+#[test]
+fn low_load_matches_oracle_on_all_datasets() {
+    for ds in MED_DATASETS {
+        for (n, seed) in [(64usize, 1u64), (256, 2)] {
+            let points = ds.generate(n, seed);
+            let oracle = Med.basis_of(&points);
+            let report = run_low_load(&Med, &points, n, LowLoadRunConfig::default(), seed);
+            assert!(report.all_halted, "{} n={n}", ds.name());
+            let basis = report
+                .consensus_output()
+                .unwrap_or_else(|| panic!("{} n={n}: no consensus", ds.name()));
+            assert_close(basis.value.r2, oracle.value.r2, ds.name());
+        }
+    }
+}
+
+#[test]
+fn high_load_matches_oracle_on_all_datasets() {
+    for ds in MED_DATASETS {
+        for (n, seed) in [(64usize, 3u64), (256, 4)] {
+            let points = ds.generate(n, seed);
+            let oracle = Med.basis_of(&points);
+            let report = run_high_load(&Med, &points, n, HighLoadRunConfig::default(), seed);
+            assert!(report.all_halted, "{} n={n}", ds.name());
+            let basis = report
+                .consensus_output()
+                .unwrap_or_else(|| panic!("{} n={n}: no consensus", ds.name()));
+            assert_close(basis.value.r2, oracle.value.r2, ds.name());
+        }
+    }
+}
+
+#[test]
+fn gossip_agrees_with_sequential_clarkson_and_hypercube() {
+    let points = lpt_workloads::med::hull(200, 9);
+    let oracle = Med.basis_of(&points);
+
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let seq = lpt::clarkson(&Med, &points, &mut rng).unwrap();
+    assert_close(seq.basis.value.r2, oracle.value.r2, "sequential clarkson");
+
+    let mut rng = ChaCha8Rng::seed_from_u64(10);
+    let hyper = lpt_gossip::hypercube_clarkson(&Med, &points, 200, &mut rng).unwrap();
+    assert_close(hyper.basis.value.r2, oracle.value.r2, "hypercube baseline");
+
+    let gossip = run_low_load(&Med, &points, 200, LowLoadRunConfig::default(), 9);
+    assert_close(
+        gossip.consensus_output().unwrap().value.r2,
+        oracle.value.r2,
+        "gossip low-load",
+    );
+}
+
+#[test]
+fn more_points_than_nodes_and_vice_versa() {
+    // |H| = 4n (toward the high-load regime) and |H| = n/4 (pull phase).
+    let n = 128;
+    for (points_n, seed) in [(4 * n, 20u64), (n / 4, 21)] {
+        let points = lpt_workloads::med::triple_disk(points_n, seed);
+        let oracle = Med.basis_of(&points);
+        let low = run_low_load(&Med, &points, n, LowLoadRunConfig::default(), seed);
+        assert!(low.all_halted, "|H|={points_n}");
+        assert_close(low.consensus_output().unwrap().value.r2, oracle.value.r2, "low");
+        let high = run_high_load(&Med, &points, n, HighLoadRunConfig::default(), seed);
+        assert!(high.all_halted, "|H|={points_n}");
+        assert_close(high.consensus_output().unwrap().value.r2, oracle.value.r2, "high");
+    }
+}
+
+#[test]
+fn tiny_networks() {
+    for n in [1usize, 2, 3, 5] {
+        let points = lpt_workloads::med::duo_disk(n.max(2), 30 + n as u64);
+        let oracle = Med.basis_of(&points);
+        let report = run_low_load(&Med, &points, n, LowLoadRunConfig::default(), 30 + n as u64);
+        assert!(report.all_halted, "n = {n}");
+        assert_close(
+            report.consensus_output().unwrap().value.r2,
+            oracle.value.r2,
+            "tiny network",
+        );
+    }
+}
+
+#[test]
+fn rounds_scale_logarithmically_not_linearly() {
+    // Doubling n several times should add only a few rounds each time.
+    let mut rounds = Vec::new();
+    for i in [6u32, 8, 10] {
+        let n = 1usize << i;
+        let points = lpt_workloads::med::triple_disk(n, 40);
+        let target = Med.basis_of(&points).value;
+        let (first, _) = lpt_gossip::runner::rounds_to_first_solution_low_load(
+            &Med,
+            &points,
+            n,
+            LowLoadRunConfig::default(),
+            40,
+            &target,
+        );
+        assert!(first.reached);
+        rounds.push(first.rounds as f64);
+    }
+    // n grew 16x from first to last; logarithmic growth means the round
+    // count should much less than quadruple.
+    assert!(
+        rounds[2] <= rounds[0] * 4.0 + 8.0,
+        "rounds grew too fast: {rounds:?}"
+    );
+}

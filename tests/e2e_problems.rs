@@ -1,0 +1,114 @@
+//! End-to-end: the distributed algorithms are generic over `LpType` —
+//! run them on every other problem class the paper names (fixed-dim LP,
+//! minimum enclosing ball in d dimensions, polytope distance) and check
+//! against the sequential oracles.
+
+use lpt::LpType;
+use lpt_gossip::runner::{run_high_load, run_low_load, HighLoadRunConfig, LowLoadRunConfig};
+use lpt_problems::{FixedDimLp, IdPointD, Meb, PolytopeDistance, Side, SidedPoint};
+use lpt_workloads::lp::{production_lp, random_feasible_lp};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn fixed_dim_lp_low_load() {
+    let (objective, constraints) = production_lp(300, 50);
+    let problem = FixedDimLp::with_default_bound(objective);
+    let oracle = problem.basis_of(&constraints);
+    let report = run_low_load(&problem, &constraints, 128, LowLoadRunConfig::default(), 50);
+    assert!(report.all_halted);
+    let basis = report.consensus_output().expect("consensus");
+    assert!(
+        (basis.value.objective - oracle.value.objective).abs()
+            <= 1e-6 * oracle.value.objective.abs().max(1.0)
+    );
+}
+
+#[test]
+fn fixed_dim_lp_high_load() {
+    let constraints = random_feasible_lp(600, 2, 51);
+    let problem = FixedDimLp::with_default_bound(vec![-1.0, -1.0]);
+    let oracle = problem.basis_of(&constraints);
+    let report = run_high_load(&problem, &constraints, 64, HighLoadRunConfig::default(), 51);
+    assert!(report.all_halted);
+    let basis = report.consensus_output().expect("consensus");
+    assert!(
+        (basis.value.objective - oracle.value.objective).abs()
+            <= 1e-6 * oracle.value.objective.abs().max(1.0)
+    );
+}
+
+fn random_ball_points(n: usize, dim: usize, seed: u64) -> Vec<IdPointD> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| IdPointD::new(i as u32, (0..dim).map(|_| rng.gen_range(-5.0..5.0)).collect()))
+        .collect()
+}
+
+#[test]
+fn meb_3d_low_load() {
+    let problem = Meb::new(3);
+    let points = random_ball_points(200, 3, 52);
+    let oracle = problem.basis_of(&points);
+    let report = run_low_load(&problem, &points, 100, LowLoadRunConfig::default(), 52);
+    assert!(report.all_halted);
+    let basis = report.consensus_output().expect("consensus");
+    assert!((basis.value.r2 - oracle.value.r2).abs() <= 1e-6 * oracle.value.r2.max(1.0));
+}
+
+#[test]
+fn meb_4d_high_load() {
+    let problem = Meb::new(4);
+    let points = random_ball_points(300, 4, 53);
+    let oracle = problem.basis_of(&points);
+    let report = run_high_load(&problem, &points, 64, HighLoadRunConfig::default(), 53);
+    assert!(report.all_halted);
+    let basis = report.consensus_output().expect("consensus");
+    assert!((basis.value.r2 - oracle.value.r2).abs() <= 1e-6 * oracle.value.r2.max(1.0));
+}
+
+fn separated_polytopes(n_per_side: usize, seed: u64) -> Vec<SidedPoint> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(2 * n_per_side);
+    for i in 0..n_per_side {
+        out.push(SidedPoint::new(
+            i as u32,
+            Side::A,
+            -6.0 + rng.gen_range(-2.0..2.0),
+            rng.gen_range(-4.0..4.0),
+        ));
+        out.push(SidedPoint::new(
+            (n_per_side + i) as u32,
+            Side::B,
+            6.0 + rng.gen_range(-2.0..2.0),
+            rng.gen_range(-4.0..4.0),
+        ));
+    }
+    out
+}
+
+#[test]
+fn polytope_distance_low_load() {
+    let points = separated_polytopes(100, 54);
+    let oracle = PolytopeDistance.basis_of(&points);
+    let report = run_low_load(&PolytopeDistance, &points, 100, LowLoadRunConfig::default(), 54);
+    assert!(report.all_halted);
+    let basis = report.consensus_output().expect("consensus");
+    assert!(
+        (basis.value.dist - oracle.value.dist).abs() <= 1e-6 * oracle.value.dist.max(1.0),
+        "{} vs {}",
+        basis.value.dist,
+        oracle.value.dist
+    );
+}
+
+#[test]
+fn polytope_distance_high_load() {
+    let points = separated_polytopes(150, 55);
+    let oracle = PolytopeDistance.basis_of(&points);
+    let report = run_high_load(&PolytopeDistance, &points, 64, HighLoadRunConfig::default(), 55);
+    assert!(report.all_halted);
+    let basis = report.consensus_output().expect("consensus");
+    assert!((basis.value.dist - oracle.value.dist).abs() <= 1e-6 * oracle.value.dist.max(1.0));
+}

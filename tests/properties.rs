@@ -1,0 +1,137 @@
+//! Property-based tests (proptest) for the core invariants:
+//! LP-type axioms on random instances of every problem class, agreement
+//! between solvers, and sampler correctness.
+
+use lpt::{axioms, exhaustive_basis, LpType, Multiset};
+use lpt_problems::{FixedDimLp, IdHalfspace, IdPoint2, Med, PolytopeDistance, Side, SidedPoint};
+use proptest::prelude::*;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn id_points(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<IdPoint2>> {
+    prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), n).prop_map(|pts| {
+        pts.into_iter()
+            .enumerate()
+            .map(|(i, (x, y))| IdPoint2::new(i as u32, x, y))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn med_axioms_hold(points in id_points(1..24), seed in 0u64..1000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        prop_assert!(axioms::check_all(&Med, &points, 60, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn med_basis_contains_all_points(points in id_points(1..64)) {
+        let b = Med.basis_of(&points);
+        let disk = b.value.disk();
+        for p in &points {
+            prop_assert!(disk.contains(&p.p), "point {:?} outside disk {:?}", p, disk);
+        }
+        prop_assert!(b.len() <= 3);
+    }
+
+    #[test]
+    fn med_matches_exhaustive_oracle(points in id_points(1..9)) {
+        let direct = Med.basis_of(&points);
+        let oracle = exhaustive_basis(&Med, &points).unwrap();
+        let rel = (direct.value.r2 - oracle.value.r2).abs() / oracle.value.r2.max(1.0);
+        prop_assert!(rel <= 1e-6, "direct {} oracle {}", direct.value.r2, oracle.value.r2);
+    }
+
+    #[test]
+    fn med_clarkson_matches_direct(points in id_points(60..200), seed in 0u64..1000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let res = lpt::clarkson(&Med, &points, &mut rng).unwrap();
+        let direct = Med.basis_of(&points);
+        let rel = (res.basis.value.r2 - direct.value.r2).abs() / direct.value.r2.max(1.0);
+        prop_assert!(rel <= 1e-6);
+    }
+
+    #[test]
+    fn lp_axioms_hold(
+        cons in prop::collection::vec((0.0f64..std::f64::consts::TAU, 1.0f64..8.0), 1..16),
+        seed in 0u64..1000,
+    ) {
+        let elems: Vec<IdHalfspace> = cons
+            .into_iter()
+            .enumerate()
+            .map(|(i, (t, r))| IdHalfspace::new(i as u32, vec![t.cos(), t.sin()], r))
+            .collect();
+        let p = FixedDimLp::with_default_bound(vec![-1.0, -0.5]);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        prop_assert!(axioms::check_all(&p, &elems, 40, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn polytope_distance_axioms_hold(
+        a_pts in prop::collection::vec((-10.0f64..-2.0, -5.0f64..5.0), 1..8),
+        b_pts in prop::collection::vec((2.0f64..10.0, -5.0f64..5.0), 1..8),
+        seed in 0u64..1000,
+    ) {
+        let mut elems: Vec<SidedPoint> = Vec::new();
+        for (i, (x, y)) in a_pts.iter().enumerate() {
+            elems.push(SidedPoint::new(i as u32, Side::A, *x, *y));
+        }
+        for (i, (x, y)) in b_pts.iter().enumerate() {
+            elems.push(SidedPoint::new((a_pts.len() + i) as u32, Side::B, *x, *y));
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        prop_assert!(axioms::check_all(&PolytopeDistance, &elems, 40, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn multiset_sampling_is_exact_subset(
+        weights in prop::collection::vec(0u128..8, 1..40),
+        r_frac in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let total: u128 = weights.iter().sum();
+        prop_assume!(total > 0);
+        let items: Vec<usize> = (0..weights.len()).collect();
+        let mut ms = Multiset::with_weights(items, &weights);
+        let r = ((total as f64) * r_frac) as usize;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let sample = ms.sample_without_replacement(r, &mut rng).unwrap();
+        prop_assert_eq!(sample.len(), r);
+        // No element drawn more often than its multiplicity.
+        let mut counts = vec![0u128; weights.len()];
+        for idx in &sample {
+            counts[*idx] += 1;
+        }
+        for (c, w) in counts.iter().zip(&weights) {
+            prop_assert!(c <= w, "drew {} copies of weight-{} element", c, w);
+        }
+        // Weights restored afterwards.
+        prop_assert_eq!(ms.total(), total);
+    }
+
+    #[test]
+    fn fenwick_search_matches_linear_scan(
+        weights in prop::collection::vec(0u128..20, 1..60),
+        t_frac in 0.0f64..1.0,
+    ) {
+        let ft = lpt::Fenwick::from_weights(&weights);
+        let total = ft.total();
+        prop_assume!(total > 0);
+        let target = ((total as f64) * t_frac) as u128;
+        let target = target.min(total - 1);
+        let idx = ft.search(target);
+        // Linear reference.
+        let mut acc = 0u128;
+        let mut expect = 0usize;
+        for (i, w) in weights.iter().enumerate() {
+            acc += w;
+            if target < acc {
+                expect = i;
+                break;
+            }
+        }
+        prop_assert_eq!(idx, expect);
+    }
+}
