@@ -7,7 +7,7 @@
 use lpt::LpType;
 use lpt_bench::{banner, mean, runs, write_csv};
 use lpt_gossip::low_load::LowLoadConfig;
-use lpt_gossip::runner::{run_low_load, LowLoadRunConfig};
+use lpt_gossip::{Algorithm, Driver};
 use lpt_problems::Med;
 use lpt_workloads::med::MedDataset;
 
@@ -34,28 +34,46 @@ fn main() {
             let seed = ((keep * 1000.0) as u64) << 20 ^ run ^ 0xF117;
             let points = MedDataset::TripleDisk.generate(n, seed);
             let oracle = Med.basis_of(&points);
-            let cfg = LowLoadRunConfig {
-                protocol: LowLoadConfig { keep_prob: Some(keep), ..Default::default() },
-                max_rounds: 2_000,
-                ..Default::default()
-            };
             // Full-termination run: the load dynamics only diverge over
             // the whole O(log n)-round lifetime, not in the handful of
             // rounds to the first solution.
-            let report = run_low_load(&Med, &points, n, cfg, seed);
+            let report = Driver::new(Med)
+                .nodes(n)
+                .seed(seed)
+                .algorithm(Algorithm::LowLoad(LowLoadConfig {
+                    keep_prob: Some(keep),
+                    ..Default::default()
+                }))
+                .max_rounds(2_000)
+                .run(&points)
+                .expect("ablation run");
             assert!(report.all_halted, "keep = {keep}, run {run}");
             let basis = report.consensus_output().expect("consensus");
             assert!(Med.values_close(&basis.value, &oracle.value));
             rounds.push(report.rounds as f64);
             max_load = max_load.max(report.metrics.max_load());
-            max_total = max_total
-                .max(report.metrics.rounds.iter().map(|r| r.total_load).max().unwrap_or(0));
+            max_total = max_total.max(
+                report
+                    .metrics
+                    .rounds
+                    .iter()
+                    .map(|r| r.total_load)
+                    .max()
+                    .unwrap_or(0),
+            );
         }
         let avg = mean(&rounds);
-        println!("{:>10.3} {:>12.2} {:>14} {:>14}", keep, avg, max_load, max_total);
+        println!(
+            "{:>10.3} {:>12.2} {:>14} {:>14}",
+            keep, avg, max_load, max_total
+        );
         rows.push(format!("{keep:.3},{avg:.3},{max_load},{max_total}"));
     }
-    write_csv("ablation_filtering.csv", "keep_prob,avg_rounds,max_load,max_total_load", &rows);
+    write_csv(
+        "ablation_filtering.csv",
+        "keep_prob,avg_rounds,max_load,max_total_load",
+        &rows,
+    );
 
     println!();
     println!("keep = 1.0 (no filtering) lets |H(V)| grow without bound over the run —");

@@ -5,7 +5,7 @@
 use lpt::LpType;
 use lpt_bench::{banner, mean, runs, write_csv};
 use lpt_gossip::low_load::LowLoadConfig;
-use lpt_gossip::runner::{rounds_to_first_solution_low_load, LowLoadRunConfig};
+use lpt_gossip::{Algorithm, Driver, StopCondition};
 use lpt_problems::Med;
 use lpt_workloads::med::MedDataset;
 
@@ -13,7 +13,10 @@ fn main() {
     let n = 1usize << 10;
     let runs = runs(5);
     let d = 3usize;
-    banner(&format!("Ablation: sample size r (paper: 6d² = {}; n = {n})", 6 * d * d));
+    banner(&format!(
+        "Ablation: sample size r (paper: 6d² = {}; n = {n})",
+        6 * d * d
+    ));
 
     println!("{:>8} {:>12} {:>16}", "r", "avg rounds", "max work/round");
     let mut rows = Vec::new();
@@ -25,16 +28,20 @@ fn main() {
             let seed = (r as u64) << 24 ^ run ^ 0x5A5A;
             let points = MedDataset::TripleDisk.generate(n, seed);
             let target = Med.basis_of(&points).value;
-            let cfg = LowLoadRunConfig {
-                protocol: LowLoadConfig { sample_size: Some(r), ..Default::default() },
-                max_rounds: 3_000,
-                ..Default::default()
-            };
-            let (first, metrics) =
-                rounds_to_first_solution_low_load(&Med, &points, n, cfg, seed, &target);
-            assert!(first.reached, "r = {r}, run {run}");
-            rounds.push(first.rounds as f64);
-            max_work = max_work.max(metrics.max_node_work());
+            let report = Driver::new(Med)
+                .nodes(n)
+                .seed(seed)
+                .algorithm(Algorithm::LowLoad(LowLoadConfig {
+                    sample_size: Some(r),
+                    ..Default::default()
+                }))
+                .max_rounds(3_000)
+                .stop(StopCondition::FirstSolution(target))
+                .run(&points)
+                .expect("ablation run");
+            assert!(report.reached(), "r = {r}, run {run}");
+            rounds.push(report.rounds as f64);
+            max_work = max_work.max(report.metrics.max_node_work());
         }
         let avg = mean(&rounds);
         println!("{:>8} {:>12.2} {:>16}", r, avg, max_work);

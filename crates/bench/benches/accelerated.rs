@@ -6,7 +6,7 @@
 use lpt::LpType;
 use lpt_bench::{banner, max_i, mean, runs, write_csv};
 use lpt_gossip::high_load::HighLoadConfig;
-use lpt_gossip::runner::{rounds_to_first_solution_high_load, HighLoadRunConfig};
+use lpt_gossip::{Algorithm, Driver, StopCondition};
 use lpt_problems::Med;
 use lpt_workloads::med::MedDataset;
 
@@ -15,7 +15,9 @@ fn main() {
     let n = 1usize << i;
     let runs = runs(5);
     let log2n = (n as f64).log2();
-    banner(&format!("Section 3.1: accelerated High-Load (n = 2^{i}, {runs} runs/C)"));
+    banner(&format!(
+        "Section 3.1: accelerated High-Load (n = 2^{i}, {runs} runs/C)"
+    ));
 
     let c_values = [
         1usize,
@@ -36,15 +38,19 @@ fn main() {
             let seed = 0xACC ^ (c as u64) << 16 ^ run;
             let points = MedDataset::TripleDisk.generate(n, seed);
             let target = Med.basis_of(&points).value;
-            let cfg = HighLoadRunConfig {
-                protocol: HighLoadConfig { push_count: c, ..Default::default() },
-                ..Default::default()
-            };
-            let (first, metrics) =
-                rounds_to_first_solution_high_load(&Med, &points, n, cfg, seed, &target);
-            assert!(first.reached, "C = {c} run {run}");
-            rounds.push(first.rounds as f64);
-            max_work = max_work.max(metrics.max_node_work());
+            let report = Driver::new(Med)
+                .nodes(n)
+                .seed(seed)
+                .algorithm(Algorithm::HighLoad(HighLoadConfig {
+                    push_count: c,
+                    ..Default::default()
+                }))
+                .stop(StopCondition::FirstSolution(target))
+                .run(&points)
+                .expect("accelerated run");
+            assert!(report.reached(), "C = {c} run {run}");
+            rounds.push(report.rounds as f64);
+            max_work = max_work.max(report.metrics.max_node_work());
         }
         let avg = mean(&rounds);
         println!(

@@ -6,17 +6,16 @@
 
 use lpt::LpType;
 use lpt_bench::{banner, max_i, mean, runs, write_csv};
-use lpt_gossip::hypercube::hypercube_clarkson;
-use lpt_gossip::runner::{rounds_to_first_solution_low_load, LowLoadRunConfig};
+use lpt_gossip::{Algorithm, Driver, StopCondition};
 use lpt_problems::Med;
 use lpt_workloads::med::MedDataset;
-use rand_chacha::rand_core::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 fn main() {
     let max_i = max_i(12);
     let runs = runs(3);
-    banner(&format!("Baseline: gossip Low-Load vs hypercube Clarkson (i = 6..={max_i})"));
+    banner(&format!(
+        "Baseline: gossip Low-Load vs hypercube Clarkson (i = 6..={max_i})"
+    ));
 
     println!(
         "{:>4} {:>8} | {:>14} {:>18} {:>8}",
@@ -32,20 +31,23 @@ fn main() {
             let seed = (u64::from(i) << 20) ^ run ^ 0xBA5E;
             let points = MedDataset::TripleDisk.generate(n, seed);
             let target = Med.basis_of(&points).value;
-            let (first, _) = rounds_to_first_solution_low_load(
-                &Med,
-                &points,
-                n,
-                LowLoadRunConfig::default(),
-                seed,
-                &target,
-            );
-            assert!(first.reached);
+            let first = Driver::new(Med)
+                .nodes(n)
+                .seed(seed)
+                .stop(StopCondition::FirstSolution(target))
+                .run(&points)
+                .expect("gossip run");
+            assert!(first.reached());
             gossip.push(first.rounds as f64);
-            let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            let rep = hypercube_clarkson(&Med, &points, n, &mut rng).expect("hypercube");
+            let rep = Driver::new(Med)
+                .nodes(n)
+                .seed(seed)
+                .algorithm(Algorithm::Hypercube)
+                .run(&points)
+                .expect("hypercube run");
+            let basis = rep.consensus_output().expect("hypercube consensus");
             assert!(
-                (rep.basis.value.r2 - target.r2).abs() <= 1e-6 * target.r2.max(1.0),
+                (basis.value.r2 - target.r2).abs() <= 1e-6 * target.r2.max(1.0),
                 "baseline must be correct too"
             );
             hyper.push(rep.rounds as f64);
@@ -56,7 +58,11 @@ fn main() {
         rows.push(format!("{i},{n},{g:.2},{h:.2}"));
         ratios.push((i, h / g));
     }
-    write_csv("baseline_comparison.csv", "i,n,gossip_rounds,hypercube_rounds", &rows);
+    write_csv(
+        "baseline_comparison.csv",
+        "i,n,gossip_rounds,hypercube_rounds",
+        &rows,
+    );
 
     println!();
     let (first_i, first_ratio) = ratios.first().copied().unwrap();

@@ -17,8 +17,10 @@ fn main() {
     for ds in MED_DATASETS {
         // Snapshot for plotting.
         let pts = ds.generate(n, 1);
-        let rows: Vec<String> =
-            pts.iter().map(|p| format!("{},{:.6},{:.6}", p.id, p.p.x, p.p.y)).collect();
+        let rows: Vec<String> = pts
+            .iter()
+            .map(|p| format!("{},{:.6},{:.6}", p.id, p.p.x, p.p.y))
+            .collect();
         write_csv(&format!("fig1_{}.csv", ds.name()), "id,x,y", &rows);
 
         // Structural verification across seeds.
@@ -31,7 +33,11 @@ fn main() {
             radius = b.value.r2.sqrt();
             // Every point must be inside the optimal disk.
             let disk = b.value.disk();
-            assert!(pts.iter().all(|p| disk.contains(&p.p)), "{} seed {seed}", ds.name());
+            assert!(
+                pts.iter().all(|p| disk.contains(&p.p)),
+                "{} seed {seed}",
+                ds.name()
+            );
         }
         let all_match = basis_sizes.iter().all(|&s| s == ds.designed_basis_size());
         println!(

@@ -19,13 +19,20 @@ fn main() {
         max_i + 2
     ));
 
-    println!("{:<12} {:>4} {:>8} {:>12} {:>8} {:>10}", "dataset", "i", "n", "avg rounds", "std", "max work");
+    println!(
+        "{:<12} {:>4} {:>8} {:>12} {:>8} {:>10}",
+        "dataset", "i", "n", "avg rounds", "std", "max work"
+    );
     let mut csv_rows = Vec::new();
     let mut fits = Vec::new();
     for ds in MED_DATASETS {
         // The paper extends the duo-disk low-load sweep two exponents
         // further (to 2^16 at paper scale).
-        let top = if ds == MedDataset::DuoDisk { max_i + 2 } else { max_i };
+        let top = if ds == MedDataset::DuoDisk {
+            max_i + 2
+        } else {
+            max_i
+        };
         let cells = sweep_dataset(Algo::LowLoad, ds, 1, top, runs);
         for c in &cells {
             println!(
@@ -56,7 +63,11 @@ fn main() {
         fits.push((ds, fit_constant(&cells), fit_affine(&cells), small_fast));
         println!();
     }
-    write_csv("fig2_low_load.csv", "dataset,i,n,avg_rounds,std_rounds,max_work,max_load", &csv_rows);
+    write_csv(
+        "fig2_low_load.csv",
+        "dataset,i,n,avg_rounds,std_rounds,max_work,max_load",
+        &csv_rows,
+    );
 
     println!("fitted curves, paper description: duo-disk ~1.2 log n, others ~1.7 log n:");
     for (ds, a, (slope, icept), small_fast) in &fits {
@@ -69,7 +80,11 @@ fn main() {
             if *small_fast { "yes" } else { "NO" }
         );
     }
-    let duo = fits.iter().find(|(ds, _, _, _)| *ds == MedDataset::DuoDisk).unwrap().1;
+    let duo = fits
+        .iter()
+        .find(|(ds, _, _, _)| *ds == MedDataset::DuoDisk)
+        .unwrap()
+        .1;
     for (ds, a, _, _) in &fits {
         if *ds != MedDataset::DuoDisk {
             assert!(

@@ -16,7 +16,10 @@ fn main() {
         "Figure 3: High-Load Clarkson on MED (runs/cell = {runs}, i = 1..={max_i})"
     ));
 
-    println!("{:<12} {:>4} {:>8} {:>12} {:>8} {:>10}", "dataset", "i", "n", "avg rounds", "std", "max work");
+    println!(
+        "{:<12} {:>4} {:>8} {:>12} {:>8} {:>10}",
+        "dataset", "i", "n", "avg rounds", "std", "max work"
+    );
     let mut csv_rows = Vec::new();
     let mut fits = Vec::new();
     for ds in MED_DATASETS {
@@ -45,7 +48,11 @@ fn main() {
         fits.push((ds, fit_constant(&cells), fit_affine(&cells)));
         println!();
     }
-    write_csv("fig3_high_load.csv", "dataset,i,n,avg_rounds,std_rounds,max_work,max_load", &csv_rows);
+    write_csv(
+        "fig3_high_load.csv",
+        "dataset,i,n,avg_rounds,std_rounds,max_work,max_load",
+        &csv_rows,
+    );
 
     println!("fitted curves, paper description: duo-disk ~0.9 log n, others ~1.1 log n:");
     for (ds, a, (slope, icept)) in &fits {
@@ -57,7 +64,11 @@ fn main() {
             icept
         );
     }
-    let duo = fits.iter().find(|(ds, _, _)| *ds == MedDataset::DuoDisk).unwrap().1;
+    let duo = fits
+        .iter()
+        .find(|(ds, _, _)| *ds == MedDataset::DuoDisk)
+        .unwrap()
+        .1;
     for (ds, a, _) in &fits {
         if *ds != MedDataset::DuoDisk {
             assert!(

@@ -5,8 +5,7 @@
 //! optimum; set cover is exercised via the dual reduction.
 
 use lpt_bench::{banner, max_i, runs, write_csv};
-use lpt_gossip::hitting_set::HittingSetConfig;
-use lpt_gossip::runner::run_hitting_set;
+use lpt_gossip::{Algorithm, Driver};
 use lpt_problems::{greedy_hitting_set, min_hitting_set_exact};
 use lpt_workloads::sets::{planted_hitting_set, planted_set_cover};
 use std::sync::Arc;
@@ -14,7 +13,9 @@ use std::sync::Arc;
 fn main() {
     let max_i = max_i(12).min(13);
     let runs = runs(3);
-    banner(&format!("Theorem 5: distributed hitting set (runs/cell = {runs})"));
+    banner(&format!(
+        "Theorem 5: distributed hitting set (runs/cell = {runs})"
+    ));
 
     println!(
         "{:>8} {:>6} {:>4} | {:>10} {:>10} {:>8} {:>8} {:>8} {:>10}",
@@ -39,13 +40,19 @@ fn main() {
                 if n <= 256 {
                     exact_size = min_hitting_set_exact(&sys, d).map(|h| h.len());
                 }
-                let report = run_hitting_set(sys.clone(), n, &HittingSetConfig::new(d), 10_000, seed);
+                let report = Driver::new(sys.clone())
+                    .nodes(n)
+                    .seed(seed)
+                    .algorithm(Algorithm::hitting_set(d))
+                    .max_rounds(10_000)
+                    .run_ground()
+                    .expect("hitting-set run");
                 assert!(report.all_halted, "n={n} s={s} d={d} run={run}");
                 let best = report.best_output().expect("solution").clone();
                 assert!(sys.is_hitting_set(&best));
-                bound = report.size_bound;
+                bound = report.size_bound.expect("size bound");
                 assert!(best.len() <= bound, "size {} > bound {bound}", best.len());
-                rounds_sum += report.first_found_round.unwrap_or(report.rounds) as f64;
+                rounds_sum += report.first_found_round().unwrap_or(report.rounds) as f64;
                 size_sum += best.len() as f64;
             }
             let avg_rounds = rounds_sum / runs as f64;
@@ -62,17 +69,29 @@ fn main() {
                 exact_size.map_or("-".into(), |e| e.to_string()),
                 i
             );
-            rows.push(format!("{n},{s},{d},{avg_rounds:.2},{avg_size:.2},{bound},{greedy_size}"));
+            rows.push(format!(
+                "{n},{s},{d},{avg_rounds:.2},{avg_size:.2},{bound},{greedy_size}"
+            ));
         }
     }
-    write_csv("hitting_set.csv", "n,s,d,avg_rounds,avg_size,bound,greedy", &rows);
+    write_csv(
+        "hitting_set.csv",
+        "n,s,d,avg_rounds,avg_size,bound,greedy",
+        &rows,
+    );
 
     // Set cover through the dual.
     println!();
     println!("set cover via dual reduction:");
     let sc = planted_set_cover(1 << 9, 64, 4, 7);
     let dual = Arc::new(sc.dual_hitting_set());
-    let report = run_hitting_set(dual, sc.n_elements(), &HittingSetConfig::new(4), 10_000, 7);
+    let report = Driver::new(dual)
+        .nodes(sc.n_elements())
+        .seed(7)
+        .algorithm(Algorithm::hitting_set(4))
+        .max_rounds(10_000)
+        .run_ground()
+        .expect("set-cover run");
     assert!(report.all_halted);
     let cover = report.best_output().unwrap();
     assert!(sc.is_cover(cover));
@@ -81,7 +100,7 @@ fn main() {
         sc.n_elements(),
         sc.num_sets(),
         cover.len(),
-        report.size_bound,
+        report.size_bound.expect("size bound"),
         report.rounds
     );
 }

@@ -6,9 +6,9 @@
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use gossip_sim::{Network, NetworkConfig};
 use lpt::{LpType, Multiset};
+use lpt_gossip::driver::scatter;
 use lpt_gossip::high_load::{HighLoadClarkson, HighLoadConfig};
 use lpt_gossip::low_load::{LowLoadClarkson, LowLoadConfig};
-use lpt_gossip::runner::scatter;
 use lpt_problems::Med;
 use lpt_workloads::med::MedDataset;
 use rand::Rng;
@@ -65,7 +65,12 @@ fn bench_multiset_sampling(c: &mut Criterion) {
         let items: Vec<u32> = (0..n as u32).collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter_batched(
-                || (Multiset::with_weights(items.clone(), &weights), ChaCha8Rng::seed_from_u64(5)),
+                || {
+                    (
+                        Multiset::with_weights(items.clone(), &weights),
+                        ChaCha8Rng::seed_from_u64(5),
+                    )
+                },
                 |(mut ms, mut rng)| black_box(ms.sample_without_replacement(54, &mut rng)),
                 BatchSize::SmallInput,
             );
@@ -84,6 +89,7 @@ fn bench_gossip_round(c: &mut Criterion) {
                 || {
                     let proto = LowLoadClarkson::new(Med, n, &LowLoadConfig::default());
                     let states: Vec<_> = scatter(&points, n, 7)
+                        .expect("n > 0")
                         .into_iter()
                         .map(|h0| proto.initial_state(h0))
                         .collect();
@@ -101,6 +107,7 @@ fn bench_gossip_round(c: &mut Criterion) {
                 || {
                     let proto = HighLoadClarkson::new(Med, n, &HighLoadConfig::default());
                     let states: Vec<_> = scatter(&points, n, 8)
+                        .expect("n > 0")
                         .into_iter()
                         .map(|h| proto.initial_state(h))
                         .collect();
@@ -120,12 +127,8 @@ fn bench_gossip_round(c: &mut Criterion) {
 fn bench_rng_derivation(c: &mut Criterion) {
     c.bench_function("derive_rng", |b| {
         b.iter(|| {
-            let mut rng = gossip_sim::rng::derive_rng(
-                black_box(1),
-                black_box(2),
-                black_box(3),
-                black_box(4),
-            );
+            let mut rng =
+                gossip_sim::rng::derive_rng(black_box(1), black_box(2), black_box(3), black_box(4));
             black_box(rng.gen::<u64>())
         });
     });

@@ -2,7 +2,7 @@
 //! `rounds / log2 n` of both algorithms on all four dataset families,
 //! side by side with the constants the paper reports.
 
-use lpt_bench::sweep::{fit_affine, sweep_dataset, Algo};
+use lpt_bench::sweep::{fit_affine, fit_constant, sweep_dataset, Algo};
 use lpt_bench::{banner, max_i, runs};
 use lpt_workloads::med::{MedDataset, MED_DATASETS};
 
@@ -29,8 +29,10 @@ fn main() {
     let mut low_by_ds = Vec::new();
     let mut high_by_ds = Vec::new();
     for ds in MED_DATASETS {
-        let (low, _) = fit_affine(&sweep_dataset(Algo::LowLoad, ds, 6, max_i, runs));
-        let (high, _) = fit_affine(&sweep_dataset(Algo::HighLoad { push_count: 1 }, ds, 6, max_i, runs));
+        let low_cells = sweep_dataset(Algo::LowLoad, ds, 6, max_i, runs);
+        let high_cells = sweep_dataset(Algo::HighLoad { push_count: 1 }, ds, 6, max_i, runs);
+        let (low, _) = fit_affine(&low_cells);
+        let (high, _) = fit_affine(&high_cells);
         println!(
             "{:<12} {:>16.2} {:>12.1} {:>17.2} {:>12.1}",
             ds.name(),
@@ -39,15 +41,25 @@ fn main() {
             high,
             paper_constant("high", ds)
         );
-        low_by_ds.push((ds, low));
-        high_by_ds.push((ds, high));
+        // The ordering check uses the through-origin fit: below paper
+        // scale the affine slope over a handful of cells is dominated by
+        // intercept noise (high-load finishes in single-digit rounds at
+        // n <= 2^11), while rounds/log2 n is stable.
+        low_by_ds.push((ds, fit_constant(&low_cells)));
+        high_by_ds.push((ds, fit_constant(&high_cells)));
     }
 
     // Shape assertions (the reproduction criterion is the ordering, not
     // the absolute constants — our simulator's round semantics can shift
     // them by a constant factor).
-    let duo_low = low_by_ds.iter().find(|(d, _)| *d == MedDataset::DuoDisk).unwrap().1;
-    let duo_high = high_by_ds.iter().find(|(d, _)| *d == MedDataset::DuoDisk).unwrap().1;
+    let duo_low = *low_by_ds
+        .iter()
+        .find_map(|(d, a)| (*d == MedDataset::DuoDisk).then_some(a))
+        .unwrap();
+    let duo_high = *high_by_ds
+        .iter()
+        .find_map(|(d, a)| (*d == MedDataset::DuoDisk).then_some(a))
+        .unwrap();
     let others_low: Vec<f64> = low_by_ds
         .iter()
         .filter(|(d, _)| *d != MedDataset::DuoDisk)
@@ -71,5 +83,8 @@ fn main() {
     println!("  duo-disk fastest under low-load : {duo_fastest_low}");
     println!("  duo-disk fastest under high-load: {duo_fastest_high}");
     println!("  basis-3 families cluster (low)  : {others_cluster_low}");
-    assert!(duo_fastest_low && duo_fastest_high, "basis-size ordering must hold");
+    assert!(
+        duo_fastest_low && duo_fastest_high,
+        "basis-size ordering must hold"
+    );
 }

@@ -7,14 +7,16 @@
 use lpt::LpType;
 use lpt_bench::{banner, max_i, runs, write_csv};
 use lpt_gossip::low_load::LowLoadConfig;
-use lpt_gossip::runner::{run_low_load, LowLoadRunConfig};
+use lpt_gossip::{Algorithm, Driver};
 use lpt_problems::Med;
 use lpt_workloads::med::MedDataset;
 
 fn main() {
     let max_i = max_i(12).min(12);
     let runs = runs(3);
-    banner(&format!("Lemma 12: termination latency (runs/cell = {runs})"));
+    banner(&format!(
+        "Lemma 12: termination latency (runs/cell = {runs})"
+    ));
 
     println!(
         "{:>4} {:>8} {:>6} | {:>12} {:>12} {:>10} {:>10}",
@@ -32,11 +34,15 @@ fn main() {
                 let seed = (u64::from(i) << 16) ^ ((c * 10.0) as u64) << 8 ^ run;
                 let points = MedDataset::Triangle.generate(n, seed);
                 let target = Med.basis_of(&points).value;
-                let cfg = LowLoadRunConfig {
-                    protocol: LowLoadConfig { maturity_factor: c, ..Default::default() },
-                    ..Default::default()
-                };
-                let report = run_low_load(&Med, &points, n, cfg, seed);
+                let report = Driver::new(Med)
+                    .nodes(n)
+                    .seed(seed)
+                    .algorithm(Algorithm::LowLoad(LowLoadConfig {
+                        maturity_factor: c,
+                        ..Default::default()
+                    }))
+                    .run(&points)
+                    .expect("latency run");
                 assert!(report.all_halted, "i={i} c={c} run={run}");
                 // Safety: every output equals the true optimum.
                 for out in report.outputs.iter() {
@@ -72,7 +78,13 @@ fn main() {
             ));
         }
     }
-    write_csv("termination_latency.csv", "i,n,c,first_candidate,all_halted,latency", &rows);
+    write_csv(
+        "termination_latency.csv",
+        "i,n,c,first_candidate,all_halted,latency",
+        &rows,
+    );
     println!();
-    println!("latency tracks the maturity window (≈ c·log2 n + spread): O(log n), as Lemma 12 states.");
+    println!(
+        "latency tracks the maturity window (≈ c·log2 n + spread): O(log n), as Lemma 12 states."
+    );
 }

@@ -9,17 +9,16 @@
 
 use lpt::LpType;
 use lpt_bench::{banner, max_i, runs, write_csv};
-use lpt_gossip::runner::{
-    rounds_to_first_solution_high_load, rounds_to_first_solution_low_load, HighLoadRunConfig,
-    LowLoadRunConfig,
-};
+use lpt_gossip::{Algorithm, Driver, StopCondition};
 use lpt_problems::Med;
 use lpt_workloads::med::MedDataset;
 
 fn main() {
     let max_i = max_i(12);
     let runs = runs(3);
-    banner(&format!("Theorems 3/4: work and load bounds (i = 4..={max_i}, {runs} runs)"));
+    banner(&format!(
+        "Theorems 3/4: work and load bounds (i = 4..={max_i}, {runs} runs)"
+    ));
 
     println!(
         "{:>4} {:>8} | {:>14} {:>12} | {:>14} {:>12} | {:>10}",
@@ -38,28 +37,21 @@ fn main() {
             let seed = (u64::from(i) << 24) ^ run;
             let points = ds.generate(n, seed);
             let target = Med.basis_of(&points).value;
-            let (fl, ml) = rounds_to_first_solution_low_load(
-                &Med,
-                &points,
-                n,
-                LowLoadRunConfig::default(),
-                seed,
-                &target,
-            );
-            assert!(fl.reached);
-            low_work = low_work.max(ml.max_node_work());
-            low_load = low_load.max(ml.max_load());
-            let (fh, mh) = rounds_to_first_solution_high_load(
-                &Med,
-                &points,
-                n,
-                HighLoadRunConfig::default(),
-                seed,
-                &target,
-            );
-            assert!(fh.reached);
-            high_work = high_work.max(mh.max_node_work());
-            high_load = high_load.max(mh.max_load());
+            let driver = Driver::new(Med)
+                .nodes(n)
+                .seed(seed)
+                .stop(StopCondition::FirstSolution(target));
+            let low = driver.clone().run(&points).expect("low-load run");
+            assert!(low.reached());
+            low_work = low_work.max(low.metrics.max_node_work());
+            low_load = low_load.max(low.metrics.max_load());
+            let high = driver
+                .algorithm(Algorithm::high_load())
+                .run(&points)
+                .expect("high-load run");
+            assert!(high.reached());
+            high_work = high_work.max(high.metrics.max_node_work());
+            high_load = high_load.max(high.metrics.max_load());
         }
         let d = 3.0f64;
         let bound_unit = d * d + f64::from(i);
@@ -67,7 +59,9 @@ fn main() {
             "{:>4} {:>8} | {:>14} {:>12} | {:>14} {:>12} | {:>10.0}",
             i, n, low_work, low_load, high_work, high_load, bound_unit
         );
-        rows.push(format!("{i},{n},{low_work},{low_load},{high_work},{high_load}"));
+        rows.push(format!(
+            "{i},{n},{low_work},{low_load},{high_work},{high_load}"
+        ));
         low_work_per_bound.push(low_work as f64 / bound_unit);
     }
     write_csv(

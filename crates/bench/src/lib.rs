@@ -33,18 +33,23 @@ use std::path::PathBuf;
 
 /// Largest exponent `i` of the `n = 2^i` sweeps (`LPT_MAX_I`, default 12).
 pub fn max_i(default: u32) -> u32 {
-    std::env::var("LPT_MAX_I").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var("LPT_MAX_I")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Runs per sweep cell (`LPT_RUNS`, default 5; the paper used 10).
 pub fn runs(default: u64) -> u64 {
-    std::env::var("LPT_RUNS").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var("LPT_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Directory CSV outputs are written to (`target/experiments`).
 pub fn experiments_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/experiments");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
     fs::create_dir_all(&dir).expect("create experiments dir");
     dir
 }

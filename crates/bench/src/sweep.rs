@@ -2,10 +2,8 @@
 //! algorithm on the four MED dataset families over `n = 2^i`.
 
 use lpt::LpType;
-use lpt_gossip::runner::{
-    rounds_to_first_solution_high_load, rounds_to_first_solution_low_load, HighLoadRunConfig,
-    LowLoadRunConfig,
-};
+use lpt_gossip::high_load::HighLoadConfig;
+use lpt_gossip::{Algorithm, Driver, StopCondition};
 use lpt_problems::Med;
 use lpt_workloads::med::MedDataset;
 
@@ -52,29 +50,28 @@ pub fn sweep_dataset(algo: Algo, ds: MedDataset, min_i: u32, max_i: u32, runs: u
             let seed = (u64::from(i) << 32) ^ run.wrapping_mul(0x9E3779B9) ^ 0xF00D;
             let points = ds.generate(n, seed);
             let target = Med.basis_of(&points).value;
-            let (first, metrics) = match algo {
-                Algo::LowLoad => rounds_to_first_solution_low_load(
-                    &Med,
-                    &points,
-                    n,
-                    LowLoadRunConfig::default(),
-                    seed,
-                    &target,
-                ),
-                Algo::HighLoad { push_count } => {
-                    let mut cfg = HighLoadRunConfig::default();
-                    cfg.protocol.push_count = push_count;
-                    rounds_to_first_solution_high_load(&Med, &points, n, cfg, seed, &target)
-                }
+            let algorithm = match algo {
+                Algo::LowLoad => Algorithm::low_load(),
+                Algo::HighLoad { push_count } => Algorithm::HighLoad(HighLoadConfig {
+                    push_count,
+                    ..Default::default()
+                }),
             };
+            let report = Driver::new(Med)
+                .nodes(n)
+                .seed(seed)
+                .algorithm(algorithm)
+                .stop(StopCondition::FirstSolution(target))
+                .run(&points)
+                .expect("sweep run");
             assert!(
-                first.reached,
+                report.reached(),
                 "{} i={i} run={run}: did not reach the optimum",
                 ds.name()
             );
-            rounds.push(first.rounds as f64);
-            max_work = max_work.max(metrics.max_node_work());
-            max_load = max_load.max(metrics.max_load());
+            rounds.push(report.rounds as f64);
+            max_work = max_work.max(report.metrics.max_node_work());
+            max_load = max_load.max(report.metrics.max_load());
         }
         out.push(Cell {
             i,
@@ -100,7 +97,10 @@ pub fn fit_constant(cells: &[Cell]) -> f64 {
     if pts.is_empty() {
         // Small sweep: fall back to everything.
         return crate::fit_through_origin(
-            &cells.iter().map(|c| (f64::from(c.i), c.avg_rounds)).collect::<Vec<_>>(),
+            &cells
+                .iter()
+                .map(|c| (f64::from(c.i), c.avg_rounds))
+                .collect::<Vec<_>>(),
         );
     }
     crate::fit_through_origin(&pts)
@@ -122,7 +122,10 @@ pub fn fit_affine(cells: &[Cell]) -> (f64, f64) {
     let pts = if pts.len() >= 2 {
         pts
     } else {
-        cells.iter().map(|c| (f64::from(c.i), c.avg_rounds)).collect()
+        cells
+            .iter()
+            .map(|c| (f64::from(c.i), c.avg_rounds))
+            .collect()
     };
     let n = pts.len() as f64;
     if pts.len() < 2 {

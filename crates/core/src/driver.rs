@@ -1,0 +1,1495 @@
+//! The unified driver: one builder-style entry point for every
+//! algorithm of the paper.
+//!
+//! The paper defines four algorithm families — the Low-Load Clarkson
+//! Algorithm (Section 2), the High-Load Clarkson Algorithm and its
+//! accelerated variant (Section 3), the distributed hitting-set
+//! algorithm (Section 4), and the hypercube-emulated Clarkson baseline
+//! (Section 1.1). [`Driver`] runs any of them behind a single API:
+//!
+//! ```
+//! use lpt_gossip::driver::{Algorithm, Driver, StopCondition};
+//! use lpt_problems::Med;
+//! use lpt_workloads::med::duo_disk;
+//!
+//! let points = duo_disk(256, 42);
+//! let report = Driver::new(Med)
+//!     .nodes(256)
+//!     .seed(42)
+//!     .stop(StopCondition::FullTermination)
+//!     .run(&points)
+//!     .expect("driver run");
+//! let basis = report.consensus_output().expect("all nodes agree");
+//! assert!((basis.value.r2.sqrt() - 10.0).abs() < 1e-6);
+//! ```
+//!
+//! Selecting an algorithm is one builder call
+//! ([`Driver::algorithm`]); the instance scattering, network
+//! construction, stop handling, and report assembly are shared. The
+//! algorithm × problem compatibility matrix is enforced at run time
+//! with a documented [`DriverError`]: LP-type problems accept
+//! [`Algorithm::LowLoad`], [`Algorithm::HighLoad`],
+//! [`Algorithm::Accelerated`], and [`Algorithm::Hypercube`]; set-system
+//! problems (`Arc<SetSystem>`) accept [`Algorithm::HittingSet`].
+//!
+//! The two problem families are unified by the [`DriverProblem`] trait,
+//! which is the seam where future backends (sharded networks, async
+//! transports, new problem classes) plug in. A *mode* marker type
+//! ([`LpMode`] / [`SetMode`]) keeps the blanket implementation for all
+//! [`LpType`] problems coherent with the set-system implementation;
+//! callers never name the mode — type inference resolves it from the
+//! problem type.
+
+use crate::high_load::{HighLoadClarkson, HighLoadConfig, HighLoadState};
+use crate::hitting_set::{HittingSetConfig, HittingSetGossip, HittingSetState};
+use crate::hypercube::hypercube_clarkson;
+use crate::low_load::{LowLoadClarkson, LowLoadConfig, LowLoadState};
+use gossip_sim::{Metrics, Network, NetworkConfig, Protocol, RunOutcome};
+use lpt::{BasisOf, LpType};
+use lpt_problems::SetSystem;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Seed mixing
+// ---------------------------------------------------------------------------
+
+/// Mixed into the master seed before scattering an instance, so that the
+/// scatter stream is independent of the simulator's per-round streams
+/// derived from the same seed (ASCII `"scatter"`).
+pub const SCATTER_SEED_MIX: u64 = 0x0073_6361_7474_6572;
+
+/// Bit position at which the doubling search mixes the current `d` into
+/// the master seed, giving every attempt an independent scatter and
+/// simulation while keeping the whole search a function of one seed.
+pub const DOUBLING_SEED_SHIFT: u32 = 48;
+
+/// The seed used for the doubling-search attempt at dimension bound `d`.
+pub fn doubling_attempt_seed(seed: u64, d: usize) -> u64 {
+    seed ^ (d as u64) << DOUBLING_SEED_SHIFT
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Why a [`Driver`] run could not be performed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DriverError {
+    /// The network has zero nodes (see [`Driver::nodes`] / [`scatter`]).
+    NoNodes,
+    /// The selected algorithm cannot solve this problem family.
+    UnsupportedAlgorithm {
+        /// The algorithm that was selected.
+        algorithm: &'static str,
+        /// The problem family it was asked to solve.
+        problem: &'static str,
+    },
+    /// The selected algorithm does not support this stop condition
+    /// (the hypercube baseline always runs to completion).
+    UnsupportedStop {
+        /// The algorithm that was selected.
+        algorithm: &'static str,
+    },
+    /// [`Driver::with_doubling_search`] is only meaningful for the
+    /// hitting-set algorithm, whose config carries the searched `d`.
+    UnsupportedDoubling {
+        /// The algorithm that was selected.
+        algorithm: &'static str,
+    },
+    /// The doubling search failed at a `d` beyond twice the ground-set
+    /// size — no hitting set can need more elements, so larger `d`
+    /// cannot help (the per-attempt round budget is too small for this
+    /// instance).
+    DoublingDiverged {
+        /// The last `d` whose attempt failed.
+        d: usize,
+    },
+    /// The doubling search was combined with
+    /// [`StopCondition::RoundBudget`]: an attempt's success is judged
+    /// by termination or a reached target, which a round budget never
+    /// signals, so every attempt would count as a failure.
+    DoublingNeedsTermination,
+    /// [`Driver::run_ground`] was called on a problem family whose
+    /// elements live outside the problem description (LP-type problems
+    /// take their constraint set as an explicit argument to
+    /// [`Driver::run`]).
+    NoGroundElements {
+        /// The problem family.
+        problem: &'static str,
+    },
+    /// A sequential solver inside the run failed.
+    Solver(String),
+}
+
+impl fmt::Display for DriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriverError::NoNodes => write!(f, "the network must have at least one node"),
+            DriverError::UnsupportedAlgorithm { algorithm, problem } => {
+                write!(f, "algorithm {algorithm} cannot solve {problem} problems")
+            }
+            DriverError::UnsupportedStop { algorithm } => {
+                write!(
+                    f,
+                    "algorithm {algorithm} only supports StopCondition::FullTermination"
+                )
+            }
+            DriverError::UnsupportedDoubling { algorithm } => {
+                write!(f, "doubling search is only supported for the hitting-set algorithm (got {algorithm})")
+            }
+            DriverError::DoublingDiverged { d } => {
+                write!(
+                    f,
+                    "doubling search failed at d = {d}, beyond twice the ground-set size; \
+                     increase the round budget factor"
+                )
+            }
+            DriverError::DoublingNeedsTermination => {
+                write!(
+                    f,
+                    "doubling search cannot run under StopCondition::RoundBudget — \
+                     a budgeted attempt never signals whether d was large enough"
+                )
+            }
+            DriverError::NoGroundElements { problem } => {
+                write!(
+                    f,
+                    "{problem} problems have no intrinsic ground elements; use Driver::run"
+                )
+            }
+            DriverError::Solver(msg) => write!(f, "sequential solver failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+// ---------------------------------------------------------------------------
+// Scattering
+// ---------------------------------------------------------------------------
+
+/// Scatters elements over `n` nodes uniformly and independently at
+/// random (the paper's initial distribution assumption, Section 1.4).
+///
+/// # Errors
+/// Returns [`DriverError::NoNodes`] when `n == 0`: there is no node to
+/// place elements on, and silently returning an empty partition would
+/// hide the configuration mistake from the caller.
+pub fn scatter<E: Clone>(elements: &[E], n: usize, seed: u64) -> Result<Vec<Vec<E>>, DriverError> {
+    if n == 0 {
+        return Err(DriverError::NoNodes);
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ SCATTER_SEED_MIX);
+    let mut out = vec![Vec::new(); n];
+    for e in elements {
+        out[rng.gen_range(0..n)].push(e.clone());
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm selection
+// ---------------------------------------------------------------------------
+
+/// Which of the paper's algorithms a [`Driver`] runs.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub enum Algorithm {
+    /// The Low-Load Clarkson Algorithm (Algorithms 2–4, Theorem 3).
+    LowLoad(LowLoadConfig),
+    /// The High-Load Clarkson Algorithm (Algorithm 5, Theorem 4).
+    HighLoad(HighLoadConfig),
+    /// The accelerated High-Load variant (Section 3.1): `C = ⌈log^ε n⌉`
+    /// basis pushes per round, resolved against the network size at run
+    /// time.
+    Accelerated {
+        /// The exponent `ε` in `C = ⌈log2(n)^ε⌉`.
+        epsilon: f64,
+    },
+    /// The hypercube-emulated Clarkson baseline (Section 1.1). Runs to
+    /// completion analytically; only [`StopCondition::FullTermination`]
+    /// is supported, and the report's metrics are empty (its round count
+    /// is charged, not simulated).
+    Hypercube,
+    /// The distributed hitting-set algorithm (Algorithm 6, Theorem 5).
+    HittingSet(HittingSetConfig),
+}
+
+impl Algorithm {
+    /// Low-Load with the paper's default knobs.
+    pub fn low_load() -> Self {
+        Algorithm::LowLoad(LowLoadConfig::default())
+    }
+
+    /// High-Load with the paper's default knobs (`C = 1`).
+    pub fn high_load() -> Self {
+        Algorithm::HighLoad(HighLoadConfig::default())
+    }
+
+    /// The accelerated High-Load variant with exponent `epsilon`.
+    pub fn accelerated(epsilon: f64) -> Self {
+        Algorithm::Accelerated { epsilon }
+    }
+
+    /// Hitting set with (an upper bound on) the optimum size `d`.
+    pub fn hitting_set(d: usize) -> Self {
+        Algorithm::HittingSet(HittingSetConfig::new(d))
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::LowLoad(_) => "low-load",
+            Algorithm::HighLoad(_) => "high-load",
+            Algorithm::Accelerated { .. } => "accelerated",
+            Algorithm::Hypercube => "hypercube",
+            Algorithm::HittingSet(_) => "hitting-set",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stop conditions
+// ---------------------------------------------------------------------------
+
+/// A live view of the network handed to [`StopCondition::Custom`]
+/// predicates after every simulated round.
+#[derive(Clone, Copy, Debug)]
+pub struct Progress {
+    /// Rounds simulated so far.
+    pub round: u64,
+    /// Network size.
+    pub n: usize,
+    /// Nodes that have output and halted.
+    pub halted: u64,
+    /// Nodes currently holding a candidate solution (a sampled basis
+    /// with no local violators, a local basis, or a verified hitting
+    /// set, depending on the algorithm).
+    pub with_candidate: usize,
+}
+
+/// When a [`Driver`] run stops.
+pub enum StopCondition<T> {
+    /// Run until every node has output and halted (the algorithms'
+    /// actual termination, including the network-wide audit).
+    FullTermination,
+    /// Stop as soon as any node *holds* a candidate matching the target
+    /// — the paper's Section 5 measurement ("rounds until at least one
+    /// node found the solution", excluding the input-independent
+    /// termination phase). For LP-type problems the target is a
+    /// [`LpType::Value`] compared under the problem's tolerance; for
+    /// hitting set it is a maximum acceptable set size.
+    FirstSolution(T),
+    /// Stop after exactly this many rounds (unless the network halts
+    /// first). Unlike [`Driver::max_rounds`] — the safety valve that
+    /// marks a run as incomplete — exhausting a round budget is an
+    /// expected outcome ([`StopCause::RoundBudget`]).
+    RoundBudget(u64),
+    /// Stop when the predicate returns `true` (checked after every
+    /// round).
+    Custom(Arc<dyn Fn(&Progress) -> bool + Send + Sync>),
+}
+
+impl<T: Clone> Clone for StopCondition<T> {
+    fn clone(&self) -> Self {
+        match self {
+            StopCondition::FullTermination => StopCondition::FullTermination,
+            StopCondition::FirstSolution(t) => StopCondition::FirstSolution(t.clone()),
+            StopCondition::RoundBudget(r) => StopCondition::RoundBudget(*r),
+            StopCondition::Custom(f) => StopCondition::Custom(f.clone()),
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for StopCondition<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StopCondition::FullTermination => write!(f, "FullTermination"),
+            StopCondition::FirstSolution(t) => f.debug_tuple("FirstSolution").field(t).finish(),
+            StopCondition::RoundBudget(r) => f.debug_tuple("RoundBudget").field(r).finish(),
+            StopCondition::Custom(_) => write!(f, "Custom(..)"),
+        }
+    }
+}
+
+/// Why a run ended (recorded in [`RunReport::stop_cause`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopCause {
+    /// Every node output and halted.
+    AllHalted,
+    /// A [`StopCondition::FirstSolution`] target was reached.
+    TargetReached,
+    /// A [`StopCondition::RoundBudget`] was used up.
+    RoundBudget,
+    /// A [`StopCondition::Custom`] predicate fired.
+    CustomStop,
+    /// The [`Driver::max_rounds`] safety valve tripped before the stop
+    /// condition was satisfied.
+    MaxRounds,
+}
+
+// ---------------------------------------------------------------------------
+// Reports
+// ---------------------------------------------------------------------------
+
+/// Trace of a [`Driver::with_doubling_search`] run.
+#[derive(Clone, Debug)]
+pub struct DoublingReport {
+    /// The `d` value that succeeded.
+    pub d_used: usize,
+    /// The `d` values that were tried, in order.
+    pub attempts: Vec<usize>,
+    /// Total simulated rounds across all attempts (failed ones
+    /// included); the successful attempt's own rounds are
+    /// [`RunReport::rounds`].
+    pub total_rounds: u64,
+}
+
+/// Report of a [`Driver`] run, polymorphic over the per-node output
+/// type: [`BasisOf<P>`] for LP-type problems, `Vec<u32>` for hitting
+/// set.
+#[derive(Clone, Debug)]
+pub struct RunReport<O> {
+    /// Per-node outputs (`None` if a node never halted — possible only
+    /// when the run stopped before full termination).
+    pub outputs: Vec<Option<O>>,
+    /// Rounds simulated.
+    pub rounds: u64,
+    /// Whether every node output and halted.
+    pub all_halted: bool,
+    /// Why the run ended.
+    pub stop_cause: StopCause,
+    /// Earliest round at which any node first held a candidate solution
+    /// (Low-Load: an audited-candidate basis; hitting set: a verified
+    /// hitting set, also exposed as [`RunReport::first_found_round`];
+    /// High-Load and hypercube: `None`).
+    pub first_candidate_round: Option<u64>,
+    /// The hitting-set protocol's sample size `r` (the Theorem 5 size
+    /// bound); `None` for the other algorithms.
+    pub size_bound: Option<usize>,
+    /// Doubling-search trace, when [`Driver::with_doubling_search`] was
+    /// used.
+    pub doubling: Option<DoublingReport>,
+    /// Communication metrics, one entry per simulated round (empty for
+    /// the analytic hypercube baseline).
+    pub metrics: Metrics,
+    consensus: Option<O>,
+}
+
+impl<O> RunReport<O> {
+    /// The common output of all nodes, if the run terminated and every
+    /// node output a value equal (up to the problem's tolerance) to the
+    /// first node's.
+    pub fn consensus_output(&self) -> Option<&O> {
+        self.consensus.as_ref()
+    }
+
+    /// Whether a [`StopCondition::FirstSolution`] target was reached.
+    pub fn reached(&self) -> bool {
+        matches!(self.stop_cause, StopCause::TargetReached)
+    }
+
+    /// Alias of [`RunReport::first_candidate_round`] under the
+    /// hitting-set algorithm's vocabulary.
+    pub fn first_found_round(&self) -> Option<u64> {
+        self.first_candidate_round
+    }
+}
+
+impl RunReport<Vec<u32>> {
+    /// The smallest output hitting set (all outputs are valid; they may
+    /// differ across nodes). Ties break lexicographically so the choice
+    /// is deterministic.
+    pub fn best_output(&self) -> Option<&Vec<u32>> {
+        self.outputs.iter().flatten().min_by(|a, b| {
+            a.len()
+                .cmp(&b.len())
+                .then_with(|| a.as_slice().cmp(b.as_slice()))
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The DriverProblem seam
+// ---------------------------------------------------------------------------
+
+/// Mode marker: the problem is an [`LpType`] instance solved by the
+/// Clarkson-style algorithms.
+#[derive(Clone, Copy, Debug)]
+pub struct LpMode;
+
+/// Mode marker: the problem is a set system solved by the hitting-set
+/// algorithm.
+#[derive(Clone, Copy, Debug)]
+pub struct SetMode;
+
+/// Everything a [`Driver`] needs from a run, mode-independent.
+#[derive(Clone, Copy)]
+pub struct RunSpec<'a, T> {
+    /// Network size.
+    pub n: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// The selected algorithm.
+    pub algorithm: &'a Algorithm,
+    /// The stop condition.
+    pub stop: &'a StopCondition<T>,
+    /// Safety valve on simulated rounds.
+    pub max_rounds: u64,
+    /// Step nodes in parallel when the simulator supports it.
+    pub parallel: bool,
+    /// Doubling-search budget factor, if enabled.
+    pub doubling: Option<f64>,
+}
+
+/// A problem family the unified [`Driver`] can run.
+///
+/// `M` is a mode marker ([`LpMode`] or [`SetMode`]) that exists only to
+/// keep the blanket implementation for all [`LpType`] problems coherent
+/// with the set-system implementation; exactly one implementation
+/// applies to any problem type, so inference always resolves `M`.
+///
+/// This trait is the extension seam of the crate: a sharded or async
+/// backend implements `execute` differently; a new problem family adds
+/// a mode.
+pub trait DriverProblem<M>: Sized {
+    /// The element type scattered over the network.
+    type Element: Clone + Send + Sync;
+    /// The per-node output type carried by [`RunReport`].
+    type Output: Clone;
+    /// The [`StopCondition::FirstSolution`] target type.
+    type Target: Clone;
+
+    /// Display name of the problem family (used in errors).
+    fn problem_kind(&self) -> &'static str;
+
+    /// The algorithm a [`Driver`] runs when none was selected with
+    /// [`Driver::algorithm`].
+    fn default_algorithm(&self) -> Algorithm;
+
+    /// The doubling-search budget factor a [`Driver`] uses when none of
+    /// [`Driver::algorithm`] / [`Driver::with_doubling_search`] was
+    /// called. Set systems default to the doubling search (the optimum
+    /// size is rarely known up front; a fixed `d = 1` would silently
+    /// burn the whole round budget on most instances); `None` elsewhere.
+    fn default_doubling(&self) -> Option<f64> {
+        None
+    }
+
+    /// The problem's intrinsic ground-element set, if it has one
+    /// (hitting set: `0..n_elements`). Used by [`Driver::run_ground`].
+    fn ground_elements(&self) -> Option<Vec<Self::Element>> {
+        None
+    }
+
+    /// Runs the spec on the given elements.
+    fn execute(
+        &self,
+        spec: &RunSpec<'_, Self::Target>,
+        elements: &[Self::Element],
+    ) -> Result<RunReport<Self::Output>, DriverError>;
+}
+
+// ---------------------------------------------------------------------------
+// The Driver builder
+// ---------------------------------------------------------------------------
+
+/// Builder-style driver for one distributed run. See the
+/// [module docs](self) for an example, and [`DriverProblem`] for the
+/// problem families it accepts.
+pub struct Driver<P: DriverProblem<M>, M = LpMode> {
+    problem: P,
+    n: usize,
+    seed: u64,
+    /// `None` until [`Driver::algorithm`] is called; resolved against
+    /// the problem family's default at run time.
+    algorithm: Option<Algorithm>,
+    stop: StopCondition<P::Target>,
+    max_rounds: u64,
+    parallel: bool,
+    doubling: Option<f64>,
+    _mode: PhantomData<fn() -> M>,
+}
+
+impl<M, P: DriverProblem<M> + Clone> Clone for Driver<P, M> {
+    fn clone(&self) -> Self {
+        Driver {
+            problem: self.problem.clone(),
+            n: self.n,
+            seed: self.seed,
+            algorithm: self.algorithm.clone(),
+            stop: self.stop.clone(),
+            max_rounds: self.max_rounds,
+            parallel: self.parallel,
+            doubling: self.doubling,
+            _mode: PhantomData,
+        }
+    }
+}
+
+impl<M, P: DriverProblem<M>> fmt::Debug for Driver<P, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Driver")
+            .field("problem", &self.problem.problem_kind())
+            .field("n", &self.n)
+            .field("seed", &self.seed)
+            .field("algorithm", &self.algorithm)
+            .field("max_rounds", &self.max_rounds)
+            .field("parallel", &self.parallel)
+            .field("doubling", &self.doubling)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<M, P: DriverProblem<M>> Driver<P, M> {
+    /// Creates a driver for `problem` with the defaults: 1 node, seed 0,
+    /// the problem family's default algorithm (LP-type: Low-Load;
+    /// set system: hitting set under the doubling search), full
+    /// termination, a 20 000-round safety valve, and parallel stepping
+    /// enabled.
+    pub fn new(problem: P) -> Self {
+        Driver {
+            problem,
+            n: 1,
+            seed: 0,
+            algorithm: None,
+            stop: StopCondition::FullTermination,
+            max_rounds: 20_000,
+            parallel: true,
+            doubling: None,
+            _mode: PhantomData,
+        }
+    }
+
+    /// Sets the network size.
+    pub fn nodes(mut self, n: usize) -> Self {
+        self.n = n;
+        self
+    }
+
+    /// Sets the master seed; the run is a deterministic function of
+    /// (problem, elements, nodes, algorithm, stop, seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Selects the algorithm.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = Some(algorithm);
+        self
+    }
+
+    /// Sets the stop condition.
+    pub fn stop(mut self, stop: StopCondition<P::Target>) -> Self {
+        self.stop = stop;
+        self
+    }
+
+    /// Sets the safety valve on simulated rounds (default 20 000).
+    pub fn max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Enables or disables Rayon-parallel node stepping (default on;
+    /// results are identical either way).
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Enables the doubling search on the unknown minimum-hitting-set
+    /// size (the paper's Section 1.4 remark): the run starts at `d = 1`
+    /// and doubles whenever it does not terminate within
+    /// `round_budget_factor · d · log2 n` rounds. Since the bounds
+    /// depend at least linearly on `d`, the doubling adds only a
+    /// constant factor. Only meaningful with [`Algorithm::HittingSet`]
+    /// (other algorithms report [`DriverError::UnsupportedDoubling`]),
+    /// and incompatible with [`StopCondition::RoundBudget`]
+    /// ([`DriverError::DoublingNeedsTermination`]). The per-attempt
+    /// budget is derived from this factor alone — [`Driver::max_rounds`]
+    /// does not cap attempts, since freezing the budget would make
+    /// doubling `d` useless.
+    pub fn with_doubling_search(mut self, round_budget_factor: f64) -> Self {
+        self.doubling = Some(round_budget_factor);
+        self
+    }
+
+    /// The problem this driver runs.
+    pub fn problem(&self) -> &P {
+        &self.problem
+    }
+
+    /// Runs the configured algorithm on `elements`.
+    pub fn run(&self, elements: &[P::Element]) -> Result<RunReport<P::Output>, DriverError> {
+        let algorithm = match &self.algorithm {
+            Some(a) => a.clone(),
+            None => self.problem.default_algorithm(),
+        };
+        // Out of the box (no explicit algorithm or doubling choice),
+        // problem families may opt into the doubling search.
+        let doubling = self.doubling.or_else(|| {
+            if self.algorithm.is_none() {
+                self.problem.default_doubling()
+            } else {
+                None
+            }
+        });
+        let spec = RunSpec {
+            n: self.n,
+            seed: self.seed,
+            algorithm: &algorithm,
+            stop: &self.stop,
+            max_rounds: self.max_rounds,
+            parallel: self.parallel,
+            doubling,
+        };
+        self.problem.execute(&spec, elements)
+    }
+
+    /// Runs on the problem's intrinsic ground-element set (hitting set:
+    /// the elements `0..n_elements`). Errors with
+    /// [`DriverError::NoGroundElements`] for problem families whose
+    /// elements live outside the problem description.
+    pub fn run_ground(&self) -> Result<RunReport<P::Output>, DriverError> {
+        let ground = self
+            .problem
+            .ground_elements()
+            .ok_or(DriverError::NoGroundElements {
+                problem: self.problem.problem_kind(),
+            })?;
+        self.run(&ground)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared run-loop machinery
+// ---------------------------------------------------------------------------
+
+fn net_config(seed: u64, parallel: bool) -> NetworkConfig {
+    let mut cfg = NetworkConfig::with_seed(seed);
+    cfg.parallel = parallel;
+    cfg
+}
+
+/// Steps `net` under `stop`, returning the outcome and its cause.
+fn drive<Pr: Protocol, T>(
+    net: &mut Network<Pr>,
+    stop: &StopCondition<T>,
+    max_rounds: u64,
+    target_hit: impl Fn(&Network<Pr>, &T) -> bool,
+    candidates: impl Fn(&Network<Pr>) -> usize,
+) -> (RunOutcome, StopCause) {
+    match stop {
+        StopCondition::FullTermination => {
+            let outcome = net.run(max_rounds);
+            let cause = if outcome.all_halted() {
+                StopCause::AllHalted
+            } else {
+                StopCause::MaxRounds
+            };
+            (outcome, cause)
+        }
+        StopCondition::FirstSolution(target) => {
+            let outcome = net.run_until(max_rounds, |net| target_hit(net, target));
+            let cause = match outcome {
+                RunOutcome::AllHalted { .. } => StopCause::AllHalted,
+                RunOutcome::Predicate { .. } => StopCause::TargetReached,
+                RunOutcome::MaxRounds { .. } => StopCause::MaxRounds,
+            };
+            (outcome, cause)
+        }
+        StopCondition::RoundBudget(budget) => {
+            let capped = (*budget).min(max_rounds);
+            let outcome = net.run(capped);
+            let cause = if outcome.all_halted() {
+                StopCause::AllHalted
+            } else if outcome.rounds() >= *budget {
+                StopCause::RoundBudget
+            } else {
+                // The max_rounds safety valve cut the run before the
+                // user's budget was reached.
+                StopCause::MaxRounds
+            };
+            (outcome, cause)
+        }
+        StopCondition::Custom(pred) => {
+            let outcome = net.run_until(max_rounds, |net| {
+                pred(&Progress {
+                    round: net.round_index(),
+                    n: net.n(),
+                    halted: net.halted_count(),
+                    with_candidate: candidates(net),
+                })
+            });
+            let cause = match outcome {
+                RunOutcome::AllHalted { .. } => StopCause::AllHalted,
+                RunOutcome::Predicate { .. } => StopCause::CustomStop,
+                RunOutcome::MaxRounds { .. } => StopCause::MaxRounds,
+            };
+            (outcome, cause)
+        }
+    }
+}
+
+/// Consensus under the problem's value tolerance: the first node's
+/// output, if every node output a value close to it.
+fn lp_consensus<P: LpType>(problem: &P, outputs: &[Option<BasisOf<P>>]) -> Option<BasisOf<P>> {
+    let first = outputs.first()?.as_ref()?;
+    for out in outputs {
+        let b = out.as_ref()?;
+        if !problem.values_close(&b.value, &first.value) {
+            return None;
+        }
+    }
+    Some(first.clone())
+}
+
+/// Consensus for hitting sets: exact agreement of every output.
+fn hs_consensus(outputs: &[Option<Vec<u32>>]) -> Option<Vec<u32>> {
+    let first = outputs.first()?.as_ref()?;
+    for out in outputs {
+        if out.as_ref()? != first {
+            return None;
+        }
+    }
+    Some(first.clone())
+}
+
+// ---------------------------------------------------------------------------
+// LP-type problems
+// ---------------------------------------------------------------------------
+
+impl<P: LpType + Clone + Sync> DriverProblem<LpMode> for P {
+    type Element = P::Element;
+    type Output = BasisOf<P>;
+    type Target = P::Value;
+
+    fn problem_kind(&self) -> &'static str {
+        "LP-type"
+    }
+
+    fn default_algorithm(&self) -> Algorithm {
+        Algorithm::low_load()
+    }
+
+    fn execute(
+        &self,
+        spec: &RunSpec<'_, P::Value>,
+        elements: &[P::Element],
+    ) -> Result<RunReport<BasisOf<P>>, DriverError> {
+        if spec.n == 0 {
+            return Err(DriverError::NoNodes);
+        }
+        if spec.doubling.is_some() {
+            return Err(DriverError::UnsupportedDoubling {
+                algorithm: spec.algorithm.name(),
+            });
+        }
+        match spec.algorithm {
+            Algorithm::LowLoad(cfg) => run_low_load_driver(self, cfg, spec, elements),
+            Algorithm::HighLoad(cfg) => run_high_load_driver(self, cfg.clone(), spec, elements),
+            Algorithm::Accelerated { epsilon } => {
+                let cfg = HighLoadConfig::accelerated(spec.n, *epsilon);
+                run_high_load_driver(self, cfg, spec, elements)
+            }
+            Algorithm::Hypercube => run_hypercube_driver(self, spec, elements),
+            Algorithm::HittingSet(_) => Err(DriverError::UnsupportedAlgorithm {
+                algorithm: spec.algorithm.name(),
+                problem: self.problem_kind(),
+            }),
+        }
+    }
+}
+
+fn run_low_load_driver<P: LpType + Clone + Sync>(
+    problem: &P,
+    cfg: &LowLoadConfig,
+    spec: &RunSpec<'_, P::Value>,
+    elements: &[P::Element],
+) -> Result<RunReport<BasisOf<P>>, DriverError> {
+    let proto = LowLoadClarkson::new(problem.clone(), spec.n, cfg);
+    let states: Vec<LowLoadState<P>> = scatter(elements, spec.n, spec.seed)?
+        .into_iter()
+        .map(|h0| proto.initial_state(h0))
+        .collect();
+    let mut net = Network::new(proto, states, net_config(spec.seed, spec.parallel));
+    let (outcome, cause) = drive(
+        &mut net,
+        spec.stop,
+        spec.max_rounds,
+        |net, target| {
+            net.states().iter().any(|s| {
+                s.candidate
+                    .as_ref()
+                    .is_some_and(|b| net.protocol().problem().values_close(&b.value, target))
+            })
+        },
+        |net| {
+            net.states()
+                .iter()
+                .filter(|s| s.candidate.is_some())
+                .count()
+        },
+    );
+    let outputs: Vec<_> = net.states().iter().map(|s| s.output.clone()).collect();
+    Ok(RunReport {
+        consensus: lp_consensus(problem, &outputs),
+        outputs,
+        rounds: outcome.rounds(),
+        all_halted: outcome.all_halted(),
+        stop_cause: cause,
+        first_candidate_round: net.states().iter().filter_map(|s| s.candidate_round).min(),
+        size_bound: None,
+        doubling: None,
+        metrics: net.metrics().clone(),
+    })
+}
+
+fn run_high_load_driver<P: LpType + Clone + Sync>(
+    problem: &P,
+    cfg: HighLoadConfig,
+    spec: &RunSpec<'_, P::Value>,
+    elements: &[P::Element],
+) -> Result<RunReport<BasisOf<P>>, DriverError> {
+    let proto = HighLoadClarkson::new(problem.clone(), spec.n, &cfg);
+    let states: Vec<HighLoadState<P>> = scatter(elements, spec.n, spec.seed)?
+        .into_iter()
+        .map(|h| proto.initial_state(h))
+        .collect();
+    let mut net = Network::new(proto, states, net_config(spec.seed, spec.parallel));
+    let (outcome, cause) = drive(
+        &mut net,
+        spec.stop,
+        spec.max_rounds,
+        |net, target| {
+            net.states().iter().any(|s| {
+                s.local_basis
+                    .as_ref()
+                    .is_some_and(|b| net.protocol().problem().values_close(&b.value, target))
+            })
+        },
+        |net| {
+            net.states()
+                .iter()
+                .filter(|s| s.local_basis.is_some())
+                .count()
+        },
+    );
+    let outputs: Vec<_> = net.states().iter().map(|s| s.output.clone()).collect();
+    Ok(RunReport {
+        consensus: lp_consensus(problem, &outputs),
+        outputs,
+        rounds: outcome.rounds(),
+        all_halted: outcome.all_halted(),
+        stop_cause: cause,
+        first_candidate_round: None,
+        size_bound: None,
+        doubling: None,
+        metrics: net.metrics().clone(),
+    })
+}
+
+fn run_hypercube_driver<P: LpType + Clone + Sync>(
+    problem: &P,
+    spec: &RunSpec<'_, P::Value>,
+    elements: &[P::Element],
+) -> Result<RunReport<BasisOf<P>>, DriverError> {
+    if !matches!(spec.stop, StopCondition::FullTermination) {
+        return Err(DriverError::UnsupportedStop {
+            algorithm: "hypercube",
+        });
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
+    let rep = hypercube_clarkson(problem, elements, spec.n, &mut rng)
+        .map_err(|e| DriverError::Solver(e.to_string()))?;
+    let outputs: Vec<Option<BasisOf<P>>> = vec![Some(rep.basis.clone()); spec.n];
+    Ok(RunReport {
+        consensus: Some(rep.basis),
+        outputs,
+        rounds: rep.rounds,
+        all_halted: true,
+        stop_cause: StopCause::AllHalted,
+        first_candidate_round: None,
+        size_bound: None,
+        doubling: None,
+        metrics: Metrics::default(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Set-system problems (hitting set)
+// ---------------------------------------------------------------------------
+
+impl DriverProblem<SetMode> for Arc<SetSystem> {
+    type Element = u32;
+    type Output = Vec<u32>;
+    /// Maximum acceptable hitting-set size for
+    /// [`StopCondition::FirstSolution`]; use `usize::MAX` for "any
+    /// verified hitting set".
+    type Target = usize;
+
+    fn problem_kind(&self) -> &'static str {
+        "set-system"
+    }
+
+    fn default_algorithm(&self) -> Algorithm {
+        Algorithm::hitting_set(1)
+    }
+
+    fn default_doubling(&self) -> Option<f64> {
+        Some(12.0)
+    }
+
+    fn ground_elements(&self) -> Option<Vec<u32>> {
+        Some((0..self.n_elements() as u32).collect())
+    }
+
+    fn execute(
+        &self,
+        spec: &RunSpec<'_, usize>,
+        elements: &[u32],
+    ) -> Result<RunReport<Vec<u32>>, DriverError> {
+        if spec.n == 0 {
+            return Err(DriverError::NoNodes);
+        }
+        let cfg = match spec.algorithm {
+            Algorithm::HittingSet(cfg) => cfg,
+            other => {
+                return Err(DriverError::UnsupportedAlgorithm {
+                    algorithm: other.name(),
+                    problem: self.problem_kind(),
+                })
+            }
+        };
+        match spec.doubling {
+            None => run_hitting_set_driver(self, cfg, spec, elements, spec.max_rounds),
+            Some(factor) => run_doubling_search(self, cfg, spec, elements, factor),
+        }
+    }
+}
+
+fn run_hitting_set_driver(
+    sys: &Arc<SetSystem>,
+    cfg: &HittingSetConfig,
+    spec: &RunSpec<'_, usize>,
+    elements: &[u32],
+    max_rounds: u64,
+) -> Result<RunReport<Vec<u32>>, DriverError> {
+    let proto = HittingSetGossip::new(sys.clone(), spec.n, cfg);
+    let size_bound = proto.sample_size();
+    let states: Vec<HittingSetState> = scatter(elements, spec.n, spec.seed)?
+        .into_iter()
+        .map(|x0| proto.initial_state(x0))
+        .collect();
+    let mut net = Network::new(proto, states, net_config(spec.seed, spec.parallel));
+    let (outcome, cause) = drive(
+        &mut net,
+        spec.stop,
+        max_rounds,
+        |net, target| {
+            net.states()
+                .iter()
+                .any(|s| s.best.as_ref().is_some_and(|hs| hs.len() <= *target))
+        },
+        |net| net.states().iter().filter(|s| s.best.is_some()).count(),
+    );
+    let outputs: Vec<_> = net.states().iter().map(|s| s.output.clone()).collect();
+    Ok(RunReport {
+        consensus: hs_consensus(&outputs),
+        outputs,
+        rounds: outcome.rounds(),
+        all_halted: outcome.all_halted(),
+        stop_cause: cause,
+        first_candidate_round: net.states().iter().filter_map(|s| s.found_round).min(),
+        size_bound: Some(size_bound),
+        doubling: None,
+        metrics: net.metrics().clone(),
+    })
+}
+
+/// The doubling search on the unknown minimum-hitting-set size: each
+/// attempt runs with `d` doubled and an independent seed
+/// ([`doubling_attempt_seed`]) under a `factor · d · log2 n` round
+/// budget, until an attempt satisfies the stop condition.
+fn run_doubling_search(
+    sys: &Arc<SetSystem>,
+    base_cfg: &HittingSetConfig,
+    spec: &RunSpec<'_, usize>,
+    elements: &[u32],
+    factor: f64,
+) -> Result<RunReport<Vec<u32>>, DriverError> {
+    // An attempt's success is judged by termination (or a reached
+    // target); a round budget stops every attempt without signalling
+    // either, so the search could never distinguish "d too small" from
+    // "budget hit" and would always diverge.
+    if matches!(spec.stop, StopCondition::RoundBudget(_)) {
+        return Err(DriverError::DoublingNeedsTermination);
+    }
+    let log2n = (spec.n.max(2) as f64).log2();
+    let mut d = 1usize;
+    let mut attempts = Vec::new();
+    let mut total_rounds = 0u64;
+    loop {
+        attempts.push(d);
+        let mut cfg = base_cfg.clone();
+        cfg.d = d;
+        // The per-attempt budget grows with d by design — capping it at
+        // max_rounds would freeze the budget and make larger d useless,
+        // so the doubling search deliberately ignores the safety valve
+        // (divergence is bounded by the ground-set-size check below).
+        let budget = (factor * d as f64 * log2n).ceil().max(8.0) as u64;
+        let attempt_spec = RunSpec {
+            seed: doubling_attempt_seed(spec.seed, d),
+            ..*spec
+        };
+        let report = run_hitting_set_driver(sys, &cfg, &attempt_spec, elements, budget)?;
+        total_rounds += report.rounds;
+        let succeeded = report.all_halted
+            || matches!(
+                report.stop_cause,
+                StopCause::TargetReached | StopCause::CustomStop
+            );
+        if succeeded {
+            return Ok(RunReport {
+                doubling: Some(DoublingReport {
+                    d_used: d,
+                    attempts,
+                    total_rounds,
+                }),
+                ..report
+            });
+        }
+        if d > 2 * sys.n_elements().max(1) {
+            return Err(DriverError::DoublingDiverged { d });
+        }
+        d *= 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpt::exhaustive::test_problems::Interval;
+    use lpt_problems::{Med, MedValue};
+    use lpt_workloads::med::{duo_disk, triple_disk};
+    use lpt_workloads::sets::planted_hitting_set;
+
+    #[test]
+    fn scatter_preserves_elements() {
+        let elements: Vec<i64> = (0..100).collect();
+        let parts = scatter(&elements, 7, 5).expect("n > 0");
+        assert_eq!(parts.len(), 7);
+        let mut all: Vec<i64> = parts.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, elements);
+    }
+
+    #[test]
+    fn scatter_rejects_zero_nodes() {
+        assert_eq!(scatter(&[1, 2, 3], 0, 1).unwrap_err(), DriverError::NoNodes);
+    }
+
+    #[test]
+    fn low_load_med_duo_disk() {
+        let points = duo_disk(128, 1);
+        let report = Driver::new(Med)
+            .nodes(128)
+            .seed(1)
+            .run(&points)
+            .expect("run");
+        assert!(report.all_halted);
+        assert_eq!(report.stop_cause, StopCause::AllHalted);
+        let basis = report.consensus_output().expect("consensus");
+        assert!((basis.value.r2.sqrt() - 10.0).abs() < 1e-6);
+        assert_eq!(basis.len(), 2);
+    }
+
+    #[test]
+    fn high_load_med_triple_disk() {
+        let points = triple_disk(256, 2);
+        let report = Driver::new(Med)
+            .nodes(256)
+            .seed(2)
+            .algorithm(Algorithm::high_load())
+            .run(&points)
+            .expect("run");
+        assert!(report.all_halted);
+        let basis = report.consensus_output().expect("consensus");
+        assert!((basis.value.r2.sqrt() - 10.0).abs() < 1e-6);
+        assert_eq!(basis.len(), 3);
+    }
+
+    #[test]
+    fn first_solution_is_before_full_termination() {
+        let points = duo_disk(256, 3);
+        let target = lpt::LpType::basis_of(&Med, &points).value;
+        let driver = Driver::new(Med).nodes(256).seed(3);
+        let first = driver
+            .clone()
+            .stop(StopCondition::FirstSolution(target))
+            .run(&points)
+            .expect("run");
+        assert!(first.reached());
+        let full = driver.run(&points).expect("run");
+        assert!(full.all_halted);
+        assert!(first.rounds <= full.rounds);
+    }
+
+    #[test]
+    fn accelerated_resolves_push_count_at_run_time() {
+        let points = triple_disk(128, 9);
+        let report = Driver::new(Med)
+            .nodes(128)
+            .seed(9)
+            .algorithm(Algorithm::accelerated(0.5))
+            .run(&points)
+            .expect("run");
+        assert!(report.all_halted);
+        let basis = report.consensus_output().expect("consensus");
+        assert!((basis.value.r2.sqrt() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hypercube_baseline_reports_charged_rounds() {
+        let points = triple_disk(200, 5);
+        let report = Driver::new(Med)
+            .nodes(200)
+            .seed(5)
+            .algorithm(Algorithm::Hypercube)
+            .run(&points)
+            .expect("run");
+        assert!(report.all_halted);
+        assert!(report.rounds > 0);
+        assert!(
+            report.metrics.rounds.is_empty(),
+            "hypercube rounds are analytic"
+        );
+        let basis = report.consensus_output().expect("consensus");
+        assert!((basis.value.r2.sqrt() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hypercube_rejects_partial_stops() {
+        let points = duo_disk(64, 6);
+        let err = Driver::new(Med)
+            .nodes(64)
+            .algorithm(Algorithm::Hypercube)
+            .stop(StopCondition::RoundBudget(5))
+            .run(&points)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DriverError::UnsupportedStop {
+                algorithm: "hypercube"
+            }
+        );
+    }
+
+    #[test]
+    fn round_budget_stops_exactly() {
+        let points = triple_disk(256, 7);
+        let report = Driver::new(Med)
+            .nodes(256)
+            .seed(7)
+            .stop(StopCondition::RoundBudget(3))
+            .run(&points)
+            .expect("run");
+        assert_eq!(report.rounds, 3);
+        assert_eq!(report.stop_cause, StopCause::RoundBudget);
+        assert!(!report.all_halted);
+    }
+
+    #[test]
+    fn custom_stop_sees_progress() {
+        let points = triple_disk(256, 8);
+        let report = Driver::new(Med)
+            .nodes(256)
+            .seed(8)
+            .stop(StopCondition::Custom(Arc::new(|p: &Progress| {
+                p.round >= 2 && p.with_candidate * 2 >= p.n
+            })))
+            .run(&points)
+            .expect("run");
+        assert_eq!(report.stop_cause, StopCause::CustomStop);
+        assert!(report.rounds >= 2);
+        let full = Driver::new(Med)
+            .nodes(256)
+            .seed(8)
+            .run(&points)
+            .expect("run");
+        assert!(report.rounds <= full.rounds);
+    }
+
+    #[test]
+    fn lp_problems_reject_hitting_set_algorithm() {
+        let err = Driver::new(Med)
+            .nodes(16)
+            .algorithm(Algorithm::hitting_set(2))
+            .run(&duo_disk(16, 1))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DriverError::UnsupportedAlgorithm {
+                algorithm: "hitting-set",
+                problem: "LP-type"
+            }
+        );
+    }
+
+    #[test]
+    fn zero_node_driver_errors() {
+        let err = Driver::new(Med).nodes(0).run(&duo_disk(8, 1)).unwrap_err();
+        assert_eq!(err, DriverError::NoNodes);
+    }
+
+    #[test]
+    fn hitting_set_end_to_end_with_ground_elements() {
+        let (sys, _) = planted_hitting_set(128, 32, 3, 6, 31);
+        let sys = Arc::new(sys);
+        let report = Driver::new(sys.clone())
+            .nodes(128)
+            .seed(31)
+            .algorithm(Algorithm::hitting_set(3))
+            .run_ground()
+            .expect("run");
+        assert!(report.all_halted);
+        let bound = report.size_bound.expect("hitting set reports its bound");
+        for out in &report.outputs {
+            let hs = out.as_ref().expect("output");
+            assert!(sys.is_hitting_set(hs));
+            assert!(hs.len() <= bound);
+        }
+        let best = report.best_output().expect("solution");
+        assert!(best.len() <= bound);
+        assert!(report.first_found_round().is_some());
+    }
+
+    #[test]
+    fn set_systems_reject_clarkson_algorithms() {
+        let (sys, _) = planted_hitting_set(32, 8, 2, 4, 3);
+        let err = Driver::new(Arc::new(sys))
+            .nodes(32)
+            .algorithm(Algorithm::low_load())
+            .run_ground()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DriverError::UnsupportedAlgorithm {
+                algorithm: "low-load",
+                problem: "set-system"
+            }
+        );
+    }
+
+    #[test]
+    fn doubling_search_finds_d_without_being_told() {
+        let (sys, planted) = planted_hitting_set(128, 32, 4, 6, 80);
+        let sys = Arc::new(sys);
+        let report = Driver::new(sys.clone())
+            .nodes(128)
+            .seed(80)
+            .algorithm(Algorithm::hitting_set(1))
+            .with_doubling_search(12.0)
+            .run_ground()
+            .expect("run");
+        assert!(report.all_halted);
+        let best = report.best_output().expect("solution");
+        assert!(sys.is_hitting_set(best));
+        let doubling = report.doubling.expect("doubling trace");
+        assert!(
+            doubling.d_used <= 2 * planted.len(),
+            "d_used = {} overshot",
+            doubling.d_used
+        );
+        assert!(!doubling.attempts.is_empty());
+        for w in doubling.attempts.windows(2) {
+            assert_eq!(w[1], w[0] * 2);
+        }
+        assert!(doubling.total_rounds >= report.rounds);
+    }
+
+    #[test]
+    fn doubling_search_on_trivial_instance_stops_at_one() {
+        let sets: Vec<Vec<u32>> = (0..10).map(|i| vec![0u32, i + 1]).collect();
+        let sys = Arc::new(SetSystem::new(12, sets));
+        let report = Driver::new(sys.clone())
+            .nodes(64)
+            .seed(81)
+            .algorithm(Algorithm::hitting_set(1))
+            .with_doubling_search(20.0)
+            .run_ground()
+            .expect("run");
+        assert!(report.all_halted);
+        assert_eq!(report.doubling.as_ref().expect("trace").d_used, 1);
+        assert!(sys.is_hitting_set(report.best_output().unwrap()));
+    }
+
+    #[test]
+    fn round_budget_beyond_max_rounds_reports_the_safety_valve() {
+        let points = triple_disk(256, 7);
+        let report = Driver::new(Med)
+            .nodes(256)
+            .seed(7)
+            .max_rounds(3)
+            .stop(StopCondition::RoundBudget(1_000))
+            .run(&points)
+            .expect("run");
+        assert_eq!(report.rounds, 3);
+        assert_eq!(report.stop_cause, StopCause::MaxRounds);
+    }
+
+    #[test]
+    fn set_system_default_is_the_doubling_search() {
+        let (sys, _) = planted_hitting_set(96, 24, 3, 5, 66);
+        let sys = Arc::new(sys);
+        // No .algorithm() / .with_doubling_search(): the set-system
+        // default must still terminate on an instance whose optimum
+        // exceeds d = 1.
+        let report = Driver::new(sys.clone())
+            .nodes(96)
+            .seed(66)
+            .run_ground()
+            .expect("run");
+        assert!(report.all_halted);
+        assert!(
+            report.doubling.is_some(),
+            "default runs the doubling search"
+        );
+        assert!(sys.is_hitting_set(report.best_output().expect("solution")));
+        // An explicit algorithm choice opts out of the implicit doubling.
+        let explicit = Driver::new(sys)
+            .nodes(96)
+            .seed(66)
+            .algorithm(Algorithm::hitting_set(3))
+            .run_ground()
+            .expect("run");
+        assert!(explicit.doubling.is_none());
+    }
+
+    #[test]
+    fn doubling_rejects_round_budget_stop() {
+        let (sys, _) = planted_hitting_set(32, 8, 2, 4, 5);
+        let err = Driver::new(Arc::new(sys))
+            .nodes(32)
+            .algorithm(Algorithm::hitting_set(1))
+            .with_doubling_search(12.0)
+            .stop(StopCondition::RoundBudget(5))
+            .run_ground()
+            .unwrap_err();
+        assert_eq!(err, DriverError::DoublingNeedsTermination);
+    }
+
+    #[test]
+    fn doubling_rejected_for_lp_problems() {
+        let err = Driver::new(Med)
+            .nodes(16)
+            .with_doubling_search(8.0)
+            .run(&duo_disk(16, 2))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DriverError::UnsupportedDoubling {
+                algorithm: "low-load"
+            }
+        );
+    }
+
+    #[test]
+    fn consensus_tolerates_float_roundoff_within_values_close() {
+        // Outputs that differ by less than Med's 1e-7 relative tolerance
+        // still count as consensus...
+        let base = MedValue {
+            r2: 100.0,
+            cx: 1.0,
+            cy: -2.0,
+        };
+        let wobble = MedValue {
+            r2: 100.0 + 3e-6,
+            cx: 1.0 + 1e-8,
+            cy: -2.0,
+        };
+        assert!(
+            Med.values_close(&base, &wobble),
+            "premise: within tolerance"
+        );
+        let mk = |v: MedValue| Some(lpt::Basis::new(Vec::new(), v));
+        let outputs = vec![mk(base), mk(wobble), mk(base)];
+        let consensus = lp_consensus(&Med, &outputs).expect("tolerant consensus");
+        assert!(Med.values_close(&consensus.value, &base));
+        // ...while a genuine disagreement yields None.
+        let far = MedValue {
+            r2: 101.0,
+            cx: 1.0,
+            cy: -2.0,
+        };
+        assert!(!Med.values_close(&base, &far), "premise: outside tolerance");
+        let disagreeing = vec![mk(base), mk(far)];
+        assert!(lp_consensus(&Med, &disagreeing).is_none());
+        // ...and a missing output (node never halted) also yields None.
+        let partial = vec![mk(base), None];
+        assert!(lp_consensus(&Med, &partial).is_none());
+    }
+
+    #[test]
+    fn interval_consensus_through_driver() {
+        let elements: Vec<i64> = (0..200).map(|i| (i * 53) % 301).collect();
+        let lo = *elements.iter().min().unwrap();
+        let hi = *elements.iter().max().unwrap();
+        for algorithm in [Algorithm::low_load(), Algorithm::high_load()] {
+            let report = Driver::new(Interval)
+                .nodes(64)
+                .seed(99)
+                .algorithm(algorithm.clone())
+                .run(&elements)
+                .unwrap_or_else(|e| panic!("{}: {e}", algorithm.name()));
+            assert!(report.all_halted, "{}", algorithm.name());
+            assert_eq!(report.consensus_output().expect("consensus").value, hi - lo);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let points = triple_disk(128, 70);
+        let driver = Driver::new(Med).nodes(128).seed(70);
+        let a = driver.run(&points).expect("run");
+        let b = driver.run(&points).expect("run");
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.metrics.total_ops(), b.metrics.total_ops());
+        for (x, y) in a.outputs.iter().zip(&b.outputs) {
+            assert_eq!(
+                x.as_ref().map(|v| v.value.r2),
+                y.as_ref().map(|v| v.value.r2)
+            );
+        }
+    }
+
+    #[test]
+    fn best_output_prefers_smaller_then_lexicographic() {
+        let report: RunReport<Vec<u32>> = RunReport {
+            outputs: vec![
+                Some(vec![4, 5, 6]),
+                None,
+                Some(vec![2, 9]),
+                Some(vec![2, 3]),
+                Some(vec![2, 3, 1]),
+            ],
+            rounds: 0,
+            all_halted: false,
+            stop_cause: StopCause::MaxRounds,
+            first_candidate_round: None,
+            size_bound: None,
+            doubling: None,
+            metrics: Metrics::default(),
+            consensus: None,
+        };
+        assert_eq!(report.best_output(), Some(&vec![2, 3]));
+    }
+}

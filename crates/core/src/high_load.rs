@@ -36,7 +36,10 @@ pub struct HighLoadConfig {
 
 impl Default for HighLoadConfig {
     fn default() -> Self {
-        HighLoadConfig { push_count: 1, maturity_factor: 2.0 }
+        HighLoadConfig {
+            push_count: 1,
+            maturity_factor: 2.0,
+        }
     }
 }
 
@@ -124,7 +127,11 @@ impl<P: LpType> HighLoadClarkson<P> {
         // w.h.p. guarantees of Lemma 12 are asymptotic. The floor is
         // invisible for n >= 2^5 under the default factor.
         let maturity = ((cfg.maturity_factor * log2n).ceil().max(1.0) as u64).max(10);
-        HighLoadClarkson { problem, push_count: cfg.push_count.max(1), maturity }
+        HighLoadClarkson {
+            problem,
+            push_count: cfg.push_count.max(1),
+            maturity,
+        }
     }
 
     /// The termination maturity window in rounds.
@@ -153,7 +160,14 @@ impl<P: LpType + Sync> Protocol for HighLoadClarkson<P> {
     type Msg = HighLoadMsg<P>;
     type Query = (); // the High-Load algorithm is push-only
 
-    fn pulls(&self, _id: u32, _state: &HighLoadState<P>, _rng: &mut ChaCha8Rng, _out: &mut Vec<()>) {}
+    fn pulls(
+        &self,
+        _id: u32,
+        _state: &HighLoadState<P>,
+        _rng: &mut ChaCha8Rng,
+        _out: &mut Vec<()>,
+    ) {
+    }
 
     fn serve(
         &self,
@@ -281,7 +295,10 @@ mod tests {
         let mut net = Network::new(proto, states, NetworkConfig::with_seed(seed));
         let outcome = net.run(2000);
         assert!(outcome.all_halted(), "did not terminate: {outcome:?}");
-        (net.states().iter().map(|s| s.output.clone()).collect(), outcome.rounds())
+        (
+            net.states().iter().map(|s| s.output.clone()).collect(),
+            outcome.rounds(),
+        )
     }
 
     #[test]
@@ -335,7 +352,13 @@ mod tests {
         let mut accel_sum = 0;
         for seed in 0..5 {
             plain_sum += run_candidate_rounds(&HighLoadConfig::default(), 300 + seed);
-            accel_sum += run_candidate_rounds(&HighLoadConfig { push_count: 8, ..Default::default() }, 300 + seed);
+            accel_sum += run_candidate_rounds(
+                &HighLoadConfig {
+                    push_count: 8,
+                    ..Default::default()
+                },
+                300 + seed,
+            );
         }
         assert!(
             accel_sum <= plain_sum,

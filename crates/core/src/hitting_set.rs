@@ -205,7 +205,13 @@ impl Protocol for HittingSetGossip {
     type Msg = HsMsg;
     type Query = HsQuery;
 
-    fn pulls(&self, _id: u32, state: &HittingSetState, _rng: &mut ChaCha8Rng, out: &mut Vec<HsQuery>) {
+    fn pulls(
+        &self,
+        _id: u32,
+        state: &HittingSetState,
+        _rng: &mut ChaCha8Rng,
+        out: &mut Vec<HsQuery>,
+    ) {
         if state.pull_phase {
             out.push(HsQuery::PullX0);
         } else if state.best.is_none() {
@@ -227,14 +233,20 @@ impl Protocol for HittingSetGossip {
                     return None;
                 }
                 let idx = rng.gen_range(0..held);
-                Some(Served { msg: HsMsg::Elem(state.element_at(idx)), slot: idx as u64 })
+                Some(Served {
+                    msg: HsMsg::Elem(state.element_at(idx)),
+                    slot: idx as u64,
+                })
             }
             HsQuery::PullX0 => {
                 if state.x0.is_empty() {
                     return None;
                 }
                 let idx = rng.gen_range(0..state.x0.len());
-                Some(Served { msg: HsMsg::Elem(state.x0[idx]), slot: idx as u64 })
+                Some(Served {
+                    msg: HsMsg::Elem(state.x0[idx]),
+                    slot: idx as u64,
+                })
             }
         }
     }
@@ -280,9 +292,11 @@ impl Protocol for HittingSetGossip {
             .into_iter()
             .map(|r| {
                 r.and_then(|resp| match resp.msg {
-                    HsMsg::Elem(x) | HsMsg::Elem0(x) => {
-                        Some(Response { msg: x, from: resp.from, slot: resp.slot })
-                    }
+                    HsMsg::Elem(x) | HsMsg::Elem0(x) => Some(Response {
+                        msg: x,
+                        from: resp.from,
+                        slot: resp.slot,
+                    }),
                     HsMsg::Found(_) => None,
                 })
             })
@@ -434,7 +448,10 @@ mod tests {
         let proto = HittingSetGossip::new(Arc::new(sys), 128, &HittingSetConfig::new(2));
         let d = 2.0f64;
         let s = 64.0f64;
-        assert_eq!(proto.sample_size(), (6.0 * d * (12.0 * d * s).ln()).ceil() as usize);
+        assert_eq!(
+            proto.sample_size(),
+            (6.0 * d * (12.0 * d * s).ln()).ceil() as usize
+        );
     }
 
     #[test]

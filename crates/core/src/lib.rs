@@ -24,26 +24,51 @@
 //! * [`hypercube`] — the hypercube-emulated distributed Clarkson
 //!   baseline the paper compares against (`O(d log² n)` rounds,
 //!   Section 1.1);
-//! * [`runner`] — one-call drivers that scatter an instance over a
-//!   simulated network, run a protocol to completion, and return
-//!   outputs + communication metrics.
+//! * [`driver`] — the **unified entry point**: a builder-style
+//!   [`Driver`] that scatters an instance over a simulated network,
+//!   runs any of the five algorithms under a configurable
+//!   [`StopCondition`], and returns one polymorphic [`RunReport`];
+//! * [`runner`] — the legacy free-function drivers, deprecated shims
+//!   over [`driver`] kept for one release.
 //!
 //! ## Quick start
 //!
+//! Every algorithm runs through the same four builder calls — pick the
+//! problem, the network size, the algorithm, and when to stop:
+//!
 //! ```
-//! use lpt_gossip::runner::{self, LowLoadRunConfig};
+//! use lpt_gossip::{Algorithm, Driver, StopCondition};
 //! use lpt_problems::Med;
 //! use lpt_workloads::med::duo_disk;
 //!
 //! let points = duo_disk(256, 42);
-//! let report = runner::run_low_load(&Med, &points, 256, LowLoadRunConfig::default(), 42);
+//!
+//! // Low-Load Clarkson (the default algorithm), to full termination.
+//! let report = Driver::new(Med).nodes(256).seed(42).run(&points).unwrap();
 //! let basis = report.consensus_output().expect("all nodes agree");
 //! assert!((basis.value.r2.sqrt() - 10.0).abs() < 1e-6);
+//!
+//! // High-Load Clarkson, measuring the paper's rounds-to-first-solution.
+//! use lpt::LpType;
+//! let target = Med.basis_of(&points).value;
+//! let first = Driver::new(Med)
+//!     .nodes(256)
+//!     .seed(42)
+//!     .algorithm(Algorithm::high_load())
+//!     .stop(StopCondition::FirstSolution(target))
+//!     .run(&points)
+//!     .unwrap();
+//! assert!(first.reached() && first.rounds <= report.rounds);
 //! ```
+//!
+//! Hitting set drives the same API with a set system as the problem;
+//! see [`driver`] for the full tour (acceleration, the hypercube
+//! baseline, doubling search, custom stop predicates).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod driver;
 pub mod high_load;
 pub mod hitting_set;
 pub mod hypercube;
@@ -52,6 +77,10 @@ pub mod runner;
 pub mod sampling;
 pub mod termination;
 
+pub use driver::{
+    Algorithm, DoublingReport, Driver, DriverError, DriverProblem, LpMode, Progress, RunReport,
+    RunSpec, SetMode, StopCause, StopCondition,
+};
 pub use high_load::{HighLoadClarkson, HighLoadConfig, HighLoadState};
 pub use hitting_set::{HittingSetConfig, HittingSetGossip, HittingSetState};
 pub use hypercube::{hypercube_clarkson, HypercubeReport};

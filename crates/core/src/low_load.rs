@@ -168,7 +168,9 @@ impl<P: LpType> LowLoadClarkson<P> {
         let d = problem.dim().max(1);
         let r = cfg.sample_size.unwrap_or(6 * d * d).max(1);
         let s = pull_count(d, n, cfg.pull_factor).max(r);
-        let keep_prob = cfg.keep_prob.unwrap_or(1.0 / (1.0 + 1.0 / (2.0 * d as f64)));
+        let keep_prob = cfg
+            .keep_prob
+            .unwrap_or(1.0 / (1.0 + 1.0 / (2.0 * d as f64)));
         assert!((0.0..=1.0).contains(&keep_prob), "keep_prob out of range");
         let log2n = (n.max(2) as f64).log2();
         // Floor of 10 rounds: at tiny n the ceil(c*log2 n) window is too
@@ -176,7 +178,14 @@ impl<P: LpType> LowLoadClarkson<P> {
         // w.h.p. guarantees of Lemma 12 are asymptotic. The floor is
         // invisible for n >= 2^5 under the default factor.
         let maturity = ((cfg.maturity_factor * log2n).ceil().max(1.0) as u64).max(10);
-        LowLoadClarkson { problem, r, s, keep_prob, relaxed_threshold: cfg.relaxed_threshold, maturity }
+        LowLoadClarkson {
+            problem,
+            r,
+            s,
+            keep_prob,
+            relaxed_threshold: cfg.relaxed_threshold,
+            maturity,
+        }
     }
 
     /// The termination maturity window in rounds.
@@ -238,14 +247,20 @@ impl<P: LpType + Sync> Protocol for LowLoadClarkson<P> {
                     return None;
                 }
                 let idx = rng.gen_range(0..held);
-                Some(Served { msg: LowLoadMsg::Elem(state.element_at(idx).clone()), slot: idx as u64 })
+                Some(Served {
+                    msg: LowLoadMsg::Elem(state.element_at(idx).clone()),
+                    slot: idx as u64,
+                })
             }
             LowLoadQuery::PullH0 => {
                 if state.h0.is_empty() {
                     return None;
                 }
                 let idx = rng.gen_range(0..state.h0.len());
-                Some(Served { msg: LowLoadMsg::Elem(state.h0[idx].clone()), slot: idx as u64 })
+                Some(Served {
+                    msg: LowLoadMsg::Elem(state.h0[idx].clone()),
+                    slot: idx as u64,
+                })
             }
         }
     }
@@ -264,7 +279,9 @@ impl<P: LpType + Sync> Protocol for LowLoadClarkson<P> {
         // --- Termination protocol (beginning of the iteration). --------
         let (h0, extra) = (&state.h0, &state.extra);
         let step = state.term.step(&self.problem, now, |basis| {
-            h0.iter().chain(extra.iter()).any(|h| self.problem.violates(basis, h))
+            h0.iter()
+                .chain(extra.iter())
+                .any(|h| self.problem.violates(basis, h))
         });
         for entry in step.pushes {
             pushes.push(LowLoadMsg::Term(entry));
@@ -402,7 +419,9 @@ mod tests {
 
     #[test]
     fn interval_consensus_more_elements_than_nodes() {
-        let elements: Vec<i64> = (0..1000).map(|i| (i * 2654435761_i64) % 777 - 388).collect();
+        let elements: Vec<i64> = (0..1000)
+            .map(|i| (i * 2654435761_i64) % 777 - 388)
+            .collect();
         let lo = *elements.iter().min().unwrap();
         let hi = *elements.iter().max().unwrap();
         let outputs = run_interval(128, &elements, 12);
@@ -463,7 +482,13 @@ mod tests {
             .collect();
         let mut net = Network::new(proto, states, NetworkConfig::with_seed(16));
         net.run(2000);
-        let max_total_load = net.metrics().rounds.iter().map(|r| r.total_load).max().unwrap();
+        let max_total_load = net
+            .metrics()
+            .rounds
+            .iter()
+            .map(|r| r.total_load)
+            .max()
+            .unwrap();
         assert!(
             max_total_load <= 6 * elements.len() as u64 + 6 * n as u64,
             "total load {max_total_load} blew past the Lemma 9 bound"

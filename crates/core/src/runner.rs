@@ -1,38 +1,29 @@
-//! One-call drivers: scatter an instance over a simulated gossip
-//! network, run a protocol, collect outputs and metrics.
+//! Legacy one-call drivers, kept for one release as thin shims over the
+//! unified [`crate::driver::Driver`] API.
 //!
-//! The paper's experiments (Section 5) measure *rounds until at least
-//! one node found the solution*, excluding the (input-independent)
-//! termination phase; [`rounds_to_first_solution_low_load`] and
-//! [`rounds_to_first_solution_high_load`] reproduce exactly that
-//! measurement, while [`run_low_load`] / [`run_high_load`] /
-//! [`run_hitting_set`] run to full termination (all nodes output and
-//! halt) and report consensus.
+//! Every free function here delegates to a `Driver` run and repacks the
+//! result into the legacy report type; new code should use
+//! [`Driver`](crate::driver::Driver) directly (see the crate-level quick
+//! start). The shims will be removed in the release after next.
 
-use crate::high_load::{HighLoadClarkson, HighLoadConfig, HighLoadState};
-use crate::hitting_set::{HittingSetConfig, HittingSetGossip, HittingSetState};
-use crate::low_load::{LowLoadClarkson, LowLoadConfig, LowLoadState};
-use gossip_sim::{Metrics, Network, NetworkConfig, RunOutcome};
+#![allow(deprecated)]
+
+use crate::driver::{Algorithm, Driver, DriverError, RunReport, StopCondition};
+use crate::high_load::HighLoadConfig;
+use crate::hitting_set::HittingSetConfig;
+use crate::low_load::LowLoadConfig;
+use gossip_sim::Metrics;
 use lpt::{BasisOf, LpType};
 use lpt_problems::SetSystem;
-use rand::Rng;
-use rand_chacha::rand_core::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use std::sync::Arc;
 
-/// Scatters elements over `n` nodes uniformly and independently at
-/// random (the paper's initial distribution assumption, Section 1.4).
-pub fn scatter<E: Clone>(elements: &[E], n: usize, seed: u64) -> Vec<Vec<E>> {
-    assert!(n >= 1);
-    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x7363_6174_7465_72);
-    let mut out = vec![Vec::new(); n];
-    for e in elements {
-        out[rng.gen_range(0..n)].push(e.clone());
-    }
-    out
-}
+pub use crate::driver::scatter;
 
 /// Configuration of a full Low-Load run.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `driver::Driver` with `Algorithm::LowLoad`"
+)]
 #[derive(Clone, Debug)]
 pub struct LowLoadRunConfig {
     /// Protocol knobs.
@@ -45,11 +36,19 @@ pub struct LowLoadRunConfig {
 
 impl Default for LowLoadRunConfig {
     fn default() -> Self {
-        LowLoadRunConfig { protocol: LowLoadConfig::default(), max_rounds: 20_000, parallel: true }
+        LowLoadRunConfig {
+            protocol: LowLoadConfig::default(),
+            max_rounds: 20_000,
+            parallel: true,
+        }
     }
 }
 
 /// Configuration of a full High-Load run.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `driver::Driver` with `Algorithm::HighLoad`"
+)]
 #[derive(Clone, Debug)]
 pub struct HighLoadRunConfig {
     /// Protocol knobs.
@@ -62,11 +61,16 @@ pub struct HighLoadRunConfig {
 
 impl Default for HighLoadRunConfig {
     fn default() -> Self {
-        HighLoadRunConfig { protocol: HighLoadConfig::default(), max_rounds: 20_000, parallel: true }
+        HighLoadRunConfig {
+            protocol: HighLoadConfig::default(),
+            max_rounds: 20_000,
+            parallel: true,
+        }
     }
 }
 
 /// Report of a full distributed run.
+#[deprecated(since = "0.2.0", note = "use `driver::RunReport`")]
 #[derive(Clone, Debug)]
 pub struct GossipReport<P: LpType> {
     /// Per-node outputs (`None` if a node never halted — only possible
@@ -84,6 +88,17 @@ pub struct GossipReport<P: LpType> {
 }
 
 impl<P: LpType> GossipReport<P> {
+    fn from_run(report: RunReport<BasisOf<P>>) -> Self {
+        GossipReport {
+            consensus: report.consensus_output().cloned(),
+            outputs: report.outputs,
+            rounds: report.rounds,
+            all_halted: report.all_halted,
+            first_candidate_round: report.first_candidate_round,
+            metrics: report.metrics,
+        }
+    }
+
     /// The common output of all nodes, if the run terminated and every
     /// node output a value equal (up to the problem's tolerance) to the
     /// first node's.
@@ -92,24 +107,15 @@ impl<P: LpType> GossipReport<P> {
     }
 }
 
-fn consensus_of<P: LpType>(problem: &P, outputs: &[Option<BasisOf<P>>]) -> Option<BasisOf<P>> {
-    let first = outputs.first()?.as_ref()?;
-    for out in outputs {
-        let b = out.as_ref()?;
-        if !problem.values_close(&b.value, &first.value) {
-            return None;
-        }
-    }
-    Some(first.clone())
-}
-
-fn net_config(seed: u64, parallel: bool) -> NetworkConfig {
-    let mut cfg = NetworkConfig::with_seed(seed);
-    cfg.parallel = parallel;
-    cfg
+fn expect_run<O>(result: Result<RunReport<O>, DriverError>) -> RunReport<O> {
+    result.unwrap_or_else(|e| panic!("legacy runner shim: {e}"))
 }
 
 /// Runs the Low-Load Clarkson Algorithm to full termination.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `driver::Driver` with `Algorithm::LowLoad`"
+)]
 pub fn run_low_load<P: LpType + Clone + Sync>(
     problem: &P,
     elements: &[P::Element],
@@ -117,26 +123,22 @@ pub fn run_low_load<P: LpType + Clone + Sync>(
     cfg: LowLoadRunConfig,
     seed: u64,
 ) -> GossipReport<P> {
-    let proto = LowLoadClarkson::new(problem.clone(), n, &cfg.protocol);
-    let states: Vec<LowLoadState<P>> = scatter(elements, n, seed)
-        .into_iter()
-        .map(|h0| proto.initial_state(h0))
-        .collect();
-    let mut net = Network::new(proto, states, net_config(seed, cfg.parallel));
-    let outcome = net.run(cfg.max_rounds);
-    let outputs: Vec<_> = net.states().iter().map(|s| s.output.clone()).collect();
-    let first_candidate_round = net.states().iter().filter_map(|s| s.candidate_round).min();
-    GossipReport {
-        consensus: consensus_of(problem, &outputs),
-        outputs,
-        rounds: outcome.rounds(),
-        all_halted: outcome.all_halted(),
-        first_candidate_round,
-        metrics: net.metrics().clone(),
-    }
+    GossipReport::from_run(expect_run(
+        Driver::new(problem.clone())
+            .nodes(n)
+            .seed(seed)
+            .algorithm(Algorithm::LowLoad(cfg.protocol))
+            .max_rounds(cfg.max_rounds)
+            .parallel(cfg.parallel)
+            .run(elements),
+    ))
 }
 
 /// Runs the High-Load Clarkson Algorithm to full termination.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `driver::Driver` with `Algorithm::HighLoad`"
+)]
 pub fn run_high_load<P: LpType + Clone + Sync>(
     problem: &P,
     elements: &[P::Element],
@@ -144,26 +146,23 @@ pub fn run_high_load<P: LpType + Clone + Sync>(
     cfg: HighLoadRunConfig,
     seed: u64,
 ) -> GossipReport<P> {
-    let proto = HighLoadClarkson::new(problem.clone(), n, &cfg.protocol);
-    let states: Vec<HighLoadState<P>> = scatter(elements, n, seed)
-        .into_iter()
-        .map(|h| proto.initial_state(h))
-        .collect();
-    let mut net = Network::new(proto, states, net_config(seed, cfg.parallel));
-    let outcome = net.run(cfg.max_rounds);
-    let outputs: Vec<_> = net.states().iter().map(|s| s.output.clone()).collect();
-    GossipReport {
-        consensus: consensus_of(problem, &outputs),
-        outputs,
-        rounds: outcome.rounds(),
-        all_halted: outcome.all_halted(),
-        first_candidate_round: None,
-        metrics: net.metrics().clone(),
-    }
+    GossipReport::from_run(expect_run(
+        Driver::new(problem.clone())
+            .nodes(n)
+            .seed(seed)
+            .algorithm(Algorithm::HighLoad(cfg.protocol))
+            .max_rounds(cfg.max_rounds)
+            .parallel(cfg.parallel)
+            .run(elements),
+    ))
 }
 
 /// Result of a first-solution measurement (the paper's Figures 2–3
 /// metric: rounds until at least one node found the true optimum).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `driver::StopCondition::FirstSolution` and `RunReport::reached`"
+)]
 #[derive(Clone, Copy, Debug)]
 pub struct FirstSolution {
     /// Rounds until some node's candidate matched the target value.
@@ -172,9 +171,11 @@ pub struct FirstSolution {
     pub reached: bool,
 }
 
-/// Measures rounds-to-first-solution for the Low-Load algorithm: the run
-/// stops as soon as any node's sampled basis (with no local violators)
-/// has value equal — up to the problem's tolerance — to `target`.
+/// Measures rounds-to-first-solution for the Low-Load algorithm.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `driver::Driver` with `StopCondition::FirstSolution`"
+)]
 pub fn rounds_to_first_solution_low_load<P: LpType + Clone + Sync>(
     problem: &P,
     elements: &[P::Element],
@@ -183,26 +184,30 @@ pub fn rounds_to_first_solution_low_load<P: LpType + Clone + Sync>(
     seed: u64,
     target: &P::Value,
 ) -> (FirstSolution, Metrics) {
-    let proto = LowLoadClarkson::new(problem.clone(), n, &cfg.protocol);
-    let states: Vec<LowLoadState<P>> = scatter(elements, n, seed)
-        .into_iter()
-        .map(|h0| proto.initial_state(h0))
-        .collect();
-    let mut net = Network::new(proto, states, net_config(seed, cfg.parallel));
-    let outcome = net.run_until(cfg.max_rounds, |net| {
-        net.states().iter().any(|s| {
-            s.candidate
-                .as_ref()
-                .is_some_and(|b| net.protocol().problem().values_close(&b.value, target))
-        })
-    });
-    let reached = matches!(outcome, RunOutcome::Predicate { .. });
-    (FirstSolution { rounds: outcome.rounds(), reached }, net.metrics().clone())
+    let report = expect_run(
+        Driver::new(problem.clone())
+            .nodes(n)
+            .seed(seed)
+            .algorithm(Algorithm::LowLoad(cfg.protocol))
+            .max_rounds(cfg.max_rounds)
+            .parallel(cfg.parallel)
+            .stop(StopCondition::FirstSolution(target.clone()))
+            .run(elements),
+    );
+    (
+        FirstSolution {
+            rounds: report.rounds,
+            reached: report.reached(),
+        },
+        report.metrics,
+    )
 }
 
-/// Measures rounds-to-first-solution for the High-Load algorithm: the
-/// run stops as soon as any node's local basis `B_i = basis(H(v_i))`
-/// matches `target` (the paper's `f(H(v_i)) = f(H)` condition).
+/// Measures rounds-to-first-solution for the High-Load algorithm.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `driver::Driver` with `StopCondition::FirstSolution`"
+)]
 pub fn rounds_to_first_solution_high_load<P: LpType + Clone + Sync>(
     problem: &P,
     elements: &[P::Element],
@@ -211,24 +216,27 @@ pub fn rounds_to_first_solution_high_load<P: LpType + Clone + Sync>(
     seed: u64,
     target: &P::Value,
 ) -> (FirstSolution, Metrics) {
-    let proto = HighLoadClarkson::new(problem.clone(), n, &cfg.protocol);
-    let states: Vec<HighLoadState<P>> = scatter(elements, n, seed)
-        .into_iter()
-        .map(|h| proto.initial_state(h))
-        .collect();
-    let mut net = Network::new(proto, states, net_config(seed, cfg.parallel));
-    let outcome = net.run_until(cfg.max_rounds, |net| {
-        net.states().iter().any(|s| {
-            s.local_basis
-                .as_ref()
-                .is_some_and(|b| net.protocol().problem().values_close(&b.value, target))
-        })
-    });
-    let reached = matches!(outcome, RunOutcome::Predicate { .. });
-    (FirstSolution { rounds: outcome.rounds(), reached }, net.metrics().clone())
+    let report = expect_run(
+        Driver::new(problem.clone())
+            .nodes(n)
+            .seed(seed)
+            .algorithm(Algorithm::HighLoad(cfg.protocol))
+            .max_rounds(cfg.max_rounds)
+            .parallel(cfg.parallel)
+            .stop(StopCondition::FirstSolution(target.clone()))
+            .run(elements),
+    );
+    (
+        FirstSolution {
+            rounds: report.rounds,
+            reached: report.reached(),
+        },
+        report.metrics,
+    )
 }
 
 /// Report of a distributed hitting-set run.
+#[deprecated(since = "0.2.0", note = "use `driver::RunReport`")]
 #[derive(Clone, Debug)]
 pub struct HittingSetReport {
     /// Per-node outputs.
@@ -246,19 +254,35 @@ pub struct HittingSetReport {
 }
 
 impl HittingSetReport {
+    fn from_run(report: RunReport<Vec<u32>>) -> Self {
+        HittingSetReport {
+            size_bound: report.size_bound.unwrap_or(0),
+            first_found_round: report.first_found_round(),
+            outputs: report.outputs,
+            rounds: report.rounds,
+            all_halted: report.all_halted,
+            metrics: report.metrics,
+        }
+    }
+
     /// The smallest output hitting set (all outputs are valid; they may
     /// differ across nodes).
     pub fn best_output(&self) -> Option<&Vec<u32>> {
-        self.outputs
-            .iter()
-            .flatten()
-            .min_by_key(|hs| (hs.len(), (*hs).clone()))
+        self.outputs.iter().flatten().min_by(|a, b| {
+            a.len()
+                .cmp(&b.len())
+                .then_with(|| a.as_slice().cmp(b.as_slice()))
+        })
     }
 }
 
 /// Runs the distributed hitting-set algorithm (Algorithm 6) to full
 /// termination. Ground elements `0..sys.n_elements()` are scattered over
 /// the `n` nodes.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `driver::Driver` with `Algorithm::HittingSet`"
+)]
 pub fn run_hitting_set(
     sys: Arc<SetSystem>,
     n: usize,
@@ -266,105 +290,18 @@ pub fn run_hitting_set(
     max_rounds: u64,
     seed: u64,
 ) -> HittingSetReport {
-    let proto = HittingSetGossip::new(sys.clone(), n, cfg);
-    let size_bound = proto.sample_size();
-    let elements: Vec<u32> = (0..sys.n_elements() as u32).collect();
-    let states: Vec<HittingSetState> = scatter(&elements, n, seed)
-        .into_iter()
-        .map(|x0| proto.initial_state(x0))
-        .collect();
-    let mut net = Network::new(proto, states, net_config(seed, true));
-    let outcome = net.run(max_rounds);
-    HittingSetReport {
-        outputs: net.states().iter().map(|s| s.output.clone()).collect(),
-        rounds: outcome.rounds(),
-        all_halted: outcome.all_halted(),
-        size_bound,
-        first_found_round: net.states().iter().filter_map(|s| s.found_round).min(),
-        metrics: net.metrics().clone(),
-    }
+    HittingSetReport::from_run(expect_run(
+        Driver::new(sys)
+            .nodes(n)
+            .seed(seed)
+            .algorithm(Algorithm::HittingSet(cfg.clone()))
+            .max_rounds(max_rounds)
+            .run_ground(),
+    ))
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use lpt::LpType;
-    use lpt_problems::Med;
-    use lpt_workloads::med::{duo_disk, triple_disk};
-
-    #[test]
-    fn scatter_preserves_elements() {
-        let elements: Vec<i64> = (0..100).collect();
-        let parts = scatter(&elements, 7, 5);
-        assert_eq!(parts.len(), 7);
-        let mut all: Vec<i64> = parts.into_iter().flatten().collect();
-        all.sort_unstable();
-        assert_eq!(all, elements);
-    }
-
-    #[test]
-    fn low_load_med_duo_disk() {
-        let points = duo_disk(128, 1);
-        let report = run_low_load(&Med, &points, 128, LowLoadRunConfig::default(), 1);
-        assert!(report.all_halted);
-        let basis = report.consensus_output().expect("consensus");
-        assert!((basis.value.r2.sqrt() - 10.0).abs() < 1e-6);
-        assert_eq!(basis.len(), 2);
-    }
-
-    #[test]
-    fn high_load_med_triple_disk() {
-        let points = triple_disk(256, 2);
-        let report = run_high_load(&Med, &points, 256, HighLoadRunConfig::default(), 2);
-        assert!(report.all_halted);
-        let basis = report.consensus_output().expect("consensus");
-        assert!((basis.value.r2.sqrt() - 10.0).abs() < 1e-6);
-        assert_eq!(basis.len(), 3);
-    }
-
-    #[test]
-    fn first_solution_is_before_full_termination() {
-        let points = duo_disk(256, 3);
-        let target = Med.basis_of(&points).value;
-        let (first, _) = rounds_to_first_solution_low_load(
-            &Med,
-            &points,
-            256,
-            LowLoadRunConfig::default(),
-            3,
-            &target,
-        );
-        assert!(first.reached);
-        let full = run_low_load(&Med, &points, 256, LowLoadRunConfig::default(), 3);
-        assert!(full.all_halted);
-        assert!(first.rounds <= full.rounds);
-    }
-
-    #[test]
-    fn first_solution_logarithmic_growth_smoke() {
-        // One data point of Figure 2's shape: n = 2^6 vs n = 2^10 should
-        // both solve in a handful of rounds, far below linear in n.
-        for (n, limit) in [(64usize, 40u64), (1024, 60)] {
-            let points = triple_disk(n, 4);
-            let target = Med.basis_of(&points).value;
-            let (first, _) = rounds_to_first_solution_low_load(
-                &Med,
-                &points,
-                n,
-                LowLoadRunConfig::default(),
-                4,
-                &target,
-            );
-            assert!(first.reached, "n = {n}");
-            assert!(first.rounds <= limit, "n = {n}: rounds {}", first.rounds);
-        }
-    }
-}
-
-/// Result of the doubling search on the unknown minimum-hitting-set size
-/// (the paper's Section 1.4 remark: "they may perform a binary search on
-/// `d` by stopping the algorithm if it takes too long for some `d` to
-/// switch to `2d`").
+/// Result of the doubling search on the unknown minimum-hitting-set size.
+#[deprecated(since = "0.2.0", note = "use `driver::Driver::with_doubling_search`")]
 #[derive(Clone, Debug)]
 pub struct UnknownDimReport {
     /// The report of the successful run.
@@ -378,10 +315,8 @@ pub struct UnknownDimReport {
 }
 
 /// Runs the distributed hitting-set algorithm with *unknown* minimum
-/// hitting-set size: starts at `d = 1` and doubles whenever the run does
-/// not terminate within `round_budget_factor · d · log2 n` rounds. Since
-/// the bounds depend at least linearly on `d`, the doubling adds only a
-/// constant factor (paper, Section 1.4).
+/// hitting-set size via doubling search.
+#[deprecated(since = "0.2.0", note = "use `driver::Driver::with_doubling_search`")]
 pub fn run_hitting_set_unknown_d(
     sys: Arc<SetSystem>,
     n: usize,
@@ -389,61 +324,87 @@ pub fn run_hitting_set_unknown_d(
     round_budget_factor: f64,
     seed: u64,
 ) -> UnknownDimReport {
-    let log2n = (n.max(2) as f64).log2();
-    let mut d = 1usize;
-    let mut attempts = Vec::new();
-    let mut total_rounds = 0u64;
-    loop {
-        attempts.push(d);
-        let mut cfg = base_cfg.clone();
-        cfg.d = d;
-        let budget = (round_budget_factor * d as f64 * log2n).ceil().max(8.0) as u64;
-        let report = run_hitting_set(sys.clone(), n, &cfg, budget, seed ^ (d as u64) << 48);
-        total_rounds += report.rounds;
-        if report.all_halted {
-            return UnknownDimReport { report, d_used: d, attempts, total_rounds };
-        }
-        assert!(
-            d <= 2 * sys.n_elements().max(1),
-            "doubling search exceeded the ground-set size — no hitting set can need more"
-        );
-        d *= 2;
+    let report = expect_run(
+        Driver::new(sys)
+            .nodes(n)
+            .seed(seed)
+            .algorithm(Algorithm::HittingSet(base_cfg.clone()))
+            .with_doubling_search(round_budget_factor)
+            .run_ground(),
+    );
+    let doubling = report
+        .doubling
+        .clone()
+        .expect("doubling driver returns a trace");
+    UnknownDimReport {
+        report: HittingSetReport::from_run(report),
+        d_used: doubling.d_used,
+        attempts: doubling.attempts,
+        total_rounds: doubling.total_rounds,
     }
 }
 
 #[cfg(test)]
-mod unknown_d_tests {
+mod tests {
     use super::*;
-    use lpt_gossip_test_support::*;
+    use lpt::LpType;
+    use lpt_problems::Med;
+    use lpt_workloads::med::duo_disk;
+    use lpt_workloads::sets::planted_hitting_set;
 
-    mod lpt_gossip_test_support {
-        pub use lpt_workloads::sets::planted_hitting_set;
+    #[test]
+    fn legacy_full_run_shims_delegate_to_driver() {
+        let points = duo_disk(128, 1);
+        let legacy = run_low_load(&Med, &points, 128, LowLoadRunConfig::default(), 1);
+        let driver = Driver::new(Med)
+            .nodes(128)
+            .seed(1)
+            .run(&points)
+            .expect("driver");
+        assert_eq!(legacy.rounds, driver.rounds);
+        assert_eq!(legacy.all_halted, driver.all_halted);
+        assert_eq!(
+            legacy.consensus_output().map(|b| b.value.r2),
+            driver.consensus_output().map(|b| b.value.r2)
+        );
+        assert_eq!(legacy.metrics.total_ops(), driver.metrics.total_ops());
     }
 
     #[test]
-    fn doubling_search_finds_d_without_being_told() {
-        let (sys, planted) = planted_hitting_set(128, 32, 4, 6, 80);
+    fn legacy_first_solution_shim_matches_driver() {
+        let points = duo_disk(256, 3);
+        let target = Med.basis_of(&points).value;
+        let (first, metrics) = rounds_to_first_solution_low_load(
+            &Med,
+            &points,
+            256,
+            LowLoadRunConfig::default(),
+            3,
+            &target,
+        );
+        assert!(first.reached);
+        let report = Driver::new(Med)
+            .nodes(256)
+            .seed(3)
+            .stop(StopCondition::FirstSolution(target))
+            .run(&points)
+            .expect("driver");
+        assert!(report.reached());
+        assert_eq!(first.rounds, report.rounds);
+        assert_eq!(metrics.total_ops(), report.metrics.total_ops());
+    }
+
+    #[test]
+    fn legacy_hitting_set_shims_delegate() {
+        let (sys, _) = planted_hitting_set(96, 24, 2, 5, 64);
         let sys = Arc::new(sys);
-        let out = run_hitting_set_unknown_d(sys.clone(), 128, &HittingSetConfig::new(1), 12.0, 80);
-        assert!(out.report.all_halted);
-        let best = out.report.best_output().expect("solution");
-        assert!(sys.is_hitting_set(best));
-        assert!(out.d_used <= 2 * planted.len(), "d_used = {} overshot", out.d_used);
-        assert!(!out.attempts.is_empty());
-        // Attempts double: 1, 2, 4, ...
-        for w in out.attempts.windows(2) {
-            assert_eq!(w[1], w[0] * 2);
-        }
-    }
-
-    #[test]
-    fn doubling_search_on_trivial_instance_stops_at_one() {
-        // A single common element hits everything: d = 1 must suffice.
-        let sets: Vec<Vec<u32>> = (0..10).map(|i| vec![0u32, i + 1]).collect();
-        let sys = Arc::new(lpt_problems::SetSystem::new(12, sets));
-        let out = run_hitting_set_unknown_d(sys.clone(), 64, &HittingSetConfig::new(1), 20.0, 81);
-        assert!(out.report.all_halted);
-        assert_eq!(out.d_used, 1);
-        assert!(sys.is_hitting_set(out.report.best_output().unwrap()));
+        let legacy = run_hitting_set(sys.clone(), 96, &HittingSetConfig::new(2), 5_000, 64);
+        assert!(legacy.all_halted);
+        assert!(sys.is_hitting_set(legacy.best_output().expect("solution")));
+        let unknown =
+            run_hitting_set_unknown_d(sys.clone(), 96, &HittingSetConfig::new(1), 12.0, 64);
+        assert!(unknown.report.all_halted);
+        assert!(!unknown.attempts.is_empty());
+        assert!(sys.is_hitting_set(unknown.report.best_output().expect("solution")));
     }
 }

@@ -37,7 +37,11 @@ pub struct TermEntry<P: LpType> {
 
 impl<P: LpType> Clone for TermEntry<P> {
     fn clone(&self) -> Self {
-        TermEntry { t: self.t, basis: self.basis.clone(), valid: self.valid }
+        TermEntry {
+            t: self.t,
+            basis: self.basis.clone(),
+            valid: self.valid,
+        }
     }
 }
 
@@ -115,7 +119,14 @@ impl<P: LpType> TermState<P> {
 
     /// Injects a locally detected candidate (validity bit 1).
     pub fn inject(&mut self, problem: &P, t: u64, basis: BasisOf<P>) {
-        self.merge(problem, TermEntry { t, basis, valid: true });
+        self.merge(
+            problem,
+            TermEntry {
+                t,
+                basis,
+                valid: true,
+            },
+        );
     }
 
     fn merge(&mut self, problem: &P, e: TermEntry<P>) {
@@ -160,7 +171,10 @@ impl<P: LpType> TermState<P> {
             self.merge(problem, e);
         }
 
-        let mut out = TermStep { pushes: Vec::new(), output: None };
+        let mut out = TermStep {
+            pushes: Vec::new(),
+            output: None,
+        };
         let mut mature: Vec<u64> = Vec::new();
         for (&t, (basis, valid)) in self.entries.iter_mut() {
             if *valid && has_violator(basis) {
@@ -169,7 +183,11 @@ impl<P: LpType> TermState<P> {
             if now.saturating_sub(t) >= self.maturity {
                 mature.push(t);
             } else {
-                out.pushes.push(TermEntry { t, basis: basis.clone(), valid: *valid });
+                out.pushes.push(TermEntry {
+                    t,
+                    basis: basis.clone(),
+                    valid: *valid,
+                });
             }
         }
         for t in mature {
@@ -230,7 +248,11 @@ mod tests {
         let p = Interval;
         let mut st: TermState<Interval> = TermState::new(5);
         st.inject(&p, 1, basis(0, 5));
-        st.receive(TermEntry { t: 1, basis: basis(0, 10), valid: true });
+        st.receive(TermEntry {
+            t: 1,
+            basis: basis(0, 10),
+            valid: true,
+        });
         let step = st.step(&p, 1, |_| false);
         assert_eq!(step.pushes.len(), 1);
         assert_eq!(step.pushes[0].basis.value, 10, "larger f(B) wins the slot");
@@ -241,7 +263,11 @@ mod tests {
         let p = Interval;
         let mut st: TermState<Interval> = TermState::new(5);
         st.inject(&p, 1, basis(0, 10));
-        st.receive(TermEntry { t: 1, basis: basis(0, 10), valid: false });
+        st.receive(TermEntry {
+            t: 1,
+            basis: basis(0, 10),
+            valid: false,
+        });
         let step = st.step(&p, 1, |_| false);
         assert!(!step.pushes[0].valid, "x merges by minimum");
     }
@@ -251,10 +277,17 @@ mod tests {
         let p = Interval;
         let mut st: TermState<Interval> = TermState::new(5);
         st.inject(&p, 1, basis(0, 10));
-        st.receive(TermEntry { t: 1, basis: basis(2, 7), valid: false });
+        st.receive(TermEntry {
+            t: 1,
+            basis: basis(2, 7),
+            valid: false,
+        });
         let step = st.step(&p, 1, |_| false);
         assert_eq!(step.pushes[0].basis.value, 10);
-        assert!(step.pushes[0].valid, "discarded entry must not poison validity");
+        assert!(
+            step.pushes[0].valid,
+            "discarded entry must not poison validity"
+        );
     }
 
     #[test]
@@ -272,13 +305,25 @@ mod tests {
     fn dominated_entry_defers_to_best_seen() {
         let p = Interval;
         let mut st: TermState<Interval> = TermState::new(1);
-        st.receive(TermEntry { t: 0, basis: basis(0, 10), valid: true });
-        st.receive(TermEntry { t: 1, basis: basis(0, 12), valid: true });
+        st.receive(TermEntry {
+            t: 0,
+            basis: basis(0, 10),
+            valid: true,
+        });
+        st.receive(TermEntry {
+            t: 1,
+            basis: basis(0, 12),
+            valid: true,
+        });
         // At now = 5 both are long mature; the t = 0 entry is dominated
         // by the best basis ever seen (value 12 > 10) and by
         // monotonicity cannot be optimal, so the better one is output.
         let step = st.step(&p, 5, |_| false);
-        assert_eq!(step.output.unwrap().value, 12, "dominated entries never output");
+        assert_eq!(
+            step.output.unwrap().value,
+            12,
+            "dominated entries never output"
+        );
     }
 
     #[test]
@@ -288,7 +333,11 @@ mod tests {
         st.inject(&p, 0, basis(0, 10));
         // Before the weak entry matures, a strictly better candidate is
         // observed; the weak entry must be suppressed at maturity.
-        st.receive(TermEntry { t: 2, basis: basis(0, 15), valid: true });
+        st.receive(TermEntry {
+            t: 2,
+            basis: basis(0, 15),
+            valid: true,
+        });
         let step = st.step(&p, 3, |_| false);
         assert!(step.output.is_none(), "weak entry suppressed");
         // The better entry matures (and equals best_seen): output.

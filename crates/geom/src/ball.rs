@@ -7,9 +7,9 @@
 //! Σ λⱼ (pⱼ − p₀)` satisfies `2 (pⱼ − p₀)·(c − p₀) = |pⱼ − p₀|²`, a
 //! `k × k` system solved by Gaussian elimination.
 
+use crate::leq_with_slack;
 use crate::linalg;
 use crate::point::PointD;
-use crate::leq_with_slack;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -25,7 +25,10 @@ pub struct BallD {
 impl BallD {
     /// The empty ball in dimension `dim`.
     pub fn empty(dim: usize) -> BallD {
-        BallD { center: PointD::new(vec![0.0; dim]), radius: -1.0 }
+        BallD {
+            center: PointD::new(vec![0.0; dim]),
+            radius: -1.0,
+        }
     }
 
     /// Closed containment with the global relative slack.
@@ -56,7 +59,10 @@ pub fn circumball(boundary: &[PointD]) -> Option<BallD> {
     let dim = p0.dim();
     let k = boundary.len() - 1;
     if k == 0 {
-        return Some(BallD { center: p0.clone(), radius: 0.0 });
+        return Some(BallD {
+            center: p0.clone(),
+            radius: 0.0,
+        });
     }
     let mut a = vec![vec![0.0; k]; k];
     let mut b = vec![0.0; k];
@@ -75,8 +81,8 @@ pub fn circumball(boundary: &[PointD]) -> Option<BallD> {
     let lambda = linalg::solve_in_place(&mut a, &mut b)?;
     let mut center = p0.coords.clone();
     for j in 0..k {
-        for t in 0..dim {
-            center[t] += lambda[j] * (boundary[j + 1].coords[t] - p0.coords[t]);
+        for (t, c) in center.iter_mut().enumerate() {
+            *c += lambda[j] * (boundary[j + 1].coords[t] - p0.coords[t]);
         }
     }
     let center = PointD::new(center);
@@ -98,7 +104,12 @@ pub fn min_enclosing_ball<R: Rng + ?Sized>(points: &[PointD], rng: &mut R) -> Ba
     meb_recurse(points, &order, &mut boundary, dim)
 }
 
-fn meb_recurse(points: &[PointD], order: &[usize], boundary: &mut Vec<PointD>, dim: usize) -> BallD {
+fn meb_recurse(
+    points: &[PointD],
+    order: &[usize],
+    boundary: &mut Vec<PointD>,
+    dim: usize,
+) -> BallD {
     let mut ball = match circumball(boundary) {
         Some(b) if !boundary.is_empty() => b,
         _ => BallD::empty(dim),
@@ -163,7 +174,11 @@ mod tests {
         for p in &pts {
             assert!(b.contains(p));
         }
-        assert!((b.radius - (2f64 / 3.0).sqrt()).abs() < 1e-9, "radius {}", b.radius);
+        assert!(
+            (b.radius - (2f64 / 3.0).sqrt()).abs() < 1e-9,
+            "radius {}",
+            b.radius
+        );
         assert!(b.on_boundary(&pts[0]));
         assert!(!b.on_boundary(&pts[3]), "origin is interior");
     }
@@ -176,7 +191,9 @@ mod tests {
             PointD::new(vec![-3.0, 0.0, 0.0, 0.0, 0.0]),
         ];
         for _ in 0..200 {
-            let v: Vec<f64> = (0..5).map(|_| rand::Rng::gen_range(&mut tr, -1.0..1.0)).collect();
+            let v: Vec<f64> = (0..5)
+                .map(|_| rand::Rng::gen_range(&mut tr, -1.0..1.0))
+                .collect();
             pts.push(PointD::new(v));
         }
         let b = min_enclosing_ball(&pts, &mut rng());
@@ -226,7 +243,11 @@ mod tests {
         for dim in [2usize, 3, 4, 6] {
             let pts: Vec<PointD> = (0..100)
                 .map(|_| {
-                    PointD::new((0..dim).map(|_| rand::Rng::gen_range(&mut tr, -8.0..8.0)).collect())
+                    PointD::new(
+                        (0..dim)
+                            .map(|_| rand::Rng::gen_range(&mut tr, -8.0..8.0))
+                            .collect(),
+                    )
                 })
                 .collect();
             let b = min_enclosing_ball(&pts, &mut rng());

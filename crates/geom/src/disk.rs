@@ -1,7 +1,7 @@
 //! Disks in the plane and the circumscribed disks of 1–3 points.
 
-use crate::point::Point2;
 use crate::leq_with_slack;
+use crate::point::Point2;
 
 /// A closed disk in the plane.
 ///
@@ -18,17 +18,26 @@ pub struct Disk {
 
 impl Disk {
     /// The empty disk: contains no point, radius `-1`.
-    pub const EMPTY: Disk = Disk { center: Point2::new(0.0, 0.0), radius: -1.0 };
+    pub const EMPTY: Disk = Disk {
+        center: Point2::new(0.0, 0.0),
+        radius: -1.0,
+    };
 
     /// The degenerate disk consisting of a single point.
     pub fn point(p: Point2) -> Disk {
-        Disk { center: p, radius: 0.0 }
+        Disk {
+            center: p,
+            radius: 0.0,
+        }
     }
 
     /// The smallest disk through two points (diameter disk).
     pub fn from_two(a: Point2, b: Point2) -> Disk {
         let center = a.midpoint(&b);
-        Disk { center, radius: 0.5 * a.dist(&b) }
+        Disk {
+            center,
+            radius: 0.5 * a.dist(&b),
+        }
     }
 
     /// The disk through three points (circumcircle). Returns `None` when

@@ -34,7 +34,9 @@ pub fn convex_hull(points: &[Point2]) -> Vec<Point2> {
     // Upper hull.
     let lower_len = hull.len() + 1;
     for p in pts.iter().rev().skip(1) {
-        while hull.len() >= lower_len && cross(&hull[hull.len() - 2], &hull[hull.len() - 1], p) <= 0.0 {
+        while hull.len() >= lower_len
+            && cross(&hull[hull.len() - 2], &hull[hull.len() - 1], p) <= 0.0
+        {
             hull.pop();
         }
         hull.push(*p);
@@ -241,7 +243,11 @@ mod tests {
             Point2::new(5.0, 5.0),
             Point2::new(-5.0, 5.0),
         ];
-        let inner = [Point2::new(0.0, 0.0), Point2::new(1.0, 0.0), Point2::new(0.0, 1.0)];
+        let inner = [
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(0.0, 1.0),
+        ];
         assert_eq!(polygon_distance(&outer, &inner), 0.0);
     }
 
@@ -254,7 +260,10 @@ mod tests {
 
     #[test]
     fn polygon_distance_empty_is_infinite() {
-        assert_eq!(polygon_distance(&[], &[Point2::new(0.0, 0.0)]), f64::INFINITY);
+        assert_eq!(
+            polygon_distance(&[], &[Point2::new(0.0, 0.0)]),
+            f64::INFINITY
+        );
     }
 
     #[test]

@@ -38,8 +38,10 @@ pub fn solve_in_place(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
             if factor == 0.0 {
                 continue;
             }
+            let (head, tail) = a.split_at_mut(row);
+            let (pivot_row, this_row) = (&head[col], &mut tail[0]);
             for k in col..n {
-                a[row][k] -= factor * a[col][k];
+                this_row[k] -= factor * pivot_row[k];
             }
             b[row] -= factor * b[col];
         }

@@ -81,7 +81,10 @@ pub enum LpOutcome {
 pub fn solve_lp_vertex_enum(c: &[f64], constraints: &[Halfspace], bound: f64) -> LpOutcome {
     let d = c.len();
     assert!(d >= 1, "objective must have at least one variable");
-    assert!(constraints.iter().all(|h| h.a.len() == d), "constraint dimension mismatch");
+    assert!(
+        constraints.iter().all(|h| h.a.len() == d),
+        "constraint dimension mismatch"
+    );
 
     // All constraints including the 2d box walls.
     let mut all: Vec<Halfspace> = Vec::with_capacity(constraints.len() + 2 * d);
@@ -203,10 +206,13 @@ mod tests {
     #[test]
     fn infeasible_lp() {
         let cons = vec![
-            Halfspace::new(vec![1.0], 0.0),  // x <= 0
+            Halfspace::new(vec![1.0], 0.0),   // x <= 0
             Halfspace::new(vec![-1.0], -1.0), // x >= 1
         ];
-        assert_eq!(solve_lp_vertex_enum(&[1.0], &cons, BOUND), LpOutcome::Infeasible);
+        assert_eq!(
+            solve_lp_vertex_enum(&[1.0], &cons, BOUND),
+            LpOutcome::Infeasible
+        );
     }
 
     #[test]
@@ -244,7 +250,14 @@ mod tests {
         ];
         match solve_lp_vertex_enum(&[0.0, 0.0], &cons, BOUND) {
             LpOutcome::Optimal(sol) => {
-                assert_eq!(sol.x, [-BOUND, -BOUND].iter().map(|_| 0.0).collect::<Vec<_>>().clone());
+                assert_eq!(
+                    sol.x,
+                    [-BOUND, -BOUND]
+                        .iter()
+                        .map(|_| 0.0)
+                        .collect::<Vec<_>>()
+                        .clone()
+                );
             }
             _ => panic!(),
         }

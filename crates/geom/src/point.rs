@@ -58,7 +58,9 @@ impl Point2 {
     /// Deterministic total order: lexicographic by `(x, y)` via
     /// `f64::total_cmp`. Used for canonical bases and tie-breaking.
     pub fn total_cmp(&self, other: &Point2) -> Ordering {
-        self.x.total_cmp(&other.x).then_with(|| self.y.total_cmp(&other.y))
+        self.x
+            .total_cmp(&other.x)
+            .then_with(|| self.y.total_cmp(&other.y))
     }
 }
 

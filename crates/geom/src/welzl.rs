@@ -104,7 +104,10 @@ fn extract_support(points: &[Point2], disk: &Disk) -> Vec<usize> {
     {
         let mut seen: Vec<Point2> = Vec::new();
         cand.retain(|&i| {
-            if seen.iter().any(|p| p.x == points[i].x && p.y == points[i].y) {
+            if seen
+                .iter()
+                .any(|p| p.x == points[i].x && p.y == points[i].y)
+            {
                 false
             } else {
                 seen.push(points[i]);
@@ -281,7 +284,10 @@ mod tests {
                 })
                 .collect();
             let (disk, support) = min_enclosing_disk_with_support(&pts, &mut r);
-            assert!(!support.is_empty() && support.len() <= 3, "support {support:?}");
+            assert!(
+                !support.is_empty() && support.len() <= 3,
+                "support {support:?}"
+            );
             let sup_pts: Vec<Point2> = support.iter().map(|&i| pts[i]).collect();
             let sup_disk = min_enclosing_disk(&sup_pts, &mut r);
             assert!(
@@ -304,7 +310,9 @@ mod tests {
     #[test]
     fn collinear_points() {
         let mut r = rng();
-        let pts: Vec<Point2> = (0..50).map(|i| Point2::new(i as f64, 2.0 * i as f64)).collect();
+        let pts: Vec<Point2> = (0..50)
+            .map(|i| Point2::new(i as f64, 2.0 * i as f64))
+            .collect();
         let d = min_enclosing_disk(&pts, &mut r);
         let expect = 0.5 * pts[0].dist(&pts[49]);
         assert!((d.radius - expect).abs() < 1e-9 * expect);
@@ -312,8 +320,9 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let pts: Vec<Point2> =
-            (0..500).map(|i| Point2::new((i as f64 * 0.7).sin() * 9.0, (i as f64 * 1.3).cos() * 9.0)).collect();
+        let pts: Vec<Point2> = (0..500)
+            .map(|i| Point2::new((i as f64 * 0.7).sin() * 9.0, (i as f64 * 1.3).cos() * 9.0))
+            .collect();
         let d1 = min_enclosing_disk(&pts, &mut ChaCha8Rng::seed_from_u64(5));
         let d2 = min_enclosing_disk(&pts, &mut ChaCha8Rng::seed_from_u64(5));
         assert_eq!(d1, d2);

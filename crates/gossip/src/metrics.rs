@@ -43,7 +43,11 @@ impl Metrics {
 
     /// Largest per-node work observed in any round.
     pub fn max_node_work(&self) -> u64 {
-        self.rounds.iter().map(|r| r.max_node_work).max().unwrap_or(0)
+        self.rounds
+            .iter()
+            .map(|r| r.max_node_work)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Largest per-node load observed in any round.

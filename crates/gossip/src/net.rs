@@ -22,7 +22,11 @@ pub struct NetworkConfig {
 impl NetworkConfig {
     /// Config with the given seed and default parallel settings.
     pub fn with_seed(seed: u64) -> Self {
-        NetworkConfig { seed, parallel: true, parallel_threshold: 4096 }
+        NetworkConfig {
+            seed,
+            parallel: true,
+            parallel_threshold: 4096,
+        }
     }
 
     /// Forces sequential stepping (mainly for determinism tests).
@@ -86,7 +90,14 @@ impl<P: Protocol> Network<P> {
     pub fn new(protocol: P, states: Vec<P::State>, cfg: NetworkConfig) -> Self {
         assert!(!states.is_empty(), "network needs at least one node");
         let n = states.len();
-        Network { protocol, states, halted: vec![false; n], round: 0, cfg, metrics: Metrics::default() }
+        Network {
+            protocol,
+            states,
+            halted: vec![false; n],
+            round: 0,
+            cfg,
+            metrics: Metrics::default(),
+        }
     }
 
     /// Number of nodes.
@@ -129,6 +140,7 @@ impl<P: Protocol> Network<P> {
     }
 
     /// Simulates one round; returns that round's metrics.
+    #[allow(clippy::type_complexity)] // closure params spell out the zipped per-node row
     pub fn round(&mut self) -> RoundMetrics {
         let n = self.states.len();
         let seed = self.cfg.seed;
@@ -170,7 +182,11 @@ impl<P: Protocol> Network<P> {
                         let t = target_rng.gen_range(0..n);
                         protocol
                             .serve(t as NodeId, &states[t], q, &mut serve_rng)
-                            .map(|served| Response { msg: served.msg, from: t as NodeId, slot: served.slot })
+                            .map(|served| Response {
+                                msg: served.msg,
+                                from: t as NodeId,
+                                slot: served.slot,
+                            })
                     })
                     .collect()
             };
@@ -200,15 +216,22 @@ impl<P: Protocol> Network<P> {
 
         let compute_outs: Vec<ComputeOut<P::Msg>> = {
             let halted = &self.halted;
-            let step = |(i, (state, resp)): (usize, (&mut P::State, Vec<Option<Response<P::Msg>>>))| {
-                if halted[i] {
-                    return ComputeOut { pushes: Vec::new(), halt: false };
-                }
-                let mut rng = derive_rng(seed, round, i as u64, phase::COMPUTE);
-                let mut pushes = Vec::new();
-                let control = protocol.compute(i as NodeId, state, resp, &mut rng, &mut pushes);
-                ComputeOut { pushes, halt: control == NodeControl::Halt }
-            };
+            let step =
+                |(i, (state, resp)): (usize, (&mut P::State, Vec<Option<Response<P::Msg>>>))| {
+                    if halted[i] {
+                        return ComputeOut {
+                            pushes: Vec::new(),
+                            halt: false,
+                        };
+                    }
+                    let mut rng = derive_rng(seed, round, i as u64, phase::COMPUTE);
+                    let mut pushes = Vec::new();
+                    let control = protocol.compute(i as NodeId, state, resp, &mut rng, &mut pushes);
+                    ComputeOut {
+                        pushes,
+                        halt: control == NodeControl::Halt,
+                    }
+                };
             if self.use_parallel() {
                 self.states
                     .par_iter_mut()
@@ -355,7 +378,13 @@ mod tests {
 
         fn pulls(&self, _: NodeId, _: &RumorState, _: &mut ChaCha8Rng, _: &mut Vec<()>) {}
 
-        fn serve(&self, _: NodeId, _: &RumorState, _: &(), _: &mut ChaCha8Rng) -> Option<Served<()>> {
+        fn serve(
+            &self,
+            _: NodeId,
+            _: &RumorState,
+            _: &(),
+            _: &mut ChaCha8Rng,
+        ) -> Option<Served<()>> {
             None
         }
 
@@ -395,7 +424,11 @@ mod tests {
 
     fn rumor_states(n: usize) -> Vec<RumorState> {
         (0..n)
-            .map(|i| RumorState { informed: i == 0, pushes_sent: 0, received: 0 })
+            .map(|i| RumorState {
+                informed: i == 0,
+                pushes_sent: 0,
+                received: 0,
+            })
             .collect()
     }
 
@@ -429,7 +462,11 @@ mod tests {
         let n = 6000; // above the default parallel threshold
         let run = |parallel: bool| {
             let cfg = if parallel {
-                NetworkConfig { seed: 3, parallel: true, parallel_threshold: 1 }
+                NetworkConfig {
+                    seed: 3,
+                    parallel: true,
+                    parallel_threshold: 1,
+                }
             } else {
                 NetworkConfig::with_seed(3).sequential()
             };
@@ -437,10 +474,7 @@ mod tests {
             for _ in 0..25 {
                 net.round();
             }
-            (
-                net.states().to_vec(),
-                net.metrics().rounds.clone(),
-            )
+            (net.states().to_vec(), net.metrics().rounds.clone())
         };
         let (s_par, m_par) = run(true);
         let (s_seq, m_seq) = run(false);
@@ -462,7 +496,13 @@ mod tests {
             }
         }
 
-        fn serve(&self, _: NodeId, s: &RumorState, _: &(), _: &mut ChaCha8Rng) -> Option<Served<()>> {
+        fn serve(
+            &self,
+            _: NodeId,
+            s: &RumorState,
+            _: &(),
+            _: &mut ChaCha8Rng,
+        ) -> Option<Served<()>> {
             s.informed.then_some(Served { msg: (), slot: 0 })
         }
 
@@ -480,7 +520,13 @@ mod tests {
             NodeControl::Continue
         }
 
-        fn absorb(&self, _: NodeId, s: &mut RumorState, _: Vec<()>, _: &mut ChaCha8Rng) -> NodeControl {
+        fn absorb(
+            &self,
+            _: NodeId,
+            s: &mut RumorState,
+            _: Vec<()>,
+            _: &mut ChaCha8Rng,
+        ) -> NodeControl {
             if s.informed {
                 NodeControl::Halt
             } else {

@@ -48,7 +48,11 @@ impl<E: std::fmt::Debug> std::fmt::Display for AxiomViolation<E> {
             AxiomViolation::Monotonicity { subset, superset } => {
                 write!(f, "monotonicity violated: f({subset:?}) > f({superset:?})")
             }
-            AxiomViolation::Locality { subset, superset, element } => write!(
+            AxiomViolation::Locality {
+                subset,
+                superset,
+                element,
+            } => write!(
                 f,
                 "locality violated: f({subset:?}) = f({superset:?}) but {element:?} \
                  violates only the superset"
@@ -134,7 +138,11 @@ pub fn check_locality<P: LpType, R: Rng + ?Sized>(
         let f_increased = problem.cmp_value(&fvh.value, &fb.value) == Ordering::Greater
             || problem.values_close(&fvh.value, &fb.value);
         if !f_increased {
-            return Err(AxiomViolation::Locality { subset, superset, element: h });
+            return Err(AxiomViolation::Locality {
+                subset,
+                superset,
+                element: h,
+            });
         }
     }
     Ok(())
@@ -166,7 +174,11 @@ pub fn check_basis_contract<P: LpType, R: Rng + ?Sized>(
         problem.canonicalize(&mut basis);
         if basis.len() > problem.dim() {
             return Err(AxiomViolation::BasisContract {
-                reason: format!("basis size {} exceeds dimension {}", basis.len(), problem.dim()),
+                reason: format!(
+                    "basis size {} exceeds dimension {}",
+                    basis.len(),
+                    problem.dim()
+                ),
                 input,
             });
         }
@@ -205,8 +217,16 @@ pub fn check_all<P: LpType, R: Rng + ?Sized>(
 
 /// Draws a random chain `F ⊆ G ⊆ elements` by independent thinning.
 fn random_chain<E: Clone, R: Rng + ?Sized>(elements: &[E], rng: &mut R) -> (Vec<E>, Vec<E>) {
-    let superset: Vec<E> = elements.iter().filter(|_| rng.gen_bool(0.7)).cloned().collect();
-    let subset: Vec<E> = superset.iter().filter(|_| rng.gen_bool(0.6)).cloned().collect();
+    let superset: Vec<E> = elements
+        .iter()
+        .filter(|_| rng.gen_bool(0.7))
+        .cloned()
+        .collect();
+    let subset: Vec<E> = superset
+        .iter()
+        .filter(|_| rng.gen_bool(0.6))
+        .cloned()
+        .collect();
     (subset, superset)
 }
 

@@ -20,8 +20,7 @@ use crate::Multiset;
 use rand::Rng;
 
 /// Configuration knobs for [`clarkson_with_config`].
-#[derive(Clone, Debug)]
-#[derive(Default)]
+#[derive(Clone, Debug, Default)]
 pub struct ClarksonConfig {
     /// Sample size per iteration; defaults to `6·dim²` as in the paper.
     pub sample_size: Option<usize>,
@@ -33,7 +32,6 @@ pub struct ClarksonConfig {
     /// small-set basis computation; defaults to `6·dim²`.
     pub direct_threshold: Option<usize>,
 }
-
 
 /// Counters describing one [`clarkson`] run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -124,7 +122,9 @@ pub fn clarkson_with_config<P: LpType, R: Rng + ?Sized>(
     loop {
         stats.iterations += 1;
         if stats.iterations > max_iters {
-            return Err(ClarksonError::IterationLimit { iterations: stats.iterations });
+            return Err(ClarksonError::IterationLimit {
+                iterations: stats.iterations,
+            });
         }
 
         let sample_idx = mu
@@ -181,7 +181,9 @@ mod tests {
     #[test]
     fn interval_large_input() {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let points: Vec<i64> = (0..5000).map(|i| (i * 2654435761_i64) % 1001 - 500).collect();
+        let points: Vec<i64> = (0..5000)
+            .map(|i| (i * 2654435761_i64) % 1001 - 500)
+            .collect();
         let res = clarkson(&Interval, &points, &mut rng).unwrap();
         assert!(!res.stats.solved_directly);
         let lo = *points.iter().min().unwrap();
@@ -204,9 +206,15 @@ mod tests {
         // O(d log n) expected iterations: for n = 2^16 and d = 2 the run
         // should finish well under 300 iterations.
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let points: Vec<i64> = (0..(1 << 16)).map(|i| (i * 1103515245_i64) % 99991).collect();
+        let points: Vec<i64> = (0..(1 << 16))
+            .map(|i| (i * 1103515245_i64) % 99991)
+            .collect();
         let res = clarkson(&Interval, &points, &mut rng).unwrap();
-        assert!(res.stats.iterations < 300, "iterations = {}", res.stats.iterations);
+        assert!(
+            res.stats.iterations < 300,
+            "iterations = {}",
+            res.stats.iterations
+        );
         assert!(res.stats.successful_iterations >= 1);
     }
 
@@ -214,7 +222,10 @@ mod tests {
     fn custom_sample_size_still_correct() {
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let points: Vec<i64> = (0..2000).map(|i| (i * 69621) % 503 - 200).collect();
-        let cfg = ClarksonConfig { sample_size: Some(8), ..Default::default() };
+        let cfg = ClarksonConfig {
+            sample_size: Some(8),
+            ..Default::default()
+        };
         let res = clarkson_with_config(&Interval, &points, &cfg, &mut rng).unwrap();
         let lo = *points.iter().min().unwrap();
         let hi = *points.iter().max().unwrap();

@@ -174,7 +174,10 @@ mod tests {
 
     #[test]
     fn empty_input_is_error() {
-        assert_eq!(exhaustive_basis(&Interval, &[]), Err(ExhaustiveError::EmptyInput));
+        assert_eq!(
+            exhaustive_basis(&Interval, &[]),
+            Err(ExhaustiveError::EmptyInput)
+        );
     }
 
     #[test]

@@ -22,7 +22,10 @@ pub struct Fenwick {
 impl Fenwick {
     /// Creates a tree of `len` zero weights.
     pub fn new(len: usize) -> Self {
-        Fenwick { tree: vec![0; len + 1], len }
+        Fenwick {
+            tree: vec![0; len + 1],
+            len,
+        }
     }
 
     /// Creates a tree from initial weights in `O(n)`.
@@ -133,9 +136,9 @@ mod tests {
         for (i, &x) in w.iter().enumerate() {
             ft2.add(i, x);
         }
-        for i in 0..w.len() {
+        for (i, &x) in w.iter().enumerate() {
             assert_eq!(ft.prefix(i), ft2.prefix(i), "prefix {i}");
-            assert_eq!(ft.weight(i), w[i], "weight {i}");
+            assert_eq!(ft.weight(i), x, "weight {i}");
         }
         assert_eq!(ft.total(), 30);
     }
@@ -195,8 +198,8 @@ mod tests {
                 ft.add(i, d);
             }
             let mut acc = 0u128;
-            for i in 0..n {
-                acc += naive[i];
+            for (i, &x) in naive.iter().enumerate() {
+                acc += x;
                 assert_eq!(ft.prefix(i), acc);
             }
             let total = ft.total();

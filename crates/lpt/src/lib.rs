@@ -66,7 +66,8 @@
 //!     fn cmp_element(&self, a: &i64, b: &i64) -> Ordering { a.cmp(b) }
 //! }
 //!
-//! let mut rng = rand::thread_rng();
+//! use rand::SeedableRng;
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
 //! let points: Vec<i64> = (0..1000).map(|i| (i * 37) % 501 - 250).collect();
 //! let result = lpt::clarkson(&Interval, &points, &mut rng).unwrap();
 //! assert_eq!(result.basis.value, 500);

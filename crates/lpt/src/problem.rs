@@ -113,17 +113,15 @@ pub trait LpType {
     /// transmitting bases.
     fn canonicalize(&self, basis: &mut Basis<Self::Element, Self::Value>) {
         basis.elements.sort_by(|a, b| self.cmp_element(a, b));
-        basis.elements.dedup_by(|a, b| self.cmp_element(a, b) == Ordering::Equal);
+        basis
+            .elements
+            .dedup_by(|a, b| self.cmp_element(a, b) == Ordering::Equal);
     }
 }
 
 /// Lexicographic comparison of two element slices under the problem's
 /// element order. Both slices are assumed canonical (sorted).
-pub fn cmp_elements_lex<P: LpType + ?Sized>(
-    p: &P,
-    a: &[P::Element],
-    b: &[P::Element],
-) -> Ordering {
+pub fn cmp_elements_lex<P: LpType + ?Sized>(p: &P, a: &[P::Element], b: &[P::Element]) -> Ordering {
     for (x, y) in a.iter().zip(b.iter()) {
         match p.cmp_element(x, y) {
             Ordering::Equal => continue,
@@ -176,7 +174,10 @@ mod tests {
         let same_val_a = Basis::new(vec![0, 7], 7);
         let same_val_b = Basis::new(vec![1, 8], 7);
         assert_eq!(cmp_basis(&p, &same_val_a, &same_val_b), Ordering::Less);
-        assert_eq!(cmp_basis(&p, &same_val_a, &same_val_a.clone()), Ordering::Equal);
+        assert_eq!(
+            cmp_basis(&p, &same_val_a, &same_val_a.clone()),
+            Ordering::Equal
+        );
     }
 
     #[test]

@@ -52,7 +52,11 @@ impl SetSystem {
             norm_sets.push(s);
             masks.push(mask);
         }
-        SetSystem { n_elements, sets: norm_sets, masks }
+        SetSystem {
+            n_elements,
+            sets: norm_sets,
+            masks,
+        }
     }
 
     /// Number of ground elements `|X|`.
@@ -94,13 +98,17 @@ impl SetSystem {
     /// Indices of all sets *not* hit by `sample`.
     pub fn uncovered_sets(&self, sample: &[u32]) -> Vec<usize> {
         let mask = self.sample_mask(sample);
-        (0..self.num_sets()).filter(|&si| !self.is_hit_mask(si, &mask)).collect()
+        (0..self.num_sets())
+            .filter(|&si| !self.is_hit_mask(si, &mask))
+            .collect()
     }
 
     /// `f(U)`: the number of sets hit by `sample`.
     pub fn hit_count(&self, sample: &[u32]) -> usize {
         let mask = self.sample_mask(sample);
-        (0..self.num_sets()).filter(|&si| self.is_hit_mask(si, &mask)).count()
+        (0..self.num_sets())
+            .filter(|&si| self.is_hit_mask(si, &mask))
+            .count()
     }
 
     /// Whether `sample` hits every set.
@@ -118,8 +126,8 @@ pub fn greedy_hitting_set(sys: &SetSystem) -> Vec<u32> {
     let mut result = Vec::new();
     while remaining > 0 {
         let mut counts = vec![0u32; sys.n_elements()];
-        for si in 0..sys.num_sets() {
-            if !covered[si] {
+        for (si, cov) in covered.iter().enumerate() {
+            if !cov {
                 for &x in sys.set(si) {
                     counts[x as usize] += 1;
                 }
@@ -132,9 +140,9 @@ pub fn greedy_hitting_set(sys: &SetSystem) -> Vec<u32> {
             .map(|(x, _)| x as u32)
             .expect("nonempty ground set");
         result.push(best);
-        for si in 0..sys.num_sets() {
-            if !covered[si] && sys.set_contains(si, best) {
-                covered[si] = true;
+        for (si, cov) in covered.iter_mut().enumerate() {
+            if !*cov && sys.set_contains(si, best) {
+                *cov = true;
                 remaining -= 1;
             }
         }
@@ -187,10 +195,7 @@ mod tests {
 
     fn small_system() -> SetSystem {
         // Min hitting set is {1, 4}: 1 hits sets 0,1; 4 hits sets 2,3.
-        SetSystem::new(
-            6,
-            vec![vec![0, 1], vec![1, 2], vec![3, 4], vec![4, 5]],
-        )
+        SetSystem::new(6, vec![vec![0, 1], vec![1, 2], vec![3, 4], vec![4, 5]])
     }
 
     #[test]
@@ -275,7 +280,9 @@ mod tests {
             let sets: Vec<Vec<u32>> = (0..15)
                 .map(|_| {
                     let k = rng.gen_range(2..6);
-                    (0..k).map(|_| rng.gen_range(0..n as u32)).collect::<Vec<_>>()
+                    (0..k)
+                        .map(|_| rng.gen_range(0..n as u32))
+                        .collect::<Vec<_>>()
                 })
                 .collect();
             let sets: Vec<Vec<u32>> = sets

@@ -29,14 +29,14 @@
 
 pub mod hitting_set;
 pub mod lp;
-pub mod med;
 pub mod meb;
+pub mod med;
 pub mod polydist;
 pub mod set_cover;
 
 pub use hitting_set::{greedy_hitting_set, min_hitting_set_exact, SetSystem};
 pub use lp::{FixedDimLp, IdHalfspace, LpValue};
-pub use med::{IdPoint2, Med, MedValue};
 pub use meb::{IdPointD, Meb, MebValue};
+pub use med::{IdPoint2, Med, MedValue};
 pub use polydist::{PdValue, PolytopeDistance, Side, SidedPoint};
 pub use set_cover::SetCover;

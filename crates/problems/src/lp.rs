@@ -27,7 +27,10 @@ pub struct IdHalfspace {
 impl IdHalfspace {
     /// Creates an id-tagged constraint.
     pub fn new(id: u32, a: Vec<f64>, b: f64) -> Self {
-        IdHalfspace { id, h: Halfspace::new(a, b) }
+        IdHalfspace {
+            id,
+            h: Halfspace::new(a, b),
+        }
     }
 }
 
@@ -73,10 +76,14 @@ impl FixedDimLp {
     fn solve(&self, elems: &[IdHalfspace]) -> LpValue {
         let constraints: Vec<Halfspace> = elems.iter().map(|e| e.h.clone()).collect();
         match solve_lp_vertex_enum(&self.c, &constraints, self.bound) {
-            LpOutcome::Optimal(sol) => LpValue { objective: sol.value, x: sol.x },
-            LpOutcome::Infeasible => {
-                LpValue { objective: f64::INFINITY, x: vec![f64::INFINITY; self.vars()] }
-            }
+            LpOutcome::Optimal(sol) => LpValue {
+                objective: sol.value,
+                x: sol.x,
+            },
+            LpOutcome::Infeasible => LpValue {
+                objective: f64::INFINITY,
+                x: vec![f64::INFINITY; self.vars()],
+            },
         }
     }
 }
@@ -103,14 +110,13 @@ impl LpType for FixedDimLp {
         let mut candidates: Vec<IdHalfspace> = elems
             .iter()
             .filter(|e| {
-                let scale = e
-                    .h
-                    .a
-                    .iter()
-                    .zip(&value.x)
-                    .map(|(ai, xi)| (ai * xi).abs())
-                    .fold(e.h.b.abs(), f64::max)
-                    .max(1.0);
+                let scale =
+                    e.h.a
+                        .iter()
+                        .zip(&value.x)
+                        .map(|(ai, xi)| (ai * xi).abs())
+                        .fold(e.h.b.abs(), f64::max)
+                        .max(1.0);
                 e.h.slack(&value.x).abs() <= 1e-7 * scale
             })
             .cloned()
@@ -166,7 +172,11 @@ impl LpType for FixedDimLp {
     fn values_close(&self, a: &LpValue, b: &LpValue) -> bool {
         if a.objective == b.objective {
             // Covers the infinite (infeasible) sentinel too.
-            return a.x.iter().zip(&b.x).all(|(x, y)| x == y || (x - y).abs() <= 1e-6);
+            return a
+                .x
+                .iter()
+                .zip(&b.x)
+                .all(|(x, y)| x == y || (x - y).abs() <= 1e-6);
         }
         let scale = a.objective.abs().max(b.objective.abs()).max(1.0);
         (a.objective - b.objective).abs() <= 1e-7 * scale

@@ -21,7 +21,10 @@ pub struct IdPointD {
 impl IdPointD {
     /// Creates an id-tagged point.
     pub fn new(id: u32, coords: Vec<f64>) -> Self {
-        IdPointD { id, p: PointD::new(coords) }
+        IdPointD {
+            id,
+            p: PointD::new(coords),
+        }
     }
 }
 
@@ -80,7 +83,13 @@ impl LpType for Meb {
 
     fn basis_of(&self, elems: &[IdPointD]) -> Basis<IdPointD, MebValue> {
         if elems.is_empty() {
-            return Basis::new(vec![], MebValue { r2: -1.0, center: vec![0.0; self.space_dim] });
+            return Basis::new(
+                vec![],
+                MebValue {
+                    r2: -1.0,
+                    center: vec![0.0; self.space_dim],
+                },
+            );
         }
         // Solve over the distinct element set (duplicates change nothing).
         let mut elems: Vec<IdPointD> = elems.to_vec();
@@ -119,7 +128,10 @@ impl LpType for Meb {
         }
         Basis::new(
             support,
-            MebValue { r2: ball.radius * ball.radius, center: ball.center.coords },
+            MebValue {
+                r2: ball.radius * ball.radius,
+                center: ball.center.coords,
+            },
         )
     }
 
@@ -163,7 +175,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         (0..n)
             .map(|i| {
-                IdPointD::new(i as u32, (0..dim).map(|_| rng.gen_range(-5.0..5.0)).collect())
+                IdPointD::new(
+                    i as u32,
+                    (0..dim).map(|_| rng.gen_range(-5.0..5.0)).collect(),
+                )
             })
             .collect()
     }
@@ -198,9 +213,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(34);
         let res = lpt::clarkson(&problem, &elems, &mut rng).unwrap();
         let direct = problem.basis_of(&elems);
-        assert!(
-            (res.basis.value.r2 - direct.value.r2).abs() <= 1e-6 * direct.value.r2.max(1.0)
-        );
+        assert!((res.basis.value.r2 - direct.value.r2).abs() <= 1e-6 * direct.value.r2.max(1.0));
     }
 
     #[test]

@@ -29,7 +29,10 @@ pub struct IdPoint2 {
 impl IdPoint2 {
     /// Creates an id-tagged point.
     pub fn new(id: u32, x: f64, y: f64) -> Self {
-        IdPoint2 { id, p: Point2::new(x, y) }
+        IdPoint2 {
+            id,
+            p: Point2::new(x, y),
+        }
     }
 }
 
@@ -54,12 +57,19 @@ impl MedValue {
         if self.r2 < 0.0 {
             Disk::EMPTY
         } else {
-            Disk { center: Point2::new(self.cx, self.cy), radius: self.r2.sqrt() }
+            Disk {
+                center: Point2::new(self.cx, self.cy),
+                radius: self.r2.sqrt(),
+            }
         }
     }
 
     fn from_disk(d: &Disk) -> MedValue {
-        MedValue { r2: d.radius2(), cx: d.center.x, cy: d.center.y }
+        MedValue {
+            r2: d.radius2(),
+            cx: d.center.x,
+            cy: d.center.y,
+        }
     }
 }
 
@@ -92,7 +102,14 @@ impl LpType for Med {
 
     fn basis_of(&self, elems: &[IdPoint2]) -> Basis<IdPoint2, MedValue> {
         if elems.is_empty() {
-            return Basis::new(vec![], MedValue { r2: -1.0, cx: 0.0, cy: 0.0 });
+            return Basis::new(
+                vec![],
+                MedValue {
+                    r2: -1.0,
+                    cx: 0.0,
+                    cy: 0.0,
+                },
+            );
         }
         // Copies of the same element (gossip-created duplicates) change
         // neither the disk nor the basis: solve over the distinct set,
@@ -139,7 +156,13 @@ mod tests {
     fn random_points(n: usize, seed: u64) -> Vec<IdPoint2> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         (0..n)
-            .map(|i| IdPoint2::new(i as u32, rng.gen_range(-10.0..10.0), rng.gen_range(-10.0..10.0)))
+            .map(|i| {
+                IdPoint2::new(
+                    i as u32,
+                    rng.gen_range(-10.0..10.0),
+                    rng.gen_range(-10.0..10.0),
+                )
+            })
             .collect()
     }
 
@@ -215,11 +238,27 @@ mod tests {
 
     #[test]
     fn value_order_is_total_and_radius_first() {
-        let small = MedValue { r2: 1.0, cx: 9.0, cy: 9.0 };
-        let big = MedValue { r2: 2.0, cx: 0.0, cy: 0.0 };
+        let small = MedValue {
+            r2: 1.0,
+            cx: 9.0,
+            cy: 9.0,
+        };
+        let big = MedValue {
+            r2: 2.0,
+            cx: 0.0,
+            cy: 0.0,
+        };
         assert_eq!(Med.cmp_value(&small, &big), Ordering::Less);
-        let tie_a = MedValue { r2: 1.0, cx: 0.0, cy: 0.0 };
-        let tie_b = MedValue { r2: 1.0, cx: 0.0, cy: 1.0 };
+        let tie_a = MedValue {
+            r2: 1.0,
+            cx: 0.0,
+            cy: 0.0,
+        };
+        let tie_b = MedValue {
+            r2: 1.0,
+            cx: 0.0,
+            cy: 1.0,
+        };
         assert_eq!(Med.cmp_value(&tie_a, &tie_b), Ordering::Less);
     }
 }

@@ -17,7 +17,9 @@
 //! workload generators produce instances in general position.
 
 use lpt::{Basis, LpType};
-use lpt_geom::hull::{convex_hull, point_in_convex_hull, polygon_distance, segment_segment_distance};
+use lpt_geom::hull::{
+    convex_hull, point_in_convex_hull, polygon_distance, segment_segment_distance,
+};
 use lpt_geom::Point2;
 use std::cmp::Ordering;
 
@@ -44,7 +46,11 @@ pub struct SidedPoint {
 impl SidedPoint {
     /// Creates a tagged point.
     pub fn new(id: u32, side: Side, x: f64, y: f64) -> Self {
-        SidedPoint { id, side, p: Point2::new(x, y) }
+        SidedPoint {
+            id,
+            side,
+            p: Point2::new(x, y),
+        }
     }
 }
 
@@ -66,8 +72,16 @@ pub struct PolytopeDistance;
 
 impl PolytopeDistance {
     fn split(elems: &[SidedPoint]) -> (Vec<Point2>, Vec<Point2>) {
-        let a = elems.iter().filter(|e| e.side == Side::A).map(|e| e.p).collect();
-        let b = elems.iter().filter(|e| e.side == Side::B).map(|e| e.p).collect();
+        let a = elems
+            .iter()
+            .filter(|e| e.side == Side::A)
+            .map(|e| e.p)
+            .collect();
+        let b = elems
+            .iter()
+            .filter(|e| e.side == Side::B)
+            .map(|e| e.p)
+            .collect();
         (a, b)
     }
 
@@ -144,7 +158,12 @@ impl PolytopeDistance {
         }
         let Some((ea, eb)) = best else { return vec![] };
         let mut w: Vec<SidedPoint> = Vec::with_capacity(4);
-        for (p, side) in [(ea.0, Side::A), (ea.1, Side::A), (eb.0, Side::B), (eb.1, Side::B)] {
+        for (p, side) in [
+            (ea.0, Side::A),
+            (ea.1, Side::A),
+            (eb.0, Side::B),
+            (eb.1, Side::B),
+        ] {
             let e = find(&p, side);
             if !w.iter().any(|x| x.id == e.id) {
                 w.push(e);
@@ -198,14 +217,26 @@ impl LpType for PolytopeDistance {
 
     fn basis_of(&self, elems: &[SidedPoint]) -> Basis<SidedPoint, PdValue> {
         match Self::sides_present(elems) {
-            0 => Basis::new(vec![], PdValue { sides: 0, dist: f64::INFINITY }),
+            0 => Basis::new(
+                vec![],
+                PdValue {
+                    sides: 0,
+                    dist: f64::INFINITY,
+                },
+            ),
             1 => {
                 // One canonical witness keeps the present side observable.
                 let w = *elems
                     .iter()
                     .min_by(|a, b| a.id.cmp(&b.id))
                     .expect("non-empty by sides_present");
-                Basis::new(vec![w], PdValue { sides: 1, dist: f64::INFINITY })
+                Basis::new(
+                    vec![w],
+                    PdValue {
+                        sides: 1,
+                        dist: f64::INFINITY,
+                    },
+                )
             }
             _ => {
                 let dist = Self::distance(elems);
@@ -234,7 +265,9 @@ impl LpType for PolytopeDistance {
 
     fn cmp_value(&self, a: &PdValue, b: &PdValue) -> Ordering {
         // Grade ascending, then distance *descending*.
-        a.sides.cmp(&b.sides).then_with(|| b.dist.total_cmp(&a.dist))
+        a.sides
+            .cmp(&b.sides)
+            .then_with(|| b.dist.total_cmp(&a.dist))
     }
 
     fn cmp_element(&self, a: &SidedPoint, b: &SidedPoint) -> Ordering {
@@ -292,7 +325,10 @@ mod tests {
         assert_eq!(one.len(), 1);
 
         // Grade order: 0 < 1 < 2.
-        let two = PdValue { sides: 2, dist: 3.0 };
+        let two = PdValue {
+            sides: 2,
+            dist: 3.0,
+        };
         assert_eq!(p.cmp_value(&empty.value, &one.value), Ordering::Less);
         assert_eq!(p.cmp_value(&one.value, &two), Ordering::Less);
     }

@@ -28,7 +28,10 @@ impl SetCover {
         for (si, s) in sets.iter().enumerate() {
             assert!(!s.is_empty(), "set {si} is empty");
             for &x in s {
-                assert!((x as usize) < n_elements, "set {si}: element {x} out of range");
+                assert!(
+                    (x as usize) < n_elements,
+                    "set {si}: element {x} out of range"
+                );
                 covered[x as usize] = true;
             }
         }
@@ -86,12 +89,7 @@ mod tests {
         // X = {0..5}; optimal cover = {S0, S2} (S0 = {0,1,2}, S2 = {3,4,5}).
         SetCover::new(
             6,
-            vec![
-                vec![0, 1, 2],
-                vec![1, 3],
-                vec![3, 4, 5],
-                vec![0, 5],
-            ],
+            vec![vec![0, 1, 2], vec![1, 3], vec![3, 4, 5], vec![0, 5]],
         )
     }
 

@@ -37,8 +37,12 @@ pub enum MedDataset {
 }
 
 /// All four datasets in the paper's plotting order.
-pub const MED_DATASETS: [MedDataset; 4] =
-    [MedDataset::TripleDisk, MedDataset::Triangle, MedDataset::Hull, MedDataset::DuoDisk];
+pub const MED_DATASETS: [MedDataset; 4] = [
+    MedDataset::TripleDisk,
+    MedDataset::Triangle,
+    MedDataset::Hull,
+    MedDataset::DuoDisk,
+];
 
 impl MedDataset {
     /// The dataset's name as used in the paper's figures.

@@ -10,17 +10,25 @@
 
 use lpt::LpType;
 use lpt_gossip::high_load::HighLoadConfig;
-use lpt_gossip::runner::{rounds_to_first_solution_high_load, HighLoadRunConfig};
+use lpt_gossip::{Algorithm, Driver, StopCondition};
 use lpt_problems::Med;
 use lpt_workloads::med::triple_disk;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2048);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2048);
     let runs = 5u64;
     let log2n = (n as f64).log2();
-    println!("accelerated high-load on triple-disk, n = {n} (log2 n = {log2n:.1}), {runs} runs per C");
+    println!(
+        "accelerated high-load on triple-disk, n = {n} (log2 n = {log2n:.1}), {runs} runs per C"
+    );
     println!();
-    println!("{:>6} {:>14} {:>18} {:>22}", "C", "avg rounds", "rounds/log2(n)", "max work/node/round");
+    println!(
+        "{:>6} {:>14} {:>18} {:>22}",
+        "C", "avg rounds", "rounds/log2(n)", "max work/node/round"
+    );
 
     let c_values = [
         1usize,
@@ -34,18 +42,28 @@ fn main() {
         for seed in 0..runs {
             let points = triple_disk(n, seed);
             let target = Med.basis_of(&points).value;
-            let cfg = HighLoadRunConfig {
-                protocol: HighLoadConfig { push_count: c, ..Default::default() },
-                ..Default::default()
-            };
-            let (first, metrics) =
-                rounds_to_first_solution_high_load(&Med, &points, n, cfg, seed, &target);
-            assert!(first.reached, "C = {c}, seed {seed} did not converge");
-            rounds_sum += first.rounds as f64;
-            max_work = max_work.max(metrics.max_node_work());
+            let report = Driver::new(Med)
+                .nodes(n)
+                .seed(seed)
+                .algorithm(Algorithm::HighLoad(HighLoadConfig {
+                    push_count: c,
+                    ..Default::default()
+                }))
+                .stop(StopCondition::FirstSolution(target))
+                .run(&points)
+                .expect("accelerated run");
+            assert!(report.reached(), "C = {c}, seed {seed} did not converge");
+            rounds_sum += report.rounds as f64;
+            max_work = max_work.max(report.metrics.max_node_work());
         }
         let avg = rounds_sum / runs as f64;
-        println!("{:>6} {:>14.1} {:>18.2} {:>22}", c, avg, avg / log2n, max_work);
+        println!(
+            "{:>6} {:>14.1} {:>18.2} {:>22}",
+            c,
+            avg,
+            avg / log2n,
+            max_work
+        );
     }
     println!();
     println!("expected shape (Theorem 4): rounds shrink as C grows, work grows with C.");

@@ -7,8 +7,7 @@
 //! cargo run --release --example hitting_set_cover
 //! ```
 
-use lpt_gossip::hitting_set::HittingSetConfig;
-use lpt_gossip::runner::run_hitting_set;
+use lpt_gossip::{Algorithm, Driver};
 use lpt_problems::{greedy_hitting_set, min_hitting_set_exact};
 use lpt_workloads::sets::{planted_hitting_set, planted_set_cover};
 use std::sync::Arc;
@@ -25,9 +24,19 @@ fn main() {
     let greedy = greedy_hitting_set(&sys);
     println!("greedy baseline      : size {}", greedy.len());
     let exact = min_hitting_set_exact(&sys, d).expect("planted bound");
-    println!("exact optimum        : size {} (planted: {:?})", exact.len(), planted);
+    println!(
+        "exact optimum        : size {} (planted: {:?})",
+        exact.len(),
+        planted
+    );
 
-    let report = run_hitting_set(sys.clone(), n, &HittingSetConfig::new(d), 5000, seed);
+    let report = Driver::new(sys.clone())
+        .nodes(n)
+        .seed(seed)
+        .algorithm(Algorithm::hitting_set(d))
+        .max_rounds(5000)
+        .run_ground()
+        .expect("hitting-set run");
     assert!(report.all_halted, "network did not terminate");
     let best = report.best_output().expect("solution");
     assert!(sys.is_hitting_set(best));
@@ -35,9 +44,9 @@ fn main() {
         "distributed (gossip) : size {} ≤ bound r = O(d·log(ds)) = {} in {} rounds \
          (first found at round {:?})",
         best.len(),
-        report.size_bound,
+        report.size_bound.expect("size bound"),
         report.rounds,
-        report.first_found_round
+        report.first_found_round()
     );
 
     // --- Set cover via the dual ------------------------------------------
@@ -49,14 +58,20 @@ fn main() {
         sc.num_sets()
     );
     let dual = Arc::new(sc.dual_hitting_set());
-    let report = run_hitting_set(dual.clone(), sc.n_elements(), &HittingSetConfig::new(4), 5000, seed);
+    let report = Driver::new(dual.clone())
+        .nodes(sc.n_elements())
+        .seed(seed)
+        .algorithm(Algorithm::hitting_set(4))
+        .max_rounds(5000)
+        .run_ground()
+        .expect("set-cover run");
     assert!(report.all_halted);
     let cover = report.best_output().expect("cover");
     assert!(sc.is_cover(cover), "dual hitting set must be a set cover");
     println!(
         "distributed cover    : {} sets (bound {}) in {} rounds: {:?}",
         cover.len(),
-        report.size_bound,
+        report.size_bound.expect("size bound"),
         report.rounds,
         cover
     );

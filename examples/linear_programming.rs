@@ -9,12 +9,15 @@
 //! ```
 
 use lpt::LpType;
-use lpt_gossip::runner::{run_low_load, LowLoadRunConfig};
+use lpt_gossip::Driver;
 use lpt_problems::FixedDimLp;
 use lpt_workloads::lp::production_lp;
 
 fn main() {
-    let m: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(512);
+    let m: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(512);
     let n = 256; // network size
     let seed = 11;
 
@@ -35,7 +38,11 @@ fn main() {
     );
 
     // Distributed run.
-    let report = run_low_load(&problem, &constraints, n, LowLoadRunConfig::default(), seed);
+    let report = Driver::new(problem.clone())
+        .nodes(n)
+        .seed(seed)
+        .run(&constraints)
+        .expect("driver run");
     assert!(report.all_halted, "network did not terminate");
     let basis = report.consensus_output().expect("all nodes agree");
     println!(
@@ -48,6 +55,9 @@ fn main() {
     );
     let err = (basis.value.objective - direct.value.objective).abs()
         / direct.value.objective.abs().max(1.0);
-    assert!(err < 1e-6, "distributed and sequential optima must agree (err {err:.2e})");
+    assert!(
+        err < 1e-6,
+        "distributed and sequential optima must agree (err {err:.2e})"
+    );
     println!("agreement           : OK (rel. err {err:.2e})");
 }

@@ -7,15 +7,15 @@
 //! ```
 
 use lpt::LpType;
-use lpt_gossip::runner::{
-    rounds_to_first_solution_high_load, rounds_to_first_solution_low_load, HighLoadRunConfig,
-    LowLoadRunConfig,
-};
+use lpt_gossip::{Algorithm, Driver, StopCondition};
 use lpt_problems::Med;
 use lpt_workloads::med::MED_DATASETS;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1024);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1024);
     let runs = 5;
     println!("minimum enclosing disk, n = {n} points on {n} nodes, {runs} runs per cell");
     println!();
@@ -30,24 +30,25 @@ fn main() {
         for seed in 0..runs {
             let points = ds.generate(n, seed);
             let target = Med.basis_of(&points).value;
-            let (low, _) = rounds_to_first_solution_low_load(
-                &Med,
-                &points,
-                n,
-                LowLoadRunConfig::default(),
-                seed,
-                &target,
+            let driver = Driver::new(Med)
+                .nodes(n)
+                .seed(seed)
+                .stop(StopCondition::FirstSolution(target));
+            let low = driver.clone().run(&points).expect("low-load run");
+            assert!(
+                low.reached(),
+                "{} seed {seed}: low-load did not converge",
+                ds.name()
             );
-            assert!(low.reached, "{} seed {seed}: low-load did not converge", ds.name());
-            let (high, _) = rounds_to_first_solution_high_load(
-                &Med,
-                &points,
-                n,
-                HighLoadRunConfig::default(),
-                seed,
-                &target,
+            let high = driver
+                .algorithm(Algorithm::high_load())
+                .run(&points)
+                .expect("high-load run");
+            assert!(
+                high.reached(),
+                "{} seed {seed}: high-load did not converge",
+                ds.name()
             );
-            assert!(high.reached, "{} seed {seed}: high-load did not converge", ds.name());
             low_sum += low.rounds as f64;
             high_sum += high.rounds as f64;
         }

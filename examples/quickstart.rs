@@ -6,7 +6,7 @@
 //! ```
 
 use lpt::LpType;
-use lpt_gossip::runner::{run_low_load, LowLoadRunConfig};
+use lpt_gossip::Driver;
 use lpt_problems::Med;
 use lpt_workloads::med::duo_disk;
 use rand_chacha::rand_core::SeedableRng;
@@ -29,9 +29,15 @@ fn main() {
     );
 
     // Distributed gossip run ----------------------------------------------
-    let report = run_low_load(&Med, &points, n, LowLoadRunConfig::default(), seed);
+    let report = Driver::new(Med)
+        .nodes(n)
+        .seed(seed)
+        .run(&points)
+        .expect("driver run");
     assert!(report.all_halted, "network did not terminate");
-    let basis = report.consensus_output().expect("all nodes agree on the optimum");
+    let basis = report
+        .consensus_output()
+        .expect("all nodes agree on the optimum");
     println!(
         "low-load gossip     : r = {:.6} in {} rounds (first candidate at round {:?})",
         basis.value.r2.sqrt(),

@@ -1,18 +1,20 @@
 //! Reproducibility: a simulation is a pure function of (problem,
-//! elements, n, config, seed) — across repeated runs and across
-//! sequential vs Rayon-parallel node stepping.
+//! elements, n, algorithm, stop, seed) — across repeated runs and
+//! across sequential vs Rayon-parallel node stepping.
 
 use gossip_sim::{Network, NetworkConfig};
+use lpt_gossip::driver::scatter;
 use lpt_gossip::low_load::{LowLoadClarkson, LowLoadConfig};
-use lpt_gossip::runner::{run_low_load, scatter, LowLoadRunConfig};
+use lpt_gossip::Driver;
 use lpt_problems::Med;
 use lpt_workloads::med::triple_disk;
 
 #[test]
 fn repeated_runs_are_identical() {
     let points = triple_disk(128, 70);
-    let a = run_low_load(&Med, &points, 128, LowLoadRunConfig::default(), 70);
-    let b = run_low_load(&Med, &points, 128, LowLoadRunConfig::default(), 70);
+    let driver = Driver::new(Med).nodes(128).seed(70);
+    let a = driver.run(&points).expect("run");
+    let b = driver.run(&points).expect("run");
     assert_eq!(a.rounds, b.rounds);
     assert_eq!(a.outputs.len(), b.outputs.len());
     for (x, y) in a.outputs.iter().zip(&b.outputs) {
@@ -31,11 +33,16 @@ fn parallel_and_sequential_stepping_agree() {
     let run = |parallel: bool| {
         let proto = LowLoadClarkson::new(Med, n, &LowLoadConfig::default());
         let states: Vec<_> = scatter(&points, n, 71)
+            .expect("n > 0")
             .into_iter()
             .map(|h0| proto.initial_state(h0))
             .collect();
         let cfg = if parallel {
-            NetworkConfig { seed: 71, parallel: true, parallel_threshold: 1 }
+            NetworkConfig {
+                seed: 71,
+                parallel: true,
+                parallel_threshold: 1,
+            }
         } else {
             NetworkConfig::with_seed(71).sequential()
         };
@@ -48,15 +55,40 @@ fn parallel_and_sequential_stepping_agree() {
     };
     let (loads_par, metrics_par) = run(true);
     let (loads_seq, metrics_seq) = run(false);
-    assert_eq!(loads_par, loads_seq, "per-node element counts must match bit-for-bit");
+    assert_eq!(
+        loads_par, loads_seq,
+        "per-node element counts must match bit-for-bit"
+    );
     assert_eq!(metrics_par, metrics_seq, "round metrics must match");
+}
+
+#[test]
+fn driver_parallel_flag_changes_nothing() {
+    let points = triple_disk(256, 74);
+    let base = Driver::new(Med).nodes(256).seed(74);
+    let a = base.clone().parallel(true).run(&points).expect("run");
+    let b = base.parallel(false).run(&points).expect("run");
+    assert_eq!(a.rounds, b.rounds);
+    assert_eq!(a.metrics.total_ops(), b.metrics.total_ops());
+    assert_eq!(
+        a.consensus_output().map(|x| x.value.r2),
+        b.consensus_output().map(|x| x.value.r2)
+    );
 }
 
 #[test]
 fn different_seeds_differ() {
     let points = triple_disk(128, 72);
-    let a = run_low_load(&Med, &points, 128, LowLoadRunConfig::default(), 72);
-    let b = run_low_load(&Med, &points, 128, LowLoadRunConfig::default(), 73);
+    let a = Driver::new(Med)
+        .nodes(128)
+        .seed(72)
+        .run(&points)
+        .expect("run");
+    let b = Driver::new(Med)
+        .nodes(128)
+        .seed(73)
+        .run(&points)
+        .expect("run");
     // Same answer (it's the optimum)...
     assert_eq!(
         a.consensus_output().map(|x| x.value.r2),

@@ -1,8 +1,8 @@
 //! End-to-end: the distributed hitting-set algorithm (Theorem 5) and
-//! set cover through the dual reduction.
+//! set cover through the dual reduction, driven by the unified
+//! `Driver` API.
 
-use lpt_gossip::hitting_set::HittingSetConfig;
-use lpt_gossip::runner::run_hitting_set;
+use lpt_gossip::{Algorithm, Driver};
 use lpt_problems::{greedy_hitting_set, min_hitting_set_exact};
 use lpt_workloads::sets::{interval_hitting_set, planted_hitting_set, planted_set_cover};
 use std::sync::Arc;
@@ -11,12 +11,19 @@ use std::sync::Arc;
 fn planted_instance_all_outputs_valid_and_bounded() {
     let (sys, _) = planted_hitting_set(128, 32, 3, 6, 60);
     let sys = Arc::new(sys);
-    let report = run_hitting_set(sys.clone(), 128, &HittingSetConfig::new(3), 5_000, 60);
+    let report = Driver::new(sys.clone())
+        .nodes(128)
+        .seed(60)
+        .algorithm(Algorithm::hitting_set(3))
+        .max_rounds(5_000)
+        .run_ground()
+        .expect("run");
     assert!(report.all_halted);
+    let bound = report.size_bound.expect("bound");
     for out in &report.outputs {
         let hs = out.as_ref().expect("output");
         assert!(sys.is_hitting_set(hs));
-        assert!(hs.len() <= report.size_bound);
+        assert!(hs.len() <= bound);
     }
 }
 
@@ -26,20 +33,32 @@ fn size_close_to_greedy_and_exact_on_small_instance() {
     let sys = Arc::new(sys);
     let exact = min_hitting_set_exact(&sys, planted.len()).expect("small optimum");
     let greedy = greedy_hitting_set(&sys);
-    let report = run_hitting_set(sys.clone(), 64, &HittingSetConfig::new(2), 5_000, 61);
+    let report = Driver::new(sys.clone())
+        .nodes(64)
+        .seed(61)
+        .algorithm(Algorithm::hitting_set(2))
+        .max_rounds(5_000)
+        .run_ground()
+        .expect("run");
     assert!(report.all_halted);
     let best = report.best_output().unwrap();
     // Theorem 5 promises O(d log(ds)), not optimality; sanity-check the
     // relation chain exact ≤ greedy, exact ≤ distributed ≤ bound.
     assert!(exact.len() <= greedy.len());
     assert!(exact.len() <= best.len());
-    assert!(best.len() <= report.size_bound);
+    assert!(best.len() <= report.size_bound.expect("bound"));
 }
 
 #[test]
 fn interval_system_geometric_instance() {
     let sys = Arc::new(interval_hitting_set(256, 48, 8, 32, 62));
-    let report = run_hitting_set(sys.clone(), 256, &HittingSetConfig::new(4), 5_000, 62);
+    let report = Driver::new(sys.clone())
+        .nodes(256)
+        .seed(62)
+        .algorithm(Algorithm::hitting_set(4))
+        .max_rounds(5_000)
+        .run_ground()
+        .expect("run");
     assert!(report.all_halted);
     let best = report.best_output().unwrap();
     assert!(sys.is_hitting_set(best));
@@ -49,20 +68,52 @@ fn interval_system_geometric_instance() {
 fn set_cover_dual_end_to_end() {
     let sc = planted_set_cover(200, 30, 4, 63);
     let dual = Arc::new(sc.dual_hitting_set());
-    let report = run_hitting_set(dual.clone(), 200, &HittingSetConfig::new(4), 5_000, 63);
+    let report = Driver::new(dual)
+        .nodes(200)
+        .seed(63)
+        .algorithm(Algorithm::hitting_set(4))
+        .max_rounds(5_000)
+        .run_ground()
+        .expect("run");
     assert!(report.all_halted);
     for out in &report.outputs {
         let cover = out.as_ref().expect("output");
-        assert!(sc.is_cover(cover), "every node's output must be a valid cover");
+        assert!(
+            sc.is_cover(cover),
+            "every node's output must be a valid cover"
+        );
     }
+}
+
+#[test]
+fn doubling_search_without_knowing_d() {
+    let (sys, planted) = planted_hitting_set(96, 24, 3, 5, 65);
+    let sys = Arc::new(sys);
+    let report = Driver::new(sys.clone())
+        .nodes(96)
+        .seed(65)
+        .algorithm(Algorithm::hitting_set(1))
+        .with_doubling_search(12.0)
+        .run_ground()
+        .expect("run");
+    assert!(report.all_halted);
+    assert!(sys.is_hitting_set(report.best_output().expect("solution")));
+    let doubling = report.doubling.expect("trace");
+    assert!(doubling.d_used <= 2 * planted.len().max(1));
+    assert!(doubling.total_rounds >= report.rounds);
 }
 
 #[test]
 fn deterministic_under_seed() {
     let (sys, _) = planted_hitting_set(96, 24, 2, 5, 64);
     let sys = Arc::new(sys);
-    let a = run_hitting_set(sys.clone(), 96, &HittingSetConfig::new(2), 5_000, 64);
-    let b = run_hitting_set(sys, 96, &HittingSetConfig::new(2), 5_000, 64);
+    let driver = Driver::new(sys)
+        .nodes(96)
+        .seed(64)
+        .algorithm(Algorithm::hitting_set(2))
+        .max_rounds(5_000);
+    let a = driver.run_ground().expect("run");
+    let b = driver.run_ground().expect("run");
     assert_eq!(a.rounds, b.rounds);
     assert_eq!(a.outputs, b.outputs);
 }

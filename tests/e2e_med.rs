@@ -1,16 +1,20 @@
 //! End-to-end: both gossip algorithms solve minimum enclosing disk on
 //! all four Figure-1 dataset families, agree with the sequential
-//! oracles, and reach full-network consensus.
+//! oracles, and reach full-network consensus — all through the unified
+//! `Driver` API.
 
 use lpt::LpType;
-use lpt_gossip::runner::{run_high_load, run_low_load, HighLoadRunConfig, LowLoadRunConfig};
+use lpt_gossip::{Algorithm, Driver, StopCondition};
 use lpt_problems::Med;
 use lpt_workloads::med::MED_DATASETS;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 fn assert_close(a: f64, b: f64, what: &str) {
-    assert!((a - b).abs() <= 1e-6 * b.abs().max(1.0), "{what}: {a} vs {b}");
+    assert!(
+        (a - b).abs() <= 1e-6 * b.abs().max(1.0),
+        "{what}: {a} vs {b}"
+    );
 }
 
 #[test]
@@ -19,7 +23,11 @@ fn low_load_matches_oracle_on_all_datasets() {
         for (n, seed) in [(64usize, 1u64), (256, 2)] {
             let points = ds.generate(n, seed);
             let oracle = Med.basis_of(&points);
-            let report = run_low_load(&Med, &points, n, LowLoadRunConfig::default(), seed);
+            let report = Driver::new(Med)
+                .nodes(n)
+                .seed(seed)
+                .run(&points)
+                .expect("run");
             assert!(report.all_halted, "{} n={n}", ds.name());
             let basis = report
                 .consensus_output()
@@ -35,7 +43,12 @@ fn high_load_matches_oracle_on_all_datasets() {
         for (n, seed) in [(64usize, 3u64), (256, 4)] {
             let points = ds.generate(n, seed);
             let oracle = Med.basis_of(&points);
-            let report = run_high_load(&Med, &points, n, HighLoadRunConfig::default(), seed);
+            let report = Driver::new(Med)
+                .nodes(n)
+                .seed(seed)
+                .algorithm(Algorithm::high_load())
+                .run(&points)
+                .expect("run");
             assert!(report.all_halted, "{} n={n}", ds.name());
             let basis = report
                 .consensus_output()
@@ -54,11 +67,23 @@ fn gossip_agrees_with_sequential_clarkson_and_hypercube() {
     let seq = lpt::clarkson(&Med, &points, &mut rng).unwrap();
     assert_close(seq.basis.value.r2, oracle.value.r2, "sequential clarkson");
 
-    let mut rng = ChaCha8Rng::seed_from_u64(10);
-    let hyper = lpt_gossip::hypercube_clarkson(&Med, &points, 200, &mut rng).unwrap();
-    assert_close(hyper.basis.value.r2, oracle.value.r2, "hypercube baseline");
+    let hyper = Driver::new(Med)
+        .nodes(200)
+        .seed(10)
+        .algorithm(Algorithm::Hypercube)
+        .run(&points)
+        .expect("hypercube run");
+    assert_close(
+        hyper.consensus_output().unwrap().value.r2,
+        oracle.value.r2,
+        "hypercube baseline",
+    );
 
-    let gossip = run_low_load(&Med, &points, 200, LowLoadRunConfig::default(), 9);
+    let gossip = Driver::new(Med)
+        .nodes(200)
+        .seed(9)
+        .run(&points)
+        .expect("gossip run");
     assert_close(
         gossip.consensus_output().unwrap().value.r2,
         oracle.value.r2,
@@ -73,12 +98,29 @@ fn more_points_than_nodes_and_vice_versa() {
     for (points_n, seed) in [(4 * n, 20u64), (n / 4, 21)] {
         let points = lpt_workloads::med::triple_disk(points_n, seed);
         let oracle = Med.basis_of(&points);
-        let low = run_low_load(&Med, &points, n, LowLoadRunConfig::default(), seed);
+        let low = Driver::new(Med)
+            .nodes(n)
+            .seed(seed)
+            .run(&points)
+            .expect("low run");
         assert!(low.all_halted, "|H|={points_n}");
-        assert_close(low.consensus_output().unwrap().value.r2, oracle.value.r2, "low");
-        let high = run_high_load(&Med, &points, n, HighLoadRunConfig::default(), seed);
+        assert_close(
+            low.consensus_output().unwrap().value.r2,
+            oracle.value.r2,
+            "low",
+        );
+        let high = Driver::new(Med)
+            .nodes(n)
+            .seed(seed)
+            .algorithm(Algorithm::high_load())
+            .run(&points)
+            .expect("high run");
         assert!(high.all_halted, "|H|={points_n}");
-        assert_close(high.consensus_output().unwrap().value.r2, oracle.value.r2, "high");
+        assert_close(
+            high.consensus_output().unwrap().value.r2,
+            oracle.value.r2,
+            "high",
+        );
     }
 }
 
@@ -87,7 +129,11 @@ fn tiny_networks() {
     for n in [1usize, 2, 3, 5] {
         let points = lpt_workloads::med::duo_disk(n.max(2), 30 + n as u64);
         let oracle = Med.basis_of(&points);
-        let report = run_low_load(&Med, &points, n, LowLoadRunConfig::default(), 30 + n as u64);
+        let report = Driver::new(Med)
+            .nodes(n)
+            .seed(30 + n as u64)
+            .run(&points)
+            .expect("run");
         assert!(report.all_halted, "n = {n}");
         assert_close(
             report.consensus_output().unwrap().value.r2,
@@ -105,16 +151,14 @@ fn rounds_scale_logarithmically_not_linearly() {
         let n = 1usize << i;
         let points = lpt_workloads::med::triple_disk(n, 40);
         let target = Med.basis_of(&points).value;
-        let (first, _) = lpt_gossip::runner::rounds_to_first_solution_low_load(
-            &Med,
-            &points,
-            n,
-            LowLoadRunConfig::default(),
-            40,
-            &target,
-        );
-        assert!(first.reached);
-        rounds.push(first.rounds as f64);
+        let report = Driver::new(Med)
+            .nodes(n)
+            .seed(40)
+            .stop(StopCondition::FirstSolution(target))
+            .run(&points)
+            .expect("run");
+        assert!(report.reached());
+        rounds.push(report.rounds as f64);
     }
     // n grew 16x from first to last; logarithmic growth means the round
     // count should much less than quadruple.

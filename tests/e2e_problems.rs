@@ -1,10 +1,10 @@
 //! End-to-end: the distributed algorithms are generic over `LpType` —
 //! run them on every other problem class the paper names (fixed-dim LP,
-//! minimum enclosing ball in d dimensions, polytope distance) and check
-//! against the sequential oracles.
+//! minimum enclosing ball in d dimensions, polytope distance) through
+//! the unified `Driver` API and check against the sequential oracles.
 
 use lpt::LpType;
-use lpt_gossip::runner::{run_high_load, run_low_load, HighLoadRunConfig, LowLoadRunConfig};
+use lpt_gossip::{Algorithm, Driver};
 use lpt_problems::{FixedDimLp, IdPointD, Meb, PolytopeDistance, Side, SidedPoint};
 use lpt_workloads::lp::{production_lp, random_feasible_lp};
 use rand::Rng;
@@ -16,7 +16,11 @@ fn fixed_dim_lp_low_load() {
     let (objective, constraints) = production_lp(300, 50);
     let problem = FixedDimLp::with_default_bound(objective);
     let oracle = problem.basis_of(&constraints);
-    let report = run_low_load(&problem, &constraints, 128, LowLoadRunConfig::default(), 50);
+    let report = Driver::new(problem.clone())
+        .nodes(128)
+        .seed(50)
+        .run(&constraints)
+        .expect("run");
     assert!(report.all_halted);
     let basis = report.consensus_output().expect("consensus");
     assert!(
@@ -30,7 +34,12 @@ fn fixed_dim_lp_high_load() {
     let constraints = random_feasible_lp(600, 2, 51);
     let problem = FixedDimLp::with_default_bound(vec![-1.0, -1.0]);
     let oracle = problem.basis_of(&constraints);
-    let report = run_high_load(&problem, &constraints, 64, HighLoadRunConfig::default(), 51);
+    let report = Driver::new(problem.clone())
+        .nodes(64)
+        .seed(51)
+        .algorithm(Algorithm::high_load())
+        .run(&constraints)
+        .expect("run");
     assert!(report.all_halted);
     let basis = report.consensus_output().expect("consensus");
     assert!(
@@ -42,7 +51,12 @@ fn fixed_dim_lp_high_load() {
 fn random_ball_points(n: usize, dim: usize, seed: u64) -> Vec<IdPointD> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     (0..n)
-        .map(|i| IdPointD::new(i as u32, (0..dim).map(|_| rng.gen_range(-5.0..5.0)).collect()))
+        .map(|i| {
+            IdPointD::new(
+                i as u32,
+                (0..dim).map(|_| rng.gen_range(-5.0..5.0)).collect(),
+            )
+        })
         .collect()
 }
 
@@ -51,7 +65,11 @@ fn meb_3d_low_load() {
     let problem = Meb::new(3);
     let points = random_ball_points(200, 3, 52);
     let oracle = problem.basis_of(&points);
-    let report = run_low_load(&problem, &points, 100, LowLoadRunConfig::default(), 52);
+    let report = Driver::new(problem)
+        .nodes(100)
+        .seed(52)
+        .run(&points)
+        .expect("run");
     assert!(report.all_halted);
     let basis = report.consensus_output().expect("consensus");
     assert!((basis.value.r2 - oracle.value.r2).abs() <= 1e-6 * oracle.value.r2.max(1.0));
@@ -62,7 +80,12 @@ fn meb_4d_high_load() {
     let problem = Meb::new(4);
     let points = random_ball_points(300, 4, 53);
     let oracle = problem.basis_of(&points);
-    let report = run_high_load(&problem, &points, 64, HighLoadRunConfig::default(), 53);
+    let report = Driver::new(problem)
+        .nodes(64)
+        .seed(53)
+        .algorithm(Algorithm::high_load())
+        .run(&points)
+        .expect("run");
     assert!(report.all_halted);
     let basis = report.consensus_output().expect("consensus");
     assert!((basis.value.r2 - oracle.value.r2).abs() <= 1e-6 * oracle.value.r2.max(1.0));
@@ -92,7 +115,11 @@ fn separated_polytopes(n_per_side: usize, seed: u64) -> Vec<SidedPoint> {
 fn polytope_distance_low_load() {
     let points = separated_polytopes(100, 54);
     let oracle = PolytopeDistance.basis_of(&points);
-    let report = run_low_load(&PolytopeDistance, &points, 100, LowLoadRunConfig::default(), 54);
+    let report = Driver::new(PolytopeDistance)
+        .nodes(100)
+        .seed(54)
+        .run(&points)
+        .expect("run");
     assert!(report.all_halted);
     let basis = report.consensus_output().expect("consensus");
     assert!(
@@ -107,7 +134,12 @@ fn polytope_distance_low_load() {
 fn polytope_distance_high_load() {
     let points = separated_polytopes(150, 55);
     let oracle = PolytopeDistance.basis_of(&points);
-    let report = run_high_load(&PolytopeDistance, &points, 64, HighLoadRunConfig::default(), 55);
+    let report = Driver::new(PolytopeDistance)
+        .nodes(64)
+        .seed(55)
+        .algorithm(Algorithm::high_load())
+        .run(&points)
+        .expect("run");
     assert!(report.all_halted);
     let basis = report.consensus_output().expect("consensus");
     assert!((basis.value.dist - oracle.value.dist).abs() <= 1e-6 * oracle.value.dist.max(1.0));

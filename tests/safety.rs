@@ -5,7 +5,7 @@
 //! every premature candidate.
 
 use lpt::LpType;
-use lpt_gossip::runner::{run_high_load, run_low_load, HighLoadRunConfig, LowLoadRunConfig};
+use lpt_gossip::{Algorithm, Driver};
 use lpt_problems::Med;
 use lpt_workloads::med::MED_DATASETS;
 
@@ -16,7 +16,11 @@ fn low_load_never_outputs_suboptimal_values() {
             let n = 96;
             let points = ds.generate(n, seed);
             let oracle = Med.basis_of(&points);
-            let report = run_low_load(&Med, &points, n, LowLoadRunConfig::default(), seed);
+            let report = Driver::new(Med)
+                .nodes(n)
+                .seed(seed)
+                .run(&points)
+                .expect("run");
             assert!(report.all_halted, "{} seed {seed}", ds.name());
             for (i, out) in report.outputs.iter().enumerate() {
                 let b = out.as_ref().expect("halted node must have output");
@@ -39,7 +43,12 @@ fn high_load_never_outputs_suboptimal_values() {
             let n = 96;
             let points = ds.generate(n, seed);
             let oracle = Med.basis_of(&points);
-            let report = run_high_load(&Med, &points, n, HighLoadRunConfig::default(), seed);
+            let report = Driver::new(Med)
+                .nodes(n)
+                .seed(seed)
+                .algorithm(Algorithm::high_load())
+                .run(&points)
+                .expect("run");
             assert!(report.all_halted, "{} seed {seed}", ds.name());
             for (i, out) in report.outputs.iter().enumerate() {
                 let b = out.as_ref().expect("halted node must have output");
@@ -65,11 +74,15 @@ fn moderate_maturity_still_safe() {
     for seed in 0..6u64 {
         let points = lpt_workloads::med::hull(n, seed);
         let oracle = Med.basis_of(&points);
-        let cfg = LowLoadRunConfig {
-            protocol: LowLoadConfig { maturity_factor: 2.0, ..Default::default() },
-            ..Default::default()
-        };
-        let report = run_low_load(&Med, &points, n, cfg, seed);
+        let report = Driver::new(Med)
+            .nodes(n)
+            .seed(seed)
+            .algorithm(Algorithm::LowLoad(LowLoadConfig {
+                maturity_factor: 2.0,
+                ..Default::default()
+            }))
+            .run(&points)
+            .expect("run");
         for out in report.outputs.iter().flatten() {
             assert!(
                 Med.values_close(&out.value, &oracle.value),

@@ -1,0 +1,212 @@
+//! Vendored offline stand-in for the [`criterion`] crate.
+//!
+//! Provides the API subset the workspace's micro-benchmarks use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BenchmarkId`], and
+//! the [`criterion_group!`] / [`criterion_main!`] macros — backed by a
+//! simple wall-clock timer instead of criterion's statistical engine.
+//! Each benchmark runs a short warm-up, then a fixed number of timed
+//! samples, and prints the median per-iteration time.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How per-iteration setup cost is batched (accepted for API
+/// compatibility; the stand-in always runs setup once per iteration,
+/// excluded from timing).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many iterations per batch upstream.
+    SmallInput,
+    /// Large inputs: few iterations per batch upstream.
+    LargeInput,
+    /// One iteration per batch.
+    PerIteration,
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Times closures.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last `iter`/`iter_batched` call.
+    last_median: Option<Duration>,
+}
+
+impl Bencher {
+    fn record(&mut self, mut one: impl FnMut() -> Duration) {
+        // Warm-up.
+        let _ = one();
+        let mut times: Vec<Duration> = (0..self.samples).map(|_| one()).collect();
+        times.sort_unstable();
+        self.last_median = Some(times[times.len() / 2]);
+    }
+
+    /// Times `routine` on its own.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        self.record(|| {
+            let t = Instant::now();
+            let out = routine();
+            let dt = t.elapsed();
+            drop(out);
+            dt
+        });
+    }
+
+    /// Times `routine` on a fresh `setup()` value, excluding setup time.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        self.record(|| {
+            let input = setup();
+            let t = Instant::now();
+            let out = routine(input);
+            let dt = t.elapsed();
+            drop(out);
+            dt
+        });
+    }
+}
+
+fn run_one(label: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        last_median: None,
+    };
+    f(&mut b);
+    match b.last_median {
+        Some(median) => println!("bench {label:<40} median {median:>12.3?} ({samples} samples)"),
+        None => println!("bench {label:<40} (no measurement recorded)"),
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.name);
+        run_one(&label, self.samples, |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (no-op in the stand-in).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { samples: 15 }
+    }
+}
+
+impl Criterion {
+    /// Runs one standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_one(name, self.samples, f);
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: self.samples,
+        }
+    }
+}
+
+/// Declares a group of benchmark functions (`fn(&mut Criterion)`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter_batched(
+                || (0..n).collect::<Vec<_>>(),
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).name, "f/3");
+        assert_eq!(BenchmarkId::from_parameter(8).name, "8");
+    }
+}

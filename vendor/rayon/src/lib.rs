@@ -1,0 +1,86 @@
+//! Vendored offline stand-in for the [`rayon`] crate.
+//!
+//! The build environment has no crates-registry access, so this crate
+//! provides the `par_iter` entry points the workspace uses —
+//! [`prelude::IntoParallelIterator::into_par_iter`] and
+//! [`prelude::ParallelSliceMut::par_iter_mut`] — as thin wrappers over
+//! the corresponding **sequential** std iterators. Chained adapters
+//! (`map`, `zip`, `enumerate`, `collect`) are then the plain
+//! [`Iterator`] ones.
+//!
+//! Semantically this is sound everywhere in the workspace: the gossip
+//! simulator derives every node's RNG stream from `(seed, round, node,
+//! phase)` precisely so that results do not depend on execution order,
+//! and its `parallel` flag is documented as a performance knob only.
+//! When a real `rayon` is available again, deleting this vendor
+//! directory and pointing the manifests back at crates.io restores true
+//! data parallelism with no source changes.
+//!
+//! [`rayon`]: https://crates.io/crates/rayon
+
+#![forbid(unsafe_code)]
+
+/// The rayon prelude: traits that add `par_*` methods.
+pub mod prelude {
+    /// Conversion into a (sequentially executed) "parallel" iterator.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// The stand-in for `rayon`'s `into_par_iter`: the sequential
+        /// iterator of `self`.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+
+    /// Mutable "parallel" slice iteration.
+    pub trait ParallelSliceMut<T> {
+        /// The stand-in for `rayon`'s `par_iter_mut`: the sequential
+        /// mutable iterator.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+    }
+
+    /// Shared "parallel" slice iteration.
+    pub trait ParallelSlice<T> {
+        /// The stand-in for `rayon`'s `par_iter`: the sequential iterator.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn entry_points_behave_like_std() {
+        let doubled: Vec<i32> = (0..5).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![0, 2, 4, 6, 8]);
+
+        let mut v = vec![1, 2, 3];
+        let extra = vec![10, 20, 30];
+        let out: Vec<i32> = v
+            .par_iter_mut()
+            .zip(extra.into_par_iter())
+            .enumerate()
+            .map(|(i, (a, b))| {
+                *a += b;
+                *a + i as i32
+            })
+            .collect();
+        assert_eq!(v, vec![11, 22, 33]);
+        assert_eq!(out, vec![11, 23, 35]);
+        assert_eq!(v.par_iter().sum::<i32>(), 66);
+    }
+}
