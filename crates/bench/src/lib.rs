@@ -16,6 +16,7 @@
 //! | `baseline_comparison` | §1.1 hypercube baseline |
 //! | `termination_latency` | Lemma 12 |
 //! | `ablation_filtering`, `ablation_sample_size` | design-choice ablations |
+//! | `fault_sweep` | robustness beyond the paper: loss/churn/delay sweeps |
 //! | `micro` | Criterion micro-benchmarks |
 //!
 //! Environment knobs: `LPT_MAX_I` (largest `i` for the `n = 2^i` sweeps;

@@ -44,6 +44,7 @@ use crate::high_load::{HighLoadClarkson, HighLoadConfig, HighLoadState};
 use crate::hitting_set::{HittingSetConfig, HittingSetGossip, HittingSetState};
 use crate::hypercube::hypercube_clarkson;
 use crate::low_load::{LowLoadClarkson, LowLoadConfig, LowLoadState};
+use gossip_sim::fault::{FaultModel, IntoFaultModel, Perfect};
 use gossip_sim::{Metrics, Network, NetworkConfig, Protocol, RunOutcome};
 use lpt::{BasisOf, LpType};
 use lpt_problems::SetSystem;
@@ -96,6 +97,13 @@ pub enum DriverError {
         /// The algorithm that was selected.
         algorithm: &'static str,
     },
+    /// A non-perfect fault model was combined with an algorithm that is
+    /// computed analytically rather than simulated (the hypercube
+    /// baseline), so there is no network to inject faults into.
+    UnsupportedFaults {
+        /// The algorithm that was selected.
+        algorithm: &'static str,
+    },
     /// [`Driver::with_doubling_search`] is only meaningful for the
     /// hitting-set algorithm, whose config carries the searched `d`.
     UnsupportedDoubling {
@@ -138,6 +146,13 @@ impl fmt::Display for DriverError {
                 write!(
                     f,
                     "algorithm {algorithm} only supports StopCondition::FullTermination"
+                )
+            }
+            DriverError::UnsupportedFaults { algorithm } => {
+                write!(
+                    f,
+                    "algorithm {algorithm} is computed analytically and cannot \
+                     simulate a non-perfect fault model"
                 )
             }
             DriverError::UnsupportedDoubling { algorithm } => {
@@ -351,6 +366,44 @@ pub struct DoublingReport {
     pub total_rounds: u64,
 }
 
+/// What the fault model cost a run (all zeros under the default
+/// [`Perfect`] network); the per-round breakdown is in
+/// [`RunReport::metrics`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultSummary {
+    /// Name of the fault model the run was simulated under.
+    pub model: &'static str,
+    /// Messages lost to the fault model (dropped responses, dropped
+    /// pushes, and deliveries to offline nodes).
+    pub messages_dropped: u64,
+    /// Pushes the fault model delivered late.
+    pub messages_delayed: u64,
+    /// Node-rounds lost to downtime (one per node per round offline).
+    pub offline_node_rounds: u64,
+}
+
+impl Default for FaultSummary {
+    fn default() -> Self {
+        FaultSummary {
+            model: "perfect",
+            messages_dropped: 0,
+            messages_delayed: 0,
+            offline_node_rounds: 0,
+        }
+    }
+}
+
+impl FaultSummary {
+    fn from_metrics(model: &dyn FaultModel, metrics: &Metrics) -> Self {
+        FaultSummary {
+            model: model.name(),
+            messages_dropped: metrics.total_dropped(),
+            messages_delayed: metrics.total_delayed(),
+            offline_node_rounds: metrics.offline_node_rounds(),
+        }
+    }
+}
+
 /// Report of a [`Driver`] run, polymorphic over the per-node output
 /// type: [`BasisOf<P>`] for LP-type problems, `Vec<u32>` for hitting
 /// set.
@@ -376,6 +429,9 @@ pub struct RunReport<O> {
     /// Doubling-search trace, when [`Driver::with_doubling_search`] was
     /// used.
     pub doubling: Option<DoublingReport>,
+    /// What the fault model cost the run (zeros under [`Perfect`]; for
+    /// a doubling search, the successful attempt's costs).
+    pub faults: FaultSummary,
     /// Communication metrics, one entry per simulated round (empty for
     /// the analytic hypercube baseline).
     pub metrics: Metrics,
@@ -444,8 +500,13 @@ pub struct RunSpec<'a, T> {
     pub max_rounds: u64,
     /// Step nodes in parallel when the simulator supports it.
     pub parallel: bool,
+    /// Minimum network size for parallel stepping (`None` = simulator
+    /// default).
+    pub parallel_threshold: Option<usize>,
     /// Doubling-search budget factor, if enabled.
     pub doubling: Option<f64>,
+    /// The fault model the network is simulated under.
+    pub fault: &'a Arc<dyn FaultModel>,
 }
 
 /// A problem family the unified [`Driver`] can run.
@@ -513,7 +574,9 @@ pub struct Driver<P: DriverProblem<M>, M = LpMode> {
     stop: StopCondition<P::Target>,
     max_rounds: u64,
     parallel: bool,
+    parallel_threshold: Option<usize>,
     doubling: Option<f64>,
+    fault: Arc<dyn FaultModel>,
     _mode: PhantomData<fn() -> M>,
 }
 
@@ -527,7 +590,9 @@ impl<M, P: DriverProblem<M> + Clone> Clone for Driver<P, M> {
             stop: self.stop.clone(),
             max_rounds: self.max_rounds,
             parallel: self.parallel,
+            parallel_threshold: self.parallel_threshold,
             doubling: self.doubling,
+            fault: self.fault.clone(),
             _mode: PhantomData,
         }
     }
@@ -542,7 +607,9 @@ impl<M, P: DriverProblem<M>> fmt::Debug for Driver<P, M> {
             .field("algorithm", &self.algorithm)
             .field("max_rounds", &self.max_rounds)
             .field("parallel", &self.parallel)
+            .field("parallel_threshold", &self.parallel_threshold)
             .field("doubling", &self.doubling)
+            .field("fault", &self.fault)
             .finish_non_exhaustive()
     }
 }
@@ -551,8 +618,8 @@ impl<M, P: DriverProblem<M>> Driver<P, M> {
     /// Creates a driver for `problem` with the defaults: 1 node, seed 0,
     /// the problem family's default algorithm (LP-type: Low-Load;
     /// set system: hitting set under the doubling search), full
-    /// termination, a 20 000-round safety valve, and parallel stepping
-    /// enabled.
+    /// termination, a 20 000-round safety valve, parallel stepping
+    /// enabled, and the perfect (fault-free) network.
     pub fn new(problem: P) -> Self {
         Driver {
             problem,
@@ -562,7 +629,9 @@ impl<M, P: DriverProblem<M>> Driver<P, M> {
             stop: StopCondition::FullTermination,
             max_rounds: 20_000,
             parallel: true,
+            parallel_threshold: None,
             doubling: None,
+            fault: Arc::new(Perfect),
             _mode: PhantomData,
         }
     }
@@ -602,6 +671,27 @@ impl<M, P: DriverProblem<M>> Driver<P, M> {
     /// results are identical either way).
     pub fn parallel(mut self, parallel: bool) -> Self {
         self.parallel = parallel;
+        self
+    }
+
+    /// Sets the minimum network size at which nodes are stepped with
+    /// Rayon (default: the simulator's 4096). Results are identical at
+    /// any threshold; tune it when profiling shows the fork/join
+    /// overhead dominating small networks.
+    pub fn parallel_threshold(mut self, threshold: usize) -> Self {
+        self.parallel_threshold = Some(threshold);
+        self
+    }
+
+    /// Simulates the run under a fault model (message loss, churn,
+    /// delivery delay — see [`gossip_sim::fault`] for the built-ins;
+    /// default: the perfect network). The run stays a deterministic
+    /// function of (problem, elements, nodes, algorithm, stop, seed,
+    /// fault model), and [`RunReport::faults`] reports what the model
+    /// cost. Not supported by the analytic [`Algorithm::Hypercube`]
+    /// baseline ([`DriverError::UnsupportedFaults`]).
+    pub fn fault_model(mut self, fault: impl IntoFaultModel) -> Self {
+        self.fault = fault.into_fault_model();
         self
     }
 
@@ -649,7 +739,9 @@ impl<M, P: DriverProblem<M>> Driver<P, M> {
             stop: &self.stop,
             max_rounds: self.max_rounds,
             parallel: self.parallel,
+            parallel_threshold: self.parallel_threshold,
             doubling,
+            fault: &self.fault,
         };
         self.problem.execute(&spec, elements)
     }
@@ -673,9 +765,13 @@ impl<M, P: DriverProblem<M>> Driver<P, M> {
 // Shared run-loop machinery
 // ---------------------------------------------------------------------------
 
-fn net_config(seed: u64, parallel: bool) -> NetworkConfig {
-    let mut cfg = NetworkConfig::with_seed(seed);
-    cfg.parallel = parallel;
+fn net_config<T>(spec: &RunSpec<'_, T>) -> NetworkConfig {
+    let mut cfg = NetworkConfig::with_seed(spec.seed);
+    cfg.parallel = spec.parallel;
+    if let Some(threshold) = spec.parallel_threshold {
+        cfg.parallel_threshold = threshold;
+    }
+    cfg.fault = spec.fault.clone();
     cfg
 }
 
@@ -820,7 +916,7 @@ fn run_low_load_driver<P: LpType + Clone + Sync>(
         .into_iter()
         .map(|h0| proto.initial_state(h0))
         .collect();
-    let mut net = Network::new(proto, states, net_config(spec.seed, spec.parallel));
+    let mut net = Network::new(proto, states, net_config(spec));
     let (outcome, cause) = drive(
         &mut net,
         spec.stop,
@@ -849,6 +945,7 @@ fn run_low_load_driver<P: LpType + Clone + Sync>(
         first_candidate_round: net.states().iter().filter_map(|s| s.candidate_round).min(),
         size_bound: None,
         doubling: None,
+        faults: FaultSummary::from_metrics(spec.fault.as_ref(), net.metrics()),
         metrics: net.metrics().clone(),
     })
 }
@@ -864,7 +961,7 @@ fn run_high_load_driver<P: LpType + Clone + Sync>(
         .into_iter()
         .map(|h| proto.initial_state(h))
         .collect();
-    let mut net = Network::new(proto, states, net_config(spec.seed, spec.parallel));
+    let mut net = Network::new(proto, states, net_config(spec));
     let (outcome, cause) = drive(
         &mut net,
         spec.stop,
@@ -893,6 +990,7 @@ fn run_high_load_driver<P: LpType + Clone + Sync>(
         first_candidate_round: None,
         size_bound: None,
         doubling: None,
+        faults: FaultSummary::from_metrics(spec.fault.as_ref(), net.metrics()),
         metrics: net.metrics().clone(),
     })
 }
@@ -904,6 +1002,11 @@ fn run_hypercube_driver<P: LpType + Clone + Sync>(
 ) -> Result<RunReport<BasisOf<P>>, DriverError> {
     if !matches!(spec.stop, StopCondition::FullTermination) {
         return Err(DriverError::UnsupportedStop {
+            algorithm: "hypercube",
+        });
+    }
+    if !spec.fault.is_perfect() {
+        return Err(DriverError::UnsupportedFaults {
             algorithm: "hypercube",
         });
     }
@@ -920,6 +1023,7 @@ fn run_hypercube_driver<P: LpType + Clone + Sync>(
         first_candidate_round: None,
         size_bound: None,
         doubling: None,
+        faults: FaultSummary::default(),
         metrics: Metrics::default(),
     })
 }
@@ -989,7 +1093,7 @@ fn run_hitting_set_driver(
         .into_iter()
         .map(|x0| proto.initial_state(x0))
         .collect();
-    let mut net = Network::new(proto, states, net_config(spec.seed, spec.parallel));
+    let mut net = Network::new(proto, states, net_config(spec));
     let (outcome, cause) = drive(
         &mut net,
         spec.stop,
@@ -1011,6 +1115,7 @@ fn run_hitting_set_driver(
         first_candidate_round: net.states().iter().filter_map(|s| s.found_round).min(),
         size_bound: Some(size_bound),
         doubling: None,
+        faults: FaultSummary::from_metrics(spec.fault.as_ref(), net.metrics()),
         metrics: net.metrics().clone(),
     })
 }
@@ -1472,6 +1577,172 @@ mod tests {
     }
 
     #[test]
+    fn explicit_perfect_fault_model_matches_the_default() {
+        // The pre-fault-subsystem trajectories themselves are pinned in
+        // tests/faults.rs (the canonical copy); here we only check that
+        // installing Perfect explicitly changes nothing vs the default.
+        let points = duo_disk(128, 1);
+        let implicit = Driver::new(Med)
+            .nodes(128)
+            .seed(1)
+            .run(&points)
+            .expect("run");
+        let explicit = Driver::new(Med)
+            .nodes(128)
+            .seed(1)
+            .fault_model(gossip_sim::fault::Perfect)
+            .run(&points)
+            .expect("run");
+        assert_eq!(implicit.rounds, explicit.rounds);
+        assert_eq!(implicit.metrics.total_ops(), explicit.metrics.total_ops());
+        assert_eq!(implicit.faults, FaultSummary::default());
+        assert_eq!(explicit.faults.model, "perfect");
+    }
+
+    #[test]
+    fn driver_runs_under_each_builtin_fault_model() {
+        use gossip_sim::fault::{Bernoulli, Churn, Compose, Delay};
+        let points = duo_disk(256, 5);
+        let base = || Driver::new(Med).nodes(256).seed(5);
+        let perfect = base().run(&points).expect("run");
+        assert!(perfect.all_halted);
+
+        let lossy = base()
+            .fault_model(Bernoulli::new(0.2))
+            .run(&points)
+            .expect("run");
+        assert!(lossy.all_halted, "termination survives 20% loss");
+        assert!(lossy.consensus_output().is_some());
+        assert!(lossy.faults.messages_dropped > 0);
+        assert_eq!(lossy.faults.model, "bernoulli-loss");
+
+        let churny = base()
+            .fault_model(Churn::crash_recovery(0.3, 0.2))
+            .run(&points)
+            .expect("run");
+        assert!(churny.all_halted, "termination survives recovery churn");
+        assert!(churny.consensus_output().is_some());
+        assert!(churny.faults.offline_node_rounds > 0);
+        assert!(
+            churny.rounds >= perfect.rounds,
+            "churn must not speed up termination"
+        );
+
+        let delayed = base()
+            .fault_model(Delay::uniform(2))
+            .run(&points)
+            .expect("run");
+        assert!(delayed.all_halted, "termination survives delivery delay");
+        assert!(delayed.consensus_output().is_some());
+        assert!(delayed.faults.messages_delayed > 0);
+
+        let mixed = base()
+            .fault_model(
+                Compose::default()
+                    .and(Bernoulli::new(0.1))
+                    .and(Churn::crash_recovery(0.2, 0.15))
+                    .and(Delay::uniform(1)),
+            )
+            .run(&points)
+            .expect("run");
+        assert!(mixed.all_halted, "termination survives combined faults");
+        assert!(mixed.consensus_output().is_some());
+        assert!(mixed.faults.messages_dropped > 0);
+        assert!(mixed.faults.messages_delayed > 0);
+        assert!(mixed.faults.offline_node_rounds > 0);
+        // All faulty runs still agree on the true optimum.
+        for report in [&lossy, &churny, &delayed, &mixed] {
+            let basis = report.consensus_output().expect("consensus");
+            assert!((basis.value.r2.sqrt() - 10.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn loss_degrades_rounds_gracefully() {
+        use gossip_sim::fault::Bernoulli;
+        let points = duo_disk(256, 5);
+        let target = lpt::LpType::basis_of(&Med, &points).value;
+        let rounds: Vec<u64> = [0.0, 0.4]
+            .iter()
+            .map(|&loss| {
+                let report = Driver::new(Med)
+                    .nodes(256)
+                    .seed(5)
+                    .fault_model(Bernoulli::new(loss))
+                    .stop(StopCondition::FirstSolution(target))
+                    .run(&points)
+                    .expect("run");
+                assert!(report.reached(), "loss {loss} still converges");
+                report.rounds
+            })
+            .collect();
+        assert!(
+            rounds[1] > rounds[0],
+            "heavy loss costs extra rounds: {rounds:?}"
+        );
+    }
+
+    // The lossy hitting-set doubling run is covered end-to-end in
+    // tests/faults.rs (hitting_set_doubling_survives_loss); no unit copy.
+
+    #[test]
+    fn hypercube_rejects_fault_models() {
+        use gossip_sim::fault::Bernoulli;
+        let points = duo_disk(64, 6);
+        let err = Driver::new(Med)
+            .nodes(64)
+            .algorithm(Algorithm::Hypercube)
+            .fault_model(Bernoulli::new(0.1))
+            .run(&points)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DriverError::UnsupportedFaults {
+                algorithm: "hypercube"
+            }
+        );
+        // The perfect model — spelled explicitly or as a zero-rate
+        // built-in — is still accepted.
+        for ok in [
+            Driver::new(Med)
+                .nodes(64)
+                .seed(6)
+                .algorithm(Algorithm::Hypercube)
+                .fault_model(gossip_sim::fault::Perfect)
+                .run(&points),
+            Driver::new(Med)
+                .nodes(64)
+                .seed(6)
+                .algorithm(Algorithm::Hypercube)
+                .fault_model(Bernoulli::new(0.0))
+                .run(&points),
+        ] {
+            assert!(ok.is_ok());
+        }
+    }
+
+    #[test]
+    fn parallel_threshold_builder_changes_nothing() {
+        let points = triple_disk(256, 8);
+        let base = Driver::new(Med).nodes(256).seed(8);
+        let a = base
+            .clone()
+            .parallel_threshold(1)
+            .run(&points)
+            .expect("run");
+        let b = base
+            .clone()
+            .parallel_threshold(10_000)
+            .run(&points)
+            .expect("run");
+        let c = base.run(&points).expect("run");
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(b.rounds, c.rounds);
+        assert_eq!(a.metrics.total_ops(), b.metrics.total_ops());
+        assert_eq!(b.metrics.total_ops(), c.metrics.total_ops());
+    }
+
+    #[test]
     fn best_output_prefers_smaller_then_lexicographic() {
         let report: RunReport<Vec<u32>> = RunReport {
             outputs: vec![
@@ -1487,6 +1758,7 @@ mod tests {
             first_candidate_round: None,
             size_bound: None,
             doubling: None,
+            faults: FaultSummary::default(),
             metrics: Metrics::default(),
             consensus: None,
         };

@@ -27,9 +27,29 @@
 //! * [`driver`] — the **unified entry point**: a builder-style
 //!   [`Driver`] that scatters an instance over a simulated network,
 //!   runs any of the five algorithms under a configurable
-//!   [`StopCondition`], and returns one polymorphic [`RunReport`];
+//!   [`StopCondition`] and [`FaultModel`]
+//!   (message loss, churn, delivery delay), and returns one polymorphic
+//!   [`RunReport`];
 //! * [`runner`] — the legacy free-function drivers, deprecated shims
 //!   over [`driver`] kept for one release.
+//!
+//! ## Migrating off the deprecated `runner` shims
+//!
+//! The `runner` free functions (`run_low_load`, `run_high_load`,
+//! `run_hitting_set`, `run_hitting_set_unknown_d`, …) and their
+//! config/report types are `#[deprecated]` shims over [`Driver`] and
+//! will be removed in the release after next. Each one maps to a short
+//! builder chain:
+//!
+//! | legacy call | replacement |
+//! |---|---|
+//! | `run_low_load(problem, elems, n, seed, cfg)` | `Driver::new(problem).nodes(n).seed(seed).algorithm(Algorithm::LowLoad(cfg.protocol)).max_rounds(cfg.max_rounds).run(&elems)` |
+//! | `run_high_load(...)` | same, with [`Algorithm::HighLoad`] |
+//! | `run_hitting_set(sys, n, seed, cfg)` | `Driver::new(sys).nodes(n).seed(seed).algorithm(Algorithm::HittingSet(cfg.protocol)).run_ground()` |
+//! | `run_hitting_set_unknown_d(...)` | add [`Driver::with_doubling_search`] |
+//!
+//! The legacy report fields all survive on [`RunReport`] under the same
+//! names (plus new ones: [`RunReport::faults`], stop causes, consensus).
 //!
 //! ## Quick start
 //!
@@ -66,7 +86,7 @@
 //! baseline, doubling search, custom stop predicates).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod driver;
 pub mod high_load;
@@ -78,8 +98,11 @@ pub mod sampling;
 pub mod termination;
 
 pub use driver::{
-    Algorithm, DoublingReport, Driver, DriverError, DriverProblem, LpMode, Progress, RunReport,
-    RunSpec, SetMode, StopCause, StopCondition,
+    Algorithm, DoublingReport, Driver, DriverError, DriverProblem, FaultSummary, LpMode, Progress,
+    RunReport, RunSpec, SetMode, StopCause, StopCondition,
+};
+pub use gossip_sim::fault::{
+    Bernoulli, Churn, Compose, Delay, FaultModel, IntoFaultModel, Perfect,
 };
 pub use high_load::{HighLoadClarkson, HighLoadConfig, HighLoadState};
 pub use hitting_set::{HittingSetConfig, HittingSetGossip, HittingSetState};

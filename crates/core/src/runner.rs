@@ -3,7 +3,7 @@
 //!
 //! Every free function here delegates to a `Driver` run and repacks the
 //! result into the legacy report type; new code should use
-//! [`Driver`](crate::driver::Driver) directly (see the crate-level quick
+//! [`Driver`] directly (see the crate-level migration table and quick
 //! start). The shims will be removed in the release after next.
 
 #![allow(deprecated)]

@@ -1,0 +1,667 @@
+//! Pluggable fault models: message loss, churn, and delivery delay.
+//!
+//! The paper analyzes its algorithms on a *perfect* synchronous
+//! uniform-gossip network — every message sent in round `i` arrives at
+//! the beginning of round `i + 1`, and every node is up in every round.
+//! A [`FaultModel`] relaxes exactly those two assumptions while keeping
+//! everything else (and in particular determinism) intact:
+//!
+//! * [`FaultModel::offline`] — is a node crashed / churned out this
+//!   round? Offline nodes issue no pulls or pushes, do not serve
+//!   (pulls that target them *fail*, which the protocols already
+//!   handle), and lose any message delivered to them while down.
+//! * [`FaultModel::drops_response`] / [`FaultModel::drops_push`] — is a
+//!   message lost in transit? A dropped response turns the pull into a
+//!   failed pull; a dropped push simply never arrives.
+//! * [`FaultModel::push_delay`] — how many *extra* rounds does a pushed
+//!   message spend in transit? Delayed messages sit in the network's
+//!   pending queue and are delivered (to their already-chosen
+//!   destination) that many rounds late.
+//!
+//! ## Determinism
+//!
+//! Hooks receive the master seed and the (round, node, message-index)
+//! coordinates of the decision and must answer as a *pure function* of
+//! those values — never from shared mutable state. The [`fault_rng`]
+//! helper derives a dedicated ChaCha8 stream per decision from a
+//! fault-reserved seed space ([`FAULT_SEED_MIX`]), so fault decisions
+//! are independent of the simulator's own per-phase streams, identical
+//! under sequential and Rayon-parallel stepping, and stable under
+//! replay. The whole simulation stays a deterministic function of
+//! (seed, protocol, fault model).
+//!
+//! ## Built-in models
+//!
+//! | model | faults injected |
+//! |---|---|
+//! | [`Perfect`] | none (the paper's network; the default) |
+//! | [`Bernoulli`] | i.i.d. message loss with a fixed probability |
+//! | [`Churn`] | crash / crash-recovery node downtime |
+//! | [`Delay`] | bounded uniformly random extra delivery latency |
+//! | [`Compose`] | the union of any set of the above |
+
+use crate::rng::derive_rng;
+use crate::NodeId;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt;
+use std::sync::Arc;
+
+/// Mixed into the master seed before deriving fault streams, so fault
+/// decisions never collide with the simulator's per-phase streams or a
+/// protocol's custom streams derived from the same seed (ASCII
+/// `"faults"`).
+pub const FAULT_SEED_MIX: u64 = 0x0000_6661_756C_7473;
+
+/// Stream tags for [`fault_rng`]; implementations of foreign fault
+/// models may use values ≥ 100 for their own decisions.
+pub mod fault_tag {
+    /// Per-(round, node) availability decision.
+    pub const OFFLINE: u64 = 0;
+    /// Per-node "is this node subject to churn at all" decision.
+    pub const CHURN_ELIGIBLE: u64 = 1;
+    /// Per-node permanent crash-round decision.
+    pub const CRASH_ROUND: u64 = 2;
+    /// Per-message pull-response loss decision.
+    pub const RESPONSE_DROP: u64 = 3;
+    /// Per-message push loss decision.
+    pub const PUSH_DROP: u64 = 4;
+    /// Per-message push delay decision.
+    pub const PUSH_DELAY: u64 = 5;
+}
+
+/// Derives the dedicated ChaCha8 stream for one fault decision.
+///
+/// `tag` is one of [`fault_tag`]'s values (must stay below 256); `k`
+/// distinguishes multiple decisions of the same kind at the same
+/// (round, node) — typically a message index. Each call is `O(1)` and
+/// independent of every other call, which is what makes fault
+/// injection safe under parallel stepping.
+pub fn fault_rng(seed: u64, round: u64, node: NodeId, tag: u64, k: u64) -> ChaCha8Rng {
+    debug_assert!(tag < 256, "fault_rng tags must stay below 256");
+    derive_rng(
+        seed ^ FAULT_SEED_MIX,
+        round,
+        u64::from(node),
+        tag | (k << 8),
+    )
+}
+
+/// A pluggable fault model: deterministic, seed-derived per-round
+/// hooks deciding node availability, message loss, and delivery delay.
+///
+/// Every hook must be a pure function of its arguments (use
+/// [`fault_rng`] for randomness); see the [module docs](self) for the
+/// determinism contract and how the simulator consults each hook.
+///
+/// All hooks default to the fault-free answer, so a model only
+/// overrides the failure kinds it injects.
+pub trait FaultModel: Send + Sync + fmt::Debug {
+    /// Short display name, recorded in run reports.
+    fn name(&self) -> &'static str;
+
+    /// Whether this model never injects any fault *for its current
+    /// parameters*. The simulator uses this to take the fault-free fast
+    /// path, and the analytic hypercube baseline only accepts models
+    /// that answer `true`. A model must return `false` (the default)
+    /// whenever any hook could inject a fault; the built-ins answer
+    /// from their rates, so e.g. `Bernoulli::new(0.0)` counts as
+    /// perfect.
+    fn is_perfect(&self) -> bool {
+        false
+    }
+
+    /// Whether `node` is offline (crashed or churned out) during
+    /// `round`. Must answer identically for repeated calls with the
+    /// same arguments — the simulator may consult it from several
+    /// phases of the same round.
+    fn offline(&self, _seed: u64, _round: u64, _node: NodeId) -> bool {
+        false
+    }
+
+    /// Whether the response to `puller`'s `k`-th pull request of
+    /// `round` is lost in transit (the pull then *fails*).
+    fn drops_response(&self, _seed: u64, _round: u64, _puller: NodeId, _k: u64) -> bool {
+        false
+    }
+
+    /// Whether the `k`-th push emitted by `sender` in `round` is lost
+    /// in transit.
+    fn drops_push(&self, _seed: u64, _round: u64, _sender: NodeId, _k: u64) -> bool {
+        false
+    }
+
+    /// Extra delivery latency, in whole rounds, for the `k`-th push
+    /// emitted by `sender` in `round` (0 = deliver on time). Must never
+    /// exceed [`FaultModel::max_delay`].
+    fn push_delay(&self, _seed: u64, _round: u64, _sender: NodeId, _k: u64) -> u64 {
+        0
+    }
+
+    /// Upper bound on [`FaultModel::push_delay`] (sizes the network's
+    /// pending-message queue).
+    fn max_delay(&self) -> u64 {
+        0
+    }
+}
+
+/// Conversion into a shared fault-model handle, accepted by the
+/// installation points ([`crate::NetworkConfig::fault`] and the
+/// driver-level builders). Implemented for every concrete
+/// [`FaultModel`] (wrapped in a fresh [`Arc`]) and for
+/// `Arc<dyn FaultModel>` itself (shared as-is, no re-wrapping — per-
+/// message hook calls stay a single dynamic dispatch).
+pub trait IntoFaultModel {
+    /// Converts `self` into a shared fault model.
+    fn into_fault_model(self) -> Arc<dyn FaultModel>;
+}
+
+impl<T: FaultModel + 'static> IntoFaultModel for T {
+    fn into_fault_model(self) -> Arc<dyn FaultModel> {
+        Arc::new(self)
+    }
+}
+
+impl IntoFaultModel for Arc<dyn FaultModel> {
+    fn into_fault_model(self) -> Arc<dyn FaultModel> {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Perfect
+// ---------------------------------------------------------------------------
+
+/// The paper's fault-free network: nothing is ever lost, delayed, or
+/// down. The default model; simulations under `Perfect` are
+/// bit-identical to simulations without any fault machinery.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Perfect;
+
+impl FaultModel for Perfect {
+    fn name(&self) -> &'static str {
+        "perfect"
+    }
+    fn is_perfect(&self) -> bool {
+        true
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bernoulli message loss
+// ---------------------------------------------------------------------------
+
+/// Independent Bernoulli message loss: every message (pull response or
+/// push) is dropped in transit with probability `loss`, independently
+/// of everything else.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Bernoulli {
+    /// Per-message loss probability in `[0, 1]`.
+    pub loss: f64,
+}
+
+impl Bernoulli {
+    /// A model losing each message with probability `loss`.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ loss ≤ 1`.
+    pub fn new(loss: f64) -> Self {
+        assert!((0.0..=1.0).contains(&loss), "loss must be in [0, 1]");
+        Bernoulli { loss }
+    }
+}
+
+impl FaultModel for Bernoulli {
+    fn name(&self) -> &'static str {
+        "bernoulli-loss"
+    }
+    fn is_perfect(&self) -> bool {
+        self.loss <= 0.0
+    }
+    fn drops_response(&self, seed: u64, round: u64, puller: NodeId, k: u64) -> bool {
+        self.loss > 0.0
+            && fault_rng(seed, round, puller, fault_tag::RESPONSE_DROP, k).gen::<f64>() < self.loss
+    }
+    fn drops_push(&self, seed: u64, round: u64, sender: NodeId, k: u64) -> bool {
+        self.loss > 0.0
+            && fault_rng(seed, round, sender, fault_tag::PUSH_DROP, k).gen::<f64>() < self.loss
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Churn
+// ---------------------------------------------------------------------------
+
+/// Node churn: a seed-derived `fraction` of the nodes is *churn-prone*
+/// and experiences downtime; the rest are always up.
+///
+/// Two regimes:
+///
+/// * **crash-recovery** ([`Churn::crash_recovery`]) — a churn-prone
+///   node is independently offline in each round with probability
+///   `downtime` (its state survives; it simply misses the round);
+/// * **fail-stop** ([`Churn::fail_stop`]) — a churn-prone node crashes
+///   *permanently* at a geometrically distributed round (crash
+///   probability `downtime` per round) and never comes back.
+///
+/// Under fail-stop churn crashed nodes never halt, so
+/// full-termination runs will exhaust their round budget; use a
+/// first-solution or custom stop condition instead.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Churn {
+    /// Fraction of nodes subject to churn, in `[0, 1]`.
+    pub fraction: f64,
+    /// Per-round offline (crash-recovery) or crash (fail-stop)
+    /// probability of a churn-prone node, in `[0, 1]`.
+    pub downtime: f64,
+    /// Whether a crash is permanent (fail-stop) or per-round
+    /// (crash-recovery).
+    pub permanent: bool,
+}
+
+impl Churn {
+    /// Crash-recovery churn: each churn-prone node misses each round
+    /// independently with probability `downtime`.
+    ///
+    /// # Panics
+    /// Panics unless both probabilities are in `[0, 1]`.
+    pub fn crash_recovery(fraction: f64, downtime: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "fraction in [0, 1]");
+        assert!((0.0..=1.0).contains(&downtime), "downtime in [0, 1]");
+        Churn {
+            fraction,
+            downtime,
+            permanent: false,
+        }
+    }
+
+    /// Fail-stop churn: each churn-prone node crashes permanently with
+    /// probability `crash_per_round` in every round it is still up.
+    ///
+    /// # Panics
+    /// Panics unless both probabilities are in `[0, 1]`.
+    pub fn fail_stop(fraction: f64, crash_per_round: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "fraction in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&crash_per_round),
+            "crash_per_round in [0, 1]"
+        );
+        Churn {
+            fraction,
+            downtime: crash_per_round,
+            permanent: true,
+        }
+    }
+
+    fn churn_prone(&self, seed: u64, node: NodeId) -> bool {
+        self.fraction >= 1.0
+            || fault_rng(seed, 0, node, fault_tag::CHURN_ELIGIBLE, 0).gen::<f64>() < self.fraction
+    }
+
+    /// The round at which a fail-stop node crashes: geometric with
+    /// success probability `downtime`, sampled from a round-independent
+    /// per-node stream (so the answer is `O(1)` for any queried round).
+    fn crash_round(&self, seed: u64, node: NodeId) -> u64 {
+        if self.downtime >= 1.0 {
+            return 0;
+        }
+        let u: f64 = fault_rng(seed, 0, node, fault_tag::CRASH_ROUND, 0).gen();
+        // Inverse-CDF sampling of Geometric(p) on {0, 1, 2, ...}.
+        (((1.0 - u).ln() / (1.0 - self.downtime).ln()).floor()).max(0.0) as u64
+    }
+}
+
+impl FaultModel for Churn {
+    fn name(&self) -> &'static str {
+        if self.permanent {
+            "fail-stop-churn"
+        } else {
+            "crash-recovery-churn"
+        }
+    }
+    fn is_perfect(&self) -> bool {
+        self.fraction <= 0.0 || self.downtime <= 0.0
+    }
+    fn offline(&self, seed: u64, round: u64, node: NodeId) -> bool {
+        if self.fraction <= 0.0 || self.downtime <= 0.0 || !self.churn_prone(seed, node) {
+            return false;
+        }
+        if self.permanent {
+            round >= self.crash_round(seed, node)
+        } else {
+            fault_rng(seed, round, node, fault_tag::OFFLINE, 0).gen::<f64>() < self.downtime
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Delay
+// ---------------------------------------------------------------------------
+
+/// Bounded random delivery latency: every push spends an extra
+/// `min..=max` rounds in transit, chosen uniformly and independently
+/// per message. Pull responses are never delayed — a response that
+/// misses its round would break the paper's synchronous pull semantics,
+/// so lossy links for pulls are modeled as drops ([`Bernoulli`])
+/// instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Delay {
+    /// Minimum extra latency in rounds.
+    pub min: u64,
+    /// Maximum extra latency in rounds.
+    pub max: u64,
+}
+
+impl Delay {
+    /// Uniform extra latency in `0..=max` rounds.
+    pub fn uniform(max: u64) -> Self {
+        Delay { min: 0, max }
+    }
+
+    /// Every push is delivered exactly `rounds` rounds late.
+    pub fn fixed(rounds: u64) -> Self {
+        Delay {
+            min: rounds,
+            max: rounds,
+        }
+    }
+
+    /// Uniform extra latency in `min..=max` rounds.
+    ///
+    /// # Panics
+    /// Panics when `min > max`.
+    pub fn between(min: u64, max: u64) -> Self {
+        assert!(min <= max, "min must not exceed max");
+        Delay { min, max }
+    }
+}
+
+impl FaultModel for Delay {
+    fn name(&self) -> &'static str {
+        "delay"
+    }
+    fn is_perfect(&self) -> bool {
+        self.max == 0
+    }
+    fn push_delay(&self, seed: u64, round: u64, sender: NodeId, k: u64) -> u64 {
+        if self.max == 0 {
+            return 0;
+        }
+        if self.min == self.max {
+            return self.min;
+        }
+        fault_rng(seed, round, sender, fault_tag::PUSH_DELAY, k).gen_range(self.min..=self.max)
+    }
+    fn max_delay(&self) -> u64 {
+        self.max
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compose
+// ---------------------------------------------------------------------------
+
+/// The union of several fault models: a node is offline if *any*
+/// constituent says so, a message is dropped if *any* constituent drops
+/// it, and push delays *add up* (each constituent models an independent
+/// source of latency).
+///
+/// Constituents draw from *decorrelated* streams — each one sees the
+/// master seed salted with its position — so composing two identical
+/// models yields two independent fault sources (e.g. two 50% losses
+/// union to 75%), not one source applied twice.
+#[derive(Clone, Debug, Default)]
+pub struct Compose {
+    /// The constituent models, consulted in order.
+    pub models: Vec<Arc<dyn FaultModel>>,
+}
+
+impl Compose {
+    /// Composes the given models.
+    pub fn new(models: Vec<Arc<dyn FaultModel>>) -> Self {
+        Compose { models }
+    }
+
+    /// Adds one more constituent model.
+    pub fn and(mut self, model: impl FaultModel + 'static) -> Self {
+        self.models.push(Arc::new(model));
+        self
+    }
+
+    /// The seed a constituent at `idx` sees: salted so same-type
+    /// constituents make independent decisions (idx 0 keeps the master
+    /// seed, so a single-model composition behaves like the model
+    /// alone).
+    fn salted(seed: u64, idx: usize) -> u64 {
+        seed ^ (idx as u64).wrapping_mul(0xA076_1D64_78BD_642F)
+    }
+}
+
+impl FaultModel for Compose {
+    fn name(&self) -> &'static str {
+        "composed"
+    }
+    fn is_perfect(&self) -> bool {
+        self.models.iter().all(|m| m.is_perfect())
+    }
+    fn offline(&self, seed: u64, round: u64, node: NodeId) -> bool {
+        self.models
+            .iter()
+            .enumerate()
+            .any(|(i, m)| m.offline(Self::salted(seed, i), round, node))
+    }
+    fn drops_response(&self, seed: u64, round: u64, puller: NodeId, k: u64) -> bool {
+        self.models
+            .iter()
+            .enumerate()
+            .any(|(i, m)| m.drops_response(Self::salted(seed, i), round, puller, k))
+    }
+    fn drops_push(&self, seed: u64, round: u64, sender: NodeId, k: u64) -> bool {
+        self.models
+            .iter()
+            .enumerate()
+            .any(|(i, m)| m.drops_push(Self::salted(seed, i), round, sender, k))
+    }
+    fn push_delay(&self, seed: u64, round: u64, sender: NodeId, k: u64) -> u64 {
+        self.models
+            .iter()
+            .enumerate()
+            .map(|(i, m)| m.push_delay(Self::salted(seed, i), round, sender, k))
+            .sum()
+    }
+    fn max_delay(&self) -> u64 {
+        self.models.iter().map(|m| m.max_delay()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hooks_are_pure_functions() {
+        let b = Bernoulli::new(0.3);
+        let c = Churn::crash_recovery(0.5, 0.4);
+        let d = Delay::uniform(5);
+        for k in 0..50u64 {
+            assert_eq!(b.drops_push(9, 3, 7, k), b.drops_push(9, 3, 7, k));
+            assert_eq!(c.offline(9, k, 7), c.offline(9, k, 7));
+            assert_eq!(d.push_delay(9, 3, 7, k), d.push_delay(9, 3, 7, k));
+        }
+    }
+
+    #[test]
+    fn zero_rate_builtins_count_as_perfect() {
+        assert!(Bernoulli::new(0.0).is_perfect());
+        assert!(Churn::crash_recovery(0.0, 0.9).is_perfect());
+        assert!(Churn::crash_recovery(0.9, 0.0).is_perfect());
+        assert!(Delay::uniform(0).is_perfect());
+        assert!(!Bernoulli::new(0.01).is_perfect());
+        assert!(!Churn::fail_stop(0.1, 0.1).is_perfect());
+        assert!(!Delay::fixed(1).is_perfect());
+    }
+
+    #[test]
+    fn perfect_injects_nothing() {
+        let p = Perfect;
+        assert!(p.is_perfect());
+        for k in 0..20u64 {
+            assert!(!p.offline(1, k, 0));
+            assert!(!p.drops_response(1, 0, 0, k));
+            assert!(!p.drops_push(1, 0, 0, k));
+            assert_eq!(p.push_delay(1, 0, 0, k), 0);
+        }
+        assert_eq!(p.max_delay(), 0);
+    }
+
+    #[test]
+    fn bernoulli_rate_is_approximately_loss() {
+        let m = Bernoulli::new(0.25);
+        let trials = 20_000u64;
+        let dropped = (0..trials).filter(|&k| m.drops_push(42, 0, 0, k)).count();
+        let rate = dropped as f64 / trials as f64;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+        // Responses draw from an independent stream.
+        let dropped_r = (0..trials)
+            .filter(|&k| m.drops_response(42, 0, 0, k))
+            .count();
+        let rate_r = dropped_r as f64 / trials as f64;
+        assert!((rate_r - 0.25).abs() < 0.02, "rate {rate_r}");
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let none = Bernoulli::new(0.0);
+        let all = Bernoulli::new(1.0);
+        for k in 0..100u64 {
+            assert!(!none.drops_push(3, 1, 2, k));
+            assert!(all.drops_push(3, 1, 2, k));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be in [0, 1]")]
+    fn bernoulli_rejects_bad_probability() {
+        let _ = Bernoulli::new(1.5);
+    }
+
+    #[test]
+    fn crash_recovery_downtime_rate() {
+        let m = Churn::crash_recovery(1.0, 0.3);
+        let down = (0..10_000u64).filter(|&r| m.offline(7, r, 5)).count();
+        let rate = down as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn churn_fraction_limits_who_is_affected() {
+        let m = Churn::crash_recovery(0.5, 1.0);
+        // With downtime 1.0, a node is offline in every round iff it is
+        // churn-prone; about half the nodes should be.
+        let prone = (0..2_000u32).filter(|&v| m.offline(11, 0, v)).count();
+        let frac = prone as f64 / 2_000.0;
+        assert!((frac - 0.5).abs() < 0.05, "fraction {frac}");
+        // Churn-proneness is a per-node (round-independent) property.
+        for v in 0..200u32 {
+            assert_eq!(m.offline(11, 0, v), m.offline(11, 99, v));
+        }
+    }
+
+    #[test]
+    fn fail_stop_is_permanent() {
+        let m = Churn::fail_stop(1.0, 0.05);
+        for node in 0..64u32 {
+            let mut crashed = false;
+            for round in 0..400u64 {
+                let down = m.offline(13, round, node);
+                if crashed {
+                    assert!(down, "node {node} recovered at round {round}");
+                }
+                crashed |= down;
+            }
+            assert!(crashed, "node {node} never crashed (p=0.05, 400 rounds)");
+        }
+    }
+
+    #[test]
+    fn fail_stop_crash_rounds_look_geometric() {
+        let m = Churn::fail_stop(1.0, 0.1);
+        let mean = (0..2_000u32)
+            .map(|v| m.crash_round(17, v) as f64)
+            .sum::<f64>()
+            / 2_000.0;
+        // Geometric(0.1) on {0, 1, ...} has mean 9.
+        assert!((mean - 9.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn delay_respects_bounds() {
+        let m = Delay::between(2, 6);
+        let mut seen = [false; 7];
+        for k in 0..500u64 {
+            let d = m.push_delay(23, 1, 4, k);
+            assert!((2..=6).contains(&d), "delay {d}");
+            seen[d as usize] = true;
+        }
+        assert!(seen[2..=6].iter().all(|&s| s), "all delays occur");
+        assert_eq!(m.max_delay(), 6);
+        assert_eq!(Delay::fixed(3).push_delay(1, 1, 1, 1), 3);
+        assert_eq!(Delay::uniform(0).push_delay(1, 1, 1, 1), 0);
+    }
+
+    #[test]
+    fn compose_unions_faults_and_sums_delays() {
+        let m = Compose::default()
+            .and(Bernoulli::new(1.0))
+            .and(Churn::crash_recovery(1.0, 1.0))
+            .and(Delay::fixed(2))
+            .and(Delay::fixed(3));
+        assert!(m.drops_push(1, 0, 0, 0));
+        assert!(m.offline(1, 0, 0));
+        assert_eq!(m.push_delay(1, 0, 0, 0), 5);
+        assert_eq!(m.max_delay(), 5);
+        assert!(!m.is_perfect());
+        assert!(Compose::default().and(Perfect).is_perfect());
+    }
+
+    #[test]
+    fn compose_constituents_are_independent() {
+        // Two identical 50% losses must union to ~75%, not stay at 50%
+        // (which would mean both constituents share one stream).
+        let m = Compose::default()
+            .and(Bernoulli::new(0.5))
+            .and(Bernoulli::new(0.5));
+        let trials = 20_000u64;
+        let dropped = (0..trials).filter(|&k| m.drops_push(3, 0, 0, k)).count();
+        let rate = dropped as f64 / trials as f64;
+        assert!((rate - 0.75).abs() < 0.02, "rate {rate}");
+        // Two identical uniform delays must produce odd sums too.
+        let m = Compose::default()
+            .and(Delay::uniform(3))
+            .and(Delay::uniform(3));
+        let odd = (0..1_000u64).any(|k| m.push_delay(3, 0, 0, k) % 2 == 1);
+        assert!(odd, "summed delays must not be locked to even values");
+    }
+
+    #[test]
+    fn single_model_composition_matches_the_model_alone() {
+        let alone = Bernoulli::new(0.3);
+        let composed = Compose::default().and(alone);
+        for k in 0..200u64 {
+            assert_eq!(
+                composed.drops_push(7, 1, 2, k),
+                alone.drops_push(7, 1, 2, k)
+            );
+        }
+    }
+
+    #[test]
+    fn into_fault_model_shares_arcs_without_rewrapping() {
+        let arc: Arc<dyn FaultModel> = Arc::new(Bernoulli::new(0.4));
+        let inner_ptr = Arc::as_ptr(&arc);
+        let converted = arc.into_fault_model();
+        assert!(std::ptr::eq(inner_ptr, Arc::as_ptr(&converted)));
+        let wrapped = Bernoulli::new(0.4).into_fault_model();
+        assert_eq!(wrapped.name(), "bernoulli-loss");
+    }
+}

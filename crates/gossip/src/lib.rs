@@ -28,6 +28,19 @@
 //! communication rounds; the paper's round counts (and ours) count
 //! iterations. Work is counted exactly: one unit per push and per pull.
 //!
+//! ## Fault injection
+//!
+//! The paper's network is *perfect*: no loss, no downtime, fixed
+//! one-round latency. The [`fault`] module makes each of those
+//! assumptions a pluggable [`FaultModel`] — Bernoulli message loss,
+//! crash / crash-recovery churn, bounded random delivery delay, or any
+//! composition — installed via [`NetworkConfig::fault`]. Fault
+//! decisions draw from their own seed-derived streams, so a simulation
+//! remains a deterministic function of (seed, protocol, fault model)
+//! and stays bit-identical across sequential and parallel stepping.
+//! Injected faults are accounted per round in [`RoundMetrics`]
+//! (`offline`, `dropped`, `delayed`).
+//!
 //! ## Determinism and parallelism
 //!
 //! Every (round, node, phase) triple gets its own counter-derived
@@ -38,13 +51,15 @@
 //! in sequential and parallel mode (tested).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+pub mod fault;
 pub mod metrics;
 pub mod net;
 pub mod protocol;
 pub mod rng;
 
+pub use fault::{Bernoulli, Churn, Compose, Delay, FaultModel, IntoFaultModel, Perfect};
 pub use metrics::{Metrics, RoundMetrics};
 pub use net::{Network, NetworkConfig, RunOutcome};
 pub use protocol::{NodeControl, Protocol, Response, Served};

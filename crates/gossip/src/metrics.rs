@@ -12,8 +12,12 @@ pub struct RoundMetrics {
     /// Maximum per-node communication work (pulls + pushes issued).
     pub max_node_work: u64,
     /// Pull requests that were served with a message (not failed).
+    /// Counted as *sent*: includes responses the fault model then lost
+    /// in transit (itemized under [`RoundMetrics::dropped`]).
     pub served: u64,
-    /// Total message volume in `O(log n)`-bit words (pushes + responses).
+    /// Total message volume in `O(log n)`-bit words (pushes +
+    /// responses), counted as *sent* — messages lost in transit still
+    /// consumed bandwidth.
     pub msg_words: u64,
     /// Sum of protocol-defined node loads at the end of the round.
     pub total_load: u64,
@@ -21,6 +25,14 @@ pub struct RoundMetrics {
     pub max_load: u64,
     /// Number of nodes that have halted by the end of the round.
     pub halted: u64,
+    /// Nodes offline (crashed / churned out) during the round.
+    pub offline: u64,
+    /// Messages lost to the fault model this round: dropped pull
+    /// responses, dropped pushes, and messages whose destination was
+    /// offline at delivery time.
+    pub dropped: u64,
+    /// Pushes whose delivery the fault model deferred to a later round.
+    pub delayed: u64,
 }
 
 /// Cumulative metrics over a run.
@@ -64,6 +76,22 @@ impl Metrics {
     pub fn total_msg_words(&self) -> u64 {
         self.rounds.iter().map(|r| r.msg_words).sum()
     }
+
+    /// Total messages lost to the fault model across the run.
+    pub fn total_dropped(&self) -> u64 {
+        self.rounds.iter().map(|r| r.dropped).sum()
+    }
+
+    /// Total pushes the fault model deferred across the run.
+    pub fn total_delayed(&self) -> u64 {
+        self.rounds.iter().map(|r| r.delayed).sum()
+    }
+
+    /// Total node-rounds lost to downtime across the run (a node that is
+    /// offline for one round contributes one).
+    pub fn offline_node_rounds(&self) -> u64 {
+        self.rounds.iter().map(|r| r.offline).sum()
+    }
 }
 
 #[cfg(test)]
@@ -84,6 +112,9 @@ mod tests {
             total_load: 100,
             max_load: 3,
             halted: 0,
+            offline: 2,
+            dropped: 3,
+            delayed: 1,
         });
         m.rounds.push(RoundMetrics {
             round: 1,
@@ -95,11 +126,17 @@ mod tests {
             total_load: 90,
             max_load: 9,
             halted: 5,
+            offline: 1,
+            dropped: 4,
+            delayed: 2,
         });
         assert_eq!(m.len(), 2);
         assert_eq!(m.max_node_work(), 6);
         assert_eq!(m.max_load(), 9);
         assert_eq!(m.total_ops(), 25);
         assert_eq!(m.total_msg_words(), 24);
+        assert_eq!(m.total_dropped(), 7);
+        assert_eq!(m.total_delayed(), 3);
+        assert_eq!(m.offline_node_rounds(), 3);
     }
 }

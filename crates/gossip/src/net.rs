@@ -1,37 +1,58 @@
 //! The network simulator itself.
 
+use crate::fault::{FaultModel, IntoFaultModel, Perfect};
 use crate::metrics::{Metrics, RoundMetrics};
 use crate::protocol::{NodeControl, Protocol, Response};
 use crate::rng::{derive_rng, phase};
 use crate::NodeId;
 use rand::Rng;
 use rayon::prelude::*;
+use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Simulator configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct NetworkConfig {
     /// Master seed; the entire simulation is a deterministic function of
-    /// the seed, the protocol, and the initial states.
+    /// the seed, the protocol, the initial states, and the fault model.
     pub seed: u64,
     /// Step nodes with Rayon when `n >= parallel_threshold`.
     pub parallel: bool,
     /// Minimum network size at which parallel stepping pays off.
     pub parallel_threshold: usize,
+    /// The fault model injected into every round (default: [`Perfect`],
+    /// the paper's fault-free network).
+    pub fault: Arc<dyn FaultModel>,
 }
 
 impl NetworkConfig {
-    /// Config with the given seed and default parallel settings.
+    /// Config with the given seed, default parallel settings, and the
+    /// [`Perfect`] (fault-free) network.
     pub fn with_seed(seed: u64) -> Self {
         NetworkConfig {
             seed,
             parallel: true,
             parallel_threshold: 4096,
+            fault: Arc::new(Perfect),
         }
     }
 
     /// Forces sequential stepping (mainly for determinism tests).
     pub fn sequential(mut self) -> Self {
         self.parallel = false;
+        self
+    }
+
+    /// Sets the minimum network size at which nodes are stepped with
+    /// Rayon (when parallel stepping is enabled at all).
+    pub fn parallel_threshold(mut self, threshold: usize) -> Self {
+        self.parallel_threshold = threshold;
+        self
+    }
+
+    /// Installs a fault model (see [`crate::fault`] for the built-ins).
+    pub fn fault(mut self, fault: impl IntoFaultModel) -> Self {
+        self.fault = fault.into_fault_model();
         self
     }
 }
@@ -80,6 +101,11 @@ pub struct Network<P: Protocol> {
     round: u64,
     cfg: NetworkConfig,
     metrics: Metrics,
+    /// Messages in flight beyond the normal one-round latency: slot `k`
+    /// holds `(destination, message)` pairs due for delivery `k + 1`
+    /// rounds from now (filled only by fault models with a positive
+    /// [`FaultModel::max_delay`]).
+    pending: VecDeque<Vec<(usize, P::Msg)>>,
 }
 
 impl<P: Protocol> Network<P> {
@@ -97,6 +123,7 @@ impl<P: Protocol> Network<P> {
             round: 0,
             cfg,
             metrics: Metrics::default(),
+            pending: VecDeque::new(),
         }
     }
 
@@ -135,6 +162,12 @@ impl<P: Protocol> Network<P> {
         self.halted[i]
     }
 
+    /// Messages currently in flight beyond the normal one-round latency
+    /// (non-zero only under a fault model with delays).
+    pub fn in_flight(&self) -> usize {
+        self.pending.iter().map(Vec::len).sum()
+    }
+
     fn use_parallel(&self) -> bool {
         self.cfg.parallel && self.states.len() >= self.cfg.parallel_threshold
     }
@@ -146,13 +179,32 @@ impl<P: Protocol> Network<P> {
         let seed = self.cfg.seed;
         let round = self.round;
         let protocol = &self.protocol;
+        let fault = Arc::clone(&self.cfg.fault);
+        let perfect = fault.is_perfect();
+
+        // ---- Phase 0: fault-model availability scan --------------------
+        // One availability answer per node per round, shared by every
+        // phase (the model must answer consistently anyway; scanning once
+        // keeps the hook call count at n per round).
+        let offline: Vec<bool> = if perfect {
+            vec![false; n]
+        } else {
+            let probe = |i: usize| fault.offline(seed, round, i as NodeId);
+            if self.use_parallel() {
+                (0..n).into_par_iter().map(probe).collect()
+            } else {
+                (0..n).map(probe).collect()
+            }
+        };
+        let offline_count = offline.iter().filter(|&&o| o).count() as u64;
 
         // ---- Phase 1: pull requests -----------------------------------
         let queries: Vec<Vec<P::Query>> = {
             let states = &self.states;
             let halted = &self.halted;
+            let offline = &offline;
             let emit = |i: usize| -> Vec<P::Query> {
-                if halted[i] {
+                if halted[i] || offline[i] {
                     return Vec::new();
                 }
                 let mut rng = derive_rng(seed, round, i as u64, phase::PULL);
@@ -168,27 +220,52 @@ impl<P: Protocol> Network<P> {
         };
 
         // ---- Phase 2: serve pulls against the start-of-round snapshot --
-        let responses: Vec<Vec<Option<Response<P::Msg>>>> = {
+        // A pull that targets an offline node fails (`None`), exactly
+        // like a pull a protocol chose not to serve; a served response
+        // may additionally be lost in transit, which also surfaces to
+        // the puller as a failed pull but still counts as served work
+        // and transmitted words (metrics account messages as *sent*,
+        // with losses itemized under `dropped`).
+        let rows: Vec<(Vec<Option<Response<P::Msg>>>, u64, u64)> = {
             let states = &self.states;
-            let serve_node = |i: usize| -> Vec<Option<Response<P::Msg>>> {
+            let offline = &offline;
+            let fault = &fault;
+            let serve_node = |i: usize| -> (Vec<Option<Response<P::Msg>>>, u64, u64) {
                 let qs = &queries[i];
                 if qs.is_empty() {
-                    return Vec::new();
+                    return (Vec::new(), 0, 0);
                 }
                 let mut target_rng = derive_rng(seed, round, i as u64, phase::PULL_TARGET);
                 let mut serve_rng = derive_rng(seed, round, i as u64, phase::SERVE);
-                qs.iter()
-                    .map(|q| {
+                let mut dropped = 0u64;
+                let mut dropped_words = 0u64;
+                let rs = qs
+                    .iter()
+                    .enumerate()
+                    .map(|(k, q)| {
                         let t = target_rng.gen_range(0..n);
-                        protocol
+                        if offline[t] {
+                            return None;
+                        }
+                        let response = protocol
                             .serve(t as NodeId, &states[t], q, &mut serve_rng)
                             .map(|served| Response {
                                 msg: served.msg,
                                 from: t as NodeId,
                                 slot: served.slot,
-                            })
+                            });
+                        if let Some(r) = &response {
+                            if !perfect && fault.drops_response(seed, round, i as NodeId, k as u64)
+                            {
+                                dropped += 1;
+                                dropped_words += protocol.msg_words(&r.msg) as u64;
+                                return None;
+                            }
+                        }
+                        response
                     })
-                    .collect()
+                    .collect();
+                (rs, dropped, dropped_words)
             };
             if self.use_parallel() {
                 (0..n).into_par_iter().map(serve_node).collect()
@@ -196,6 +273,14 @@ impl<P: Protocol> Network<P> {
                 (0..n).map(serve_node).collect()
             }
         };
+        let mut responses: Vec<Vec<Option<Response<P::Msg>>>> = Vec::with_capacity(n);
+        let mut response_drops: u64 = 0;
+        let mut dropped_response_words: u64 = 0;
+        for (rs, d, dw) in rows {
+            responses.push(rs);
+            response_drops += d;
+            dropped_response_words += dw;
+        }
 
         // ---- Phase 3: compute + emit pushes ----------------------------
         struct ComputeOut<M> {
@@ -203,22 +288,27 @@ impl<P: Protocol> Network<P> {
             halt: bool,
         }
         let pull_counts: Vec<u64> = queries.iter().map(|q| q.len() as u64).collect();
+        // Served work and transmitted words include responses later
+        // lost in transit — the server did the work and sent the bytes.
         let served: u64 = responses
             .iter()
             .map(|rs| rs.iter().filter(|r| r.is_some()).count() as u64)
-            .sum();
+            .sum::<u64>()
+            + response_drops;
         let response_words: u64 = responses
             .iter()
             .flat_map(|rs| rs.iter())
             .filter_map(|r| r.as_ref())
             .map(|r| protocol.msg_words(&r.msg) as u64)
-            .sum();
+            .sum::<u64>()
+            + dropped_response_words;
 
         let compute_outs: Vec<ComputeOut<P::Msg>> = {
             let halted = &self.halted;
+            let offline = &offline;
             let step =
                 |(i, (state, resp)): (usize, (&mut P::State, Vec<Option<Response<P::Msg>>>))| {
-                    if halted[i] {
+                    if halted[i] || offline[i] {
                         return ComputeOut {
                             pushes: Vec::new(),
                             halt: false,
@@ -250,10 +340,23 @@ impl<P: Protocol> Network<P> {
         };
 
         // ---- Phase 4: deliver pushes, absorb ---------------------------
+        let mut dropped: u64 = response_drops;
+        let mut delayed: u64 = 0;
         let mut pushes_total: u64 = 0;
         let mut push_words: u64 = 0;
         let mut max_work: u64 = 0;
         let mut inboxes: Vec<Vec<P::Msg>> = (0..n).map(|_| Vec::new()).collect();
+        // Delayed messages due this round arrive first (they are older);
+        // a destination that is offline at delivery time loses them.
+        if let Some(due) = self.pending.pop_front() {
+            for (dest, msg) in due {
+                if offline[dest] {
+                    dropped += 1;
+                } else {
+                    inboxes[dest].push(msg);
+                }
+            }
+        }
         for (i, out) in compute_outs.iter().enumerate() {
             let work = pull_counts[i] + out.pushes.len() as u64;
             max_work = max_work.max(work);
@@ -262,17 +365,43 @@ impl<P: Protocol> Network<P> {
                 continue;
             }
             let mut dest_rng = derive_rng(seed, round, i as u64, phase::PUSH_DEST);
-            for msg in &out.pushes {
+            for (k, msg) in out.pushes.iter().enumerate() {
                 push_words += protocol.msg_words(msg) as u64;
+                // The destination draw happens unconditionally so the
+                // uniform-gossip stream is identical whatever the fault
+                // model decides about this message.
                 let dest = dest_rng.gen_range(0..n);
-                inboxes[dest].push(msg.clone());
+                if perfect {
+                    inboxes[dest].push(msg.clone());
+                    continue;
+                }
+                if fault.drops_push(seed, round, i as NodeId, k as u64) {
+                    dropped += 1;
+                    continue;
+                }
+                let delay = fault.push_delay(seed, round, i as NodeId, k as u64);
+                if delay == 0 {
+                    if offline[dest] {
+                        dropped += 1;
+                    } else {
+                        inboxes[dest].push(msg.clone());
+                    }
+                } else {
+                    delayed += 1;
+                    let slot = (delay - 1) as usize;
+                    if self.pending.len() <= slot {
+                        self.pending.resize_with(slot + 1, Vec::new);
+                    }
+                    self.pending[slot].push((dest, msg.clone()));
+                }
             }
         }
 
         let absorb_halts: Vec<bool> = {
             let halted = &self.halted;
+            let offline = &offline;
             let step = |(i, (state, inbox)): (usize, (&mut P::State, Vec<P::Msg>))| {
-                if halted[i] {
+                if halted[i] || offline[i] {
                     return false;
                 }
                 let mut rng = derive_rng(seed, round, i as u64, phase::ABSORB);
@@ -322,6 +451,9 @@ impl<P: Protocol> Network<P> {
             total_load,
             max_load,
             halted: self.halted_count(),
+            offline: offline_count,
+            dropped,
+            delayed,
         };
         self.metrics.rounds.push(rm);
         self.round += 1;
@@ -462,11 +594,7 @@ mod tests {
         let n = 6000; // above the default parallel threshold
         let run = |parallel: bool| {
             let cfg = if parallel {
-                NetworkConfig {
-                    seed: 3,
-                    parallel: true,
-                    parallel_threshold: 1,
-                }
+                NetworkConfig::with_seed(3).parallel_threshold(1)
             } else {
                 NetworkConfig::with_seed(3).sequential()
             };
@@ -573,5 +701,157 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn empty_network_panics() {
         let _ = Network::new(PushRumor, vec![], NetworkConfig::with_seed(0));
+    }
+
+    // ---- fault models -------------------------------------------------
+
+    use crate::fault::{Bernoulli, Churn, Compose, Delay, Perfect};
+
+    #[test]
+    fn zero_rate_fault_models_change_nothing() {
+        // Plumbing check: fault models that inject nothing must leave
+        // the simulation bit-identical to the Perfect fast path.
+        let run = |cfg: NetworkConfig| {
+            let mut net = Network::new(PushRumor, rumor_states(512), cfg);
+            for _ in 0..20 {
+                net.round();
+            }
+            (net.states().to_vec(), net.metrics().rounds.clone())
+        };
+        let baseline = run(NetworkConfig::with_seed(21));
+        for cfg in [
+            NetworkConfig::with_seed(21).fault(Perfect),
+            NetworkConfig::with_seed(21).fault(Bernoulli::new(0.0)),
+            NetworkConfig::with_seed(21).fault(Churn::crash_recovery(0.0, 0.9)),
+            NetworkConfig::with_seed(21).fault(Churn::crash_recovery(0.9, 0.0)),
+            NetworkConfig::with_seed(21).fault(Delay::uniform(0)),
+            NetworkConfig::with_seed(21).fault(Compose::default()),
+        ] {
+            assert_eq!(run(cfg), baseline);
+        }
+    }
+
+    #[test]
+    fn loss_slows_the_rumor_but_it_still_spreads() {
+        let n = 2048;
+        let run = |cfg: NetworkConfig| {
+            let mut net = Network::new(PushRumor, rumor_states(n), cfg);
+            let outcome = net.run_until(500, |net| net.states().iter().all(|s| s.informed));
+            (outcome.rounds(), net.metrics().total_dropped())
+        };
+        let (perfect_rounds, perfect_dropped) = run(NetworkConfig::with_seed(22));
+        let (lossy_rounds, lossy_dropped) =
+            run(NetworkConfig::with_seed(22).fault(Bernoulli::new(0.4)));
+        assert_eq!(perfect_dropped, 0);
+        assert!(lossy_dropped > 0, "faults must be counted");
+        assert!(lossy_rounds < 500, "rumor still spreads under 40% loss");
+        assert!(
+            lossy_rounds > perfect_rounds,
+            "loss must not speed things up: {lossy_rounds} vs {perfect_rounds}"
+        );
+    }
+
+    #[test]
+    fn total_loss_stops_all_delivery() {
+        let mut net = Network::new(
+            PushRumor,
+            rumor_states(256),
+            NetworkConfig::with_seed(23).fault(Bernoulli::new(1.0)),
+        );
+        for _ in 0..30 {
+            net.round();
+        }
+        let informed = net.states().iter().filter(|s| s.informed).count();
+        assert_eq!(informed, 1, "nothing is ever delivered");
+        let sent: u64 = net.states().iter().map(|s| s.pushes_sent).sum();
+        assert_eq!(net.metrics().total_dropped(), sent);
+    }
+
+    #[test]
+    fn delayed_pushes_are_conserved() {
+        let mut net = Network::new(
+            PushRumor,
+            rumor_states(512),
+            NetworkConfig::with_seed(24).fault(Delay::between(1, 4)),
+        );
+        for _ in 0..40 {
+            net.round();
+        }
+        let sent: u64 = net.states().iter().map(|s| s.pushes_sent).sum();
+        let recv: u64 = net.states().iter().map(|s| s.received).sum();
+        assert_eq!(
+            sent,
+            recv + net.in_flight() as u64,
+            "every push is delivered or still in flight, never duplicated"
+        );
+        assert!(net.in_flight() > 0, "some messages are mid-flight");
+        assert!(net.metrics().total_delayed() > 0);
+        assert_eq!(net.metrics().total_dropped(), 0);
+        assert!(
+            net.states().iter().all(|s| s.informed),
+            "delay only defers the rumor"
+        );
+    }
+
+    #[test]
+    fn crash_recovery_churn_still_reaches_everyone() {
+        let n = 1024;
+        let mut net = Network::new(
+            PullRumor,
+            rumor_states(n),
+            NetworkConfig::with_seed(25).fault(Churn::crash_recovery(0.5, 0.3)),
+        );
+        let outcome = net.run(600);
+        assert!(outcome.all_halted(), "outcome {outcome:?}");
+        assert!(net.states().iter().all(|s| s.informed));
+        assert!(net.metrics().offline_node_rounds() > 0);
+    }
+
+    #[test]
+    fn offline_source_emits_nothing() {
+        // Every node is down in every round: no pulls, no pushes, no
+        // progress — but also no panic and exact fault accounting.
+        let mut net = Network::new(
+            PushRumor,
+            rumor_states(64),
+            NetworkConfig::with_seed(26).fault(Churn::crash_recovery(1.0, 1.0)),
+        );
+        for _ in 0..10 {
+            let rm = net.round();
+            assert_eq!(rm.pulls, 0);
+            assert_eq!(rm.pushes, 0);
+            assert_eq!(rm.offline, 64);
+        }
+        assert_eq!(net.states().iter().filter(|s| s.informed).count(), 1);
+    }
+
+    #[test]
+    fn faults_are_deterministic_across_parallelism() {
+        let n = 4096;
+        let fault = || {
+            Compose::default()
+                .and(Bernoulli::new(0.15))
+                .and(Churn::crash_recovery(0.2, 0.25))
+                .and(Delay::uniform(3))
+        };
+        let run = |parallel: bool| {
+            let cfg = if parallel {
+                NetworkConfig::with_seed(27).parallel_threshold(1)
+            } else {
+                NetworkConfig::with_seed(27).sequential()
+            };
+            let mut net = Network::new(PushRumor, rumor_states(n), cfg.fault(fault()));
+            for _ in 0..25 {
+                net.round();
+            }
+            (net.states().to_vec(), net.metrics().rounds.clone())
+        };
+        let (s_par, m_par) = run(true);
+        let (s_seq, m_seq) = run(false);
+        assert_eq!(s_par, s_seq, "states must be identical");
+        assert_eq!(m_par, m_seq, "metrics (incl. fault counters) must match");
+        assert!(m_par.iter().any(|r| r.dropped > 0));
+        assert!(m_par.iter().any(|r| r.delayed > 0));
+        assert!(m_par.iter().any(|r| r.offline > 0));
     }
 }

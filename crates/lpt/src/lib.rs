@@ -19,7 +19,7 @@
 //! * the [`LpType`] trait — the violator-space style computational
 //!   interface (small-set basis computation + violation test) that every
 //!   concrete problem implements (see the `lpt-problems` crate);
-//! * [`clarkson`] — Clarkson's sequential multiplicative-weights algorithm
+//! * [`mod@clarkson`] — Clarkson's sequential multiplicative-weights algorithm
 //!   (Algorithm 1 of the paper), the baseline that all the distributed
 //!   gossip algorithms in `lpt-gossip` are derived from;
 //! * [`exhaustive_basis`] — a brute-force reference solver used as a test

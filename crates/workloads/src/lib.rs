@@ -7,7 +7,10 @@
 //!   plus extra families for wider testing;
 //! * [`lp`] — random feasible fixed-dimension LP instances;
 //! * [`sets`] — hitting-set / set-cover instances with a planted small
-//!   hitting set, the regime of Theorem 5 (`d` small, `s` sets).
+//!   hitting set, the regime of Theorem 5 (`d` small, `s` sets);
+//! * [`scenarios`] — named robustness scenarios: fault-model presets
+//!   (loss, churn, delay) for sweeping an algorithm across simulated
+//!   deployment environments.
 //!
 //! All generators are deterministic functions of an explicit seed.
 
@@ -16,6 +19,8 @@
 
 pub mod lp;
 pub mod med;
+pub mod scenarios;
 pub mod sets;
 
 pub use med::{MedDataset, MED_DATASETS};
+pub use scenarios::{Scenario, LOSS_GRID, SCENARIOS};

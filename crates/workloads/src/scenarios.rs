@@ -1,0 +1,111 @@
+//! Robustness scenarios: named fault-model presets for experiments.
+//!
+//! Each scenario bundles a [`FaultModel`] configuration that mimics a
+//! recognizable deployment environment, so experiments and benches can
+//! sweep "the same algorithm across environments" without hand-tuning
+//! probabilities at every call site. All scenarios are deterministic:
+//! a (seed, protocol, scenario) triple fully determines a run.
+
+use gossip_sim::fault::{Bernoulli, Churn, Compose, Delay, FaultModel, Perfect};
+use std::sync::Arc;
+
+/// A named robustness scenario for sweeps and reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scenario {
+    /// The paper's fault-free network.
+    Perfect,
+    /// A well-run datacenter: 0.1% message loss, nothing else.
+    Datacenter,
+    /// A lossy wide-area network: 5% message loss and up to two rounds
+    /// of extra delivery latency.
+    Wan,
+    /// Volunteer/edge computing: 20% of nodes flap, each offline 10% of
+    /// the time, on top of 2% message loss.
+    Flaky,
+    /// A hostile environment: 20% loss, heavy churn (30% of nodes
+    /// offline a quarter of the time), and up to three rounds of delay.
+    Hostile,
+}
+
+/// Every scenario, mildest first — the order benches sweep them in.
+pub const SCENARIOS: [Scenario; 5] = [
+    Scenario::Perfect,
+    Scenario::Datacenter,
+    Scenario::Wan,
+    Scenario::Flaky,
+    Scenario::Hostile,
+];
+
+/// Loss-rate grid for Bernoulli sweeps (the `fault_sweep` bench).
+pub const LOSS_GRID: [f64; 6] = [0.0, 0.05, 0.1, 0.2, 0.3, 0.4];
+
+impl Scenario {
+    /// Display name (stable; used in CSV headers).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::Perfect => "perfect",
+            Scenario::Datacenter => "datacenter",
+            Scenario::Wan => "wan",
+            Scenario::Flaky => "flaky",
+            Scenario::Hostile => "hostile",
+        }
+    }
+
+    /// Builds the scenario's fault model.
+    pub fn fault_model(self) -> Arc<dyn FaultModel> {
+        match self {
+            Scenario::Perfect => Arc::new(Perfect),
+            Scenario::Datacenter => Arc::new(Bernoulli::new(0.001)),
+            Scenario::Wan => Arc::new(
+                Compose::default()
+                    .and(Bernoulli::new(0.05))
+                    .and(Delay::uniform(2)),
+            ),
+            Scenario::Flaky => Arc::new(
+                Compose::default()
+                    .and(Bernoulli::new(0.02))
+                    .and(Churn::crash_recovery(0.2, 0.1)),
+            ),
+            Scenario::Hostile => Arc::new(
+                Compose::default()
+                    .and(Bernoulli::new(0.2))
+                    .and(Churn::crash_recovery(0.3, 0.25))
+                    .and(Delay::uniform(3)),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_names_are_unique() {
+        let mut names: Vec<_> = SCENARIOS.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), SCENARIOS.len());
+    }
+
+    #[test]
+    fn only_the_perfect_scenario_is_perfect() {
+        for s in SCENARIOS {
+            assert_eq!(
+                s.fault_model().is_perfect(),
+                s == Scenario::Perfect,
+                "{}",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn loss_grid_starts_fault_free_and_is_increasing() {
+        assert_eq!(LOSS_GRID[0], 0.0);
+        for w in LOSS_GRID.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(*LOSS_GRID.last().unwrap() <= 0.5);
+    }
+}

@@ -3,6 +3,11 @@
 //! Re-exports the public API of every workspace crate so that the examples
 //! and integration tests in the repository root can use a single dependency.
 //! Library users should depend on the individual crates directly.
+//!
+//! The README below is included verbatim so its code blocks run as
+//! doctests (`cargo test --doc`), keeping the quick-start honest.
+//!
+#![doc = include_str!("../README.md")]
 
 pub use gossip_sim;
 pub use lpt;

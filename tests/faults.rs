@@ -1,0 +1,119 @@
+//! End-to-end robustness: the paper's algorithms under the fault-model
+//! seam — exact optima under loss, churn, and delay, with the perfect
+//! model pinned to pre-fault-subsystem trajectories.
+
+use lpt_gossip::{Algorithm, Bernoulli, Driver, FaultSummary, StopCondition};
+use lpt_problems::{IdPointD, Meb, Med};
+use lpt_workloads::med::{duo_disk, triple_disk};
+use lpt_workloads::scenarios::{Scenario, SCENARIOS};
+use std::sync::Arc;
+
+/// Trajectories captured before the fault subsystem existed. The
+/// default (Perfect) fault model must reproduce them exactly — the
+/// fault seam may not perturb a single RNG draw of a fault-free run.
+#[test]
+fn perfect_network_reproduces_pre_fault_trajectories() {
+    let report = Driver::new(Med)
+        .nodes(128)
+        .seed(1)
+        .run(&duo_disk(128, 1))
+        .expect("run");
+    assert_eq!((report.rounds, report.metrics.total_ops()), (22, 365_900));
+
+    let report = Driver::new(Med)
+        .nodes(256)
+        .seed(2)
+        .algorithm(Algorithm::high_load())
+        .run(&triple_disk(256, 2))
+        .expect("run");
+    assert_eq!((report.rounds, report.metrics.total_ops()), (25, 81_163));
+
+    let balls: Vec<IdPointD> = triple_disk(200, 9)
+        .iter()
+        .map(|p| IdPointD::new(p.id, vec![p.p.x, p.p.y, 0.5]))
+        .collect();
+    let report = Driver::new(Meb::new(3))
+        .nodes(200)
+        .seed(9)
+        .run(&balls)
+        .expect("run");
+    assert_eq!((report.rounds, report.metrics.total_ops()), (24, 1_031_095));
+    assert_eq!(report.faults, FaultSummary::default());
+}
+
+/// Every named robustness scenario terminates and agrees on the exact
+/// optimum; non-perfect scenarios report their fault costs.
+#[test]
+fn med_converges_under_every_scenario() {
+    let points = duo_disk(256, 77);
+    for scenario in SCENARIOS {
+        let report = Driver::new(Med)
+            .nodes(256)
+            .seed(77)
+            .fault_model(scenario.fault_model())
+            .run(&points)
+            .unwrap_or_else(|e| panic!("{}: {e}", scenario.name()));
+        assert!(report.all_halted, "{} must terminate", scenario.name());
+        let basis = report
+            .consensus_output()
+            .unwrap_or_else(|| panic!("{}: consensus", scenario.name()));
+        assert!(
+            (basis.value.r2.sqrt() - 10.0).abs() < 1e-6,
+            "{}: wrong optimum",
+            scenario.name()
+        );
+        let injected = report.faults.messages_dropped
+            + report.faults.messages_delayed
+            + report.faults.offline_node_rounds;
+        assert_eq!(
+            injected > 0,
+            scenario != Scenario::Perfect,
+            "{}: fault accounting",
+            scenario.name()
+        );
+    }
+}
+
+/// Rounds-to-first-solution degrades gracefully (and monotonically in
+/// this pinned configuration) as the loss rate climbs.
+#[test]
+fn loss_sweep_degrades_gracefully() {
+    let points = duo_disk(512, 41);
+    let target = lpt::LpType::basis_of(&Med, &points).value;
+    let mut prev = 0u64;
+    for loss in [0.0, 0.3, 0.5] {
+        let report = Driver::new(Med)
+            .nodes(512)
+            .seed(41)
+            .fault_model(Bernoulli::new(loss))
+            .stop(StopCondition::FirstSolution(target))
+            .max_rounds(5_000)
+            .run(&points)
+            .expect("run");
+        assert!(report.reached(), "loss {loss} still reaches the optimum");
+        assert!(
+            report.rounds >= prev,
+            "loss {loss}: {} rounds, fewer than the milder rate's {prev}",
+            report.rounds
+        );
+        prev = report.rounds;
+    }
+}
+
+/// The hitting-set doubling search works unchanged through the fault
+/// seam: unknown `d`, lossy network, still a verified hitting set.
+#[test]
+fn hitting_set_doubling_survives_loss() {
+    let (sys, _) = lpt_workloads::sets::planted_hitting_set(128, 32, 3, 6, 80);
+    let sys = Arc::new(sys);
+    let report = Driver::new(sys.clone())
+        .nodes(128)
+        .seed(80)
+        .fault_model(Bernoulli::new(0.1))
+        .run_ground()
+        .expect("run");
+    assert!(report.all_halted);
+    assert!(report.doubling.is_some(), "default doubling search ran");
+    assert!(report.faults.messages_dropped > 0);
+    assert!(sys.is_hitting_set(report.best_output().expect("solution")));
+}
