@@ -1,0 +1,157 @@
+//! Criterion micro-benchmark isolating a single `Network::round` call
+//! at `n = 2^14` — the allocation-sensitive measurement behind the
+//! zero-allocation round engine (scratch-buffer reuse, moved message
+//! payloads, pooled delay queue).
+//!
+//! `rumor_step` is the acceptance cell: a saturated push-rumor network
+//! where every round moves `n` messages through the full
+//! pull/serve/compute/deliver/absorb path with trivial protocol work,
+//! so the engine itself dominates. Ops/round is printed alongside so
+//! throughput can be read as ops/sec. The measured numbers (before vs
+//! after scratch reuse) are recorded in `BENCH_round_engine.json`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use gossip_sim::{Network, NetworkConfig, NodeControl, PhaseRng, Protocol, Response, Served};
+use lpt_gossip::driver::scatter;
+use lpt_gossip::high_load::{HighLoadClarkson, HighLoadConfig};
+use lpt_gossip::low_load::{LowLoadClarkson, LowLoadConfig};
+use lpt_problems::Med;
+use lpt_workloads::med::triple_disk;
+use std::hint::black_box;
+
+const N: usize = 1 << 14;
+
+struct PushRumor;
+
+#[derive(Clone)]
+struct RumorState {
+    informed: bool,
+    token: u64,
+}
+
+impl Protocol for PushRumor {
+    type State = RumorState;
+    // A real rumor payload (non-zero-sized): delivery moves actual
+    // bytes through the inboxes, which is the allocation-sensitive
+    // case — a ZST rumor never allocates even without buffer reuse.
+    type Msg = u64;
+    type Query = ();
+
+    fn pulls(&self, _: u32, _: &RumorState, _: &mut PhaseRng, _: &mut Vec<()>) {}
+
+    fn serve(&self, _: u32, _: &RumorState, _: &(), _: &mut PhaseRng) -> Option<Served<u64>> {
+        None
+    }
+
+    fn compute(
+        &self,
+        _: u32,
+        state: &mut RumorState,
+        _: &mut Vec<Option<Response<u64>>>,
+        _: &mut PhaseRng,
+        pushes: &mut Vec<u64>,
+    ) -> NodeControl {
+        if state.informed {
+            pushes.push(state.token);
+        }
+        NodeControl::Continue
+    }
+
+    fn absorb(
+        &self,
+        _: u32,
+        state: &mut RumorState,
+        delivered: &mut Vec<u64>,
+        _: &mut PhaseRng,
+    ) -> NodeControl {
+        if let Some(&t) = delivered.last() {
+            state.informed = true;
+            state.token = state.token.max(t);
+        }
+        NodeControl::Continue
+    }
+}
+
+/// One steady-state rumor round: the network is pre-saturated, so every
+/// timed iteration is a full `n`-message round on warm scratch buffers.
+fn bench_rumor_step(c: &mut Criterion) {
+    let states: Vec<_> = (0..N)
+        .map(|i| RumorState {
+            informed: i == 0,
+            token: i as u64 + 1,
+        })
+        .collect();
+    let mut net = Network::new(PushRumor, states, NetworkConfig::with_seed(7));
+    for _ in 0..30 {
+        net.round();
+    }
+    net.reserve_rounds(1 << 16);
+    let ops = {
+        let rm = net.round();
+        rm.pulls + rm.pushes
+    };
+    eprintln!("round_engine/rumor_step/{N}: ops/round = {ops}");
+    let mut group = c.benchmark_group("round_engine");
+    group.sample_size(30);
+    group.bench_with_input(BenchmarkId::new("rumor_step", N), &N, |b, _| {
+        b.iter(|| black_box(net.round().pushes));
+    });
+    group.finish();
+}
+
+/// One warm Clarkson round at `n = 2^14`: each sample rebuilds a
+/// network (setup, untimed), warms the scratch for three rounds, then
+/// times round four.
+fn bench_clarkson_step(c: &mut Criterion) {
+    let points = triple_disk(N, 6);
+    let mut group = c.benchmark_group("round_engine");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("low_load_step", N), &N, |b, _| {
+        b.iter_batched(
+            || {
+                let proto = LowLoadClarkson::new(Med, N, &LowLoadConfig::default());
+                let states: Vec<_> = scatter(&points, N, 7)
+                    .expect("n > 0")
+                    .into_iter()
+                    .map(|h0| proto.initial_state(h0))
+                    .collect();
+                let mut net = Network::new(proto, states, NetworkConfig::with_seed(7));
+                for _ in 0..3 {
+                    net.round();
+                }
+                net
+            },
+            |mut net| {
+                let rm = net.round();
+                black_box(rm.pulls + rm.pushes)
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    group.bench_with_input(BenchmarkId::new("high_load_step", N), &N, |b, _| {
+        b.iter_batched(
+            || {
+                let proto = HighLoadClarkson::new(Med, N, &HighLoadConfig::default());
+                let states: Vec<_> = scatter(&points, N, 8)
+                    .expect("n > 0")
+                    .into_iter()
+                    .map(|h| proto.initial_state(h))
+                    .collect();
+                let mut net = Network::new(proto, states, NetworkConfig::with_seed(8));
+                for _ in 0..3 {
+                    net.round();
+                }
+                net
+            },
+            |mut net| {
+                let rm = net.round();
+                black_box(rm.pulls + rm.pushes)
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rumor_step, bench_clarkson_step);
+criterion_main!(benches);

@@ -1,0 +1,273 @@
+//! `perf_report` — the round-engine performance harness.
+//!
+//! Runs a fixed scenario grid (Low-Load and High-Load Clarkson at
+//! `n ∈ {2^10, 2^14, 2^17}`, each under the Perfect network and the
+//! `wan` scenario preset) plus a rumor-spreading `Network::round`
+//! steady-state cell at `n = 2^14`, and writes the measurements to
+//! `BENCH_round_engine.json` — the baseline every future round-engine
+//! optimisation is judged against.
+//!
+//! Usage: `perf_report [--smoke] [--out PATH]`
+//!
+//! `--smoke` runs only the smallest grid point (CI uses this so the
+//! harness cannot bit-rot); `--out` overrides the output path.
+
+use gossip_sim::{Network, NetworkConfig, NodeControl, PhaseRng, Protocol, Response, Served};
+use lpt_gossip::driver::scatter;
+use lpt_gossip::high_load::{HighLoadClarkson, HighLoadConfig};
+use lpt_gossip::low_load::{LowLoadClarkson, LowLoadConfig};
+use lpt_problems::Med;
+use lpt_workloads::med::triple_disk;
+use lpt_workloads::scenarios::Scenario;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One measured grid cell.
+struct Cell {
+    algo: &'static str,
+    n: usize,
+    scenario: &'static str,
+    rounds: u64,
+    ops: u64,
+    wall_ms: f64,
+    rounds_per_sec: f64,
+    peak_rss_kb: Option<u64>,
+}
+
+/// Peak resident set size in kB (`VmHWM`), Linux only. Monotone over
+/// the process lifetime, so later cells inherit earlier peaks.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+const SEED: u64 = 2024;
+
+/// Round budget per cell: small networks run to termination; the big
+/// cells measure steady-state throughput over a fixed window instead
+/// (termination at n = 2^17 takes tens of minutes and adds nothing to
+/// a rounds/sec baseline).
+fn round_cap(n: usize) -> u64 {
+    if n >= 1 << 17 {
+        6
+    } else if n >= 1 << 14 {
+        30
+    } else {
+        500
+    }
+}
+
+fn run_low_load(n: usize, scenario: Scenario) -> Cell {
+    let points = triple_disk(n, SEED);
+    let proto = LowLoadClarkson::new(Med, n, &LowLoadConfig::default());
+    let states: Vec<_> = scatter(&points, n, SEED)
+        .expect("n > 0")
+        .into_iter()
+        .map(|h0| proto.initial_state(h0))
+        .collect();
+    let cfg = NetworkConfig::with_seed(SEED).fault(scenario.fault_model());
+    let mut net = Network::new(proto, states, cfg);
+    let t = Instant::now();
+    let outcome = net.run(round_cap(n));
+    let wall = t.elapsed();
+    cell("low_load", n, scenario, outcome.rounds(), &net, wall)
+}
+
+fn run_high_load(n: usize, scenario: Scenario) -> Cell {
+    // 4·n elements: the high-load regime the algorithm targets.
+    let points = triple_disk(4 * n, SEED);
+    let proto = HighLoadClarkson::new(Med, n, &HighLoadConfig::default());
+    let states: Vec<_> = scatter(&points, n, SEED)
+        .expect("n > 0")
+        .into_iter()
+        .map(|h| proto.initial_state(h))
+        .collect();
+    let cfg = NetworkConfig::with_seed(SEED).fault(scenario.fault_model());
+    let mut net = Network::new(proto, states, cfg);
+    let t = Instant::now();
+    let outcome = net.run(round_cap(n));
+    let wall = t.elapsed();
+    cell("high_load", n, scenario, outcome.rounds(), &net, wall)
+}
+
+fn cell<P: Protocol>(
+    algo: &'static str,
+    n: usize,
+    scenario: Scenario,
+    rounds: u64,
+    net: &Network<P>,
+    wall: std::time::Duration,
+) -> Cell {
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    Cell {
+        algo,
+        n,
+        scenario: scenario.name(),
+        rounds,
+        ops: net.metrics().total_ops(),
+        wall_ms,
+        rounds_per_sec: rounds as f64 / wall.as_secs_f64().max(1e-9),
+        peak_rss_kb: peak_rss_kb(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rumor-spreading steady-state cell (the zero-allocation acceptance case)
+// ---------------------------------------------------------------------------
+
+/// Push-based rumor spreading, as in the simulator's own tests: the one
+/// protocol whose per-round protocol work is trivial, so the cell
+/// measures the round engine itself.
+struct PushRumor;
+
+#[derive(Clone)]
+struct RumorState {
+    informed: bool,
+    token: u64,
+}
+
+impl Protocol for PushRumor {
+    type State = RumorState;
+    // A real rumor payload (non-zero-sized): delivery moves actual
+    // bytes through the inboxes, which is the allocation-sensitive
+    // case — a ZST rumor never allocates even without buffer reuse.
+    type Msg = u64;
+    type Query = ();
+
+    fn pulls(&self, _: u32, _: &RumorState, _: &mut PhaseRng, _: &mut Vec<()>) {}
+
+    fn serve(&self, _: u32, _: &RumorState, _: &(), _: &mut PhaseRng) -> Option<Served<u64>> {
+        None
+    }
+
+    fn compute(
+        &self,
+        _: u32,
+        state: &mut RumorState,
+        _: &mut Vec<Option<Response<u64>>>,
+        _: &mut PhaseRng,
+        pushes: &mut Vec<u64>,
+    ) -> NodeControl {
+        if state.informed {
+            pushes.push(state.token);
+        }
+        NodeControl::Continue
+    }
+
+    fn absorb(
+        &self,
+        _: u32,
+        state: &mut RumorState,
+        delivered: &mut Vec<u64>,
+        _: &mut PhaseRng,
+    ) -> NodeControl {
+        if let Some(&t) = delivered.last() {
+            state.informed = true;
+            state.token = state.token.max(t);
+        }
+        NodeControl::Continue
+    }
+}
+
+/// Steady-state rumor rounds/sec at the given `n`: warm the network to
+/// full saturation (every node pushes every round), then time a fixed
+/// window of rounds.
+fn run_rumor_step(n: usize, warmup: u64, window: u64) -> Cell {
+    let states: Vec<_> = (0..n)
+        .map(|i| RumorState {
+            informed: i == 0,
+            token: i as u64 + 1,
+        })
+        .collect();
+    let mut net = Network::new(PushRumor, states, NetworkConfig::with_seed(SEED));
+    for _ in 0..warmup {
+        net.round();
+    }
+    let t = Instant::now();
+    for _ in 0..window {
+        net.round();
+    }
+    let wall = t.elapsed();
+    let ops: u64 = net
+        .metrics()
+        .rounds
+        .iter()
+        .rev()
+        .take(window as usize)
+        .map(|r| r.pulls + r.pushes)
+        .sum();
+    Cell {
+        algo: "rumor_step",
+        n,
+        scenario: "perfect",
+        rounds: window,
+        ops,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        rounds_per_sec: window as f64 / wall.as_secs_f64().max(1e-9),
+        peak_rss_kb: peak_rss_kb(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_round_engine.json".to_string());
+
+    let sizes: &[usize] = if smoke {
+        &[1 << 10]
+    } else {
+        &[1 << 10, 1 << 14, 1 << 17]
+    };
+    let scenarios: &[Scenario] = if smoke {
+        &[Scenario::Perfect]
+    } else {
+        &[Scenario::Perfect, Scenario::Wan]
+    };
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &scenario in scenarios {
+        for &n in sizes {
+            eprintln!("[perf_report] low_load  n={n} scenario={}", scenario.name());
+            cells.push(run_low_load(n, scenario));
+            eprintln!("[perf_report] high_load n={n} scenario={}", scenario.name());
+            cells.push(run_high_load(n, scenario));
+        }
+    }
+    let rumor_n = if smoke { 1 << 10 } else { 1 << 14 };
+    eprintln!("[perf_report] rumor_step n={rumor_n}");
+    let rumor = if smoke {
+        run_rumor_step(rumor_n, 10, 50)
+    } else {
+        run_rumor_step(rumor_n, 30, 200)
+    };
+    cells.push(rumor);
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"round_engine\",\n");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let rss = c
+            .peak_rss_kb
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "null".to_string());
+        let _ = write!(
+            json,
+            "    {{\"algo\": \"{}\", \"n\": {}, \"scenario\": \"{}\", \"rounds\": {}, \"ops\": {}, \"wall_ms\": {:.1}, \"rounds_per_sec\": {:.2}, \"peak_rss_kb\": {}}}",
+            c.algo, c.n, c.scenario, c.rounds, c.ops, c.wall_ms, c.rounds_per_sec, rss
+        );
+        json.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write report");
+    println!("{json}");
+    eprintln!("[perf_report] wrote {out_path}");
+}

@@ -783,6 +783,11 @@ fn drive<Pr: Protocol, T>(
     target_hit: impl Fn(&Network<Pr>, &T) -> bool,
     candidates: impl Fn(&Network<Pr>) -> usize,
 ) -> (RunOutcome, StopCause) {
+    // Pre-reserve the per-round metrics log (the only engine container
+    // that grows while running) so driver runs stay allocation-free in
+    // steady state; capped so absurd round budgets cannot pre-allocate
+    // unbounded memory.
+    net.reserve_rounds(max_rounds.min(4096) as usize);
     match stop {
         StopCondition::FullTermination => {
             let outcome = net.run(max_rounds);

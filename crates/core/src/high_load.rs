@@ -20,9 +20,9 @@
 //! `O(d log n / log log n)` for `C = logᵉ n` (Theorem 4).
 
 use crate::termination::{TermEntry, TermState};
-use gossip_sim::{NodeControl, Protocol, Response, Served};
+use gossip_sim::{NodeControl, PhaseRng, Protocol, Response, Served};
 use lpt::{BasisOf, LpType};
-use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
 
 /// Tuning knobs for the High-Load protocol.
 #[derive(Clone, Debug)]
@@ -61,9 +61,12 @@ impl HighLoadConfig {
 pub enum HighLoadMsg<P: LpType> {
     /// A duplicated element.
     Elem(P::Element),
-    /// A node's local optimal basis.
-    Basis(BasisOf<P>),
-    /// A termination entry.
+    /// A node's local optimal basis. Shared behind an [`Arc`]: the
+    /// accelerated variant fans the same basis out `C` times per round,
+    /// and with interned payloads every copy after the first costs a
+    /// reference-count bump instead of a deep clone of the basis.
+    Basis(Arc<BasisOf<P>>),
+    /// A termination entry (its basis is Arc-shared too).
     Term(TermEntry<P>),
 }
 
@@ -71,7 +74,7 @@ impl<P: LpType> Clone for HighLoadMsg<P> {
     fn clone(&self) -> Self {
         match self {
             HighLoadMsg::Elem(e) => HighLoadMsg::Elem(e.clone()),
-            HighLoadMsg::Basis(b) => HighLoadMsg::Basis(b.clone()),
+            HighLoadMsg::Basis(b) => HighLoadMsg::Basis(Arc::clone(b)),
             HighLoadMsg::Term(t) => HighLoadMsg::Term(t.clone()),
         }
     }
@@ -82,15 +85,16 @@ impl<P: LpType> Clone for HighLoadMsg<P> {
 pub struct HighLoadState<P: LpType> {
     /// All element copies currently held (`H(v_i)`; nothing is deleted).
     pub h: Vec<P::Element>,
-    /// Bases received last round, processed this round.
-    pub pending_bases: Vec<BasisOf<P>>,
+    /// Bases received last round, processed this round (shared with
+    /// the sender and every other recipient of the same broadcast).
+    pub pending_bases: Vec<Arc<BasisOf<P>>>,
     /// Termination-protocol state.
     pub term: TermState<P>,
     /// The node's final output, once decided.
     pub output: Option<BasisOf<P>>,
     /// The node's current local basis (experiment stop predicates read
     /// this; the protocol itself only trusts the audited output).
-    pub local_basis: Option<BasisOf<P>>,
+    pub local_basis: Option<Arc<BasisOf<P>>>,
     /// Local round counter.
     pub round: u64,
 }
@@ -160,21 +164,14 @@ impl<P: LpType + Sync> Protocol for HighLoadClarkson<P> {
     type Msg = HighLoadMsg<P>;
     type Query = (); // the High-Load algorithm is push-only
 
-    fn pulls(
-        &self,
-        _id: u32,
-        _state: &HighLoadState<P>,
-        _rng: &mut ChaCha8Rng,
-        _out: &mut Vec<()>,
-    ) {
-    }
+    fn pulls(&self, _id: u32, _state: &HighLoadState<P>, _rng: &mut PhaseRng, _out: &mut Vec<()>) {}
 
     fn serve(
         &self,
         _id: u32,
         _state: &HighLoadState<P>,
         _query: &(),
-        _rng: &mut ChaCha8Rng,
+        _rng: &mut PhaseRng,
     ) -> Option<Served<HighLoadMsg<P>>> {
         None
     }
@@ -183,8 +180,8 @@ impl<P: LpType + Sync> Protocol for HighLoadClarkson<P> {
         &self,
         _id: u32,
         state: &mut HighLoadState<P>,
-        _responses: Vec<Option<Response<HighLoadMsg<P>>>>,
-        _rng: &mut ChaCha8Rng,
+        _responses: &mut Vec<Option<Response<HighLoadMsg<P>>>>,
+        _rng: &mut PhaseRng,
         pushes: &mut Vec<HighLoadMsg<P>>,
     ) -> NodeControl {
         let now = state.round;
@@ -213,23 +210,25 @@ impl<P: LpType + Sync> Protocol for HighLoadClarkson<P> {
         // --- Compute and broadcast the local basis. ---------------------
         let mut basis = self.problem.basis_of(&state.h);
         self.problem.canonicalize(&mut basis);
-        for _ in 0..self.push_count {
-            pushes.push(HighLoadMsg::Basis(basis.clone()));
-        }
+        let basis = Arc::new(basis);
         // A basis with no local violators is (locally) optimal: inject it
         // for the network-wide audit. Our own basis trivially qualifies.
-        state.term.inject(&self.problem, now, basis.clone());
+        // One Arc serves the audit entry, the C pushes, and local_basis.
+        state.term.inject(&self.problem, now, Arc::clone(&basis));
+        for _ in 0..self.push_count {
+            pushes.push(HighLoadMsg::Basis(Arc::clone(&basis)));
+        }
         state.local_basis = Some(basis);
 
         // --- Answer received bases with violators. ----------------------
-        let pending = std::mem::take(&mut state.pending_bases);
-        for bj in pending {
+        for bj in &state.pending_bases {
             for x in &state.h {
-                if self.problem.violates(&bj, x) {
+                if self.problem.violates(bj, x) {
                     pushes.push(HighLoadMsg::Elem(x.clone()));
                 }
             }
         }
+        state.pending_bases.clear();
 
         NodeControl::Continue
     }
@@ -238,10 +237,10 @@ impl<P: LpType + Sync> Protocol for HighLoadClarkson<P> {
         &self,
         _id: u32,
         state: &mut HighLoadState<P>,
-        delivered: Vec<HighLoadMsg<P>>,
-        _rng: &mut ChaCha8Rng,
+        delivered: &mut Vec<HighLoadMsg<P>>,
+        _rng: &mut PhaseRng,
     ) -> NodeControl {
-        for msg in delivered {
+        for msg in delivered.drain(..) {
             match msg {
                 HighLoadMsg::Elem(e) => state.h.push(e),
                 HighLoadMsg::Basis(b) => state.pending_bases.push(b),
@@ -271,6 +270,7 @@ mod tests {
     use lpt::exhaustive::test_problems::Interval;
     use rand::Rng;
     use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
 
     fn scatter(elements: &[i64], n: usize, seed: u64) -> Vec<Vec<i64>> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);

@@ -25,11 +25,10 @@
 //! until they receive one original element and re-scatter it as a new
 //! `X₀` copy, after which `|X₀(V)| ≥ n` and sampling succeeds.
 
-use crate::sampling::{extract_sample, SampleOutcome};
-use gossip_sim::{NodeControl, Protocol, Response, Served};
+use crate::sampling::{extract_sample_from, SampleOutcome};
+use gossip_sim::{NodeControl, PhaseRng, Protocol, Response, Served};
 use lpt_problems::SetSystem;
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use std::sync::Arc;
 
 /// Tuning knobs for the distributed hitting-set protocol.
@@ -75,8 +74,10 @@ pub enum HsMsg {
     /// A re-scattered original element (pull-phase bootstrap; joins the
     /// receiver's `X₀`).
     Elem0(u32),
-    /// A verified hitting set being disseminated.
-    Found(Vec<u32>),
+    /// A verified hitting set being disseminated. Arc-shared: every
+    /// found node re-broadcasts its solution each round until maturity,
+    /// so all copies in flight intern one allocation.
+    Found(Arc<Vec<u32>>),
 }
 
 /// Pull queries.
@@ -97,8 +98,9 @@ pub struct HittingSetState {
     pub pull_phase: bool,
     /// Filterable element copies.
     pub extra: Vec<u32>,
-    /// Best verified hitting set known to this node.
-    pub best: Option<Vec<u32>>,
+    /// Best verified hitting set known to this node (shared with the
+    /// message copies disseminating it).
+    pub best: Option<Arc<Vec<u32>>>,
     /// Round at which `best` was first set.
     pub found_round: Option<u64>,
     /// The node's final output.
@@ -209,7 +211,7 @@ impl Protocol for HittingSetGossip {
         &self,
         _id: u32,
         state: &HittingSetState,
-        _rng: &mut ChaCha8Rng,
+        _rng: &mut PhaseRng,
         out: &mut Vec<HsQuery>,
     ) {
         if state.pull_phase {
@@ -224,7 +226,7 @@ impl Protocol for HittingSetGossip {
         _id: u32,
         state: &HittingSetState,
         query: &HsQuery,
-        rng: &mut ChaCha8Rng,
+        rng: &mut PhaseRng,
     ) -> Option<Served<HsMsg>> {
         match query {
             HsQuery::Sample => {
@@ -255,8 +257,8 @@ impl Protocol for HittingSetGossip {
         &self,
         _id: u32,
         state: &mut HittingSetState,
-        responses: Vec<Option<Response<HsMsg>>>,
-        rng: &mut ChaCha8Rng,
+        responses: &mut Vec<Option<Response<HsMsg>>>,
+        rng: &mut PhaseRng,
         pushes: &mut Vec<HsMsg>,
     ) -> NodeControl {
         let now = state.round;
@@ -265,7 +267,7 @@ impl Protocol for HittingSetGossip {
         if state.pull_phase {
             // Bootstrap (Section 2.3 analogue): re-scatter one original
             // element, then start participating.
-            if let Some(resp) = responses.into_iter().flatten().next() {
+            if let Some(resp) = responses.drain(..).flatten().next() {
                 if let HsMsg::Elem(x) = resp.msg {
                     pushes.push(HsMsg::Elem0(x));
                     state.pull_phase = false;
@@ -277,9 +279,9 @@ impl Protocol for HittingSetGossip {
 
         // --- Dissemination / output of found solutions. ------------------
         if let Some(best) = &state.best {
-            pushes.push(HsMsg::Found(best.clone()));
+            pushes.push(HsMsg::Found(Arc::clone(best)));
             if now.saturating_sub(state.found_round.expect("set with best")) >= self.maturity {
-                state.output = Some(best.clone());
+                state.output = Some((**best).clone());
                 return NodeControl::Halt;
             }
             // Found nodes stop sampling; they only forward.
@@ -288,20 +290,19 @@ impl Protocol for HittingSetGossip {
         }
 
         // --- Sampling (Algorithm 6 lines 3–9). ---------------------------
-        let elems: Vec<Option<Response<u32>>> = responses
-            .into_iter()
-            .map(|r| {
-                r.and_then(|resp| match resp.msg {
-                    HsMsg::Elem(x) | HsMsg::Elem0(x) => Some(Response {
-                        msg: x,
-                        from: resp.from,
-                        slot: resp.slot,
-                    }),
-                    HsMsg::Found(_) => None,
-                })
-            })
-            .collect();
-        match extract_sample(&elems, self.r, self.relaxed_threshold, rng) {
+        // Responses are read in place; `Found` payloads cannot answer a
+        // `Sample` pull, and the projection treats them as failed pulls.
+        let sampled = extract_sample_from(
+            responses,
+            self.r,
+            self.relaxed_threshold,
+            rng,
+            |m: &HsMsg| match m {
+                HsMsg::Elem(x) | HsMsg::Elem0(x) => Some(x),
+                HsMsg::Found(_) => None,
+            },
+        );
+        match sampled {
             SampleOutcome::Sample(sample) => {
                 let uncovered = self.sys.uncovered_sets(&sample);
                 if uncovered.is_empty() {
@@ -310,7 +311,8 @@ impl Protocol for HittingSetGossip {
                     hs.sort_unstable();
                     hs.dedup();
                     debug_assert!(self.sys.is_hitting_set(&hs));
-                    state.best = Some(hs.clone());
+                    let hs = Arc::new(hs);
+                    state.best = Some(Arc::clone(&hs));
                     state.found_round = Some(now);
                     pushes.push(HsMsg::Found(hs));
                 } else {
@@ -349,10 +351,10 @@ impl Protocol for HittingSetGossip {
         &self,
         _id: u32,
         state: &mut HittingSetState,
-        delivered: Vec<HsMsg>,
-        _rng: &mut ChaCha8Rng,
+        delivered: &mut Vec<HsMsg>,
+        _rng: &mut PhaseRng,
     ) -> NodeControl {
-        for msg in delivered {
+        for msg in delivered.drain(..) {
             match msg {
                 HsMsg::Elem(x) => state.extra.push(x),
                 HsMsg::Elem0(x) => state.x0.push(x),
@@ -395,6 +397,7 @@ mod tests {
     use gossip_sim::{Network, NetworkConfig};
     use lpt_workloads::sets::planted_hitting_set;
     use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
 
     fn scatter(elements: &[u32], n: usize, seed: u64) -> Vec<Vec<u32>> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);

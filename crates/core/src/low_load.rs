@@ -24,12 +24,12 @@
 //! element, then re-scatters it as a new `H₀` copy, guaranteeing
 //! `|H₀| ≥ n` shortly after the start.
 
-use crate::sampling::{extract_sample, pull_count, SampleOutcome};
+use crate::sampling::{extract_sample_from, pull_count, SampleOutcome};
 use crate::termination::{TermEntry, TermState};
-use gossip_sim::{NodeControl, Protocol, Response, Served};
+use gossip_sim::{NodeControl, PhaseRng, Protocol, Response, Served};
 use lpt::{BasisOf, LpType};
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
 
 /// Tuning knobs for the Low-Load protocol. Defaults follow the paper.
 #[derive(Clone, Debug)]
@@ -108,7 +108,8 @@ pub struct LowLoadState<P: LpType> {
     /// Most recent sampled basis that had no local violators — the
     /// node's current candidate for `f(H)` (used by experiment stop
     /// predicates; the protocol itself only trusts the audited output).
-    pub candidate: Option<BasisOf<P>>,
+    /// Shared with the termination entry it was injected as.
+    pub candidate: Option<Arc<BasisOf<P>>>,
     /// Round at which `candidate` was first set.
     pub candidate_round: Option<u64>,
     /// Local round counter (advances once per `compute`).
@@ -223,7 +224,7 @@ impl<P: LpType + Sync> Protocol for LowLoadClarkson<P> {
         &self,
         _id: u32,
         state: &LowLoadState<P>,
-        _rng: &mut ChaCha8Rng,
+        _rng: &mut PhaseRng,
         out: &mut Vec<LowLoadQuery>,
     ) {
         if state.pull_phase {
@@ -238,7 +239,7 @@ impl<P: LpType + Sync> Protocol for LowLoadClarkson<P> {
         _id: u32,
         state: &LowLoadState<P>,
         query: &LowLoadQuery,
-        rng: &mut ChaCha8Rng,
+        rng: &mut PhaseRng,
     ) -> Option<Served<LowLoadMsg<P>>> {
         match query {
             LowLoadQuery::Sample => {
@@ -269,8 +270,8 @@ impl<P: LpType + Sync> Protocol for LowLoadClarkson<P> {
         &self,
         _id: u32,
         state: &mut LowLoadState<P>,
-        responses: Vec<Option<Response<LowLoadMsg<P>>>>,
-        rng: &mut ChaCha8Rng,
+        responses: &mut Vec<Option<Response<LowLoadMsg<P>>>>,
+        rng: &mut PhaseRng,
         pushes: &mut Vec<LowLoadMsg<P>>,
     ) -> NodeControl {
         let now = state.round;
@@ -294,7 +295,7 @@ impl<P: LpType + Sync> Protocol for LowLoadClarkson<P> {
         if state.pull_phase {
             // Algorithm 4: keep pulling until one original element
             // arrives, then re-scatter it.
-            if let Some(resp) = responses.into_iter().flatten().next() {
+            if let Some(resp) = responses.drain(..).flatten().next() {
                 if let LowLoadMsg::Elem(h) = resp.msg {
                     pushes.push(LowLoadMsg::Elem0(h));
                     state.pull_phase = false;
@@ -302,20 +303,20 @@ impl<P: LpType + Sync> Protocol for LowLoadClarkson<P> {
             }
         } else {
             // --- Main Clarkson iteration (Algorithm 2). -----------------
-            let elems: Vec<Option<Response<P::Element>>> = responses
-                .into_iter()
-                .map(|r| {
-                    r.map(|resp| Response {
-                        msg: match resp.msg {
-                            LowLoadMsg::Elem(e) | LowLoadMsg::Elem0(e) => e,
-                            LowLoadMsg::Term(_) => unreachable!("pulls never return term entries"),
-                        },
-                        from: resp.from,
-                        slot: resp.slot,
-                    })
-                })
-                .collect();
-            match extract_sample(&elems, self.r, self.relaxed_threshold, rng) {
+            // Sampling reads the engine's response buffer in place;
+            // pulls only ever return element payloads (never term
+            // entries), so the projection is total on real responses.
+            let sampled = extract_sample_from(
+                responses,
+                self.r,
+                self.relaxed_threshold,
+                rng,
+                |m: &LowLoadMsg<P>| match m {
+                    LowLoadMsg::Elem(e) | LowLoadMsg::Elem0(e) => Some(e),
+                    LowLoadMsg::Term(_) => None,
+                },
+            );
+            match sampled {
                 SampleOutcome::Sample(sample) => {
                     let mut basis = self.problem.basis_of(&sample);
                     self.problem.canonicalize(&mut basis);
@@ -328,7 +329,10 @@ impl<P: LpType + Sync> Protocol for LowLoadClarkson<P> {
                     }
                     if !any_violator {
                         // f(R_i) = f(R_i ∪ H(v_i)): candidate detected.
-                        state.term.inject(&self.problem, now, basis.clone());
+                        // One Arc serves the audit entry and the local
+                        // candidate slot.
+                        let basis = Arc::new(basis);
+                        state.term.inject(&self.problem, now, Arc::clone(&basis));
                         if state.candidate_round.is_none() {
                             state.candidate_round = Some(now);
                         }
@@ -352,10 +356,10 @@ impl<P: LpType + Sync> Protocol for LowLoadClarkson<P> {
         &self,
         _id: u32,
         state: &mut LowLoadState<P>,
-        delivered: Vec<LowLoadMsg<P>>,
-        _rng: &mut ChaCha8Rng,
+        delivered: &mut Vec<LowLoadMsg<P>>,
+        _rng: &mut PhaseRng,
     ) -> NodeControl {
-        for msg in delivered {
+        for msg in delivered.drain(..) {
             match msg {
                 LowLoadMsg::Elem(h) => state.extra.push(h),
                 LowLoadMsg::Elem0(h) => state.h0.push(h),
@@ -382,6 +386,7 @@ mod tests {
     use super::*;
     use gossip_sim::{Network, NetworkConfig};
     use lpt::exhaustive::test_problems::Interval;
+    use rand_chacha::ChaCha8Rng;
 
     fn scatter(elements: &[i64], n: usize, seed: u64) -> Vec<Vec<i64>> {
         use rand_chacha::rand_core::SeedableRng;

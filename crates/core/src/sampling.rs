@@ -45,45 +45,84 @@ impl<E> SampleOutcome<E> {
     }
 }
 
-/// Extracts a sample of size `r` from pull responses.
+/// Extracts a sample of size `r` from pull responses, projecting each
+/// response payload through `payload` (responses mapping to `None` are
+/// treated as failed pulls).
+///
+/// This is the allocation-lean entry point used by the protocols: it
+/// reads the engine-owned response buffer in place, so no intermediate
+/// `Vec` of unwrapped payloads is built per node per round.
 ///
 /// `responses` holds one entry per pull issued (`None` = the contacted
 /// node had nothing to serve). `relaxed_threshold` is the fraction of
 /// *successful* responses (among all pulls) above which the
 /// small-instance relaxation applies; the paper-faithful strict rule is
 /// recovered with `relaxed_threshold > 1.0`.
-pub fn extract_sample<E: Clone, R: Rng + ?Sized>(
-    responses: &[Option<Response<E>>],
+///
+/// Copy-identity dedup — same serving node *and* same slot — is done by
+/// sorting `(from, slot, position)` keys (`O(s log s)` instead of the
+/// old `O(s²)` linear-scan `contains`), then restoring first-occurrence
+/// order, so the selected sample is bit-identical to the scan version
+/// for any RNG seed.
+pub fn extract_sample_from<M, E: Clone, R: Rng + ?Sized>(
+    responses: &[Option<Response<M>>],
     r: usize,
     relaxed_threshold: f64,
     rng: &mut R,
+    payload: impl Fn(&M) -> Option<&E>,
 ) -> SampleOutcome<E> {
-    // Deduplicate by copy identity (serving node, slot).
-    let mut seen: Vec<(u32, u64)> = Vec::with_capacity(responses.len());
-    let mut distinct: Vec<&Response<E>> = Vec::with_capacity(responses.len());
+    // Dedup by copy identity (serving node, slot): sort the keys with
+    // their positions, keep the earliest position per key, then re-sort
+    // the survivors by position to recover first-occurrence order.
+    let mut keyed: Vec<(u32, u64, u32)> = Vec::with_capacity(responses.len());
     let mut successful = 0usize;
-    for resp in responses.iter().flatten() {
-        successful += 1;
-        let key = (resp.from, resp.slot);
-        if !seen.contains(&key) {
-            seen.push(key);
-            distinct.push(resp);
+    for (pos, resp) in responses.iter().enumerate() {
+        if let Some(resp) = resp {
+            if payload(&resp.msg).is_some() {
+                successful += 1;
+                keyed.push((resp.from, resp.slot, pos as u32));
+            }
         }
     }
+    keyed.sort_unstable();
+    let mut distinct: Vec<u32> = Vec::with_capacity(keyed.len());
+    let mut last: Option<(u32, u64)> = None;
+    for &(from, slot, pos) in &keyed {
+        if last != Some((from, slot)) {
+            last = Some((from, slot));
+            distinct.push(pos);
+        }
+    }
+    distinct.sort_unstable();
+    let msg_at = |pos: u32| -> E {
+        let resp = responses[pos as usize].as_ref().expect("collected above");
+        payload(&resp.msg).expect("collected above").clone()
+    };
     if distinct.len() >= r {
         let mut idx: Vec<usize> = (0..distinct.len()).collect();
         idx.shuffle(rng);
         idx.truncate(r);
-        return SampleOutcome::Sample(idx.into_iter().map(|i| distinct[i].msg.clone()).collect());
+        return SampleOutcome::Sample(idx.into_iter().map(|i| msg_at(distinct[i])).collect());
     }
     if !responses.is_empty()
         && (successful as f64) >= relaxed_threshold * responses.len() as f64
         && !distinct.is_empty()
     {
         // Small-instance relaxation: take everything we saw.
-        return SampleOutcome::Sample(distinct.into_iter().map(|r| r.msg.clone()).collect());
+        return SampleOutcome::Sample(distinct.into_iter().map(msg_at).collect());
     }
     SampleOutcome::Failed
+}
+
+/// Extracts a sample of size `r` from pull responses whose payloads are
+/// the elements themselves. See [`extract_sample_from`].
+pub fn extract_sample<E: Clone, R: Rng + ?Sized>(
+    responses: &[Option<Response<E>>],
+    r: usize,
+    relaxed_threshold: f64,
+    rng: &mut R,
+) -> SampleOutcome<E> {
+    extract_sample_from(responses, r, relaxed_threshold, rng, |m| Some(m))
 }
 
 /// The paper's pull count `s = c·(6d² + log2 n)`.
@@ -165,6 +204,95 @@ mod tests {
         assert_eq!(pull_count(3, 1024, 2.0), 128);
         // Tiny n is clamped so log2 is nonnegative.
         assert!(pull_count(1, 1, 1.0) >= 6);
+    }
+
+    /// Pinned against the pre-sort (O(s²) `Vec::contains`) dedup: for a
+    /// fixed seed and duplicate-laden response vector, the selected
+    /// sample must be exactly what the old implementation chose, in the
+    /// same order (captured on the seed engine, PR 3).
+    #[test]
+    fn sort_based_dedup_selects_the_same_sample() {
+        let responses: Vec<Option<Response<i32>>> = (0..40)
+            .map(|i| {
+                if i % 7 == 3 {
+                    None
+                } else {
+                    let from = (i % 9) as u32;
+                    let slot = (i % 4) as u64;
+                    Some(Response {
+                        msg: (from as i32) * 100 + slot as i32,
+                        from,
+                        slot,
+                    })
+                }
+            })
+            .collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(4242);
+        match extract_sample(&responses, 12, 0.5, &mut rng) {
+            SampleOutcome::Sample(s) => assert_eq!(
+                s,
+                vec![200, 101, 803, 701, 503, 402, 500, 103, 601, 802, 602, 603]
+            ),
+            SampleOutcome::Failed => panic!(),
+        }
+        // Relaxed branch keeps first-occurrence order.
+        let responses2: Vec<Option<Response<i32>>> = (0..20)
+            .map(|i| {
+                Some(Response {
+                    msg: (i % 5) * 10,
+                    from: (i % 5) as u32,
+                    slot: 7,
+                })
+            })
+            .collect();
+        let mut rng2 = ChaCha8Rng::seed_from_u64(77);
+        match extract_sample(&responses2, 10, 0.75, &mut rng2) {
+            SampleOutcome::Sample(s) => assert_eq!(s, vec![0, 10, 20, 30, 40]),
+            SampleOutcome::Failed => panic!(),
+        }
+    }
+
+    #[test]
+    fn projection_filters_count_as_failed_pulls() {
+        // Payloads the projection rejects behave exactly like failed
+        // pulls: they count against the relaxation threshold.
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let responses: Vec<Option<Response<(bool, i32)>>> = (0..20)
+            .map(|i| {
+                Some(Response {
+                    msg: (i >= 4, i),
+                    from: i as u32,
+                    slot: 0,
+                })
+            })
+            .collect();
+        fn keep(m: &(bool, i32)) -> Option<&i32> {
+            if m.0 {
+                Some(&m.1)
+            } else {
+                None
+            }
+        }
+        match extract_sample_from(&responses, 8, 0.75, &mut rng, keep) {
+            SampleOutcome::Sample(s) => {
+                assert_eq!(s.len(), 8);
+                assert!(s.iter().all(|&v| v >= 4));
+            }
+            SampleOutcome::Failed => panic!(),
+        }
+        // Below the success threshold the sampling fails outright.
+        fn mostly_rejected(m: &(bool, i32)) -> Option<&i32> {
+            if m.1 == 0 {
+                Some(&m.1)
+            } else {
+                None
+            }
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        assert!(matches!(
+            extract_sample_from(&responses, 8, 0.75, &mut rng, mostly_rejected),
+            SampleOutcome::Failed
+        ));
     }
 
     #[test]

@@ -23,14 +23,20 @@
 use lpt::{cmp_basis, BasisOf, LpType};
 use std::cmp::Ordering;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// One termination entry `(t, B, x)`.
+///
+/// The basis payload is behind an [`Arc`]: every node re-pushes each
+/// live entry every round, so sharing one allocation per circulating
+/// basis turns the dominant per-round clone of the termination protocol
+/// into a reference-count bump.
 #[derive(Debug)]
 pub struct TermEntry<P: LpType> {
     /// Round stamp of the injection.
     pub t: u64,
-    /// Candidate optimal basis.
-    pub basis: BasisOf<P>,
+    /// Candidate optimal basis (shared, immutable).
+    pub basis: Arc<BasisOf<P>>,
     /// Validity bit: `true` until some node finds a violator.
     pub valid: bool,
 }
@@ -39,7 +45,7 @@ impl<P: LpType> Clone for TermEntry<P> {
     fn clone(&self) -> Self {
         TermEntry {
             t: self.t,
-            basis: self.basis.clone(),
+            basis: Arc::clone(&self.basis),
             valid: self.valid,
         }
     }
@@ -58,7 +64,7 @@ pub struct TermStep<P: LpType> {
 #[derive(Debug)]
 pub struct TermState<P: LpType> {
     /// Live entries keyed by round stamp.
-    entries: BTreeMap<u64, (BasisOf<P>, bool)>,
+    entries: BTreeMap<u64, (Arc<BasisOf<P>>, bool)>,
     /// Entries received this round, merged at the next step.
     pending: Vec<TermEntry<P>>,
     /// Maturity window (`c·log n`).
@@ -72,7 +78,7 @@ pub struct TermState<P: LpType> {
     /// invalidation spread in time, w.h.p." into "… or the node has seen
     /// any better candidate", which in practice removes the rare
     /// premature outputs at moderate maturity windows.
-    best_seen: Option<BasisOf<P>>,
+    best_seen: Option<Arc<BasisOf<P>>>,
 }
 
 impl<P: LpType> Clone for TermState<P> {
@@ -81,7 +87,7 @@ impl<P: LpType> Clone for TermState<P> {
             entries: self
                 .entries
                 .iter()
-                .map(|(&t, (b, v))| (t, (b.clone(), *v)))
+                .map(|(&t, (b, v))| (t, (Arc::clone(b), *v)))
                 .collect(),
             pending: self.pending.clone(),
             maturity: self.maturity,
@@ -117,8 +123,10 @@ impl<P: LpType> TermState<P> {
         self.pending.push(entry);
     }
 
-    /// Injects a locally detected candidate (validity bit 1).
-    pub fn inject(&mut self, problem: &P, t: u64, basis: BasisOf<P>) {
+    /// Injects a locally detected candidate (validity bit 1). Takes a
+    /// shared handle so callers that also broadcast or store the same
+    /// basis reuse one allocation.
+    pub fn inject(&mut self, problem: &P, t: u64, basis: Arc<BasisOf<P>>) {
         self.merge(
             problem,
             TermEntry {
@@ -135,7 +143,7 @@ impl<P: LpType> TermState<P> {
             Some(best) => cmp_basis(problem, &e.basis, best) == Ordering::Greater,
         };
         if improves {
-            self.best_seen = Some(e.basis.clone());
+            self.best_seen = Some(Arc::clone(&e.basis));
         }
         match self.entries.get_mut(&e.t) {
             None => {
@@ -183,9 +191,11 @@ impl<P: LpType> TermState<P> {
             if now.saturating_sub(t) >= self.maturity {
                 mature.push(t);
             } else {
+                // An Arc bump per re-push: the basis allocation is
+                // shared by every copy of this entry in the network.
                 out.pushes.push(TermEntry {
                     t,
-                    basis: basis.clone(),
+                    basis: Arc::clone(basis),
                     valid: *valid,
                 });
             }
@@ -197,7 +207,7 @@ impl<P: LpType> TermState<P> {
                 Some(best) => cmp_basis(problem, &basis, best) != Ordering::Less,
             };
             if valid && not_dominated && out.output.is_none() {
-                out.output = Some(basis);
+                out.output = Some(Arc::try_unwrap(basis).unwrap_or_else(|a| (*a).clone()));
             }
         }
         out
@@ -218,7 +228,7 @@ mod tests {
     fn valid_entry_matures_into_output() {
         let p = Interval;
         let mut st: TermState<Interval> = TermState::new(3);
-        st.inject(&p, 0, basis(0, 10));
+        st.inject(&p, 0, Arc::new(basis(0, 10)));
         for now in 0..3 {
             let step = st.step(&p, now, |_| false);
             assert!(step.output.is_none(), "round {now}");
@@ -234,7 +244,7 @@ mod tests {
     fn audited_entry_is_suppressed() {
         let p = Interval;
         let mut st: TermState<Interval> = TermState::new(2);
-        st.inject(&p, 0, basis(0, 10));
+        st.inject(&p, 0, Arc::new(basis(0, 10)));
         // A node holding the element 99 (outside [0,10]) audits it away.
         let step = st.step(&p, 0, |b| Interval.violates(b, &99));
         assert_eq!(step.pushes.len(), 1);
@@ -247,10 +257,10 @@ mod tests {
     fn merge_keeps_larger_value() {
         let p = Interval;
         let mut st: TermState<Interval> = TermState::new(5);
-        st.inject(&p, 1, basis(0, 5));
+        st.inject(&p, 1, Arc::new(basis(0, 5)));
         st.receive(TermEntry {
             t: 1,
-            basis: basis(0, 10),
+            basis: Arc::new(basis(0, 10)),
             valid: true,
         });
         let step = st.step(&p, 1, |_| false);
@@ -262,10 +272,10 @@ mod tests {
     fn merge_equal_basis_ands_validity() {
         let p = Interval;
         let mut st: TermState<Interval> = TermState::new(5);
-        st.inject(&p, 1, basis(0, 10));
+        st.inject(&p, 1, Arc::new(basis(0, 10)));
         st.receive(TermEntry {
             t: 1,
-            basis: basis(0, 10),
+            basis: Arc::new(basis(0, 10)),
             valid: false,
         });
         let step = st.step(&p, 1, |_| false);
@@ -276,10 +286,10 @@ mod tests {
     fn smaller_value_is_discarded() {
         let p = Interval;
         let mut st: TermState<Interval> = TermState::new(5);
-        st.inject(&p, 1, basis(0, 10));
+        st.inject(&p, 1, Arc::new(basis(0, 10)));
         st.receive(TermEntry {
             t: 1,
-            basis: basis(2, 7),
+            basis: Arc::new(basis(2, 7)),
             valid: false,
         });
         let step = st.step(&p, 1, |_| false);
@@ -294,8 +304,8 @@ mod tests {
     fn entries_with_distinct_stamps_coexist() {
         let p = Interval;
         let mut st: TermState<Interval> = TermState::new(10);
-        st.inject(&p, 1, basis(0, 10));
-        st.inject(&p, 2, basis(0, 12));
+        st.inject(&p, 1, Arc::new(basis(0, 10)));
+        st.inject(&p, 2, Arc::new(basis(0, 12)));
         let step = st.step(&p, 2, |_| false);
         assert_eq!(step.pushes.len(), 2);
         assert_eq!(st.live_entries(), 2);
@@ -307,12 +317,12 @@ mod tests {
         let mut st: TermState<Interval> = TermState::new(1);
         st.receive(TermEntry {
             t: 0,
-            basis: basis(0, 10),
+            basis: Arc::new(basis(0, 10)),
             valid: true,
         });
         st.receive(TermEntry {
             t: 1,
-            basis: basis(0, 12),
+            basis: Arc::new(basis(0, 12)),
             valid: true,
         });
         // At now = 5 both are long mature; the t = 0 entry is dominated
@@ -330,12 +340,12 @@ mod tests {
     fn dominated_then_better_arrives_later() {
         let p = Interval;
         let mut st: TermState<Interval> = TermState::new(3);
-        st.inject(&p, 0, basis(0, 10));
+        st.inject(&p, 0, Arc::new(basis(0, 10)));
         // Before the weak entry matures, a strictly better candidate is
         // observed; the weak entry must be suppressed at maturity.
         st.receive(TermEntry {
             t: 2,
-            basis: basis(0, 15),
+            basis: Arc::new(basis(0, 15)),
             valid: true,
         });
         let step = st.step(&p, 3, |_| false);

@@ -49,6 +49,15 @@
 //! scheduling. Rounds are stepped with Rayon data-parallelism over nodes
 //! when the network is large enough to benefit; results are bit-identical
 //! in sequential and parallel mode (tested).
+//!
+//! ## Memory model
+//!
+//! All per-round buffers live in a `scratch::RoundScratch` owned by
+//! the [`Network`] and are cleared and refilled in place, and message
+//! payloads are moved (never cloned) to their single destination: in
+//! steady state a fault-free round performs zero heap allocations. See
+//! the [`scratch`] module docs for why buffer reuse cannot perturb the
+//! seed-derived RNG streams.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -58,11 +67,13 @@ pub mod metrics;
 pub mod net;
 pub mod protocol;
 pub mod rng;
+pub mod scratch;
 
 pub use fault::{Bernoulli, Churn, Compose, Delay, FaultModel, IntoFaultModel, Perfect};
 pub use metrics::{Metrics, RoundMetrics};
 pub use net::{Network, NetworkConfig, RunOutcome};
 pub use protocol::{NodeControl, Protocol, Response, Served};
+pub use rng::PhaseRng;
 
 /// Identifier of a node within one simulated network (dense `0..n`).
 ///

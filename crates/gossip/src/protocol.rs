@@ -1,8 +1,8 @@
 //! The [`Protocol`] trait: what a distributed algorithm must implement to
 //! run on the simulator.
 
+use crate::rng::PhaseRng;
 use crate::NodeId;
-use rand_chacha::ChaCha8Rng;
 
 /// What a node reports at the end of a phase.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -52,9 +52,14 @@ pub trait Protocol: Sync {
     /// Push/response message payload. The simulator counts messages, and
     /// [`Protocol::msg_words`] declares each payload's size in `O(log n)`-
     /// bit machine words for the bandwidth accounting.
-    type Msg: Clone + Send + Sync;
+    ///
+    /// Messages need not be `Clone`: the engine delivers each payload
+    /// to exactly one destination by *moving* it, so expensive payloads
+    /// are cheapest shared behind an [`std::sync::Arc`] by the protocol
+    /// that fans them out.
+    type Msg: Send + Sync;
     /// Pull-request payload (e.g. "send me a random element of `H(v)`").
-    type Query: Clone + Send + Sync;
+    type Query: Send + Sync;
 
     /// Phase 1: issue this round's pull requests into `out`.
     ///
@@ -64,7 +69,7 @@ pub trait Protocol: Sync {
         &self,
         id: NodeId,
         state: &Self::State,
-        rng: &mut ChaCha8Rng,
+        rng: &mut PhaseRng,
         out: &mut Vec<Self::Query>,
     );
 
@@ -76,29 +81,38 @@ pub trait Protocol: Sync {
         id: NodeId,
         state: &Self::State,
         query: &Self::Query,
-        rng: &mut ChaCha8Rng,
+        rng: &mut PhaseRng,
     ) -> Option<Served<Self::Msg>>;
 
     /// Phase 3: process pull responses (index-aligned with the queries
     /// emitted in phase 1; `None` = failed pull), update state, and emit
     /// pushes into `pushes`. Each push costs one unit of work and is
     /// delivered to a uniformly random node in phase 4.
+    ///
+    /// `responses` is an engine-owned scratch buffer reused across
+    /// rounds: read it in place or `drain(..)` it to take ownership of
+    /// payloads — the engine clears any leftovers after the call, so
+    /// entries must not be kept by reference beyond it.
     fn compute(
         &self,
         id: NodeId,
         state: &mut Self::State,
-        responses: Vec<Option<Response<Self::Msg>>>,
-        rng: &mut ChaCha8Rng,
+        responses: &mut Vec<Option<Response<Self::Msg>>>,
+        rng: &mut PhaseRng,
         pushes: &mut Vec<Self::Msg>,
     ) -> NodeControl;
 
     /// Phase 4: absorb the messages delivered to this node this round.
+    ///
+    /// Like `compute`'s `responses`, `delivered` is an engine-owned
+    /// scratch buffer: `drain(..)` it (or read in place); the engine
+    /// clears leftovers after the call.
     fn absorb(
         &self,
         id: NodeId,
         state: &mut Self::State,
-        delivered: Vec<Self::Msg>,
-        rng: &mut ChaCha8Rng,
+        delivered: &mut Vec<Self::Msg>,
+        rng: &mut PhaseRng,
     ) -> NodeControl;
 
     /// Size of a message in `O(log n)`-bit words, for bandwidth metrics.

@@ -50,6 +50,73 @@ pub fn derive_rng(seed: u64, round: u64, node: u64, phase: u64) -> ChaCha8Rng {
     ChaCha8Rng::from_seed(key)
 }
 
+/// The lazily derived `(seed, round, node, phase)` stream handed to
+/// protocol hooks.
+///
+/// Key derivation and ChaCha8 state setup only happen on the *first*
+/// draw, so a hook that takes no randomness (most hooks of most
+/// protocols — e.g. a push-only protocol never draws in `pulls`,
+/// `compute`, or `absorb`) costs four stored words instead of a full
+/// key schedule per node per phase per round. Because every stream is
+/// still a pure function of its coordinates, skipping the derivation
+/// of never-used streams cannot change any drawn value: simulations
+/// are bit-identical to eager derivation (the pinned trajectories in
+/// the workspace tests enforce this).
+#[derive(Debug)]
+pub struct PhaseRng {
+    seed: u64,
+    round: u64,
+    node: u64,
+    phase: u64,
+    inner: Option<ChaCha8Rng>,
+}
+
+impl PhaseRng {
+    /// A handle for the `(seed, round, node, phase)` stream; nothing is
+    /// derived until the first draw.
+    #[inline]
+    pub fn new(seed: u64, round: u64, node: u64, phase: u64) -> Self {
+        PhaseRng {
+            seed,
+            round,
+            node,
+            phase,
+            inner: None,
+        }
+    }
+
+    /// Whether the underlying stream has been derived (i.e. whether
+    /// anything was drawn from this handle).
+    pub fn materialized(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    #[inline]
+    fn force(&mut self) -> &mut ChaCha8Rng {
+        if self.inner.is_none() {
+            self.inner = Some(derive_rng(self.seed, self.round, self.node, self.phase));
+        }
+        self.inner.as_mut().expect("just materialized")
+    }
+}
+
+impl rand::RngCore for PhaseRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        self.force().next_u32()
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.force().next_u64()
+    }
+
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.force().fill_bytes(dest)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -71,6 +138,24 @@ mod tests {
         assert_ne!(base, derive_rng(1, 3, 3, 4).gen::<u64>());
         assert_ne!(base, derive_rng(1, 2, 4, 4).gen::<u64>());
         assert_ne!(base, derive_rng(1, 2, 3, 5).gen::<u64>());
+    }
+
+    #[test]
+    fn phase_rng_matches_eager_derivation_and_is_lazy() {
+        use rand::RngCore;
+        let mut lazy = PhaseRng::new(9, 8, 7, 6);
+        assert!(!lazy.materialized(), "no derivation before the first draw");
+        let mut eager = derive_rng(9, 8, 7, 6);
+        for _ in 0..32 {
+            assert_eq!(RngCore::next_u64(&mut lazy), RngCore::next_u64(&mut eager));
+        }
+        assert!(lazy.materialized());
+        let mut bytes_lazy = [0u8; 24];
+        let mut bytes_eager = [0u8; 24];
+        RngCore::fill_bytes(&mut lazy, &mut bytes_lazy);
+        RngCore::fill_bytes(&mut eager, &mut bytes_eager);
+        assert_eq!(bytes_lazy, bytes_eager);
+        assert_eq!(RngCore::next_u32(&mut lazy), RngCore::next_u32(&mut eager));
     }
 
     #[test]

@@ -7,7 +7,7 @@ use lpt_gossip::driver::scatter;
 use lpt_gossip::low_load::{LowLoadClarkson, LowLoadConfig};
 use lpt_gossip::Driver;
 use lpt_problems::Med;
-use lpt_workloads::med::triple_disk;
+use lpt_workloads::med::{duo_disk, triple_disk};
 
 #[test]
 fn repeated_runs_are_identical() {
@@ -118,6 +118,89 @@ fn fault_models_are_deterministic_across_parallelism_and_reruns() {
         par.faults.offline_node_rounds,
         par.metrics.offline_node_rounds()
     );
+}
+
+/// The delay queue's slot recycling (pop, drain, retire to a pool,
+/// swap back in) must not change what gets delivered when: these
+/// trajectories were captured on the allocate-per-round engine, and the
+/// total-ops pin transitively pins per-inbox delivery *order* (each
+/// node's filtering step draws one RNG decision per held element, so a
+/// single reordered or duplicated delivery shifts every subsequent
+/// draw and the operation count with it).
+#[test]
+fn delay_queue_rebuild_matches_pinned_trajectories() {
+    use gossip_sim::fault::{Bernoulli, Compose, Delay};
+    let report = Driver::new(Med)
+        .nodes(256)
+        .seed(55)
+        .fault_model(Delay::between(1, 3))
+        .run(&duo_disk(256, 55))
+        .expect("run");
+    assert_eq!(
+        (
+            report.rounds,
+            report.metrics.total_ops(),
+            report.metrics.total_delayed(),
+            report.metrics.total_dropped(),
+        ),
+        (25, 847_734, 75_536, 0),
+        "pure-delay trajectory moved"
+    );
+
+    // Loss + delay composed: exercises the pending queue while pushes
+    // are also being dropped.
+    let report = Driver::new(Med)
+        .nodes(200)
+        .seed(56)
+        .fault_model(
+            Compose::default()
+                .and(Bernoulli::new(0.1))
+                .and(Delay::uniform(2)),
+        )
+        .run(&duo_disk(200, 56))
+        .expect("run");
+    assert_eq!(
+        (
+            report.rounds,
+            report.metrics.total_ops(),
+            report.metrics.total_delayed(),
+            report.metrics.total_dropped(),
+        ),
+        (24, 637_233, 32_782, 50_698),
+        "mixed loss+delay trajectory moved"
+    );
+}
+
+/// A delayed run is bit-identical across sequential and parallel
+/// stepping *and* across reruns of the same network object — the
+/// scratch buffers and the delay-queue pool carry no state between
+/// runs that could leak into results.
+#[test]
+fn delay_metrics_agree_across_parallelism() {
+    use gossip_sim::fault::Delay;
+    let points = triple_disk(512, 91);
+    let run = |parallel: bool| {
+        Driver::new(Med)
+            .nodes(512)
+            .seed(91)
+            .parallel(parallel)
+            .parallel_threshold(1)
+            .fault_model(Delay::between(1, 4))
+            .run(&points)
+            .expect("run")
+    };
+    let par = run(true);
+    let seq = run(false);
+    assert_eq!(
+        format!("{par:?}"),
+        format!("{seq:?}"),
+        "delayed runs must be byte-identical across stepping modes"
+    );
+    assert!(par.faults.messages_delayed > 0, "delay was exercised");
+    // Per-round delivery accounting must match, round by round.
+    let delayed: Vec<u64> = par.metrics.rounds.iter().map(|r| r.delayed).collect();
+    let delayed_seq: Vec<u64> = seq.metrics.rounds.iter().map(|r| r.delayed).collect();
+    assert_eq!(delayed, delayed_seq);
 }
 
 #[test]
