@@ -80,6 +80,19 @@ fn main() {
             if *small_fast { "yes" } else { "NO" }
         );
     }
+    // Below i = 10 / 3 runs per cell the fitted constants are noise-
+    // dominated (instances of a few hundred elements finish in 1–3
+    // rounds regardless of basis size, so one lucky seed reorders
+    // them); only enforce the paper's shape at meaningful scale, as
+    // table_constants does.
+    let scaled_enough = max_i >= 10 && runs >= 3;
+    if !scaled_enough {
+        println!(
+            "shape check skipped: LPT_MAX_I = {max_i} / LPT_RUNS = {runs} is noise-dominated \
+             (need i >= 10 and >= 3 runs per cell)."
+        );
+        return;
+    }
     let duo = fits
         .iter()
         .find(|(ds, _, _, _)| *ds == MedDataset::DuoDisk)

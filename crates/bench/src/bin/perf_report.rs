@@ -1,18 +1,35 @@
 //! `perf_report` — the round-engine performance harness.
 //!
 //! Runs a fixed scenario grid (Low-Load and High-Load Clarkson at
-//! `n ∈ {2^10, 2^14, 2^17}`, each under the Perfect network and the
-//! `wan` scenario preset) plus a rumor-spreading `Network::round`
-//! steady-state cell at `n = 2^14`, and writes the measurements to
-//! `BENCH_round_engine.json` — the baseline every future round-engine
-//! optimisation is judged against.
+//! `n ∈ {2^10, 2^14, 2^17, 2^20}`, each under the Perfect network and
+//! the `wan` scenario preset) plus rumor-spreading `Network::round`
+//! steady-state cells at `n = 2^14` and `n = 2^20` and a Rayon
+//! thread-scaling sweep (1/2/4/8 threads) over the `n = 2^14` rumor
+//! cell, and writes the measurements to `BENCH_round_engine.json` — the
+//! baseline every future round-engine optimisation is judged against.
 //!
-//! Usage: `perf_report [--smoke] [--out PATH]`
+//! Usage: `perf_report [--smoke] [--schedule v1compat|v2batched]
+//! [--out PATH] [--check BASELINE.json]`
 //!
 //! `--smoke` runs only the smallest grid point (CI uses this so the
-//! harness cannot bit-rot); `--out` overrides the output path.
+//! harness cannot bit-rot); `--schedule` selects the versioned
+//! [`RngSchedule`] the networks draw under (default: the engine
+//! default, `v2batched`); `--out` overrides the output path.
+//!
+//! `--check` is the CI determinism/perf gate: every measured cell is
+//! compared against the `smoke_baseline_v1` section of the given
+//! baseline file — the *op count must match exactly* (op counts are a
+//! pure function of (schedule, seed), so any drift means the bitstream
+//! moved without a schedule bump) and the wall time must not regress
+//! beyond a generous +50% over the recorded reference (override the
+//! fraction with the `PERF_SMOKE_WALL_TOL` env var; cells under a 50 ms
+//! noise floor are exempt, and running *faster* never fails — the wall
+//! check is a regression tripwire, the op check is the determinism
+//! gate). Any violation exits non-zero.
 
-use gossip_sim::{Network, NetworkConfig, NodeControl, PhaseRng, Protocol, Response, Served};
+use gossip_sim::{
+    Network, NetworkConfig, NodeControl, PhaseRng, Protocol, Response, RngSchedule, Served,
+};
 use lpt_gossip::driver::scatter;
 use lpt_gossip::high_load::{HighLoadClarkson, HighLoadConfig};
 use lpt_gossip::low_load::{LowLoadClarkson, LowLoadConfig};
@@ -27,6 +44,9 @@ struct Cell {
     algo: &'static str,
     n: usize,
     scenario: &'static str,
+    /// Rayon worker threads the cell ran under (1 outside the thread
+    /// sweep; nominal with the vendored sequential rayon stand-in).
+    threads: usize,
     rounds: u64,
     ops: u64,
     wall_ms: f64,
@@ -46,10 +66,12 @@ const SEED: u64 = 2024;
 
 /// Round budget per cell: small networks run to termination; the big
 /// cells measure steady-state throughput over a fixed window instead
-/// (termination at n = 2^17 takes tens of minutes and adds nothing to
+/// (termination at n ≥ 2^17 takes tens of minutes and adds nothing to
 /// a rounds/sec baseline).
 fn round_cap(n: usize) -> u64 {
-    if n >= 1 << 17 {
+    if n >= 1 << 20 {
+        3
+    } else if n >= 1 << 17 {
         6
     } else if n >= 1 << 14 {
         30
@@ -58,7 +80,7 @@ fn round_cap(n: usize) -> u64 {
     }
 }
 
-fn run_low_load(n: usize, scenario: Scenario) -> Cell {
+fn run_low_load(n: usize, scenario: Scenario, schedule: RngSchedule) -> Cell {
     let points = triple_disk(n, SEED);
     let proto = LowLoadClarkson::new(Med, n, &LowLoadConfig::default());
     let states: Vec<_> = scatter(&points, n, SEED)
@@ -66,7 +88,9 @@ fn run_low_load(n: usize, scenario: Scenario) -> Cell {
         .into_iter()
         .map(|h0| proto.initial_state(h0))
         .collect();
-    let cfg = NetworkConfig::with_seed(SEED).fault(scenario.fault_model());
+    let cfg = NetworkConfig::with_seed(SEED)
+        .fault(scenario.fault_model())
+        .rng_schedule(schedule);
     let mut net = Network::new(proto, states, cfg);
     let t = Instant::now();
     let outcome = net.run(round_cap(n));
@@ -74,7 +98,7 @@ fn run_low_load(n: usize, scenario: Scenario) -> Cell {
     cell("low_load", n, scenario, outcome.rounds(), &net, wall)
 }
 
-fn run_high_load(n: usize, scenario: Scenario) -> Cell {
+fn run_high_load(n: usize, scenario: Scenario, schedule: RngSchedule) -> Cell {
     // 4·n elements: the high-load regime the algorithm targets.
     let points = triple_disk(4 * n, SEED);
     let proto = HighLoadClarkson::new(Med, n, &HighLoadConfig::default());
@@ -83,7 +107,9 @@ fn run_high_load(n: usize, scenario: Scenario) -> Cell {
         .into_iter()
         .map(|h| proto.initial_state(h))
         .collect();
-    let cfg = NetworkConfig::with_seed(SEED).fault(scenario.fault_model());
+    let cfg = NetworkConfig::with_seed(SEED)
+        .fault(scenario.fault_model())
+        .rng_schedule(schedule);
     let mut net = Network::new(proto, states, cfg);
     let t = Instant::now();
     let outcome = net.run(round_cap(n));
@@ -104,6 +130,7 @@ fn cell<P: Protocol>(
         algo,
         n,
         scenario: scenario.name(),
+        threads: 1,
         rounds,
         ops: net.metrics().total_ops(),
         wall_ms,
@@ -173,14 +200,15 @@ impl Protocol for PushRumor {
 /// Steady-state rumor rounds/sec at the given `n`: warm the network to
 /// full saturation (every node pushes every round), then time a fixed
 /// window of rounds.
-fn run_rumor_step(n: usize, warmup: u64, window: u64) -> Cell {
+fn run_rumor_step(n: usize, warmup: u64, window: u64, schedule: RngSchedule) -> Cell {
     let states: Vec<_> = (0..n)
         .map(|i| RumorState {
             informed: i == 0,
             token: i as u64 + 1,
         })
         .collect();
-    let mut net = Network::new(PushRumor, states, NetworkConfig::with_seed(SEED));
+    let cfg = NetworkConfig::with_seed(SEED).rng_schedule(schedule);
+    let mut net = Network::new(PushRumor, states, cfg);
     for _ in 0..warmup {
         net.round();
     }
@@ -201,6 +229,7 @@ fn run_rumor_step(n: usize, warmup: u64, window: u64) -> Cell {
         algo: "rumor_step",
         n,
         scenario: "perfect",
+        threads: 1,
         rounds: window,
         ops,
         wall_ms: wall.as_secs_f64() * 1e3,
@@ -209,20 +238,210 @@ fn run_rumor_step(n: usize, warmup: u64, window: u64) -> Cell {
     }
 }
 
+/// Rayon thread-scaling sweep over the `n = 2^14` rumor steady-state
+/// cell: 1/2/4/8 worker threads, parallel threshold forced to 1 so the
+/// engine always takes the parallel stepping path. Results are
+/// bit-identical at every thread count by construction; only wall time
+/// may move. (Under the vendored sequential rayon stand-in the thread
+/// counts are nominal and throughput is flat; swapping in real rayon
+/// makes this sweep measure true scaling with no source changes.)
+fn run_thread_sweep(schedule: RngSchedule) -> Vec<Cell> {
+    let n = 1 << 14;
+    [1usize, 2, 4, 8]
+        .iter()
+        .map(|&threads| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("thread pool");
+            let mut c = pool.install(|| {
+                let states: Vec<_> = (0..n)
+                    .map(|i| RumorState {
+                        informed: i == 0,
+                        token: i as u64 + 1,
+                    })
+                    .collect();
+                let cfg = NetworkConfig::with_seed(SEED)
+                    .parallel_threshold(1)
+                    .rng_schedule(schedule);
+                let mut net = Network::new(PushRumor, states, cfg);
+                for _ in 0..30 {
+                    net.round();
+                }
+                let t = Instant::now();
+                for _ in 0..200 {
+                    net.round();
+                }
+                let wall = t.elapsed();
+                let ops: u64 = net
+                    .metrics()
+                    .rounds
+                    .iter()
+                    .rev()
+                    .take(200)
+                    .map(|r| r.pulls + r.pushes)
+                    .sum();
+                Cell {
+                    algo: "rumor_step_threads",
+                    n,
+                    scenario: "perfect",
+                    threads,
+                    rounds: 200,
+                    ops,
+                    wall_ms: wall.as_secs_f64() * 1e3,
+                    rounds_per_sec: 200.0 / wall.as_secs_f64().max(1e-9),
+                    peak_rss_kb: peak_rss_kb(),
+                }
+            });
+            c.threads = pool.current_num_threads();
+            c
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Baseline gate (--check)
+// ---------------------------------------------------------------------------
+
+/// Pulls `"key": "value"` out of a single-line JSON object.
+fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Pulls a numeric `"key": value` out of a single-line JSON object.
+fn json_num_field(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+struct BaselineCell {
+    algo: String,
+    n: u64,
+    scenario: String,
+    ops: u64,
+    wall_ms: f64,
+}
+
+/// Extracts the `smoke_baseline_v1` cells from the committed baseline
+/// file: every line holding an `"algo"` field inside that section is
+/// one cell (the committed file keeps one cell per line for exactly
+/// this reason).
+fn load_smoke_baseline(path: &str) -> Result<Vec<BaselineCell>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+    let section_start = text
+        .find("\"smoke_baseline_v1\"")
+        .ok_or_else(|| format!("baseline {path} has no smoke_baseline_v1 section"))?;
+    // The section ends at the first `]` after its `cells` array opens.
+    let section = &text[section_start..];
+    let end = section
+        .find(']')
+        .ok_or_else(|| format!("baseline {path}: unterminated smoke_baseline_v1"))?;
+    let mut cells = Vec::new();
+    for line in section[..end].lines() {
+        if !line.contains("\"algo\"") {
+            continue;
+        }
+        let parse = || -> Option<BaselineCell> {
+            Some(BaselineCell {
+                algo: json_str_field(line, "algo")?,
+                n: json_num_field(line, "n")? as u64,
+                scenario: json_str_field(line, "scenario")?,
+                ops: json_num_field(line, "ops")? as u64,
+                wall_ms: json_num_field(line, "wall_ms")?,
+            })
+        };
+        cells.push(parse().ok_or_else(|| format!("unparseable baseline cell: {line}"))?);
+    }
+    if cells.is_empty() {
+        return Err(format!("baseline {path}: smoke_baseline_v1 has no cells"));
+    }
+    Ok(cells)
+}
+
+/// The CI gate: op counts must match the baseline exactly; wall time
+/// within ±`tol` (a fraction of the baseline value). Returns the list
+/// of violations (empty = gate passes).
+fn check_against_baseline(cells: &[Cell], baseline: &[BaselineCell], tol: f64) -> Vec<String> {
+    let mut violations = Vec::new();
+    for c in cells {
+        let Some(b) = baseline
+            .iter()
+            .find(|b| b.algo == c.algo && b.n == c.n as u64 && b.scenario == c.scenario)
+        else {
+            violations.push(format!(
+                "cell ({}, n={}, {}) missing from the committed smoke baseline — \
+                 re-pin BENCH_round_engine.json",
+                c.algo, c.n, c.scenario
+            ));
+            continue;
+        };
+        if b.ops != c.ops {
+            violations.push(format!(
+                "op-count drift in ({}, n={}, {}): measured {} vs baseline {} — \
+                 the V1Compat bitstream moved without a schedule bump",
+                c.algo, c.n, c.scenario, c.ops, b.ops
+            ));
+        }
+        // Wall-clock is a regression tripwire, not a determinism check:
+        // only *slower than tolerance* fails (a faster runner is never a
+        // bug), and cells under the 50 ms noise floor are exempt (their
+        // absolute time is within cross-machine scheduling jitter; their
+        // op count is still checked exactly above).
+        let ratio = c.wall_ms / b.wall_ms.max(1e-9);
+        if b.wall_ms >= WALL_NOISE_FLOOR_MS && ratio > 1.0 + tol {
+            violations.push(format!(
+                "wall-clock regression beyond +{:.0}% in ({}, n={}, {}): measured {:.1} ms vs \
+                 baseline {:.1} ms (ratio {:.2}); re-pin smoke_baseline_v1 wall_ms if the \
+                 reference hardware changed",
+                tol * 100.0,
+                c.algo,
+                c.n,
+                c.scenario,
+                c.wall_ms,
+                b.wall_ms,
+                ratio
+            ));
+        }
+    }
+    violations
+}
+
+/// Baseline cells faster than this are exempt from the wall-clock check
+/// (pure scheduling jitter at that scale); op counts are always checked.
+const WALL_NOISE_FLOOR_MS: f64 = 50.0;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_round_engine.json".to_string());
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_round_engine.json".to_string());
+    let schedule = match flag_value("--schedule") {
+        None => RngSchedule::default(),
+        Some(s) => RngSchedule::parse(&s).unwrap_or_else(|| {
+            eprintln!("[perf_report] unknown --schedule {s} (use v1compat or v2batched)");
+            std::process::exit(2);
+        }),
+    };
+    let check_path = flag_value("--check");
 
     let sizes: &[usize] = if smoke {
         &[1 << 10]
     } else {
-        &[1 << 10, 1 << 14, 1 << 17]
+        &[1 << 10, 1 << 14, 1 << 17, 1 << 20]
     };
     let scenarios: &[Scenario] = if smoke {
         &[Scenario::Perfect]
@@ -233,25 +452,36 @@ fn main() {
     let mut cells: Vec<Cell> = Vec::new();
     for &scenario in scenarios {
         for &n in sizes {
-            eprintln!("[perf_report] low_load  n={n} scenario={}", scenario.name());
-            cells.push(run_low_load(n, scenario));
-            eprintln!("[perf_report] high_load n={n} scenario={}", scenario.name());
-            cells.push(run_high_load(n, scenario));
+            let tag = scenario.name();
+            eprintln!(
+                "[perf_report] low_load  n={n} scenario={tag} {}",
+                schedule.name()
+            );
+            cells.push(run_low_load(n, scenario, schedule));
+            eprintln!(
+                "[perf_report] high_load n={n} scenario={tag} {}",
+                schedule.name()
+            );
+            cells.push(run_high_load(n, scenario, schedule));
         }
     }
-    let rumor_n = if smoke { 1 << 10 } else { 1 << 14 };
-    eprintln!("[perf_report] rumor_step n={rumor_n}");
-    let rumor = if smoke {
-        run_rumor_step(rumor_n, 10, 50)
+    if smoke {
+        eprintln!("[perf_report] rumor_step n={} {}", 1 << 10, schedule.name());
+        cells.push(run_rumor_step(1 << 10, 10, 50, schedule));
     } else {
-        run_rumor_step(rumor_n, 30, 200)
-    };
-    cells.push(rumor);
+        eprintln!("[perf_report] rumor_step n={} {}", 1 << 14, schedule.name());
+        cells.push(run_rumor_step(1 << 14, 30, 200, schedule));
+        eprintln!("[perf_report] rumor_step n={} {}", 1 << 20, schedule.name());
+        cells.push(run_rumor_step(1 << 20, 30, 50, schedule));
+        eprintln!("[perf_report] thread sweep (1/2/4/8) n={}", 1 << 14);
+        cells.extend(run_thread_sweep(schedule));
+    }
 
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"round_engine\",\n");
     let _ = writeln!(json, "  \"seed\": {SEED},");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"schedule\": \"{}\",", schedule.name());
     json.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let rss = c
@@ -260,8 +490,8 @@ fn main() {
             .unwrap_or_else(|| "null".to_string());
         let _ = write!(
             json,
-            "    {{\"algo\": \"{}\", \"n\": {}, \"scenario\": \"{}\", \"rounds\": {}, \"ops\": {}, \"wall_ms\": {:.1}, \"rounds_per_sec\": {:.2}, \"peak_rss_kb\": {}}}",
-            c.algo, c.n, c.scenario, c.rounds, c.ops, c.wall_ms, c.rounds_per_sec, rss
+            "    {{\"algo\": \"{}\", \"n\": {}, \"scenario\": \"{}\", \"threads\": {}, \"rounds\": {}, \"ops\": {}, \"wall_ms\": {:.1}, \"rounds_per_sec\": {:.2}, \"peak_rss_kb\": {}}}",
+            c.algo, c.n, c.scenario, c.threads, c.rounds, c.ops, c.wall_ms, c.rounds_per_sec, rss
         );
         json.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
     }
@@ -270,4 +500,36 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write report");
     println!("{json}");
     eprintln!("[perf_report] wrote {out_path}");
+
+    if let Some(baseline_path) = check_path {
+        if schedule != RngSchedule::V1Compat {
+            eprintln!(
+                "[perf_report] --check compares against the V1Compat baseline; \
+                 run with --schedule v1compat"
+            );
+            std::process::exit(2);
+        }
+        let tol = std::env::var("PERF_SMOKE_WALL_TOL")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(0.5);
+        let baseline = load_smoke_baseline(&baseline_path).unwrap_or_else(|e| {
+            eprintln!("[perf_report] {e}");
+            std::process::exit(2);
+        });
+        let violations = check_against_baseline(&cells, &baseline, tol);
+        if violations.is_empty() {
+            eprintln!(
+                "[perf_report] gate PASSED: {} cells match the committed baseline \
+                 (ops exact, wall within +{:.0}% above the noise floor)",
+                cells.len(),
+                tol * 100.0
+            );
+        } else {
+            for v in &violations {
+                eprintln!("[perf_report] gate FAILED: {v}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

@@ -45,7 +45,7 @@ use crate::hitting_set::{HittingSetConfig, HittingSetGossip, HittingSetState};
 use crate::hypercube::hypercube_clarkson;
 use crate::low_load::{LowLoadClarkson, LowLoadConfig, LowLoadState};
 use gossip_sim::fault::{FaultModel, IntoFaultModel, Perfect};
-use gossip_sim::{Metrics, Network, NetworkConfig, Protocol, RunOutcome};
+use gossip_sim::{Metrics, Network, NetworkConfig, Protocol, RngSchedule, RunOutcome};
 use lpt::{BasisOf, LpType};
 use lpt_problems::SetSystem;
 use rand::Rng;
@@ -435,6 +435,12 @@ pub struct RunReport<O> {
     /// Communication metrics, one entry per simulated round (empty for
     /// the analytic hypercube baseline).
     pub metrics: Metrics,
+    /// The versioned randomness schedule that produced this run.
+    /// Trajectory-level numbers (rounds, op counts, metrics) are only
+    /// comparable between reports carrying the same schedule tag;
+    /// outcome-level facts (solution validity, termination) are
+    /// schedule-invariant.
+    pub schedule: RngSchedule,
     consensus: Option<O>,
 }
 
@@ -507,6 +513,8 @@ pub struct RunSpec<'a, T> {
     pub doubling: Option<f64>,
     /// The fault model the network is simulated under.
     pub fault: &'a Arc<dyn FaultModel>,
+    /// The versioned randomness schedule the network draws under.
+    pub schedule: RngSchedule,
 }
 
 /// A problem family the unified [`Driver`] can run.
@@ -577,6 +585,7 @@ pub struct Driver<P: DriverProblem<M>, M = LpMode> {
     parallel_threshold: Option<usize>,
     doubling: Option<f64>,
     fault: Arc<dyn FaultModel>,
+    schedule: RngSchedule,
     _mode: PhantomData<fn() -> M>,
 }
 
@@ -593,6 +602,7 @@ impl<M, P: DriverProblem<M> + Clone> Clone for Driver<P, M> {
             parallel_threshold: self.parallel_threshold,
             doubling: self.doubling,
             fault: self.fault.clone(),
+            schedule: self.schedule,
             _mode: PhantomData,
         }
     }
@@ -610,6 +620,7 @@ impl<M, P: DriverProblem<M>> fmt::Debug for Driver<P, M> {
             .field("parallel_threshold", &self.parallel_threshold)
             .field("doubling", &self.doubling)
             .field("fault", &self.fault)
+            .field("schedule", &self.schedule)
             .finish_non_exhaustive()
     }
 }
@@ -619,7 +630,8 @@ impl<M, P: DriverProblem<M>> Driver<P, M> {
     /// the problem family's default algorithm (LP-type: Low-Load;
     /// set system: hitting set under the doubling search), full
     /// termination, a 20 000-round safety valve, parallel stepping
-    /// enabled, and the perfect (fault-free) network.
+    /// enabled, the perfect (fault-free) network, and the default
+    /// [`RngSchedule`].
     pub fn new(problem: P) -> Self {
         Driver {
             problem,
@@ -632,6 +644,7 @@ impl<M, P: DriverProblem<M>> Driver<P, M> {
             parallel_threshold: None,
             doubling: None,
             fault: Arc::new(Perfect),
+            schedule: RngSchedule::default(),
             _mode: PhantomData,
         }
     }
@@ -695,6 +708,19 @@ impl<M, P: DriverProblem<M>> Driver<P, M> {
         self
     }
 
+    /// Selects the versioned randomness schedule the simulated network
+    /// draws under (default: [`RngSchedule::V2Batched`]).
+    ///
+    /// [`RngSchedule::V1Compat`] reproduces pre-schedule trajectories
+    /// bit-for-bit (the pinned-trajectory tests run under it); the
+    /// default batched schedule is faster and equally deterministic but
+    /// follows a different bitstream. [`RunReport::schedule`] records
+    /// which schedule produced a report.
+    pub fn rng_schedule(mut self, schedule: RngSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
     /// Enables the doubling search on the unknown minimum-hitting-set
     /// size (the paper's Section 1.4 remark): the run starts at `d = 1`
     /// and doubles whenever it does not terminate within
@@ -742,6 +768,7 @@ impl<M, P: DriverProblem<M>> Driver<P, M> {
             parallel_threshold: self.parallel_threshold,
             doubling,
             fault: &self.fault,
+            schedule: self.schedule,
         };
         self.problem.execute(&spec, elements)
     }
@@ -772,6 +799,7 @@ fn net_config<T>(spec: &RunSpec<'_, T>) -> NetworkConfig {
         cfg.parallel_threshold = threshold;
     }
     cfg.fault = spec.fault.clone();
+    cfg.schedule = spec.schedule;
     cfg
 }
 
@@ -952,6 +980,7 @@ fn run_low_load_driver<P: LpType + Clone + Sync>(
         doubling: None,
         faults: FaultSummary::from_metrics(spec.fault.as_ref(), net.metrics()),
         metrics: net.metrics().clone(),
+        schedule: spec.schedule,
     })
 }
 
@@ -997,6 +1026,7 @@ fn run_high_load_driver<P: LpType + Clone + Sync>(
         doubling: None,
         faults: FaultSummary::from_metrics(spec.fault.as_ref(), net.metrics()),
         metrics: net.metrics().clone(),
+        schedule: spec.schedule,
     })
 }
 
@@ -1030,6 +1060,10 @@ fn run_hypercube_driver<P: LpType + Clone + Sync>(
         doubling: None,
         faults: FaultSummary::default(),
         metrics: Metrics::default(),
+        // The hypercube baseline is computed analytically (no gossip
+        // network, no destination draws), but the report still records
+        // the spec's schedule for uniformity.
+        schedule: spec.schedule,
     })
 }
 
@@ -1122,6 +1156,7 @@ fn run_hitting_set_driver(
         doubling: None,
         faults: FaultSummary::from_metrics(spec.fault.as_ref(), net.metrics()),
         metrics: net.metrics().clone(),
+        schedule: spec.schedule,
     })
 }
 
@@ -1765,6 +1800,7 @@ mod tests {
             doubling: None,
             faults: FaultSummary::default(),
             metrics: Metrics::default(),
+            schedule: RngSchedule::default(),
             consensus: None,
         };
         assert_eq!(report.best_output(), Some(&vec![2, 3]));

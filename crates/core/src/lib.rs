@@ -29,27 +29,26 @@
 //!   runs any of the five algorithms under a configurable
 //!   [`StopCondition`] and [`FaultModel`]
 //!   (message loss, churn, delivery delay), and returns one polymorphic
-//!   [`RunReport`];
-//! * [`runner`] — the legacy free-function drivers, deprecated shims
-//!   over [`driver`] kept for one release.
+//!   [`RunReport`].
 //!
-//! ## Migrating off the deprecated `runner` shims
+//! ## Migrating off the removed `runner` shims
 //!
-//! The `runner` free functions (`run_low_load`, `run_high_load`,
-//! `run_hitting_set`, `run_hitting_set_unknown_d`, …) and their
-//! config/report types are `#[deprecated]` shims over [`Driver`] and
-//! will be removed in the release after next. Each one maps to a short
-//! builder chain:
+//! The legacy `runner` free functions (`run_low_load`, `run_high_load`,
+//! `run_hitting_set`, `run_hitting_set_unknown_d`, …) were
+//! `#[deprecated]` shims over [`Driver`] in 0.2.0 and are removed in
+//! 0.3.0. Each one maps to a short builder chain:
 //!
-//! | legacy call | replacement |
+//! | removed call | replacement |
 //! |---|---|
-//! | `run_low_load(problem, elems, n, seed, cfg)` | `Driver::new(problem).nodes(n).seed(seed).algorithm(Algorithm::LowLoad(cfg.protocol)).max_rounds(cfg.max_rounds).run(&elems)` |
+//! | `run_low_load(problem, elems, n, cfg, seed)` | `Driver::new(problem).nodes(n).seed(seed).algorithm(Algorithm::LowLoad(cfg.protocol)).max_rounds(cfg.max_rounds).run(&elems)` |
 //! | `run_high_load(...)` | same, with [`Algorithm::HighLoad`] |
-//! | `run_hitting_set(sys, n, seed, cfg)` | `Driver::new(sys).nodes(n).seed(seed).algorithm(Algorithm::HittingSet(cfg.protocol)).run_ground()` |
+//! | `rounds_to_first_solution_*(...)` | add `.stop(StopCondition::FirstSolution(target))` |
+//! | `run_hitting_set(sys, n, cfg, max_rounds, seed)` | `Driver::new(sys).nodes(n).seed(seed).algorithm(Algorithm::HittingSet(cfg.clone())).run_ground()` |
 //! | `run_hitting_set_unknown_d(...)` | add [`Driver::with_doubling_search`] |
 //!
 //! The legacy report fields all survive on [`RunReport`] under the same
-//! names (plus new ones: [`RunReport::faults`], stop causes, consensus).
+//! names (plus new ones: [`RunReport::faults`], [`RunReport::schedule`],
+//! stop causes, consensus).
 //!
 //! ## Quick start
 //!
@@ -93,7 +92,6 @@ pub mod high_load;
 pub mod hitting_set;
 pub mod hypercube;
 pub mod low_load;
-pub mod runner;
 pub mod sampling;
 pub mod termination;
 
@@ -104,6 +102,7 @@ pub use driver::{
 pub use gossip_sim::fault::{
     Bernoulli, Churn, Compose, Delay, FaultModel, IntoFaultModel, Perfect,
 };
+pub use gossip_sim::RngSchedule;
 pub use high_load::{HighLoadClarkson, HighLoadConfig, HighLoadState};
 pub use hitting_set::{HittingSetConfig, HittingSetGossip, HittingSetState};
 pub use hypercube::{hypercube_clarkson, HypercubeReport};

@@ -28,7 +28,16 @@
 //! are independent of the simulator's own per-phase streams, identical
 //! under sequential and Rayon-parallel stepping, and stable under
 //! replay. The whole simulation stays a deterministic function of
-//! (seed, protocol, fault model).
+//! (seed, protocol, fault model, [`RngSchedule`]).
+//!
+//! Fault streams are *schedule-invariant*: the versioned
+//! [`RngSchedule`](crate::rng::RngSchedule) only re-routes the engine's
+//! own destination draws, so a fault model's decisions for a given
+//! (seed, round, node, k) are byte-identical under `V1Compat` and
+//! `V2Batched` — what differs across schedules is which messages exist
+//! to be dropped or delayed, not the decision streams themselves.
+//!
+//! [`RngSchedule`]: crate::rng::RngSchedule
 //!
 //! ## Built-in models
 //!

@@ -50,6 +50,14 @@
 //! when the network is large enough to benefit; results are bit-identical
 //! in sequential and parallel mode (tested).
 //!
+//! The engine's own uniform destination draws are versioned by
+//! [`RngSchedule`] (installed via [`NetworkConfig::rng_schedule`]):
+//! `V1Compat` reproduces the original per-node streams bit-for-bit,
+//! while the default `V2Batched` draws them from one block-batched
+//! stream per (seed, round, phase) through a Lemire rejection sampler
+//! ([`rng::BatchedUniform`]) — different bitstreams, same protocol
+//! outcomes, each individually deterministic.
+//!
 //! ## Memory model
 //!
 //! All per-round buffers live in a `scratch::RoundScratch` owned by
@@ -73,7 +81,7 @@ pub use fault::{Bernoulli, Churn, Compose, Delay, FaultModel, IntoFaultModel, Pe
 pub use metrics::{Metrics, RoundMetrics};
 pub use net::{Network, NetworkConfig, RunOutcome};
 pub use protocol::{NodeControl, Protocol, Response, Served};
-pub use rng::PhaseRng;
+pub use rng::{BatchedUniform, PhaseRng, RngSchedule};
 
 /// Identifier of a node within one simulated network (dense `0..n`).
 ///

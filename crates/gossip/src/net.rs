@@ -3,7 +3,7 @@
 use crate::fault::{FaultModel, IntoFaultModel, Perfect};
 use crate::metrics::{Metrics, RoundMetrics};
 use crate::protocol::{NodeControl, Protocol, Response};
-use crate::rng::{derive_rng, phase, PhaseRng};
+use crate::rng::{derive_rng, phase, BatchedUniform, PhaseRng, RngSchedule};
 use crate::scratch::{RoundScratch, ServeStats};
 use crate::NodeId;
 use rand::Rng;
@@ -24,17 +24,23 @@ pub struct NetworkConfig {
     /// The fault model injected into every round (default: [`Perfect`],
     /// the paper's fault-free network).
     pub fault: Arc<dyn FaultModel>,
+    /// Which versioned randomness schedule the engine's own destination
+    /// draws follow (default: [`RngSchedule::V2Batched`]); see
+    /// [`crate::rng::RngSchedule`] for the determinism contract.
+    pub schedule: RngSchedule,
 }
 
 impl NetworkConfig {
-    /// Config with the given seed, default parallel settings, and the
-    /// [`Perfect`] (fault-free) network.
+    /// Config with the given seed, default parallel settings, the
+    /// [`Perfect`] (fault-free) network, and the default
+    /// [`RngSchedule`].
     pub fn with_seed(seed: u64) -> Self {
         NetworkConfig {
             seed,
             parallel: true,
             parallel_threshold: 4096,
             fault: Arc::new(Perfect),
+            schedule: RngSchedule::default(),
         }
     }
 
@@ -54,6 +60,14 @@ impl NetworkConfig {
     /// Installs a fault model (see [`crate::fault`] for the built-ins).
     pub fn fault(mut self, fault: impl IntoFaultModel) -> Self {
         self.fault = fault.into_fault_model();
+        self
+    }
+
+    /// Selects the versioned randomness schedule (default:
+    /// [`RngSchedule::V2Batched`]; use [`RngSchedule::V1Compat`] to
+    /// reproduce pre-schedule trajectories bit-for-bit).
+    pub fn rng_schedule(mut self, schedule: RngSchedule) -> Self {
+        self.schedule = schedule;
         self
     }
 }
@@ -211,14 +225,17 @@ impl<P: Protocol> Network<P> {
         let protocol = &self.protocol;
         let fault = Arc::clone(&self.cfg.fault);
         let perfect = fault.is_perfect();
+        let schedule = self.cfg.schedule;
         let RoundScratch {
             offline,
             queries,
             responses,
             serve_stats,
             pull_counts,
+            pull_targets,
             pushes,
             compute_halts,
+            push_dests,
             inboxes,
             absorb_halts,
         } = &mut self.scratch;
@@ -287,6 +304,22 @@ impl<P: Protocol> Network<P> {
             }
         }
 
+        // ---- V2 batch sweep: pull targets ------------------------------
+        // One key schedule for the whole round's PULL_TARGET draws,
+        // consumed in node order (then query order), so the sweep is a
+        // pure function of (seed, round, phase) and the per-node pull
+        // counts — identical under sequential and parallel stepping,
+        // which only ever read the pre-filled rows.
+        if schedule == RngSchedule::V2Batched {
+            let mut sampler = BatchedUniform::new(seed, round, phase::PULL_TARGET, n);
+            for (row, &count) in pull_targets.iter_mut().zip(pull_counts.iter()) {
+                row.clear();
+                for _ in 0..count {
+                    row.push(sampler.next_index() as u32);
+                }
+            }
+        }
+
         // ---- Phase 2: serve pulls against the start-of-round snapshot --
         // A pull that targets an offline node fails (`None`), exactly
         // like a pull a protocol chose not to serve; a served response
@@ -297,6 +330,7 @@ impl<P: Protocol> Network<P> {
         {
             let states = &self.states;
             let queries = &*queries;
+            let pull_targets = &*pull_targets;
             let fault = &fault;
             let serve = |i: usize,
                          rs: &mut Vec<Option<Response<P::Msg>>>,
@@ -307,10 +341,16 @@ impl<P: Protocol> Network<P> {
                 if qs.is_empty() {
                     return;
                 }
-                let mut target_rng = derive_rng(seed, round, i as u64, phase::PULL_TARGET);
+                // V1: targets come from this node's own lazily derived
+                // stream; V2: from the pre-filled batched row.
+                let mut target_rng = (schedule == RngSchedule::V1Compat)
+                    .then(|| derive_rng(seed, round, i as u64, phase::PULL_TARGET));
                 let mut serve_rng = PhaseRng::new(seed, round, i as u64, phase::SERVE);
                 for (k, q) in qs.iter().enumerate() {
-                    let t = target_rng.gen_range(0..n);
+                    let t = match target_rng.as_mut() {
+                        Some(rng) => rng.gen_range(0..n),
+                        None => pull_targets[i][k] as usize,
+                    };
                     if offline.get(t) {
                         rs.push(None);
                         continue;
@@ -399,6 +439,20 @@ impl<P: Protocol> Network<P> {
             }
         }
 
+        // ---- V2 batch sweep: push destinations -------------------------
+        // As with pull targets: one PUSH_DEST key schedule per round,
+        // consumed in (node, message) order into the scratch rows the
+        // delivery loop then reads.
+        if schedule == RngSchedule::V2Batched {
+            let mut sampler = BatchedUniform::new(seed, round, phase::PUSH_DEST, n);
+            for (row, out) in push_dests.iter_mut().zip(pushes.iter()) {
+                row.clear();
+                for _ in 0..out.len() {
+                    row.push(sampler.next_index() as u32);
+                }
+            }
+        }
+
         // ---- Phase 4: deliver pushes, absorb ---------------------------
         // Payloads are moved (drained), never cloned: each push has
         // exactly one destination — the inbox, the delay queue, or the
@@ -428,13 +482,18 @@ impl<P: Protocol> Network<P> {
             if out.is_empty() {
                 continue;
             }
-            let mut dest_rng = derive_rng(seed, round, i as u64, phase::PUSH_DEST);
+            let mut dest_rng = (schedule == RngSchedule::V1Compat)
+                .then(|| derive_rng(seed, round, i as u64, phase::PUSH_DEST));
             for (k, msg) in out.drain(..).enumerate() {
                 push_words += protocol.msg_words(&msg) as u64;
-                // The destination draw happens unconditionally so the
-                // uniform-gossip stream is identical whatever the fault
-                // model decides about this message.
-                let dest = dest_rng.gen_range(0..n);
+                // The destination is fixed per message (V1: drawn here,
+                // unconditionally; V2: pre-drawn by the batch sweep) so
+                // the uniform-gossip stream is identical whatever the
+                // fault model decides about this message.
+                let dest = match dest_rng.as_mut() {
+                    Some(rng) => rng.gen_range(0..n),
+                    None => push_dests[i][k] as usize,
+                };
                 if perfect {
                     inboxes[dest].push(msg);
                     continue;
@@ -659,22 +718,73 @@ mod tests {
     #[test]
     fn deterministic_across_parallelism() {
         let n = 6000; // above the default parallel threshold
-        let run = |parallel: bool| {
-            let cfg = if parallel {
-                NetworkConfig::with_seed(3).parallel_threshold(1)
-            } else {
-                NetworkConfig::with_seed(3).sequential()
+        for schedule in [RngSchedule::V1Compat, RngSchedule::V2Batched] {
+            let run = |parallel: bool| {
+                let cfg = if parallel {
+                    NetworkConfig::with_seed(3).parallel_threshold(1)
+                } else {
+                    NetworkConfig::with_seed(3).sequential()
+                };
+                let mut net = Network::new(PushRumor, rumor_states(n), cfg.rng_schedule(schedule));
+                for _ in 0..25 {
+                    net.round();
+                }
+                (net.states().to_vec(), net.metrics().rounds.clone())
             };
+            let (s_par, m_par) = run(true);
+            let (s_seq, m_seq) = run(false);
+            assert_eq!(s_par, s_seq, "states must be identical ({schedule:?})");
+            assert_eq!(m_par, m_seq, "metrics must be identical ({schedule:?})");
+        }
+    }
+
+    #[test]
+    fn schedules_differ_in_bitstream_but_agree_on_outcomes() {
+        let n = 2048;
+        let run = |schedule: RngSchedule| {
+            let cfg = NetworkConfig::with_seed(11).rng_schedule(schedule);
             let mut net = Network::new(PushRumor, rumor_states(n), cfg);
-            for _ in 0..25 {
+            let outcome = net.run_until(300, |net| net.states().iter().all(|s| s.informed));
+            let received: Vec<u64> = net.states().iter().map(|s| s.received).collect();
+            (outcome.rounds(), received)
+        };
+        let (r1, recv1) = run(RngSchedule::V1Compat);
+        let (r2, recv2) = run(RngSchedule::V2Batched);
+        // Outcome invariant: the rumor saturates in Θ(log n) rounds
+        // under both schedules...
+        for r in [r1, r2] {
+            assert!((10..=60).contains(&r), "rounds = {r}");
+        }
+        // ...along genuinely different trajectories (identical per-node
+        // delivery counts across schedules would mean the batch sweep
+        // is secretly replaying the per-node streams).
+        assert_ne!(recv1, recv2, "schedules must not share a bitstream");
+    }
+
+    #[test]
+    fn v2_fault_decision_streams_match_v1() {
+        // Same seed, same fault model: the fault decisions (offline
+        // node-rounds come straight from the model's schedule-invariant
+        // streams) must agree per round across schedules.
+        let run = |schedule: RngSchedule| {
+            let cfg = NetworkConfig::with_seed(31)
+                .fault(Churn::crash_recovery(0.3, 0.25))
+                .rng_schedule(schedule);
+            let mut net = Network::new(PushRumor, rumor_states(512), cfg);
+            for _ in 0..20 {
                 net.round();
             }
-            (net.states().to_vec(), net.metrics().rounds.clone())
+            net.metrics()
+                .rounds
+                .iter()
+                .map(|r| r.offline)
+                .collect::<Vec<u64>>()
         };
-        let (s_par, m_par) = run(true);
-        let (s_seq, m_seq) = run(false);
-        assert_eq!(s_par, s_seq, "states must be identical");
-        assert_eq!(m_par, m_seq, "metrics must be identical");
+        assert_eq!(
+            run(RngSchedule::V1Compat),
+            run(RngSchedule::V2Batched),
+            "per-round offline counts are schedule-invariant"
+        );
     }
 
     /// Pull-based rumor: uninformed nodes pull; informed nodes serve.

@@ -115,11 +115,21 @@ pub(crate) struct RoundScratch<P: Protocol> {
     pub serve_stats: Vec<ServeStats>,
     /// `queries[i].len()`, recorded as the queries are emitted.
     pub pull_counts: Vec<u64>,
+    /// Under [`RngSchedule::V2Batched`](crate::rng::RngSchedule): node
+    /// `i`'s pull targets, index-aligned with `queries[i]`, filled in
+    /// one batched sweep between phases 1 and 2 (unused — left empty —
+    /// under `V1Compat`, whose targets come from per-node streams).
+    pub pull_targets: Vec<Vec<u32>>,
     /// Phase 3 output: node `i`'s emitted pushes (drained into inboxes
     /// or the delay queue during delivery).
     pub pushes: Vec<Vec<P::Msg>>,
     /// Phase 3 output: whether node `i` halted in `compute`.
     pub compute_halts: Vec<bool>,
+    /// Under [`RngSchedule::V2Batched`](crate::rng::RngSchedule): node
+    /// `i`'s push destinations, index-aligned with `pushes[i]`, filled
+    /// in one batched sweep between phases 3 and 4 (unused under
+    /// `V1Compat`).
+    pub push_dests: Vec<Vec<u32>>,
     /// Phase 4 input: messages delivered to node `i` this round.
     pub inboxes: Vec<Vec<P::Msg>>,
     /// Phase 4 output: whether node `i` halted in `absorb`.
@@ -135,8 +145,10 @@ impl<P: Protocol> RoundScratch<P> {
             responses: (0..n).map(|_| Vec::new()).collect(),
             serve_stats: vec![ServeStats::default(); n],
             pull_counts: vec![0; n],
+            pull_targets: (0..n).map(|_| Vec::new()).collect(),
             pushes: (0..n).map(|_| Vec::new()).collect(),
             compute_halts: vec![false; n],
+            push_dests: (0..n).map(|_| Vec::new()).collect(),
             inboxes: (0..n).map(|_| Vec::new()).collect(),
             absorb_halts: vec![false; n],
         }

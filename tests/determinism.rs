@@ -2,7 +2,7 @@
 //! elements, n, algorithm, stop, seed) — across repeated runs and
 //! across sequential vs Rayon-parallel node stepping.
 
-use gossip_sim::{Network, NetworkConfig};
+use gossip_sim::{Network, NetworkConfig, RngSchedule};
 use lpt_gossip::driver::scatter;
 use lpt_gossip::low_load::{LowLoadClarkson, LowLoadConfig};
 use lpt_gossip::Driver;
@@ -30,32 +30,70 @@ fn repeated_runs_are_identical() {
 fn parallel_and_sequential_stepping_agree() {
     let n = 512;
     let points = triple_disk(n, 71);
-    let run = |parallel: bool| {
-        let proto = LowLoadClarkson::new(Med, n, &LowLoadConfig::default());
-        let states: Vec<_> = scatter(&points, n, 71)
-            .expect("n > 0")
-            .into_iter()
-            .map(|h0| proto.initial_state(h0))
-            .collect();
-        let cfg = if parallel {
-            NetworkConfig::with_seed(71).parallel_threshold(1)
-        } else {
-            NetworkConfig::with_seed(71).sequential()
+    // Both schedules: the batch sweeps of V2Batched run outside the
+    // parallel sections, so stepping mode must stay invisible there
+    // exactly as it is for the per-node streams of V1Compat.
+    for schedule in [RngSchedule::V1Compat, RngSchedule::V2Batched] {
+        let run = |parallel: bool| {
+            let proto = LowLoadClarkson::new(Med, n, &LowLoadConfig::default());
+            let states: Vec<_> = scatter(&points, n, 71)
+                .expect("n > 0")
+                .into_iter()
+                .map(|h0| proto.initial_state(h0))
+                .collect();
+            let cfg = if parallel {
+                NetworkConfig::with_seed(71).parallel_threshold(1)
+            } else {
+                NetworkConfig::with_seed(71).sequential()
+            };
+            let mut net = Network::new(proto, states, cfg.rng_schedule(schedule));
+            for _ in 0..12 {
+                net.round();
+            }
+            let loads: Vec<usize> = net.states().iter().map(|s| s.held()).collect();
+            (loads, net.metrics().rounds.clone())
         };
-        let mut net = Network::new(proto, states, cfg);
-        for _ in 0..12 {
-            net.round();
-        }
-        let loads: Vec<usize> = net.states().iter().map(|s| s.held()).collect();
-        (loads, net.metrics().rounds.clone())
-    };
-    let (loads_par, metrics_par) = run(true);
-    let (loads_seq, metrics_seq) = run(false);
-    assert_eq!(
-        loads_par, loads_seq,
-        "per-node element counts must match bit-for-bit"
-    );
-    assert_eq!(metrics_par, metrics_seq, "round metrics must match");
+        let (loads_par, metrics_par) = run(true);
+        let (loads_seq, metrics_seq) = run(false);
+        assert_eq!(
+            loads_par, loads_seq,
+            "per-node element counts must match bit-for-bit ({schedule:?})"
+        );
+        assert_eq!(
+            metrics_par, metrics_seq,
+            "round metrics must match ({schedule:?})"
+        );
+    }
+}
+
+/// The schedule tag round-trips through the report: the default is
+/// V2Batched, an explicit choice is recorded verbatim, and the tag
+/// rides along byte-identically across reruns.
+#[test]
+fn run_report_carries_its_schedule_tag() {
+    let points = duo_disk(128, 44);
+    let default = Driver::new(Med)
+        .nodes(128)
+        .seed(44)
+        .run(&points)
+        .expect("run");
+    assert_eq!(default.schedule, RngSchedule::V2Batched);
+    for schedule in [RngSchedule::V1Compat, RngSchedule::V2Batched] {
+        let report = Driver::new(Med)
+            .nodes(128)
+            .seed(44)
+            .rng_schedule(schedule)
+            .run(&points)
+            .expect("run");
+        assert_eq!(report.schedule, schedule);
+        let rerun = Driver::new(Med)
+            .nodes(128)
+            .seed(44)
+            .rng_schedule(schedule)
+            .run(&points)
+            .expect("run");
+        assert_eq!(format!("{report:?}"), format!("{rerun:?}"));
+    }
 }
 
 #[test]
@@ -133,6 +171,7 @@ fn delay_queue_rebuild_matches_pinned_trajectories() {
     let report = Driver::new(Med)
         .nodes(256)
         .seed(55)
+        .rng_schedule(RngSchedule::V1Compat)
         .fault_model(Delay::between(1, 3))
         .run(&duo_disk(256, 55))
         .expect("run");
@@ -144,11 +183,59 @@ fn delay_queue_rebuild_matches_pinned_trajectories() {
             report.metrics.total_dropped(),
         ),
         (25, 847_734, 75_536, 0),
-        "pure-delay trajectory moved"
+        "pure-delay V1 trajectory moved"
     );
 
     // Loss + delay composed: exercises the pending queue while pushes
     // are also being dropped.
+    let report = Driver::new(Med)
+        .nodes(200)
+        .seed(56)
+        .rng_schedule(RngSchedule::V1Compat)
+        .fault_model(
+            Compose::default()
+                .and(Bernoulli::new(0.1))
+                .and(Delay::uniform(2)),
+        )
+        .run(&duo_disk(200, 56))
+        .expect("run");
+    assert_eq!(
+        (
+            report.rounds,
+            report.metrics.total_ops(),
+            report.metrics.total_delayed(),
+            report.metrics.total_dropped(),
+        ),
+        (24, 637_233, 32_782, 50_698),
+        "mixed loss+delay V1 trajectory moved"
+    );
+}
+
+/// The same two fault configurations re-pinned under the default
+/// batched schedule (captured on this engine at the schedule's
+/// introduction): the delay queue and fault accounting stay exactly
+/// reproducible under V2Batched too.
+#[test]
+fn delay_queue_v2_trajectories_are_pinned() {
+    use gossip_sim::fault::{Bernoulli, Compose, Delay};
+    let report = Driver::new(Med)
+        .nodes(256)
+        .seed(55)
+        .fault_model(Delay::between(1, 3))
+        .run(&duo_disk(256, 55))
+        .expect("run");
+    assert_eq!(report.schedule, RngSchedule::V2Batched);
+    assert_eq!(
+        (
+            report.rounds,
+            report.metrics.total_ops(),
+            report.metrics.total_delayed(),
+            report.metrics.total_dropped(),
+        ),
+        (25, 848_933, 75_628, 0),
+        "pure-delay V2 trajectory moved"
+    );
+
     let report = Driver::new(Med)
         .nodes(200)
         .seed(56)
@@ -166,8 +253,8 @@ fn delay_queue_rebuild_matches_pinned_trajectories() {
             report.metrics.total_delayed(),
             report.metrics.total_dropped(),
         ),
-        (24, 637_233, 32_782, 50_698),
-        "mixed loss+delay trajectory moved"
+        (24, 634_478, 32_724, 50_546),
+        "mixed loss+delay V2 trajectory moved"
     );
 }
 

@@ -2,28 +2,33 @@
 //! seam — exact optima under loss, churn, and delay, with the perfect
 //! model pinned to pre-fault-subsystem trajectories.
 
-use lpt_gossip::{Algorithm, Bernoulli, Driver, FaultSummary, StopCondition};
+use lpt_gossip::{Algorithm, Bernoulli, Driver, FaultSummary, RngSchedule, StopCondition};
 use lpt_problems::{IdPointD, Meb, Med};
 use lpt_workloads::med::{duo_disk, triple_disk};
 use lpt_workloads::scenarios::{Scenario, SCENARIOS};
 use std::sync::Arc;
 
-/// Trajectories captured before the fault subsystem existed. The
-/// default (Perfect) fault model must reproduce them exactly — the
-/// fault seam may not perturb a single RNG draw of a fault-free run.
+/// Trajectories captured before the fault subsystem (and later the RNG
+/// schedule seam) existed. Under [`RngSchedule::V1Compat`] the default
+/// (Perfect) fault model must reproduce them exactly — neither the
+/// fault seam nor the schedule seam may perturb a single RNG draw of a
+/// fault-free V1 run.
 #[test]
 fn perfect_network_reproduces_pre_fault_trajectories() {
     let report = Driver::new(Med)
         .nodes(128)
         .seed(1)
+        .rng_schedule(RngSchedule::V1Compat)
         .run(&duo_disk(128, 1))
         .expect("run");
     assert_eq!((report.rounds, report.metrics.total_ops()), (22, 365_900));
+    assert_eq!(report.schedule, RngSchedule::V1Compat);
 
     let report = Driver::new(Med)
         .nodes(256)
         .seed(2)
         .algorithm(Algorithm::high_load())
+        .rng_schedule(RngSchedule::V1Compat)
         .run(&triple_disk(256, 2))
         .expect("run");
     assert_eq!((report.rounds, report.metrics.total_ops()), (25, 81_163));
@@ -35,10 +40,102 @@ fn perfect_network_reproduces_pre_fault_trajectories() {
     let report = Driver::new(Meb::new(3))
         .nodes(200)
         .seed(9)
+        .rng_schedule(RngSchedule::V1Compat)
         .run(&balls)
         .expect("run");
     assert_eq!((report.rounds, report.metrics.total_ops()), (24, 1_031_095));
     assert_eq!(report.faults, FaultSummary::default());
+}
+
+/// The same three runs re-pinned under the default
+/// [`RngSchedule::V2Batched`]: a different bitstream (so different
+/// trajectories than the V1 pins above), but fixed once and forever for
+/// this schedule tag. A change to the batched keystream layout or the
+/// Lemire conversion must introduce a *new* schedule, not silently move
+/// these.
+#[test]
+fn v2_batched_trajectories_are_pinned() {
+    let report = Driver::new(Med)
+        .nodes(128)
+        .seed(1)
+        .run(&duo_disk(128, 1))
+        .expect("run");
+    assert_eq!((report.rounds, report.metrics.total_ops()), (22, 365_868));
+    assert_eq!(report.schedule, RngSchedule::V2Batched, "default schedule");
+
+    let report = Driver::new(Med)
+        .nodes(256)
+        .seed(2)
+        .algorithm(Algorithm::high_load())
+        .run(&triple_disk(256, 2))
+        .expect("run");
+    assert_eq!((report.rounds, report.metrics.total_ops()), (26, 86_343));
+
+    let balls: Vec<IdPointD> = triple_disk(200, 9)
+        .iter()
+        .map(|p| IdPointD::new(p.id, vec![p.p.x, p.p.y, 0.5]))
+        .collect();
+    let report = Driver::new(Meb::new(3))
+        .nodes(200)
+        .seed(9)
+        .run(&balls)
+        .expect("run");
+    assert_eq!((report.rounds, report.metrics.total_ops()), (24, 1_029_849));
+    assert_eq!(report.faults, FaultSummary::default());
+}
+
+/// Cross-schedule outcome invariants: V1Compat and V2Batched follow
+/// different bitstreams but must agree on everything the algorithms
+/// *guarantee* — termination, solution validity, consensus on the exact
+/// optimum — for both problem families.
+#[test]
+fn schedules_agree_on_outcome_invariants() {
+    let points = duo_disk(256, 13);
+    let mut op_counts = Vec::new();
+    for schedule in [RngSchedule::V1Compat, RngSchedule::V2Batched] {
+        let report = Driver::new(Med)
+            .nodes(256)
+            .seed(13)
+            .rng_schedule(schedule)
+            .run(&points)
+            .unwrap_or_else(|e| panic!("{}: {e}", schedule.name()));
+        assert!(report.all_halted, "{} must terminate", schedule.name());
+        let basis = report
+            .consensus_output()
+            .unwrap_or_else(|| panic!("{}: consensus", schedule.name()));
+        assert!(
+            (basis.value.r2.sqrt() - 10.0).abs() < 1e-6,
+            "{}: wrong optimum",
+            schedule.name()
+        );
+        assert_eq!(report.schedule, schedule);
+        op_counts.push(report.metrics.total_ops());
+    }
+    assert_ne!(
+        op_counts[0], op_counts[1],
+        "schedules sharing a bitstream would make the seam pointless"
+    );
+
+    // Hitting set: both schedules terminate with a *valid* hitting set
+    // within the size bound (the sets themselves may differ).
+    let (sys, _) = lpt_workloads::sets::planted_hitting_set(128, 32, 3, 6, 21);
+    let sys = Arc::new(sys);
+    for schedule in [RngSchedule::V1Compat, RngSchedule::V2Batched] {
+        let report = Driver::new(sys.clone())
+            .nodes(128)
+            .seed(21)
+            .algorithm(Algorithm::hitting_set(3))
+            .rng_schedule(schedule)
+            .run_ground()
+            .unwrap_or_else(|e| panic!("{}: {e}", schedule.name()));
+        assert!(report.all_halted, "{} must terminate", schedule.name());
+        let bound = report.size_bound.expect("size bound");
+        for out in &report.outputs {
+            let hs = out.as_ref().expect("output");
+            assert!(sys.is_hitting_set(hs), "{}: invalid set", schedule.name());
+            assert!(hs.len() <= bound, "{}: bound violated", schedule.name());
+        }
+    }
 }
 
 /// Every named robustness scenario terminates and agrees on the exact

@@ -59,9 +59,85 @@ pub mod prelude {
     }
 }
 
+/// Error building a [`ThreadPool`] (never produced by the stand-in,
+/// which has no resources to fail to acquire; present so caller code
+/// written against real rayon's fallible `build()` compiles unchanged).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error (unreachable in the stand-in)")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Stand-in for rayon's `ThreadPoolBuilder`: records the requested
+/// thread count but builds a pool that executes everything on the
+/// calling thread (matching the sequential `par_*` entry points above).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default (automatic) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests `num_threads` worker threads (`0` = automatic).
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool. The stand-in never fails.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: if self.num_threads == 0 {
+                1
+            } else {
+                self.num_threads
+            },
+        })
+    }
+}
+
+/// Stand-in for rayon's `ThreadPool`: remembers its nominal size and
+/// runs installed closures on the calling thread.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Executes `op` "inside" the pool (on the calling thread here;
+    /// with real rayon, `par_*` calls under `op` use this pool).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        op()
+    }
+
+    /// The nominal worker count this pool was built with.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::ThreadPoolBuilder;
+
+    #[test]
+    fn thread_pool_stub_installs_on_the_calling_thread() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 4);
+        assert_eq!(pool.install(|| 6 * 7), 42);
+        let auto = ThreadPoolBuilder::new().build().unwrap();
+        assert_eq!(auto.current_num_threads(), 1);
+    }
 
     #[test]
     fn entry_points_behave_like_std() {
