@@ -9,12 +9,18 @@
 //! baseline every future round-engine optimisation is judged against.
 //!
 //! Usage: `perf_report [--smoke] [--schedule v1compat|v2batched]
-//! [--out PATH] [--check BASELINE.json]`
+//! [--topology] [--out PATH] [--check BASELINE.json]`
 //!
 //! `--smoke` runs only the smallest grid point (CI uses this so the
-//! harness cannot bit-rot); `--schedule` selects the versioned
+//! harness cannot bit-rot) — including one `random-regular(8)` cell,
+//! so the neighbor-bounded draw path is regression-gated exactly like
+//! the complete-graph path; `--schedule` selects the versioned
 //! [`RngSchedule`] the networks draw under (default: the engine
-//! default, `v2batched`); `--out` overrides the output path.
+//! default, `v2batched`); `--topology` appends a topology grid
+//! (low/high-load × every `lpt_workloads::scenarios::TOPOLOGIES`
+//! preset at `n = 2^10`, run to termination) measuring the
+//! convergence-round inflation sparse overlays cost versus `Complete`;
+//! `--out` overrides the output path.
 //!
 //! `--check` is the CI determinism/perf gate: every measured cell is
 //! compared against the `smoke_baseline_v1` section of the given
@@ -35,7 +41,7 @@ use lpt_gossip::high_load::{HighLoadClarkson, HighLoadConfig};
 use lpt_gossip::low_load::{LowLoadClarkson, LowLoadConfig};
 use lpt_problems::Med;
 use lpt_workloads::med::triple_disk;
-use lpt_workloads::scenarios::Scenario;
+use lpt_workloads::scenarios::{Scenario, TopologyPreset, TOPOLOGIES};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -44,6 +50,9 @@ struct Cell {
     algo: &'static str,
     n: usize,
     scenario: &'static str,
+    /// Communication overlay the cell gossiped over (a
+    /// [`TopologyPreset`] name; `"complete"` outside topology cells).
+    topology: &'static str,
     /// Rayon worker threads the cell ran under (1 outside the thread
     /// sweep; nominal with the vendored sequential rayon stand-in).
     threads: usize,
@@ -80,7 +89,7 @@ fn round_cap(n: usize) -> u64 {
     }
 }
 
-fn run_low_load(n: usize, scenario: Scenario, schedule: RngSchedule) -> Cell {
+fn run_low_load(n: usize, scenario: Scenario, schedule: RngSchedule, topo: TopologyPreset) -> Cell {
     let points = triple_disk(n, SEED);
     let proto = LowLoadClarkson::new(Med, n, &LowLoadConfig::default());
     let states: Vec<_> = scatter(&points, n, SEED)
@@ -90,15 +99,21 @@ fn run_low_load(n: usize, scenario: Scenario, schedule: RngSchedule) -> Cell {
         .collect();
     let cfg = NetworkConfig::with_seed(SEED)
         .fault(scenario.fault_model())
-        .rng_schedule(schedule);
+        .rng_schedule(schedule)
+        .topology(topo.topology());
     let mut net = Network::new(proto, states, cfg);
     let t = Instant::now();
     let outcome = net.run(round_cap(n));
     let wall = t.elapsed();
-    cell("low_load", n, scenario, outcome.rounds(), &net, wall)
+    cell("low_load", n, scenario, topo, outcome.rounds(), &net, wall)
 }
 
-fn run_high_load(n: usize, scenario: Scenario, schedule: RngSchedule) -> Cell {
+fn run_high_load(
+    n: usize,
+    scenario: Scenario,
+    schedule: RngSchedule,
+    topo: TopologyPreset,
+) -> Cell {
     // 4·n elements: the high-load regime the algorithm targets.
     let points = triple_disk(4 * n, SEED);
     let proto = HighLoadClarkson::new(Med, n, &HighLoadConfig::default());
@@ -109,18 +124,20 @@ fn run_high_load(n: usize, scenario: Scenario, schedule: RngSchedule) -> Cell {
         .collect();
     let cfg = NetworkConfig::with_seed(SEED)
         .fault(scenario.fault_model())
-        .rng_schedule(schedule);
+        .rng_schedule(schedule)
+        .topology(topo.topology());
     let mut net = Network::new(proto, states, cfg);
     let t = Instant::now();
     let outcome = net.run(round_cap(n));
     let wall = t.elapsed();
-    cell("high_load", n, scenario, outcome.rounds(), &net, wall)
+    cell("high_load", n, scenario, topo, outcome.rounds(), &net, wall)
 }
 
 fn cell<P: Protocol>(
     algo: &'static str,
     n: usize,
     scenario: Scenario,
+    topo: TopologyPreset,
     rounds: u64,
     net: &Network<P>,
     wall: std::time::Duration,
@@ -130,6 +147,7 @@ fn cell<P: Protocol>(
         algo,
         n,
         scenario: scenario.name(),
+        topology: topo.name(),
         threads: 1,
         rounds,
         ops: net.metrics().total_ops(),
@@ -229,6 +247,7 @@ fn run_rumor_step(n: usize, warmup: u64, window: u64, schedule: RngSchedule) -> 
         algo: "rumor_step",
         n,
         scenario: "perfect",
+        topology: "complete",
         threads: 1,
         rounds: window,
         ops,
@@ -285,6 +304,7 @@ fn run_thread_sweep(schedule: RngSchedule) -> Vec<Cell> {
                     algo: "rumor_step_threads",
                     n,
                     scenario: "perfect",
+                    topology: "complete",
                     threads,
                     rounds: 200,
                     ops,
@@ -326,6 +346,9 @@ struct BaselineCell {
     algo: String,
     n: u64,
     scenario: String,
+    /// Overlay the cell gossiped over; pre-topology baseline lines
+    /// omit the field and default to `"complete"`.
+    topology: String,
     ops: u64,
     wall_ms: f64,
 }
@@ -355,6 +378,8 @@ fn load_smoke_baseline(path: &str) -> Result<Vec<BaselineCell>, String> {
                 algo: json_str_field(line, "algo")?,
                 n: json_num_field(line, "n")? as u64,
                 scenario: json_str_field(line, "scenario")?,
+                topology: json_str_field(line, "topology")
+                    .unwrap_or_else(|| "complete".to_string()),
                 ops: json_num_field(line, "ops")? as u64,
                 wall_ms: json_num_field(line, "wall_ms")?,
             })
@@ -373,22 +398,24 @@ fn load_smoke_baseline(path: &str) -> Result<Vec<BaselineCell>, String> {
 fn check_against_baseline(cells: &[Cell], baseline: &[BaselineCell], tol: f64) -> Vec<String> {
     let mut violations = Vec::new();
     for c in cells {
-        let Some(b) = baseline
-            .iter()
-            .find(|b| b.algo == c.algo && b.n == c.n as u64 && b.scenario == c.scenario)
-        else {
+        let Some(b) = baseline.iter().find(|b| {
+            b.algo == c.algo
+                && b.n == c.n as u64
+                && b.scenario == c.scenario
+                && b.topology == c.topology
+        }) else {
             violations.push(format!(
-                "cell ({}, n={}, {}) missing from the committed smoke baseline — \
+                "cell ({}, n={}, {}, {}) missing from the committed smoke baseline — \
                  re-pin BENCH_round_engine.json",
-                c.algo, c.n, c.scenario
+                c.algo, c.n, c.scenario, c.topology
             ));
             continue;
         };
         if b.ops != c.ops {
             violations.push(format!(
-                "op-count drift in ({}, n={}, {}): measured {} vs baseline {} — \
+                "op-count drift in ({}, n={}, {}, {}): measured {} vs baseline {} — \
                  the V1Compat bitstream moved without a schedule bump",
-                c.algo, c.n, c.scenario, c.ops, b.ops
+                c.algo, c.n, c.scenario, c.topology, c.ops, b.ops
             ));
         }
         // Wall-clock is a regression tripwire, not a determinism check:
@@ -437,6 +464,7 @@ fn main() {
         }),
     };
     let check_path = flag_value("--check");
+    let topology_grid = args.iter().any(|a| a == "--topology");
 
     let sizes: &[usize] = if smoke {
         &[1 << 10]
@@ -457,15 +485,42 @@ fn main() {
                 "[perf_report] low_load  n={n} scenario={tag} {}",
                 schedule.name()
             );
-            cells.push(run_low_load(n, scenario, schedule));
+            cells.push(run_low_load(
+                n,
+                scenario,
+                schedule,
+                TopologyPreset::Complete,
+            ));
             eprintln!(
                 "[perf_report] high_load n={n} scenario={tag} {}",
                 schedule.name()
             );
-            cells.push(run_high_load(n, scenario, schedule));
+            cells.push(run_high_load(
+                n,
+                scenario,
+                schedule,
+                TopologyPreset::Complete,
+            ));
         }
     }
     if smoke {
+        // The Complete-vs-RandomRegular op-count pair: the
+        // neighbor-bounded draw path is determinism-gated exactly like
+        // the complete-graph path (its complete twin ran above).
+        // High-Load is the cell that terminates crisply on the sparse
+        // overlay (Low-Load's audit-based termination outlives the
+        // round cap there).
+        eprintln!(
+            "[perf_report] high_load n={} scenario=perfect topology=rr8 {}",
+            1 << 10,
+            schedule.name()
+        );
+        cells.push(run_high_load(
+            1 << 10,
+            Scenario::Perfect,
+            schedule,
+            TopologyPreset::RandomRegular8,
+        ));
         eprintln!("[perf_report] rumor_step n={} {}", 1 << 10, schedule.name());
         cells.push(run_rumor_step(1 << 10, 10, 50, schedule));
     } else {
@@ -475,6 +530,28 @@ fn main() {
         cells.push(run_rumor_step(1 << 20, 30, 50, schedule));
         eprintln!("[perf_report] thread sweep (1/2/4/8) n={}", 1 << 14);
         cells.extend(run_thread_sweep(schedule));
+    }
+    if topology_grid {
+        // Convergence-round inflation on sparse overlays: every
+        // topology preset at n = 2^10, run to termination under the
+        // perfect network (the round counts, not the wall clock, are
+        // the measurement — compare each overlay's `rounds` against
+        // the complete cell's).
+        let n = 1 << 10;
+        for topo in TOPOLOGIES {
+            eprintln!(
+                "[perf_report] low_load  n={n} topology={} {}",
+                topo.name(),
+                schedule.name()
+            );
+            cells.push(run_low_load(n, Scenario::Perfect, schedule, topo));
+            eprintln!(
+                "[perf_report] high_load n={n} topology={} {}",
+                topo.name(),
+                schedule.name()
+            );
+            cells.push(run_high_load(n, Scenario::Perfect, schedule, topo));
+        }
     }
 
     let mut json = String::new();
@@ -490,8 +567,8 @@ fn main() {
             .unwrap_or_else(|| "null".to_string());
         let _ = write!(
             json,
-            "    {{\"algo\": \"{}\", \"n\": {}, \"scenario\": \"{}\", \"threads\": {}, \"rounds\": {}, \"ops\": {}, \"wall_ms\": {:.1}, \"rounds_per_sec\": {:.2}, \"peak_rss_kb\": {}}}",
-            c.algo, c.n, c.scenario, c.threads, c.rounds, c.ops, c.wall_ms, c.rounds_per_sec, rss
+            "    {{\"algo\": \"{}\", \"n\": {}, \"scenario\": \"{}\", \"topology\": \"{}\", \"threads\": {}, \"rounds\": {}, \"ops\": {}, \"wall_ms\": {:.1}, \"rounds_per_sec\": {:.2}, \"peak_rss_kb\": {}}}",
+            c.algo, c.n, c.scenario, c.topology, c.threads, c.rounds, c.ops, c.wall_ms, c.rounds_per_sec, rss
         );
         json.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
     }

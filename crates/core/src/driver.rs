@@ -45,6 +45,7 @@ use crate::hitting_set::{HittingSetConfig, HittingSetGossip, HittingSetState};
 use crate::hypercube::hypercube_clarkson;
 use crate::low_load::{LowLoadClarkson, LowLoadConfig, LowLoadState};
 use gossip_sim::fault::{FaultModel, IntoFaultModel, Perfect};
+use gossip_sim::topology::{Complete, IntoTopology, Topology};
 use gossip_sim::{Metrics, Network, NetworkConfig, Protocol, RngSchedule, RunOutcome};
 use lpt::{BasisOf, LpType};
 use lpt_problems::SetSystem;
@@ -104,6 +105,16 @@ pub enum DriverError {
         /// The algorithm that was selected.
         algorithm: &'static str,
     },
+    /// The selected algorithm assumes a specific overlay and cannot run
+    /// on the configured topology (the analytic hypercube baseline
+    /// charges its rounds against a hypercube, so it accepts only the
+    /// default `Complete` or an explicit `Hypercube` topology).
+    UnsupportedTopology {
+        /// The algorithm that was selected.
+        algorithm: &'static str,
+        /// The topology it was asked to run on.
+        topology: &'static str,
+    },
     /// [`Driver::with_doubling_search`] is only meaningful for the
     /// hitting-set algorithm, whose config carries the searched `d`.
     UnsupportedDoubling {
@@ -153,6 +164,16 @@ impl fmt::Display for DriverError {
                     f,
                     "algorithm {algorithm} is computed analytically and cannot \
                      simulate a non-perfect fault model"
+                )
+            }
+            DriverError::UnsupportedTopology {
+                algorithm,
+                topology,
+            } => {
+                write!(
+                    f,
+                    "algorithm {algorithm} assumes a hypercube overlay and cannot \
+                     run on the {topology} topology"
                 )
             }
             DriverError::UnsupportedDoubling { algorithm } => {
@@ -441,6 +462,11 @@ pub struct RunReport<O> {
     /// outcome-level facts (solution validity, termination) are
     /// schedule-invariant.
     pub schedule: RngSchedule,
+    /// Name of the communication topology the run gossiped over
+    /// (`"complete"` unless [`Driver::topology`] installed an overlay);
+    /// recorded like `schedule` and `faults` so reports are only
+    /// compared within one topology.
+    pub topology: &'static str,
     consensus: Option<O>,
 }
 
@@ -515,6 +541,8 @@ pub struct RunSpec<'a, T> {
     pub fault: &'a Arc<dyn FaultModel>,
     /// The versioned randomness schedule the network draws under.
     pub schedule: RngSchedule,
+    /// The communication topology destinations are drawn from.
+    pub topology: &'a Arc<dyn Topology>,
 }
 
 /// A problem family the unified [`Driver`] can run.
@@ -586,6 +614,7 @@ pub struct Driver<P: DriverProblem<M>, M = LpMode> {
     doubling: Option<f64>,
     fault: Arc<dyn FaultModel>,
     schedule: RngSchedule,
+    topology: Arc<dyn Topology>,
     _mode: PhantomData<fn() -> M>,
 }
 
@@ -603,6 +632,7 @@ impl<M, P: DriverProblem<M> + Clone> Clone for Driver<P, M> {
             doubling: self.doubling,
             fault: self.fault.clone(),
             schedule: self.schedule,
+            topology: self.topology.clone(),
             _mode: PhantomData,
         }
     }
@@ -621,6 +651,7 @@ impl<M, P: DriverProblem<M>> fmt::Debug for Driver<P, M> {
             .field("doubling", &self.doubling)
             .field("fault", &self.fault)
             .field("schedule", &self.schedule)
+            .field("topology", &self.topology)
             .finish_non_exhaustive()
     }
 }
@@ -630,8 +661,8 @@ impl<M, P: DriverProblem<M>> Driver<P, M> {
     /// the problem family's default algorithm (LP-type: Low-Load;
     /// set system: hitting set under the doubling search), full
     /// termination, a 20 000-round safety valve, parallel stepping
-    /// enabled, the perfect (fault-free) network, and the default
-    /// [`RngSchedule`].
+    /// enabled, the perfect (fault-free) network, the default
+    /// [`RngSchedule`], and the complete topology.
     pub fn new(problem: P) -> Self {
         Driver {
             problem,
@@ -645,11 +676,13 @@ impl<M, P: DriverProblem<M>> Driver<P, M> {
             doubling: None,
             fault: Arc::new(Perfect),
             schedule: RngSchedule::default(),
+            topology: Arc::new(Complete),
             _mode: PhantomData,
         }
     }
 
     /// Sets the network size.
+    #[must_use = "builder methods return the updated driver"]
     pub fn nodes(mut self, n: usize) -> Self {
         self.n = n;
         self
@@ -657,24 +690,28 @@ impl<M, P: DriverProblem<M>> Driver<P, M> {
 
     /// Sets the master seed; the run is a deterministic function of
     /// (problem, elements, nodes, algorithm, stop, seed).
+    #[must_use = "builder methods return the updated driver"]
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
     }
 
     /// Selects the algorithm.
+    #[must_use = "builder methods return the updated driver"]
     pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
         self.algorithm = Some(algorithm);
         self
     }
 
     /// Sets the stop condition.
+    #[must_use = "builder methods return the updated driver"]
     pub fn stop(mut self, stop: StopCondition<P::Target>) -> Self {
         self.stop = stop;
         self
     }
 
     /// Sets the safety valve on simulated rounds (default 20 000).
+    #[must_use = "builder methods return the updated driver"]
     pub fn max_rounds(mut self, max_rounds: u64) -> Self {
         self.max_rounds = max_rounds;
         self
@@ -682,6 +719,7 @@ impl<M, P: DriverProblem<M>> Driver<P, M> {
 
     /// Enables or disables Rayon-parallel node stepping (default on;
     /// results are identical either way).
+    #[must_use = "builder methods return the updated driver"]
     pub fn parallel(mut self, parallel: bool) -> Self {
         self.parallel = parallel;
         self
@@ -691,6 +729,7 @@ impl<M, P: DriverProblem<M>> Driver<P, M> {
     /// Rayon (default: the simulator's 4096). Results are identical at
     /// any threshold; tune it when profiling shows the fork/join
     /// overhead dominating small networks.
+    #[must_use = "builder methods return the updated driver"]
     pub fn parallel_threshold(mut self, threshold: usize) -> Self {
         self.parallel_threshold = Some(threshold);
         self
@@ -703,8 +742,26 @@ impl<M, P: DriverProblem<M>> Driver<P, M> {
     /// fault model), and [`RunReport::faults`] reports what the model
     /// cost. Not supported by the analytic [`Algorithm::Hypercube`]
     /// baseline ([`DriverError::UnsupportedFaults`]).
+    #[must_use = "builder methods return the updated driver"]
     pub fn fault_model(mut self, fault: impl IntoFaultModel) -> Self {
         self.fault = fault.into_fault_model();
+        self
+    }
+
+    /// Gossips over a communication topology instead of the paper's
+    /// complete graph (see [`gossip_sim::topology`] for the built-ins:
+    /// hypercube, seeded random-regular, ring, 2-D torus). Every pull
+    /// target and push destination is then drawn uniformly from the
+    /// drawing node's neighbor set; the run stays a deterministic
+    /// function of (problem, elements, nodes, algorithm, stop, seed,
+    /// fault model, schedule, topology), and [`RunReport::topology`]
+    /// records the overlay. The analytic [`Algorithm::Hypercube`]
+    /// baseline accepts only the default complete topology or an
+    /// explicit [`gossip_sim::topology::Hypercube`]
+    /// ([`DriverError::UnsupportedTopology`] otherwise).
+    #[must_use = "builder methods return the updated driver"]
+    pub fn topology(mut self, topology: impl IntoTopology) -> Self {
+        self.topology = topology.into_topology();
         self
     }
 
@@ -716,6 +773,7 @@ impl<M, P: DriverProblem<M>> Driver<P, M> {
     /// default batched schedule is faster and equally deterministic but
     /// follows a different bitstream. [`RunReport::schedule`] records
     /// which schedule produced a report.
+    #[must_use = "builder methods return the updated driver"]
     pub fn rng_schedule(mut self, schedule: RngSchedule) -> Self {
         self.schedule = schedule;
         self
@@ -733,6 +791,7 @@ impl<M, P: DriverProblem<M>> Driver<P, M> {
     /// budget is derived from this factor alone — [`Driver::max_rounds`]
     /// does not cap attempts, since freezing the budget would make
     /// doubling `d` useless.
+    #[must_use = "builder methods return the updated driver"]
     pub fn with_doubling_search(mut self, round_budget_factor: f64) -> Self {
         self.doubling = Some(round_budget_factor);
         self
@@ -769,6 +828,7 @@ impl<M, P: DriverProblem<M>> Driver<P, M> {
             doubling,
             fault: &self.fault,
             schedule: self.schedule,
+            topology: &self.topology,
         };
         self.problem.execute(&spec, elements)
     }
@@ -800,6 +860,7 @@ fn net_config<T>(spec: &RunSpec<'_, T>) -> NetworkConfig {
     }
     cfg.fault = spec.fault.clone();
     cfg.schedule = spec.schedule;
+    cfg.topology = spec.topology.clone();
     cfg
 }
 
@@ -981,6 +1042,7 @@ fn run_low_load_driver<P: LpType + Clone + Sync>(
         faults: FaultSummary::from_metrics(spec.fault.as_ref(), net.metrics()),
         metrics: net.metrics().clone(),
         schedule: spec.schedule,
+        topology: spec.topology.name(),
     })
 }
 
@@ -1027,6 +1089,7 @@ fn run_high_load_driver<P: LpType + Clone + Sync>(
         faults: FaultSummary::from_metrics(spec.fault.as_ref(), net.metrics()),
         metrics: net.metrics().clone(),
         schedule: spec.schedule,
+        topology: spec.topology.name(),
     })
 }
 
@@ -1043,6 +1106,16 @@ fn run_hypercube_driver<P: LpType + Clone + Sync>(
     if !spec.fault.is_perfect() {
         return Err(DriverError::UnsupportedFaults {
             algorithm: "hypercube",
+        });
+    }
+    // The baseline charges its per-iteration rounds against a hypercube
+    // overlay; only the default complete topology (compatibility — the
+    // run is analytic either way) or an explicit hypercube matches the
+    // model being charged.
+    if !spec.topology.is_complete() && spec.topology.name() != "hypercube" {
+        return Err(DriverError::UnsupportedTopology {
+            algorithm: "hypercube",
+            topology: spec.topology.name(),
         });
     }
     let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
@@ -1064,6 +1137,7 @@ fn run_hypercube_driver<P: LpType + Clone + Sync>(
         // network, no destination draws), but the report still records
         // the spec's schedule for uniformity.
         schedule: spec.schedule,
+        topology: spec.topology.name(),
     })
 }
 
@@ -1157,6 +1231,7 @@ fn run_hitting_set_driver(
         faults: FaultSummary::from_metrics(spec.fault.as_ref(), net.metrics()),
         metrics: net.metrics().clone(),
         schedule: spec.schedule,
+        topology: spec.topology.name(),
     })
 }
 
@@ -1783,6 +1858,98 @@ mod tests {
     }
 
     #[test]
+    fn topology_is_recorded_and_algorithms_solve_on_overlays() {
+        use gossip_sim::topology::{Hypercube, RandomRegular};
+        let points = duo_disk(128, 3);
+        let base = || Driver::new(Med).nodes(128).seed(3);
+        let complete = base().run(&points).expect("run");
+        assert_eq!(complete.topology, "complete");
+
+        // High-Load on a well-connected random-regular overlay still
+        // reaches exact-optimum consensus.
+        let rr = base()
+            .topology(RandomRegular(8))
+            .algorithm(Algorithm::high_load())
+            .run(&points)
+            .expect("run");
+        assert_eq!(rr.topology, "random-regular");
+        assert!(rr.all_halted);
+        let basis = rr.consensus_output().expect("consensus");
+        assert!((basis.value.r2.sqrt() - 10.0).abs() < 1e-6);
+
+        // Low-Load on the hypercube overlay: the paper's guarantees
+        // assume uniform gossip, and on a sparse overlay the
+        // termination audit samples only neighbors — every node halts
+        // and the optimum is found, but individual nodes may keep a
+        // locally-unviolated sub-optimal basis (which is exactly the
+        // degradation the topology seam exists to measure).
+        let hc = base().topology(Hypercube).run(&points).expect("run");
+        assert_eq!(hc.topology, "hypercube");
+        assert!(hc.all_halted);
+        let best = hc
+            .outputs
+            .iter()
+            .map(|o| o.as_ref().expect("all nodes output").value.r2)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((best.sqrt() - 10.0).abs() < 1e-6, "optimum not found");
+    }
+
+    #[test]
+    fn explicit_complete_topology_matches_the_default() {
+        let points = duo_disk(128, 1);
+        let implicit = Driver::new(Med)
+            .nodes(128)
+            .seed(1)
+            .run(&points)
+            .expect("run");
+        let explicit = Driver::new(Med)
+            .nodes(128)
+            .seed(1)
+            .topology(gossip_sim::topology::Complete)
+            .run(&points)
+            .expect("run");
+        assert_eq!(implicit.rounds, explicit.rounds);
+        assert_eq!(implicit.metrics.total_ops(), explicit.metrics.total_ops());
+        assert_eq!(explicit.topology, "complete");
+    }
+
+    #[test]
+    fn hypercube_algorithm_rejects_non_hypercube_topologies() {
+        use gossip_sim::topology::{Hypercube, Ring};
+        let points = duo_disk(64, 6);
+        let err = Driver::new(Med)
+            .nodes(64)
+            .algorithm(Algorithm::Hypercube)
+            .topology(Ring(2))
+            .run(&points)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DriverError::UnsupportedTopology {
+                algorithm: "hypercube",
+                topology: "ring"
+            }
+        );
+        // The default complete topology and an explicit hypercube — the
+        // overlay the baseline actually charges against — are accepted.
+        for ok in [
+            Driver::new(Med)
+                .nodes(64)
+                .seed(6)
+                .algorithm(Algorithm::Hypercube)
+                .run(&points),
+            Driver::new(Med)
+                .nodes(64)
+                .seed(6)
+                .algorithm(Algorithm::Hypercube)
+                .topology(Hypercube)
+                .run(&points),
+        ] {
+            assert!(ok.is_ok());
+        }
+    }
+
+    #[test]
     fn best_output_prefers_smaller_then_lexicographic() {
         let report: RunReport<Vec<u32>> = RunReport {
             outputs: vec![
@@ -1801,6 +1968,7 @@ mod tests {
             faults: FaultSummary::default(),
             metrics: Metrics::default(),
             schedule: RngSchedule::default(),
+            topology: "complete",
             consensus: None,
         };
         assert_eq!(report.best_output(), Some(&vec![2, 3]));

@@ -102,6 +102,8 @@ pub use driver::{
 pub use gossip_sim::fault::{
     Bernoulli, Churn, Compose, Delay, FaultModel, IntoFaultModel, Perfect,
 };
+pub use gossip_sim::topology;
+pub use gossip_sim::topology::{IntoTopology, Topology};
 pub use gossip_sim::RngSchedule;
 pub use high_load::{HighLoadClarkson, HighLoadConfig, HighLoadState};
 pub use hitting_set::{HittingSetConfig, HittingSetGossip, HittingSetState};

@@ -41,6 +41,20 @@
 //! Injected faults are accounted per round in [`RoundMetrics`]
 //! (`offline`, `dropped`, `delayed`).
 //!
+//! ## Topologies
+//!
+//! The paper's draws are uniform over **all** nodes — the complete
+//! graph. The [`topology`] module makes the neighbor relation a
+//! pluggable [`Topology`] (structured [`topology::Hypercube`]
+//! overlays, seeded [`topology::RandomRegular`] graphs,
+//! [`topology::Ring`]s, [`topology::Torus2D`] grids), installed via
+//! [`NetworkConfig::topology`]: every pull target and push destination
+//! is then drawn uniformly from the drawing node's neighbor set. The
+//! adjacency is built once per run into a flat CSR arena, so
+//! steady-state rounds stay zero-alloc; the default
+//! [`topology::Complete`] takes the pre-topology draw path and is
+//! bit-identical to the historical engine under both schedules.
+//!
 //! ## Determinism and parallelism
 //!
 //! Every (round, node, phase) triple gets its own counter-derived
@@ -76,12 +90,14 @@ pub mod net;
 pub mod protocol;
 pub mod rng;
 pub mod scratch;
+pub mod topology;
 
 pub use fault::{Bernoulli, Churn, Compose, Delay, FaultModel, IntoFaultModel, Perfect};
 pub use metrics::{Metrics, RoundMetrics};
 pub use net::{Network, NetworkConfig, RunOutcome};
 pub use protocol::{NodeControl, Protocol, Response, Served};
-pub use rng::{BatchedUniform, PhaseRng, RngSchedule};
+pub use rng::{BatchedSampler, BatchedUniform, PhaseRng, RngSchedule};
+pub use topology::{Adjacency, IntoTopology, Topology};
 
 /// Identifier of a node within one simulated network (dense `0..n`).
 ///

@@ -3,8 +3,9 @@
 use crate::fault::{FaultModel, IntoFaultModel, Perfect};
 use crate::metrics::{Metrics, RoundMetrics};
 use crate::protocol::{NodeControl, Protocol, Response};
-use crate::rng::{derive_rng, phase, BatchedUniform, PhaseRng, RngSchedule};
+use crate::rng::{derive_rng, phase, BatchedSampler, BatchedUniform, PhaseRng, RngSchedule};
 use crate::scratch::{RoundScratch, ServeStats};
+use crate::topology::{Adjacency, Complete, IntoTopology, Topology};
 use crate::NodeId;
 use rand::Rng;
 use rayon::prelude::*;
@@ -15,7 +16,8 @@ use std::sync::Arc;
 #[derive(Clone, Debug)]
 pub struct NetworkConfig {
     /// Master seed; the entire simulation is a deterministic function of
-    /// the seed, the protocol, the initial states, and the fault model.
+    /// the seed, the protocol, the initial states, the fault model, and
+    /// the topology.
     pub seed: u64,
     /// Step nodes with Rayon when `n >= parallel_threshold`.
     pub parallel: bool,
@@ -28,12 +30,16 @@ pub struct NetworkConfig {
     /// draws follow (default: [`RngSchedule::V2Batched`]); see
     /// [`crate::rng::RngSchedule`] for the determinism contract.
     pub schedule: RngSchedule,
+    /// The communication topology destinations are drawn from (default:
+    /// [`Complete`], the paper's model — uniform over all `n` nodes);
+    /// see [`crate::topology`] for the built-in overlays.
+    pub topology: Arc<dyn Topology>,
 }
 
 impl NetworkConfig {
     /// Config with the given seed, default parallel settings, the
-    /// [`Perfect`] (fault-free) network, and the default
-    /// [`RngSchedule`].
+    /// [`Perfect`] (fault-free) network, the default [`RngSchedule`],
+    /// and the [`Complete`] topology.
     pub fn with_seed(seed: u64) -> Self {
         NetworkConfig {
             seed,
@@ -41,6 +47,7 @@ impl NetworkConfig {
             parallel_threshold: 4096,
             fault: Arc::new(Perfect),
             schedule: RngSchedule::default(),
+            topology: Arc::new(Complete),
         }
     }
 
@@ -68,6 +75,14 @@ impl NetworkConfig {
     /// reproduce pre-schedule trajectories bit-for-bit).
     pub fn rng_schedule(mut self, schedule: RngSchedule) -> Self {
         self.schedule = schedule;
+        self
+    }
+
+    /// Installs a communication topology (see [`crate::topology`] for
+    /// the built-ins; default: [`Complete`], which is bit-identical to
+    /// the pre-topology engine under both schedules).
+    pub fn topology(mut self, topology: impl IntoTopology) -> Self {
+        self.topology = topology.into_topology();
         self
     }
 }
@@ -132,6 +147,12 @@ pub struct Network<P: Protocol> {
     /// stops allocating once it has seen its deepest delay.
     pending_pool: Vec<Vec<(usize, P::Msg)>>,
     scratch: RoundScratch<P>,
+    /// The topology's flat CSR neighbor arena, built once at
+    /// construction and only read afterwards (`None` for the
+    /// [`Complete`] graph, whose draws target node ids directly);
+    /// per-run state adjacent to the scratch so steady-state rounds
+    /// stay zero-alloc.
+    adjacency: Option<Adjacency>,
 }
 
 impl<P: Protocol> Network<P> {
@@ -142,6 +163,12 @@ impl<P: Protocol> Network<P> {
     pub fn new(protocol: P, states: Vec<P::State>, cfg: NetworkConfig) -> Self {
         assert!(!states.is_empty(), "network needs at least one node");
         let n = states.len();
+        let adjacency = cfg.topology.build(n, cfg.seed);
+        debug_assert_eq!(
+            adjacency.is_none(),
+            cfg.topology.is_complete(),
+            "a topology must build an arena iff it is not complete"
+        );
         Network {
             protocol,
             states,
@@ -152,7 +179,13 @@ impl<P: Protocol> Network<P> {
             pending: VecDeque::new(),
             pending_pool: Vec::new(),
             scratch: RoundScratch::new(n),
+            adjacency,
         }
+    }
+
+    /// The topology's neighbor arena (`None` under [`Complete`]).
+    pub fn adjacency(&self) -> Option<&Adjacency> {
+        self.adjacency.as_ref()
     }
 
     /// Number of nodes.
@@ -226,6 +259,7 @@ impl<P: Protocol> Network<P> {
         let fault = Arc::clone(&self.cfg.fault);
         let perfect = fault.is_perfect();
         let schedule = self.cfg.schedule;
+        let adj = self.adjacency.as_ref();
         let RoundScratch {
             offline,
             queries,
@@ -309,13 +343,33 @@ impl<P: Protocol> Network<P> {
         // consumed in node order (then query order), so the sweep is a
         // pure function of (seed, round, phase) and the per-node pull
         // counts — identical under sequential and parallel stepping,
-        // which only ever read the pre-filled rows.
+        // which only ever read the pre-filled rows. Under a non-complete
+        // topology the same keystream is spent on *neighbor-list
+        // indices* (each draw Lemire-bounded by the drawing node's
+        // degree) and resolved through the CSR arena here, so the rows
+        // always hold final node ids either way.
         if schedule == RngSchedule::V2Batched {
-            let mut sampler = BatchedUniform::new(seed, round, phase::PULL_TARGET, n);
-            for (row, &count) in pull_targets.iter_mut().zip(pull_counts.iter()) {
-                row.clear();
-                for _ in 0..count {
-                    row.push(sampler.next_index() as u32);
+            match adj {
+                None => {
+                    let mut sampler = BatchedUniform::new(seed, round, phase::PULL_TARGET, n);
+                    for (row, &count) in pull_targets.iter_mut().zip(pull_counts.iter()) {
+                        row.clear();
+                        for _ in 0..count {
+                            row.push(sampler.next_index() as u32);
+                        }
+                    }
+                }
+                Some(a) => {
+                    let mut sampler = BatchedSampler::new(seed, round, phase::PULL_TARGET);
+                    for (i, (row, &count)) in
+                        pull_targets.iter_mut().zip(pull_counts.iter()).enumerate()
+                    {
+                        row.clear();
+                        let nbrs = a.row(i);
+                        for _ in 0..count {
+                            row.push(nbrs[sampler.next_in(nbrs.len())]);
+                        }
+                    }
                 }
             }
         }
@@ -342,13 +396,19 @@ impl<P: Protocol> Network<P> {
                     return;
                 }
                 // V1: targets come from this node's own lazily derived
-                // stream; V2: from the pre-filled batched row.
+                // stream (drawing a node id under Complete, a
+                // neighbor-list index otherwise); V2: from the
+                // pre-filled batched row, already resolved to node ids.
                 let mut target_rng = (schedule == RngSchedule::V1Compat)
                     .then(|| derive_rng(seed, round, i as u64, phase::PULL_TARGET));
                 let mut serve_rng = PhaseRng::new(seed, round, i as u64, phase::SERVE);
+                let nbrs = adj.map(|a| a.row(i));
                 for (k, q) in qs.iter().enumerate() {
                     let t = match target_rng.as_mut() {
-                        Some(rng) => rng.gen_range(0..n),
+                        Some(rng) => match nbrs {
+                            None => rng.gen_range(0..n),
+                            Some(nbrs) => nbrs[rng.gen_range(0..nbrs.len())] as usize,
+                        },
                         None => pull_targets[i][k] as usize,
                     };
                     if offline.get(t) {
@@ -444,11 +504,25 @@ impl<P: Protocol> Network<P> {
         // consumed in (node, message) order into the scratch rows the
         // delivery loop then reads.
         if schedule == RngSchedule::V2Batched {
-            let mut sampler = BatchedUniform::new(seed, round, phase::PUSH_DEST, n);
-            for (row, out) in push_dests.iter_mut().zip(pushes.iter()) {
-                row.clear();
-                for _ in 0..out.len() {
-                    row.push(sampler.next_index() as u32);
+            match adj {
+                None => {
+                    let mut sampler = BatchedUniform::new(seed, round, phase::PUSH_DEST, n);
+                    for (row, out) in push_dests.iter_mut().zip(pushes.iter()) {
+                        row.clear();
+                        for _ in 0..out.len() {
+                            row.push(sampler.next_index() as u32);
+                        }
+                    }
+                }
+                Some(a) => {
+                    let mut sampler = BatchedSampler::new(seed, round, phase::PUSH_DEST);
+                    for (i, (row, out)) in push_dests.iter_mut().zip(pushes.iter()).enumerate() {
+                        row.clear();
+                        let nbrs = a.row(i);
+                        for _ in 0..out.len() {
+                            row.push(nbrs[sampler.next_in(nbrs.len())]);
+                        }
+                    }
                 }
             }
         }
@@ -484,14 +558,20 @@ impl<P: Protocol> Network<P> {
             }
             let mut dest_rng = (schedule == RngSchedule::V1Compat)
                 .then(|| derive_rng(seed, round, i as u64, phase::PUSH_DEST));
+            let nbrs = adj.map(|a| a.row(i));
             for (k, msg) in out.drain(..).enumerate() {
                 push_words += protocol.msg_words(&msg) as u64;
                 // The destination is fixed per message (V1: drawn here,
                 // unconditionally; V2: pre-drawn by the batch sweep) so
                 // the uniform-gossip stream is identical whatever the
-                // fault model decides about this message.
+                // fault model decides about this message. Non-complete
+                // topologies draw a neighbor-list index and resolve it
+                // through the arena.
                 let dest = match dest_rng.as_mut() {
-                    Some(rng) => rng.gen_range(0..n),
+                    Some(rng) => match nbrs {
+                        None => rng.gen_range(0..n),
+                        Some(nbrs) => nbrs[rng.gen_range(0..nbrs.len())] as usize,
+                    },
                     None => push_dests[i][k] as usize,
                 };
                 if perfect {
@@ -1024,6 +1104,172 @@ mod tests {
         assert!(m_par.iter().any(|r| r.dropped > 0));
         assert!(m_par.iter().any(|r| r.delayed > 0));
         assert!(m_par.iter().any(|r| r.offline > 0));
+    }
+
+    // ---- topologies -----------------------------------------------------
+
+    use crate::topology::{Complete as CompleteTopo, Hypercube, RandomRegular, Ring, Torus2D};
+    use crate::topology::{IntoTopology, Topology};
+
+    #[test]
+    fn explicit_complete_topology_is_bit_identical_to_the_default() {
+        // The Complete fast path must be the pre-topology draw path:
+        // installing it explicitly changes nothing, under either
+        // schedule.
+        for schedule in [RngSchedule::V1Compat, RngSchedule::V2Batched] {
+            let run = |cfg: NetworkConfig| {
+                let mut net = Network::new(PushRumor, rumor_states(512), cfg);
+                for _ in 0..20 {
+                    net.round();
+                }
+                (net.states().to_vec(), net.metrics().rounds.clone())
+            };
+            let implicit = run(NetworkConfig::with_seed(33).rng_schedule(schedule));
+            let explicit = run(NetworkConfig::with_seed(33)
+                .rng_schedule(schedule)
+                .topology(CompleteTopo));
+            assert_eq!(implicit, explicit, "{schedule:?}");
+        }
+    }
+
+    #[test]
+    fn rumor_spreads_on_every_builtin_topology() {
+        let n = 1024;
+        let topologies: [Arc<dyn Topology>; 4] = [
+            Hypercube.into_topology(),
+            RandomRegular(8).into_topology(),
+            Ring(8).into_topology(),
+            Torus2D.into_topology(),
+        ];
+        for topo in topologies {
+            for schedule in [RngSchedule::V1Compat, RngSchedule::V2Batched] {
+                let name = topo.name();
+                let cfg = NetworkConfig::with_seed(9)
+                    .rng_schedule(schedule)
+                    .topology(Arc::clone(&topo));
+                let mut net = Network::new(PushRumor, rumor_states(n), cfg);
+                // Sparse overlays (ring diameter n/2k, torus √n) need
+                // more rounds than the complete graph's Θ(log n).
+                let outcome = net.run_until(2_000, |net| net.states().iter().all(|s| s.informed));
+                assert!(
+                    matches!(outcome, RunOutcome::Predicate { .. }),
+                    "{name} ({schedule:?}): rumor did not saturate"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn topology_runs_are_deterministic_across_parallelism() {
+        let n = 6000; // above the default parallel threshold
+        for schedule in [RngSchedule::V1Compat, RngSchedule::V2Batched] {
+            let run = |parallel: bool| {
+                let cfg = if parallel {
+                    NetworkConfig::with_seed(37).parallel_threshold(1)
+                } else {
+                    NetworkConfig::with_seed(37).sequential()
+                };
+                let cfg = cfg.rng_schedule(schedule).topology(RandomRegular(6));
+                let mut net = Network::new(PushRumor, rumor_states(n), cfg);
+                for _ in 0..25 {
+                    net.round();
+                }
+                (net.states().to_vec(), net.metrics().rounds.clone())
+            };
+            assert_eq!(run(true), run(false), "{schedule:?}");
+        }
+    }
+
+    #[test]
+    fn sparse_topologies_slow_the_rumor_down() {
+        // Convergence-round inflation is the whole point of the seam: a
+        // k=1 ring (diameter n/2) must take far longer than the
+        // complete graph at the same seed.
+        let n = 512;
+        let rounds = |cfg: NetworkConfig| {
+            let mut net = Network::new(PushRumor, rumor_states(n), cfg);
+            net.run_until(5_000, |net| net.states().iter().all(|s| s.informed))
+                .rounds()
+        };
+        let complete = rounds(NetworkConfig::with_seed(12));
+        let ring = rounds(NetworkConfig::with_seed(12).topology(Ring(1)));
+        assert!(
+            ring > 4 * complete,
+            "ring {ring} vs complete {complete}: no inflation?"
+        );
+    }
+
+    #[test]
+    fn topology_draws_stay_within_the_neighbor_set() {
+        // Every delivered push must travel along an edge of the arena.
+        // PushRumor's token is the sender's id + 1, so the inbox traffic
+        // itself witnesses the draw. (The exhaustive property test over
+        // all topologies × schedules × stepping modes lives in the
+        // workspace-level tests/properties.rs.)
+        struct SenderRumor;
+        impl Protocol for SenderRumor {
+            type State = (bool, Vec<u32>);
+            type Msg = u32;
+            type Query = ();
+            fn pulls(&self, _: NodeId, _: &Self::State, _: &mut PhaseRng, _: &mut Vec<()>) {}
+            fn serve(
+                &self,
+                _: NodeId,
+                _: &Self::State,
+                _: &(),
+                _: &mut PhaseRng,
+            ) -> Option<Served<u32>> {
+                None
+            }
+            fn compute(
+                &self,
+                me: NodeId,
+                state: &mut Self::State,
+                _: &mut Vec<Option<Response<u32>>>,
+                _: &mut PhaseRng,
+                pushes: &mut Vec<u32>,
+            ) -> NodeControl {
+                if state.0 {
+                    pushes.push(me);
+                }
+                NodeControl::Continue
+            }
+            fn absorb(
+                &self,
+                _: NodeId,
+                state: &mut Self::State,
+                delivered: &mut Vec<u32>,
+                _: &mut PhaseRng,
+            ) -> NodeControl {
+                state.0 |= !delivered.is_empty();
+                state.1.append(delivered);
+                NodeControl::Continue
+            }
+        }
+        let n = 300;
+        let topo = Torus2D;
+        let arena = topo.build(n, 41).expect("arena");
+        for schedule in [RngSchedule::V1Compat, RngSchedule::V2Batched] {
+            let states: Vec<_> = (0..n).map(|i| (i == 0, Vec::new())).collect();
+            let cfg = NetworkConfig::with_seed(41)
+                .rng_schedule(schedule)
+                .topology(topo);
+            let mut net = Network::new(SenderRumor, states, cfg);
+            for _ in 0..60 {
+                net.round();
+            }
+            let mut deliveries = 0usize;
+            for (dest, state) in net.states().iter().enumerate() {
+                for &sender in &state.1 {
+                    deliveries += 1;
+                    assert!(
+                        arena.contains(sender as usize, dest as u32),
+                        "{schedule:?}: push {sender} → {dest} off-topology"
+                    );
+                }
+            }
+            assert!(deliveries > n, "{schedule:?}: too little traffic to trust");
+        }
     }
 
     /// Conservation through the pooled, swap-recycled delay queue: no

@@ -176,6 +176,52 @@ impl BatchedUniform {
     }
 }
 
+/// Batched bounded-uniform sampler with a **per-draw** bound, over the
+/// same `(seed, round, phase)` batch stream as [`BatchedUniform`] —
+/// the [`RngSchedule::V2Batched`] draw path for non-complete
+/// [topologies](crate::topology), where each node's draws are bounded
+/// by its own degree.
+///
+/// The keystream is identical to [`BatchedUniform`]'s for the same
+/// coordinates, and each draw performs the same Lemire
+/// widening-multiply rejection — so for a constant bound the two
+/// samplers produce identical sequences (tested). The only difference
+/// is that the rejection threshold (`2^64 mod bound`) is recomputed
+/// per draw instead of once: one extra integer modulo, which a
+/// degree-bounded sweep amortizes exactly like the fixed-bound sweep.
+#[derive(Debug)]
+pub struct BatchedSampler {
+    rng: ChaCha8Rng,
+}
+
+impl BatchedSampler {
+    /// The sampler for the `(seed, round, phase)` batch stream.
+    pub fn new(seed: u64, round: u64, phase: u64) -> Self {
+        BatchedSampler {
+            rng: derive_rng(seed, round, BATCH_STREAM_NODE, phase),
+        }
+    }
+
+    /// The next uniform index in `0..bound`.
+    ///
+    /// # Panics
+    /// Panics when `bound == 0` (an empty outcome set cannot be
+    /// sampled; topology arenas guarantee non-empty neighbor rows).
+    #[inline]
+    pub fn next_in(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0, "BatchedSampler needs a non-empty range");
+        let bound = bound as u64;
+        let threshold = bound.wrapping_neg() % bound;
+        let bound = u128::from(bound);
+        loop {
+            let m = u128::from(self.rng.next_u64()) * bound;
+            if (m as u64) >= threshold {
+                return (m >> 64) as usize;
+            }
+        }
+    }
+}
+
 /// The lazily derived `(seed, round, node, phase)` stream handed to
 /// protocol hooks.
 ///
@@ -334,6 +380,35 @@ mod tests {
     #[should_panic(expected = "non-empty range")]
     fn batched_uniform_rejects_zero_bound() {
         let _ = BatchedUniform::new(0, 0, 0, 0);
+    }
+
+    /// `BatchedSampler` at a constant bound must replay `BatchedUniform`
+    /// exactly: same keystream coordinates, same Lemire rejection — the
+    /// per-draw bound generalization may not shift a single word.
+    #[test]
+    fn batched_sampler_matches_batched_uniform_at_constant_bound() {
+        for bound in [1usize, 2, 97, 1000, 1 << 16] {
+            let mut fixed = BatchedUniform::new(11, 3, phase::PUSH_DEST, bound);
+            let mut varying = BatchedSampler::new(11, 3, phase::PUSH_DEST);
+            for _ in 0..2048 {
+                assert_eq!(varying.next_in(bound), fixed.next_index(), "bound {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_sampler_respects_per_draw_bounds() {
+        let mut s = BatchedSampler::new(5, 1, phase::PULL_TARGET);
+        for k in 1..200usize {
+            let v = s.next_in(k);
+            assert!(v < k, "draw {v} out of 0..{k}");
+        }
+        // Determinism across reconstruction.
+        let draw = |count: usize| -> Vec<usize> {
+            let mut s = BatchedSampler::new(5, 2, phase::PULL_TARGET);
+            (0..count).map(|i| s.next_in(i % 7 + 1)).collect()
+        };
+        assert_eq!(draw(512), draw(512));
     }
 
     /// Chi-squared-style bucket check over the V2 destination draws at

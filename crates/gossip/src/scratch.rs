@@ -119,6 +119,9 @@ pub(crate) struct RoundScratch<P: Protocol> {
     /// `i`'s pull targets, index-aligned with `queries[i]`, filled in
     /// one batched sweep between phases 1 and 2 (unused — left empty —
     /// under `V1Compat`, whose targets come from per-node streams).
+    /// Always resolved node ids: non-complete topologies draw
+    /// neighbor-list indices and map them through the adjacency arena
+    /// during the sweep.
     pub pull_targets: Vec<Vec<u32>>,
     /// Phase 3 output: node `i`'s emitted pushes (drained into inboxes
     /// or the delay queue during delivery).

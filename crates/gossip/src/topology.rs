@@ -1,0 +1,622 @@
+//! Pluggable communication topologies: who may gossip with whom.
+//!
+//! The paper's network model is the *complete* graph — every push and
+//! pull targets a node drawn uniformly at random from **all** `n`
+//! nodes (self included). Real deployments gossip over overlays:
+//! structured hypercubes, random regular graphs, rings, grids. A
+//! [`Topology`] makes the neighbor relation a pluggable, versioned
+//! seam alongside [`RngSchedule`](crate::rng::RngSchedule) and
+//! [`FaultModel`](crate::fault::FaultModel): the engine draws every
+//! destination **uniformly from the drawing node's neighbor set**
+//! instead of from `0..n`.
+//!
+//! ## Contract
+//!
+//! Conceptually a topology is a map from `(node, round, draw-index)`
+//! to a peer drawn uniformly from `neighbors(node)`. Concretely it is
+//! split into two halves so the hot path stays zero-alloc:
+//!
+//! * [`Topology::build`] runs **once per run** (at
+//!   [`Network::new`](crate::Network::new)) and returns the full
+//!   neighbor relation as a flat CSR-style [`Adjacency`] arena —
+//!   `None` for the complete graph, whose "arena" would be the
+//!   quadratic all-pairs relation;
+//! * the round engine performs the per-draw uniform selection over the
+//!   prebuilt neighbor rows, through the same versioned
+//!   [`RngSchedule`](crate::rng::RngSchedule) paths as the complete
+//!   graph (per-node streams under `V1Compat`, one batched Lemire
+//!   sweep per `(seed, round, phase)` under `V2Batched`).
+//!
+//! Because the arena is immutable after construction and every draw is
+//! a pure function of `(seed, round, node, phase, draw-index)`,
+//! simulations remain bit-identical across sequential and parallel
+//! stepping and across reruns, and a run stays a deterministic
+//! function of (seed, protocol, fault model, schedule, **topology**).
+//!
+//! ## Why `Complete` is pin-stable
+//!
+//! [`Complete`] answers [`Topology::is_complete`] with `true` and
+//! builds no arena; the engine then takes exactly the pre-topology
+//! draw path (node ids straight from the destination streams), so
+//! every historical pinned trajectory reproduces untouched under both
+//! schedules. Non-complete topologies draw *neighbor-list indices*
+//! from the same streams — a different (but equally deterministic)
+//! bitstream, pinned separately.
+//!
+//! ## Built-ins
+//!
+//! | topology | neighbor set |
+//! |---|---|
+//! | [`Complete`] | all `n` nodes, self included (the paper's model; the default) |
+//! | [`Hypercube`] | bit-flip neighbors on the dimension-⌈log₂ n⌉ cube (the overlay assumed by the analytic hypercube baseline) |
+//! | [`RandomRegular`] | a seeded pairing-model random `d`-regular graph, built once per run |
+//! | [`Ring`] | the `k` nearest neighbors on each side of a cycle |
+//! | [`Torus2D`] | the 4-neighborhood of a two-dimensional wrap-around grid |
+//!
+//! Every builder guarantees a non-empty neighbor row for every node
+//! (degenerate sizes fall back to self-loops), so a draw can never
+//! face an empty outcome set.
+
+use crate::rng::derive_rng;
+use rand::Rng;
+use std::fmt;
+use std::sync::Arc;
+
+/// Mixed into the master seed before deriving topology-construction
+/// streams (the [`RandomRegular`] pairing model), so building an
+/// overlay never collides with the simulator's per-phase streams, a
+/// protocol's custom streams, or the fault streams derived from the
+/// same seed (ASCII `"topology"`).
+pub const TOPOLOGY_SEED_MIX: u64 = 0x746F_706F_6C6F_6779;
+
+/// A node's neighbor relation for one run, stored as a flat CSR-style
+/// arena: `row(i)` is the slice of node ids that node `i` may gossip
+/// with. Built once per run by [`Topology::build`] and then only read,
+/// so steady-state rounds stay zero-alloc and the Rayon stepping path
+/// can share it without synchronization.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Adjacency {
+    /// Row boundaries: node `i`'s neighbors live at
+    /// `neighbors[offsets[i]..offsets[i + 1]]`.
+    offsets: Vec<u32>,
+    /// All neighbor lists, concatenated in node order.
+    neighbors: Vec<u32>,
+}
+
+impl Adjacency {
+    /// Builds the arena from per-node neighbor lists.
+    ///
+    /// # Panics
+    /// Panics if any list is empty (a node with no neighbors could
+    /// never complete a draw) or names a node outside `0..n`.
+    pub fn from_rows(rows: &[Vec<u32>]) -> Self {
+        let n = rows.len() as u32;
+        let mut offsets = Vec::with_capacity(rows.len() + 1);
+        let mut neighbors = Vec::with_capacity(rows.iter().map(Vec::len).sum());
+        offsets.push(0u32);
+        for (i, row) in rows.iter().enumerate() {
+            assert!(!row.is_empty(), "node {i} has no neighbors");
+            for &v in row {
+                assert!(v < n, "node {i} lists out-of-range neighbor {v}");
+                neighbors.push(v);
+            }
+            offsets.push(neighbors.len() as u32);
+        }
+        Adjacency { offsets, neighbors }
+    }
+
+    /// Number of nodes the arena covers.
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Node `i`'s neighbors (always non-empty).
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.neighbors[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Node `i`'s degree.
+    #[inline]
+    pub fn degree(&self, i: usize) -> usize {
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Whether `(from, to)` is an edge of the relation.
+    pub fn contains(&self, from: usize, to: u32) -> bool {
+        self.row(from).contains(&to)
+    }
+
+    /// Total number of stored (directed) edges.
+    pub fn edge_count(&self) -> usize {
+        self.neighbors.len()
+    }
+}
+
+/// A pluggable communication topology; see the [module docs](self) for
+/// the contract and the built-ins.
+pub trait Topology: Send + Sync + fmt::Debug {
+    /// Short display name, recorded in run reports and perf baselines
+    /// (stable across parameter choices — parameters are part of the
+    /// run's configuration, not its key).
+    fn name(&self) -> &'static str;
+
+    /// Whether this is the complete graph. The engine then skips the
+    /// arena entirely and draws node ids straight from the destination
+    /// streams — the pre-topology draw path, bit-identical to every
+    /// historical pinned trajectory.
+    fn is_complete(&self) -> bool {
+        false
+    }
+
+    /// Builds the neighbor arena for an `n`-node run. `None` means the
+    /// complete graph (must match [`Topology::is_complete`]). `seed`
+    /// is the run's master seed; randomized constructions must derive
+    /// their streams through [`TOPOLOGY_SEED_MIX`] so the overlay is a
+    /// pure function of `(topology, n, seed)` and independent of every
+    /// other stream of the run.
+    fn build(&self, n: usize, seed: u64) -> Option<Adjacency>;
+}
+
+/// Conversion into a shared topology handle, accepted by
+/// [`crate::NetworkConfig::topology`] and the driver-level builders;
+/// mirrors [`crate::fault::IntoFaultModel`].
+pub trait IntoTopology {
+    /// Converts `self` into a shared topology.
+    fn into_topology(self) -> Arc<dyn Topology>;
+}
+
+impl<T: Topology + 'static> IntoTopology for T {
+    fn into_topology(self) -> Arc<dyn Topology> {
+        Arc::new(self)
+    }
+}
+
+impl IntoTopology for Arc<dyn Topology> {
+    fn into_topology(self) -> Arc<dyn Topology> {
+        self
+    }
+}
+
+/// Degenerate sizes (n = 1, or parameters that would isolate a node)
+/// fall back to a self-loop so every row stays drawable.
+fn self_loop_rows(n: usize) -> Vec<Vec<u32>> {
+    (0..n as u32).map(|i| vec![i]).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Complete
+// ---------------------------------------------------------------------------
+
+/// The paper's complete graph (the default): every draw targets a node
+/// chosen uniformly from all `n` nodes, **self included** — exactly
+/// the pre-topology engine, bit-identical under both schedules.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Complete;
+
+impl Topology for Complete {
+    fn name(&self) -> &'static str {
+        "complete"
+    }
+    fn is_complete(&self) -> bool {
+        true
+    }
+    fn build(&self, _n: usize, _seed: u64) -> Option<Adjacency> {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hypercube
+// ---------------------------------------------------------------------------
+
+/// The dimension-⌈log₂ n⌉ hypercube: node `i`'s neighbors are the ids
+/// `i ^ (1 << b)` for each bit `b` below the dimension (ids ≥ `n` are
+/// skipped when `n` is not a power of two, so every edge connects two
+/// real nodes). This is the overlay the analytic
+/// hypercube-emulated Clarkson baseline charges its `O(log n)` rounds
+/// against, now expressible as an actual gossip substrate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Hypercube;
+
+impl Topology for Hypercube {
+    fn name(&self) -> &'static str {
+        "hypercube"
+    }
+    fn build(&self, n: usize, _seed: u64) -> Option<Adjacency> {
+        if n <= 1 {
+            return Some(Adjacency::from_rows(&self_loop_rows(n)));
+        }
+        let dim = (usize::BITS - (n - 1).leading_zeros()) as usize; // ⌈log2 n⌉
+        let rows: Vec<Vec<u32>> = (0..n)
+            .map(|i| {
+                let row: Vec<u32> = (0..dim)
+                    .map(|b| i ^ (1 << b))
+                    .filter(|&v| v < n)
+                    .map(|v| v as u32)
+                    .collect();
+                // n not a power of two can strand a node whose every
+                // bit-flip lands beyond n only when n = 1 (handled
+                // above); still, keep the guarantee explicit.
+                if row.is_empty() {
+                    vec![i as u32]
+                } else {
+                    row
+                }
+            })
+            .collect();
+        Some(Adjacency::from_rows(&rows))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Random regular
+// ---------------------------------------------------------------------------
+
+/// A seeded random `d`-regular graph from the pairing (configuration)
+/// model, built once per run: `d` stubs per node are shuffled and
+/// paired, then the handful of self-loops and parallel edges the
+/// pairing produces (expected `O(d²)`, independent of `n`) are removed
+/// by degree-preserving edge swaps — a bad edge `(a, b)` and a random
+/// good edge `(c, d)` are rewired to `(a, d)`, `(c, b)` whenever that
+/// creates no new conflict. The whole construction draws from one
+/// [`TOPOLOGY_SEED_MIX`]-derived stream, so the overlay is a pure
+/// function of `(d, n, seed)`. In the degenerate corner where the swap
+/// budget runs out (`d` within a whisker of `n`), remaining bad edges
+/// are dropped and the graph is *approximately* `d`-regular; `d` is
+/// always clamped to `n - 1`, and `n·d` odd leaves one node at degree
+/// `d - 1` (one stub has no partner).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RandomRegular(pub usize);
+
+impl Topology for RandomRegular {
+    fn name(&self) -> &'static str {
+        "random-regular"
+    }
+    fn build(&self, n: usize, seed: u64) -> Option<Adjacency> {
+        let d = self.0.max(1).min(n.saturating_sub(1));
+        if n <= 1 || d == 0 {
+            return Some(Adjacency::from_rows(&self_loop_rows(n)));
+        }
+        let mut rng = derive_rng(seed ^ TOPOLOGY_SEED_MIX, 0, n as u64, d as u64);
+        // One stub per (node, slot); pairing consecutive entries of a
+        // shuffled stub list is the standard configuration model.
+        let mut stubs: Vec<u32> = (0..n as u32)
+            .flat_map(|i| std::iter::repeat_n(i, d))
+            .collect();
+        for i in (1..stubs.len()).rev() {
+            stubs.swap(i, rng.gen_range(0..=i));
+        }
+        let mut edges: Vec<(u32, u32)> = stubs.chunks_exact(2).map(|p| (p[0], p[1])).collect();
+        let norm = |a: u32, b: u32| if a <= b { (a, b) } else { (b, a) };
+        // `seen` holds every *good* (simple, first-occurrence) edge;
+        // membership checks only, so the hasher's per-process salt
+        // cannot influence the constructed graph.
+        let mut seen: std::collections::HashSet<(u32, u32)> =
+            std::collections::HashSet::with_capacity(edges.len());
+        let mut bad: Vec<usize> = Vec::new();
+        for (idx, &(a, b)) in edges.iter().enumerate() {
+            if a == b || !seen.insert(norm(a, b)) {
+                bad.push(idx);
+            }
+        }
+        let mut budget = 200 * bad.len().max(1);
+        while let Some(&idx) = bad.last() {
+            if budget == 0 {
+                break;
+            }
+            budget -= 1;
+            let j = rng.gen_range(0..edges.len());
+            // The partner must be a good edge (a bad one is not in
+            // `seen` and must not donate endpoints), and the rewiring
+            // must introduce no self-loop or duplicate.
+            if j == idx || bad.contains(&j) {
+                continue;
+            }
+            let (a, b) = edges[idx];
+            let (c, dd) = edges[j];
+            let e1 = norm(a, dd);
+            let e2 = norm(c, b);
+            if a == dd || c == b || e1 == e2 || seen.contains(&e1) || seen.contains(&e2) {
+                continue;
+            }
+            seen.remove(&norm(c, dd));
+            seen.insert(e1);
+            seen.insert(e2);
+            edges[idx] = (a, dd);
+            edges[j] = (c, b);
+            bad.pop();
+        }
+        let mut rows: Vec<Vec<u32>> = vec![Vec::with_capacity(d); n];
+        for (idx, &(a, b)) in edges.iter().enumerate() {
+            if bad.contains(&idx) {
+                continue; // budget exhausted: drop the unrepairable edge
+            }
+            rows[a as usize].push(b);
+            rows[b as usize].push(a);
+        }
+        for (i, row) in rows.iter_mut().enumerate() {
+            if row.is_empty() {
+                row.push(i as u32);
+            }
+        }
+        Some(Adjacency::from_rows(&rows))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ring
+// ---------------------------------------------------------------------------
+
+/// The `k`-nearest-neighbor ring: node `i` gossips with
+/// `i ± 1, …, i ± k` (mod `n`), duplicates and self removed — the
+/// classic low-degree, high-diameter overlay (diameter `Θ(n / k)`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Ring(pub usize);
+
+impl Topology for Ring {
+    fn name(&self) -> &'static str {
+        "ring"
+    }
+    fn build(&self, n: usize, _seed: u64) -> Option<Adjacency> {
+        let k = self.0.max(1);
+        if n <= 1 {
+            return Some(Adjacency::from_rows(&self_loop_rows(n)));
+        }
+        let rows: Vec<Vec<u32>> = (0..n)
+            .map(|i| {
+                let mut row = Vec::with_capacity(2 * k.min(n - 1));
+                for step in 1..=k.min(n / 2) {
+                    row.push(((i + step) % n) as u32);
+                    let back = ((i + n - step) % n) as u32;
+                    if !row.contains(&back) {
+                        row.push(back);
+                    }
+                }
+                // k ≥ n/2 may still leave the antipode (even n) or a
+                // remainder of the cycle uncovered when k > n/2.
+                if k > n / 2 {
+                    for step in (n / 2 + 1)..=k.min(n - 1) {
+                        for v in [((i + step) % n) as u32, ((i + n - step) % n) as u32] {
+                            if v != i as u32 && !row.contains(&v) {
+                                row.push(v);
+                            }
+                        }
+                    }
+                }
+                row
+            })
+            .collect();
+        Some(Adjacency::from_rows(&rows))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2-D torus
+// ---------------------------------------------------------------------------
+
+/// The two-dimensional wrap-around grid: nodes are laid out row-major
+/// on a `w × h` grid with `w = ⌈√n⌉`, and each gossips with its
+/// left/right/up/down neighbors, wrapping at the edges. When `n` is
+/// not a perfect rectangle the last row is ragged; wrap-around then
+/// stays within each (shortened) row and column, so every edge still
+/// connects two real nodes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Torus2D;
+
+impl Topology for Torus2D {
+    fn name(&self) -> &'static str {
+        "torus2d"
+    }
+    fn build(&self, n: usize, _seed: u64) -> Option<Adjacency> {
+        if n <= 1 {
+            return Some(Adjacency::from_rows(&self_loop_rows(n)));
+        }
+        let w = (n as f64).sqrt().ceil() as usize;
+        let rows: Vec<Vec<u32>> = (0..n)
+            .map(|i| {
+                let (r, c) = (i / w, i % w);
+                let row_len = w.min(n - r * w);
+                // Rows of column c: all r' with r'·w + c < n.
+                let col_len = (n - c).div_ceil(w);
+                let mut row = Vec::with_capacity(4);
+                let mut push = |v: usize| {
+                    let v = v as u32;
+                    if v != i as u32 && !row.contains(&v) {
+                        row.push(v);
+                    }
+                };
+                push(r * w + (c + 1) % row_len);
+                push(r * w + (c + row_len - 1) % row_len);
+                push(((r + 1) % col_len) * w + c);
+                push(((r + col_len - 1) % col_len) * w + c);
+                if row.is_empty() {
+                    row.push(i as u32);
+                }
+                row
+            })
+            .collect();
+        Some(Adjacency::from_rows(&rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_symmetric(adj: &Adjacency) {
+        for i in 0..adj.n() {
+            for &v in adj.row(i) {
+                if v as usize != i {
+                    assert!(
+                        adj.contains(v as usize, i as u32),
+                        "edge ({i}, {v}) has no reverse"
+                    );
+                }
+            }
+        }
+    }
+
+    fn assert_valid(adj: &Adjacency, n: usize) {
+        assert_eq!(adj.n(), n);
+        for i in 0..n {
+            assert!(adj.degree(i) >= 1, "node {i} isolated");
+            for &v in adj.row(i) {
+                assert!((v as usize) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn complete_builds_no_arena() {
+        assert!(Complete.is_complete());
+        assert!(Complete.build(1024, 7).is_none());
+        assert_eq!(Complete.name(), "complete");
+    }
+
+    #[test]
+    fn hypercube_power_of_two_is_log_n_regular() {
+        let n = 64;
+        let adj = Hypercube.build(n, 0).expect("arena");
+        assert_valid(&adj, n);
+        assert_symmetric(&adj);
+        for i in 0..n {
+            assert_eq!(adj.degree(i), 6, "node {i}");
+            for &v in adj.row(i) {
+                assert_eq!((i ^ v as usize).count_ones(), 1, "edge ({i}, {v})");
+            }
+        }
+        assert_eq!(adj.edge_count(), n * 6);
+    }
+
+    #[test]
+    fn hypercube_ragged_n_skips_missing_ids() {
+        let n = 100; // dim 7
+        let adj = Hypercube.build(n, 0).expect("arena");
+        assert_valid(&adj, n);
+        assert_symmetric(&adj);
+        for i in 0..n {
+            assert!(adj.degree(i) <= 7);
+            for &v in adj.row(i) {
+                assert_eq!((i ^ v as usize).count_ones(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn random_regular_is_regular_simple_and_seed_deterministic() {
+        let n = 256;
+        let adj = RandomRegular(8).build(n, 42).expect("arena");
+        assert_valid(&adj, n);
+        assert_symmetric(&adj);
+        for i in 0..n {
+            assert_eq!(adj.degree(i), 8, "node {i}");
+            let mut row = adj.row(i).to_vec();
+            row.sort_unstable();
+            row.dedup();
+            assert_eq!(row.len(), 8, "node {i} has parallel edges");
+            assert!(!row.contains(&(i as u32)), "node {i} has a self-loop");
+        }
+        // Same (n, seed) ⇒ same overlay; different seed ⇒ different.
+        assert_eq!(adj, RandomRegular(8).build(n, 42).expect("arena"));
+        assert_ne!(adj, RandomRegular(8).build(n, 43).expect("arena"));
+    }
+
+    #[test]
+    fn random_regular_clamps_excess_degree() {
+        // d ≥ n is clamped to n - 1; tiny instances stay drawable.
+        let adj = RandomRegular(10).build(4, 1).expect("arena");
+        assert_valid(&adj, 4);
+        for i in 0..4 {
+            assert!(adj.degree(i) <= 3);
+        }
+    }
+
+    #[test]
+    fn ring_k_nearest_and_bounds() {
+        let n = 12;
+        let adj = Ring(2).build(n, 0).expect("arena");
+        assert_valid(&adj, n);
+        assert_symmetric(&adj);
+        for i in 0..n {
+            assert_eq!(adj.degree(i), 4);
+            for &v in adj.row(i) {
+                let fwd = (v as usize + n - i) % n;
+                assert!(fwd <= 2 || fwd >= n - 2, "edge ({i}, {v}) too far");
+            }
+        }
+        // k ≥ n/2 saturates to the complete-minus-self relation.
+        let adj = Ring(40).build(9, 0).expect("arena");
+        assert_valid(&adj, 9);
+        for i in 0..9 {
+            assert_eq!(adj.degree(i), 8, "node {i}");
+        }
+    }
+
+    #[test]
+    fn torus_perfect_square_is_4_regular() {
+        let n = 16;
+        let adj = Torus2D.build(n, 0).expect("arena");
+        assert_valid(&adj, n);
+        assert_symmetric(&adj);
+        for i in 0..n {
+            assert_eq!(adj.degree(i), 4, "node {i}");
+        }
+    }
+
+    #[test]
+    fn torus_ragged_n_stays_connected_and_symmetric() {
+        for n in [2, 3, 5, 7, 10, 23, 50] {
+            let adj = Torus2D.build(n, 0).expect("arena");
+            assert_valid(&adj, n);
+            assert_symmetric(&adj);
+            // BFS connectivity from node 0.
+            let mut seen = vec![false; n];
+            let mut queue = vec![0usize];
+            seen[0] = true;
+            while let Some(u) = queue.pop() {
+                for &v in adj.row(u) {
+                    if !seen[v as usize] {
+                        seen[v as usize] = true;
+                        queue.push(v as usize);
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "torus n={n} disconnected");
+        }
+    }
+
+    #[test]
+    fn single_node_topologies_self_loop() {
+        for topo in [
+            &Hypercube as &dyn Topology,
+            &RandomRegular(4),
+            &Ring(3),
+            &Torus2D,
+        ] {
+            let adj = topo.build(1, 9).expect("arena");
+            assert_eq!(adj.row(0), &[0], "{}", topo.name());
+        }
+    }
+
+    #[test]
+    fn into_topology_shares_arcs_without_rewrapping() {
+        let arc: Arc<dyn Topology> = Arc::new(Hypercube);
+        let ptr = Arc::as_ptr(&arc);
+        let converted = arc.into_topology();
+        assert!(std::ptr::eq(ptr, Arc::as_ptr(&converted)));
+        assert_eq!(Ring(2).into_topology().name(), "ring");
+    }
+
+    #[test]
+    #[should_panic(expected = "no neighbors")]
+    fn adjacency_rejects_isolated_nodes() {
+        let _ = Adjacency::from_rows(&[vec![1], vec![]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range")]
+    fn adjacency_rejects_out_of_range_ids() {
+        let _ = Adjacency::from_rows(&[vec![2], vec![0]]);
+    }
+}

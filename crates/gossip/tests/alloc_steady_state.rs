@@ -97,43 +97,54 @@ impl Protocol for PushRumor {
 
 #[test]
 fn steady_state_rounds_allocate_nothing() {
+    use gossip_sim::topology::{Complete, Hypercube, IntoTopology, Topology};
+    use std::sync::Arc;
     // Both schedules must hold the guarantee: V2Batched's batch sweeps
     // refill the pre-sized `push_dests` / `pull_targets` scratch rows
     // in place, and its per-round `BatchedUniform` samplers live on the
-    // stack.
-    for schedule in [RngSchedule::V1Compat, RngSchedule::V2Batched] {
-        let n = 2048;
-        let states: Vec<_> = (0..n).map(|i| RumorState { informed: i == 0 }).collect();
-        let mut net = Network::new(
-            PushRumor,
-            states,
-            // Sequential so a real (threaded) rayon would not attribute
-            // its own pool allocations to the round engine.
-            NetworkConfig::with_seed(7)
-                .sequential()
-                .rng_schedule(schedule),
-        );
-        // Warm-up: saturate the rumor and let every scratch buffer
-        // reach its steady-state capacity.
-        for _ in 0..40 {
-            net.round();
-        }
-        assert!(
-            net.states().iter().all(|s| s.informed),
-            "rumor must saturate during warm-up ({schedule:?})"
-        );
-        // The per-round metrics log is the one thing that must still grow.
-        net.reserve_rounds(64);
+    // stack. And both on a non-complete topology: the CSR adjacency
+    // arena is built once at construction and only *read* per round
+    // (neighbor-bounded draws resolve through it in place).
+    let topologies: [Arc<dyn Topology>; 2] = [Complete.into_topology(), Hypercube.into_topology()];
+    for topology in topologies {
+        for schedule in [RngSchedule::V1Compat, RngSchedule::V2Batched] {
+            let n = 2048;
+            let states: Vec<_> = (0..n).map(|i| RumorState { informed: i == 0 }).collect();
+            let mut net = Network::new(
+                PushRumor,
+                states,
+                // Sequential so a real (threaded) rayon would not attribute
+                // its own pool allocations to the round engine.
+                NetworkConfig::with_seed(7)
+                    .sequential()
+                    .rng_schedule(schedule)
+                    .topology(Arc::clone(&topology)),
+            );
+            // Warm-up: saturate the rumor and let every scratch buffer
+            // reach its steady-state capacity.
+            for _ in 0..40 {
+                net.round();
+            }
+            assert!(
+                net.states().iter().all(|s| s.informed),
+                "rumor must saturate during warm-up ({schedule:?}, {})",
+                topology.name()
+            );
+            // The per-round metrics log is the one thing that must still grow.
+            net.reserve_rounds(64);
 
-        let before = ALLOCATIONS.load(Ordering::Relaxed);
-        for _ in 0..50 {
-            net.round();
+            let before = ALLOCATIONS.load(Ordering::Relaxed);
+            for _ in 0..50 {
+                net.round();
+            }
+            let after = ALLOCATIONS.load(Ordering::Relaxed);
+            assert_eq!(
+                after - before,
+                0,
+                "steady-state rounds must perform zero heap allocations \
+                 ({schedule:?}, {})",
+                topology.name()
+            );
         }
-        let after = ALLOCATIONS.load(Ordering::Relaxed);
-        assert_eq!(
-            after - before,
-            0,
-            "steady-state rounds must perform zero heap allocations ({schedule:?})"
-        );
     }
 }

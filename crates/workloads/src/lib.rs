@@ -9,8 +9,9 @@
 //! * [`sets`] — hitting-set / set-cover instances with a planted small
 //!   hitting set, the regime of Theorem 5 (`d` small, `s` sets);
 //! * [`scenarios`] — named robustness scenarios: fault-model presets
-//!   (loss, churn, delay) for sweeping an algorithm across simulated
-//!   deployment environments.
+//!   (loss, churn, delay) and communication-topology presets
+//!   (hypercube, random-regular, ring, torus) for sweeping an
+//!   algorithm across simulated deployment environments and overlays.
 //!
 //! All generators are deterministic functions of an explicit seed.
 
@@ -23,4 +24,4 @@ pub mod scenarios;
 pub mod sets;
 
 pub use med::{MedDataset, MED_DATASETS};
-pub use scenarios::{Scenario, LOSS_GRID, SCENARIOS};
+pub use scenarios::{Scenario, TopologyPreset, LOSS_GRID, SCENARIOS, TOPOLOGIES};

@@ -1,12 +1,16 @@
-//! Robustness scenarios: named fault-model presets for experiments.
+//! Robustness scenarios: named fault-model and topology presets for
+//! experiments.
 //!
-//! Each scenario bundles a [`FaultModel`] configuration that mimics a
-//! recognizable deployment environment, so experiments and benches can
-//! sweep "the same algorithm across environments" without hand-tuning
-//! probabilities at every call site. All scenarios are deterministic:
-//! a (seed, protocol, scenario) triple fully determines a run.
+//! Each [`Scenario`] bundles a [`FaultModel`] configuration that mimics
+//! a recognizable deployment environment, and each [`TopologyPreset`]
+//! names a communication overlay, so experiments and benches can sweep
+//! "the same algorithm across environments / overlays" without
+//! hand-tuning parameters at every call site. All presets are
+//! deterministic: a (seed, protocol, scenario, topology) tuple fully
+//! determines a run.
 
 use gossip_sim::fault::{Bernoulli, Churn, Compose, Delay, FaultModel, Perfect};
+use gossip_sim::topology::{Complete, Hypercube, RandomRegular, Ring, Topology, Torus2D};
 use std::sync::Arc;
 
 /// A named robustness scenario for sweeps and reports.
@@ -76,9 +80,77 @@ impl Scenario {
     }
 }
 
+/// A named communication-overlay preset for sweeps and reports,
+/// mirroring [`Scenario`] on the topology axis. Parameter choices
+/// (random-regular degree 8, ring width 16) are the sweeps' standard
+/// "sparse but well-connected" and "sparse and high-diameter" points.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopologyPreset {
+    /// The paper's complete graph (every draw uniform over all nodes).
+    Complete,
+    /// The dimension-⌈log₂ n⌉ hypercube overlay.
+    Hypercube,
+    /// A seeded random 8-regular graph (pairing model, built per run).
+    RandomRegular8,
+    /// The 16-nearest-neighbor ring (degree 32, diameter ≈ n/32).
+    Ring16,
+    /// The two-dimensional wrap-around grid (degree 4, diameter ≈ √n).
+    Torus,
+}
+
+/// Every topology preset, densest first — the order benches sweep
+/// them in (`Complete` is the baseline the others are compared to).
+pub const TOPOLOGIES: [TopologyPreset; 5] = [
+    TopologyPreset::Complete,
+    TopologyPreset::Hypercube,
+    TopologyPreset::RandomRegular8,
+    TopologyPreset::Ring16,
+    TopologyPreset::Torus,
+];
+
+impl TopologyPreset {
+    /// Display name (stable; used in CSV headers and perf baselines).
+    pub fn name(self) -> &'static str {
+        match self {
+            TopologyPreset::Complete => "complete",
+            TopologyPreset::Hypercube => "hypercube",
+            TopologyPreset::RandomRegular8 => "rr8",
+            TopologyPreset::Ring16 => "ring16",
+            TopologyPreset::Torus => "torus",
+        }
+    }
+
+    /// Builds the preset's topology.
+    pub fn topology(self) -> Arc<dyn Topology> {
+        match self {
+            TopologyPreset::Complete => Arc::new(Complete),
+            TopologyPreset::Hypercube => Arc::new(Hypercube),
+            TopologyPreset::RandomRegular8 => Arc::new(RandomRegular(8)),
+            TopologyPreset::Ring16 => Arc::new(Ring(16)),
+            TopologyPreset::Torus => Arc::new(Torus2D),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn topology_preset_names_are_unique_and_only_complete_is_complete() {
+        let mut names: Vec<_> = TOPOLOGIES.iter().map(|t| t.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), TOPOLOGIES.len());
+        for t in TOPOLOGIES {
+            assert_eq!(
+                t.topology().is_complete(),
+                t == TopologyPreset::Complete,
+                "{}",
+                t.name()
+            );
+        }
+    }
 
     #[test]
     fn scenario_names_are_unique() {

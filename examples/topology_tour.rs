@@ -1,0 +1,93 @@
+//! Gossip over restricted topologies: the same MED instance solved on
+//! the paper's complete graph versus structured and random overlays,
+//! under a lossy WAN.
+//!
+//! The paper analyzes its algorithms on the complete graph — every
+//! push/pull targets a uniformly random node. Real deployments gossip
+//! over overlays. This example runs the Low-Load Clarkson algorithm on
+//! `Complete`, `Hypercube`, and `RandomRegular(8)` under the `wan`
+//! scenario preset (5% loss, ≤2 rounds extra delay) and prints the
+//! round/op inflation each overlay costs relative to the complete
+//! graph. Every run is deterministic in (seed, topology, scenario).
+//!
+//! ```sh
+//! cargo run --release --example topology_tour
+//! ```
+
+use lpt_gossip::topology::{Complete, Hypercube, RandomRegular, Topology};
+use lpt_gossip::Driver;
+use lpt_problems::Med;
+use lpt_workloads::med::duo_disk;
+use lpt_workloads::scenarios::Scenario;
+use std::sync::Arc;
+
+const N: usize = 512;
+const SEED: u64 = 2019;
+
+fn overlays() -> Vec<Arc<dyn Topology>> {
+    vec![
+        Arc::new(Complete),
+        Arc::new(Hypercube),
+        Arc::new(RandomRegular(8)),
+    ]
+}
+
+fn main() {
+    let points = duo_disk(N, SEED);
+    println!("minimum enclosing disk, Low-Load Clarkson, n = {N}, wan scenario:");
+    println!(
+        "{:<16} {:>7} {:>12} {:>9} {:>8} {:>11}",
+        "topology", "rounds", "ops", "Δrounds", "Δops", "optimum@node"
+    );
+
+    let mut baseline: Option<(u64, u64)> = None;
+    for topology in overlays() {
+        let report = Driver::new(Med)
+            .nodes(N)
+            .seed(SEED)
+            .fault_model(Scenario::Wan.fault_model())
+            .topology(Arc::clone(&topology))
+            .run(&points)
+            .expect("run");
+        assert!(
+            report.all_halted,
+            "{}: termination survives the overlay",
+            report.topology
+        );
+        let ops = report.metrics.total_ops();
+
+        // On sparse overlays the termination audit samples only
+        // neighbors, so individual nodes may halt with a sub-optimal
+        // basis; the optimum must still be *found* somewhere.
+        let radii: Vec<f64> = report
+            .outputs
+            .iter()
+            .map(|o| o.as_ref().expect("all nodes output").value.r2.sqrt())
+            .collect();
+        let best = radii.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            (best - 10.0).abs() < 1e-6,
+            "{}: optimum not found (best radius {best})",
+            report.topology
+        );
+        let exact = radii.iter().filter(|r| (*r - 10.0).abs() < 1e-6).count();
+
+        let (base_rounds, base_ops) = *baseline.get_or_insert((report.rounds, ops));
+        println!(
+            "{:<16} {:>7} {:>12} {:>8.2}x {:>7.2}x {:>7}/{N}",
+            report.topology,
+            report.rounds,
+            ops,
+            report.rounds as f64 / base_rounds as f64,
+            ops as f64 / base_ops as f64,
+            exact,
+        );
+    }
+
+    println!();
+    println!(
+        "the optimum is found on every overlay; sparse topologies pay \
+         rounds/ops (and may leave stragglers on locally-audited bases) — \
+         exactly the degradation the topology seam measures."
+    );
+}

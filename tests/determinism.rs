@@ -290,6 +290,95 @@ fn delay_metrics_agree_across_parallelism() {
     assert_eq!(delayed, delayed_seq);
 }
 
+/// One pinned (rounds, ops) trajectory per protocol family on a
+/// non-complete topology, captured at the topology seam's introduction
+/// under the default `V2Batched` schedule: the neighbor-bounded draw
+/// path (batched Lemire over neighbor-list indices, resolved through
+/// the CSR arena) is now as frozen as the complete-graph path. Any
+/// drift here means either the overlay construction or the
+/// degree-aware sampling moved — both schedule-bump events, never
+/// silent edits.
+#[test]
+fn non_complete_topology_trajectories_are_pinned() {
+    use lpt_gossip::topology::{Hypercube, RandomRegular, Ring};
+    use lpt_gossip::Algorithm;
+    use std::sync::Arc;
+
+    let report = Driver::new(Med)
+        .nodes(128)
+        .seed(1)
+        .topology(Hypercube)
+        .run(&duo_disk(128, 1))
+        .expect("run");
+    assert_eq!(report.schedule, RngSchedule::V2Batched);
+    assert_eq!(report.topology, "hypercube");
+    assert_eq!(
+        (report.rounds, report.metrics.total_ops()),
+        (23, 383_044),
+        "low-load hypercube V2 trajectory moved"
+    );
+
+    let report = Driver::new(Med)
+        .nodes(256)
+        .seed(2)
+        .algorithm(Algorithm::high_load())
+        .topology(RandomRegular(8))
+        .run(&lpt_workloads::med::triple_disk(256, 2))
+        .expect("run");
+    assert_eq!(report.topology, "random-regular");
+    assert_eq!(
+        (report.rounds, report.metrics.total_ops()),
+        (31, 103_017),
+        "high-load random-regular(8) V2 trajectory moved"
+    );
+
+    let (sys, _) = lpt_workloads::sets::planted_hitting_set(128, 32, 3, 6, 31);
+    let report = Driver::new(Arc::new(sys))
+        .nodes(128)
+        .seed(31)
+        .algorithm(Algorithm::hitting_set(3))
+        .topology(Ring(16))
+        .run_ground()
+        .expect("run");
+    assert_eq!(report.topology, "ring");
+    assert_eq!(
+        (report.rounds, report.metrics.total_ops()),
+        (19, 49_007),
+        "hitting-set ring(16) V2 trajectory moved"
+    );
+}
+
+/// Overlay runs are byte-identical across sequential and parallel
+/// stepping and across reruns: the CSR arena is immutable after
+/// construction and all neighbor-bounded draws are pure functions of
+/// their (seed, round, node, phase, index) coordinates.
+#[test]
+fn topology_runs_agree_across_parallelism() {
+    use lpt_gossip::topology::Torus2D;
+    let points = triple_disk(512, 92);
+    let run = |parallel: bool| {
+        Driver::new(Med)
+            .nodes(512)
+            .seed(92)
+            .parallel(parallel)
+            .parallel_threshold(1)
+            .topology(Torus2D)
+            .stop(lpt_gossip::StopCondition::RoundBudget(40))
+            .run(&points)
+            .expect("run")
+    };
+    let par = run(true);
+    let seq = run(false);
+    let rerun = run(true);
+    assert_eq!(
+        format!("{par:?}"),
+        format!("{seq:?}"),
+        "sequential and parallel overlay runs must be byte-identical"
+    );
+    assert_eq!(format!("{par:?}"), format!("{rerun:?}"));
+    assert_eq!(par.topology, "torus2d");
+}
+
 #[test]
 fn different_seeds_differ() {
     let points = triple_disk(128, 72);

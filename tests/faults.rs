@@ -197,6 +197,48 @@ fn loss_sweep_degrades_gracefully() {
     }
 }
 
+/// The topology seam composes with every fault model: the same MED
+/// instance on a random-regular overlay terminates under every named
+/// scenario, faults are accounted exactly as on the complete graph,
+/// and the optimum is still found. (Fault streams are keyed by
+/// (seed, round, node, k) alone, so installing an overlay cannot
+/// perturb a fault decision — only which messages exist to be faulted.)
+#[test]
+fn topologies_compose_with_every_scenario() {
+    use lpt_gossip::topology::RandomRegular;
+    let points = duo_disk(256, 78);
+    for scenario in SCENARIOS {
+        let report = Driver::new(Med)
+            .nodes(256)
+            .seed(78)
+            .topology(RandomRegular(8))
+            .fault_model(scenario.fault_model())
+            .run(&points)
+            .unwrap_or_else(|e| panic!("{}: {e}", scenario.name()));
+        assert!(report.all_halted, "{} must terminate", scenario.name());
+        assert_eq!(report.topology, "random-regular");
+        let best = report
+            .outputs
+            .iter()
+            .map(|o| o.as_ref().expect("all nodes output").value.r2)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            (best.sqrt() - 10.0).abs() < 1e-6,
+            "{}: optimum not found",
+            scenario.name()
+        );
+        let injected = report.faults.messages_dropped
+            + report.faults.messages_delayed
+            + report.faults.offline_node_rounds;
+        assert_eq!(
+            injected > 0,
+            scenario != Scenario::Perfect,
+            "{}: fault accounting",
+            scenario.name()
+        );
+    }
+}
+
 /// The hitting-set doubling search works unchanged through the fault
 /// seam: unknown `d`, lossy network, still a verified hitting set.
 #[test]

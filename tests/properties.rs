@@ -135,3 +135,135 @@ proptest! {
         prop_assert_eq!(idx, expect);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Topology draws
+// ---------------------------------------------------------------------------
+
+/// Witness protocol for topology conformance: every node pulls once
+/// and pushes its own id every round; responses carry the server's id
+/// (`Response::from`) and inboxes collect sender ids, so after a few
+/// rounds each node's state is a transcript of exactly which peers the
+/// engine drew for it.
+mod topo_witness {
+    use gossip_sim::{NodeControl, PhaseRng, Protocol, Response, Served};
+
+    pub struct Echo;
+
+    #[derive(Clone, Default)]
+    pub struct Transcript {
+        /// Ids of the nodes that served this node's pulls.
+        pub served_by: Vec<u32>,
+        /// Ids of the nodes whose pushes this node received.
+        pub pushed_by: Vec<u32>,
+    }
+
+    impl Protocol for Echo {
+        type State = Transcript;
+        type Msg = u32;
+        type Query = ();
+
+        fn pulls(&self, _: u32, _: &Transcript, _: &mut PhaseRng, out: &mut Vec<()>) {
+            out.push(());
+        }
+
+        fn serve(&self, me: u32, _: &Transcript, _: &(), _: &mut PhaseRng) -> Option<Served<u32>> {
+            Some(Served { msg: me, slot: 0 })
+        }
+
+        fn compute(
+            &self,
+            me: u32,
+            state: &mut Transcript,
+            responses: &mut Vec<Option<Response<u32>>>,
+            _: &mut PhaseRng,
+            pushes: &mut Vec<u32>,
+        ) -> NodeControl {
+            state
+                .served_by
+                .extend(responses.drain(..).flatten().map(|r| r.from));
+            pushes.push(me);
+            NodeControl::Continue
+        }
+
+        fn absorb(
+            &self,
+            _: u32,
+            state: &mut Transcript,
+            delivered: &mut Vec<u32>,
+            _: &mut PhaseRng,
+        ) -> NodeControl {
+            state.pushed_by.append(delivered);
+            NodeControl::Continue
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // Every destination the engine draws — pull targets (witnessed by
+    // who served) and push destinations (witnessed by whose inbox the
+    // id landed in) — lies in the drawing node's neighbor set, for
+    // all built-in topologies × both RNG schedules × sequential and
+    // parallel stepping.
+    #[test]
+    fn drawn_destinations_stay_in_the_neighbor_set(n in 9usize..150, seed in 0u64..1_000_000) {
+        use gossip_sim::topology::{Complete, Hypercube, IntoTopology, RandomRegular, Ring, Torus2D};
+        use gossip_sim::{Network, NetworkConfig, RngSchedule};
+        use std::sync::Arc;
+        use topo_witness::{Echo, Transcript};
+
+        let topologies: Vec<Arc<dyn gossip_sim::Topology>> = vec![
+            Complete.into_topology(),
+            Hypercube.into_topology(),
+            RandomRegular(4).into_topology(),
+            Ring(3).into_topology(),
+            Torus2D.into_topology(),
+        ];
+        for topology in topologies {
+            let arena = topology.build(n, seed);
+            for schedule in [RngSchedule::V1Compat, RngSchedule::V2Batched] {
+                for parallel in [false, true] {
+                    let cfg = if parallel {
+                        NetworkConfig::with_seed(seed).parallel_threshold(1)
+                    } else {
+                        NetworkConfig::with_seed(seed).sequential()
+                    };
+                    let cfg = cfg.rng_schedule(schedule).topology(Arc::clone(&topology));
+                    let states = vec![Transcript::default(); n];
+                    let mut net = Network::new(Echo, states, cfg);
+                    for _ in 0..3 {
+                        net.round();
+                    }
+                    let tag = (topology.name(), schedule, parallel);
+                    for (i, t) in net.states().iter().enumerate() {
+                        prop_assert_eq!(t.served_by.len(), 3, "{:?}: node {} pull count", tag, i);
+                        match &arena {
+                            // Complete: any node (self included) is legal.
+                            None => {
+                                for &s in t.served_by.iter().chain(&t.pushed_by) {
+                                    prop_assert!((s as usize) < n, "{:?}: id {} out of range", tag, s);
+                                }
+                            }
+                            Some(a) => {
+                                for &server in &t.served_by {
+                                    prop_assert!(
+                                        a.contains(i, server),
+                                        "{:?}: pull {} → {} off-topology", tag, i, server
+                                    );
+                                }
+                                for &sender in &t.pushed_by {
+                                    prop_assert!(
+                                        a.contains(sender as usize, i as u32),
+                                        "{:?}: push {} → {} off-topology", tag, sender, i
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
