@@ -14,11 +14,13 @@
 //!
 //! Environment knobs: `LPT_MAX_I` (network size `n = 2^LPT_MAX_I`
 //! capped at 2^12 here; default 10) and `LPT_RUNS` (seeds per cell,
-//! default 5). CSVs: `fault_sweep_loss.csv`, `fault_sweep_scenarios.csv`.
+//! default 5). CSVs: `fault_sweep_loss.csv`, `fault_sweep_scenarios.csv`;
+//! full per-round traces (first seed of each cell) as JSONL frame
+//! streams: `fault_sweep_loss.jsonl`, `fault_sweep_scenarios.jsonl`.
 
 use gossip_sim::fault::Bernoulli;
 use lpt::LpType;
-use lpt_bench::{banner, max_i, mean, runs, stddev, write_csv};
+use lpt_bench::{banner, max_i, mean, run_frames, runs, stddev, write_csv, write_jsonl, RunFrames};
 use lpt_gossip::{Algorithm, Driver, StopCondition};
 use lpt_problems::Med;
 use lpt_workloads::med::duo_disk;
@@ -30,10 +32,13 @@ struct CellOut {
     converged: u64,
     avg_dropped: f64,
     avg_offline: f64,
+    /// The first seed's full round trace, exported as JSONL.
+    trace: Option<RunFrames>,
 }
 
 fn run_cell(
     algorithm: &Algorithm,
+    cell: &str,
     n: usize,
     runs: u64,
     fault: impl Fn() -> std::sync::Arc<dyn gossip_sim::fault::FaultModel>,
@@ -42,6 +47,7 @@ fn run_cell(
     let mut dropped = Vec::new();
     let mut offline = Vec::new();
     let mut converged = 0u64;
+    let mut trace = None;
     for run in 0..runs {
         let seed = 0xFA17 ^ (run.wrapping_mul(0x9E3779B9)) ^ ((n as u64) << 20);
         let points = duo_disk(n, seed);
@@ -61,6 +67,16 @@ fn run_cell(
         }
         dropped.push(report.faults.messages_dropped as f64);
         offline.push(report.faults.offline_node_rounds as f64);
+        if run == 0 {
+            trace = Some(run_frames(
+                format!("bench:fault_sweep {cell} n={n}"),
+                algorithm.name(),
+                n,
+                seed,
+                cell,
+                &report,
+            ));
+        }
     }
     CellOut {
         avg_rounds: mean(&rounds),
@@ -68,6 +84,7 @@ fn run_cell(
         converged,
         avg_dropped: mean(&dropped),
         avg_offline: mean(&offline),
+        trace,
     }
 }
 
@@ -89,10 +106,15 @@ fn main() {
         "algo", "loss", "avg rounds", "std", "conv", "avg dropped"
     );
     let mut csv = Vec::new();
+    let mut traces = Vec::new();
     for (name, algo) in &algos {
         let mut baseline = None;
         for &loss in &LOSS_GRID {
-            let cell = run_cell(algo, n, runs, || std::sync::Arc::new(Bernoulli::new(loss)));
+            let label = format!("loss={loss}");
+            let cell = run_cell(algo, &label, n, runs, || {
+                std::sync::Arc::new(Bernoulli::new(loss))
+            });
+            traces.extend(cell.trace.clone());
             println!(
                 "{:<10} {:>6.2} {:>12.2} {:>8.2} {:>4}/{:<1} {:>12.0}",
                 name,
@@ -129,6 +151,7 @@ fn main() {
         "algo,loss,avg_rounds,std_rounds,converged,avg_dropped",
         &csv,
     );
+    write_jsonl("fault_sweep_loss.jsonl", &traces);
 
     banner("Scenario sweep (named deployment presets)");
     println!(
@@ -136,9 +159,11 @@ fn main() {
         "algo", "scenario", "avg rounds", "std", "conv", "avg dropped", "avg offline"
     );
     let mut csv = Vec::new();
+    let mut traces = Vec::new();
     for (name, algo) in &algos {
         for scenario in SCENARIOS {
-            let cell = run_cell(algo, n, runs, || scenario.fault_model());
+            let cell = run_cell(algo, scenario.name(), n, runs, || scenario.fault_model());
+            traces.extend(cell.trace.clone());
             println!(
                 "{:<10} {:<12} {:>12.2} {:>8.2} {:>4}/{:<1} {:>12.0} {:>12.0}",
                 name,
@@ -167,5 +192,6 @@ fn main() {
         "algo,scenario,avg_rounds,std_rounds,converged,avg_dropped,avg_offline",
         &csv,
     );
+    write_jsonl("fault_sweep_scenarios.jsonl", &traces);
     println!("graceful degradation verified: every loss rate ≤ 0.2 converged in every run.");
 }

@@ -11,10 +11,11 @@
 //!
 //! Environment knobs: `LPT_MAX_I` (network size `n = 2^LPT_MAX_I`
 //! capped at 2^12 here; default 10) and `LPT_RUNS` (seeds per cell,
-//! default 5). CSV: `topology_sweep.csv`.
+//! default 5). CSV: `topology_sweep.csv`; full per-round traces (first
+//! seed of each cell) as a JSONL frame stream: `topology_sweep.jsonl`.
 
 use lpt::LpType;
-use lpt_bench::{banner, max_i, mean, runs, stddev, write_csv};
+use lpt_bench::{banner, max_i, mean, run_frames, runs, stddev, write_csv, write_jsonl, RunFrames};
 use lpt_gossip::{Algorithm, Driver, StopCondition};
 use lpt_problems::Med;
 use lpt_workloads::med::duo_disk;
@@ -25,6 +26,8 @@ struct CellOut {
     std_rounds: f64,
     avg_ops: f64,
     converged: u64,
+    /// The first seed's full round trace, exported as JSONL.
+    trace: Option<RunFrames>,
 }
 
 fn run_cell(
@@ -37,6 +40,7 @@ fn run_cell(
     let mut rounds = Vec::new();
     let mut ops = Vec::new();
     let mut converged = 0u64;
+    let mut trace = None;
     for run in 0..runs {
         let seed = 0x7090 ^ (run.wrapping_mul(0x9E3779B9)) ^ ((n as u64) << 20);
         let points = duo_disk(n, seed);
@@ -56,12 +60,27 @@ fn run_cell(
             rounds.push(report.rounds as f64);
             ops.push(report.metrics.total_ops() as f64);
         }
+        if run == 0 {
+            trace = Some(run_frames(
+                format!(
+                    "bench:topology_sweep topology={} scenario={} n={n}",
+                    topology.name(),
+                    scenario.name()
+                ),
+                algorithm.name(),
+                n,
+                seed,
+                scenario.name(),
+                &report,
+            ));
+        }
     }
     CellOut {
         avg_rounds: mean(&rounds),
         std_rounds: stddev(&rounds),
         avg_ops: mean(&ops),
         converged,
+        trace,
     }
 }
 
@@ -84,11 +103,13 @@ fn main() {
         "algo", "scenario", "topology", "avg rounds", "std", "inflate", "conv", "avg ops"
     );
     let mut csv = Vec::new();
+    let mut traces = Vec::new();
     for (name, algo) in &algos {
         for scenario in scenarios {
             let mut baseline = None;
             for topology in TOPOLOGIES {
                 let cell = run_cell(algo, n, runs, topology, scenario);
+                traces.extend(cell.trace.clone());
                 let base = *baseline.get_or_insert(cell.avg_rounds.max(1.0));
                 let inflation = cell.avg_rounds / base;
                 println!(
@@ -152,6 +173,7 @@ fn main() {
         "algo,scenario,topology,avg_rounds,std_rounds,round_inflation,converged,avg_ops",
         &csv,
     );
+    write_jsonl("topology_sweep.jsonl", &traces);
     println!(
         "expander overlays (hypercube, rr8) converged in every fault-free run; \
          high-diameter overlays and faulty networks report their inflation \

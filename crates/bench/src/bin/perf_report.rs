@@ -323,24 +323,7 @@ fn run_thread_sweep(schedule: RngSchedule) -> Vec<Cell> {
 // Baseline gate (--check)
 // ---------------------------------------------------------------------------
 
-/// Pulls `"key": "value"` out of a single-line JSON object.
-fn json_str_field(line: &str, key: &str) -> Option<String> {
-    let tag = format!("\"{key}\": \"");
-    let start = line.find(&tag)? + tag.len();
-    let end = line[start..].find('"')? + start;
-    Some(line[start..end].to_string())
-}
-
-/// Pulls a numeric `"key": value` out of a single-line JSON object.
-fn json_num_field(line: &str, key: &str) -> Option<f64> {
-    let tag = format!("\"{key}\": ");
-    let start = line.find(&tag)? + tag.len();
-    let rest = &line[start..];
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
+use lpt_bench::{json_num_field, json_str_field};
 
 struct BaselineCell {
     algo: String,

@@ -1,0 +1,294 @@
+//! `server_report` — the gossip-as-a-service throughput harness.
+//!
+//! Measures end-to-end requests/sec through a real `lpt-server`
+//! instance (TCP loopback, ephemeral port) in two modes per network
+//! size:
+//!
+//! - **cold** — distinct seeds, so every request misses the report
+//!   cache and executes a driver run;
+//! - **cached** — repeats of one spec, so every request replays the
+//!   cold run's exact bytes without touching a driver.
+//!
+//! The cold/cached gap is the price of a run versus the price of a
+//! socket round-trip, i.e. what the exact cache buys. Results go to
+//! `BENCH_server.json`.
+//!
+//! Usage: `server_report [--smoke] [--out PATH] [--check BASELINE.json]`
+//!
+//! `--smoke` runs only the `n = 2^10` cells (CI uses this). `--check`
+//! is the CI gate: each measured cell is compared against the
+//! `smoke_baseline_v1` section of the given baseline file — the
+//! counters (`requests`, `runs`, `hits`, `misses`) and the streamed
+//! `reply_bytes` must match **exactly** (all are pure functions of the
+//! request sequence; reply bytes drift only if the engine's output
+//! changed, which must come with a baseline re-pin), and wall time
+//! must not regress beyond +50% over the reference
+//! (`PERF_SMOKE_WALL_TOL` overrides the fraction; cells under a 50 ms
+//! noise floor are exempt; faster never fails).
+
+use lpt_bench::{json_num_field, json_str_field};
+use lpt_server::{Client, RunSpecKey, Server, ServerConfig, ServerStats, StopSpec};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const SEED_BASE: u64 = 7100;
+
+/// One measured cell: a batch of requests against one server phase.
+struct Cell {
+    mode: &'static str,
+    n: u64,
+    requests: u64,
+    runs: u64,
+    hits: u64,
+    misses: u64,
+    /// Total reply bytes streamed across the batch (exact-gateable:
+    /// a pure function of the specs).
+    reply_bytes: u64,
+    wall_ms: f64,
+    requests_per_sec: f64,
+}
+
+fn spec(n: u64, seed: u64) -> RunSpecKey {
+    let mut key = RunSpecKey::new("duo-disk", 4 * n, n, seed);
+    if n > 1 << 10 {
+        // Big networks measure server throughput over a fixed round
+        // budget; full termination there benchmarks the solver, not
+        // the service.
+        key.stop = StopSpec::RoundBudget(8);
+    }
+    key
+}
+
+fn delta(before: ServerStats, after: ServerStats) -> (u64, u64, u64, u64) {
+    (
+        after.requests - before.requests,
+        after.runs - before.runs,
+        after.hits - before.hits,
+        after.misses - before.misses,
+    )
+}
+
+/// Drives `specs` through `sessions` concurrent client sessions
+/// (round-robin) and returns the measured cell.
+fn run_batch(
+    mode: &'static str,
+    addr: std::net::SocketAddr,
+    n: u64,
+    specs: Vec<RunSpecKey>,
+    sessions: usize,
+    stats: &dyn Fn() -> ServerStats,
+) -> Cell {
+    let before = stats();
+    let request_count = specs.len() as u64;
+    let t = Instant::now();
+    let mut handles = Vec::new();
+    for s in 0..sessions {
+        let mine: Vec<RunSpecKey> = specs.iter().skip(s).step_by(sessions).cloned().collect();
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect");
+            let mut bytes = 0u64;
+            for key in &mine {
+                let reply = client.solve(key).expect("solve");
+                assert!(reply.error.is_none(), "run failed: {:?}", reply.error);
+                bytes += reply.raw.len() as u64;
+            }
+            bytes
+        }));
+    }
+    let reply_bytes: u64 = handles
+        .into_iter()
+        .map(|h| h.join().expect("session"))
+        .sum();
+    let wall = t.elapsed();
+    let (requests, runs, hits, misses) = delta(before, stats());
+    assert_eq!(requests, request_count, "every request must be counted");
+    Cell {
+        mode,
+        n,
+        requests,
+        runs,
+        hits,
+        misses,
+        reply_bytes,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        requests_per_sec: requests as f64 / wall.as_secs_f64().max(1e-9),
+    }
+}
+
+/// Cold + cached cells for one network size, on a fresh server.
+fn run_size(n: u64, cold_requests: u64, cached_requests: u64) -> Vec<Cell> {
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = server.addr();
+    let stats = || server.stats();
+    let cold_specs: Vec<RunSpecKey> = (0..cold_requests).map(|i| spec(n, SEED_BASE + i)).collect();
+    eprintln!("[server_report] cold   n={n}: {cold_requests} distinct specs");
+    let cold = run_batch("cold", addr, n, cold_specs, 4, &stats);
+    assert_eq!(cold.misses, cold_requests, "cold specs must all miss");
+    assert_eq!(cold.runs, cold_requests, "every miss runs exactly once");
+    let cached_specs: Vec<RunSpecKey> = (0..cached_requests).map(|_| spec(n, SEED_BASE)).collect();
+    eprintln!("[server_report] cached n={n}: {cached_requests} repeats of one spec");
+    let cached = run_batch("cached", addr, n, cached_specs, 4, &stats);
+    assert_eq!(cached.hits, cached_requests, "repeats must all hit");
+    assert_eq!(cached.runs, 0, "cache hits must not execute runs");
+    server.shutdown();
+    server.wait();
+    vec![cold, cached]
+}
+
+struct BaselineCell {
+    mode: String,
+    n: u64,
+    requests: u64,
+    runs: u64,
+    hits: u64,
+    misses: u64,
+    reply_bytes: u64,
+    wall_ms: f64,
+}
+
+fn load_smoke_baseline(path: &str) -> Result<Vec<BaselineCell>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+    let section_start = text
+        .find("\"smoke_baseline_v1\"")
+        .ok_or_else(|| format!("baseline {path} has no smoke_baseline_v1 section"))?;
+    let section = &text[section_start..];
+    let end = section
+        .find(']')
+        .ok_or_else(|| format!("baseline {path}: unterminated smoke_baseline_v1"))?;
+    let mut cells = Vec::new();
+    for line in section[..end].lines() {
+        if !line.contains("\"mode\"") {
+            continue;
+        }
+        let parse = || -> Option<BaselineCell> {
+            Some(BaselineCell {
+                mode: json_str_field(line, "mode")?,
+                n: json_num_field(line, "n")? as u64,
+                requests: json_num_field(line, "requests")? as u64,
+                runs: json_num_field(line, "runs")? as u64,
+                hits: json_num_field(line, "hits")? as u64,
+                misses: json_num_field(line, "misses")? as u64,
+                reply_bytes: json_num_field(line, "reply_bytes")? as u64,
+                wall_ms: json_num_field(line, "wall_ms")?,
+            })
+        };
+        cells.push(parse().ok_or_else(|| format!("unparseable baseline cell: {line}"))?);
+    }
+    if cells.is_empty() {
+        return Err(format!("baseline {path}: smoke_baseline_v1 has no cells"));
+    }
+    Ok(cells)
+}
+
+/// Baseline cells faster than this are exempt from the wall-clock
+/// check; the counters are always checked exactly.
+const WALL_NOISE_FLOOR_MS: f64 = 50.0;
+
+fn check_against_baseline(cells: &[Cell], baseline: &[BaselineCell], tol: f64) -> Vec<String> {
+    let mut violations = Vec::new();
+    for c in cells {
+        let Some(b) = baseline.iter().find(|b| b.mode == c.mode && b.n == c.n) else {
+            violations.push(format!(
+                "cell ({}, n={}) missing from the committed smoke baseline — \
+                 re-pin BENCH_server.json",
+                c.mode, c.n
+            ));
+            continue;
+        };
+        let exact = [
+            ("requests", b.requests, c.requests),
+            ("runs", b.runs, c.runs),
+            ("hits", b.hits, c.hits),
+            ("misses", b.misses, c.misses),
+            ("reply_bytes", b.reply_bytes, c.reply_bytes),
+        ];
+        for (name, want, got) in exact {
+            if want != got {
+                violations.push(format!(
+                    "{name} drift in ({}, n={}): measured {got} vs baseline {want} — \
+                     counters and reply bytes are deterministic; an intentional engine \
+                     change must re-pin BENCH_server.json",
+                    c.mode, c.n
+                ));
+            }
+        }
+        let ratio = c.wall_ms / b.wall_ms.max(1e-9);
+        if b.wall_ms >= WALL_NOISE_FLOOR_MS && ratio > 1.0 + tol {
+            violations.push(format!(
+                "wall-clock regression beyond +{:.0}% in ({}, n={}): measured {:.1} ms vs \
+                 baseline {:.1} ms (ratio {:.2})",
+                tol * 100.0,
+                c.mode,
+                c.n,
+                c.wall_ms,
+                b.wall_ms,
+                ratio
+            ));
+        }
+    }
+    violations
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_server.json".to_string());
+    let check_path = flag_value("--check");
+
+    let mut cells = Vec::new();
+    cells.extend(run_size(1 << 10, 4, 64));
+    if !smoke {
+        cells.extend(run_size(1 << 14, 3, 16));
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"server\",\n");
+    let _ = writeln!(json, "  \"seed_base\": {SEED_BASE},");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"mode\": \"{}\", \"n\": {}, \"requests\": {}, \"runs\": {}, \"hits\": {}, \"misses\": {}, \"reply_bytes\": {}, \"wall_ms\": {:.1}, \"requests_per_sec\": {:.2}}}",
+            c.mode, c.n, c.requests, c.runs, c.hits, c.misses, c.reply_bytes, c.wall_ms, c.requests_per_sec
+        );
+        json.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write report");
+    println!("{json}");
+    eprintln!("[server_report] wrote {out_path}");
+
+    if let Some(baseline_path) = check_path {
+        let tol = std::env::var("PERF_SMOKE_WALL_TOL")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(0.5);
+        let baseline = load_smoke_baseline(&baseline_path).unwrap_or_else(|e| {
+            eprintln!("[server_report] {e}");
+            std::process::exit(2);
+        });
+        let violations = check_against_baseline(&cells, &baseline, tol);
+        if violations.is_empty() {
+            eprintln!(
+                "[server_report] gate PASSED: {} cells match the committed baseline \
+                 (counters and reply bytes exact, wall within +{:.0}% above the noise floor)",
+                cells.len(),
+                tol * 100.0
+            );
+        } else {
+            for v in &violations {
+                eprintln!("[server_report] gate FAILED: {v}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -55,6 +55,57 @@ pub fn experiments_dir() -> PathBuf {
     dir
 }
 
+/// One exportable run: the frames of a complete JSONL stream.
+pub type RunFrames = (
+    gossip_sim::export::RunHeader,
+    Vec<gossip_sim::metrics::RoundMetrics>,
+    gossip_sim::export::RunSummary,
+);
+
+/// Captures a finished [`RunReport`](lpt_gossip::RunReport) as JSONL
+/// frames (`header · round* · summary`) for [`write_jsonl`]. `spec` is
+/// a free-form identifier for the cell that produced the run.
+pub fn run_frames<O>(
+    spec: String,
+    algorithm: &str,
+    n: usize,
+    seed: u64,
+    fault: &str,
+    report: &lpt_gossip::RunReport<O>,
+) -> RunFrames {
+    let header = gossip_sim::export::RunHeader {
+        spec,
+        algorithm: algorithm.to_string(),
+        n: n as u64,
+        seed,
+        fault: fault.to_string(),
+        topology: report.topology.to_string(),
+        schedule: report.schedule.name().to_string(),
+    };
+    let summary = gossip_sim::export::RunSummary {
+        rounds: report.rounds,
+        all_halted: report.all_halted,
+        stop_cause: report.stop_cause.name().to_string(),
+        first_candidate_round: report.first_candidate_round,
+        ..gossip_sim::export::RunSummary::from_metrics(&report.metrics)
+    };
+    (header, report.metrics.rounds.clone(), summary)
+}
+
+/// Writes a JSONL frame file into [`experiments_dir`] — one complete
+/// run stream per entry, in the same wire format `lpt-server` speaks
+/// (parse with [`gossip_sim::export::parse_frames`]).
+pub fn write_jsonl(name: &str, runs: &[RunFrames]) {
+    let path = experiments_dir().join(name);
+    let file = fs::File::create(&path).expect("create jsonl");
+    let mut w = gossip_sim::export::JsonlWriter::new(file);
+    for (header, rounds, summary) in runs {
+        w.write_run(header, rounds, summary).expect("write run");
+    }
+    w.into_inner().expect("flush jsonl");
+    eprintln!("  [jsonl] wrote {}", path.display());
+}
+
 /// Writes a CSV file into [`experiments_dir`].
 pub fn write_csv(name: &str, header: &str, rows: &[String]) {
     let path = experiments_dir().join(name);
@@ -64,6 +115,27 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) {
         writeln!(f, "{row}").unwrap();
     }
     eprintln!("  [csv] wrote {}", path.display());
+}
+
+/// Pulls `"key": "value"` out of a single-line JSON object (the
+/// committed `BENCH_*.json` baselines keep one cell per line so the
+/// gate checkers can parse them line-wise).
+pub fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Pulls a numeric `"key": value` out of a single-line JSON object.
+pub fn json_num_field(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 /// Least-squares slope of `y = a·x` through the origin (the paper

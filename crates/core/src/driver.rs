@@ -206,6 +206,42 @@ impl fmt::Display for DriverError {
 
 impl std::error::Error for DriverError {}
 
+/// Stable wire identity (`specs/structured-errors` style): codes `101`
+/// – `110`, kinds matching the variant names in kebab case. Codes are
+/// part of the wire contract of `lpt-server` and are never renumbered;
+/// new variants take fresh codes.
+impl gossip_sim::export::ErrorCode for DriverError {
+    fn code(&self) -> u16 {
+        match self {
+            DriverError::NoNodes => 101,
+            DriverError::UnsupportedAlgorithm { .. } => 102,
+            DriverError::UnsupportedStop { .. } => 103,
+            DriverError::UnsupportedFaults { .. } => 104,
+            DriverError::UnsupportedTopology { .. } => 105,
+            DriverError::UnsupportedDoubling { .. } => 106,
+            DriverError::DoublingDiverged { .. } => 107,
+            DriverError::DoublingNeedsTermination => 108,
+            DriverError::NoGroundElements { .. } => 109,
+            DriverError::Solver(_) => 110,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            DriverError::NoNodes => "no-nodes",
+            DriverError::UnsupportedAlgorithm { .. } => "unsupported-algorithm",
+            DriverError::UnsupportedStop { .. } => "unsupported-stop",
+            DriverError::UnsupportedFaults { .. } => "unsupported-faults",
+            DriverError::UnsupportedTopology { .. } => "unsupported-topology",
+            DriverError::UnsupportedDoubling { .. } => "unsupported-doubling",
+            DriverError::DoublingDiverged { .. } => "doubling-diverged",
+            DriverError::DoublingNeedsTermination => "doubling-needs-termination",
+            DriverError::NoGroundElements { .. } => "no-ground-elements",
+            DriverError::Solver(_) => "solver",
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Scattering
 // ---------------------------------------------------------------------------
@@ -368,6 +404,20 @@ pub enum StopCause {
     /// The [`Driver::max_rounds`] safety valve tripped before the stop
     /// condition was satisfied.
     MaxRounds,
+}
+
+impl StopCause {
+    /// Stable kebab-case name, used verbatim in exported summaries and
+    /// on the server wire (never renamed).
+    pub fn name(self) -> &'static str {
+        match self {
+            StopCause::AllHalted => "all-halted",
+            StopCause::TargetReached => "target-reached",
+            StopCause::RoundBudget => "round-budget",
+            StopCause::CustomStop => "custom-stop",
+            StopCause::MaxRounds => "max-rounds",
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------

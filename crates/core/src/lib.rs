@@ -93,6 +93,7 @@ pub mod hitting_set;
 pub mod hypercube;
 pub mod low_load;
 pub mod sampling;
+pub mod spec;
 pub mod termination;
 
 pub use driver::{
@@ -109,4 +110,5 @@ pub use high_load::{HighLoadClarkson, HighLoadConfig, HighLoadState};
 pub use hitting_set::{HittingSetConfig, HittingSetGossip, HittingSetState};
 pub use hypercube::{hypercube_clarkson, HypercubeReport};
 pub use low_load::{LowLoadClarkson, LowLoadConfig, LowLoadState};
+pub use spec::{AlgorithmSpec, F64Key, RunSpecKey, SpecError, StopSpec};
 pub use termination::{TermEntry, TermState};

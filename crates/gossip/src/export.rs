@@ -1,0 +1,995 @@
+//! Serde-free JSON-lines (JSONL) export and wire format.
+//!
+//! One run is rendered as a stream of self-describing *frames*, one
+//! JSON object per line:
+//!
+//! ```text
+//! {"frame":"header", ...}    exactly once, first
+//! {"frame":"round",  ...}    one per simulated round, in order
+//! {"frame":"summary",...}    exactly once, last
+//! ```
+//!
+//! plus a typed error frame (`{"frame":"error","code":...,"kind":...}`)
+//! that replaces the whole stream when a run could not be performed.
+//! The format is the export target for the sweep benches **and** the
+//! wire format of the `lpt-server` session protocol: because every run
+//! is a pure function of its spec (see the crate docs on determinism),
+//! two renders of the same spec are byte-identical, which is what makes
+//! a report cache exact.
+//!
+//! Everything here is hand-rolled on `std` only — no serde, no external
+//! dependencies: [`Json`] is a minimal recursive-descent JSON parser
+//! (with a depth limit so adversarial input cannot overflow the stack),
+//! [`ObjBuilder`] a field-ordered object writer, and [`Frame`] the
+//! typed layer over both. The field order of every frame is fixed and
+//! covered by golden tests; adding a field is a forward-compatible
+//! change (readers ignore unknown fields), reordering or renaming one
+//! is not.
+
+use crate::metrics::RoundMetrics;
+use std::fmt;
+use std::io::{self, Write};
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + parser
+// ---------------------------------------------------------------------------
+
+/// Maximum nesting depth [`Json::parse`] accepts. Wire frames are flat
+/// objects; anything deeper than this is hostile or corrupt.
+pub const MAX_JSON_DEPTH: usize = 32;
+
+/// A parsed JSON value.
+///
+/// Integers keep full 64-bit precision (`U64` / `I64` variants) instead
+/// of being forced through `f64`, because frame counters and seeds are
+/// 64-bit and must round-trip exactly.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer without fraction or exponent.
+    U64(u64),
+    /// A negative integer without fraction or exponent.
+    I64(i64),
+    /// Any other number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order (duplicate keys keep the last value
+    /// on lookup, like most parsers).
+    Obj(Vec<(String, Json)>),
+}
+
+/// Where and why [`Json::parse`] rejected its input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the offending input.
+    pub pos: usize,
+    /// What went wrong.
+    pub msg: &'static str,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Parses one JSON value from `s` (the whole string must be
+    /// consumed, bar trailing whitespace).
+    pub fn parse(s: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters"));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (last occurrence wins); `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (integers widen losslessly where possible).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::U64(v) => Some(*v as f64),
+            Json::I64(v) => Some(*v as f64),
+            Json::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &'static str) -> JsonError {
+        JsonError { pos: self.pos, msg }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            match b {
+                b' ' | b'\t' | b'\n' | b'\r' => self.pos += 1,
+                _ => break,
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, lit: &str, msg: &'static str) -> Result<(), JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(msg))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_JSON_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.eat("null", "expected null").map(|()| Json::Null),
+            Some(b't') => self.eat("true", "expected true").map(|()| Json::Bool(true)),
+            Some(b'f') => self
+                .eat("false", "expected false")
+                .map(|()| Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.pos += 1; // '['
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            self.skip_ws();
+            out.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(out));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.pos += 1; // '{'
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(out));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected object key"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(self.err("expected ':'"));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            let val = self.value(depth + 1)?;
+            out.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(out));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.pos += 1; // '"'
+        let mut out = String::new();
+        loop {
+            let b = self.peek().ok_or_else(|| self.err("unterminated string"))?;
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a second \uXXXX must follow.
+                                self.eat("\\u", "expected low surrogate")?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(c.ok_or_else(|| self.err("invalid unicode escape"))?);
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                0x00..=0x1F => return Err(self.err("raw control character in string")),
+                _ => {
+                    // Multi-byte UTF-8 is passed through verbatim; the
+                    // input is a &str so it is already valid.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] & 0xC0 == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.err("invalid UTF-8"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid hex digit"))?;
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let tok = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number token");
+        if !float {
+            if let Ok(v) = tok.parse::<u64>() {
+                return Ok(Json::U64(v));
+            }
+            if let Ok(v) = tok.parse::<i64>() {
+                return Ok(Json::I64(v));
+            }
+        }
+        match tok.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(Json::F64(v)),
+            _ => Err(JsonError {
+                pos: start,
+                msg: "invalid number",
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON writing
+// ---------------------------------------------------------------------------
+
+/// Appends `s` to `out` as a JSON string literal (quoted, escaped).
+pub fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Field-ordered JSON object writer: fields appear exactly in the order
+/// they are pushed, which is what makes rendered frames byte-stable.
+#[derive(Debug)]
+pub struct ObjBuilder {
+    buf: String,
+    first: bool,
+}
+
+impl Default for ObjBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ObjBuilder {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        ObjBuilder {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        write_json_str(&mut self.buf, k);
+        self.buf.push(':');
+    }
+
+    /// Adds a string field.
+    #[must_use]
+    pub fn str(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        write_json_str(&mut self.buf, v);
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    #[must_use]
+    pub fn u64(mut self, k: &str, v: u64) -> Self {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Adds a float field (non-finite values render as `null` — JSON
+    /// has no NaN/∞).
+    #[must_use]
+    pub fn f64(mut self, k: &str, v: f64) -> Self {
+        self.key(k);
+        if v.is_finite() {
+            self.buf.push_str(&format!("{v:?}"));
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Adds a bool field.
+    #[must_use]
+    pub fn bool(mut self, k: &str, v: bool) -> Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Adds an optional unsigned integer field (`None` renders `null`).
+    #[must_use]
+    pub fn opt_u64(mut self, k: &str, v: Option<u64>) -> Self {
+        self.key(k);
+        match v {
+            Some(v) => self.buf.push_str(&v.to_string()),
+            None => self.buf.push_str("null"),
+        }
+        self
+    }
+
+    /// Adds an optional string field (`None` renders `null`).
+    #[must_use]
+    pub fn opt_str(mut self, k: &str, v: Option<&str>) -> Self {
+        self.key(k);
+        match v {
+            Some(v) => write_json_str(&mut self.buf, v),
+            None => self.buf.push_str("null"),
+        }
+        self
+    }
+
+    /// Closes the object and returns it (no trailing newline).
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed error codes
+// ---------------------------------------------------------------------------
+
+/// A stable machine-readable identity for an error type, in the
+/// `specs/structured-errors` style: a numeric `code` and a kebab-case
+/// `kind` that are part of the wire contract and never renumbered, plus
+/// the human `Display` text as free-form detail.
+///
+/// Code ranges are partitioned per layer: `1xx` driver errors
+/// (`lpt_gossip::DriverError`), `2xx` server/protocol errors
+/// (`lpt_server::ServerError`). `0` is reserved (never a valid code).
+pub trait ErrorCode: std::error::Error {
+    /// Stable numeric code (never renumbered once shipped).
+    fn code(&self) -> u16;
+    /// Stable kebab-case kind tag (never renamed once shipped).
+    fn kind(&self) -> &'static str;
+}
+
+/// A typed error frame as it appears on the wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError {
+    /// Stable numeric code (see [`ErrorCode::code`]).
+    pub code: u16,
+    /// Stable kebab-case kind tag.
+    pub kind: String,
+    /// Human-readable detail (not part of the stable contract).
+    pub detail: String,
+}
+
+impl WireError {
+    /// Renders any [`ErrorCode`] error into its wire frame payload.
+    pub fn from_error<E: ErrorCode + ?Sized>(err: &E) -> WireError {
+        WireError {
+            code: err.code(),
+            kind: err.kind().to_string(),
+            detail: err.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} {}] {}", self.code, self.kind, self.detail)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------------------
+// Frames
+// ---------------------------------------------------------------------------
+
+/// The header frame: identifies the run the following frames describe.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct RunHeader {
+    /// Canonical spec string of the run (see `lpt_gossip::RunSpecKey`),
+    /// or a bench-defined identifier for sweep exports.
+    pub spec: String,
+    /// Algorithm display name.
+    pub algorithm: String,
+    /// Network size.
+    pub n: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Fault model / scenario name.
+    pub fault: String,
+    /// Topology name.
+    pub topology: String,
+    /// RNG schedule name.
+    pub schedule: String,
+}
+
+/// The summary frame: run-level outcome written after the last round
+/// frame.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct RunSummary {
+    /// Rounds simulated.
+    pub rounds: u64,
+    /// Whether every node output and halted.
+    pub all_halted: bool,
+    /// Stop cause display name (`all-halted`, `round-budget`, ...).
+    pub stop_cause: String,
+    /// Total pull operations across the run.
+    pub total_pulls: u64,
+    /// Total push operations across the run.
+    pub total_pushes: u64,
+    /// Total message volume in `O(log n)`-bit words.
+    pub total_msg_words: u64,
+    /// Messages lost to the fault model.
+    pub dropped: u64,
+    /// Pushes the fault model delivered late.
+    pub delayed: u64,
+    /// Node-rounds lost to downtime.
+    pub offline_node_rounds: u64,
+    /// Earliest round at which any node held a candidate solution.
+    pub first_candidate_round: Option<u64>,
+    /// Problem-rendered consensus output, when the run reached one
+    /// (e.g. `med:r2=100.0` or `hs:3:[1,5,9]`).
+    pub consensus: Option<String>,
+}
+
+impl RunSummary {
+    /// Pre-fills the communication totals from a run's
+    /// [`Metrics`](crate::metrics::Metrics),
+    /// leaving the outcome fields (`rounds`, `stop_cause`, consensus,
+    /// ...) at their defaults for the caller to set.
+    pub fn from_metrics(metrics: &crate::metrics::Metrics) -> RunSummary {
+        RunSummary {
+            total_pulls: metrics.total_pulls(),
+            total_pushes: metrics.total_pushes(),
+            total_msg_words: metrics.total_msg_words(),
+            dropped: metrics.total_dropped(),
+            delayed: metrics.total_delayed(),
+            offline_node_rounds: metrics.offline_node_rounds(),
+            ..RunSummary::default()
+        }
+    }
+}
+
+/// One line of the JSONL stream.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// `{"frame":"header",...}` — run identity, exactly once, first.
+    Header(RunHeader),
+    /// `{"frame":"round",...}` — one simulated round's metrics.
+    Round(RoundMetrics),
+    /// `{"frame":"summary",...}` — run outcome, exactly once, last.
+    Summary(RunSummary),
+    /// `{"frame":"error",...}` — typed failure; terminates the stream.
+    Error(WireError),
+}
+
+/// Why a line could not be decoded into a [`Frame`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum FrameError {
+    /// The line is not valid JSON.
+    Json(JsonError),
+    /// The line is valid JSON but not an object.
+    NotAnObject,
+    /// The object has no `"frame"` string tag.
+    MissingTag,
+    /// The `"frame"` tag names a frame kind this reader doesn't know.
+    /// Carries the tag so protocol extensions (e.g. the server's
+    /// `stats` frame) can be routed by the caller.
+    UnknownFrame(String),
+    /// A known frame is missing a field or has one of the wrong type.
+    Field {
+        /// The frame kind being decoded.
+        frame: &'static str,
+        /// The offending field.
+        field: &'static str,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Json(e) => write!(f, "{e}"),
+            FrameError::NotAnObject => write!(f, "frame line is not a JSON object"),
+            FrameError::MissingTag => write!(f, "frame object has no \"frame\" tag"),
+            FrameError::UnknownFrame(tag) => write!(f, "unknown frame kind {tag:?}"),
+            FrameError::Field { frame, field } => {
+                write!(f, "{frame} frame: missing or mistyped field {field:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+fn need_u64(obj: &Json, frame: &'static str, field: &'static str) -> Result<u64, FrameError> {
+    obj.get(field)
+        .and_then(Json::as_u64)
+        .ok_or(FrameError::Field { frame, field })
+}
+
+fn need_str(obj: &Json, frame: &'static str, field: &'static str) -> Result<String, FrameError> {
+    obj.get(field)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or(FrameError::Field { frame, field })
+}
+
+fn opt_u64(
+    obj: &Json,
+    frame: &'static str,
+    field: &'static str,
+) -> Result<Option<u64>, FrameError> {
+    match obj.get(field) {
+        None => Ok(None),
+        Some(v) if v.is_null() => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or(FrameError::Field { frame, field }),
+    }
+}
+
+impl Frame {
+    /// Renders the frame as one JSON line (no trailing newline). Field
+    /// order is fixed; see the golden tests.
+    pub fn to_line(&self) -> String {
+        match self {
+            Frame::Header(h) => ObjBuilder::new()
+                .str("frame", "header")
+                .str("spec", &h.spec)
+                .str("algorithm", &h.algorithm)
+                .u64("n", h.n)
+                .u64("seed", h.seed)
+                .str("fault", &h.fault)
+                .str("topology", &h.topology)
+                .str("schedule", &h.schedule)
+                .finish(),
+            Frame::Round(r) => ObjBuilder::new()
+                .str("frame", "round")
+                .u64("round", r.round)
+                .u64("pulls", r.pulls)
+                .u64("pushes", r.pushes)
+                .u64("max_node_work", r.max_node_work)
+                .u64("served", r.served)
+                .u64("msg_words", r.msg_words)
+                .u64("total_load", r.total_load)
+                .u64("max_load", r.max_load)
+                .u64("halted", r.halted)
+                .u64("offline", r.offline)
+                .u64("dropped", r.dropped)
+                .u64("delayed", r.delayed)
+                .finish(),
+            Frame::Summary(s) => ObjBuilder::new()
+                .str("frame", "summary")
+                .u64("rounds", s.rounds)
+                .bool("all_halted", s.all_halted)
+                .str("stop_cause", &s.stop_cause)
+                .u64("total_pulls", s.total_pulls)
+                .u64("total_pushes", s.total_pushes)
+                .u64("total_msg_words", s.total_msg_words)
+                .u64("dropped", s.dropped)
+                .u64("delayed", s.delayed)
+                .u64("offline_node_rounds", s.offline_node_rounds)
+                .opt_u64("first_candidate_round", s.first_candidate_round)
+                .opt_str("consensus", s.consensus.as_deref())
+                .finish(),
+            Frame::Error(e) => ObjBuilder::new()
+                .str("frame", "error")
+                .u64("code", u64::from(e.code))
+                .str("kind", &e.kind)
+                .str("detail", &e.detail)
+                .finish(),
+        }
+    }
+
+    /// Decodes one JSONL line (unknown fields are ignored).
+    pub fn parse(line: &str) -> Result<Frame, FrameError> {
+        let v = Json::parse(line).map_err(FrameError::Json)?;
+        if !matches!(v, Json::Obj(_)) {
+            return Err(FrameError::NotAnObject);
+        }
+        let tag = v
+            .get("frame")
+            .and_then(Json::as_str)
+            .ok_or(FrameError::MissingTag)?;
+        match tag {
+            "header" => Ok(Frame::Header(RunHeader {
+                spec: need_str(&v, "header", "spec")?,
+                algorithm: need_str(&v, "header", "algorithm")?,
+                n: need_u64(&v, "header", "n")?,
+                seed: need_u64(&v, "header", "seed")?,
+                fault: need_str(&v, "header", "fault")?,
+                topology: need_str(&v, "header", "topology")?,
+                schedule: need_str(&v, "header", "schedule")?,
+            })),
+            "round" => Ok(Frame::Round(RoundMetrics {
+                round: need_u64(&v, "round", "round")?,
+                pulls: need_u64(&v, "round", "pulls")?,
+                pushes: need_u64(&v, "round", "pushes")?,
+                max_node_work: need_u64(&v, "round", "max_node_work")?,
+                served: need_u64(&v, "round", "served")?,
+                msg_words: need_u64(&v, "round", "msg_words")?,
+                total_load: need_u64(&v, "round", "total_load")?,
+                max_load: need_u64(&v, "round", "max_load")?,
+                halted: need_u64(&v, "round", "halted")?,
+                offline: need_u64(&v, "round", "offline")?,
+                dropped: need_u64(&v, "round", "dropped")?,
+                delayed: need_u64(&v, "round", "delayed")?,
+            })),
+            "summary" => Ok(Frame::Summary(RunSummary {
+                rounds: need_u64(&v, "summary", "rounds")?,
+                all_halted: v.get("all_halted").and_then(Json::as_bool).ok_or(
+                    FrameError::Field {
+                        frame: "summary",
+                        field: "all_halted",
+                    },
+                )?,
+                stop_cause: need_str(&v, "summary", "stop_cause")?,
+                total_pulls: need_u64(&v, "summary", "total_pulls")?,
+                total_pushes: need_u64(&v, "summary", "total_pushes")?,
+                total_msg_words: need_u64(&v, "summary", "total_msg_words")?,
+                dropped: need_u64(&v, "summary", "dropped")?,
+                delayed: need_u64(&v, "summary", "delayed")?,
+                offline_node_rounds: need_u64(&v, "summary", "offline_node_rounds")?,
+                first_candidate_round: opt_u64(&v, "summary", "first_candidate_round")?,
+                consensus: match v.get("consensus") {
+                    None => None,
+                    Some(c) if c.is_null() => None,
+                    Some(c) => Some(c.as_str().map(str::to_string).ok_or(FrameError::Field {
+                        frame: "summary",
+                        field: "consensus",
+                    })?),
+                },
+            })),
+            "error" => {
+                let code = need_u64(&v, "error", "code")?;
+                Ok(Frame::Error(WireError {
+                    code: u16::try_from(code).map_err(|_| FrameError::Field {
+                        frame: "error",
+                        field: "code",
+                    })?,
+                    kind: need_str(&v, "error", "kind")?,
+                    detail: need_str(&v, "error", "detail")?,
+                }))
+            }
+            other => Err(FrameError::UnknownFrame(other.to_string())),
+        }
+    }
+}
+
+/// Parses a whole JSONL document (blank lines skipped). On failure
+/// returns the 1-based line number alongside the decode error.
+pub fn parse_frames(text: &str) -> Result<Vec<Frame>, (usize, FrameError)> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(Frame::parse(line).map_err(|e| (i + 1, e))?);
+    }
+    Ok(out)
+}
+
+/// Streaming JSONL frame writer over any [`Write`].
+#[derive(Debug)]
+pub struct JsonlWriter<W: Write> {
+    out: W,
+}
+
+impl<W: Write> JsonlWriter<W> {
+    /// Wraps a sink.
+    pub fn new(out: W) -> Self {
+        JsonlWriter { out }
+    }
+
+    /// Writes one frame as one line.
+    pub fn write_frame(&mut self, frame: &Frame) -> io::Result<()> {
+        self.out.write_all(frame.to_line().as_bytes())?;
+        self.out.write_all(b"\n")
+    }
+
+    /// Writes a complete run stream: header, one round frame per entry
+    /// of `rounds`, then the summary.
+    pub fn write_run(
+        &mut self,
+        header: &RunHeader,
+        rounds: &[RoundMetrics],
+        summary: &RunSummary,
+    ) -> io::Result<()> {
+        self.write_frame(&Frame::Header(header.clone()))?;
+        for r in rounds {
+            self.write_frame(&Frame::Round(*r))?;
+        }
+        self.write_frame(&Frame::Summary(summary.clone()))
+    }
+
+    /// Flushes and returns the underlying sink.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("42").unwrap(), Json::U64(42));
+        assert_eq!(
+            Json::parse("18446744073709551615").unwrap(),
+            Json::U64(u64::MAX)
+        );
+        assert_eq!(Json::parse("-7").unwrap(), Json::I64(-7));
+        assert_eq!(Json::parse("1.5e3").unwrap(), Json::F64(1500.0));
+        assert_eq!(
+            Json::parse(r#""a\"b\\c\n\u0041\u00e9""#).unwrap(),
+            Json::Str("a\"b\\c\nAé".to_string())
+        );
+    }
+
+    #[test]
+    fn json_rejects_garbage() {
+        for bad in [
+            "", "{", "}", "[1,", "{\"a\"}", "tru", "\"\\x\"", "1 2", "nan", "inf", "--3",
+            "{\"a\":}", "\u{1}",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn json_depth_limit_holds() {
+        let deep = "[".repeat(4000) + &"]".repeat(4000);
+        assert!(Json::parse(&deep).is_err());
+    }
+
+    #[test]
+    fn json_surrogate_pair() {
+        assert_eq!(
+            Json::parse(r#""\ud83e\udd80""#).unwrap(),
+            Json::Str("🦀".to_string())
+        );
+    }
+
+    #[test]
+    fn obj_builder_escapes_and_orders() {
+        let s = ObjBuilder::new()
+            .str("a", "x\"y\n")
+            .u64("b", 7)
+            .bool("c", false)
+            .opt_u64("d", None)
+            .finish();
+        assert_eq!(s, r#"{"a":"x\"y\n","b":7,"c":false,"d":null}"#);
+        let v = Json::parse(&s).unwrap();
+        assert_eq!(v.get("a").unwrap().as_str().unwrap(), "x\"y\n");
+        assert!(v.get("d").unwrap().is_null());
+    }
+
+    #[test]
+    fn frame_lines_roundtrip() {
+        let frames = vec![
+            Frame::Header(RunHeader {
+                spec: "spec-v1 workload=duo-disk".to_string(),
+                algorithm: "low-load".to_string(),
+                n: 256,
+                seed: u64::MAX,
+                fault: "wan".to_string(),
+                topology: "rr8".to_string(),
+                schedule: "v2batched".to_string(),
+            }),
+            Frame::Round(RoundMetrics {
+                round: 0,
+                pulls: 1,
+                pushes: 2,
+                max_node_work: 3,
+                served: 4,
+                msg_words: 5,
+                total_load: 6,
+                max_load: 7,
+                halted: 8,
+                offline: 9,
+                dropped: 10,
+                delayed: 11,
+            }),
+            Frame::Summary(RunSummary {
+                rounds: 22,
+                all_halted: true,
+                stop_cause: "all-halted".to_string(),
+                total_pulls: 100,
+                total_pushes: 50,
+                total_msg_words: 150,
+                dropped: 1,
+                delayed: 2,
+                offline_node_rounds: 3,
+                first_candidate_round: Some(5),
+                consensus: Some("med:r2=100.0".to_string()),
+            }),
+            Frame::Error(WireError {
+                code: 204,
+                kind: "unknown-workload".to_string(),
+                detail: "no workload named \"nope\"".to_string(),
+            }),
+        ];
+        for f in &frames {
+            let line = f.to_line();
+            assert_eq!(&Frame::parse(&line).unwrap(), f, "line: {line}");
+        }
+        let doc: String = frames.iter().map(|f| f.to_line() + "\n").collect();
+        assert_eq!(parse_frames(&doc).unwrap(), frames);
+    }
+
+    #[test]
+    fn frame_parse_rejects_unknown_and_mistyped() {
+        assert!(matches!(
+            Frame::parse(r#"{"frame":"stats","hits":1}"#),
+            Err(FrameError::UnknownFrame(tag)) if tag == "stats"
+        ));
+        assert!(matches!(
+            Frame::parse(r#"{"frame":"round","round":"zero"}"#),
+            Err(FrameError::Field {
+                frame: "round",
+                field: "round"
+            })
+        ));
+        assert_eq!(Frame::parse("[]"), Err(FrameError::NotAnObject));
+        assert_eq!(Frame::parse("{}"), Err(FrameError::MissingTag));
+    }
+}

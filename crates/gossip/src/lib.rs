@@ -84,6 +84,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod export;
 pub mod fault;
 pub mod metrics;
 pub mod net;
@@ -92,6 +93,7 @@ pub mod rng;
 pub mod scratch;
 pub mod topology;
 
+pub use export::{ErrorCode, Frame, RunHeader, RunSummary, WireError};
 pub use fault::{Bernoulli, Churn, Compose, Delay, FaultModel, IntoFaultModel, Perfect};
 pub use metrics::{Metrics, RoundMetrics};
 pub use net::{Network, NetworkConfig, RunOutcome};

@@ -72,6 +72,21 @@ impl Metrics {
         self.rounds.iter().map(|r| r.pulls + r.pushes).sum()
     }
 
+    /// Total pull operations across the run.
+    pub fn total_pulls(&self) -> u64 {
+        self.rounds.iter().map(|r| r.pulls).sum()
+    }
+
+    /// Total push operations across the run.
+    pub fn total_pushes(&self) -> u64 {
+        self.rounds.iter().map(|r| r.pushes).sum()
+    }
+
+    /// Total pull requests served with a message across the run.
+    pub fn total_served(&self) -> u64 {
+        self.rounds.iter().map(|r| r.served).sum()
+    }
+
     /// Total message words across the run.
     pub fn total_msg_words(&self) -> u64 {
         self.rounds.iter().map(|r| r.msg_words).sum()
@@ -134,6 +149,9 @@ mod tests {
         assert_eq!(m.max_node_work(), 6);
         assert_eq!(m.max_load(), 9);
         assert_eq!(m.total_ops(), 25);
+        assert_eq!(m.total_pulls(), 12);
+        assert_eq!(m.total_pushes(), 13);
+        assert_eq!(m.total_served(), 11);
         assert_eq!(m.total_msg_words(), 24);
         assert_eq!(m.total_dropped(), 7);
         assert_eq!(m.total_delayed(), 3);

@@ -1,0 +1,106 @@
+//! Golden-file lock on the JSONL wire format.
+//!
+//! The rendered byte stream is a wire contract shared by the export
+//! writers and the lpt-server protocol: exact replies from the report
+//! cache rely on rendering being byte-stable across releases. This
+//! test pins a representative stream (header, rounds, summary, error)
+//! against `tests/golden/run.jsonl` byte-for-byte, and round-trips it
+//! through the parser.
+//!
+//! To regenerate after an *intentional* format change:
+//! `UPDATE_GOLDEN=1 cargo test -p gossip-sim --test export_jsonl`
+
+use gossip_sim::export::{parse_frames, Frame, RunHeader, RunSummary, WireError};
+use gossip_sim::metrics::RoundMetrics;
+
+fn golden_frames() -> Vec<Frame> {
+    let round = |round: u64, pulls: u64, halted: u64| RoundMetrics {
+        round,
+        pulls,
+        pushes: pulls / 3,
+        max_node_work: 17,
+        served: pulls - 2,
+        msg_words: pulls * 4 + 1,
+        total_load: 96,
+        max_load: 12,
+        halted,
+        offline: round, // exercise non-zero fault columns
+        dropped: 2 * round,
+        delayed: round / 2,
+    };
+    vec![
+        Frame::Header(RunHeader {
+            spec: "spec-v1 workload=duo-disk elements=4096 alg=low-load n=256 seed=42 \
+                   stop=full max_rounds=20000 doubling=- fault=wan topology=rr8 \
+                   schedule=v2batched"
+                .to_string(),
+            algorithm: "low-load".to_string(),
+            n: 256,
+            seed: 42,
+            fault: "wan".to_string(),
+            topology: "rr8".to_string(),
+            schedule: "v2batched".to_string(),
+        }),
+        Frame::Round(round(0, 4096, 0)),
+        Frame::Round(round(1, 4099, 7)),
+        Frame::Round(round(2, 4080, 256)),
+        Frame::Summary(RunSummary {
+            rounds: 3,
+            all_halted: true,
+            stop_cause: "all-halted".to_string(),
+            total_pulls: 12275,
+            total_pushes: 4090,
+            total_msg_words: 49103,
+            dropped: 6,
+            delayed: 1,
+            offline_node_rounds: 3,
+            first_candidate_round: Some(1),
+            consensus: Some("med:r2=100.0".to_string()),
+        }),
+        Frame::Error(WireError {
+            code: 205,
+            kind: "unknown-scenario".to_string(),
+            detail: "no fault scenario preset named \"solar-flare\"".to_string(),
+        }),
+    ]
+}
+
+fn render(frames: &[Frame]) -> String {
+    frames
+        .iter()
+        .map(|f| f.to_line() + "\n")
+        .collect::<String>()
+}
+
+#[test]
+fn rendering_matches_the_golden_file_byte_for_byte() {
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/run.jsonl");
+    let rendered = render(&golden_frames());
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path, &rendered).expect("write golden file");
+    }
+    let golden = std::fs::read_to_string(golden_path).expect("read golden file");
+    assert_eq!(
+        rendered, golden,
+        "JSONL wire format drifted from tests/golden/run.jsonl; if the \
+         change is intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_stream_round_trips_through_the_parser() {
+    let frames = golden_frames();
+    let reparsed = parse_frames(&render(&frames)).expect("golden stream parses");
+    assert_eq!(reparsed, frames);
+}
+
+#[test]
+fn parser_rejects_drifted_streams_with_positions() {
+    let mut lines: Vec<String> = render(&golden_frames())
+        .lines()
+        .map(str::to_string)
+        .collect();
+    lines[2] = "{\"frame\":\"rounds\"}".to_string(); // unknown tag
+    let err = parse_frames(&lines.join("\n")).unwrap_err();
+    assert_eq!(err.0, 3, "error carries the 1-based line number");
+}

@@ -1,0 +1,301 @@
+//! The exact report cache: [`RunSpecKey`] → rendered reply bytes.
+//!
+//! Because a run is a pure function of its spec (seeded RNG schedule,
+//! deterministic engine, field-ordered rendering), two requests with
+//! equal keys *must* produce byte-identical reply streams — so the
+//! cache can hand back the cold run's exact bytes and the client
+//! cannot tell replay from re-execution. Driver errors are cached too:
+//! they are just as deterministic as successes.
+//!
+//! The cache is **single-flight**: when several sessions ask for the
+//! same uncached key concurrently, exactly one computes it (the one
+//! that got [`Lookup::Miss`]) while the rest block inside
+//! [`ReportCache::lookup`] on a condvar until the bytes land. If
+//! the computing session dies (panic, disconnect) its [`PendingGuard`]
+//! drops, the pending slot is removed, and one waiter is promoted to
+//! compute instead — no request is ever lost to another session's
+//! failure.
+//!
+//! Eviction is LRU over *ready* entries only, so an in-flight
+//! computation can never be evicted out from under its waiters.
+
+use lpt_gossip::spec::RunSpecKey;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+enum Slot {
+    /// A session is computing this entry right now.
+    Pending,
+    /// The entry is cached; `last_used` orders LRU eviction.
+    Ready { bytes: Arc<Vec<u8>>, last_used: u64 },
+}
+
+struct Inner {
+    slots: HashMap<RunSpecKey, Slot>,
+    /// Monotonic use counter backing the LRU order.
+    tick: u64,
+    ready_count: usize,
+}
+
+/// A bounded single-flight LRU cache of rendered reply streams.
+pub struct ReportCache {
+    inner: Mutex<Inner>,
+    ready: Condvar,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// The outcome of a cache probe.
+pub enum Lookup {
+    /// Cached bytes, ready to stream as-is.
+    Hit(Arc<Vec<u8>>),
+    /// Not cached; the caller must compute the entry and then call
+    /// [`PendingGuard::fulfill`]. Other sessions asking for the same
+    /// key will block until it does (or the guard drops).
+    Miss(PendingGuard),
+}
+
+/// Held by the one session computing a missed entry. Dropping the
+/// guard without [`fulfill`](PendingGuard::fulfill)ing releases the
+/// slot and wakes waiters so one of them can take over.
+pub struct PendingGuard {
+    cache: Arc<ReportCache>,
+    key: RunSpecKey,
+    fulfilled: bool,
+}
+
+impl ReportCache {
+    /// Creates a cache holding at most `capacity` ready entries
+    /// (minimum 1).
+    pub fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(ReportCache {
+            inner: Mutex::new(Inner {
+                slots: HashMap::new(),
+                tick: 0,
+                ready_count: 0,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// Probes the cache. A `Hit` is counted and its entry touched; a
+    /// key that is pending in another session blocks until it
+    /// resolves (counted as a hit — no run happened on our behalf).
+    pub fn lookup(self: &Arc<Self>, key: &RunSpecKey) -> Lookup {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            match inner.slots.get(key) {
+                Some(Slot::Ready { .. }) => {
+                    inner.tick += 1;
+                    let tick = inner.tick;
+                    let Some(Slot::Ready { bytes, last_used }) = inner.slots.get_mut(key) else {
+                        unreachable!("entry vanished while locked");
+                    };
+                    *last_used = tick;
+                    let bytes = bytes.clone();
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Lookup::Hit(bytes);
+                }
+                Some(Slot::Pending) => {
+                    // Another session is computing this key; wait for
+                    // it rather than running the same spec twice.
+                    inner = self.ready.wait(inner).unwrap();
+                }
+                None => {
+                    inner.slots.insert(key.clone(), Slot::Pending);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    return Lookup::Miss(PendingGuard {
+                        cache: self.clone(),
+                        key: key.clone(),
+                        fulfilled: false,
+                    });
+                }
+            }
+        }
+    }
+
+    fn insert_ready(&self, key: &RunSpecKey, bytes: Arc<Vec<u8>>) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let was_pending = matches!(
+            inner.slots.insert(
+                key.clone(),
+                Slot::Ready {
+                    bytes,
+                    last_used: tick,
+                },
+            ),
+            Some(Slot::Pending)
+        );
+        debug_assert!(was_pending, "fulfilled a slot nobody reserved");
+        inner.ready_count += 1;
+        while inner.ready_count > self.capacity {
+            let victim = inner
+                .slots
+                .iter()
+                .filter_map(|(k, s)| match s {
+                    Slot::Ready { last_used, .. } if k != key => Some((*last_used, k)),
+                    _ => None,
+                })
+                .min_by_key(|(last_used, _)| *last_used)
+                .map(|(_, k)| k.clone());
+            match victim {
+                Some(k) => {
+                    inner.slots.remove(&k);
+                    inner.ready_count -= 1;
+                }
+                None => break, // capacity 1 and only the fresh entry is ready
+            }
+        }
+        drop(inner);
+        self.ready.notify_all();
+    }
+
+    fn abandon(&self, key: &RunSpecKey) {
+        let mut inner = self.inner.lock().unwrap();
+        if matches!(inner.slots.get(key), Some(Slot::Pending)) {
+            inner.slots.remove(key);
+        }
+        drop(inner);
+        // Wake waiters: one of them will re-probe, find no slot, and
+        // become the new computer.
+        self.ready.notify_all();
+    }
+
+    /// Cache hits served so far (including waits on in-flight runs).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far — each one caused exactly one computation.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of ready (replayable) entries currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().ready_count
+    }
+
+    /// Whether the cache holds no ready entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl PendingGuard {
+    /// Publishes the computed bytes, waking all sessions waiting on
+    /// this key, and returns the shared bytes for the caller's own
+    /// reply.
+    pub fn fulfill(mut self, bytes: Vec<u8>) -> Arc<Vec<u8>> {
+        let bytes = Arc::new(bytes);
+        self.cache.insert_ready(&self.key, bytes.clone());
+        self.fulfilled = true;
+        bytes
+    }
+}
+
+impl Drop for PendingGuard {
+    fn drop(&mut self) {
+        if !self.fulfilled {
+            self.cache.abandon(&self.key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn key(seed: u64) -> RunSpecKey {
+        RunSpecKey::new("duo-disk", 64, 16, seed)
+    }
+
+    #[test]
+    fn miss_then_hit_replays_exact_bytes() {
+        let cache = ReportCache::new(4);
+        let Lookup::Miss(guard) = cache.lookup(&key(1)) else {
+            panic!("expected miss")
+        };
+        let published = guard.fulfill(b"reply".to_vec());
+        let Lookup::Hit(bytes) = cache.lookup(&key(1)) else {
+            panic!("expected hit")
+        };
+        assert_eq!(bytes.as_slice(), b"reply");
+        assert!(Arc::ptr_eq(&published, &bytes), "hit shares the cold bytes");
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn concurrent_lookups_single_flight() {
+        let cache = ReportCache::new(4);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let cache = cache.clone();
+            handles.push(thread::spawn(move || match cache.lookup(&key(7)) {
+                Lookup::Miss(guard) => {
+                    // Simulate a slow run while the others wait.
+                    thread::sleep(std::time::Duration::from_millis(30));
+                    guard.fulfill(b"once".to_vec()).as_slice().to_vec()
+                }
+                Lookup::Hit(bytes) => bytes.as_slice().to_vec(),
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), b"once");
+        }
+        assert_eq!(cache.misses(), 1, "exactly one computation");
+        assert_eq!(cache.hits(), 7);
+    }
+
+    #[test]
+    fn dropped_guard_promotes_a_waiter() {
+        let cache = ReportCache::new(4);
+        let Lookup::Miss(guard) = cache.lookup(&key(3)) else {
+            panic!("expected miss")
+        };
+        let waiter = {
+            let cache = cache.clone();
+            thread::spawn(move || match cache.lookup(&key(3)) {
+                Lookup::Miss(g) => {
+                    g.fulfill(b"rescued".to_vec());
+                    true
+                }
+                Lookup::Hit(_) => false,
+            })
+        };
+        thread::sleep(std::time::Duration::from_millis(30));
+        drop(guard); // computing session "dies"
+        assert!(waiter.join().unwrap(), "waiter became the computer");
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_ready_entry() {
+        let cache = ReportCache::new(2);
+        for seed in 0..3 {
+            let Lookup::Miss(g) = cache.lookup(&key(seed)) else {
+                panic!("expected miss")
+            };
+            g.fulfill(vec![seed as u8]);
+            if seed == 1 {
+                // Touch seed 0 so seed 1 becomes the LRU victim.
+                assert!(matches!(cache.lookup(&key(0)), Lookup::Hit(_)));
+            }
+        }
+        assert_eq!(cache.len(), 2);
+        assert!(matches!(cache.lookup(&key(0)), Lookup::Hit(_)));
+        assert!(matches!(cache.lookup(&key(2)), Lookup::Hit(_)));
+        let Lookup::Miss(g) = cache.lookup(&key(1)) else {
+            panic!("seed 1 should have been evicted")
+        };
+        drop(g);
+    }
+}

@@ -1,0 +1,143 @@
+//! A small blocking client for the wire protocol — used by the
+//! example, the integration tests, and the benchmark harness.
+
+use crate::request::solve_request_line;
+use gossip_sim::export::{Frame, Json, RunHeader, RunSummary, WireError};
+use gossip_sim::metrics::RoundMetrics;
+use lpt_gossip::spec::RunSpecKey;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::server::ServerStats;
+
+/// One session's connection to a running server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// A fully received solve reply, frame by frame.
+#[derive(Clone, Debug)]
+pub struct SolveReply {
+    /// The reply exactly as received (newline-terminated frames).
+    /// Byte-equal across repeats of the same spec.
+    pub raw: Vec<u8>,
+    /// The header frame (absent if the reply is an error).
+    pub header: Option<RunHeader>,
+    /// One round frame per simulated round.
+    pub rounds: Vec<RoundMetrics>,
+    /// The summary frame (absent if the reply is an error).
+    pub summary: Option<RunSummary>,
+    /// The error frame, when the run or its resolution failed.
+    pub error: Option<WireError>,
+}
+
+fn bad_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+impl Client {
+    /// Connects a new session.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    fn send_line(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")
+    }
+
+    fn read_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the session",
+            ));
+        }
+        Ok(line)
+    }
+
+    /// Sends a raw request line and returns the next reply line —
+    /// escape hatch for protocol tests.
+    pub fn raw_line(&mut self, line: &str) -> io::Result<String> {
+        self.send_line(line)?;
+        self.read_line()
+    }
+
+    /// Blocks until the server pushes a line unprompted (e.g. the
+    /// terminal `idle-timeout` error frame) and returns it.
+    pub fn raw_wait_line(&mut self) -> io::Result<String> {
+        self.read_line()
+    }
+
+    /// Submits a solve request for `key` and receives the complete
+    /// reply stream (header, every round frame, and summary — or a
+    /// single error frame).
+    pub fn solve(&mut self, key: &RunSpecKey) -> io::Result<SolveReply> {
+        self.send_line(&solve_request_line(key))?;
+        let mut reply = SolveReply {
+            raw: Vec::new(),
+            header: None,
+            rounds: Vec::new(),
+            summary: None,
+            error: None,
+        };
+        loop {
+            let line = self.read_line()?;
+            reply.raw.extend_from_slice(line.as_bytes());
+            let frame = Frame::parse(line.trim_end())
+                .map_err(|e| bad_data(format!("bad frame from server: {e}")))?;
+            match frame {
+                Frame::Header(h) => reply.header = Some(h),
+                Frame::Round(r) => reply.rounds.push(r),
+                Frame::Summary(s) => {
+                    reply.summary = Some(s);
+                    return Ok(reply);
+                }
+                Frame::Error(e) => {
+                    reply.error = Some(e);
+                    return Ok(reply);
+                }
+            }
+        }
+    }
+
+    /// Fetches the server's counter snapshot.
+    pub fn stats(&mut self) -> io::Result<ServerStats> {
+        let line = self.raw_line("{\"cmd\":\"stats\"}")?;
+        let v = Json::parse(line.trim_end()).map_err(|e| bad_data(format!("bad stats: {e}")))?;
+        if v.get("frame").and_then(Json::as_str) != Some("stats") {
+            return Err(bad_data(format!("expected a stats frame, got: {line}")));
+        }
+        let field = |name: &str| {
+            v.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad_data(format!("stats frame is missing {name}")))
+        };
+        Ok(ServerStats {
+            hits: field("hits")?,
+            misses: field("misses")?,
+            runs: field("runs")?,
+            requests: field("requests")?,
+            cache_entries: field("cache_entries")?,
+            open_sessions: field("open_sessions")?,
+        })
+    }
+
+    /// Asks the server to shut down gracefully; returns once the
+    /// server acknowledges with its `bye` frame.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        let line = self.raw_line("{\"cmd\":\"shutdown\"}")?;
+        let v = Json::parse(line.trim_end()).map_err(|e| bad_data(format!("bad bye: {e}")))?;
+        if v.get("frame").and_then(Json::as_str) != Some("bye") {
+            return Err(bad_data(format!("expected a bye frame, got: {line}")));
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,167 @@
+//! Typed server errors with stable wire codes.
+//!
+//! Every failure a session can report on the wire is either a
+//! [`ServerError`] (codes `2xx`, defined here), a
+//! [`DriverError`](lpt_gossip::DriverError) (codes `101`–`110`), or a
+//! [`SpecError`](lpt_gossip::SpecError) (codes `120`–`123`) — all
+//! rendered through the same [`ErrorCode`] trait into
+//! `{"frame":"error","code":...,"kind":...,"detail":...}` frames.
+//! Codes and kinds are part of the wire contract: they are never
+//! renumbered or renamed; new variants take fresh codes.
+
+use gossip_sim::export::ErrorCode;
+use std::fmt;
+
+/// Why the server rejected a request or closed a session.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServerError {
+    /// The request line is not valid JSON (or not a JSON object).
+    MalformedRequest(String),
+    /// The request's `"cmd"` is missing or unknown.
+    UnknownCommand(String),
+    /// A required request field is missing.
+    MissingField(&'static str),
+    /// A request field has the wrong type or an invalid value.
+    BadField {
+        /// The offending field.
+        field: &'static str,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// The requested workload preset does not exist.
+    UnknownWorkload(String),
+    /// The requested fault scenario preset does not exist.
+    UnknownScenario(String),
+    /// The requested topology preset does not exist.
+    UnknownTopology(String),
+    /// The requested RNG schedule does not exist.
+    UnknownSchedule(String),
+    /// The server is shutting down and no longer accepts work.
+    ShuttingDown,
+    /// An internal failure (e.g. a worker died mid-run).
+    Internal(String),
+    /// The request line exceeds the size limit.
+    RequestTooLarge {
+        /// The limit in bytes.
+        limit: usize,
+    },
+    /// The session sat idle past the configured timeout and is being
+    /// closed.
+    IdleTimeout {
+        /// The timeout that elapsed, in milliseconds.
+        millis: u64,
+    },
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::MalformedRequest(detail) => {
+                write!(f, "malformed request: {detail}")
+            }
+            ServerError::UnknownCommand(cmd) => {
+                write!(
+                    f,
+                    "unknown command {cmd:?} (expected solve, stats, shutdown)"
+                )
+            }
+            ServerError::MissingField(field) => {
+                write!(f, "request is missing required field {field:?}")
+            }
+            ServerError::BadField { field, detail } => {
+                write!(f, "request field {field:?} is invalid: {detail}")
+            }
+            ServerError::UnknownWorkload(name) => {
+                write!(f, "no workload preset named {name:?}")
+            }
+            ServerError::UnknownScenario(name) => {
+                write!(f, "no fault scenario preset named {name:?}")
+            }
+            ServerError::UnknownTopology(name) => {
+                write!(f, "no topology preset named {name:?}")
+            }
+            ServerError::UnknownSchedule(name) => {
+                write!(f, "no RNG schedule named {name:?}")
+            }
+            ServerError::ShuttingDown => write!(f, "server is shutting down"),
+            ServerError::Internal(detail) => write!(f, "internal server error: {detail}"),
+            ServerError::RequestTooLarge { limit } => {
+                write!(f, "request line exceeds the {limit}-byte limit")
+            }
+            ServerError::IdleTimeout { millis } => {
+                write!(f, "session idle for more than {millis} ms; closing")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl ErrorCode for ServerError {
+    fn code(&self) -> u16 {
+        match self {
+            ServerError::MalformedRequest(_) => 200,
+            ServerError::UnknownCommand(_) => 201,
+            ServerError::MissingField(_) => 202,
+            ServerError::BadField { .. } => 203,
+            ServerError::UnknownWorkload(_) => 204,
+            ServerError::UnknownScenario(_) => 205,
+            ServerError::UnknownTopology(_) => 206,
+            ServerError::UnknownSchedule(_) => 207,
+            ServerError::ShuttingDown => 208,
+            ServerError::Internal(_) => 209,
+            ServerError::RequestTooLarge { .. } => 210,
+            ServerError::IdleTimeout { .. } => 211,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            ServerError::MalformedRequest(_) => "malformed-request",
+            ServerError::UnknownCommand(_) => "unknown-command",
+            ServerError::MissingField(_) => "missing-field",
+            ServerError::BadField { .. } => "bad-field",
+            ServerError::UnknownWorkload(_) => "unknown-workload",
+            ServerError::UnknownScenario(_) => "unknown-scenario",
+            ServerError::UnknownTopology(_) => "unknown-topology",
+            ServerError::UnknownSchedule(_) => "unknown-schedule",
+            ServerError::ShuttingDown => "shutting-down",
+            ServerError::Internal(_) => "internal",
+            ServerError::RequestTooLarge { .. } => "request-too-large",
+            ServerError::IdleTimeout { .. } => "idle-timeout",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let all = [
+            ServerError::MalformedRequest(String::new()),
+            ServerError::UnknownCommand(String::new()),
+            ServerError::MissingField("x"),
+            ServerError::BadField {
+                field: "x",
+                detail: String::new(),
+            },
+            ServerError::UnknownWorkload(String::new()),
+            ServerError::UnknownScenario(String::new()),
+            ServerError::UnknownTopology(String::new()),
+            ServerError::UnknownSchedule(String::new()),
+            ServerError::ShuttingDown,
+            ServerError::Internal(String::new()),
+            ServerError::RequestTooLarge { limit: 0 },
+            ServerError::IdleTimeout { millis: 0 },
+        ];
+        let codes: Vec<u16> = all.iter().map(ErrorCode::code).collect();
+        assert_eq!(codes, (200..212).collect::<Vec<u16>>());
+        let mut kinds: Vec<&str> = all.iter().map(|e| e.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), all.len());
+    }
+}

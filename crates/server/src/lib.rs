@@ -1,0 +1,54 @@
+//! # lpt-server — gossip-as-a-service
+//!
+//! A session-oriented TCP server exposing the [`lpt_gossip`] driver
+//! over a newline-delimited JSON wire protocol (the
+//! [`gossip_sim::export`] frame format). Clients open a session, send
+//! `solve` requests naming a workload preset, an algorithm, fault and
+//! topology scenarios, and an RNG schedule, and receive the run
+//! streamed back as `header · round* · summary` frames.
+//!
+//! The architecture leans on one fact: **runs are deterministic**.
+//! A run is a pure function of its canonical [`RunSpecKey`]
+//! (`lpt_gossip::spec`), so the server can cache *rendered reply
+//! bytes* keyed by the spec and replay them for repeat requests —
+//! byte-identical to the cold run, with no driver execution. Misses
+//! are single-flight (concurrent identical requests coalesce onto one
+//! run) and execution is multiplexed over a bounded worker pool whose
+//! full queue pushes back on submitting sessions.
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use lpt_server::{Client, RunSpecKey, Server, ServerConfig};
+//!
+//! let server = Server::bind("127.0.0.1:0", ServerConfig::default())?;
+//! let mut client = Client::connect(server.addr())?;
+//! let reply = client.solve(&RunSpecKey::new("duo-disk", 1024, 256, 42))?;
+//! println!("{} rounds", reply.summary.unwrap().rounds);
+//! client.shutdown()?;
+//! server.wait();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod error;
+pub mod pool;
+pub mod registry;
+pub mod request;
+pub mod server;
+
+pub use cache::{Lookup, PendingGuard, ReportCache};
+pub use client::{Client, SolveReply};
+pub use error::ServerError;
+pub use pool::WorkerPool;
+pub use registry::{execute, ExecOutcome, WORKLOADS};
+pub use request::{parse_request, solve_request_line, Request};
+pub use server::{Server, ServerConfig, ServerHandle, ServerStats, MAX_REQUEST_LINE};
+
+// Re-exported so client code can build specs without naming the core
+// crate.
+pub use lpt_gossip::spec::{AlgorithmSpec, F64Key, RunSpecKey, SpecError, StopSpec};

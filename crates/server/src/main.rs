@@ -1,0 +1,69 @@
+//! The `lpt-server` binary: bind a port and serve until a client
+//! sends `{"cmd":"shutdown"}` (or the process is killed).
+
+use lpt_server::{Server, ServerConfig};
+use std::time::Duration;
+
+const USAGE: &str = "usage: lpt-server [--addr HOST:PORT] [--workers N] [--queue N] \
+                     [--cache N] [--idle-ms N]";
+
+fn parse_args() -> Result<(String, ServerConfig), String> {
+    let mut addr = "127.0.0.1:7420".to_string();
+    let mut cfg = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--addr" => addr = value("--addr")?,
+            "--workers" => {
+                cfg.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--queue" => {
+                cfg.queue_capacity = value("--queue")?
+                    .parse()
+                    .map_err(|e| format!("--queue: {e}"))?;
+            }
+            "--cache" => {
+                cfg.cache_capacity = value("--cache")?
+                    .parse()
+                    .map_err(|e| format!("--cache: {e}"))?;
+            }
+            "--idle-ms" => {
+                let ms: u64 = value("--idle-ms")?
+                    .parse()
+                    .map_err(|e| format!("--idle-ms: {e}"))?;
+                cfg.idle_timeout = Duration::from_millis(ms);
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    Ok((addr, cfg))
+}
+
+fn main() {
+    let (addr, cfg) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let server = match Server::bind(&addr[..], cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("lpt-server listening on {}", server.addr());
+    server.wait();
+}

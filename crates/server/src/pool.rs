@@ -1,0 +1,139 @@
+//! A bounded worker pool over `std::sync::mpsc::sync_channel`.
+//!
+//! The channel's capacity *is* the backpressure queue: when all
+//! workers are busy and the queue is full, [`WorkerPool::execute`]
+//! blocks the submitting session until a slot frees up, which in turn
+//! slows the client feeding that session — demand propagates to the
+//! socket instead of growing an unbounded queue.
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of `std::thread` workers draining a bounded
+/// job queue.
+pub struct WorkerPool {
+    sender: Mutex<Option<SyncSender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (minimum 1) sharing a queue of
+    /// `queue_capacity` pending jobs (minimum 1).
+    pub fn new(workers: usize, queue_capacity: usize) -> WorkerPool {
+        let (tx, rx) = sync_channel::<Job>(queue_capacity.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("lpt-worker-{i}"))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            sender: Mutex::new(Some(tx)),
+            workers: Mutex::new(handles),
+        }
+    }
+
+    /// Submits a job, blocking while the queue is full. Returns
+    /// `false` (job not run) if the pool has shut down.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        // Clone the sender out of the lock so a full queue blocks only
+        // this caller, not everyone else touching the pool.
+        let sender = match self.sender.lock().unwrap().as_ref() {
+            Some(tx) => tx.clone(),
+            None => return false,
+        };
+        sender.send(Box::new(job)).is_ok()
+    }
+
+    /// Stops accepting jobs, drains the queue, and joins all workers.
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        drop(self.sender.lock().unwrap().take());
+        let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+    loop {
+        // Hold the lock only while *receiving*, never while running a
+        // job, so workers drain the queue concurrently.
+        let job = match rx.lock().unwrap().recv() {
+            Ok(job) => job,
+            Err(_) => return, // all senders dropped: shutdown
+        };
+        job();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc::channel;
+
+    #[test]
+    fn runs_jobs_concurrently_and_drains_on_shutdown() {
+        let pool = WorkerPool::new(4, 8);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..32 {
+            let counter = counter.clone();
+            assert!(pool.execute(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 32);
+        assert!(!pool.execute(|| {}), "pool rejects jobs after shutdown");
+    }
+
+    #[test]
+    fn full_queue_applies_backpressure() {
+        let pool = WorkerPool::new(1, 1);
+        let (gate_tx, gate_rx) = channel::<()>();
+        let gate_rx = Arc::new(Mutex::new(gate_rx));
+        let started = Arc::new(AtomicUsize::new(0));
+        // Job 1 occupies the worker until gated; job 2 fills the queue.
+        for _ in 0..2 {
+            let gate = gate_rx.clone();
+            let started = started.clone();
+            pool.execute(move || {
+                started.fetch_add(1, Ordering::Relaxed);
+                let _ = gate.lock().unwrap().recv();
+            });
+        }
+        // Job 3 must block in execute() until a slot frees.
+        let pool = Arc::new(pool);
+        let submitter = {
+            let pool = pool.clone();
+            let started = started.clone();
+            std::thread::spawn(move || {
+                pool.execute(move || {
+                    started.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(!submitter.is_finished(), "execute() should be blocked");
+        gate_tx.send(()).unwrap();
+        gate_tx.send(()).unwrap();
+        assert!(submitter.join().unwrap());
+        pool.shutdown();
+        assert_eq!(started.load(Ordering::Relaxed), 3);
+    }
+}

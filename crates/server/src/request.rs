@@ -1,0 +1,261 @@
+//! Wire requests: one JSON object per line, decoded into a typed
+//! [`Request`].
+//!
+//! ## Grammar
+//!
+//! ```text
+//! {"cmd":"solve","workload":"duo-disk","n":256,"seed":42, ...}
+//! {"cmd":"stats"}
+//! {"cmd":"shutdown"}
+//! ```
+//!
+//! Solve fields (beyond the required `workload` and `n`) are optional
+//! and default to the driver's defaults: `elements` (instance size,
+//! default `4·n`), `algorithm` (canonical [`AlgorithmSpec`] encoding,
+//! default `low-load`), `seed` (0), `stop` (`full` or `budget:N`),
+//! `max_rounds` (20 000), `doubling` (number or absent), `fault`
+//! (`perfect`), `topology` (`complete`), `schedule` (`v2batched`).
+//! A solve request decodes into exactly the [`RunSpecKey`] that keys
+//! the report cache, so "same request" and "same cache key" are the
+//! same notion by construction.
+
+use crate::error::ServerError;
+use gossip_sim::export::{ErrorCode, Json, ObjBuilder, WireError};
+use lpt_gossip::spec::{is_name_token, AlgorithmSpec, RunSpecKey, StopSpec};
+use lpt_gossip::RngSchedule;
+
+/// A decoded request line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Run (or replay from cache) the keyed spec and stream its report.
+    Solve(RunSpecKey),
+    /// Report server counters (cache hits/misses, runs, sessions).
+    Stats,
+    /// Gracefully shut the server down.
+    Shutdown,
+}
+
+fn wire<E: ErrorCode>(e: E) -> WireError {
+    WireError::from_error(&e)
+}
+
+fn opt_u64(obj: &Json, field: &'static str, default: u64) -> Result<u64, WireError> {
+    match obj.get(field) {
+        None => Ok(default),
+        Some(v) => v.as_u64().ok_or_else(|| {
+            wire(ServerError::BadField {
+                field,
+                detail: "expected an unsigned integer".to_string(),
+            })
+        }),
+    }
+}
+
+fn opt_name(obj: &Json, field: &'static str, default: &str) -> Result<String, WireError> {
+    match obj.get(field) {
+        None => Ok(default.to_string()),
+        Some(v) => {
+            let s = v.as_str().ok_or_else(|| {
+                wire(ServerError::BadField {
+                    field,
+                    detail: "expected a string".to_string(),
+                })
+            })?;
+            if is_name_token(s) {
+                Ok(s.to_string())
+            } else {
+                Err(wire(ServerError::BadField {
+                    field,
+                    detail: format!("{s:?} is not a lowercase name token"),
+                }))
+            }
+        }
+    }
+}
+
+/// Decodes one request line. Errors are returned as ready-to-send
+/// [`WireError`]s (server `2xx` codes, spec `12x` codes).
+pub fn parse_request(line: &str) -> Result<Request, WireError> {
+    let v = Json::parse(line).map_err(|e| wire(ServerError::MalformedRequest(e.to_string())))?;
+    if !matches!(v, Json::Obj(_)) {
+        return Err(wire(ServerError::MalformedRequest(
+            "request must be a JSON object".to_string(),
+        )));
+    }
+    let cmd = v
+        .get("cmd")
+        .and_then(Json::as_str)
+        .ok_or_else(|| wire(ServerError::MissingField("cmd")))?;
+    match cmd {
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "solve" => {
+            let workload = match v.get("workload") {
+                Some(_) => opt_name(&v, "workload", "")?,
+                None => return Err(wire(ServerError::MissingField("workload"))),
+            };
+            let n = v
+                .get("n")
+                .ok_or_else(|| wire(ServerError::MissingField("n")))?
+                .as_u64()
+                .ok_or_else(|| {
+                    wire(ServerError::BadField {
+                        field: "n",
+                        detail: "expected an unsigned integer".to_string(),
+                    })
+                })?;
+            let algorithm = match v.get("algorithm") {
+                None => AlgorithmSpec::LowLoad,
+                Some(a) => {
+                    let s = a.as_str().ok_or_else(|| {
+                        wire(ServerError::BadField {
+                            field: "algorithm",
+                            detail: "expected a string".to_string(),
+                        })
+                    })?;
+                    AlgorithmSpec::parse(s).map_err(wire)?
+                }
+            };
+            let stop = match v.get("stop") {
+                None => StopSpec::FullTermination,
+                Some(s) => {
+                    let s = s.as_str().ok_or_else(|| {
+                        wire(ServerError::BadField {
+                            field: "stop",
+                            detail: "expected a string".to_string(),
+                        })
+                    })?;
+                    StopSpec::parse(s).map_err(wire)?
+                }
+            };
+            let doubling = match v.get("doubling") {
+                None => None,
+                Some(d) if d.is_null() => None,
+                Some(d) => {
+                    let f = d.as_f64().ok_or_else(|| {
+                        wire(ServerError::BadField {
+                            field: "doubling",
+                            detail: "expected a number".to_string(),
+                        })
+                    })?;
+                    Some(lpt_gossip::F64Key::new(f).ok_or_else(|| {
+                        wire(ServerError::BadField {
+                            field: "doubling",
+                            detail: "must be finite".to_string(),
+                        })
+                    })?)
+                }
+            };
+            let schedule_name = opt_name(&v, "schedule", RngSchedule::default().name())?;
+            let schedule = RngSchedule::parse(&schedule_name)
+                .ok_or_else(|| wire(ServerError::UnknownSchedule(schedule_name.clone())))?;
+            Ok(Request::Solve(RunSpecKey {
+                workload,
+                elements: opt_u64(&v, "elements", n.saturating_mul(4))?,
+                algorithm,
+                n,
+                seed: opt_u64(&v, "seed", 0)?,
+                stop,
+                max_rounds: opt_u64(&v, "max_rounds", 20_000)?,
+                doubling,
+                fault: opt_name(&v, "fault", "perfect")?,
+                topology: opt_name(&v, "topology", "complete")?,
+                schedule,
+            }))
+        }
+        other => Err(wire(ServerError::UnknownCommand(other.to_string()))),
+    }
+}
+
+/// Encodes a [`RunSpecKey`] as a solve request line (no trailing
+/// newline) — the client side of [`parse_request`]. Every field is
+/// written explicitly, so the line round-trips to exactly `key`.
+pub fn solve_request_line(key: &RunSpecKey) -> String {
+    let b = ObjBuilder::new()
+        .str("cmd", "solve")
+        .str("workload", &key.workload)
+        .u64("n", key.n)
+        .u64("elements", key.elements)
+        .str("algorithm", &key.algorithm.canonical())
+        .u64("seed", key.seed)
+        .str("stop", &key.stop.canonical())
+        .u64("max_rounds", key.max_rounds);
+    let b = match key.doubling {
+        Some(f) => b.f64("doubling", f.value()),
+        None => b,
+    };
+    b.str("fault", &key.fault)
+        .str("topology", &key.topology)
+        .str("schedule", key.schedule.name())
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_solve_gets_defaults() {
+        let req = parse_request(r#"{"cmd":"solve","workload":"duo-disk","n":64}"#).unwrap();
+        let Request::Solve(key) = req else {
+            panic!("expected solve")
+        };
+        assert_eq!(key, {
+            let mut k = RunSpecKey::new("duo-disk", 256, 64, 0);
+            k.elements = 256; // 4·n
+            k
+        });
+    }
+
+    #[test]
+    fn request_line_roundtrips_every_field() {
+        let mut key = RunSpecKey::new("planted-hs", 512, 128, 7);
+        key.algorithm = AlgorithmSpec::HittingSet { d: 3 };
+        key.stop = StopSpec::RoundBudget(99);
+        key.max_rounds = 500;
+        key.doubling = lpt_gossip::F64Key::new(12.0);
+        key.fault = "wan".to_string();
+        key.topology = "rr8".to_string();
+        key.schedule = RngSchedule::V1Compat;
+        let line = solve_request_line(&key);
+        assert_eq!(parse_request(&line).unwrap(), Request::Solve(key));
+    }
+
+    #[test]
+    fn malformed_and_unknown_are_typed() {
+        assert_eq!(parse_request("not json").unwrap_err().code, 200);
+        assert_eq!(parse_request("[1,2]").unwrap_err().code, 200);
+        assert_eq!(parse_request(r#"{"x":1}"#).unwrap_err().code, 202);
+        assert_eq!(
+            parse_request(r#"{"cmd":"frobnicate"}"#).unwrap_err().code,
+            201
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"solve","n":4}"#).unwrap_err().code,
+            202
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"solve","workload":"duo-disk","n":"many"}"#)
+                .unwrap_err()
+                .code,
+            203
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"solve","workload":"duo-disk","n":4,"algorithm":"magic"}"#)
+                .unwrap_err()
+                .code,
+            122
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"solve","workload":"duo-disk","n":4,"schedule":"v9"}"#)
+                .unwrap_err()
+                .code,
+            207
+        );
+        assert_eq!(parse_request(r#"{"cmd":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request(r#"{"cmd":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+    }
+}

@@ -1,0 +1,397 @@
+//! The TCP server: accept loop, session protocol, and graceful
+//! shutdown.
+//!
+//! ## Session lifecycle
+//!
+//! Each accepted connection gets its own session thread. A session
+//! reads newline-delimited JSON requests and answers each one with
+//! one or more JSONL frames:
+//!
+//! - `solve` → either a single `error` frame, or
+//!   `header · round* · summary` — streamed from the cache on a hit,
+//!   computed on a worker thread on a miss. Replies for equal specs
+//!   are byte-identical by construction.
+//! - `stats` → one `stats` frame with the server counters.
+//! - `shutdown` → one `bye` frame, then the whole server drains and
+//!   exits.
+//!
+//! Malformed requests get an `error` frame and the session *stays
+//! open*; oversized lines and idle timeouts get a terminal `error`
+//! frame and a close. Sockets use a short read timeout as a tick so
+//! sessions notice server shutdown and idle expiry promptly.
+
+use crate::cache::{Lookup, ReportCache};
+use crate::error::ServerError;
+use crate::pool::WorkerPool;
+use crate::registry;
+use crate::request::{parse_request, Request};
+use gossip_sim::export::{Frame, ObjBuilder, WireError};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Largest accepted request line, in bytes.
+pub const MAX_REQUEST_LINE: usize = 64 * 1024;
+
+/// How often blocked reads wake up to check shutdown and idle expiry.
+const READ_TICK: Duration = Duration::from_millis(200);
+
+/// Tunables for [`Server::bind`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads executing solve runs.
+    pub workers: usize,
+    /// Pending solve jobs admitted before submitters block
+    /// (backpressure).
+    pub queue_capacity: usize,
+    /// Maximum cached reply streams (LRU beyond this).
+    pub cache_capacity: usize,
+    /// Sessions idle longer than this are closed with an
+    /// `idle-timeout` error frame.
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 64,
+            cache_capacity: 128,
+            idle_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Counter snapshot reported by the `stats` command.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Cache hits (replies replayed without running a driver).
+    pub hits: u64,
+    /// Cache misses (each caused exactly one computation).
+    pub misses: u64,
+    /// Driver executions performed. `hits` never move this counter —
+    /// the gap between `requests` and `runs` is the cache working.
+    pub runs: u64,
+    /// Request lines accepted (parsed or not).
+    pub requests: u64,
+    /// Ready entries currently cached.
+    pub cache_entries: u64,
+    /// Currently connected sessions.
+    pub open_sessions: u64,
+}
+
+struct Shared {
+    cache: Arc<ReportCache>,
+    pool: WorkerPool,
+    shutdown: AtomicBool,
+    runs: AtomicU64,
+    requests: AtomicU64,
+    open_sessions: AtomicU64,
+    idle_timeout: Duration,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    fn stats(&self) -> ServerStats {
+        ServerStats {
+            hits: self.cache.hits(),
+            misses: self.cache.misses(),
+            runs: self.runs.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            cache_entries: self.cache.len() as u64,
+            open_sessions: self.open_sessions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Flips the shutdown flag and pokes the accept loop awake with a
+    /// throwaway self-connection.
+    fn begin_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+}
+
+/// The gossip-as-a-service server. [`bind`](Server::bind) it and keep
+/// the returned [`ServerHandle`].
+pub struct Server;
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting sessions on a background thread.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            cache: ReportCache::new(config.cache_capacity),
+            pool: WorkerPool::new(config.workers, config.queue_capacity),
+            shutdown: AtomicBool::new(false),
+            runs: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            open_sessions: AtomicU64::new(0),
+            idle_timeout: config.idle_timeout,
+            addr,
+        });
+        let accept = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("lpt-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared))?
+        };
+        Ok(ServerHandle {
+            addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+}
+
+/// Owner's handle to a running server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when bound to port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current counter snapshot (same numbers the `stats` command
+    /// reports).
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+
+    /// Requests a graceful shutdown: stop accepting, drain sessions
+    /// and queued runs. Does not block; follow with
+    /// [`wait`](ServerHandle::wait).
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Blocks until the server has fully drained and all its threads
+    /// have exited.
+    pub fn wait(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shared.begin_shutdown();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut sessions: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        sessions.retain(|h| !h.is_finished());
+        let shared = shared.clone();
+        let handle = std::thread::Builder::new()
+            .name("lpt-session".to_string())
+            .spawn(move || {
+                shared.open_sessions.fetch_add(1, Ordering::Relaxed);
+                session_loop(&shared, stream);
+                shared.open_sessions.fetch_sub(1, Ordering::Relaxed);
+            });
+        match handle {
+            Ok(h) => sessions.push(h),
+            Err(_) => continue,
+        }
+    }
+    for h in sessions {
+        let _ = h.join();
+    }
+    // Sessions are gone; drain any still-queued runs and stop the
+    // workers. (A queued job can outlive its session if the client
+    // disconnected mid-run.)
+    shared.pool.shutdown();
+}
+
+fn write_error(stream: &mut TcpStream, err: &ServerError) -> io::Result<()> {
+    let line = Frame::Error(WireError::from_error(err)).to_line();
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")
+}
+
+fn stats_line(stats: &ServerStats) -> String {
+    ObjBuilder::new()
+        .str("frame", "stats")
+        .u64("hits", stats.hits)
+        .u64("misses", stats.misses)
+        .u64("runs", stats.runs)
+        .u64("requests", stats.requests)
+        .u64("cache_entries", stats.cache_entries)
+        .u64("open_sessions", stats.open_sessions)
+        .finish()
+}
+
+enum After {
+    KeepOpen,
+    Close,
+}
+
+fn session_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(READ_TICK)).is_err() {
+        return;
+    }
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut last_activity = Instant::now();
+    loop {
+        // Serve every complete line already buffered.
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=pos).collect();
+            last_activity = Instant::now();
+            let line = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
+            let line = line.trim_end_matches('\r');
+            if line.trim().is_empty() {
+                continue;
+            }
+            match handle_line(shared, &mut stream, line) {
+                Ok(After::KeepOpen) => {}
+                Ok(After::Close) | Err(_) => return,
+            }
+        }
+        if buf.len() > MAX_REQUEST_LINE {
+            let _ = write_error(
+                &mut stream,
+                &ServerError::RequestTooLarge {
+                    limit: MAX_REQUEST_LINE,
+                },
+            );
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // peer closed
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    let _ = write_error(&mut stream, &ServerError::ShuttingDown);
+                    return;
+                }
+                if last_activity.elapsed() >= shared.idle_timeout {
+                    let _ = write_error(
+                        &mut stream,
+                        &ServerError::IdleTimeout {
+                            millis: shared.idle_timeout.as_millis() as u64,
+                        },
+                    );
+                    return;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn handle_line(shared: &Arc<Shared>, stream: &mut TcpStream, line: &str) -> io::Result<After> {
+    shared.requests.fetch_add(1, Ordering::Relaxed);
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(wire_err) => {
+            // Bad requests are survivable: answer with the typed error
+            // and keep the session open.
+            let line = Frame::Error(wire_err).to_line();
+            stream.write_all(line.as_bytes())?;
+            stream.write_all(b"\n")?;
+            return Ok(After::KeepOpen);
+        }
+    };
+    match request {
+        Request::Stats => {
+            stream.write_all(stats_line(&shared.stats()).as_bytes())?;
+            stream.write_all(b"\n")?;
+            Ok(After::KeepOpen)
+        }
+        Request::Shutdown => {
+            stream.write_all(b"{\"frame\":\"bye\"}\n")?;
+            shared.begin_shutdown();
+            Ok(After::Close)
+        }
+        Request::Solve(key) => {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                write_error(stream, &ServerError::ShuttingDown)?;
+                return Ok(After::Close);
+            }
+            let bytes = match shared.cache.lookup(&key) {
+                Lookup::Hit(bytes) => bytes,
+                Lookup::Miss(guard) => {
+                    let (tx, rx) = mpsc::channel();
+                    let job_shared = shared.clone();
+                    let job_key = key.clone();
+                    let accepted = shared.pool.execute(move || {
+                        let outcome = registry::execute(&job_key);
+                        if outcome.ran_driver {
+                            job_shared.runs.fetch_add(1, Ordering::Relaxed);
+                        }
+                        let _ = tx.send(outcome.bytes);
+                    });
+                    if !accepted {
+                        // Guard drops here, releasing the pending slot.
+                        write_error(stream, &ServerError::ShuttingDown)?;
+                        return Ok(After::Close);
+                    }
+                    match rx.recv() {
+                        Ok(bytes) => guard.fulfill(bytes),
+                        Err(_) => {
+                            write_error(
+                                stream,
+                                &ServerError::Internal("worker died mid-run".to_string()),
+                            )?;
+                            return Ok(After::KeepOpen);
+                        }
+                    }
+                }
+            };
+            stream.write_all(&bytes)?;
+            Ok(After::KeepOpen)
+        }
+    }
+}
+
+// Unit tests for the pure helpers; end-to-end behaviour (sessions,
+// cache, shutdown) is covered by the crate's integration tests.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_sim::export::Json;
+
+    #[test]
+    fn stats_line_is_parseable_json_with_fixed_fields() {
+        let line = stats_line(&ServerStats {
+            hits: 1,
+            misses: 2,
+            runs: 3,
+            requests: 4,
+            cache_entries: 5,
+            open_sessions: 6,
+        });
+        let v = Json::parse(&line).unwrap();
+        assert_eq!(v.get("frame").and_then(Json::as_str), Some("stats"));
+        assert_eq!(v.get("hits").and_then(Json::as_u64), Some(1));
+        assert_eq!(v.get("open_sessions").and_then(Json::as_u64), Some(6));
+    }
+}

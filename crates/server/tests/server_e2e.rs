@@ -1,0 +1,191 @@
+//! End-to-end tests over real sockets: determinism under concurrency,
+//! exact cache replay, protocol error handling, disconnect and
+//! shutdown behaviour.
+
+use lpt_server::{Client, RunSpecKey, Server, ServerConfig, ServerHandle};
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn spawn(config: ServerConfig) -> ServerHandle {
+    Server::bind("127.0.0.1:0", config).expect("bind ephemeral port")
+}
+
+fn small_cfg() -> ServerConfig {
+    ServerConfig {
+        workers: 3,
+        queue_capacity: 8,
+        cache_capacity: 16,
+        idle_timeout: Duration::from_secs(30),
+    }
+}
+
+fn demo_key(seed: u64) -> RunSpecKey {
+    RunSpecKey::new("duo-disk", 512, 64, seed)
+}
+
+#[test]
+fn concurrent_identical_specs_stream_identical_bytes_from_one_run() {
+    let server = spawn(small_cfg());
+    let addr = server.addr();
+    let handles: Vec<_> = (0..6)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                client.solve(&demo_key(42)).unwrap()
+            })
+        })
+        .collect();
+    let replies: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for reply in &replies {
+        assert!(reply.error.is_none(), "unexpected error: {:?}", reply.error);
+        assert_eq!(reply.raw, replies[0].raw, "streams must be byte-identical");
+        let summary = reply.summary.as_ref().unwrap();
+        assert_eq!(reply.rounds.len() as u64, summary.rounds);
+    }
+    let stats = server.stats();
+    assert_eq!(stats.runs, 1, "six requests, exactly one driver run");
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.hits, 5);
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn cache_hit_replays_the_cold_bytes_without_rerunning() {
+    let server = spawn(small_cfg());
+    let mut client = Client::connect(server.addr()).unwrap();
+    let cold = client.solve(&demo_key(7)).unwrap();
+    assert!(cold.error.is_none());
+    assert_eq!(server.stats().runs, 1);
+    // Resubmit on the same session and on a fresh one.
+    let warm = client.solve(&demo_key(7)).unwrap();
+    let mut other = Client::connect(server.addr()).unwrap();
+    let warm2 = other.solve(&demo_key(7)).unwrap();
+    assert_eq!(warm.raw, cold.raw, "replayed bytes differ from cold run");
+    assert_eq!(warm2.raw, cold.raw);
+    let stats = server.stats();
+    assert_eq!(stats.runs, 1, "cache hits must not re-execute");
+    assert_eq!(stats.hits, 2);
+    // A different seed is a different key: miss, new run.
+    let other_reply = client.solve(&demo_key(8)).unwrap();
+    assert_ne!(other_reply.raw, cold.raw);
+    assert_eq!(server.stats().runs, 2);
+}
+
+#[test]
+fn independent_servers_agree_byte_for_byte() {
+    let mut key = RunSpecKey::new("triple-disk", 256, 48, 11);
+    key.fault = "datacenter".to_string();
+    key.topology = "hypercube".to_string();
+    let reply_from = |server: &ServerHandle| {
+        let mut client = Client::connect(server.addr()).unwrap();
+        client.solve(&key).unwrap()
+    };
+    let a = spawn(small_cfg());
+    let b = spawn(small_cfg());
+    let ra = reply_from(&a);
+    let rb = reply_from(&b);
+    assert!(ra.error.is_none());
+    assert_eq!(
+        ra.raw, rb.raw,
+        "two fresh servers must render the same spec identically"
+    );
+}
+
+#[test]
+fn malformed_requests_get_typed_errors_and_the_session_survives() {
+    let server = spawn(small_cfg());
+    let mut client = Client::connect(server.addr()).unwrap();
+    for (line, code) in [
+        ("this is not json", "200"),
+        ("{\"cmd\":\"dance\"}", "201"),
+        ("{\"cmd\":\"solve\",\"n\":8}", "202"),
+        (
+            "{\"cmd\":\"solve\",\"workload\":\"duo-disk\",\"n\":-3}",
+            "203",
+        ),
+    ] {
+        let reply = client.raw_line(line).unwrap();
+        assert!(
+            reply.contains("\"frame\":\"error\"") && reply.contains(&format!("\"code\":{code}")),
+            "line {line:?} should yield error code {code}, got: {reply}"
+        );
+    }
+    // Unknown presets resolve server-side, also as typed errors.
+    let mut key = demo_key(1);
+    key.fault = "solar-flare".to_string();
+    let reply = client.solve(&key).unwrap();
+    assert_eq!(reply.error.as_ref().map(|e| e.code), Some(205));
+    // The session is still usable after all those errors.
+    let ok = client.solve(&demo_key(1)).unwrap();
+    assert!(ok.error.is_none());
+}
+
+#[test]
+fn mid_run_disconnect_leaves_the_server_healthy() {
+    let server = spawn(small_cfg());
+    // Fire a solve and slam the connection shut without reading.
+    {
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let line = lpt_server::solve_request_line(&demo_key(99));
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        // Drop: the session's reply write fails server-side.
+    }
+    // The server still serves other sessions, including that same spec.
+    let mut client = Client::connect(server.addr()).unwrap();
+    let reply = client.solve(&demo_key(99)).unwrap();
+    assert!(reply.error.is_none());
+    assert!(reply.summary.is_some());
+    let reply2 = client.solve(&demo_key(100)).unwrap();
+    assert!(reply2.error.is_none());
+}
+
+#[test]
+fn idle_sessions_are_closed_with_a_typed_timeout_frame() {
+    let server = spawn(ServerConfig {
+        idle_timeout: Duration::from_millis(300),
+        ..small_cfg()
+    });
+    let mut client = Client::connect(server.addr()).unwrap();
+    // First request keeps the session alive…
+    assert!(client.solve(&demo_key(5)).unwrap().error.is_none());
+    // …then silence: the server must close us with code 211.
+    let line = client.raw_wait_line().unwrap();
+    assert!(
+        line.contains("\"code\":211"),
+        "expected idle-timeout frame, got: {line}"
+    );
+}
+
+#[test]
+fn oversized_request_lines_are_rejected() {
+    let server = spawn(small_cfg());
+    let mut client = Client::connect(server.addr()).unwrap();
+    let huge = format!("{{\"cmd\":\"solve\",\"pad\":\"{}\"", "x".repeat(80 * 1024));
+    let reply = client.raw_line(&huge).unwrap();
+    assert!(
+        reply.contains("\"code\":210"),
+        "expected request-too-large, got: {reply}"
+    );
+}
+
+#[test]
+fn shutdown_acknowledges_then_drains_everything() {
+    let server = spawn(small_cfg());
+    let addr = server.addr();
+    let mut client = Client::connect(addr).unwrap();
+    assert!(client.solve(&demo_key(3)).unwrap().error.is_none());
+    client.shutdown().unwrap();
+    // wait() returning proves accept loop, sessions, and workers all
+    // exited.
+    server.wait();
+    // New connections are refused (or immediately closed) afterwards.
+    match Client::connect(addr) {
+        Err(_) => {}
+        Ok(mut c) => {
+            assert!(c.solve(&demo_key(3)).is_err());
+        }
+    }
+}

@@ -55,6 +55,11 @@ impl MedDataset {
         }
     }
 
+    /// Parses a [`MedDataset::name`] string (CLI flags, wire requests).
+    pub fn parse(s: &str) -> Option<Self> {
+        MED_DATASETS.into_iter().find(|d| d.name() == s)
+    }
+
     /// Size of the optimal basis this family is designed to have.
     pub fn designed_basis_size(&self) -> usize {
         match self {

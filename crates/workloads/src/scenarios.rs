@@ -55,6 +55,11 @@ impl Scenario {
         }
     }
 
+    /// Parses a [`Scenario::name`] string (CLI flags, wire requests).
+    pub fn parse(s: &str) -> Option<Self> {
+        SCENARIOS.into_iter().find(|sc| sc.name() == s)
+    }
+
     /// Builds the scenario's fault model.
     pub fn fault_model(self) -> Arc<dyn FaultModel> {
         match self {
@@ -120,6 +125,12 @@ impl TopologyPreset {
         }
     }
 
+    /// Parses a [`TopologyPreset::name`] string (CLI flags, wire
+    /// requests).
+    pub fn parse(s: &str) -> Option<Self> {
+        TOPOLOGIES.into_iter().find(|t| t.name() == s)
+    }
+
     /// Builds the preset's topology.
     pub fn topology(self) -> Arc<dyn Topology> {
         match self {
@@ -158,6 +169,18 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), SCENARIOS.len());
+    }
+
+    #[test]
+    fn names_parse_back() {
+        for s in SCENARIOS {
+            assert_eq!(Scenario::parse(s.name()), Some(s));
+        }
+        for t in TOPOLOGIES {
+            assert_eq!(TopologyPreset::parse(t.name()), Some(t));
+        }
+        assert_eq!(Scenario::parse("nope"), None);
+        assert_eq!(TopologyPreset::parse(""), None);
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! Gossip-as-a-service tour: spin up the session server in-process,
+//! drive three concurrent sessions with distinct scenarios, then
+//! resubmit one spec to show the exact report cache at work.
+//!
+//! ```sh
+//! cargo run --release --example server_client
+//! ```
+
+use lpt_server::{Client, RunSpecKey, Server, ServerConfig, SolveReply};
+
+fn key_for(workload: &str, fault: &str, topology: &str, seed: u64) -> RunSpecKey {
+    let mut key = RunSpecKey::new(workload, 1024, 128, seed);
+    key.fault = fault.to_string();
+    key.topology = topology.to_string();
+    key
+}
+
+fn describe(tag: &str, key: &RunSpecKey, reply: &SolveReply) {
+    let summary = reply.summary.as_ref().expect("run succeeded");
+    println!(
+        "[{tag}] {}/{}/{}: {} rounds, stop={}, {} msg words",
+        key.workload,
+        key.fault,
+        key.topology,
+        summary.rounds,
+        summary.stop_cause,
+        summary.total_msg_words
+    );
+    // The per-round frames are the stream: show the first few deltas.
+    for r in reply.rounds.iter().take(3) {
+        println!(
+            "[{tag}]   round {:>3}: pulls={} pushes={} max_work={} halted={}",
+            r.round, r.pulls, r.pushes, r.max_node_work, r.halted
+        );
+    }
+    if reply.rounds.len() > 3 {
+        println!("[{tag}]   … {} more round frames", reply.rounds.len() - 3);
+    }
+    if let Some(consensus) = &summary.consensus {
+        println!("[{tag}]   consensus: {consensus}");
+    }
+}
+
+fn main() -> std::io::Result<()> {
+    // An ephemeral port keeps the example runnable anywhere.
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default())?;
+    let addr = server.addr();
+    println!("server listening on {addr}\n");
+
+    // Three sessions, three different fault/topology scenarios, all
+    // in flight at once against the bounded worker pool.
+    let specs = [
+        ("calm", key_for("duo-disk", "perfect", "complete", 42)),
+        ("wan", key_for("triple-disk", "wan", "rr8", 42)),
+        ("dc", key_for("hull", "datacenter", "hypercube", 42)),
+    ];
+    let handles: Vec<_> = specs
+        .iter()
+        .cloned()
+        .map(|(tag, key)| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr)?;
+                let reply = client.solve(&key)?;
+                Ok::<_, std::io::Error>((tag, key, reply))
+            })
+        })
+        .collect();
+    let mut first_raw = None;
+    for handle in handles {
+        let (tag, key, reply) = handle.join().expect("session thread")?;
+        describe(tag, &key, &reply);
+        if tag == "calm" {
+            first_raw = Some(reply.raw.clone());
+        }
+    }
+
+    // Resubmit the first spec: the server replays the cold run's exact
+    // bytes without executing anything.
+    let mut client = Client::connect(addr)?;
+    let before = client.stats()?;
+    let replay = client.solve(&specs[0].1)?;
+    let after = client.stats()?;
+    println!("\nresubmitting the {:?} spec:", specs[0].0);
+    println!(
+        "  byte-identical to cold run: {}",
+        replay.raw == first_raw.expect("cold reply recorded")
+    );
+    println!(
+        "  cache hits {} -> {}, driver runs {} -> {} (no re-execution)",
+        before.hits, after.hits, before.runs, after.runs
+    );
+    assert_eq!(after.runs, before.runs, "a cache hit must not run");
+
+    client.shutdown()?;
+    server.wait();
+    println!("server drained cleanly");
+    Ok(())
+}
