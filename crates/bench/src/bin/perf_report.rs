@@ -9,7 +9,17 @@
 //! baseline every future round-engine optimisation is judged against.
 //!
 //! Usage: `perf_report [--smoke] [--schedule v1compat|v2batched]
-//! [--topology] [--out PATH] [--check BASELINE.json]`
+//! [--topology] [--threads N] [--parallel-sweep] [--out PATH]
+//! [--check BASELINE.json]`
+//!
+//! `--threads N` installs an `N`-worker rayon pool around the whole
+//! grid and forces the engine's parallel stepping path (threshold 1);
+//! op counts are thread-invariant by the engine's determinism
+//! contract, so `--threads 2 --check` doubles as a concurrency
+//! determinism gate. `--parallel-sweep` runs only the thread-scaling
+//! sweeps (1/2/4/8 workers over the `n = 2^14` and `n = 2^17` rumor
+//! steady-state cells) — the data behind the `real_parallel_v1`
+//! section of the committed baseline.
 //!
 //! `--smoke` runs only the smallest grid point (CI uses this so the
 //! harness cannot bit-rot) — including one `random-regular(8)` cell,
@@ -53,8 +63,9 @@ struct Cell {
     /// Communication overlay the cell gossiped over (a
     /// [`TopologyPreset`] name; `"complete"` outside topology cells).
     topology: &'static str,
-    /// Rayon worker threads the cell ran under (1 outside the thread
-    /// sweep; nominal with the vendored sequential rayon stand-in).
+    /// Effective engine parallelism for the cell: the ambient rayon
+    /// pool's worker count when the parallel stepping path was taken,
+    /// 1 when the cell ran sequentially.
     threads: usize,
     rounds: u64,
     ops: u64,
@@ -72,6 +83,18 @@ fn peak_rss_kb() -> Option<u64> {
 }
 
 const SEED: u64 = 2024;
+
+/// Set by `--threads`: force the parallel stepping path (threshold 1)
+/// for every grid cell so the installed pool is actually exercised.
+static FORCE_PARALLEL: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+fn tuned(cfg: NetworkConfig) -> NetworkConfig {
+    if FORCE_PARALLEL.load(std::sync::atomic::Ordering::Relaxed) {
+        cfg.parallel_threshold(1)
+    } else {
+        cfg
+    }
+}
 
 /// Round budget per cell: small networks run to termination; the big
 /// cells measure steady-state throughput over a fixed window instead
@@ -97,10 +120,12 @@ fn run_low_load(n: usize, scenario: Scenario, schedule: RngSchedule, topo: Topol
         .into_iter()
         .map(|h0| proto.initial_state(h0))
         .collect();
-    let cfg = NetworkConfig::with_seed(SEED)
-        .fault(scenario.fault_model())
-        .rng_schedule(schedule)
-        .topology(topo.topology());
+    let cfg = tuned(
+        NetworkConfig::with_seed(SEED)
+            .fault(scenario.fault_model())
+            .rng_schedule(schedule)
+            .topology(topo.topology()),
+    );
     let mut net = Network::new(proto, states, cfg);
     let t = Instant::now();
     let outcome = net.run(round_cap(n));
@@ -122,10 +147,12 @@ fn run_high_load(
         .into_iter()
         .map(|h| proto.initial_state(h))
         .collect();
-    let cfg = NetworkConfig::with_seed(SEED)
-        .fault(scenario.fault_model())
-        .rng_schedule(schedule)
-        .topology(topo.topology());
+    let cfg = tuned(
+        NetworkConfig::with_seed(SEED)
+            .fault(scenario.fault_model())
+            .rng_schedule(schedule)
+            .topology(topo.topology()),
+    );
     let mut net = Network::new(proto, states, cfg);
     let t = Instant::now();
     let outcome = net.run(round_cap(n));
@@ -148,7 +175,7 @@ fn cell<P: Protocol>(
         n,
         scenario: scenario.name(),
         topology: topo.name(),
-        threads: 1,
+        threads: net.effective_parallelism(),
         rounds,
         ops: net.metrics().total_ops(),
         wall_ms,
@@ -225,7 +252,7 @@ fn run_rumor_step(n: usize, warmup: u64, window: u64, schedule: RngSchedule) -> 
             token: i as u64 + 1,
         })
         .collect();
-    let cfg = NetworkConfig::with_seed(SEED).rng_schedule(schedule);
+    let cfg = tuned(NetworkConfig::with_seed(SEED).rng_schedule(schedule));
     let mut net = Network::new(PushRumor, states, cfg);
     for _ in 0..warmup {
         net.round();
@@ -248,7 +275,7 @@ fn run_rumor_step(n: usize, warmup: u64, window: u64, schedule: RngSchedule) -> 
         n,
         scenario: "perfect",
         topology: "complete",
-        threads: 1,
+        threads: net.effective_parallelism(),
         rounds: window,
         ops,
         wall_ms: wall.as_secs_f64() * 1e3,
@@ -257,15 +284,15 @@ fn run_rumor_step(n: usize, warmup: u64, window: u64, schedule: RngSchedule) -> 
     }
 }
 
-/// Rayon thread-scaling sweep over the `n = 2^14` rumor steady-state
-/// cell: 1/2/4/8 worker threads, parallel threshold forced to 1 so the
-/// engine always takes the parallel stepping path. Results are
-/// bit-identical at every thread count by construction; only wall time
-/// may move. (Under the vendored sequential rayon stand-in the thread
-/// counts are nominal and throughput is flat; swapping in real rayon
-/// makes this sweep measure true scaling with no source changes.)
-fn run_thread_sweep(schedule: RngSchedule) -> Vec<Cell> {
-    let n = 1 << 14;
+/// Rayon thread-scaling sweep over a rumor steady-state cell: 1/2/4/8
+/// worker threads (each its own installed pool — real OS threads),
+/// parallel threshold forced to 1 so the engine always takes the
+/// parallel stepping path. Results are bit-identical at every thread
+/// count by the engine's determinism contract; only wall time may
+/// move. How much it moves is hardware-bound: on a single-core host
+/// the sweep measures dispatch overhead (expect ≤ 1.0×), on a
+/// multi-core host it measures true scaling.
+fn run_thread_sweep(schedule: RngSchedule, n: usize, warmup: u64, window: u64) -> Vec<Cell> {
     [1usize, 2, 4, 8]
         .iter()
         .map(|&threads| {
@@ -273,7 +300,7 @@ fn run_thread_sweep(schedule: RngSchedule) -> Vec<Cell> {
                 .num_threads(threads)
                 .build()
                 .expect("thread pool");
-            let mut c = pool.install(|| {
+            pool.install(|| {
                 let states: Vec<_> = (0..n)
                     .map(|i| RumorState {
                         informed: i == 0,
@@ -284,11 +311,11 @@ fn run_thread_sweep(schedule: RngSchedule) -> Vec<Cell> {
                     .parallel_threshold(1)
                     .rng_schedule(schedule);
                 let mut net = Network::new(PushRumor, states, cfg);
-                for _ in 0..30 {
+                for _ in 0..warmup {
                     net.round();
                 }
                 let t = Instant::now();
-                for _ in 0..200 {
+                for _ in 0..window {
                     net.round();
                 }
                 let wall = t.elapsed();
@@ -297,7 +324,7 @@ fn run_thread_sweep(schedule: RngSchedule) -> Vec<Cell> {
                     .rounds
                     .iter()
                     .rev()
-                    .take(200)
+                    .take(window as usize)
                     .map(|r| r.pulls + r.pushes)
                     .sum();
                 Cell {
@@ -305,16 +332,14 @@ fn run_thread_sweep(schedule: RngSchedule) -> Vec<Cell> {
                     n,
                     scenario: "perfect",
                     topology: "complete",
-                    threads,
-                    rounds: 200,
+                    threads: net.effective_parallelism(),
+                    rounds: window,
                     ops,
                     wall_ms: wall.as_secs_f64() * 1e3,
-                    rounds_per_sec: 200.0 / wall.as_secs_f64().max(1e-9),
+                    rounds_per_sec: window as f64 / wall.as_secs_f64().max(1e-9),
                     peak_rss_kb: peak_rss_kb(),
                 }
-            });
-            c.threads = pool.current_num_threads();
-            c
+            })
         })
         .collect()
 }
@@ -448,6 +473,13 @@ fn main() {
     };
     let check_path = flag_value("--check");
     let topology_grid = args.iter().any(|a| a == "--topology");
+    let parallel_sweep = args.iter().any(|a| a == "--parallel-sweep");
+    let threads_override: Option<usize> = flag_value("--threads").map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("[perf_report] --threads takes a positive integer, got {v}");
+            std::process::exit(2);
+        })
+    });
 
     let sizes: &[usize] = if smoke {
         &[1 << 10]
@@ -460,7 +492,114 @@ fn main() {
         &[Scenario::Perfect, Scenario::Wan]
     };
 
-    let mut cells: Vec<Cell> = Vec::new();
+    let collect = || {
+        let mut cells: Vec<Cell> = Vec::new();
+        if parallel_sweep {
+            // Just the thread-scaling sweeps (the `real_parallel_v1`
+            // data): 1/2/4/8 real workers over the rumor steady-state
+            // cells at n = 2^14 and n = 2^17.
+            for (n, warmup, window) in [(1usize << 14, 30, 200), (1 << 17, 5, 25)] {
+                eprintln!(
+                    "[perf_report] thread sweep (1/2/4/8) n={n} {}",
+                    schedule.name()
+                );
+                cells.extend(run_thread_sweep(schedule, n, warmup, window));
+            }
+            return cells;
+        }
+        run_grid(&mut cells, smoke, topology_grid, schedule, sizes, scenarios);
+        cells
+    };
+    let cells: Vec<Cell> = match threads_override {
+        Some(t) => {
+            FORCE_PARALLEL.store(true, std::sync::atomic::Ordering::Relaxed);
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(t)
+                .build()
+                .expect("thread pool");
+            eprintln!(
+                "[perf_report] running under a {}-worker pool, parallel threshold forced to 1",
+                pool.current_num_threads()
+            );
+            pool.install(collect)
+        }
+        None => collect(),
+    };
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"round_engine\",\n");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"schedule\": \"{}\",", schedule.name());
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let rss = c
+            .peak_rss_kb
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "null".to_string());
+        let _ = write!(
+            json,
+            "    {{\"algo\": \"{}\", \"n\": {}, \"scenario\": \"{}\", \"topology\": \"{}\", \"threads\": {}, \"rounds\": {}, \"ops\": {}, \"wall_ms\": {:.1}, \"rounds_per_sec\": {:.2}, \"peak_rss_kb\": {}}}",
+            c.algo, c.n, c.scenario, c.topology, c.threads, c.rounds, c.ops, c.wall_ms, c.rounds_per_sec, rss
+        );
+        json.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    // Load the baseline *before* writing the report: `--out` defaults
+    // to the baseline's own path, and the gate must compare against
+    // the committed content, never a file this run just overwrote.
+    let baseline = check_path.as_deref().map(|baseline_path| {
+        if schedule != RngSchedule::V1Compat {
+            eprintln!(
+                "[perf_report] --check compares against the V1Compat baseline; \
+                 run with --schedule v1compat"
+            );
+            std::process::exit(2);
+        }
+        load_smoke_baseline(baseline_path).unwrap_or_else(|e| {
+            eprintln!("[perf_report] {e}");
+            std::process::exit(2);
+        })
+    });
+
+    std::fs::write(&out_path, &json).expect("write report");
+    println!("{json}");
+    eprintln!("[perf_report] wrote {out_path}");
+
+    if let Some(baseline) = baseline {
+        let tol = std::env::var("PERF_SMOKE_WALL_TOL")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(0.5);
+        let violations = check_against_baseline(&cells, &baseline, tol);
+        if violations.is_empty() {
+            eprintln!(
+                "[perf_report] gate PASSED: {} cells match the committed baseline \
+                 (ops exact, wall within +{:.0}% above the noise floor)",
+                cells.len(),
+                tol * 100.0
+            );
+        } else {
+            for v in &violations {
+                eprintln!("[perf_report] gate FAILED: {v}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The standard measurement grid (everything except the thread
+/// sweeps): low/high-load cells over `sizes` × `scenarios`, the rumor
+/// steady-state cells, and the optional topology grid.
+fn run_grid(
+    cells: &mut Vec<Cell>,
+    smoke: bool,
+    topology_grid: bool,
+    schedule: RngSchedule,
+    sizes: &[usize],
+    scenarios: &[Scenario],
+) {
     for &scenario in scenarios {
         for &n in sizes {
             let tag = scenario.name();
@@ -511,8 +650,10 @@ fn main() {
         cells.push(run_rumor_step(1 << 14, 30, 200, schedule));
         eprintln!("[perf_report] rumor_step n={} {}", 1 << 20, schedule.name());
         cells.push(run_rumor_step(1 << 20, 30, 50, schedule));
-        eprintln!("[perf_report] thread sweep (1/2/4/8) n={}", 1 << 14);
-        cells.extend(run_thread_sweep(schedule));
+        for (n, warmup, window) in [(1usize << 14, 30, 200), (1 << 17, 5, 25)] {
+            eprintln!("[perf_report] thread sweep (1/2/4/8) n={n}");
+            cells.extend(run_thread_sweep(schedule, n, warmup, window));
+        }
     }
     if topology_grid {
         // Convergence-round inflation on sparse overlays: every
@@ -534,62 +675,6 @@ fn main() {
                 schedule.name()
             );
             cells.push(run_high_load(n, Scenario::Perfect, schedule, topo));
-        }
-    }
-
-    let mut json = String::new();
-    json.push_str("{\n  \"bench\": \"round_engine\",\n");
-    let _ = writeln!(json, "  \"seed\": {SEED},");
-    let _ = writeln!(json, "  \"smoke\": {smoke},");
-    let _ = writeln!(json, "  \"schedule\": \"{}\",", schedule.name());
-    json.push_str("  \"cells\": [\n");
-    for (i, c) in cells.iter().enumerate() {
-        let rss = c
-            .peak_rss_kb
-            .map(|v| v.to_string())
-            .unwrap_or_else(|| "null".to_string());
-        let _ = write!(
-            json,
-            "    {{\"algo\": \"{}\", \"n\": {}, \"scenario\": \"{}\", \"topology\": \"{}\", \"threads\": {}, \"rounds\": {}, \"ops\": {}, \"wall_ms\": {:.1}, \"rounds_per_sec\": {:.2}, \"peak_rss_kb\": {}}}",
-            c.algo, c.n, c.scenario, c.topology, c.threads, c.rounds, c.ops, c.wall_ms, c.rounds_per_sec, rss
-        );
-        json.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
-    }
-    json.push_str("  ]\n}\n");
-
-    std::fs::write(&out_path, &json).expect("write report");
-    println!("{json}");
-    eprintln!("[perf_report] wrote {out_path}");
-
-    if let Some(baseline_path) = check_path {
-        if schedule != RngSchedule::V1Compat {
-            eprintln!(
-                "[perf_report] --check compares against the V1Compat baseline; \
-                 run with --schedule v1compat"
-            );
-            std::process::exit(2);
-        }
-        let tol = std::env::var("PERF_SMOKE_WALL_TOL")
-            .ok()
-            .and_then(|v| v.parse::<f64>().ok())
-            .unwrap_or(0.5);
-        let baseline = load_smoke_baseline(&baseline_path).unwrap_or_else(|e| {
-            eprintln!("[perf_report] {e}");
-            std::process::exit(2);
-        });
-        let violations = check_against_baseline(&cells, &baseline, tol);
-        if violations.is_empty() {
-            eprintln!(
-                "[perf_report] gate PASSED: {} cells match the committed baseline \
-                 (ops exact, wall within +{:.0}% above the noise floor)",
-                cells.len(),
-                tol * 100.0
-            );
-        } else {
-            for v in &violations {
-                eprintln!("[perf_report] gate FAILED: {v}");
-            }
-            std::process::exit(1);
         }
     }
 }

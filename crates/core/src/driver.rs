@@ -475,6 +475,43 @@ impl FaultSummary {
     }
 }
 
+/// How a run was *executed*: the explicit record of the engine's
+/// seq/par decision.
+///
+/// Execution metadata only — by the engine's byte-identity contract
+/// the same spec produces the same outputs, metrics, and wire bytes
+/// whatever this says, so it is deliberately excluded from the
+/// server's reply rendering and cache key. It exists to make the
+/// decision auditable: `parallel(true)` with a one-worker pool (or
+/// `n` under the threshold) used to be silently indistinguishable
+/// from real parallel execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecInfo {
+    /// Threads the round engine's parallel path actually used
+    /// (the ambient rayon pool's size, or 1 on the sequential path).
+    pub threads: usize,
+    /// Whether the parallel path was taken at all: requested by the
+    /// spec, `n` at or above the threshold, *and* a multi-thread pool.
+    pub parallel: bool,
+}
+
+impl ExecInfo {
+    /// Execution with `threads` effective threads (`parallel` iff more
+    /// than one).
+    pub fn from_threads(threads: usize) -> Self {
+        ExecInfo {
+            threads,
+            parallel: threads > 1,
+        }
+    }
+
+    /// Sequential execution (also the analytic hypercube baseline,
+    /// which steps no network at all).
+    pub fn sequential() -> Self {
+        ExecInfo::from_threads(1)
+    }
+}
+
 /// Report of a [`Driver`] run, polymorphic over the per-node output
 /// type: [`BasisOf<P>`] for LP-type problems, `Vec<u32>` for hitting
 /// set.
@@ -517,6 +554,12 @@ pub struct RunReport<O> {
     /// recorded like `schedule` and `faults` so reports are only
     /// compared within one topology.
     pub topology: &'static str,
+    /// How the run executed (effective thread count and whether the
+    /// parallel path was taken). Unlike every field above, this is
+    /// *not* part of the deterministic payload: reports for the same
+    /// spec differ only here across pool sizes, and the server never
+    /// renders it on the wire (cache exactness).
+    pub exec: ExecInfo,
     consensus: Option<O>,
 }
 
@@ -1093,6 +1136,7 @@ fn run_low_load_driver<P: LpType + Clone + Sync>(
         metrics: net.metrics().clone(),
         schedule: spec.schedule,
         topology: spec.topology.name(),
+        exec: ExecInfo::from_threads(net.effective_parallelism()),
     })
 }
 
@@ -1140,6 +1184,7 @@ fn run_high_load_driver<P: LpType + Clone + Sync>(
         metrics: net.metrics().clone(),
         schedule: spec.schedule,
         topology: spec.topology.name(),
+        exec: ExecInfo::from_threads(net.effective_parallelism()),
     })
 }
 
@@ -1188,6 +1233,7 @@ fn run_hypercube_driver<P: LpType + Clone + Sync>(
         // the spec's schedule for uniformity.
         schedule: spec.schedule,
         topology: spec.topology.name(),
+        exec: ExecInfo::sequential(),
     })
 }
 
@@ -1282,6 +1328,7 @@ fn run_hitting_set_driver(
         metrics: net.metrics().clone(),
         schedule: spec.schedule,
         topology: spec.topology.name(),
+        exec: ExecInfo::from_threads(net.effective_parallelism()),
     })
 }
 
@@ -1907,6 +1954,68 @@ mod tests {
         assert_eq!(b.metrics.total_ops(), c.metrics.total_ops());
     }
 
+    /// The seq/par decision is explicit in the report: `parallel(true)`
+    /// under a one-worker pool is recorded as sequential execution
+    /// (previously the knob was silently ignored), a multi-worker pool
+    /// as parallel with its thread count — and the deterministic
+    /// payload is identical either way.
+    #[test]
+    fn exec_info_records_the_effective_seq_par_decision() {
+        let points = triple_disk(300, 9);
+        let run_with = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            pool.install(|| {
+                Driver::new(Med)
+                    .nodes(300)
+                    .seed(9)
+                    .parallel_threshold(1)
+                    .run(&points)
+                    .expect("run")
+            })
+        };
+        let seq = run_with(1);
+        assert_eq!(seq.exec, ExecInfo::from_threads(1));
+        assert!(!seq.exec.parallel, "one-worker pool must read sequential");
+
+        let par = run_with(4);
+        assert_eq!(
+            par.exec,
+            ExecInfo {
+                threads: 4,
+                parallel: true
+            }
+        );
+
+        // n below the threshold: parallel not taken even with workers.
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .expect("pool");
+        let below = pool.install(|| {
+            Driver::new(Med)
+                .nodes(300)
+                .seed(9)
+                .parallel_threshold(10_000)
+                .run(&points)
+                .expect("run")
+        });
+        assert_eq!(below.exec, ExecInfo::sequential());
+
+        // The decision is metadata only: payloads agree bit-for-bit.
+        for other in [&par, &below] {
+            assert_eq!(seq.rounds, other.rounds);
+            assert_eq!(seq.metrics.rounds, other.metrics.rounds);
+            assert_eq!(seq.all_halted, other.all_halted);
+            assert_eq!(
+                seq.consensus_output().map(|b| b.value.r2.to_bits()),
+                other.consensus_output().map(|b| b.value.r2.to_bits())
+            );
+        }
+    }
+
     #[test]
     fn topology_is_recorded_and_algorithms_solve_on_overlays() {
         use gossip_sim::topology::{Hypercube, RandomRegular};
@@ -2019,6 +2128,7 @@ mod tests {
             metrics: Metrics::default(),
             schedule: RngSchedule::default(),
             topology: "complete",
+            exec: ExecInfo::sequential(),
             consensus: None,
         };
         assert_eq!(report.best_output(), Some(&vec![2, 3]));

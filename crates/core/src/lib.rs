@@ -97,8 +97,8 @@ pub mod spec;
 pub mod termination;
 
 pub use driver::{
-    Algorithm, DoublingReport, Driver, DriverError, DriverProblem, FaultSummary, LpMode, Progress,
-    RunReport, RunSpec, SetMode, StopCause, StopCondition,
+    Algorithm, DoublingReport, Driver, DriverError, DriverProblem, ExecInfo, FaultSummary, LpMode,
+    Progress, RunReport, RunSpec, SetMode, StopCause, StopCondition,
 };
 pub use gossip_sim::fault::{
     Bernoulli, Churn, Compose, Delay, FaultModel, IntoFaultModel, Perfect,

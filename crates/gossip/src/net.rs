@@ -243,18 +243,45 @@ impl<P: Protocol> Network<P> {
         self.cfg.parallel && self.states.len() >= self.cfg.parallel_threshold
     }
 
+    /// The number of threads this network's rounds actually use: 1 when
+    /// the sequential path is selected (parallelism disabled, `n` below
+    /// the threshold, or a single-threaded ambient pool — the pool
+    /// installed via [`rayon::ThreadPool::install`] around the `round`
+    /// calls, or rayon's global pool otherwise), the ambient pool's
+    /// size otherwise.
+    ///
+    /// This is *execution metadata*: by the byte-identity contract the
+    /// value never influences any output, it only reports how the same
+    /// bytes were produced. The driver records it in its run report.
+    pub fn effective_parallelism(&self) -> usize {
+        if self.use_parallel() {
+            rayon::current_num_threads().max(1)
+        } else {
+            1
+        }
+    }
+
     /// Simulates one round; returns that round's metrics.
     ///
     /// Every phase below refills a buffer owned by the network's
     /// `RoundScratch`; nothing is allocated in steady state. Each
     /// node's RNG streams are derived from `(seed, round, node, phase)`
-    /// alone, so sequential and Rayon-parallel stepping (per-node `&mut`
-    /// rows via `par_iter_mut`) are byte-identical.
+    /// alone and every parallel phase writes only to disjoint per-node
+    /// (or per-word) `&mut` rows, so sequential and rayon-parallel
+    /// stepping — now real threads claiming contiguous node chunks —
+    /// are byte-identical under any chunk schedule.
+    ///
+    /// The seq/par decision is explicit: the parallel path is taken
+    /// only when the config asks for it, `n` clears the threshold, and
+    /// the ambient pool actually has more than one thread (a one-worker
+    /// pool would pay region-dispatch overhead to run sequentially
+    /// anyway — this is the `effective_parallelism() == 1` case the
+    /// driver surfaces instead of silently ignoring the knob).
     pub fn round(&mut self) -> RoundMetrics {
         let n = self.states.len();
         let seed = self.cfg.seed;
         let round = self.round;
-        let par = self.use_parallel();
+        let par = self.effective_parallelism() > 1;
         let protocol = &self.protocol;
         let fault = Arc::clone(&self.cfg.fault);
         let perfect = fault.is_perfect();

@@ -147,4 +147,49 @@ fn steady_state_rounds_allocate_nothing() {
             );
         }
     }
+
+    // The same guarantee on the *parallel* path, under a real
+    // two-worker pool. Region dispatch is allocation-free by design:
+    // no boxed jobs — the caller publishes a `&dyn Fn(usize)` on its
+    // stack and workers claim chunk indices off a shared atomic — and
+    // Linux mutex/condvar park without heap traffic. Pool construction
+    // and warm-up happen outside the measured window; the window then
+    // spans 50 fully-fanned-out rounds (5 parallel regions each).
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(2)
+        .build()
+        .expect("pool");
+    pool.install(|| {
+        for schedule in [RngSchedule::V1Compat, RngSchedule::V2Batched] {
+            let n = 2048;
+            let states: Vec<_> = (0..n).map(|i| RumorState { informed: i == 0 }).collect();
+            let mut net = Network::new(
+                PushRumor,
+                states,
+                NetworkConfig::with_seed(7)
+                    .parallel_threshold(1)
+                    .rng_schedule(schedule),
+            );
+            for _ in 0..40 {
+                net.round();
+            }
+            assert!(
+                net.states().iter().all(|s| s.informed),
+                "rumor must saturate during warm-up ({schedule:?}, parallel)"
+            );
+            net.reserve_rounds(64);
+
+            let before = ALLOCATIONS.load(Ordering::Relaxed);
+            for _ in 0..50 {
+                net.round();
+            }
+            let after = ALLOCATIONS.load(Ordering::Relaxed);
+            assert_eq!(
+                after - before,
+                0,
+                "steady-state parallel rounds must perform zero heap \
+                 allocations ({schedule:?}, threads=2)"
+            );
+        }
+    });
 }

@@ -4,8 +4,8 @@
 use lpt_server::{Server, ServerConfig};
 use std::time::Duration;
 
-const USAGE: &str = "usage: lpt-server [--addr HOST:PORT] [--workers N] [--queue N] \
-                     [--cache N] [--idle-ms N]";
+const USAGE: &str = "usage: lpt-server [--addr HOST:PORT] [--workers N] [--engine-threads N] \
+                     [--queue N] [--cache N] [--idle-ms N]";
 
 fn parse_args() -> Result<(String, ServerConfig), String> {
     let mut addr = "127.0.0.1:7420".to_string();
@@ -22,6 +22,11 @@ fn parse_args() -> Result<(String, ServerConfig), String> {
                 cfg.workers = value("--workers")?
                     .parse()
                     .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--engine-threads" => {
+                cfg.engine_threads = value("--engine-threads")?
+                    .parse()
+                    .map_err(|e| format!("--engine-threads: {e}"))?;
             }
             "--queue" => {
                 cfg.queue_capacity = value("--queue")?

@@ -5,6 +5,14 @@
 //! blocks the submitting session until a slot frees up, which in turn
 //! slows the client feeding that session — demand propagates to the
 //! socket instead of growing an unbounded queue.
+//!
+//! Per-run parallelism composes with cross-run concurrency: each
+//! worker can own a private `engine_threads`-wide rayon pool,
+//! installed for everything the worker runs, so a job's round engine
+//! fans its phases out across that worker's pool while other workers
+//! execute other jobs. Replies stay byte-identical either way — the
+//! engine's seq/par byte-identity contract is what makes threading a
+//! pure capacity knob here.
 
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
@@ -21,8 +29,11 @@ pub struct WorkerPool {
 
 impl WorkerPool {
     /// Spawns `workers` threads (minimum 1) sharing a queue of
-    /// `queue_capacity` pending jobs (minimum 1).
-    pub fn new(workers: usize, queue_capacity: usize) -> WorkerPool {
+    /// `queue_capacity` pending jobs (minimum 1). When
+    /// `engine_threads > 1`, each worker builds and installs its own
+    /// rayon pool of that width before draining jobs, so every solve
+    /// run it executes steps nodes across `engine_threads` threads.
+    pub fn new(workers: usize, queue_capacity: usize, engine_threads: usize) -> WorkerPool {
         let (tx, rx) = sync_channel::<Job>(queue_capacity.max(1));
         let rx = Arc::new(Mutex::new(rx));
         let handles = (0..workers.max(1))
@@ -30,7 +41,17 @@ impl WorkerPool {
                 let rx = rx.clone();
                 std::thread::Builder::new()
                     .name(format!("lpt-worker-{i}"))
-                    .spawn(move || worker_loop(&rx))
+                    .spawn(move || {
+                        if engine_threads > 1 {
+                            let pool = rayon::ThreadPoolBuilder::new()
+                                .num_threads(engine_threads)
+                                .build()
+                                .expect("build engine thread pool");
+                            pool.install(|| worker_loop(&rx));
+                        } else {
+                            worker_loop(&rx);
+                        }
+                    })
                     .expect("spawn worker thread")
             })
             .collect();
@@ -89,7 +110,7 @@ mod tests {
 
     #[test]
     fn runs_jobs_concurrently_and_drains_on_shutdown() {
-        let pool = WorkerPool::new(4, 8);
+        let pool = WorkerPool::new(4, 8, 1);
         let counter = Arc::new(AtomicUsize::new(0));
         for _ in 0..32 {
             let counter = counter.clone();
@@ -103,8 +124,30 @@ mod tests {
     }
 
     #[test]
+    fn engine_threads_install_a_per_worker_rayon_pool() {
+        // Two workers × three engine threads: every job must observe a
+        // 3-wide ambient pool, and concurrent jobs on different
+        // workers must each see their own.
+        let pool = WorkerPool::new(2, 8, 3);
+        let (tx, rx) = channel();
+        for _ in 0..8 {
+            let tx = tx.clone();
+            assert!(pool.execute(move || {
+                tx.send(rayon::current_num_threads()).unwrap();
+            }));
+        }
+        pool.shutdown();
+        let widths: Vec<usize> = rx.try_iter().collect();
+        assert_eq!(widths.len(), 8);
+        assert!(
+            widths.iter().all(|&w| w == 3),
+            "every job should run under the worker's 3-wide engine pool, got {widths:?}"
+        );
+    }
+
+    #[test]
     fn full_queue_applies_backpressure() {
-        let pool = WorkerPool::new(1, 1);
+        let pool = WorkerPool::new(1, 1, 1);
         let (gate_tx, gate_rx) = channel::<()>();
         let gate_rx = Arc::new(Mutex::new(gate_rx));
         let started = Arc::new(AtomicUsize::new(0));

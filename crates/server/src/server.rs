@@ -52,6 +52,12 @@ pub struct ServerConfig {
     /// Sessions idle longer than this are closed with an
     /// `idle-timeout` error frame.
     pub idle_timeout: Duration,
+    /// Rayon threads per worker for the round engine's parallel node
+    /// stepping (default 1 = sequential engine). Each worker owns a
+    /// private pool of this width, so total engine threads scale as
+    /// `workers × engine_threads`; replies are byte-identical at any
+    /// setting by the engine's seq/par determinism contract.
+    pub engine_threads: usize,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +67,7 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             cache_capacity: 128,
             idle_timeout: Duration::from_secs(30),
+            engine_threads: 1,
         }
     }
 }
@@ -127,7 +134,7 @@ impl Server {
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             cache: ReportCache::new(config.cache_capacity),
-            pool: WorkerPool::new(config.workers, config.queue_capacity),
+            pool: WorkerPool::new(config.workers, config.queue_capacity, config.engine_threads),
             shutdown: AtomicBool::new(false),
             runs: AtomicU64::new(0),
             requests: AtomicU64::new(0),

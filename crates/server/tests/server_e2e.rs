@@ -17,6 +17,7 @@ fn small_cfg() -> ServerConfig {
         queue_capacity: 8,
         cache_capacity: 16,
         idle_timeout: Duration::from_secs(30),
+        engine_threads: 1,
     }
 }
 
@@ -71,6 +72,58 @@ fn cache_hit_replays_the_cold_bytes_without_rerunning() {
     let other_reply = client.solve(&demo_key(8)).unwrap();
     assert_ne!(other_reply.raw, cold.raw);
     assert_eq!(server.stats().runs, 2);
+}
+
+/// Per-run parallelism composes with cross-run concurrency: a server
+/// whose workers each install a multi-threaded engine pool must stream
+/// the same bytes as a single-threaded cold run of the same specs.
+/// The specs use `n = 4096` — the engine's default parallel threshold
+/// — so the multi-threaded server's runs genuinely take the parallel
+/// stepping path (the sequential reference server's one-wide pools
+/// resolve to sequential execution for the same spec).
+#[test]
+fn threaded_engine_replies_match_single_threaded_cold_runs() {
+    use lpt_server::StopSpec;
+    let key = |seed: u64| {
+        let mut k = RunSpecKey::new("duo-disk", 4096, 4096, seed);
+        k.stop = StopSpec::RoundBudget(6);
+        k
+    };
+    // Sequential reference: fresh server, engine_threads = 1.
+    let reference = spawn(small_cfg());
+    let mut ref_client = Client::connect(reference.addr()).unwrap();
+    let expected: Vec<_> = (0..3).map(|s| ref_client.solve(&key(s)).unwrap()).collect();
+
+    // Threaded server: 2 workers × 2 engine threads, hammered by 6
+    // concurrent sessions (2 per spec, so hits and misses interleave
+    // while both engine pools are busy).
+    let threaded = spawn(ServerConfig {
+        workers: 2,
+        engine_threads: 2,
+        ..small_cfg()
+    });
+    let addr = threaded.addr();
+    let handles: Vec<_> = (0..6)
+        .map(|i| {
+            let key = key(i % 3);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                client.solve(&key).unwrap()
+            })
+        })
+        .collect();
+    let replies: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for (i, reply) in replies.iter().enumerate() {
+        assert!(reply.error.is_none(), "unexpected error: {:?}", reply.error);
+        assert_eq!(
+            reply.raw,
+            expected[i % 3].raw,
+            "threaded-engine reply for seed {} must be byte-identical to the \
+             sequential cold run",
+            i % 3
+        );
+    }
+    assert_eq!(threaded.stats().runs, 3, "one driver run per distinct spec");
 }
 
 #[test]

@@ -1,0 +1,160 @@
+//! The pinned trajectories of `tests/faults.rs`, re-run under a real
+//! multi-threaded pool.
+//!
+//! Those pins were captured on the sequential engine; with the vendored
+//! rayon now spawning actual workers, the strongest end-to-end
+//! determinism statement the repo can make is that the *same* numbers
+//! fall out when four threads race over the node chunks. Any
+//! chunk-boundary leak, shared RNG stream, or ordering dependence in
+//! the five parallel phases would move a round count or an op total
+//! here.
+
+use lpt_gossip::{Algorithm, Bernoulli, Compose, Delay, Driver, ExecInfo, RngSchedule};
+use lpt_problems::{IdPointD, Meb, Med};
+use lpt_workloads::med::{duo_disk, triple_disk};
+use std::sync::Arc;
+
+fn pool(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool")
+}
+
+/// V1Compat pins under threads = 4 (sequential capture: 22 / 25 / 24
+/// rounds — see `perfect_network_reproduces_pre_fault_trajectories`).
+#[test]
+fn v1_pins_hold_under_four_threads() {
+    pool(4).install(|| {
+        let report = Driver::new(Med)
+            .nodes(128)
+            .seed(1)
+            .rng_schedule(RngSchedule::V1Compat)
+            .parallel_threshold(1)
+            .run(&duo_disk(128, 1))
+            .expect("run");
+        assert_eq!((report.rounds, report.metrics.total_ops()), (22, 365_900));
+        assert_eq!(
+            report.exec,
+            ExecInfo {
+                threads: 4,
+                parallel: true
+            }
+        );
+
+        let report = Driver::new(Med)
+            .nodes(256)
+            .seed(2)
+            .algorithm(Algorithm::high_load())
+            .rng_schedule(RngSchedule::V1Compat)
+            .parallel_threshold(1)
+            .run(&triple_disk(256, 2))
+            .expect("run");
+        assert_eq!((report.rounds, report.metrics.total_ops()), (25, 81_163));
+        assert_eq!(report.exec.threads, 4);
+
+        let balls: Vec<IdPointD> = triple_disk(200, 9)
+            .iter()
+            .map(|p| IdPointD::new(p.id, vec![p.p.x, p.p.y, 0.5]))
+            .collect();
+        let report = Driver::new(Meb::new(3))
+            .nodes(200)
+            .seed(9)
+            .rng_schedule(RngSchedule::V1Compat)
+            .parallel_threshold(1)
+            .run(&balls)
+            .expect("run");
+        assert_eq!((report.rounds, report.metrics.total_ops()), (24, 1_031_095));
+    });
+}
+
+/// V2Batched pins under threads = 4 (sequential capture: 22 / 26 / 24
+/// rounds — see `v2_batched_trajectories_are_pinned`). The batch
+/// sweeps stay outside the parallel sections, so the pins must hold
+/// even though the per-phase work is chunked across workers.
+#[test]
+fn v2_pins_hold_under_four_threads() {
+    pool(4).install(|| {
+        let report = Driver::new(Med)
+            .nodes(128)
+            .seed(1)
+            .parallel_threshold(1)
+            .run(&duo_disk(128, 1))
+            .expect("run");
+        assert_eq!((report.rounds, report.metrics.total_ops()), (22, 365_868));
+        assert_eq!(
+            report.exec,
+            ExecInfo {
+                threads: 4,
+                parallel: true
+            }
+        );
+
+        let report = Driver::new(Med)
+            .nodes(256)
+            .seed(2)
+            .algorithm(Algorithm::high_load())
+            .parallel_threshold(1)
+            .run(&triple_disk(256, 2))
+            .expect("run");
+        assert_eq!((report.rounds, report.metrics.total_ops()), (26, 86_343));
+
+        let balls: Vec<IdPointD> = triple_disk(200, 9)
+            .iter()
+            .map(|p| IdPointD::new(p.id, vec![p.p.x, p.p.y, 0.5]))
+            .collect();
+        let report = Driver::new(Meb::new(3))
+            .nodes(200)
+            .seed(9)
+            .parallel_threshold(1)
+            .run(&balls)
+            .expect("run");
+        assert_eq!((report.rounds, report.metrics.total_ops()), (24, 1_029_849));
+    });
+}
+
+/// Faulted cells (loss overlay, delivery delay) compared field-by-field
+/// against a fresh sequential run of the identical spec: the fault
+/// subsystem's RNG draws ride the engine phases, so this checks that
+/// threading does not perturb the fault stream either.
+#[test]
+fn faulted_runs_match_sequential_field_for_field() {
+    let points = triple_disk(256, 7);
+    let run = |threads: usize| {
+        let build = |schedule: RngSchedule, delay: bool| {
+            let mut d = Driver::new(Med).nodes(256).seed(7).rng_schedule(schedule);
+            d = if delay {
+                d.fault_model(
+                    Compose::new(vec![Arc::new(Bernoulli::new(0.10))]).and(Delay::between(1, 3)),
+                )
+            } else {
+                d.fault_model(Bernoulli::new(0.10))
+            };
+            d = if threads > 1 {
+                d.parallel_threshold(1)
+            } else {
+                d.parallel(false)
+            };
+            d.run(&points).expect("run")
+        };
+        let mut out = Vec::new();
+        for schedule in [RngSchedule::V1Compat, RngSchedule::V2Batched] {
+            for delay in [false, true] {
+                let r = build(schedule, delay);
+                out.push((
+                    r.rounds,
+                    r.metrics.rounds.clone(),
+                    r.faults,
+                    r.all_halted,
+                    r.consensus_output().map(|b| b.value.r2.to_bits()),
+                ));
+            }
+        }
+        out
+    };
+    let seq = run(1);
+    for threads in [2, 4] {
+        let par = pool(threads).install(|| run(threads));
+        assert_eq!(par, seq, "threads={threads}");
+    }
+}

@@ -1,0 +1,221 @@
+//! Indexed parallel iterators over slices: `par_iter` /
+//! `par_iter_mut` leaves plus the `zip` / `enumerate` adapters and a
+//! chunk-parallel `for_each`.
+//!
+//! The design is narrower than real rayon's producer/consumer tree
+//! but executes the same way the engine needs: an iterator chain is a
+//! cheap *random-access descriptor* (`len` + unchecked `get(i)`), and
+//! [`IndexedParallelIterator::for_each`] partitions `0..len` into
+//! contiguous chunks which pool threads claim dynamically
+//! ([`crate::pool`]). `get` hands out disjoint `&mut` items across
+//! threads; soundness comes from the claim cursor handing every index
+//! to exactly one chunk, exactly once.
+//!
+//! Items are produced in index order *within* a chunk; chunks
+//! complete in no particular order. Callers needing deterministic
+//! results must make item effects independent of completion order
+//! (disjoint writes — which `&mut` items enforce — and no shared
+//! accumulators).
+
+use crate::pool;
+
+/// A random-access parallel iterator of known length, driven in
+/// contiguous index chunks by [`for_each`](Self::for_each).
+pub trait IndexedParallelIterator: Sized + Sync {
+    /// The per-index item. `Send` because items cross into workers.
+    type Item: Send;
+
+    /// Number of items.
+    fn len(&self) -> usize;
+
+    /// Whether there are no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produces the item at `i`.
+    ///
+    /// # Safety
+    ///
+    /// `i < self.len()`, and across all concurrent calls on this
+    /// value each index must be produced at most once (items may be
+    /// aliasing-exclusive `&mut` borrows).
+    unsafe fn get(&self, i: usize) -> Self::Item;
+
+    /// Pairs this iterator with `other` index-by-index; the result is
+    /// as long as the shorter of the two.
+    fn zip<B: IndexedParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Attaches each item's index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { inner: self }
+    }
+
+    /// Consumes every item, in parallel across the current pool
+    /// ([`crate::ThreadPool::install`] or the global pool). Items are
+    /// claimed as contiguous chunks by whichever thread is free. If a
+    /// call panics, remaining chunks still run and the first panic is
+    /// rethrown here afterwards.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let len = self.len();
+        if len == 0 {
+            return;
+        }
+        let shared = pool::current_shared();
+        let threads = shared.threads();
+        if threads <= 1 || len == 1 {
+            for i in 0..len {
+                // SAFETY: in-bounds, sequential, each index once.
+                f(unsafe { self.get(i) });
+            }
+            return;
+        }
+        // Several chunks per thread so a thread that lands on a heavy
+        // chunk (expensive nodes) sheds the rest of the range to idle
+        // threads. More chunks would only add claim traffic.
+        let chunks = (threads * CHUNKS_PER_THREAD).min(len);
+        let chunk_size = len.div_ceil(chunks);
+        let chunks = len.div_ceil(chunk_size);
+        let exec = |k: usize| {
+            let start = k * chunk_size;
+            let end = len.min(start + chunk_size);
+            for i in start..end {
+                // SAFETY: in-bounds (`end <= len`); the pool's claim
+                // cursor hands chunk `k` to exactly one thread, and
+                // chunk ranges are disjoint, so each index is produced
+                // exactly once across all threads.
+                f(unsafe { self.get(i) });
+            }
+        };
+        pool::run_region(&shared, chunks, &exec);
+    }
+}
+
+/// Chunk multiplier for [`IndexedParallelIterator::for_each`]: enough
+/// slack for dynamic balancing, little enough that claim overhead
+/// stays invisible next to real per-chunk work.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// Exclusive parallel iterator over a slice; see
+/// [`ParallelSliceMut::par_iter_mut`].
+pub struct ParIterMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: semantically a `&mut [T]` carved into disjoint `&mut T`
+// items; moving it or sharing `&self` across threads is safe exactly
+// when sending those items is, i.e. `T: Send`. Shared access hands
+// out `&mut` only through `get`, whose contract forbids handing any
+// index out twice.
+unsafe impl<T: Send> Send for ParIterMut<'_, T> {}
+// SAFETY: as above — `&ParIterMut` exposes nothing but the
+// disjoint-index `get`.
+unsafe impl<T: Send> Sync for ParIterMut<'_, T> {}
+
+impl<'a, T: Send> IndexedParallelIterator for ParIterMut<'a, T> {
+    type Item = &'a mut T;
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    unsafe fn get(&self, i: usize) -> &'a mut T {
+        // SAFETY: `i < len` keeps the offset in the original slice;
+        // the caller's exactly-once contract makes the `&mut` unique.
+        unsafe { &mut *self.ptr.add(i) }
+    }
+}
+
+/// Shared parallel iterator over a slice; see
+/// [`ParallelSlice::par_iter`].
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> IndexedParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    unsafe fn get(&self, i: usize) -> &'a T {
+        // SAFETY: `i < len` per the trait contract.
+        unsafe { self.slice.get_unchecked(i) }
+    }
+}
+
+/// Index-by-index pairing of two iterators; see
+/// [`IndexedParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: IndexedParallelIterator, B: IndexedParallelIterator> IndexedParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+
+    unsafe fn get(&self, i: usize) -> Self::Item {
+        // SAFETY: `i < min(a.len, b.len)` bounds both sides; the
+        // exactly-once contract passes through unchanged.
+        unsafe { (self.a.get(i), self.b.get(i)) }
+    }
+}
+
+/// Index-attaching adapter; see
+/// [`IndexedParallelIterator::enumerate`].
+pub struct Enumerate<I> {
+    inner: I,
+}
+
+impl<I: IndexedParallelIterator> IndexedParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    unsafe fn get(&self, i: usize) -> Self::Item {
+        // SAFETY: contract passes through unchanged.
+        (i, unsafe { self.inner.get(i) })
+    }
+}
+
+/// Adds `par_iter_mut` to slices (and through auto-deref, `Vec`).
+pub trait ParallelSliceMut<T: Send> {
+    /// A parallel iterator of `&mut T` over the slice.
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Adds `par_iter` to slices (and through auto-deref, `Vec`).
+pub trait ParallelSlice<T: Sync> {
+    /// A parallel iterator of `&T` over the slice.
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { slice: self }
+    }
+}

@@ -1,162 +1,114 @@
-//! Vendored offline stand-in for the [`rayon`] crate.
+//! Vendored minimal [`rayon`]: a real work-stealing thread pool behind
+//! the rayon API surface this workspace uses.
 //!
 //! The build environment has no crates-registry access, so this crate
-//! provides the `par_iter` entry points the workspace uses —
-//! [`prelude::IntoParallelIterator::into_par_iter`] and
-//! [`prelude::ParallelSliceMut::par_iter_mut`] — as thin wrappers over
-//! the corresponding **sequential** std iterators. Chained adapters
-//! (`map`, `zip`, `enumerate`, `collect`) are then the plain
-//! [`Iterator`] ones.
+//! provides — with genuine multi-threaded execution, not the former
+//! sequential stand-in — the entry points the workspace calls:
 //!
-//! Semantically this is sound everywhere in the workspace: the gossip
-//! simulator derives every node's RNG stream from `(seed, round, node,
-//! phase)` precisely so that results do not depend on execution order,
-//! and its `parallel` flag is documented as a performance knob only.
-//! When a real `rayon` is available again, deleting this vendor
-//! directory and pointing the manifests back at crates.io restores true
-//! data parallelism with no source changes.
+//! - [`prelude::ParallelSliceMut::par_iter_mut`] /
+//!   [`prelude::ParallelSlice::par_iter`] with the
+//!   [`zip`](prelude::IndexedParallelIterator::zip) /
+//!   [`enumerate`](prelude::IndexedParallelIterator::enumerate) /
+//!   [`for_each`](prelude::IndexedParallelIterator::for_each) chain,
+//!   executed as dynamically claimed contiguous chunks across the pool;
+//! - [`ThreadPoolBuilder`] / [`ThreadPool::install`] /
+//!   [`current_num_threads`] with rayon's semantics (an installed pool
+//!   scopes `par_*` calls; otherwise a lazy global pool sized by
+//!   [`std::thread::available_parallelism`]);
+//! - [`scope`] for heterogeneous borrowed tasks.
+//!
+//! Two properties matter to this workspace beyond plain parallelism:
+//!
+//! 1. **Allocation-free steady state.** Parallel loops dispatch through
+//!    a stack-published region descriptor and an atomic chunk cursor —
+//!    no boxed jobs, no channels — so the gossip engine's zero-alloc
+//!    round guarantee survives on the parallel path (asserted by a
+//!    counting-allocator test in `gossip-sim`).
+//! 2. **Schedule-independence is the caller's job, and checkable.** The
+//!    pool intentionally randomizes nothing but guarantees each index
+//!    is produced exactly once; the engine's byte-identical seq/par
+//!    contract rests on per-node RNG derivation plus disjoint `&mut`
+//!    rows, and is exercised against real interleavings by the
+//!    `par_determinism` suite.
+//!
+//! Swapping in crates.io rayon remains a manifest-only change for the
+//! call sites above.
 //!
 //! [`rayon`]: https://crates.io/crates/rayon
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+mod iter;
+mod pool;
+
+pub use pool::{
+    current_num_threads, scope, Scope, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder,
+};
 
 /// The rayon prelude: traits that add `par_*` methods.
 pub mod prelude {
-    /// Conversion into a (sequentially executed) "parallel" iterator.
-    pub trait IntoParallelIterator: IntoIterator + Sized {
-        /// The stand-in for `rayon`'s `into_par_iter`: the sequential
-        /// iterator of `self`.
-        fn into_par_iter(self) -> Self::IntoIter {
-            self.into_iter()
-        }
-    }
-
-    impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
-
-    /// Mutable "parallel" slice iteration.
-    pub trait ParallelSliceMut<T> {
-        /// The stand-in for `rayon`'s `par_iter_mut`: the sequential
-        /// mutable iterator.
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
-    }
-
-    impl<T> ParallelSliceMut<T> for [T] {
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-            self.iter_mut()
-        }
-    }
-
-    /// Shared "parallel" slice iteration.
-    pub trait ParallelSlice<T> {
-        /// The stand-in for `rayon`'s `par_iter`: the sequential iterator.
-        fn par_iter(&self) -> std::slice::Iter<'_, T>;
-    }
-
-    impl<T> ParallelSlice<T> for [T] {
-        fn par_iter(&self) -> std::slice::Iter<'_, T> {
-            self.iter()
-        }
-    }
-}
-
-/// Error building a [`ThreadPool`] (never produced by the stand-in,
-/// which has no resources to fail to acquire; present so caller code
-/// written against real rayon's fallible `build()` compiles unchanged).
-#[derive(Debug)]
-pub struct ThreadPoolBuildError(());
-
-impl std::fmt::Display for ThreadPoolBuildError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "thread pool build error (unreachable in the stand-in)")
-    }
-}
-
-impl std::error::Error for ThreadPoolBuildError {}
-
-/// Stand-in for rayon's `ThreadPoolBuilder`: records the requested
-/// thread count but builds a pool that executes everything on the
-/// calling thread (matching the sequential `par_*` entry points above).
-#[derive(Debug, Default)]
-pub struct ThreadPoolBuilder {
-    num_threads: usize,
-}
-
-impl ThreadPoolBuilder {
-    /// A builder with the default (automatic) thread count.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Requests `num_threads` worker threads (`0` = automatic).
-    pub fn num_threads(mut self, num_threads: usize) -> Self {
-        self.num_threads = num_threads;
-        self
-    }
-
-    /// Builds the pool. The stand-in never fails.
-    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        Ok(ThreadPool {
-            num_threads: if self.num_threads == 0 {
-                1
-            } else {
-                self.num_threads
-            },
-        })
-    }
-}
-
-/// Stand-in for rayon's `ThreadPool`: remembers its nominal size and
-/// runs installed closures on the calling thread.
-#[derive(Debug)]
-pub struct ThreadPool {
-    num_threads: usize,
-}
-
-impl ThreadPool {
-    /// Executes `op` "inside" the pool (on the calling thread here;
-    /// with real rayon, `par_*` calls under `op` use this pool).
-    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
-        op()
-    }
-
-    /// The nominal worker count this pool was built with.
-    pub fn current_num_threads(&self) -> usize {
-        self.num_threads
-    }
+    pub use crate::iter::{
+        Enumerate, IndexedParallelIterator, ParIter, ParIterMut, ParallelSlice, ParallelSliceMut,
+        Zip,
+    };
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
     use super::ThreadPoolBuilder;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
-    fn thread_pool_stub_installs_on_the_calling_thread() {
+    fn install_scopes_the_pool_and_reports_its_size() {
         let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
         assert_eq!(pool.current_num_threads(), 4);
         assert_eq!(pool.install(|| 6 * 7), 42);
+        assert_eq!(pool.install(super::current_num_threads), 4);
         let auto = ThreadPoolBuilder::new().build().unwrap();
-        assert_eq!(auto.current_num_threads(), 1);
+        assert!(auto.current_num_threads() >= 1);
     }
 
     #[test]
-    fn entry_points_behave_like_std() {
-        let doubled: Vec<i32> = (0..5).into_par_iter().map(|x| x * 2).collect();
-        assert_eq!(doubled, vec![0, 2, 4, 6, 8]);
+    fn par_chains_visit_every_index_once_with_correct_items() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let n = 10_000;
+        let mut v: Vec<u64> = vec![0; n];
+        let extra: Vec<u64> = (0..n as u64).map(|x| x * 3).collect();
+        let visits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.install(|| {
+            v.par_iter_mut()
+                .zip(extra.par_iter())
+                .enumerate()
+                .for_each(|(i, (slot, x))| {
+                    visits[i].fetch_add(1, Ordering::Relaxed);
+                    *slot = i as u64 + x;
+                });
+        });
+        assert!(visits.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64 * 4));
+        let total: u64 = {
+            let sum = AtomicUsize::new(0);
+            pool.install(|| {
+                v.par_iter().for_each(|&x| {
+                    sum.fetch_add(x as usize, Ordering::Relaxed);
+                })
+            });
+            sum.load(Ordering::Relaxed) as u64
+        };
+        assert_eq!(total, v.iter().sum::<u64>());
+    }
 
-        let mut v = vec![1, 2, 3];
-        let extra = vec![10, 20, 30];
-        let out: Vec<i32> = v
-            .par_iter_mut()
-            .zip(extra.into_par_iter())
-            .enumerate()
-            .map(|(i, (a, b))| {
-                *a += b;
-                *a + i as i32
-            })
-            .collect();
-        assert_eq!(v, vec![11, 22, 33]);
-        assert_eq!(out, vec![11, 23, 35]);
-        assert_eq!(v.par_iter().sum::<i32>(), 66);
+    #[test]
+    fn zip_stops_at_the_shorter_side() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let mut a = [0u32; 7];
+        let b = [1u32; 5];
+        pool.install(|| {
+            a.par_iter_mut()
+                .zip(b.par_iter())
+                .for_each(|(slot, x)| *slot = *x);
+        });
+        assert_eq!(a, [1, 1, 1, 1, 1, 0, 0]);
     }
 }

@@ -1,0 +1,522 @@
+//! The thread pool: persistent workers draining *parallel regions*
+//! (chunk-claimed data-parallel loops) and *scope tasks* (boxed
+//! heterogeneous jobs).
+//!
+//! # Design
+//!
+//! A pool of `N` threads is the calling thread plus `N - 1` spawned
+//! workers. Data-parallel loops (`for_each` on the indexed iterators)
+//! compile down to [`run_region`]: the caller publishes a [`Region`] —
+//! a stack-allocated descriptor holding a type-erased chunk executor
+//! and an atomic chunk cursor — wakes the workers, and then claims
+//! chunks itself alongside them. Claiming is a single `fetch_add`, so
+//! whichever thread is free takes the next chunk: this is work
+//! stealing at chunk granularity, with no per-task allocation and no
+//! per-task queue. The caller leaves the region only after every
+//! worker has (`active == 0`), which is what makes lending
+//! stack-borrowed closures to the workers sound.
+//!
+//! Scope tasks ([`scope`]/[`Scope::spawn`]) are the general escape
+//! hatch: boxed jobs pushed to a shared queue, drained by idle workers
+//! and by the scope owner itself while it waits. They allocate (one
+//! `Box` per task) and are therefore not used on the round engine's
+//! steady-state path, which goes exclusively through regions.
+//!
+//! # Determinism
+//!
+//! The pool guarantees nothing about *which* thread runs which chunk —
+//! by design. Callers that need deterministic output must make each
+//! chunk's effect a pure function of its index range (the gossip
+//! engine derives all randomness from `(seed, round, node, phase)` and
+//! writes only to disjoint per-node rows, so any chunk schedule
+//! produces identical bytes).
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+use std::time::Duration;
+
+/// A published data-parallel loop. Lives on the publishing thread's
+/// stack for the duration of [`run_region`].
+struct Region {
+    /// The chunk executor, lifetime-erased. Only dereferenced by
+    /// threads registered in `Inner::active`, which the publisher
+    /// waits on before its stack frame (and the real closure behind
+    /// this pointer) can go away.
+    exec: *const (dyn Fn(usize) + Sync),
+    /// Total chunks; claimed indices `>= chunks` mean "done".
+    chunks: usize,
+    /// The claim cursor. `fetch_add` hands each chunk to exactly one
+    /// thread; `Relaxed` suffices because claimers share no data
+    /// through the cursor itself (completion visibility rides on the
+    /// pool mutex).
+    next: AtomicUsize,
+    /// First panic payload from any chunk, rethrown by the publisher.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+/// A `*const Region` that may cross the worker handoff. Safety is the
+/// region protocol itself (see [`Region::exec`]).
+#[derive(Clone, Copy)]
+struct RegionPtr(*const Region);
+// SAFETY: the pointee outlives every dereference by the active-count
+// protocol; Region's fields are Sync (atomics + Mutex).
+unsafe impl Send for RegionPtr {}
+
+/// A queued scope task. The closure is lifetime-erased to `'static`;
+/// [`scope`] refuses to return before its counter drains, which keeps
+/// every borrow inside the closure alive while it can still run.
+struct Task {
+    job: Box<dyn FnOnce() + Send>,
+}
+
+/// Pool state guarded by the one pool mutex.
+struct Inner {
+    /// The currently published region, if any. One region at a time:
+    /// a second publisher (necessarily another thread, or a nested
+    /// loop on a participating thread) runs its loop inline instead —
+    /// always correct for independent chunks, merely not accelerated.
+    region: Option<RegionPtr>,
+    /// Bumped on every publication so a worker that already drained
+    /// this region does not re-enter it.
+    generation: u64,
+    /// Threads currently inside `work_region` for the published
+    /// region. The publisher waits for 0 before unpublishing.
+    active: usize,
+    /// Queued scope tasks.
+    tasks: VecDeque<Task>,
+    shutdown: bool,
+}
+
+pub(crate) struct Shared {
+    inner: Mutex<Inner>,
+    /// Workers sleep here; notified on region publication, task
+    /// arrival, and shutdown.
+    work_cv: Condvar,
+    /// Region publishers sleep here waiting for `active == 0`.
+    done_cv: Condvar,
+    /// Total parallelism including the installing/calling thread.
+    threads: usize,
+}
+
+impl Shared {
+    pub(crate) fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+thread_local! {
+    /// The pool the current thread works for ([`ThreadPool::install`]
+    /// scopes, or the worker's own pool). `None` means the lazy global
+    /// pool.
+    static CURRENT: RefCell<Option<Arc<Shared>>> = const { RefCell::new(None) };
+}
+
+/// The pool `par_*` calls on this thread target: the installed pool if
+/// inside [`ThreadPool::install`], else the global one (created on
+/// first use with [`std::thread::available_parallelism`] threads).
+pub(crate) fn current_shared() -> Arc<Shared> {
+    CURRENT
+        .with(|c| c.borrow().clone())
+        .unwrap_or_else(|| Arc::clone(&global_pool().shared))
+}
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+fn global_pool() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| {
+        ThreadPoolBuilder::new()
+            .build()
+            .expect("failed to build the global thread pool")
+    })
+}
+
+/// The number of threads `par_*` calls made from this thread will use
+/// (the installed pool's size, or the global pool's).
+pub fn current_num_threads() -> usize {
+    current_shared().threads
+}
+
+/// Drains chunks of the region until the cursor runs out. Panics from
+/// the executor are caught and parked in the region (first one wins);
+/// the publisher rethrows after the region completes, so a panicking
+/// chunk never tears down a worker and never leaves the pool wedged.
+///
+/// # Safety
+///
+/// `region` must point to a live [`Region`], which the caller
+/// guarantees either by owning it (the publisher) or by being counted
+/// in `Inner::active` (a worker).
+unsafe fn work_region(region: *const Region) {
+    // SAFETY: live per the function contract.
+    let region = unsafe { &*region };
+    // SAFETY: `exec` outlives the region per the region protocol.
+    let exec = unsafe { &*region.exec };
+    loop {
+        let k = region.next.fetch_add(1, Ordering::Relaxed);
+        if k >= region.chunks {
+            return;
+        }
+        if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| exec(k))) {
+            region.panic.lock().unwrap().get_or_insert(payload);
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    // A worker's ambient pool is its own: nested `par_*` calls from
+    // inside a chunk or task resolve here (and then run inline via the
+    // busy-region fallback rather than deadlocking).
+    CURRENT.with(|c| *c.borrow_mut() = Some(Arc::clone(&shared)));
+    let mut seen_generation = 0u64;
+    let mut guard = shared.inner.lock().unwrap();
+    loop {
+        if guard.shutdown {
+            return;
+        }
+        if let Some(region) = guard.region {
+            if guard.generation != seen_generation {
+                seen_generation = guard.generation;
+                guard.active += 1;
+                drop(guard);
+                // SAFETY: we are counted in `active`, so the publisher
+                // keeps the region alive until we decrement.
+                unsafe { work_region(region.0) };
+                guard = shared.inner.lock().unwrap();
+                guard.active -= 1;
+                if guard.active == 0 {
+                    shared.done_cv.notify_all();
+                }
+                continue;
+            }
+        }
+        if let Some(task) = guard.tasks.pop_front() {
+            drop(guard);
+            (task.job)();
+            guard = shared.inner.lock().unwrap();
+            continue;
+        }
+        guard = shared.work_cv.wait(guard).unwrap();
+    }
+}
+
+/// Runs `chunks` invocations of `exec` (each exactly once) across the
+/// pool, returning when all are done. Single-thread pools, and calls
+/// made while this pool is already mid-region, execute inline.
+pub(crate) fn run_region(shared: &Shared, chunks: usize, exec: &(dyn Fn(usize) + Sync)) {
+    let run_inline = || {
+        for k in 0..chunks {
+            exec(k);
+        }
+    };
+    if chunks == 0 {
+        return;
+    }
+    if shared.threads <= 1 || chunks == 1 {
+        run_inline();
+        return;
+    }
+    // SAFETY (of the transmute): erases the borrow lifetime of `exec`
+    // into the raw field type. The publisher below does not return
+    // until `active == 0`, and workers only dereference while counted
+    // in `active`, so no dereference outlives the real borrow.
+    #[allow(clippy::missing_transmute_annotations)]
+    let erased: *const (dyn Fn(usize) + Sync) =
+        unsafe { std::mem::transmute(exec as *const (dyn Fn(usize) + Sync)) };
+    let region = Region {
+        exec: erased,
+        chunks,
+        next: AtomicUsize::new(0),
+        panic: Mutex::new(None),
+    };
+    {
+        let mut guard = shared.inner.lock().unwrap();
+        if guard.region.is_some() {
+            // Another loop is in flight on this pool (a nested
+            // `for_each`, or a concurrent caller sharing the pool).
+            // Chunks are independent, so inline execution is correct.
+            drop(guard);
+            run_inline();
+            return;
+        }
+        guard.region = Some(RegionPtr(&region));
+        guard.generation = guard.generation.wrapping_add(1);
+        shared.work_cv.notify_all();
+    }
+    // Publisher participates in its own region.
+    // SAFETY: `region` is alive — it is this frame's local.
+    unsafe { work_region(&region) };
+    // All chunks are claimed; wait for workers still finishing theirs.
+    // Entry and exit both happen under the mutex, so once `active` is
+    // observed 0 here no worker can still touch the region.
+    let mut guard = shared.inner.lock().unwrap();
+    while guard.active > 0 {
+        guard = shared.done_cv.wait(guard).unwrap();
+    }
+    guard.region = None;
+    drop(guard);
+    let payload = region.panic.lock().unwrap().take();
+    if let Some(payload) = payload {
+        panic::resume_unwind(payload);
+    }
+}
+
+/// Error building a [`ThreadPool`] (thread spawn failure).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    msg: String,
+}
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread pool build error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builds a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default (automatic) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests a total parallelism of `num_threads` (`0` = automatic,
+    /// [`std::thread::available_parallelism`]). A pool of `n` spawns
+    /// `n - 1` workers; the thread calling into the pool is the nth.
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool, spawning its workers eagerly.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            self.num_threads
+        };
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                region: None,
+                generation: 0,
+                active: 0,
+                tasks: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            threads,
+        });
+        let mut workers = Vec::with_capacity(threads.saturating_sub(1));
+        for i in 1..threads {
+            let worker_shared = Arc::clone(&shared);
+            let spawned = thread::Builder::new()
+                .name(format!("rayon-worker-{i}"))
+                .spawn(move || worker_loop(worker_shared));
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    shutdown(&shared, &mut workers);
+                    return Err(ThreadPoolBuildError { msg: e.to_string() });
+                }
+            }
+        }
+        Ok(ThreadPool { shared, workers })
+    }
+}
+
+fn shutdown(shared: &Shared, workers: &mut Vec<thread::JoinHandle<()>>) {
+    shared.inner.lock().unwrap().shutdown = true;
+    shared.work_cv.notify_all();
+    for handle in workers.drain(..) {
+        let _ = handle.join();
+    }
+}
+
+/// A real thread pool: persistent workers executing parallel regions
+/// and scope tasks. See the module docs for the execution model.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.shared.threads)
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// Executes `op` with this pool installed as the current thread's
+    /// pool: `par_*` calls and [`scope`]s under `op` use this pool.
+    /// Restores the previously installed pool on exit, panic included.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(Option<Arc<Shared>>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                let prev = self.0.take();
+                CURRENT.with(|c| *c.borrow_mut() = prev);
+            }
+        }
+        let prev = CURRENT.with(|c| c.replace(Some(Arc::clone(&self.shared))));
+        let _restore = Restore(prev);
+        op()
+    }
+
+    /// Total parallelism of this pool (workers + the calling thread).
+    pub fn current_num_threads(&self) -> usize {
+        self.shared.threads
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        shutdown(&self.shared, &mut self.workers);
+    }
+}
+
+/// Completion and panic accounting for one [`scope`]. Stack-allocated
+/// in [`scope`]; spawned tasks hold a raw pointer, kept valid because
+/// `scope` does not return before `count` drains to zero.
+struct ScopeState {
+    /// Spawned-but-not-finished task count.
+    count: Mutex<usize>,
+    cv: Condvar,
+    /// First panic payload from any task in this scope.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+/// A spawn handle tied to a stack frame, in the style of rayon's
+/// `Scope`: tasks may borrow anything that outlives the [`scope`]
+/// call, and have all run when `scope` returns.
+pub struct Scope<'scope> {
+    shared: Arc<Shared>,
+    state: *const ScopeState,
+    /// Invariant over `'scope`, like rayon: the scope must not shrink.
+    marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+// SAFETY: the raw `state` pointer is valid for the whole scope (the
+// owning `scope` call outlives every spawned task), and `ScopeState`
+// is all Sync primitives.
+unsafe impl Send for Scope<'_> {}
+
+impl<'scope> Scope<'scope> {
+    fn state(&self) -> &ScopeState {
+        // SAFETY: valid for the scope's lifetime, see `Scope` docs.
+        unsafe { &*self.state }
+    }
+
+    /// Spawns `task` into the pool. It runs at most once, exactly once
+    /// unless the process dies first, possibly on the spawning thread
+    /// itself (while the scope waits), and may itself spawn.
+    pub fn spawn<F>(&self, task: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        *self.state().count.lock().unwrap() += 1;
+        let handle = Scope {
+            shared: Arc::clone(&self.shared),
+            state: self.state,
+            marker: PhantomData,
+        };
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let result = panic::catch_unwind(AssertUnwindSafe(|| task(&handle)));
+            let state = handle.state();
+            if let Err(payload) = result {
+                state.panic.lock().unwrap().get_or_insert(payload);
+            }
+            let mut count = state.count.lock().unwrap();
+            *count -= 1;
+            if *count == 0 {
+                state.cv.notify_all();
+            }
+        });
+        // SAFETY: erases `'scope` to `'static` so the job can sit in
+        // the shared queue. The owning `scope` call waits for `count`
+        // to reach zero before returning, so every borrow in the job
+        // outlives its execution.
+        let job: Box<dyn FnOnce() + Send> = unsafe { std::mem::transmute(job) };
+        let mut guard = self.shared.inner.lock().unwrap();
+        guard.tasks.push_back(Task { job });
+        drop(guard);
+        self.shared.work_cv.notify_one();
+    }
+
+    /// Blocks until this scope's task count reaches zero, running
+    /// queued tasks (any scope's — progress is progress) while
+    /// waiting so that spawn-from-task chains cannot deadlock even
+    /// when every worker is busy.
+    fn wait_all(&self) {
+        let state = self.state();
+        loop {
+            if *state.count.lock().unwrap() == 0 {
+                return;
+            }
+            let task = self.shared.inner.lock().unwrap().tasks.pop_front();
+            if let Some(task) = task {
+                (task.job)();
+                continue;
+            }
+            let count = state.count.lock().unwrap();
+            if *count == 0 {
+                return;
+            }
+            // Timed wait: completion notifies `cv`, but a task spawned
+            // after we found the queue empty does not, so poll.
+            let (guard, _) = state
+                .cv
+                .wait_timeout(count, Duration::from_millis(1))
+                .unwrap();
+            drop(guard);
+        }
+    }
+}
+
+/// Creates a scope: `op` may spawn tasks borrowing anything that
+/// outlives the call, and every task has finished when `scope`
+/// returns. Runs on the current thread's pool ([`ThreadPool::install`]
+/// or the global pool). Panics propagate: `op`'s own panic first,
+/// otherwise the first task panic.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R,
+{
+    let state = ScopeState {
+        count: Mutex::new(0),
+        cv: Condvar::new(),
+        panic: Mutex::new(None),
+    };
+    let scope = Scope {
+        shared: current_shared(),
+        state: &state,
+        marker: PhantomData,
+    };
+    let result = panic::catch_unwind(AssertUnwindSafe(|| op(&scope)));
+    scope.wait_all();
+    let task_panic = state.panic.lock().unwrap().take();
+    match result {
+        Err(payload) => panic::resume_unwind(payload),
+        Ok(value) => {
+            if let Some(payload) = task_panic {
+                panic::resume_unwind(payload);
+            }
+            value
+        }
+    }
+}

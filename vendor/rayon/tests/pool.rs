@@ -1,0 +1,228 @@
+//! Concurrency-correctness battery for the vendored pool: exactly-once
+//! execution, panic propagation, nested scopes and nested parallel
+//! loops, and the degenerate shapes (zero tasks, one task, one
+//! thread).
+
+use rayon::prelude::*;
+use rayon::{scope, ThreadPool, ThreadPoolBuilder};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn pool(threads: usize) -> ThreadPool {
+    ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool")
+}
+
+/// Every index of a parallel loop runs exactly once, across thread
+/// counts, lengths (empty / one / claim-contended), and repetitions —
+/// double-execution or a dropped chunk shows up as a count != 1.
+#[test]
+fn for_each_runs_every_index_exactly_once() {
+    for threads in [1, 2, 4, 8] {
+        let pool = pool(threads);
+        for len in [0usize, 1, 2, 63, 64, 1000] {
+            for _rep in 0..20 {
+                let counts: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
+                let mut rows = vec![0u8; len];
+                pool.install(|| {
+                    rows.par_iter_mut().enumerate().for_each(|(i, row)| {
+                        counts[i].fetch_add(1, Ordering::Relaxed);
+                        *row += 1;
+                    });
+                });
+                assert!(
+                    counts.iter().all(|c| c.load(Ordering::Relaxed) == 1),
+                    "threads={threads} len={len}: some index not run exactly once"
+                );
+                assert!(rows.iter().all(|&r| r == 1));
+            }
+        }
+    }
+}
+
+/// Scope tasks run exactly once each, including tasks spawned from
+/// tasks (the work-stealing path where the scope owner helps drain
+/// the queue).
+#[test]
+fn scope_tasks_run_exactly_once() {
+    let pool = pool(4);
+    for _rep in 0..50 {
+        let hits = AtomicUsize::new(0);
+        pool.install(|| {
+            scope(|s| {
+                for _ in 0..32 {
+                    s.spawn(|s| {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                        s.spawn(|_| {
+                            hits.fetch_add(1, Ordering::Relaxed);
+                        });
+                    });
+                }
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+    }
+}
+
+/// Nested scopes complete inside-out: the inner scope's tasks have all
+/// run before the outer scope returns, and borrows stay valid.
+#[test]
+fn nested_scopes_complete_inside_out() {
+    let pool = pool(4);
+    let outer_hits = AtomicUsize::new(0);
+    let inner_hits = AtomicUsize::new(0);
+    pool.install(|| {
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    scope(|inner| {
+                        for _ in 0..8 {
+                            inner.spawn(|_| {
+                                inner_hits.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                    // The inner scope has fully drained by here.
+                    assert!(inner_hits.load(Ordering::Relaxed) >= 8);
+                    outer_hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+    });
+    assert_eq!(outer_hits.load(Ordering::Relaxed), 8);
+    assert_eq!(inner_hits.load(Ordering::Relaxed), 64);
+}
+
+/// Zero-task and single-task scopes return promptly (no lost wakeups,
+/// no hangs), and a scope's return value passes through.
+#[test]
+fn empty_and_singleton_scopes() {
+    let pool = pool(2);
+    assert_eq!(pool.install(|| scope(|_| 17)), 17);
+    let hit = AtomicUsize::new(0);
+    let out = pool.install(|| {
+        scope(|s| {
+            s.spawn(|_| {
+                hit.fetch_add(1, Ordering::Relaxed);
+            });
+            "done"
+        })
+    });
+    assert_eq!(out, "done");
+    assert_eq!(hit.load(Ordering::Relaxed), 1);
+}
+
+/// A panic inside one chunk propagates to the `for_each` caller, the
+/// other chunks still run (no torn state), and the pool stays usable.
+#[test]
+fn for_each_panic_propagates_and_pool_survives() {
+    let pool = pool(4);
+    let ran = AtomicUsize::new(0);
+    let mut rows = vec![0u8; 512];
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        pool.install(|| {
+            rows.par_iter_mut().enumerate().for_each(|(i, _row)| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if i == 300 {
+                    panic!("chunk panic");
+                }
+            });
+        });
+    }));
+    assert!(result.is_err(), "panic must reach the caller");
+    // The panicking chunk abandons its own remaining items; every
+    // *other* chunk still runs to completion (chunks are at most
+    // len / threads = 128 items here, and in practice 32).
+    let ran = ran.load(Ordering::Relaxed);
+    assert!(
+        ran >= 512 - 128,
+        "only the panicking chunk's tail may be skipped (ran {ran})"
+    );
+    // Pool is not wedged: a fresh loop works.
+    pool.install(|| {
+        rows.par_iter_mut().for_each(|row| *row = 7);
+    });
+    assert!(rows.iter().all(|&r| r == 7));
+}
+
+/// A panic inside a scope task propagates from `scope`, after every
+/// task (panicking or not) has finished.
+#[test]
+fn scope_panic_propagates_after_completion() {
+    let pool = pool(4);
+    let ran = AtomicUsize::new(0);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        pool.install(|| {
+            scope(|s| {
+                for i in 0..16 {
+                    s.spawn(move |_| {
+                        if i == 5 {
+                            panic!("task panic");
+                        }
+                    });
+                }
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+    }));
+    assert!(result.is_err());
+    assert_eq!(ran.load(Ordering::Relaxed), 1);
+    // Still usable afterwards.
+    assert_eq!(pool.install(|| scope(|_| 3)), 3);
+}
+
+/// A parallel loop nested inside another parallel loop's chunk runs
+/// inline (one region at a time per pool) and still produces every
+/// item exactly once.
+#[test]
+fn nested_for_each_runs_inline_and_completely() {
+    let pool = pool(4);
+    let mut outer = vec![0u64; 64];
+    pool.install(|| {
+        outer.par_iter_mut().enumerate().for_each(|(i, slot)| {
+            let mut inner = [0u64; 16];
+            inner.par_iter_mut().enumerate().for_each(|(j, cell)| {
+                *cell = (i * 16 + j) as u64;
+            });
+            *slot = inner.iter().sum();
+        });
+    });
+    for (i, &got) in outer.iter().enumerate() {
+        let want: u64 = (0..16).map(|j| (i * 16 + j) as u64).sum();
+        assert_eq!(got, want, "outer index {i}");
+    }
+}
+
+/// One-thread pools execute everything on the caller, in index order.
+#[test]
+fn single_thread_pool_is_inline_and_ordered() {
+    let pool = pool(1);
+    let mut seen = Vec::new();
+    let mut rows = [0u8; 100];
+    pool.install(|| {
+        let order = std::sync::Mutex::new(&mut seen);
+        rows.par_iter_mut().enumerate().for_each(|(i, _)| {
+            order.lock().unwrap().push(i);
+        });
+    });
+    assert_eq!(seen, (0..100).collect::<Vec<_>>());
+}
+
+/// `install` nests and restores: the ambient pool inside/outside an
+/// installed closure is the right one even across panics.
+#[test]
+fn install_restores_previous_pool() {
+    let two = pool(2);
+    let three = pool(3);
+    two.install(|| {
+        assert_eq!(rayon::current_num_threads(), 2);
+        three.install(|| assert_eq!(rayon::current_num_threads(), 3));
+        assert_eq!(rayon::current_num_threads(), 2);
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            three.install(|| -> () { panic!("inside install") })
+        }));
+        assert_eq!(rayon::current_num_threads(), 2, "restored after panic");
+    });
+}
