@@ -5,9 +5,10 @@
 //! For every [`lpt_workloads::scenarios::TOPOLOGIES`] preset the sweep
 //! measures rounds-to-first-solution (the paper's Section 5 metric) on
 //! the same MED instances, reporting each overlay's round inflation
-//! relative to `Complete`. Two environments per cell: the perfect
-//! network and the `wan` scenario, so the sweep also shows how overlay
-//! sparsity and message loss compound.
+//! relative to `Complete`. Four environments per cell: the perfect
+//! network, the `wan` scenario, and two adversarial presets (`partition`
+//! and `byzantine`), so the sweep also shows how overlay sparsity
+//! compounds with i.i.d. loss and with structured failures.
 //!
 //! Environment knobs: `LPT_MAX_I` (network size `n = 2^LPT_MAX_I`
 //! capped at 2^12 here; default 10) and `LPT_RUNS` (seeds per cell,
@@ -96,7 +97,15 @@ fn main() {
         ("low-load", Algorithm::low_load()),
         ("high-load", Algorithm::high_load()),
     ];
-    let scenarios = [Scenario::Perfect, Scenario::Wan];
+    // Perfect and WAN baselines plus two adversarial presets: the
+    // healing partition (structured loss that ends) and the Byzantine
+    // minority (structured corruption that doesn't).
+    let scenarios = [
+        Scenario::Perfect,
+        Scenario::Wan,
+        Scenario::PartitionScenario,
+        Scenario::ByzantineScenario,
+    ];
 
     println!(
         "{:<10} {:<10} {:<10} {:>12} {:>8} {:>9} {:>6} {:>14}",

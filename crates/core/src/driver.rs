@@ -54,6 +54,7 @@ use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::fmt;
 use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 // ---------------------------------------------------------------------------
@@ -144,6 +145,12 @@ pub enum DriverError {
     },
     /// A sequential solver inside the run failed.
     Solver(String),
+    /// The run was cancelled cooperatively via [`Driver::cancel_flag`]
+    /// (checked between rounds, so cancellation is prompt but never
+    /// tears a round in half). The partial state is discarded — a
+    /// cancelled run produces no report, which is what keeps every
+    /// *emitted* report a pure function of its spec.
+    Cancelled,
 }
 
 impl fmt::Display for DriverError {
@@ -200,6 +207,7 @@ impl fmt::Display for DriverError {
                 )
             }
             DriverError::Solver(msg) => write!(f, "sequential solver failed: {msg}"),
+            DriverError::Cancelled => write!(f, "run cancelled before completion"),
         }
     }
 }
@@ -207,7 +215,7 @@ impl fmt::Display for DriverError {
 impl std::error::Error for DriverError {}
 
 /// Stable wire identity (`specs/structured-errors` style): codes `101`
-/// – `110`, kinds matching the variant names in kebab case. Codes are
+/// – `111`, kinds matching the variant names in kebab case. Codes are
 /// part of the wire contract of `lpt-server` and are never renumbered;
 /// new variants take fresh codes.
 impl gossip_sim::export::ErrorCode for DriverError {
@@ -223,6 +231,7 @@ impl gossip_sim::export::ErrorCode for DriverError {
             DriverError::DoublingNeedsTermination => 108,
             DriverError::NoGroundElements { .. } => 109,
             DriverError::Solver(_) => 110,
+            DriverError::Cancelled => 111,
         }
     }
 
@@ -238,6 +247,7 @@ impl gossip_sim::export::ErrorCode for DriverError {
             DriverError::DoublingNeedsTermination => "doubling-needs-termination",
             DriverError::NoGroundElements { .. } => "no-ground-elements",
             DriverError::Solver(_) => "solver",
+            DriverError::Cancelled => "cancelled",
         }
     }
 }
@@ -636,6 +646,9 @@ pub struct RunSpec<'a, T> {
     pub schedule: RngSchedule,
     /// The communication topology destinations are drawn from.
     pub topology: &'a Arc<dyn Topology>,
+    /// Cooperative cancellation flag, checked between simulated rounds
+    /// (`None` = not cancellable). See [`Driver::cancel_flag`].
+    pub cancel: Option<&'a AtomicBool>,
 }
 
 /// A problem family the unified [`Driver`] can run.
@@ -708,6 +721,7 @@ pub struct Driver<P: DriverProblem<M>, M = LpMode> {
     fault: Arc<dyn FaultModel>,
     schedule: RngSchedule,
     topology: Arc<dyn Topology>,
+    cancel: Option<Arc<AtomicBool>>,
     _mode: PhantomData<fn() -> M>,
 }
 
@@ -726,6 +740,7 @@ impl<M, P: DriverProblem<M> + Clone> Clone for Driver<P, M> {
             fault: self.fault.clone(),
             schedule: self.schedule,
             topology: self.topology.clone(),
+            cancel: self.cancel.clone(),
             _mode: PhantomData,
         }
     }
@@ -770,6 +785,7 @@ impl<M, P: DriverProblem<M>> Driver<P, M> {
             fault: Arc::new(Perfect),
             schedule: RngSchedule::default(),
             topology: Arc::new(Complete),
+            cancel: None,
             _mode: PhantomData,
         }
     }
@@ -890,6 +906,21 @@ impl<M, P: DriverProblem<M>> Driver<P, M> {
         self
     }
 
+    /// Installs a cooperative cancellation flag: the run loop checks it
+    /// between simulated rounds and, once it reads `true`, abandons the
+    /// run with [`DriverError::Cancelled`] instead of producing a
+    /// report. The flag is typically set from another thread (a request
+    /// deadline, a shutdown path); a run whose flag is never set is
+    /// byte-identical to one configured without a flag, so installing
+    /// one costs nothing deterministically. The analytic
+    /// [`Algorithm::Hypercube`] baseline checks the flag only once,
+    /// before solving.
+    #[must_use = "builder methods return the updated driver"]
+    pub fn cancel_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
     /// The problem this driver runs.
     pub fn problem(&self) -> &P {
         &self.problem
@@ -922,6 +953,7 @@ impl<M, P: DriverProblem<M>> Driver<P, M> {
             fault: &self.fault,
             schedule: self.schedule,
             topology: &self.topology,
+            cancel: self.cancel.as_deref(),
         };
         self.problem.execute(&spec, elements)
     }
@@ -957,14 +989,28 @@ fn net_config<T>(spec: &RunSpec<'_, T>) -> NetworkConfig {
     cfg
 }
 
-/// Steps `net` under `stop`, returning the outcome and its cause.
+/// Steps `net` under `stop`, returning the outcome and its cause, or
+/// [`DriverError::Cancelled`] if `cancel` was raised mid-run.
+///
+/// Cancellation is cooperative: the flag is checked between rounds
+/// (folded into the engine's stop predicate), so a raised flag ends the
+/// run at the next round boundary. An installed-but-never-raised flag
+/// cannot perturb the trajectory — the engine's RNG streams are derived
+/// from (seed, round, node, phase) alone and the predicate only reads
+/// network state — so the `None` and unraised-`Some` paths are
+/// byte-identical.
 fn drive<Pr: Protocol, T>(
     net: &mut Network<Pr>,
     stop: &StopCondition<T>,
     max_rounds: u64,
+    cancel: Option<&AtomicBool>,
     target_hit: impl Fn(&Network<Pr>, &T) -> bool,
     candidates: impl Fn(&Network<Pr>) -> usize,
-) -> (RunOutcome, StopCause) {
+) -> Result<(RunOutcome, StopCause), DriverError> {
+    let cancelled = || cancel.is_some_and(|c| c.load(Ordering::Relaxed));
+    if cancelled() {
+        return Err(DriverError::Cancelled);
+    }
     // Pre-reserve the per-round metrics log (the only engine container
     // that grows while running) so driver runs stay allocation-free in
     // steady state; capped so absurd round budgets cannot pre-allocate
@@ -972,54 +1018,86 @@ fn drive<Pr: Protocol, T>(
     net.reserve_rounds(max_rounds.min(4096) as usize);
     match stop {
         StopCondition::FullTermination => {
-            let outcome = net.run(max_rounds);
-            let cause = if outcome.all_halted() {
-                StopCause::AllHalted
-            } else {
-                StopCause::MaxRounds
+            let outcome = match cancel {
+                None => net.run(max_rounds),
+                Some(c) => net.run_until(max_rounds, |_| c.load(Ordering::Relaxed)),
             };
-            (outcome, cause)
+            let cause = match outcome {
+                RunOutcome::Predicate { .. } => return Err(DriverError::Cancelled),
+                _ if outcome.all_halted() => StopCause::AllHalted,
+                _ => StopCause::MaxRounds,
+            };
+            Ok((outcome, cause))
         }
         StopCondition::FirstSolution(target) => {
-            let outcome = net.run_until(max_rounds, |net| target_hit(net, target));
+            let outcome = net.run_until(max_rounds, |net| cancelled() || target_hit(net, target));
             let cause = match outcome {
                 RunOutcome::AllHalted { .. } => StopCause::AllHalted,
-                RunOutcome::Predicate { .. } => StopCause::TargetReached,
+                RunOutcome::Predicate { .. } => {
+                    if cancelled() {
+                        return Err(DriverError::Cancelled);
+                    }
+                    StopCause::TargetReached
+                }
                 RunOutcome::MaxRounds { .. } => StopCause::MaxRounds,
             };
-            (outcome, cause)
+            Ok((outcome, cause))
         }
         StopCondition::RoundBudget(budget) => {
             let capped = (*budget).min(max_rounds);
-            let outcome = net.run(capped);
-            let cause = if outcome.all_halted() {
-                StopCause::AllHalted
-            } else if outcome.rounds() >= *budget {
-                StopCause::RoundBudget
-            } else {
+            let outcome = match cancel {
+                None => net.run(capped),
+                Some(c) => net.run_until(capped, |_| c.load(Ordering::Relaxed)),
+            };
+            let cause = match outcome {
+                RunOutcome::Predicate { .. } => return Err(DriverError::Cancelled),
+                _ if outcome.all_halted() => StopCause::AllHalted,
+                _ if outcome.rounds() >= *budget => StopCause::RoundBudget,
                 // The max_rounds safety valve cut the run before the
                 // user's budget was reached.
-                StopCause::MaxRounds
+                _ => StopCause::MaxRounds,
             };
-            (outcome, cause)
+            Ok((outcome, cause))
         }
         StopCondition::Custom(pred) => {
             let outcome = net.run_until(max_rounds, |net| {
-                pred(&Progress {
-                    round: net.round_index(),
-                    n: net.n(),
-                    halted: net.halted_count(),
-                    with_candidate: candidates(net),
-                })
+                cancelled()
+                    || pred(&Progress {
+                        round: net.round_index(),
+                        n: net.n(),
+                        halted: net.halted_count(),
+                        with_candidate: candidates(net),
+                    })
             });
             let cause = match outcome {
                 RunOutcome::AllHalted { .. } => StopCause::AllHalted,
-                RunOutcome::Predicate { .. } => StopCause::CustomStop,
+                RunOutcome::Predicate { .. } => {
+                    if cancelled() {
+                        return Err(DriverError::Cancelled);
+                    }
+                    StopCause::CustomStop
+                }
                 RunOutcome::MaxRounds { .. } => StopCause::MaxRounds,
             };
-            (outcome, cause)
+            Ok((outcome, cause))
         }
     }
+}
+
+/// The run's metrics with
+/// [`rounds_over_budget`](gossip_sim::metrics::Degradation::rounds_over_budget)
+/// stamped:
+/// a run that burned its whole round budget without halting or reaching
+/// its target degrades by every round it consumed; any other stop cause
+/// stamps zero.
+fn stamped_metrics(metrics: &Metrics, outcome: &RunOutcome, cause: StopCause) -> Metrics {
+    let mut metrics = metrics.clone();
+    metrics.degradation.rounds_over_budget = if cause == StopCause::MaxRounds {
+        outcome.rounds()
+    } else {
+        0
+    };
+    metrics
 }
 
 /// Consensus under the problem's value tolerance: the first node's
@@ -1108,6 +1186,7 @@ fn run_low_load_driver<P: LpType + Clone + Sync>(
         &mut net,
         spec.stop,
         spec.max_rounds,
+        spec.cancel,
         |net, target| {
             net.states().iter().any(|s| {
                 s.candidate
@@ -1121,7 +1200,7 @@ fn run_low_load_driver<P: LpType + Clone + Sync>(
                 .filter(|s| s.candidate.is_some())
                 .count()
         },
-    );
+    )?;
     let outputs: Vec<_> = net.states().iter().map(|s| s.output.clone()).collect();
     Ok(RunReport {
         consensus: lp_consensus(problem, &outputs),
@@ -1133,7 +1212,7 @@ fn run_low_load_driver<P: LpType + Clone + Sync>(
         size_bound: None,
         doubling: None,
         faults: FaultSummary::from_metrics(spec.fault.as_ref(), net.metrics()),
-        metrics: net.metrics().clone(),
+        metrics: stamped_metrics(net.metrics(), &outcome, cause),
         schedule: spec.schedule,
         topology: spec.topology.name(),
         exec: ExecInfo::from_threads(net.effective_parallelism()),
@@ -1156,6 +1235,7 @@ fn run_high_load_driver<P: LpType + Clone + Sync>(
         &mut net,
         spec.stop,
         spec.max_rounds,
+        spec.cancel,
         |net, target| {
             net.states().iter().any(|s| {
                 s.local_basis
@@ -1169,7 +1249,7 @@ fn run_high_load_driver<P: LpType + Clone + Sync>(
                 .filter(|s| s.local_basis.is_some())
                 .count()
         },
-    );
+    )?;
     let outputs: Vec<_> = net.states().iter().map(|s| s.output.clone()).collect();
     Ok(RunReport {
         consensus: lp_consensus(problem, &outputs),
@@ -1181,7 +1261,7 @@ fn run_high_load_driver<P: LpType + Clone + Sync>(
         size_bound: None,
         doubling: None,
         faults: FaultSummary::from_metrics(spec.fault.as_ref(), net.metrics()),
-        metrics: net.metrics().clone(),
+        metrics: stamped_metrics(net.metrics(), &outcome, cause),
         schedule: spec.schedule,
         topology: spec.topology.name(),
         exec: ExecInfo::from_threads(net.effective_parallelism()),
@@ -1202,6 +1282,11 @@ fn run_hypercube_driver<P: LpType + Clone + Sync>(
         return Err(DriverError::UnsupportedFaults {
             algorithm: "hypercube",
         });
+    }
+    // Analytic baseline — no rounds to check between, so the cancel
+    // flag is honoured once, up front.
+    if spec.cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+        return Err(DriverError::Cancelled);
     }
     // The baseline charges its per-iteration rounds against a hypercube
     // overlay; only the default complete topology (compatibility — the
@@ -1307,13 +1392,14 @@ fn run_hitting_set_driver(
         &mut net,
         spec.stop,
         max_rounds,
+        spec.cancel,
         |net, target| {
             net.states()
                 .iter()
                 .any(|s| s.best.as_ref().is_some_and(|hs| hs.len() <= *target))
         },
         |net| net.states().iter().filter(|s| s.best.is_some()).count(),
-    );
+    )?;
     let outputs: Vec<_> = net.states().iter().map(|s| s.output.clone()).collect();
     Ok(RunReport {
         consensus: hs_consensus(&outputs),
@@ -1325,7 +1411,7 @@ fn run_hitting_set_driver(
         size_bound: Some(size_bound),
         doubling: None,
         faults: FaultSummary::from_metrics(spec.fault.as_ref(), net.metrics()),
-        metrics: net.metrics().clone(),
+        metrics: stamped_metrics(net.metrics(), &outcome, cause),
         schedule: spec.schedule,
         topology: spec.topology.name(),
         exec: ExecInfo::from_threads(net.effective_parallelism()),
@@ -1867,6 +1953,108 @@ mod tests {
             let basis = report.consensus_output().expect("consensus");
             assert!((basis.value.r2.sqrt() - 10.0).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn pre_raised_cancel_flag_aborts_before_any_round() {
+        let points = duo_disk(128, 6);
+        let flag = Arc::new(AtomicBool::new(true));
+        let err = Driver::new(Med)
+            .nodes(128)
+            .seed(6)
+            .cancel_flag(flag)
+            .run(&points)
+            .expect_err("pre-raised flag must cancel");
+        assert_eq!(err, DriverError::Cancelled);
+        // The analytic hypercube baseline honours the flag too.
+        let err = Driver::new(Med)
+            .nodes(128)
+            .seed(6)
+            .algorithm(Algorithm::Hypercube)
+            .cancel_flag(Arc::new(AtomicBool::new(true)))
+            .run(&points)
+            .expect_err("pre-raised flag must cancel the baseline");
+        assert_eq!(err, DriverError::Cancelled);
+    }
+
+    #[test]
+    fn unraised_cancel_flag_is_byte_identical() {
+        let points = duo_disk(256, 7);
+        let plain = Driver::new(Med)
+            .nodes(256)
+            .seed(7)
+            .run(&points)
+            .expect("run");
+        let flagged = Driver::new(Med)
+            .nodes(256)
+            .seed(7)
+            .cancel_flag(Arc::new(AtomicBool::new(false)))
+            .run(&points)
+            .expect("run");
+        assert_eq!(plain.rounds, flagged.rounds);
+        assert_eq!(plain.stop_cause, flagged.stop_cause);
+        assert_eq!(plain.metrics.rounds, flagged.metrics.rounds);
+        assert_eq!(plain.metrics.degradation, flagged.metrics.degradation);
+        assert_eq!(
+            plain.consensus_output().expect("consensus").value,
+            flagged.consensus_output().expect("consensus").value
+        );
+    }
+
+    #[test]
+    fn cancel_flag_raised_mid_run_cancels_at_a_round_boundary() {
+        let points = duo_disk(256, 8);
+        let flag = Arc::new(AtomicBool::new(false));
+        // A Custom stop predicate doubles as a deterministic mid-run
+        // trigger: it raises the flag at round 2 (and never stops the
+        // run itself), so the next boundary check must cancel.
+        let trigger = flag.clone();
+        let err = Driver::new(Med)
+            .nodes(256)
+            .seed(8)
+            .stop(StopCondition::Custom(Arc::new(move |p: &Progress| {
+                if p.round >= 2 {
+                    trigger.store(true, std::sync::atomic::Ordering::Relaxed);
+                }
+                false
+            })))
+            .cancel_flag(flag)
+            .run(&points)
+            .expect_err("raised flag must cancel mid-run");
+        assert_eq!(err, DriverError::Cancelled);
+    }
+
+    #[test]
+    fn budget_exhausted_runs_stamp_rounds_over_budget() {
+        let points = duo_disk(256, 9);
+        let starved = Driver::new(Med)
+            .nodes(256)
+            .seed(9)
+            .max_rounds(3)
+            .run(&points)
+            .expect("run");
+        assert_eq!(starved.stop_cause, StopCause::MaxRounds);
+        assert_eq!(starved.metrics.degradation.rounds_over_budget, 3);
+        assert!(starved.metrics.degradation.any());
+
+        let finished = Driver::new(Med)
+            .nodes(256)
+            .seed(9)
+            .run(&points)
+            .expect("run");
+        assert_eq!(finished.stop_cause, StopCause::AllHalted);
+        assert_eq!(finished.metrics.degradation.rounds_over_budget, 0);
+        assert!(!finished.metrics.degradation.any());
+
+        // An explicit round budget is a *chosen* stop, not degradation.
+        let budgeted = Driver::new(Med)
+            .nodes(256)
+            .seed(9)
+            .stop(StopCondition::RoundBudget(3))
+            .run(&points)
+            .expect("run");
+        assert_eq!(budgeted.stop_cause, StopCause::RoundBudget);
+        assert_eq!(budgeted.metrics.degradation.rounds_over_budget, 0);
     }
 
     #[test]

@@ -101,8 +101,10 @@ pub use driver::{
     Progress, RunReport, RunSpec, SetMode, StopCause, StopCondition,
 };
 pub use gossip_sim::fault::{
-    Bernoulli, Churn, Compose, Delay, FaultModel, IntoFaultModel, Perfect,
+    Asymmetric, Bernoulli, Byzantine, Churn, Compose, Delay, FaultModel, IntoFaultModel, Partition,
+    Perfect, Regional,
 };
+pub use gossip_sim::metrics::Degradation;
 pub use gossip_sim::topology;
 pub use gossip_sim::topology::{IntoTopology, Topology};
 pub use gossip_sim::RngSchedule;

@@ -26,7 +26,7 @@
 //! change (readers ignore unknown fields), reordering or renaming one
 //! is not.
 
-use crate::metrics::RoundMetrics;
+use crate::metrics::{Degradation, RoundMetrics};
 use std::fmt;
 use std::io::{self, Write};
 
@@ -584,6 +584,14 @@ pub struct RunSummary {
     /// Problem-rendered consensus output, when the run reached one
     /// (e.g. `med:r2=100.0` or `hs:3:[1,5,9]`).
     pub consensus: Option<String>,
+    /// Graceful-degradation accounting under adversarial fault models.
+    ///
+    /// **Wire compatibility:** each field is rendered *only when it is
+    /// non-zero* (and parsed leniently, defaulting to zero), so a
+    /// summary with no degradation — every fault-free and i.i.d.-faulty
+    /// run — is byte-identical to pre-degradation builds and historical
+    /// cached replies stay exact.
+    pub degradation: Degradation,
 }
 
 impl RunSummary {
@@ -599,6 +607,7 @@ impl RunSummary {
             dropped: metrics.total_dropped(),
             delayed: metrics.total_delayed(),
             offline_node_rounds: metrics.offline_node_rounds(),
+            degradation: metrics.degradation,
             ..RunSummary::default()
         }
     }
@@ -713,20 +722,42 @@ impl Frame {
                 .u64("dropped", r.dropped)
                 .u64("delayed", r.delayed)
                 .finish(),
-            Frame::Summary(s) => ObjBuilder::new()
-                .str("frame", "summary")
-                .u64("rounds", s.rounds)
-                .bool("all_halted", s.all_halted)
-                .str("stop_cause", &s.stop_cause)
-                .u64("total_pulls", s.total_pulls)
-                .u64("total_pushes", s.total_pushes)
-                .u64("total_msg_words", s.total_msg_words)
-                .u64("dropped", s.dropped)
-                .u64("delayed", s.delayed)
-                .u64("offline_node_rounds", s.offline_node_rounds)
-                .opt_u64("first_candidate_round", s.first_candidate_round)
-                .opt_str("consensus", s.consensus.as_deref())
-                .finish(),
+            Frame::Summary(s) => {
+                let mut b = ObjBuilder::new()
+                    .str("frame", "summary")
+                    .u64("rounds", s.rounds)
+                    .bool("all_halted", s.all_halted)
+                    .str("stop_cause", &s.stop_cause)
+                    .u64("total_pulls", s.total_pulls)
+                    .u64("total_pushes", s.total_pushes)
+                    .u64("total_msg_words", s.total_msg_words)
+                    .u64("dropped", s.dropped)
+                    .u64("delayed", s.delayed)
+                    .u64("offline_node_rounds", s.offline_node_rounds)
+                    .opt_u64("first_candidate_round", s.first_candidate_round)
+                    .opt_str("consensus", s.consensus.as_deref());
+                // Degradation fields render only when non-zero so every
+                // non-degraded summary stays byte-identical to
+                // pre-degradation builds (the server's exact report
+                // cache and BENCH_server.json both pin reply bytes).
+                let d = &s.degradation;
+                if d.rounds_over_budget != 0 {
+                    b = b.u64("rounds_over_budget", d.rounds_over_budget);
+                }
+                if d.partitioned_rounds != 0 {
+                    b = b.u64("partitioned_rounds", d.partitioned_rounds);
+                }
+                if d.unhealed_partition {
+                    b = b.bool("unhealed_partition", true);
+                }
+                if d.byzantine_exposures != 0 {
+                    b = b.u64("byzantine_exposures", d.byzantine_exposures);
+                }
+                if d.link_cuts != 0 {
+                    b = b.u64("link_cuts", d.link_cuts);
+                }
+                b.finish()
+            }
             Frame::Error(e) => ObjBuilder::new()
                 .str("frame", "error")
                 .u64("code", u64::from(e.code))
@@ -793,6 +824,19 @@ impl Frame {
                         frame: "summary",
                         field: "consensus",
                     })?),
+                },
+                // Lenient: absent fields are zero (pre-degradation
+                // writers and non-degraded summaries omit them).
+                degradation: Degradation {
+                    rounds_over_budget: opt_u64(&v, "summary", "rounds_over_budget")?.unwrap_or(0),
+                    partitioned_rounds: opt_u64(&v, "summary", "partitioned_rounds")?.unwrap_or(0),
+                    unhealed_partition: v
+                        .get("unhealed_partition")
+                        .and_then(Json::as_bool)
+                        .unwrap_or(false),
+                    byzantine_exposures: opt_u64(&v, "summary", "byzantine_exposures")?
+                        .unwrap_or(0),
+                    link_cuts: opt_u64(&v, "summary", "link_cuts")?.unwrap_or(0),
                 },
             })),
             "error" => {
@@ -961,6 +1005,7 @@ mod tests {
                 offline_node_rounds: 3,
                 first_candidate_round: Some(5),
                 consensus: Some("med:r2=100.0".to_string()),
+                degradation: Degradation::default(),
             }),
             Frame::Error(WireError {
                 code: 204,
@@ -974,6 +1019,52 @@ mod tests {
         }
         let doc: String = frames.iter().map(|f| f.to_line() + "\n").collect();
         assert_eq!(parse_frames(&doc).unwrap(), frames);
+    }
+
+    #[test]
+    fn degraded_summaries_roundtrip_and_zero_degradation_is_invisible() {
+        let base = RunSummary {
+            rounds: 9,
+            all_halted: false,
+            stop_cause: "max-rounds".to_string(),
+            total_pulls: 4,
+            total_pushes: 2,
+            total_msg_words: 6,
+            dropped: 1,
+            delayed: 0,
+            offline_node_rounds: 0,
+            first_candidate_round: None,
+            consensus: None,
+            degradation: Degradation::default(),
+        };
+        // Zero degradation must not add any key: the line is what a
+        // pre-degradation build rendered (exact-cache compatibility).
+        let clean = Frame::Summary(base.clone()).to_line();
+        for key in [
+            "rounds_over_budget",
+            "partitioned_rounds",
+            "unhealed_partition",
+            "byzantine_exposures",
+            "link_cuts",
+        ] {
+            assert!(!clean.contains(key), "{key} leaked into {clean}");
+        }
+        assert_eq!(Frame::parse(&clean).unwrap(), Frame::Summary(base.clone()));
+
+        let degraded = RunSummary {
+            degradation: Degradation {
+                rounds_over_budget: 9,
+                partitioned_rounds: 5,
+                unhealed_partition: true,
+                byzantine_exposures: 17,
+                link_cuts: 40,
+            },
+            ..base
+        };
+        let line = Frame::Summary(degraded.clone()).to_line();
+        assert!(line.contains("\"partitioned_rounds\":5"), "{line}");
+        assert!(line.contains("\"unhealed_partition\":true"), "{line}");
+        assert_eq!(Frame::parse(&line).unwrap(), Frame::Summary(degraded));
     }
 
     #[test]

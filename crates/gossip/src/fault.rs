@@ -47,7 +47,20 @@
 //! | [`Bernoulli`] | i.i.d. message loss with a fixed probability |
 //! | [`Churn`] | crash / crash-recovery node downtime |
 //! | [`Delay`] | bounded uniformly random extra delivery latency |
+//! | [`Partition`] | a seeded two-sided network cut that heals at a configurable round |
+//! | [`Regional`] | correlated outages of contiguous node blocks |
+//! | [`Asymmetric`] | per-direction link degradation with distinct push / pull loss |
+//! | [`Byzantine`] | a seeded node subset serving corrupted responses |
 //! | [`Compose`] | the union of any set of the above |
+//!
+//! The first four relax the network i.i.d.-style (each message or node
+//! fails independently); the adversarial quartet injects *structured*
+//! failures — cuts, correlated regions, directional links, corrupted
+//! servers — via the link-aware hooks ([`FaultModel::cuts_pull`],
+//! [`FaultModel::cuts_push`], [`FaultModel::corrupts_response`]). All
+//! of them remain pure functions of `(seed, round, node)` coordinates,
+//! so every determinism property (seq/par byte-identity, schedule
+//! invariance, replay) carries over unchanged.
 
 use crate::rng::derive_rng;
 use crate::NodeId;
@@ -77,6 +90,21 @@ pub mod fault_tag {
     pub const PUSH_DROP: u64 = 4;
     /// Per-message push delay decision.
     pub const PUSH_DELAY: u64 = 5;
+    /// Per-node partition-side decision (round-independent).
+    pub const PARTITION_SIDE: u64 = 6;
+    /// Per-(round, region) regional-outage decision.
+    pub const REGIONAL_OUTAGE: u64 = 7;
+    /// Per-directed-link "is this link degraded" decision
+    /// (round-independent; the remote endpoint rides the `k` lane).
+    pub const ASYM_LINK: u64 = 8;
+    /// Per-message loss decision on a degraded link, push direction.
+    pub const ASYM_PUSH: u64 = 9;
+    /// Per-message loss decision on a degraded link, pull direction.
+    pub const ASYM_PULL: u64 = 10;
+    /// Per-node Byzantine-membership decision (round-independent).
+    pub const BYZANTINE_MEMBER: u64 = 11;
+    /// Per-response Byzantine corruption decision.
+    pub const BYZANTINE_CORRUPT: u64 = 12;
 }
 
 /// Derives the dedicated ChaCha8 stream for one fault decision.
@@ -94,6 +122,19 @@ pub fn fault_rng(seed: u64, round: u64, node: NodeId, tag: u64, k: u64) -> ChaCh
         u64::from(node),
         tag | (k << 8),
     )
+}
+
+/// Folds the remote endpoint of a directed link into the `k` lane of
+/// [`fault_rng`], giving link-level decisions a dedicated stream per
+/// `(node, remote, message)` triple without widening the stream
+/// coordinates. `k` must stay below 2^24 — per-round message indexes
+/// are orders of magnitude smaller.
+pub fn link_k(remote: NodeId, k: u64) -> u64 {
+    debug_assert!(
+        k < 1 << 24,
+        "per-round message index exceeds link_k capacity"
+    );
+    (u64::from(remote) << 24) | k
 }
 
 /// A pluggable fault model: deterministic, seed-derived per-round
@@ -151,6 +192,67 @@ pub trait FaultModel: Send + Sync + fmt::Debug {
     /// pending-message queue).
     fn max_delay(&self) -> u64 {
         0
+    }
+
+    /// Whether the directed link `puller → target` severs `puller`'s
+    /// `k`-th pull *request* of `round`: the request never reaches
+    /// `target`, the pull fails, and the target does no serving work
+    /// (unlike [`FaultModel::drops_response`], which loses an already
+    /// served response). Consulted by the engine after the pull target
+    /// is resolved, so topology-aware models see real endpoints.
+    fn cuts_pull(
+        &self,
+        _seed: u64,
+        _round: u64,
+        _puller: NodeId,
+        _target: NodeId,
+        _k: u64,
+    ) -> bool {
+        false
+    }
+
+    /// Whether the directed link `sender → dest` severs the `k`-th push
+    /// emitted by `sender` in `round`. Consulted after the push
+    /// destination is resolved; a cut push is accounted as dropped.
+    fn cuts_push(&self, _seed: u64, _round: u64, _sender: NodeId, _dest: NodeId, _k: u64) -> bool {
+        false
+    }
+
+    /// Whether `server`'s response to `puller`'s `k`-th pull of `round`
+    /// is *corrupted* (Byzantine). Messages are modeled as
+    /// authenticated, so the puller detects and discards a corrupted
+    /// response — the pull fails — but the exposure is recorded in the
+    /// run's [`degradation` block](crate::metrics::Degradation). The
+    /// server still pays the serving work (the corruption is in the
+    /// answer, not the channel).
+    fn corrupts_response(
+        &self,
+        _seed: u64,
+        _round: u64,
+        _server: NodeId,
+        _puller: NodeId,
+        _k: u64,
+    ) -> bool {
+        false
+    }
+
+    /// Whether this model holds an active partition (some pair of nodes
+    /// cannot reach each other at all) during `round`. Purely
+    /// observational: the engine tallies partitioned rounds and flags
+    /// runs that end still partitioned (see
+    /// [`Degradation`](crate::metrics::Degradation)).
+    fn partition_active(&self, _seed: u64, _round: u64) -> bool {
+        false
+    }
+
+    /// Whether `node` is *permanently* crashed as of `round` (fail-stop:
+    /// offline in `round` and every later round). Distinct from
+    /// [`FaultModel::offline`], which may be transient — the engine uses
+    /// this to drop in-flight delayed messages whose sender crashed
+    /// before delivery, while messages from transiently offline senders
+    /// still arrive.
+    fn crashed(&self, _seed: u64, _round: u64, _node: NodeId) -> bool {
+        false
     }
 }
 
@@ -341,6 +443,11 @@ impl FaultModel for Churn {
             fault_rng(seed, round, node, fault_tag::OFFLINE, 0).gen::<f64>() < self.downtime
         }
     }
+    fn crashed(&self, seed: u64, round: u64, node: NodeId) -> bool {
+        // Only fail-stop downtime is permanent; crash-recovery nodes
+        // come back, so their in-flight messages must still arrive.
+        self.permanent && self.offline(seed, round, node)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -407,6 +514,290 @@ impl FaultModel for Delay {
 }
 
 // ---------------------------------------------------------------------------
+// Partition
+// ---------------------------------------------------------------------------
+
+/// A seeded two-sided network partition that heals at a configurable
+/// round: every node is assigned a side by a round-independent stream
+/// ([`fault_tag::PARTITION_SIDE`]), and while the partition is active
+/// (`round < heal_round`) every message crossing sides — pull requests
+/// and pushes alike — is severed. From `heal_round` on, the network is
+/// whole again.
+///
+/// The cut is over node identities, so on any topology it severs
+/// exactly the cross-side edges of the adjacency arena (a seeded edge
+/// cut); on the complete graph it behaves as a classic two-component
+/// split. Nodes stay *up* throughout — a partition isolates, it does
+/// not crash — so protocol state survives the healing round, which is
+/// what makes the post-heal convergence measurable.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Partition {
+    /// Expected fraction of nodes on the minority side, in `[0, 1]`.
+    pub fraction: f64,
+    /// First round with cross-side connectivity restored
+    /// (`u64::MAX` = the partition never heals).
+    pub heal_round: u64,
+}
+
+impl Partition {
+    /// A partition isolating an expected `fraction` of the nodes until
+    /// `heal_round`.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ fraction ≤ 1`.
+    pub fn healing(fraction: f64, heal_round: u64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "fraction in [0, 1]");
+        Partition {
+            fraction,
+            heal_round,
+        }
+    }
+
+    /// A partition that never heals.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ fraction ≤ 1`.
+    pub fn permanent(fraction: f64) -> Self {
+        Self::healing(fraction, u64::MAX)
+    }
+
+    /// Whether `node` is on the minority side of the cut
+    /// (round-independent, seeded).
+    pub fn minority_side(&self, seed: u64, node: NodeId) -> bool {
+        self.fraction >= 1.0
+            || fault_rng(seed, 0, node, fault_tag::PARTITION_SIDE, 0).gen::<f64>() < self.fraction
+    }
+
+    fn cuts(&self, seed: u64, round: u64, from: NodeId, to: NodeId) -> bool {
+        !self.is_perfect()
+            && round < self.heal_round
+            && self.minority_side(seed, from) != self.minority_side(seed, to)
+    }
+}
+
+impl FaultModel for Partition {
+    fn name(&self) -> &'static str {
+        "partition"
+    }
+    fn is_perfect(&self) -> bool {
+        // Everyone on one side (either side) means no edge crosses the
+        // cut; heal round 0 means the partition never existed.
+        self.fraction <= 0.0 || self.fraction >= 1.0 || self.heal_round == 0
+    }
+    fn cuts_pull(&self, seed: u64, round: u64, puller: NodeId, target: NodeId, _k: u64) -> bool {
+        self.cuts(seed, round, puller, target)
+    }
+    fn cuts_push(&self, seed: u64, round: u64, sender: NodeId, dest: NodeId, _k: u64) -> bool {
+        self.cuts(seed, round, sender, dest)
+    }
+    fn partition_active(&self, _seed: u64, round: u64) -> bool {
+        !self.is_perfect() && round < self.heal_round
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regional
+// ---------------------------------------------------------------------------
+
+/// Correlated regional failures: the node-id space is split into
+/// contiguous blocks of `block` nodes (matching the CSR arena's and the
+/// torus's row-major coordinate layout, so a block is a topological
+/// neighborhood on the structured overlays), and each round every block
+/// independently suffers a whole-region outage with probability `rate`
+/// — all of its nodes go offline together for that round.
+///
+/// Unlike [`Churn`], whose per-node coin flips average out, a regional
+/// outage removes an entire contiguous slice of the overlay at once —
+/// the failure shape that actually stresses sparse topologies, where a
+/// downed block can transiently disconnect its neighbors. Compose with
+/// [`Churn`] for mixed background churn plus correlated bursts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Regional {
+    /// Nodes per contiguous region; the last region may be smaller.
+    pub block: u32,
+    /// Per-round whole-region outage probability, in `[0, 1]`.
+    pub rate: f64,
+}
+
+impl Regional {
+    /// Regions of `block` contiguous nodes, each down each round with
+    /// probability `rate`.
+    ///
+    /// # Panics
+    /// Panics when `block == 0` or `rate` is outside `[0, 1]`.
+    pub fn new(block: u32, rate: f64) -> Self {
+        assert!(block > 0, "block must be positive");
+        assert!((0.0..=1.0).contains(&rate), "rate in [0, 1]");
+        Regional { block, rate }
+    }
+
+    /// Whether `node`'s region is down in `round`.
+    fn region_down(&self, seed: u64, round: u64, node: NodeId) -> bool {
+        let region = node / self.block;
+        fault_rng(seed, round, region, fault_tag::REGIONAL_OUTAGE, 0).gen::<f64>() < self.rate
+    }
+}
+
+impl FaultModel for Regional {
+    fn name(&self) -> &'static str {
+        "regional"
+    }
+    fn is_perfect(&self) -> bool {
+        self.rate <= 0.0
+    }
+    fn offline(&self, seed: u64, round: u64, node: NodeId) -> bool {
+        self.rate > 0.0 && self.region_down(seed, round, node)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Asymmetric
+// ---------------------------------------------------------------------------
+
+/// Per-direction link degradation: a seeded `fraction` of the
+/// *directed* links is degraded (the `A → B` direction can be bad while
+/// `B → A` is clean — [`fault_tag::ASYM_LINK`] keys the decision on the
+/// ordered endpoint pair), and messages crossing a degraded link are
+/// lost at direction-specific rates — `push_loss` for pushes from the
+/// link's source, `pull_loss` for pull requests from the link's source.
+///
+/// This models real asymmetric routes (congested uplinks, one-way
+/// packet loss): under it a node can keep learning via pulls while its
+/// own pushes silently vanish, the failure shape that stalls push-based
+/// dissemination without tripping per-node health checks.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Asymmetric {
+    /// Fraction of directed links that are degraded, in `[0, 1]`.
+    pub fraction: f64,
+    /// Per-message loss probability for pushes on a degraded link.
+    pub push_loss: f64,
+    /// Per-message loss probability for pull requests on a degraded link.
+    pub pull_loss: f64,
+}
+
+impl Asymmetric {
+    /// Degrades a seeded `fraction` of the directed links with the
+    /// given per-direction loss rates.
+    ///
+    /// # Panics
+    /// Panics unless all three probabilities are in `[0, 1]`.
+    pub fn new(fraction: f64, push_loss: f64, pull_loss: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "fraction in [0, 1]");
+        assert!((0.0..=1.0).contains(&push_loss), "push_loss in [0, 1]");
+        assert!((0.0..=1.0).contains(&pull_loss), "pull_loss in [0, 1]");
+        Asymmetric {
+            fraction,
+            push_loss,
+            pull_loss,
+        }
+    }
+
+    /// Whether the directed link `from → to` is degraded
+    /// (round-independent, seeded per ordered pair).
+    pub fn degraded(&self, seed: u64, from: NodeId, to: NodeId) -> bool {
+        self.fraction >= 1.0
+            || fault_rng(seed, 0, from, fault_tag::ASYM_LINK, u64::from(to)).gen::<f64>()
+                < self.fraction
+    }
+}
+
+impl FaultModel for Asymmetric {
+    fn name(&self) -> &'static str {
+        "asymmetric"
+    }
+    fn is_perfect(&self) -> bool {
+        self.fraction <= 0.0 || (self.push_loss <= 0.0 && self.pull_loss <= 0.0)
+    }
+    fn cuts_pull(&self, seed: u64, round: u64, puller: NodeId, target: NodeId, k: u64) -> bool {
+        self.pull_loss > 0.0
+            && self.degraded(seed, puller, target)
+            && fault_rng(seed, round, puller, fault_tag::ASYM_PULL, link_k(target, k)).gen::<f64>()
+                < self.pull_loss
+    }
+    fn cuts_push(&self, seed: u64, round: u64, sender: NodeId, dest: NodeId, k: u64) -> bool {
+        self.push_loss > 0.0
+            && self.degraded(seed, sender, dest)
+            && fault_rng(seed, round, sender, fault_tag::ASYM_PUSH, link_k(dest, k)).gen::<f64>()
+                < self.push_loss
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Byzantine
+// ---------------------------------------------------------------------------
+
+/// A seeded Byzantine node subset: an expected `fraction` of the nodes
+/// is Byzantine (round-independent membership via
+/// [`fault_tag::BYZANTINE_MEMBER`]), and each response a Byzantine node
+/// serves — including the audit / termination responses the Low-Load
+/// protocol's stopping rule relies on — is corrupted with probability
+/// `corrupt` from a dedicated per-response stream
+/// ([`fault_tag::BYZANTINE_CORRUPT`]).
+///
+/// Messages are modeled as authenticated: a corrupted response is
+/// *detected and discarded* by the puller (the pull fails), so
+/// Byzantine nodes cannot forge protocol state — they can only slow
+/// convergence and starve audits. Every corruption is still counted as
+/// a [`Degradation::byzantine_exposures`](crate::metrics::Degradation)
+/// event, making the protocol's exposure to corrupted servers a
+/// first-class run metric.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Byzantine {
+    /// Expected fraction of Byzantine nodes, in `[0, 1]`.
+    pub fraction: f64,
+    /// Per-response corruption probability of a Byzantine server.
+    pub corrupt: f64,
+}
+
+impl Byzantine {
+    /// An expected `fraction` of Byzantine nodes, each corrupting each
+    /// served response with probability `corrupt`.
+    ///
+    /// # Panics
+    /// Panics unless both probabilities are in `[0, 1]`.
+    pub fn new(fraction: f64, corrupt: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "fraction in [0, 1]");
+        assert!((0.0..=1.0).contains(&corrupt), "corrupt in [0, 1]");
+        Byzantine { fraction, corrupt }
+    }
+
+    /// Whether `node` is Byzantine (round-independent, seeded).
+    pub fn is_byzantine(&self, seed: u64, node: NodeId) -> bool {
+        self.fraction >= 1.0
+            || fault_rng(seed, 0, node, fault_tag::BYZANTINE_MEMBER, 0).gen::<f64>() < self.fraction
+    }
+}
+
+impl FaultModel for Byzantine {
+    fn name(&self) -> &'static str {
+        "byzantine"
+    }
+    fn is_perfect(&self) -> bool {
+        self.fraction <= 0.0 || self.corrupt <= 0.0
+    }
+    fn corrupts_response(
+        &self,
+        seed: u64,
+        round: u64,
+        server: NodeId,
+        puller: NodeId,
+        k: u64,
+    ) -> bool {
+        self.corrupt > 0.0
+            && self.is_byzantine(seed, server)
+            && fault_rng(
+                seed,
+                round,
+                server,
+                fault_tag::BYZANTINE_CORRUPT,
+                link_k(puller, k),
+            )
+            .gen::<f64>()
+                < self.corrupt
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Compose
 // ---------------------------------------------------------------------------
 
@@ -419,6 +810,22 @@ impl FaultModel for Delay {
 /// master seed salted with its position — so composing two identical
 /// models yields two independent fault sources (e.g. two 50% losses
 /// union to 75%), not one source applied twice.
+///
+/// ## Evaluation order is part of the determinism contract
+///
+/// Constituents are consulted in **push order**: the order they were
+/// passed to [`Compose::new`] plus each subsequent [`Compose::and`]
+/// appended at the end. Because a constituent's streams are salted with
+/// its *position* (index 0 keeps the master seed), the order is load-
+/// bearing — `Compose A·B` and `Compose B·A` make the same *kind* of
+/// decisions but from swapped streams, and therefore produce different
+/// (equally valid) trajectories. Reordering constituents is a
+/// trajectory-breaking change, exactly like changing the master seed;
+/// keep composition order fixed wherever pinned runs must reproduce.
+/// Boolean hooks short-circuit on the first `true`, which is
+/// observable only through side-effect-free purity, so short-circuiting
+/// does not weaken the contract: the *answer* of a union is
+/// order-independent, only the streams are positional.
 #[derive(Clone, Debug, Default)]
 pub struct Compose {
     /// The constituent models, consulted in order.
@@ -480,6 +887,43 @@ impl FaultModel for Compose {
     }
     fn max_delay(&self) -> u64 {
         self.models.iter().map(|m| m.max_delay()).sum()
+    }
+    fn cuts_pull(&self, seed: u64, round: u64, puller: NodeId, target: NodeId, k: u64) -> bool {
+        self.models
+            .iter()
+            .enumerate()
+            .any(|(i, m)| m.cuts_pull(Self::salted(seed, i), round, puller, target, k))
+    }
+    fn cuts_push(&self, seed: u64, round: u64, sender: NodeId, dest: NodeId, k: u64) -> bool {
+        self.models
+            .iter()
+            .enumerate()
+            .any(|(i, m)| m.cuts_push(Self::salted(seed, i), round, sender, dest, k))
+    }
+    fn corrupts_response(
+        &self,
+        seed: u64,
+        round: u64,
+        server: NodeId,
+        puller: NodeId,
+        k: u64,
+    ) -> bool {
+        self.models
+            .iter()
+            .enumerate()
+            .any(|(i, m)| m.corrupts_response(Self::salted(seed, i), round, server, puller, k))
+    }
+    fn partition_active(&self, seed: u64, round: u64) -> bool {
+        self.models
+            .iter()
+            .enumerate()
+            .any(|(i, m)| m.partition_active(Self::salted(seed, i), round))
+    }
+    fn crashed(&self, seed: u64, round: u64, node: NodeId) -> bool {
+        self.models
+            .iter()
+            .enumerate()
+            .any(|(i, m)| m.crashed(Self::salted(seed, i), round, node))
     }
 }
 
@@ -660,6 +1104,227 @@ mod tests {
             assert_eq!(
                 composed.drops_push(7, 1, 2, k),
                 alone.drops_push(7, 1, 2, k)
+            );
+        }
+    }
+
+    #[test]
+    fn compose_order_is_part_of_the_determinism_contract() {
+        // Constituent streams are salted with position, so A·B and B·A
+        // are *different* composed models: same union semantics,
+        // different trajectories. This pin freezes both directions of
+        // that contract — single-model compositions keep the master
+        // seed, and a swap must actually move at least one decision.
+        let a = Bernoulli::new(0.3);
+        let b = Bernoulli::new(0.7);
+        let ab = Compose::default().and(a).and(b);
+        let ba = Compose::default().and(b).and(a);
+        // Position 0 keeps the master seed: the first constituent of
+        // each composition answers exactly like the bare model.
+        for k in 0..64u64 {
+            if a.drops_push(5, 2, 3, k) {
+                assert!(ab.drops_push(5, 2, 3, k), "A at index 0 keeps seed");
+            }
+            if b.drops_push(5, 2, 3, k) {
+                assert!(ba.drops_push(5, 2, 3, k), "B at index 0 keeps seed");
+            }
+        }
+        // Swapping the order re-salts both constituents, so the two
+        // compositions must disagree somewhere (they describe distinct
+        // fault universes even though rates are identical).
+        let differs = (0..256u64).any(|k| ab.drops_push(5, 2, 3, k) != ba.drops_push(5, 2, 3, k));
+        assert!(differs, "swapped composition order must move decisions");
+        // `and` appends: the order of `models` is push order.
+        assert_eq!(ab.models[0].name(), "bernoulli-loss");
+        assert_eq!(ab.models.len(), 2);
+        // Pin a concrete decision vector so any future change to the
+        // salting scheme or evaluation order is caught loudly.
+        let pinned: Vec<bool> = (0..16u64).map(|k| ab.drops_push(5, 2, 3, k)).collect();
+        assert_eq!(
+            pinned,
+            vec![
+                true, true, false, true, true, true, false, false, true, true, true, true, true,
+                true, true, true
+            ]
+        );
+    }
+
+    #[test]
+    fn partition_cuts_cross_side_links_until_heal() {
+        let m = Partition::healing(0.4, 10);
+        assert!(!m.is_perfect());
+        let seed = 33;
+        // Find one node on each side.
+        let minority = (0..512u32).find(|&v| m.minority_side(seed, v)).unwrap();
+        let majority = (0..512u32).find(|&v| !m.minority_side(seed, v)).unwrap();
+        for round in 0..10u64 {
+            assert!(m.cuts_pull(seed, round, minority, majority, 0));
+            assert!(m.cuts_push(seed, round, majority, minority, 0));
+            assert!(!m.cuts_push(seed, round, minority, minority, 0));
+            assert!(m.partition_active(seed, round));
+        }
+        // Healed: nothing is cut any more.
+        for round in 10..20u64 {
+            assert!(!m.cuts_pull(seed, round, minority, majority, 0));
+            assert!(!m.cuts_push(seed, round, majority, minority, 0));
+            assert!(!m.partition_active(seed, round));
+        }
+        // Nodes are up the whole time — a partition isolates, it does
+        // not crash.
+        assert!(!m.offline(seed, 3, minority));
+        // Degenerate cuts are perfect.
+        assert!(Partition::healing(0.0, 50).is_perfect());
+        assert!(Partition::healing(1.0, 50).is_perfect());
+        assert!(Partition::healing(0.3, 0).is_perfect());
+        assert!(!Partition::permanent(0.3).is_perfect());
+        assert!(Partition::permanent(0.3).partition_active(1, u64::MAX - 1));
+    }
+
+    #[test]
+    fn regional_outages_are_block_correlated() {
+        let m = Regional::new(32, 0.3);
+        assert!(!m.is_perfect());
+        assert!(Regional::new(32, 0.0).is_perfect());
+        let seed = 44;
+        for round in 0..200u64 {
+            // Every node of a block shares its block's fate.
+            let b0 = m.offline(seed, round, 0);
+            for node in 1..32u32 {
+                assert_eq!(m.offline(seed, round, node), b0);
+            }
+            let b1 = m.offline(seed, round, 32);
+            for node in 33..64u32 {
+                assert_eq!(m.offline(seed, round, node), b1);
+            }
+        }
+        // Distinct blocks fail independently: over 200 rounds the two
+        // blocks must disagree somewhere.
+        let differs = (0..200u64).any(|r| m.offline(seed, r, 0) != m.offline(seed, r, 32));
+        assert!(differs, "blocks must fail independently");
+        // The outage rate is per-round per-block.
+        let down = (0..10_000u64).filter(|&r| m.offline(seed, r, 0)).count();
+        let rate = down as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "block must be positive")]
+    fn regional_rejects_zero_block() {
+        let _ = Regional::new(0, 0.5);
+    }
+
+    #[test]
+    fn asymmetric_links_are_direction_specific() {
+        let m = Asymmetric::new(0.5, 1.0, 1.0);
+        let seed = 55;
+        // Degradation is per *directed* link: over many pairs, some
+        // must be degraded one way but not the other.
+        let one_way = (0..500u32).any(|v| m.degraded(seed, v, v + 1) != m.degraded(seed, v + 1, v));
+        assert!(one_way, "link degradation must be direction-specific");
+        // With loss 1.0, a degraded link cuts every message; a clean
+        // link cuts none.
+        for v in 0..200u32 {
+            let cut = m.cuts_push(seed, 3, v, v + 1, 0);
+            assert_eq!(cut, m.degraded(seed, v, v + 1));
+        }
+        // Push and pull loss draw from distinct streams.
+        let m = Asymmetric::new(1.0, 0.5, 0.5);
+        let differs =
+            (0..200u64).any(|k| m.cuts_push(seed, 1, 2, 3, k) != m.cuts_pull(seed, 1, 2, 3, k));
+        assert!(differs, "push and pull losses must be independent");
+        // Zero-rate variants are perfect.
+        assert!(Asymmetric::new(0.0, 0.9, 0.9).is_perfect());
+        assert!(Asymmetric::new(0.9, 0.0, 0.0).is_perfect());
+        assert!(!Asymmetric::new(0.9, 0.1, 0.0).is_perfect());
+    }
+
+    #[test]
+    fn byzantine_membership_is_seeded_and_stable() {
+        let m = Byzantine::new(0.25, 1.0);
+        let seed = 66;
+        let members = (0..4_000u32).filter(|&v| m.is_byzantine(seed, v)).count();
+        let frac = members as f64 / 4_000.0;
+        assert!((frac - 0.25).abs() < 0.03, "fraction {frac}");
+        // With corrupt = 1.0, a Byzantine server corrupts every
+        // response; honest servers never do.
+        for v in 0..200u32 {
+            assert_eq!(
+                m.corrupts_response(seed, 5, v, 0, 0),
+                m.is_byzantine(seed, v)
+            );
+        }
+        // Corruption decisions vary per (round, puller, k) for rates
+        // below 1.
+        let m = Byzantine::new(1.0, 0.5);
+        let trials = 10_000u64;
+        let corrupted = (0..trials)
+            .filter(|&k| m.corrupts_response(seed, 0, 7, 3, k))
+            .count();
+        let rate = corrupted as f64 / trials as f64;
+        assert!((rate - 0.5).abs() < 0.02, "rate {rate}");
+        assert!(Byzantine::new(0.0, 1.0).is_perfect());
+        assert!(Byzantine::new(1.0, 0.0).is_perfect());
+    }
+
+    #[test]
+    fn crashed_distinguishes_fail_stop_from_transient_downtime() {
+        let fail_stop = Churn::fail_stop(1.0, 0.2);
+        let recovery = Churn::crash_recovery(1.0, 0.9);
+        let seed = 77;
+        for node in 0..64u32 {
+            for round in 0..100u64 {
+                // Fail-stop: crashed iff offline (the crash is the
+                // permanent state).
+                assert_eq!(
+                    fail_stop.crashed(seed, round, node),
+                    fail_stop.offline(seed, round, node)
+                );
+                // Crash-recovery: never permanently crashed, however
+                // often the node is transiently down.
+                assert!(!recovery.crashed(seed, round, node));
+            }
+        }
+        assert!(!Perfect.crashed(1, 1, 1));
+        // Compose forwards the hook with positional salting.
+        let composed = Compose::default().and(Perfect).and(fail_stop);
+        let salted = Compose::salted(seed, 1);
+        for node in 0..32u32 {
+            assert_eq!(
+                composed.crashed(seed, 50, node),
+                fail_stop.crashed(salted, 50, node)
+            );
+        }
+    }
+
+    #[test]
+    fn adversarial_hooks_are_pure_and_default_free() {
+        // New hooks answer the fault-free default on every pre-existing
+        // model, which is what keeps historical trajectories pinned.
+        let models: Vec<Arc<dyn FaultModel>> = vec![
+            Arc::new(Perfect),
+            Arc::new(Bernoulli::new(0.5)),
+            Arc::new(Churn::crash_recovery(0.5, 0.5)),
+            Arc::new(Delay::uniform(3)),
+        ];
+        for m in &models {
+            for k in 0..32u64 {
+                assert!(!m.cuts_pull(9, 1, 2, 3, k));
+                assert!(!m.cuts_push(9, 1, 2, 3, k));
+                assert!(!m.corrupts_response(9, 1, 2, 3, k));
+            }
+            assert!(!m.partition_active(9, 1));
+        }
+        // And the adversarial models are pure functions of their
+        // arguments (repeated calls agree).
+        let p = Partition::healing(0.3, 20);
+        let a = Asymmetric::new(0.4, 0.6, 0.2);
+        let b = Byzantine::new(0.2, 0.7);
+        for k in 0..64u64 {
+            assert_eq!(p.cuts_push(9, 3, 1, 2, k), p.cuts_push(9, 3, 1, 2, k));
+            assert_eq!(a.cuts_pull(9, 3, 1, 2, k), a.cuts_pull(9, 3, 1, 2, k));
+            assert_eq!(
+                b.corrupts_response(9, 3, 1, 2, k),
+                b.corrupts_response(9, 3, 1, 2, k)
             );
         }
     }

@@ -94,8 +94,11 @@ pub mod scratch;
 pub mod topology;
 
 pub use export::{ErrorCode, Frame, RunHeader, RunSummary, WireError};
-pub use fault::{Bernoulli, Churn, Compose, Delay, FaultModel, IntoFaultModel, Perfect};
-pub use metrics::{Metrics, RoundMetrics};
+pub use fault::{
+    Asymmetric, Bernoulli, Byzantine, Churn, Compose, Delay, FaultModel, IntoFaultModel, Partition,
+    Perfect, Regional,
+};
+pub use metrics::{Degradation, Metrics, RoundMetrics};
 pub use net::{Network, NetworkConfig, RunOutcome};
 pub use protocol::{NodeControl, Protocol, Response, Served};
 pub use rng::{BatchedSampler, BatchedUniform, PhaseRng, RngSchedule};

@@ -28,11 +28,55 @@ pub struct RoundMetrics {
     /// Nodes offline (crashed / churned out) during the round.
     pub offline: u64,
     /// Messages lost to the fault model this round: dropped pull
-    /// responses, dropped pushes, and messages whose destination was
-    /// offline at delivery time.
+    /// responses, dropped pushes, messages whose destination was
+    /// offline at delivery time, link-severed pulls and pushes,
+    /// discarded corrupted responses, and delayed messages whose
+    /// sender permanently crashed before delivery.
     pub dropped: u64,
     /// Pushes whose delivery the fault model deferred to a later round.
     pub delayed: u64,
+}
+
+/// Graceful-degradation accounting for adversarial fault models:
+/// how *structured* failures (partitions, corrupted servers, severed
+/// links) shaped the run, beyond the per-message loss totals already
+/// itemized in [`RoundMetrics`].
+///
+/// All counters are zero under [`Perfect`](crate::fault::Perfect) and
+/// under the i.i.d. models, so a run report gaining this block changes
+/// nothing for historical runs. The engine fills every field except
+/// [`Degradation::rounds_over_budget`], which the driver stamps after
+/// the stop cause is known.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Degradation {
+    /// Rounds a budget-exhausted run consumed without terminating or
+    /// reaching its target (0 for runs that halted or hit their
+    /// target): the run burned its entire round budget and still did
+    /// not get there, the bluntest degradation signal there is.
+    pub rounds_over_budget: u64,
+    /// Rounds during which the fault model reported an active partition
+    /// (see [`FaultModel::partition_active`](crate::fault::FaultModel::partition_active)).
+    pub partitioned_rounds: u64,
+    /// Whether the final simulated round was still partitioned — the
+    /// run ended before the cut healed, so cross-partition state never
+    /// reconverged.
+    pub unhealed_partition: bool,
+    /// Corrupted (Byzantine) responses that pullers received and
+    /// discarded across the run.
+    pub byzantine_exposures: u64,
+    /// Messages lost to severed or degraded links across the run (cut
+    /// pull requests + cut pushes); also included in the per-round
+    /// [`RoundMetrics::dropped`] totals.
+    pub link_cuts: u64,
+}
+
+impl Degradation {
+    /// Whether any degradation signal fired — `false` for every
+    /// fault-free and i.i.d.-faulty run, which is what keeps their wire
+    /// summaries byte-identical to pre-degradation builds.
+    pub fn any(&self) -> bool {
+        *self != Degradation::default()
+    }
 }
 
 /// Cumulative metrics over a run.
@@ -40,6 +84,9 @@ pub struct RoundMetrics {
 pub struct Metrics {
     /// One entry per simulated round.
     pub rounds: Vec<RoundMetrics>,
+    /// Adversarial-degradation accounting (all-zero unless an
+    /// adversarial fault model injected structured failures).
+    pub degradation: Degradation,
 }
 
 impl Metrics {
@@ -156,5 +203,36 @@ mod tests {
         assert_eq!(m.total_dropped(), 7);
         assert_eq!(m.total_delayed(), 3);
         assert_eq!(m.offline_node_rounds(), 3);
+    }
+
+    #[test]
+    fn degradation_any_detects_every_field() {
+        assert!(!Degradation::default().any());
+        let fields = [
+            Degradation {
+                rounds_over_budget: 1,
+                ..Degradation::default()
+            },
+            Degradation {
+                partitioned_rounds: 1,
+                ..Degradation::default()
+            },
+            Degradation {
+                unhealed_partition: true,
+                ..Degradation::default()
+            },
+            Degradation {
+                byzantine_exposures: 1,
+                ..Degradation::default()
+            },
+            Degradation {
+                link_cuts: 1,
+                ..Degradation::default()
+            },
+        ];
+        for d in fields {
+            assert!(d.any(), "{d:?}");
+        }
+        assert!(!Metrics::default().degradation.any());
     }
 }

@@ -138,14 +138,16 @@ pub struct Network<P: Protocol> {
     cfg: NetworkConfig,
     metrics: Metrics,
     /// Messages in flight beyond the normal one-round latency: slot `k`
-    /// holds `(destination, message)` pairs due for delivery `k + 1`
-    /// rounds from now (filled only by fault models with a positive
-    /// [`FaultModel::max_delay`]).
-    pending: VecDeque<Vec<(usize, P::Msg)>>,
+    /// holds `(destination, sender, message)` triples due for delivery
+    /// `k + 1` rounds from now (filled only by fault models with a
+    /// positive [`FaultModel::max_delay`]). The sender rides along so
+    /// delivery can drop messages that outlived a fail-stop sender
+    /// ([`FaultModel::crashed`]).
+    pending: VecDeque<Vec<(usize, NodeId, P::Msg)>>,
     /// Retired delay-queue slots, kept (empty, capacity intact) and
     /// swapped back in when a new slot is needed, so the delay queue
     /// stops allocating once it has seen its deepest delay.
-    pending_pool: Vec<Vec<(usize, P::Msg)>>,
+    pending_pool: Vec<Vec<(usize, NodeId, P::Msg)>>,
     scratch: RoundScratch<P>,
     /// The topology's flat CSR neighbor arena, built once at
     /// construction and only read afterwards (`None` for the
@@ -442,6 +444,15 @@ impl<P: Protocol> Network<P> {
                         rs.push(None);
                         continue;
                     }
+                    // A severed link kills the *request*: the target is
+                    // never reached, so no serving work or words are
+                    // charged (unlike a dropped response below).
+                    if !perfect && fault.cuts_pull(seed, round, i as NodeId, t as NodeId, k as u64)
+                    {
+                        stats.cut += 1;
+                        rs.push(None);
+                        continue;
+                    }
                     let response = protocol
                         .serve(t as NodeId, &states[t], q, &mut serve_rng)
                         .map(|served| Response {
@@ -452,6 +463,23 @@ impl<P: Protocol> Network<P> {
                     if let Some(r) = &response {
                         stats.served += 1;
                         stats.words += protocol.msg_words(&r.msg) as u64;
+                        // A corrupted response arrives but is detected
+                        // and discarded by the puller; the server still
+                        // paid the work and the words.
+                        if !perfect
+                            && fault.corrupts_response(
+                                seed,
+                                round,
+                                t as NodeId,
+                                i as NodeId,
+                                k as u64,
+                            )
+                        {
+                            stats.byzantine += 1;
+                            stats.dropped += 1;
+                            rs.push(None);
+                            continue;
+                        }
                         if !perfect && fault.drops_response(seed, round, i as NodeId, k as u64) {
                             stats.dropped += 1;
                             rs.push(None);
@@ -479,10 +507,14 @@ impl<P: Protocol> Network<P> {
         let mut served: u64 = 0;
         let mut response_words: u64 = 0;
         let mut response_drop_total: u64 = 0;
+        let mut cut_total: u64 = 0;
+        let mut byzantine_total: u64 = 0;
         for st in serve_stats.iter() {
             served += st.served;
             response_words += st.words;
             response_drop_total += st.dropped;
+            cut_total += st.cut;
+            byzantine_total += st.byzantine;
         }
 
         // ---- Phase 3: compute + emit pushes ----------------------------
@@ -558,17 +590,23 @@ impl<P: Protocol> Network<P> {
         // Payloads are moved (drained), never cloned: each push has
         // exactly one destination — the inbox, the delay queue, or the
         // floor.
-        let mut dropped: u64 = response_drop_total;
+        let mut dropped: u64 = response_drop_total + cut_total;
         let mut delayed: u64 = 0;
         let mut pushes_total: u64 = 0;
         let mut push_words: u64 = 0;
         let mut max_work: u64 = 0;
         // Delayed messages due this round arrive first (they are older);
-        // a destination that is offline at delivery time loses them. The
-        // emptied slot retires to the pool with its capacity intact.
+        // a destination that is offline at delivery time loses them, and
+        // a message whose *sender* permanently crashed while it was in
+        // flight is dropped in transit — a fail-stop crash silences the
+        // node's outstanding traffic, it does not grant it a posthumous
+        // voice. (Transiently offline senders' messages still arrive:
+        // [`FaultModel::crashed`] answers `true` only for permanent
+        // crashes.) The emptied slot retires to the pool with its
+        // capacity intact.
         if let Some(mut due) = self.pending.pop_front() {
-            for (dest, msg) in due.drain(..) {
-                if offline.get(dest) {
+            for (dest, sender, msg) in due.drain(..) {
+                if offline.get(dest) || (!perfect && fault.crashed(seed, round, sender)) {
                     dropped += 1;
                 } else {
                     inboxes[dest].push(msg);
@@ -605,6 +643,14 @@ impl<P: Protocol> Network<P> {
                     inboxes[dest].push(msg);
                     continue;
                 }
+                // Link-level severing is decided against the resolved
+                // destination (topology-aware), before the i.i.d. loss
+                // and delay draws.
+                if fault.cuts_push(seed, round, i as NodeId, dest as NodeId, k as u64) {
+                    dropped += 1;
+                    cut_total += 1;
+                    continue;
+                }
                 if fault.drops_push(seed, round, i as NodeId, k as u64) {
                     dropped += 1;
                     continue;
@@ -623,7 +669,7 @@ impl<P: Protocol> Network<P> {
                         self.pending
                             .push_back(self.pending_pool.pop().unwrap_or_default());
                     }
-                    self.pending[slot].push((dest, msg));
+                    self.pending[slot].push((dest, i as NodeId, msg));
                 }
             }
         }
@@ -680,6 +726,24 @@ impl<P: Protocol> Network<P> {
             (total, max)
         };
         let halted_now = self.halted.iter().filter(|&&h| h).count() as u64;
+
+        // ---- Degradation accounting ------------------------------------
+        // Structured-failure tallies for the adversarial models; all of
+        // this stays zero (and costs one branch) under `Perfect` and the
+        // i.i.d. models, whose hooks answer the defaults.
+        if !perfect {
+            let deg = &mut self.metrics.degradation;
+            deg.link_cuts += cut_total;
+            deg.byzantine_exposures += byzantine_total;
+            if fault.partition_active(seed, round) {
+                deg.partitioned_rounds += 1;
+                deg.unhealed_partition = true;
+            } else {
+                // Tracks the *final* round's state: healed runs clear it.
+                deg.unhealed_partition = false;
+            }
+        }
+
         let rm = RoundMetrics {
             round,
             pulls: pull_counts.iter().sum(),
@@ -1131,6 +1195,289 @@ mod tests {
         assert!(m_par.iter().any(|r| r.dropped > 0));
         assert!(m_par.iter().any(|r| r.delayed > 0));
         assert!(m_par.iter().any(|r| r.offline > 0));
+    }
+
+    // ---- adversarial models ---------------------------------------------
+
+    use crate::fault::{Asymmetric, Byzantine, Partition, Regional};
+
+    /// Every node pushes its own id each round; receivers record the
+    /// sender ids, making message provenance observable from outside —
+    /// the probe for the crashed-sender delivery semantics.
+    struct SenderTagged;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct TagState {
+        received: Vec<NodeId>,
+    }
+
+    impl Protocol for SenderTagged {
+        type State = TagState;
+        type Msg = NodeId;
+        type Query = ();
+
+        fn pulls(&self, _: NodeId, _: &TagState, _: &mut PhaseRng, _: &mut Vec<()>) {}
+
+        fn serve(
+            &self,
+            _: NodeId,
+            _: &TagState,
+            _: &(),
+            _: &mut PhaseRng,
+        ) -> Option<Served<NodeId>> {
+            None
+        }
+
+        fn compute(
+            &self,
+            me: NodeId,
+            _: &mut TagState,
+            _: &mut Vec<Option<Response<NodeId>>>,
+            _: &mut PhaseRng,
+            pushes: &mut Vec<NodeId>,
+        ) -> NodeControl {
+            pushes.push(me);
+            NodeControl::Continue
+        }
+
+        fn absorb(
+            &self,
+            _: NodeId,
+            state: &mut TagState,
+            delivered: &mut Vec<NodeId>,
+            _: &mut PhaseRng,
+        ) -> NodeControl {
+            state.received.extend(delivered.iter().copied());
+            NodeControl::Continue
+        }
+    }
+
+    /// One node fail-stops at a fixed round while every push rides the
+    /// delay queue: the minimal reproduction of the fail-stop × delay
+    /// interaction.
+    #[derive(Debug)]
+    struct CrashAtWithDelay {
+        node: NodeId,
+        crash_round: u64,
+        delay: u64,
+    }
+
+    impl FaultModel for CrashAtWithDelay {
+        fn name(&self) -> &'static str {
+            "crash-at-with-delay"
+        }
+        fn offline(&self, _: u64, round: u64, node: NodeId) -> bool {
+            node == self.node && round >= self.crash_round
+        }
+        fn crashed(&self, seed: u64, round: u64, node: NodeId) -> bool {
+            self.offline(seed, round, node)
+        }
+        fn push_delay(&self, _: u64, _: u64, _: NodeId, _: u64) -> u64 {
+            self.delay
+        }
+        fn max_delay(&self) -> u64 {
+            self.delay
+        }
+    }
+
+    /// Regression pin for the fail-stop × delay semantics: a message
+    /// delayed past its sender's crash round is dropped in transit (with
+    /// `dropped` accounting), not delivered posthumously. Before the
+    /// sender rode along in the delay queue, such messages were
+    /// delivered — a crashed node kept speaking for `max_delay` rounds.
+    #[test]
+    fn messages_delayed_past_their_senders_crash_are_dropped() {
+        let n = 8;
+        let crash_round = 2;
+        let mut net = Network::new(
+            SenderTagged,
+            vec![TagState { received: vec![] }; n],
+            NetworkConfig::with_seed(28).fault(CrashAtWithDelay {
+                node: 0,
+                crash_round,
+                delay: 3,
+            }),
+        );
+        for _ in 0..12 {
+            net.round();
+        }
+        // Node 0 emitted in rounds 0 and 1 (delay 3 ⇒ deliveries due in
+        // rounds 3 and 4, both past its crash at round 2): none of its
+        // messages may arrive anywhere.
+        for (i, s) in net.states().iter().enumerate() {
+            assert!(
+                !s.received.contains(&0),
+                "node {i} received a message from the crashed sender"
+            );
+            if i != 0 {
+                assert!(!s.received.is_empty(), "live traffic still flows");
+            }
+        }
+        // Conservation: every emitted push was delivered, is still in
+        // flight, or was dropped with accounting.
+        let sent: u64 = net.metrics().total_pushes();
+        let recv: u64 = net.states().iter().map(|s| s.received.len() as u64).sum();
+        assert_eq!(
+            sent,
+            recv + net.in_flight() as u64 + net.metrics().total_dropped()
+        );
+        // Both of node 0's in-flight messages were dropped (plus any
+        // addressed to it while down).
+        assert!(net.metrics().total_dropped() >= 2);
+    }
+
+    #[test]
+    fn transiently_offline_senders_messages_still_arrive() {
+        // The counterpart pin: crash-*recovery* downtime is not a
+        // crash, so `crashed` stays false and in-flight messages from a
+        // node that happens to be down at delivery time are delivered.
+        let fault = Compose::default()
+            .and(Churn::crash_recovery(1.0, 0.4))
+            .and(Delay::fixed(2));
+        let n = 64;
+        let mut net = Network::new(
+            SenderTagged,
+            vec![TagState { received: vec![] }; n],
+            NetworkConfig::with_seed(29).fault(fault),
+        );
+        for _ in 0..30 {
+            net.round();
+        }
+        let recv: u64 = net.states().iter().map(|s| s.received.len() as u64).sum();
+        assert!(recv > 0, "messages must survive transient sender downtime");
+        // Drops happen only for offline *destinations*, so conservation
+        // still balances.
+        let sent: u64 = net.metrics().total_pushes();
+        assert_eq!(
+            sent,
+            recv + net.in_flight() as u64 + net.metrics().total_dropped()
+        );
+    }
+
+    #[test]
+    fn partition_blocks_cross_side_rumor_until_heal() {
+        let n = 512;
+        let seed = 30;
+        let heal = 12;
+        let part = Partition::healing(0.5, heal);
+        let run = |model: Partition, rounds: u64| {
+            let mut net = Network::new(
+                PushRumor,
+                rumor_states(n),
+                NetworkConfig::with_seed(seed).fault(model),
+            );
+            for _ in 0..rounds {
+                net.round();
+            }
+            net
+        };
+        // While the cut is active the rumor stays on node 0's side.
+        let side0 = part.minority_side(seed, 0);
+        let net = run(part, heal - 1);
+        for (i, s) in net.states().iter().enumerate() {
+            if s.informed && part.minority_side(seed, i as NodeId) != side0 {
+                panic!("rumor crossed an active partition at node {i}");
+            }
+        }
+        let deg = net.metrics().degradation;
+        assert_eq!(deg.partitioned_rounds, heal - 1);
+        assert!(deg.unhealed_partition, "cut still active at the last round");
+        assert!(deg.link_cuts > 0, "cross-side pushes must be severed");
+        assert_eq!(net.metrics().total_dropped(), deg.link_cuts);
+        // After healing the rumor reaches everyone and the final-round
+        // partition flag clears.
+        let net = run(part, 80);
+        assert!(net.states().iter().all(|s| s.informed));
+        let deg = net.metrics().degradation;
+        assert_eq!(deg.partitioned_rounds, heal);
+        assert!(!deg.unhealed_partition);
+        // A permanent cut never lets the rumor cross.
+        let net = run(Partition::permanent(0.5), 80);
+        let crossed = net
+            .states()
+            .iter()
+            .enumerate()
+            .any(|(i, s)| s.informed && part.minority_side(seed, i as NodeId) != side0);
+        assert!(!crossed, "permanent partitions must never heal");
+        assert!(net.metrics().degradation.unhealed_partition);
+    }
+
+    #[test]
+    fn byzantine_exposures_are_counted_and_survivable() {
+        let n = 1024;
+        let mut net = Network::new(
+            PullRumor,
+            rumor_states(n),
+            // Corruption below 1.0: even a Byzantine rumor *source*
+            // eventually serves one honest answer, so convergence is a
+            // question of time, not seed luck.
+            NetworkConfig::with_seed(31).fault(Byzantine::new(0.3, 0.7)),
+        );
+        let outcome = net.run(600);
+        // Honest servers still spread the rumor to everyone.
+        assert!(outcome.all_halted(), "outcome {outcome:?}");
+        assert!(net.states().iter().all(|s| s.informed));
+        let deg = net.metrics().degradation;
+        assert!(deg.byzantine_exposures > 0, "corruptions must be recorded");
+        // Every exposure is also accounted as a dropped message, and
+        // the per-round serve words still charge the Byzantine server
+        // for the corrupted answer it produced.
+        assert_eq!(net.metrics().total_dropped(), deg.byzantine_exposures);
+        assert!(net.metrics().total_served() > deg.byzantine_exposures);
+    }
+
+    #[test]
+    fn regional_outages_take_whole_blocks_offline() {
+        let n = 512;
+        let mut net = Network::new(
+            PullRumor,
+            rumor_states(n),
+            NetworkConfig::with_seed(32).fault(Regional::new(64, 0.2)),
+        );
+        let outcome = net.run(600);
+        assert!(outcome.all_halted(), "outcome {outcome:?}");
+        assert!(net.metrics().offline_node_rounds() > 0);
+        // Outages arrive in whole blocks: every round's offline count is
+        // a multiple of the block size.
+        for rm in &net.metrics().rounds {
+            assert_eq!(rm.offline % 64, 0, "round {}: {}", rm.round, rm.offline);
+        }
+    }
+
+    #[test]
+    fn adversarial_models_are_deterministic_across_parallelism() {
+        let n = 4096;
+        let fault = || {
+            Compose::default()
+                .and(Partition::healing(0.4, 8))
+                .and(Regional::new(128, 0.1))
+                .and(Asymmetric::new(0.3, 0.5, 0.3))
+                .and(Byzantine::new(0.15, 0.6))
+        };
+        let run = |parallel: bool| {
+            let cfg = if parallel {
+                NetworkConfig::with_seed(34).parallel_threshold(1)
+            } else {
+                NetworkConfig::with_seed(34).sequential()
+            };
+            let mut net = Network::new(PullRumor, rumor_states(n), cfg.fault(fault()));
+            for _ in 0..25 {
+                net.round();
+            }
+            (
+                net.states().to_vec(),
+                net.metrics().rounds.clone(),
+                net.metrics().degradation,
+            )
+        };
+        let (s_par, m_par, d_par) = run(true);
+        let (s_seq, m_seq, d_seq) = run(false);
+        assert_eq!(s_par, s_seq, "states must be identical");
+        assert_eq!(m_par, m_seq, "metrics must be identical");
+        assert_eq!(d_par, d_seq, "degradation tallies must be identical");
+        assert!(d_par.link_cuts > 0);
+        assert!(d_par.byzantine_exposures > 0);
+        assert_eq!(d_par.partitioned_rounds, 8);
     }
 
     // ---- topologies -----------------------------------------------------

@@ -30,8 +30,17 @@ pub struct ServeStats {
     pub served: u64,
     /// Words of all served responses (including later-lost ones).
     pub words: u64,
-    /// Served responses the fault model lost in transit.
+    /// Served responses the fault model lost in transit (including
+    /// corrupted ones the puller discarded, itemized under
+    /// [`ServeStats::byzantine`]).
     pub dropped: u64,
+    /// Pull requests severed by a link-level fault
+    /// ([`FaultModel::cuts_pull`](crate::fault::FaultModel::cuts_pull))
+    /// before reaching their target — never served, no work done.
+    pub cut: u64,
+    /// Served responses the puller received but discarded as corrupted
+    /// ([`FaultModel::corrupts_response`](crate::fault::FaultModel::corrupts_response)).
+    pub byzantine: u64,
 }
 
 /// A fixed-capacity bitset over `0..len`, reused across rounds for the

@@ -56,6 +56,7 @@ fn golden_frames() -> Vec<Frame> {
             offline_node_rounds: 3,
             first_candidate_round: Some(1),
             consensus: Some("med:r2=100.0".to_string()),
+            degradation: gossip_sim::metrics::Degradation::default(),
         }),
         Frame::Error(WireError {
             code: 205,

@@ -6,7 +6,8 @@ use gossip_sim::export::{Frame, Json, RunHeader, RunSummary, WireError};
 use gossip_sim::metrics::RoundMetrics;
 use lpt_gossip::spec::RunSpecKey;
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use crate::server::ServerStats;
 
@@ -14,6 +15,52 @@ use crate::server::ServerStats;
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    peer: SocketAddr,
+}
+
+/// A deterministic capped exponential backoff schedule for connects
+/// and idempotent resubmits.
+///
+/// Attempt `i` (0-based) sleeps `min(base_delay · 2^i, max_delay)`
+/// before retrying. Deliberately **jitter-free**: the repo's contract
+/// is that everything observable is a pure function of its inputs, and
+/// retry schedules in tests and drills should replay exactly. (Herd
+/// effects that jitter mitigates don't arise at this scale — revisit
+/// if fleets of clients ever share a server.)
+///
+/// Retrying a `solve` is always safe: replies are pure functions of
+/// the spec and cached by the server, so a duplicate submission either
+/// replays bytes or recomputes the identical stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (the first try included). Minimum 1.
+    pub attempts: u32,
+    /// Backoff before the first retry.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `retry` (0-based):
+    /// `min(base_delay · 2^retry, max_delay)`.
+    pub fn delay(&self, retry: u32) -> Duration {
+        let factor = 1u32.checked_shl(retry).unwrap_or(u32::MAX);
+        self.base_delay
+            .checked_mul(factor)
+            .unwrap_or(self.max_delay)
+            .min(self.max_delay)
+    }
 }
 
 /// A fully received solve reply, frame by frame.
@@ -41,10 +88,38 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        let peer = stream.peer_addr()?;
         Ok(Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: stream,
+            peer,
         })
+    }
+
+    /// Connects a new session, retrying refused/failed connects on the
+    /// policy's backoff schedule. Returns the last error once the
+    /// attempts are exhausted.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs,
+        policy: &RetryPolicy,
+    ) -> io::Result<Client> {
+        let mut last_err = None;
+        for attempt in 0..policy.attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(policy.delay(attempt - 1));
+            }
+            match Client::connect(&addr) {
+                Ok(client) => return Ok(client),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| io::Error::other("no connect attempts made")))
+    }
+
+    /// Tears the session down and dials the same peer again.
+    fn reconnect(&mut self) -> io::Result<()> {
+        *self = Client::connect(self.peer)?;
+        Ok(())
     }
 
     fn send_line(&mut self, line: &str) -> io::Result<()> {
@@ -108,6 +183,51 @@ impl Client {
         }
     }
 
+    /// [`solve`](Client::solve) with deterministic retry. Transport
+    /// errors (server restart, torn-down socket) and session-terminal
+    /// frames (`shutting-down` 208, `idle-timeout` 211 — the server
+    /// closes the socket right after sending them) trigger a
+    /// reconnect to the same peer and a resubmit, backing off on the
+    /// policy's schedule. Resubmitting is idempotent: replies are pure
+    /// functions of the spec and server-cached, so a retry either
+    /// replays the bytes or recomputes the identical stream. Non-
+    /// terminal error frames (bad requests, driver errors, worker
+    /// panics, solve timeouts) are returned as-is — they are answers,
+    /// not transport failures.
+    pub fn solve_with_retry(
+        &mut self,
+        key: &RunSpecKey,
+        policy: &RetryPolicy,
+    ) -> io::Result<SolveReply> {
+        let mut last_err: Option<io::Error> = None;
+        for attempt in 0..policy.attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(policy.delay(attempt - 1));
+                if let Err(e) = self.reconnect() {
+                    last_err = Some(e);
+                    continue;
+                }
+            }
+            match self.solve(key) {
+                Ok(reply) => {
+                    let terminal = reply
+                        .error
+                        .as_ref()
+                        .is_some_and(|e| e.code == 208 || e.code == 211);
+                    if !terminal {
+                        return Ok(reply);
+                    }
+                    last_err = Some(io::Error::new(
+                        io::ErrorKind::ConnectionReset,
+                        "session closed by the server; retrying on a fresh one",
+                    ));
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| io::Error::other("no solve attempts made")))
+    }
+
     /// Fetches the server's counter snapshot.
     pub fn stats(&mut self) -> io::Result<ServerStats> {
         let line = self.raw_line("{\"cmd\":\"stats\"}")?;
@@ -127,6 +247,8 @@ impl Client {
             requests: field("requests")?,
             cache_entries: field("cache_entries")?,
             open_sessions: field("open_sessions")?,
+            workers: field("workers")?,
+            worker_panics: field("worker_panics")?,
         })
     }
 
@@ -139,5 +261,23 @@ impl Client {
             return Err(bad_data(format!("expected a bye frame, got: {line}")));
         }
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_then_caps_deterministically() {
+        let policy = RetryPolicy {
+            attempts: 8,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_millis(300),
+        };
+        let delays: Vec<u64> = (0..5).map(|i| policy.delay(i).as_millis() as u64).collect();
+        assert_eq!(delays, [50, 100, 200, 300, 300]);
+        // Huge retry counts must not overflow.
+        assert_eq!(policy.delay(u32::MAX), Duration::from_millis(300));
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! Every failure a session can report on the wire is either a
 //! [`ServerError`] (codes `2xx`, defined here), a
-//! [`DriverError`](lpt_gossip::DriverError) (codes `101`–`110`), or a
+//! [`DriverError`](lpt_gossip::DriverError) (codes `101`–`111`), or a
 //! [`SpecError`](lpt_gossip::SpecError) (codes `120`–`123`) — all
 //! rendered through the same [`ErrorCode`] trait into
 //! `{"frame":"error","code":...,"kind":...,"detail":...}` frames.
@@ -52,6 +52,19 @@ pub enum ServerError {
         /// The timeout that elapsed, in milliseconds.
         millis: u64,
     },
+    /// The worker executing this request panicked. The pool survives
+    /// (the panic is caught at the job boundary) and the key is
+    /// released, so resubmitting is safe.
+    WorkerPanicked {
+        /// The panic payload, when it was a string.
+        detail: String,
+    },
+    /// The run outlived the server's per-request solve deadline and
+    /// was cancelled at a round boundary. Nothing was cached.
+    SolveTimeout {
+        /// The deadline that elapsed, in milliseconds.
+        millis: u64,
+    },
 }
 
 impl fmt::Display for ServerError {
@@ -92,6 +105,15 @@ impl fmt::Display for ServerError {
             ServerError::IdleTimeout { millis } => {
                 write!(f, "session idle for more than {millis} ms; closing")
             }
+            ServerError::WorkerPanicked { detail } => {
+                write!(f, "worker panicked while executing the run: {detail}")
+            }
+            ServerError::SolveTimeout { millis } => {
+                write!(
+                    f,
+                    "run exceeded the {millis} ms solve deadline and was cancelled"
+                )
+            }
         }
     }
 }
@@ -113,6 +135,8 @@ impl ErrorCode for ServerError {
             ServerError::Internal(_) => 209,
             ServerError::RequestTooLarge { .. } => 210,
             ServerError::IdleTimeout { .. } => 211,
+            ServerError::WorkerPanicked { .. } => 212,
+            ServerError::SolveTimeout { .. } => 213,
         }
     }
 
@@ -130,6 +154,8 @@ impl ErrorCode for ServerError {
             ServerError::Internal(_) => "internal",
             ServerError::RequestTooLarge { .. } => "request-too-large",
             ServerError::IdleTimeout { .. } => "idle-timeout",
+            ServerError::WorkerPanicked { .. } => "worker-panicked",
+            ServerError::SolveTimeout { .. } => "solve-timeout",
         }
     }
 }
@@ -156,9 +182,13 @@ mod tests {
             ServerError::Internal(String::new()),
             ServerError::RequestTooLarge { limit: 0 },
             ServerError::IdleTimeout { millis: 0 },
+            ServerError::WorkerPanicked {
+                detail: String::new(),
+            },
+            ServerError::SolveTimeout { millis: 0 },
         ];
         let codes: Vec<u16> = all.iter().map(ErrorCode::code).collect();
-        assert_eq!(codes, (200..212).collect::<Vec<u16>>());
+        assert_eq!(codes, (200..214).collect::<Vec<u16>>());
         let mut kinds: Vec<&str> = all.iter().map(|e| e.kind()).collect();
         kinds.sort_unstable();
         kinds.dedup();

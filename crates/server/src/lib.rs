@@ -16,6 +16,16 @@
 //! run) and execution is multiplexed over a bounded worker pool whose
 //! full queue pushes back on submitting sessions.
 //!
+//! The service is crash-safe: worker jobs run under `catch_unwind`,
+//! so a panicking run answers its session with a typed
+//! `worker-panicked` frame (code 212) while the worker survives and
+//! the pending cache key is released. An optional per-request solve
+//! deadline ([`ServerConfig::solve_timeout`], `--solve-timeout-ms`)
+//! cancels overrunning runs cooperatively at a round boundary and
+//! answers with a typed `solve-timeout` frame (code 213). The
+//! [`Client`] pairs this with a deterministic capped-backoff
+//! [`RetryPolicy`] for connects and idempotent resubmits.
+//!
 //! ## Quick start
 //!
 //! ```no_run
@@ -42,10 +52,10 @@ pub mod request;
 pub mod server;
 
 pub use cache::{Lookup, PendingGuard, ReportCache};
-pub use client::{Client, SolveReply};
+pub use client::{Client, RetryPolicy, SolveReply};
 pub use error::ServerError;
 pub use pool::WorkerPool;
-pub use registry::{execute, ExecOutcome, WORKLOADS};
+pub use registry::{execute, execute_with_cancel, ExecOutcome, CHAOS_PANIC_WORKLOAD, WORKLOADS};
 pub use request::{parse_request, solve_request_line, Request};
 pub use server::{Server, ServerConfig, ServerHandle, ServerStats, MAX_REQUEST_LINE};
 

@@ -5,7 +5,7 @@ use lpt_server::{Server, ServerConfig};
 use std::time::Duration;
 
 const USAGE: &str = "usage: lpt-server [--addr HOST:PORT] [--workers N] [--engine-threads N] \
-                     [--queue N] [--cache N] [--idle-ms N]";
+                     [--queue N] [--cache N] [--idle-ms N] [--solve-timeout-ms N]";
 
 fn parse_args() -> Result<(String, ServerConfig), String> {
     let mut addr = "127.0.0.1:7420".to_string();
@@ -43,6 +43,12 @@ fn parse_args() -> Result<(String, ServerConfig), String> {
                     .parse()
                     .map_err(|e| format!("--idle-ms: {e}"))?;
                 cfg.idle_timeout = Duration::from_millis(ms);
+            }
+            "--solve-timeout-ms" => {
+                let ms: u64 = value("--solve-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--solve-timeout-ms: {e}"))?;
+                cfg.solve_timeout = Some(Duration::from_millis(ms));
             }
             "--help" | "-h" => {
                 println!("{USAGE}");

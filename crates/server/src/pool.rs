@@ -14,6 +14,8 @@
 //! engine's seq/par byte-identity contract is what makes threading a
 //! pure capacity knob here.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -22,9 +24,18 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// A fixed-size pool of `std::thread` workers draining a bounded
 /// job queue.
+///
+/// Workers are crash-safe: each job runs under
+/// [`catch_unwind`], so a panicking job is counted (see
+/// [`panics`](WorkerPool::panics)) and discarded while the worker
+/// thread survives to drain the rest of the queue. The pool therefore
+/// always retains its full configured width — no respawn is needed
+/// because no worker ever dies to a job panic.
 pub struct WorkerPool {
     sender: Mutex<Option<SyncSender<Job>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    width: usize,
+    panics: Arc<AtomicU64>,
 }
 
 impl WorkerPool {
@@ -36,9 +47,12 @@ impl WorkerPool {
     pub fn new(workers: usize, queue_capacity: usize, engine_threads: usize) -> WorkerPool {
         let (tx, rx) = sync_channel::<Job>(queue_capacity.max(1));
         let rx = Arc::new(Mutex::new(rx));
-        let handles = (0..workers.max(1))
+        let panics = Arc::new(AtomicU64::new(0));
+        let width = workers.max(1);
+        let handles = (0..width)
             .map(|i| {
                 let rx = rx.clone();
+                let panics = panics.clone();
                 std::thread::Builder::new()
                     .name(format!("lpt-worker-{i}"))
                     .spawn(move || {
@@ -47,9 +61,9 @@ impl WorkerPool {
                                 .num_threads(engine_threads)
                                 .build()
                                 .expect("build engine thread pool");
-                            pool.install(|| worker_loop(&rx));
+                            pool.install(|| worker_loop(&rx, &panics));
                         } else {
-                            worker_loop(&rx);
+                            worker_loop(&rx, &panics);
                         }
                     })
                     .expect("spawn worker thread")
@@ -58,7 +72,33 @@ impl WorkerPool {
         WorkerPool {
             sender: Mutex::new(Some(tx)),
             workers: Mutex::new(handles),
+            width,
+            panics,
         }
+    }
+
+    /// The configured worker width. Because job panics are caught at
+    /// the job boundary, this is also the number of live workers at
+    /// all times before [`shutdown`](WorkerPool::shutdown).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of jobs that panicked (and were contained) so far.
+    pub fn panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Number of worker threads still running (not yet exited). Always
+    /// equals [`width`](WorkerPool::width) while the pool is live —
+    /// the crash-safety invariant the chaos tests assert.
+    pub fn live_workers(&self) -> usize {
+        self.workers
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|h| !h.is_finished())
+            .count()
     }
 
     /// Submits a job, blocking while the queue is full. Returns
@@ -90,7 +130,7 @@ impl Drop for WorkerPool {
     }
 }
 
-fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+fn worker_loop(rx: &Mutex<Receiver<Job>>, panics: &AtomicU64) {
     loop {
         // Hold the lock only while *receiving*, never while running a
         // job, so workers drain the queue concurrently.
@@ -98,7 +138,11 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>) {
             Ok(job) => job,
             Err(_) => return, // all senders dropped: shutdown
         };
-        job();
+        // Contain job panics: the job is lost (its submitter notices
+        // via its dropped reply channel) but the worker lives on.
+        if catch_unwind(AssertUnwindSafe(job)).is_err() {
+            panics.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -143,6 +187,32 @@ mod tests {
             widths.iter().all(|&w| w == 3),
             "every job should run under the worker's 3-wide engine pool, got {widths:?}"
         );
+    }
+
+    #[test]
+    fn panicking_jobs_are_contained_and_counted() {
+        let pool = WorkerPool::new(2, 8, 1);
+        let survived = Arc::new(AtomicUsize::new(0));
+        for i in 0..8 {
+            let survived = survived.clone();
+            assert!(pool.execute(move || {
+                if i % 2 == 0 {
+                    panic!("injected job panic {i}");
+                }
+                survived.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        // Queue order guarantees: by the time the non-panicking jobs
+        // all ran, the panicking ones interleaved with them were
+        // caught without killing either worker.
+        while survived.load(Ordering::Relaxed) < 4 {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(pool.live_workers(), 2, "panics must not kill workers");
+        assert_eq!(pool.width(), 2);
+        pool.shutdown();
+        assert_eq!(pool.panics(), 4);
+        assert_eq!(survived.load(Ordering::Relaxed), 4);
     }
 
     #[test]

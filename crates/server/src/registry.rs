@@ -23,12 +23,20 @@ use lpt_problems::Med;
 use lpt_workloads::med::MedDataset;
 use lpt_workloads::sets::planted_hitting_set;
 use lpt_workloads::{Scenario, TopologyPreset};
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
 /// The workload presets a server resolves on the wire: the four MED
 /// dataset families plus a planted hitting-set instance
 /// (`planted_hitting_set(elements, max(elements/2, 4), 3, 6, seed)`).
 pub const WORKLOADS: [&str; 5] = ["duo-disk", "triple-disk", "triangle", "hull", "planted-hs"];
+
+/// Diagnostic workload that panics on execution — deliberately absent
+/// from [`WORKLOADS`]. Chaos drills request it to prove the worker
+/// pool contains panics (typed `worker-panicked` frame, full worker
+/// width afterwards, pending key released). Never cached: the panic
+/// escapes before any bytes are produced.
+pub const CHAOS_PANIC_WORKLOAD: &str = "chaos-panic";
 
 /// Planted hitting-set size used by the `planted-hs` workload.
 pub const PLANTED_D: usize = 3;
@@ -112,6 +120,21 @@ fn wire_stop<T>(spec: StopSpec) -> StopCondition<T> {
 /// Runs the spec and renders the full reply byte stream. Total: every
 /// failure mode becomes a typed error frame.
 pub fn execute(key: &RunSpecKey) -> ExecOutcome {
+    execute_with_cancel(key, None)
+}
+
+/// [`execute`] with a cooperative cancellation flag threaded into the
+/// driver ([`Driver::cancel_flag`]): raising the flag makes the run
+/// stop at the next round boundary with a typed `cancelled` error
+/// frame (`DriverError::Cancelled`, code 111). The server's
+/// per-request solve deadline raises it on timeout. A never-raised
+/// flag is byte-invisible — the reply is identical to [`execute`]'s.
+pub fn execute_with_cancel(key: &RunSpecKey, cancel: Option<Arc<AtomicBool>>) -> ExecOutcome {
+    if key.workload == CHAOS_PANIC_WORKLOAD {
+        // Not an error reply: the whole point is an uncontrolled
+        // panic for the pool's catch_unwind boundary to contain.
+        panic!("chaos-panic workload executed: injected failure for crash-safety drills");
+    }
     let scenario = match Scenario::parse(&key.fault) {
         Some(s) => s,
         None => {
@@ -129,10 +152,10 @@ pub fn execute(key: &RunSpecKey) -> ExecOutcome {
         }
     };
     if key.workload == "planted-hs" {
-        return execute_planted_hs(key, scenario, topology);
+        return execute_planted_hs(key, scenario, topology, cancel);
     }
     match MedDataset::parse(&key.workload) {
-        Some(ds) => execute_med(key, ds, scenario, topology),
+        Some(ds) => execute_med(key, ds, scenario, topology, cancel),
         None => error_reply(WireError::from_error(&ServerError::UnknownWorkload(
             key.workload.clone(),
         ))),
@@ -144,6 +167,7 @@ fn execute_med(
     dataset: MedDataset,
     scenario: Scenario,
     topology: TopologyPreset,
+    cancel: Option<Arc<AtomicBool>>,
 ) -> ExecOutcome {
     if key.elements == 0 {
         return error_reply(WireError::from_error(&ServerError::BadField {
@@ -161,6 +185,9 @@ fn execute_med(
         .fault_model(scenario.fault_model())
         .topology(topology.topology())
         .rng_schedule(key.schedule);
+    if let Some(flag) = cancel {
+        driver = driver.cancel_flag(flag);
+    }
     if let Some(f) = key.doubling {
         driver = driver.with_doubling_search(f.value());
     }
@@ -187,6 +214,7 @@ fn execute_planted_hs(
     key: &RunSpecKey,
     scenario: Scenario,
     topology: TopologyPreset,
+    cancel: Option<Arc<AtomicBool>>,
 ) -> ExecOutcome {
     // The generator needs d ≤ elements and draws set fillers without
     // replacement, so tiny ground sets are rejected up front.
@@ -209,6 +237,9 @@ fn execute_planted_hs(
         .fault_model(scenario.fault_model())
         .topology(topology.topology())
         .rng_schedule(key.schedule);
+    if let Some(flag) = cancel {
+        driver = driver.cancel_flag(flag);
+    }
     if let Some(f) = key.doubling {
         driver = driver.with_doubling_search(f.value());
     }
@@ -309,6 +340,29 @@ mod tests {
             };
             assert_eq!(e.code, code, "{workload}/{fault}/{topology}");
         }
+    }
+
+    #[test]
+    fn unraised_cancel_flag_is_byte_invisible() {
+        let mut key = RunSpecKey::new("duo-disk", 96, 24, 5);
+        key.fault = "byzantine".to_string();
+        let plain = execute(&key);
+        let flagged = execute_with_cancel(&key, Some(Arc::new(AtomicBool::new(false))));
+        assert_eq!(plain.bytes, flagged.bytes);
+    }
+
+    #[test]
+    fn raised_cancel_flag_renders_the_typed_cancelled_frame() {
+        let key = RunSpecKey::new("duo-disk", 128, 32, 1);
+        let out = execute_with_cancel(&key, Some(Arc::new(AtomicBool::new(true))));
+        assert!(out.ran_driver);
+        let frames = frames_of(&out);
+        assert_eq!(frames.len(), 1);
+        let Frame::Error(e) = &frames[0] else {
+            panic!("expected error frame")
+        };
+        assert_eq!(e.code, 111);
+        assert_eq!(e.kind, "cancelled");
     }
 
     #[test]

@@ -19,6 +19,19 @@
 //! open*; oversized lines and idle timeouts get a terminal `error`
 //! frame and a close. Sockets use a short read timeout as a tick so
 //! sessions notice server shutdown and idle expiry promptly.
+//!
+//! ## Crash safety
+//!
+//! Worker jobs run under `catch_unwind`: a panicking run becomes a
+//! typed `worker-panicked` error frame (code 212) on the requesting
+//! session, the worker thread survives at full pool width, and the
+//! pending cache slot is released so a resubmit re-executes instead of
+//! wedging. With [`ServerConfig::solve_timeout`] set, runs that
+//! outlive the deadline are cooperatively cancelled at a round
+//! boundary (the driver's cancel flag) and answered with a typed
+//! `solve-timeout` frame (code 213); timed-out and panicked runs are
+//! never cached, so only pure-function-of-the-spec bytes ever enter
+//! the replay path.
 
 use crate::cache::{Lookup, ReportCache};
 use crate::error::ServerError;
@@ -28,7 +41,9 @@ use crate::request::{parse_request, Request};
 use gossip_sim::export::{Frame, ObjBuilder, WireError};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::RecvTimeoutError;
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -58,6 +73,12 @@ pub struct ServerConfig {
     /// `workers × engine_threads`; replies are byte-identical at any
     /// setting by the engine's seq/par determinism contract.
     pub engine_threads: usize,
+    /// Per-request solve deadline. A run still executing when it
+    /// elapses is cooperatively cancelled at its next round boundary
+    /// and the request answered with a `solve-timeout` error frame
+    /// (code 213). `None` (the default) lets runs take as long as
+    /// they need.
+    pub solve_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -68,6 +89,7 @@ impl Default for ServerConfig {
             cache_capacity: 128,
             idle_timeout: Duration::from_secs(30),
             engine_threads: 1,
+            solve_timeout: None,
         }
     }
 }
@@ -88,6 +110,12 @@ pub struct ServerStats {
     pub cache_entries: u64,
     /// Currently connected sessions.
     pub open_sessions: u64,
+    /// Live worker threads. Stays at the configured width even after
+    /// panics: jobs are unwind-contained, workers never die to them.
+    pub workers: u64,
+    /// Worker jobs that panicked (each answered with a typed
+    /// `worker-panicked` frame; the panic never killed a worker).
+    pub worker_panics: u64,
 }
 
 struct Shared {
@@ -97,7 +125,9 @@ struct Shared {
     runs: AtomicU64,
     requests: AtomicU64,
     open_sessions: AtomicU64,
+    worker_panics: AtomicU64,
     idle_timeout: Duration,
+    solve_timeout: Option<Duration>,
     addr: SocketAddr,
 }
 
@@ -110,6 +140,10 @@ impl Shared {
             requests: self.requests.load(Ordering::Relaxed),
             cache_entries: self.cache.len() as u64,
             open_sessions: self.open_sessions.load(Ordering::Relaxed),
+            workers: self.pool.live_workers() as u64,
+            // The job-boundary catch counts panics with their payload;
+            // the pool's own catch is a backstop that should stay 0.
+            worker_panics: self.worker_panics.load(Ordering::Relaxed) + self.pool.panics(),
         }
     }
 
@@ -139,7 +173,9 @@ impl Server {
             runs: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             open_sessions: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
             idle_timeout: config.idle_timeout,
+            solve_timeout: config.solve_timeout,
             addr,
         });
         let accept = {
@@ -248,12 +284,35 @@ fn stats_line(stats: &ServerStats) -> String {
         .u64("requests", stats.requests)
         .u64("cache_entries", stats.cache_entries)
         .u64("open_sessions", stats.open_sessions)
+        .u64("workers", stats.workers)
+        .u64("worker_panics", stats.worker_panics)
         .finish()
 }
 
 enum After {
     KeepOpen,
     Close,
+}
+
+/// What a worker job reports back to its session.
+enum JobResult {
+    /// The run (or its typed error rendering) finished; bytes are a
+    /// pure function of the spec and safe to cache.
+    Done(Vec<u8>),
+    /// The job panicked; `catch_unwind` contained it. Not cacheable —
+    /// nothing was rendered.
+    Panicked(String),
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 fn session_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
@@ -349,21 +408,59 @@ fn handle_line(shared: &Arc<Shared>, stream: &mut TcpStream, line: &str) -> io::
                     let (tx, rx) = mpsc::channel();
                     let job_shared = shared.clone();
                     let job_key = key.clone();
+                    let cancel = Arc::new(AtomicBool::new(false));
+                    let job_cancel = cancel.clone();
                     let accepted = shared.pool.execute(move || {
-                        let outcome = registry::execute(&job_key);
-                        if outcome.ran_driver {
-                            job_shared.runs.fetch_add(1, Ordering::Relaxed);
-                        }
-                        let _ = tx.send(outcome.bytes);
+                        // Contain panics at the job boundary so the
+                        // session gets a typed frame (with the panic
+                        // message) instead of a dead channel, and the
+                        // worker keeps draining the queue.
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            registry::execute_with_cancel(&job_key, Some(job_cancel))
+                        }));
+                        let message = match result {
+                            Ok(outcome) => {
+                                if outcome.ran_driver {
+                                    job_shared.runs.fetch_add(1, Ordering::Relaxed);
+                                }
+                                JobResult::Done(outcome.bytes)
+                            }
+                            Err(payload) => {
+                                job_shared.worker_panics.fetch_add(1, Ordering::Relaxed);
+                                JobResult::Panicked(panic_message(payload.as_ref()))
+                            }
+                        };
+                        let _ = tx.send(message);
                     });
                     if !accepted {
                         // Guard drops here, releasing the pending slot.
                         write_error(stream, &ServerError::ShuttingDown)?;
                         return Ok(After::Close);
                     }
-                    match rx.recv() {
-                        Ok(bytes) => guard.fulfill(bytes),
-                        Err(_) => {
+                    let received = match shared.solve_timeout {
+                        Some(deadline) => rx.recv_timeout(deadline),
+                        None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
+                    };
+                    match received {
+                        Ok(JobResult::Done(bytes)) => guard.fulfill(bytes),
+                        Ok(JobResult::Panicked(detail)) => {
+                            // Guard drops unfulfilled: the pending slot
+                            // is released and any waiter is promoted to
+                            // re-run the key — no wedge.
+                            write_error(stream, &ServerError::WorkerPanicked { detail })?;
+                            return Ok(After::KeepOpen);
+                        }
+                        Err(RecvTimeoutError::Timeout) => {
+                            // Ask the driver to stop at its next round
+                            // boundary; its cancelled reply goes
+                            // nowhere (rx drops below) and is never
+                            // cached — timing is not part of the spec.
+                            cancel.store(true, Ordering::Relaxed);
+                            let millis = shared.solve_timeout.map_or(0, |d| d.as_millis() as u64);
+                            write_error(stream, &ServerError::SolveTimeout { millis })?;
+                            return Ok(After::KeepOpen);
+                        }
+                        Err(RecvTimeoutError::Disconnected) => {
                             write_error(
                                 stream,
                                 &ServerError::Internal("worker died mid-run".to_string()),
@@ -395,10 +492,24 @@ mod tests {
             requests: 4,
             cache_entries: 5,
             open_sessions: 6,
+            workers: 7,
+            worker_panics: 8,
         });
         let v = Json::parse(&line).unwrap();
         assert_eq!(v.get("frame").and_then(Json::as_str), Some("stats"));
         assert_eq!(v.get("hits").and_then(Json::as_u64), Some(1));
         assert_eq!(v.get("open_sessions").and_then(Json::as_u64), Some(6));
+        assert_eq!(v.get("workers").and_then(Json::as_u64), Some(7));
+        assert_eq!(v.get("worker_panics").and_then(Json::as_u64), Some(8));
+    }
+
+    #[test]
+    fn panic_messages_extract_str_and_string_payloads() {
+        let p = catch_unwind(|| panic!("boom")).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "boom");
+        let p = catch_unwind(|| panic!("{}", String::from("dynamic"))).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "dynamic");
+        let p = catch_unwind(|| std::panic::panic_any(42_u8)).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "non-string panic payload");
     }
 }

@@ -18,6 +18,7 @@ fn small_cfg() -> ServerConfig {
         cache_capacity: 16,
         idle_timeout: Duration::from_secs(30),
         engine_threads: 1,
+        solve_timeout: None,
     }
 }
 
@@ -222,6 +223,143 @@ fn oversized_request_lines_are_rejected() {
         reply.contains("\"code\":210"),
         "expected request-too-large, got: {reply}"
     );
+}
+
+/// The crash-safety drill: a panicking workload must come back as a
+/// typed `worker-panicked` frame, leave the pool at full width, and
+/// release the pending cache key so nothing downstream wedges.
+#[test]
+fn worker_panic_yields_typed_frame_and_the_pool_survives() {
+    let server = spawn(small_cfg());
+    let mut client = Client::connect(server.addr()).unwrap();
+    let chaos = RunSpecKey::new(lpt_server::CHAOS_PANIC_WORKLOAD, 64, 16, 1);
+
+    let reply = client.solve(&chaos).unwrap();
+    let err = reply.error.expect("panic must produce an error frame");
+    assert_eq!(err.code, 212, "expected worker-panicked, got {err:?}");
+    assert_eq!(err.kind, "worker-panicked");
+    assert!(
+        err.detail.contains("chaos-panic"),
+        "panic payload should surface in the frame: {err:?}"
+    );
+
+    // The pool self-healed: full worker width, one contained panic.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.workers, 3, "panics must not shrink the pool");
+    assert_eq!(stats.worker_panics, 1);
+    assert_eq!(stats.runs, 0, "the panicking job never counts as a run");
+
+    // The key is not wedged: resubmitting re-executes (and panics
+    // again — a prompt typed answer, not a hang) on the same session.
+    let again = client.solve(&chaos).unwrap();
+    assert_eq!(again.error.as_ref().map(|e| e.code), Some(212));
+    assert_eq!(client.stats().unwrap().worker_panics, 2);
+
+    // And ordinary work still flows through the surviving workers.
+    let ok = client.solve(&demo_key(21)).unwrap();
+    assert!(ok.error.is_none(), "unexpected error: {:?}", ok.error);
+    assert!(ok.summary.is_some());
+    let stats = server.stats();
+    assert_eq!(stats.workers, 3);
+    assert_eq!(stats.runs, 1);
+}
+
+/// A run that outlives the solve deadline is cancelled cooperatively
+/// and answered with a typed `solve-timeout` frame; the key stays
+/// usable (re-asking gets a fresh answer, not a wedge) and nothing
+/// timing-dependent lands in the cache.
+#[test]
+fn solve_timeout_cancels_overrunning_runs_with_a_typed_frame() {
+    use lpt_server::StopSpec;
+    let server = spawn(ServerConfig {
+        solve_timeout: Some(Duration::from_millis(1)),
+        ..small_cfg()
+    });
+    let mut client = Client::connect(server.addr()).unwrap();
+    // Big enough that one round costs well over the 1 ms deadline.
+    let mut slow = RunSpecKey::new("duo-disk", 4096, 4096, 1);
+    slow.stop = StopSpec::RoundBudget(5_000);
+
+    let reply = client.solve(&slow).unwrap();
+    let err = reply.error.expect("deadline must produce an error frame");
+    assert_eq!(err.code, 213, "expected solve-timeout, got {err:?}");
+    assert_eq!(err.kind, "solve-timeout");
+
+    // Not wedged, not cached: the same key answers again promptly
+    // (timing out again — deterministically slow is still slow).
+    let again = client.solve(&slow).unwrap();
+    assert_eq!(again.error.as_ref().map(|e| e.code), Some(213));
+    let stats = server.stats();
+    assert_eq!(stats.cache_entries, 0, "timed-out runs must not be cached");
+    assert_eq!(stats.workers, 3);
+
+    // A generous deadline is byte-invisible: runs that finish inside
+    // it stream the normal reply (the cancel flag exists but is never
+    // raised, which the engine contract keeps byte-identical).
+    let lenient = spawn(ServerConfig {
+        solve_timeout: Some(Duration::from_secs(120)),
+        ..small_cfg()
+    });
+    let mut client = Client::connect(lenient.addr()).unwrap();
+    let reply = client.solve(&demo_key(2)).unwrap();
+    assert!(reply.error.is_none(), "unexpected error: {:?}", reply.error);
+    assert!(reply.summary.is_some());
+}
+
+/// The client's retry loop must survive the server tearing the session
+/// down (idle timeout here): reconnect on backoff, resubmit, and get
+/// the byte-exact cached reply.
+#[test]
+fn client_retry_reconnects_and_resubmits_idempotently() {
+    use lpt_server::RetryPolicy;
+    let server = spawn(ServerConfig {
+        idle_timeout: Duration::from_millis(200),
+        ..small_cfg()
+    });
+    let mut client = Client::connect(server.addr()).unwrap();
+    let cold = client.solve(&demo_key(31)).unwrap();
+    assert!(cold.error.is_none());
+
+    // Let the server expire and close the session.
+    std::thread::sleep(Duration::from_millis(600));
+
+    let policy = RetryPolicy {
+        attempts: 4,
+        base_delay: Duration::from_millis(20),
+        max_delay: Duration::from_millis(100),
+    };
+    let retried = client.solve_with_retry(&demo_key(31), &policy).unwrap();
+    assert!(retried.error.is_none(), "retry should reconnect and solve");
+    assert_eq!(
+        retried.raw, cold.raw,
+        "resubmitted solve must replay the cold run's exact bytes"
+    );
+    let stats = server.stats();
+    assert_eq!(stats.runs, 1, "the resubmit must hit the cache, not re-run");
+
+    // connect_with_retry against a live server succeeds immediately.
+    let mut fresh = Client::connect_with_retry(server.addr(), &policy).unwrap();
+    assert!(fresh.solve(&demo_key(31)).unwrap().error.is_none());
+}
+
+/// Adversarial-scenario runs are as cacheable as any other: the reply
+/// is a pure function of the spec, so a resubmit is a byte-exact hit.
+#[test]
+fn adversarial_scenario_replies_are_cached_byte_exact() {
+    let server = spawn(small_cfg());
+    let mut client = Client::connect(server.addr()).unwrap();
+    for (seed, fault, topology) in [(61, "partition", "rr8"), (62, "byzantine", "hypercube")] {
+        let mut key = demo_key(seed);
+        key.fault = fault.to_string();
+        key.topology = topology.to_string();
+        let cold = client.solve(&key).unwrap();
+        assert!(cold.error.is_none(), "{fault}: {:?}", cold.error);
+        let warm = client.solve(&key).unwrap();
+        assert_eq!(warm.raw, cold.raw, "{fault} replay must be byte-exact");
+    }
+    let stats = server.stats();
+    assert_eq!(stats.runs, 2, "one driver run per adversarial spec");
+    assert_eq!(stats.hits, 2);
 }
 
 #[test]

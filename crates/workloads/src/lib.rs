@@ -24,4 +24,4 @@ pub mod scenarios;
 pub mod sets;
 
 pub use med::{MedDataset, MED_DATASETS};
-pub use scenarios::{Scenario, TopologyPreset, LOSS_GRID, SCENARIOS, TOPOLOGIES};
+pub use scenarios::{Scenario, TopologyPreset, ADVERSARIAL, LOSS_GRID, SCENARIOS, TOPOLOGIES};

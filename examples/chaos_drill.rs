@@ -1,0 +1,122 @@
+//! Crash-safety drill against a live `lpt-server`: inject a panicking
+//! run, a run that blows its solve deadline, and a dead session — and
+//! watch the service answer each one with a typed error frame while
+//! the worker pool stays at full width, no cache key wedges, and a
+//! retrying client recovers byte-exact results.
+//!
+//! ```sh
+//! cargo run --release --example chaos_drill
+//! ```
+
+use lpt_server::{
+    Client, RetryPolicy, RunSpecKey, Server, ServerConfig, StopSpec, CHAOS_PANIC_WORKLOAD,
+};
+use std::time::Duration;
+
+fn main() -> std::io::Result<()> {
+    // ── Drill 1: a worker panic is an answer, not an outage ─────────
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default())?;
+    let mut client = Client::connect(server.addr())?;
+    let width = client.stats()?.workers;
+    println!("server up, {width} workers");
+
+    // `chaos-panic` is a reserved workload that panics inside the
+    // worker the moment it executes — the same failure an engine bug
+    // would produce. (The panic message below on stderr is the
+    // injected failure itself: the default panic hook prints before
+    // `catch_unwind` contains it.)
+    let chaos = RunSpecKey::new(CHAOS_PANIC_WORKLOAD, 64, 16, 1);
+    let reply = client.solve(&chaos)?;
+    let err = reply.error.as_ref().expect("an error frame");
+    println!(
+        "injected panic -> typed frame: code={} kind={}",
+        err.code, err.kind
+    );
+    assert_eq!(err.code, 212, "worker-panicked");
+
+    let stats = client.stats()?;
+    println!(
+        "pool after the panic: {}/{} workers alive, {} panic contained, {} runs counted",
+        stats.workers, width, stats.worker_panics, stats.runs
+    );
+    assert_eq!(stats.workers, width, "no worker died");
+    assert_eq!(stats.cache_entries, 0, "a panicking spec is never cached");
+
+    // The session is still usable and the key is not wedged: a
+    // resubmit re-executes (and re-panics) instead of hanging on an
+    // abandoned pending slot.
+    let again = client.solve(&chaos)?;
+    assert_eq!(again.error.as_ref().map(|e| e.code), Some(212));
+    let normal = client.solve(&RunSpecKey::new("duo-disk", 1024, 128, 7))?;
+    println!(
+        "same session, next request: {} rounds, business as usual\n",
+        normal.summary.expect("a normal run").rounds
+    );
+    client.shutdown()?;
+    server.wait();
+
+    // ── Drill 2: a runaway run hits the solve deadline ──────────────
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            solve_timeout: Some(Duration::from_millis(1)),
+            ..ServerConfig::default()
+        },
+    )?;
+    let mut client = Client::connect(server.addr())?;
+    let mut runaway = RunSpecKey::new("duo-disk", 4096, 4096, 1);
+    runaway.stop = StopSpec::RoundBudget(5_000);
+    let reply = client.solve(&runaway)?;
+    let err = reply.error.as_ref().expect("an error frame");
+    println!(
+        "runaway run -> typed frame: code={} kind={} ({})",
+        err.code, err.kind, err.detail
+    );
+    assert_eq!(err.code, 213, "solve-timeout");
+    let stats = client.stats()?;
+    assert_eq!(stats.cache_entries, 0, "a cancelled run is never cached");
+    assert_eq!(stats.workers, width, "pool intact after the cancel");
+    println!("cancelled cooperatively; nothing cached, pool intact\n");
+    client.shutdown()?;
+    server.wait();
+
+    // ── Drill 3: the client retries its way through a dead session ──
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            idle_timeout: Duration::from_millis(200),
+            ..ServerConfig::default()
+        },
+    )?;
+    let policy = RetryPolicy::default();
+    println!(
+        "retry schedule: {:?} then {:?} then {:?} (capped at {:?})",
+        policy.delay(0),
+        policy.delay(1),
+        policy.delay(2),
+        policy.max_delay
+    );
+    let mut client = Client::connect_with_retry(server.addr(), &policy)?;
+    let key = RunSpecKey::new("triple-disk", 1024, 128, 42);
+    let cold = client.solve(&key)?;
+
+    // Let the server time the session out, then resubmit through the
+    // retry policy: the client eats the terminal idle-timeout frame,
+    // reconnects, resubmits, and — because replies are pure functions
+    // of the spec — gets the cold run's exact bytes from the cache.
+    std::thread::sleep(Duration::from_millis(600));
+    let recovered = client.solve_with_retry(&key, &policy)?;
+    let stats = client.stats()?;
+    println!(
+        "session idled out; retry recovered byte-identical reply: {} (runs still {})",
+        recovered.raw == cold.raw,
+        stats.runs
+    );
+    assert_eq!(recovered.raw, cold.raw, "idempotent resubmit");
+    assert_eq!(stats.runs, 1, "the retry hit the cache, no re-execution");
+
+    client.shutdown()?;
+    server.wait();
+    println!("\nall three drills passed; server drained cleanly");
+    Ok(())
+}
