@@ -9,8 +9,20 @@
 //! baseline every future round-engine optimisation is judged against.
 //!
 //! Usage: `perf_report [--smoke] [--schedule v1compat|v2batched]
-//! [--topology] [--threads N] [--parallel-sweep] [--out PATH]
-//! [--check BASELINE.json]`
+//! [--engine NAME] [--topology] [--threads N] [--parallel-sweep]
+//! [--out PATH] [--trend-out PATH] [--check BASELINE.json]`
+//!
+//! `--engine NAME` selects the execution engine for every cell (any
+//! canonical [`Engine`] name: `round-sync` (default), `event-unit`,
+//! `event-const-L`, `event-uniform-MIN-MAX`, with an optional
+//! `-loss-PPM` suffix). Under `event-unit` op counts equal the
+//! round-sync baseline by the unit-latency degeneracy contract, so
+//! `--engine event-unit --check` gates the event scheduler against the
+//! committed round-engine baseline with zero extra pinning.
+//!
+//! `--trend-out PATH` additionally writes a compact trend artifact
+//! (cell key → wall ms) meant to be uploaded per CI run, so wall-clock
+//! history can be charted across commits without parsing full reports.
 //!
 //! `--threads N` installs an `N`-worker rayon pool around the whole
 //! grid and forces the engine's parallel stepping path (threshold 1);
@@ -44,7 +56,7 @@
 //! gate). Any violation exits non-zero.
 
 use gossip_sim::{
-    Network, NetworkConfig, NodeControl, PhaseRng, Protocol, Response, RngSchedule, Served,
+    Engine, Network, NetworkConfig, NodeControl, PhaseRng, Protocol, Response, RngSchedule, Served,
 };
 use lpt_gossip::driver::scatter;
 use lpt_gossip::high_load::{HighLoadClarkson, HighLoadConfig};
@@ -88,7 +100,15 @@ const SEED: u64 = 2024;
 /// for every grid cell so the installed pool is actually exercised.
 static FORCE_PARALLEL: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
 
+/// Set by `--engine`: the execution engine every grid cell runs under.
+static ENGINE: std::sync::OnceLock<Engine> = std::sync::OnceLock::new();
+
+fn engine() -> Engine {
+    ENGINE.get().cloned().unwrap_or_default()
+}
+
 fn tuned(cfg: NetworkConfig) -> NetworkConfig {
+    let cfg = cfg.engine(engine());
     if FORCE_PARALLEL.load(std::sync::atomic::Ordering::Relaxed) {
         cfg.parallel_threshold(1)
     } else {
@@ -309,7 +329,8 @@ fn run_thread_sweep(schedule: RngSchedule, n: usize, warmup: u64, window: u64) -
                     .collect();
                 let cfg = NetworkConfig::with_seed(SEED)
                     .parallel_threshold(1)
-                    .rng_schedule(schedule);
+                    .rng_schedule(schedule)
+                    .engine(engine());
                 let mut net = Network::new(PushRumor, states, cfg);
                 for _ in 0..warmup {
                     net.round();
@@ -471,6 +492,17 @@ fn main() {
             std::process::exit(2);
         }),
     };
+    if let Some(e) = flag_value("--engine") {
+        let engine = Engine::parse(&e).unwrap_or_else(|| {
+            eprintln!(
+                "[perf_report] unknown --engine {e} (use round-sync, event-unit, \
+                 event-const-L, or event-uniform-MIN-MAX, optionally -loss-PPM)"
+            );
+            std::process::exit(2);
+        });
+        ENGINE.set(engine).expect("--engine parsed once");
+    }
+    let trend_path = flag_value("--trend-out");
     let check_path = flag_value("--check");
     let topology_grid = args.iter().any(|a| a == "--topology");
     let parallel_sweep = args.iter().any(|a| a == "--parallel-sweep");
@@ -531,6 +563,7 @@ fn main() {
     let _ = writeln!(json, "  \"seed\": {SEED},");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
     let _ = writeln!(json, "  \"schedule\": \"{}\",", schedule.name());
+    let _ = writeln!(json, "  \"engine\": \"{}\",", engine().name());
     json.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let rss = c
@@ -566,6 +599,27 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write report");
     println!("{json}");
     eprintln!("[perf_report] wrote {out_path}");
+
+    // The per-run trend artifact: one flat `cell key → wall ms` map,
+    // cheap enough to upload on every CI run and diff across commits.
+    if let Some(trend_path) = trend_path {
+        let mut trend = String::new();
+        trend.push_str("{\n  \"bench\": \"perf-trend\",\n");
+        let _ = writeln!(trend, "  \"schedule\": \"{}\",", schedule.name());
+        let _ = writeln!(trend, "  \"engine\": \"{}\",", engine().name());
+        trend.push_str("  \"wall_ms\": {\n");
+        for (i, c) in cells.iter().enumerate() {
+            let _ = write!(
+                trend,
+                "    \"{}/n={}/{}/{}/t{}\": {:.1}",
+                c.algo, c.n, c.scenario, c.topology, c.threads, c.wall_ms
+            );
+            trend.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+        }
+        trend.push_str("  }\n}\n");
+        std::fs::write(&trend_path, &trend).expect("write trend artifact");
+        eprintln!("[perf_report] wrote {trend_path}");
+    }
 
     if let Some(baseline) = baseline {
         let tol = std::env::var("PERF_SMOKE_WALL_TOL")

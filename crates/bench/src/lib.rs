@@ -81,6 +81,7 @@ pub fn run_frames<O>(
         fault: fault.to_string(),
         topology: report.topology.to_string(),
         schedule: report.schedule.name().to_string(),
+        engine: String::new(),
     };
     let summary = gossip_sim::export::RunSummary {
         rounds: report.rounds,

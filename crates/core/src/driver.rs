@@ -44,6 +44,7 @@ use crate::high_load::{HighLoadClarkson, HighLoadConfig, HighLoadState};
 use crate::hitting_set::{HittingSetConfig, HittingSetGossip, HittingSetState};
 use crate::hypercube::hypercube_clarkson;
 use crate::low_load::{LowLoadClarkson, LowLoadConfig, LowLoadState};
+use gossip_sim::event::Engine;
 use gossip_sim::fault::{FaultModel, IntoFaultModel, Perfect};
 use gossip_sim::topology::{Complete, IntoTopology, Topology};
 use gossip_sim::{Metrics, Network, NetworkConfig, Protocol, RngSchedule, RunOutcome};
@@ -145,6 +146,14 @@ pub enum DriverError {
     },
     /// A sequential solver inside the run failed.
     Solver(String),
+    /// A non-default execution engine was combined with an algorithm
+    /// that is computed analytically rather than simulated (the
+    /// hypercube baseline), so there is no network to schedule events
+    /// for.
+    UnsupportedEngine {
+        /// The algorithm that was selected.
+        algorithm: &'static str,
+    },
     /// The run was cancelled cooperatively via [`Driver::cancel_flag`]
     /// (checked between rounds, so cancellation is prompt but never
     /// tears a round in half). The partial state is discarded — a
@@ -208,6 +217,13 @@ impl fmt::Display for DriverError {
             }
             DriverError::Solver(msg) => write!(f, "sequential solver failed: {msg}"),
             DriverError::Cancelled => write!(f, "run cancelled before completion"),
+            DriverError::UnsupportedEngine { algorithm } => {
+                write!(
+                    f,
+                    "algorithm {algorithm} is computed analytically and cannot \
+                     run under a non-default execution engine"
+                )
+            }
         }
     }
 }
@@ -215,7 +231,7 @@ impl fmt::Display for DriverError {
 impl std::error::Error for DriverError {}
 
 /// Stable wire identity (`specs/structured-errors` style): codes `101`
-/// – `111`, kinds matching the variant names in kebab case. Codes are
+/// – `112`, kinds matching the variant names in kebab case. Codes are
 /// part of the wire contract of `lpt-server` and are never renumbered;
 /// new variants take fresh codes.
 impl gossip_sim::export::ErrorCode for DriverError {
@@ -232,6 +248,7 @@ impl gossip_sim::export::ErrorCode for DriverError {
             DriverError::NoGroundElements { .. } => 109,
             DriverError::Solver(_) => 110,
             DriverError::Cancelled => 111,
+            DriverError::UnsupportedEngine { .. } => 112,
         }
     }
 
@@ -248,6 +265,7 @@ impl gossip_sim::export::ErrorCode for DriverError {
             DriverError::NoGroundElements { .. } => "no-ground-elements",
             DriverError::Solver(_) => "solver",
             DriverError::Cancelled => "cancelled",
+            DriverError::UnsupportedEngine { .. } => "unsupported-engine",
         }
     }
 }
@@ -646,6 +664,9 @@ pub struct RunSpec<'a, T> {
     pub schedule: RngSchedule,
     /// The communication topology destinations are drawn from.
     pub topology: &'a Arc<dyn Topology>,
+    /// The execution engine the network is stepped with (round-sync or
+    /// event-driven; see [`gossip_sim::event`]).
+    pub engine: &'a Engine,
     /// Cooperative cancellation flag, checked between simulated rounds
     /// (`None` = not cancellable). See [`Driver::cancel_flag`].
     pub cancel: Option<&'a AtomicBool>,
@@ -721,6 +742,7 @@ pub struct Driver<P: DriverProblem<M>, M = LpMode> {
     fault: Arc<dyn FaultModel>,
     schedule: RngSchedule,
     topology: Arc<dyn Topology>,
+    engine: Engine,
     cancel: Option<Arc<AtomicBool>>,
     _mode: PhantomData<fn() -> M>,
 }
@@ -740,6 +762,7 @@ impl<M, P: DriverProblem<M> + Clone> Clone for Driver<P, M> {
             fault: self.fault.clone(),
             schedule: self.schedule,
             topology: self.topology.clone(),
+            engine: self.engine.clone(),
             cancel: self.cancel.clone(),
             _mode: PhantomData,
         }
@@ -760,6 +783,7 @@ impl<M, P: DriverProblem<M>> fmt::Debug for Driver<P, M> {
             .field("fault", &self.fault)
             .field("schedule", &self.schedule)
             .field("topology", &self.topology)
+            .field("engine", &self.engine)
             .finish_non_exhaustive()
     }
 }
@@ -785,6 +809,7 @@ impl<M, P: DriverProblem<M>> Driver<P, M> {
             fault: Arc::new(Perfect),
             schedule: RngSchedule::default(),
             topology: Arc::new(Complete),
+            engine: Engine::default(),
             cancel: None,
             _mode: PhantomData,
         }
@@ -906,6 +931,21 @@ impl<M, P: DriverProblem<M>> Driver<P, M> {
         self
     }
 
+    /// Selects the execution engine the simulated network is stepped
+    /// with (default: [`Engine::RoundSync`], the paper's synchronous
+    /// model). `Engine::EventDriven(LinkPlan::unit())` runs the
+    /// discrete-event scheduler in its degenerate unit-latency schedule
+    /// and is byte-identical to the default; other link plans give
+    /// every edge its own latency/loss and make rounds genuinely
+    /// asynchronous (see [`gossip_sim::event`]). Not supported by the
+    /// analytic [`Algorithm::Hypercube`] baseline
+    /// ([`DriverError::UnsupportedEngine`]).
+    #[must_use = "builder methods return the updated driver"]
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// Installs a cooperative cancellation flag: the run loop checks it
     /// between simulated rounds and, once it reads `true`, abandons the
     /// run with [`DriverError::Cancelled`] instead of producing a
@@ -953,6 +993,7 @@ impl<M, P: DriverProblem<M>> Driver<P, M> {
             fault: &self.fault,
             schedule: self.schedule,
             topology: &self.topology,
+            engine: &self.engine,
             cancel: self.cancel.as_deref(),
         };
         self.problem.execute(&spec, elements)
@@ -986,6 +1027,7 @@ fn net_config<T>(spec: &RunSpec<'_, T>) -> NetworkConfig {
     cfg.fault = spec.fault.clone();
     cfg.schedule = spec.schedule;
     cfg.topology = spec.topology.clone();
+    cfg.engine = spec.engine.clone();
     cfg
 }
 
@@ -1280,6 +1322,13 @@ fn run_hypercube_driver<P: LpType + Clone + Sync>(
     }
     if !spec.fault.is_perfect() {
         return Err(DriverError::UnsupportedFaults {
+            algorithm: "hypercube",
+        });
+    }
+    // Likewise for the execution engine: there is no network whose
+    // events could be scheduled, so only the default engine fits.
+    if !spec.engine.is_default() {
+        return Err(DriverError::UnsupportedEngine {
             algorithm: "hypercube",
         });
     }

@@ -23,6 +23,7 @@
 //! ([`F64Key`]): bitwise identity is the only equality under which
 //! "equal keys ⇒ identical runs" holds for floats.
 
+use gossip_sim::event::Engine;
 use gossip_sim::export::ErrorCode;
 use gossip_sim::RngSchedule;
 use std::fmt;
@@ -213,6 +214,11 @@ pub struct RunSpecKey {
     pub topology: String,
     /// Versioned randomness schedule.
     pub schedule: RngSchedule,
+    /// Execution engine (round-synchronous by default; see
+    /// `gossip_sim::event`). Encoded as a trailing `engine=` pair only
+    /// when non-default, so every pre-engine canonical string stays
+    /// valid and byte-identical.
+    pub engine: Engine,
 }
 
 /// Whether `s` is a valid preset-name token: non-empty ASCII
@@ -243,6 +249,7 @@ impl RunSpecKey {
             fault: "perfect".to_string(),
             topology: "complete".to_string(),
             schedule: RngSchedule::default(),
+            engine: Engine::default(),
         }
     }
 
@@ -261,7 +268,7 @@ impl RunSpecKey {
             Some(f) => f.to_string(),
             None => "-".to_string(),
         };
-        format!(
+        let mut s = format!(
             "{} workload={} elements={} alg={} n={} seed={} stop={} max_rounds={} \
              doubling={} fault={} topology={} schedule={}",
             SPEC_VERSION,
@@ -276,7 +283,15 @@ impl RunSpecKey {
             self.fault,
             self.topology,
             self.schedule.name(),
-        )
+        );
+        // Trailing optional field: the default engine stays off the
+        // string, so pre-engine encodings (and their cached replies)
+        // are bit-for-bit unchanged.
+        if !self.engine.is_default() {
+            s.push_str(" engine=");
+            s.push_str(&self.engine.name());
+        }
+        s
     }
 
     /// Parses a [`RunSpecKey::canonical`] string.
@@ -310,9 +325,25 @@ impl RunSpecKey {
                 .ok_or(SpecError::MissingField(field))?;
             values.push(value);
         }
-        if parts.next().is_some() {
-            return Err(SpecError::TrailingInput);
-        }
+        // Optional trailing `engine=` pair (absent on every pre-engine
+        // string); anything else trailing is an error.
+        let engine = match parts.next() {
+            None => Engine::default(),
+            Some(pair) => {
+                let value = pair
+                    .strip_prefix("engine")
+                    .and_then(|rest| rest.strip_prefix('='))
+                    .ok_or(SpecError::TrailingInput)?;
+                let engine = Engine::parse(value).ok_or_else(|| SpecError::BadValue {
+                    field: "engine",
+                    value: value.to_string(),
+                })?;
+                if parts.next().is_some() {
+                    return Err(SpecError::TrailingInput);
+                }
+                engine
+            }
+        };
         let uint = |field: &'static str, v: &str| {
             v.parse::<u64>().map_err(|_| SpecError::BadValue {
                 field,
@@ -350,6 +381,7 @@ impl RunSpecKey {
                 field: "schedule",
                 value: values[10].to_string(),
             })?,
+            engine,
         };
         Ok(key)
     }
@@ -436,6 +468,7 @@ mod tests {
             fault: "hostile".to_string(),
             topology: "ring16".to_string(),
             schedule: RngSchedule::V1Compat,
+            engine: Engine::parse("event-uniform-1-4").unwrap(),
         }
     }
 
@@ -506,6 +539,34 @@ mod tests {
         assert!(RunSpecKey::parse(&ok.replace("seed=1", "seed=x")).is_err());
         assert!(RunSpecKey::parse(&ok.replace("fault=perfect", "fault=Perfect")).is_err());
         assert!(RunSpecKey::parse(&ok.replace("schedule=v2batched", "schedule=v9")).is_err());
+        assert_eq!(
+            RunSpecKey::parse(&(ok.clone() + " engine=event-warp")),
+            Err(SpecError::BadValue {
+                field: "engine",
+                value: "event-warp".to_string(),
+            })
+        );
+        assert!(RunSpecKey::parse(&(ok + " engine=event-unit extra=1")).is_err());
+    }
+
+    #[test]
+    fn engine_field_is_trailing_and_default_invisible() {
+        let mut key = RunSpecKey::new("duo-disk", 64, 8, 1);
+        let default_encoding = key.canonical();
+        assert!(
+            !default_encoding.contains("engine="),
+            "default engine must stay off the canonical string: {default_encoding}"
+        );
+        key.engine = Engine::parse("event-unit").unwrap();
+        let s = key.canonical();
+        assert!(s.ends_with(" engine=event-unit"), "{s}");
+        assert_eq!(RunSpecKey::parse(&s).unwrap(), key);
+        // An explicit default spelling parses to the same key the bare
+        // string does (the cache is keyed by the struct, not the text).
+        assert_eq!(
+            RunSpecKey::parse(&(default_encoding.clone() + " engine=round-sync")).unwrap(),
+            RunSpecKey::parse(&default_encoding).unwrap()
+        );
     }
 
     #[test]

@@ -555,6 +555,11 @@ pub struct RunHeader {
     pub topology: String,
     /// RNG schedule name.
     pub schedule: String,
+    /// Execution engine name when the run used a non-default engine
+    /// (see [`crate::event::Engine::name`]); empty for the
+    /// round-synchronous default, whose header frames then stay
+    /// byte-identical to pre-engine builds.
+    pub engine: String,
 }
 
 /// The summary frame: run-level outcome written after the last round
@@ -697,31 +702,47 @@ impl Frame {
     /// order is fixed; see the golden tests.
     pub fn to_line(&self) -> String {
         match self {
-            Frame::Header(h) => ObjBuilder::new()
-                .str("frame", "header")
-                .str("spec", &h.spec)
-                .str("algorithm", &h.algorithm)
-                .u64("n", h.n)
-                .u64("seed", h.seed)
-                .str("fault", &h.fault)
-                .str("topology", &h.topology)
-                .str("schedule", &h.schedule)
-                .finish(),
-            Frame::Round(r) => ObjBuilder::new()
-                .str("frame", "round")
-                .u64("round", r.round)
-                .u64("pulls", r.pulls)
-                .u64("pushes", r.pushes)
-                .u64("max_node_work", r.max_node_work)
-                .u64("served", r.served)
-                .u64("msg_words", r.msg_words)
-                .u64("total_load", r.total_load)
-                .u64("max_load", r.max_load)
-                .u64("halted", r.halted)
-                .u64("offline", r.offline)
-                .u64("dropped", r.dropped)
-                .u64("delayed", r.delayed)
-                .finish(),
+            Frame::Header(h) => {
+                let mut b = ObjBuilder::new()
+                    .str("frame", "header")
+                    .str("spec", &h.spec)
+                    .str("algorithm", &h.algorithm)
+                    .u64("n", h.n)
+                    .u64("seed", h.seed)
+                    .str("fault", &h.fault)
+                    .str("topology", &h.topology)
+                    .str("schedule", &h.schedule);
+                // The engine tag rides the wire only for non-default
+                // engines: every historical stream was round-sync, and
+                // the server's exact cache pins reply bytes.
+                if !h.engine.is_empty() {
+                    b = b.str("engine", &h.engine);
+                }
+                b.finish()
+            }
+            Frame::Round(r) => {
+                let mut b = ObjBuilder::new()
+                    .str("frame", "round")
+                    .u64("round", r.round);
+                // Virtual time renders only when it diverges from the
+                // row index (event engine under non-unit latency), so
+                // round-sync streams keep their historical bytes.
+                if r.vtime != r.round {
+                    b = b.u64("vtime", r.vtime);
+                }
+                b.u64("pulls", r.pulls)
+                    .u64("pushes", r.pushes)
+                    .u64("max_node_work", r.max_node_work)
+                    .u64("served", r.served)
+                    .u64("msg_words", r.msg_words)
+                    .u64("total_load", r.total_load)
+                    .u64("max_load", r.max_load)
+                    .u64("halted", r.halted)
+                    .u64("offline", r.offline)
+                    .u64("dropped", r.dropped)
+                    .u64("delayed", r.delayed)
+                    .finish()
+            }
             Frame::Summary(s) => {
                 let mut b = ObjBuilder::new()
                     .str("frame", "summary")
@@ -786,21 +807,32 @@ impl Frame {
                 fault: need_str(&v, "header", "fault")?,
                 topology: need_str(&v, "header", "topology")?,
                 schedule: need_str(&v, "header", "schedule")?,
+                engine: v
+                    .get("engine")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
             })),
-            "round" => Ok(Frame::Round(RoundMetrics {
-                round: need_u64(&v, "round", "round")?,
-                pulls: need_u64(&v, "round", "pulls")?,
-                pushes: need_u64(&v, "round", "pushes")?,
-                max_node_work: need_u64(&v, "round", "max_node_work")?,
-                served: need_u64(&v, "round", "served")?,
-                msg_words: need_u64(&v, "round", "msg_words")?,
-                total_load: need_u64(&v, "round", "total_load")?,
-                max_load: need_u64(&v, "round", "max_load")?,
-                halted: need_u64(&v, "round", "halted")?,
-                offline: need_u64(&v, "round", "offline")?,
-                dropped: need_u64(&v, "round", "dropped")?,
-                delayed: need_u64(&v, "round", "delayed")?,
-            })),
+            "round" => {
+                let round = need_u64(&v, "round", "round")?;
+                Ok(Frame::Round(RoundMetrics {
+                    round,
+                    // Absent on historical (and all round-sync) frames,
+                    // where virtual time is the round index.
+                    vtime: opt_u64(&v, "round", "vtime")?.unwrap_or(round),
+                    pulls: need_u64(&v, "round", "pulls")?,
+                    pushes: need_u64(&v, "round", "pushes")?,
+                    max_node_work: need_u64(&v, "round", "max_node_work")?,
+                    served: need_u64(&v, "round", "served")?,
+                    msg_words: need_u64(&v, "round", "msg_words")?,
+                    total_load: need_u64(&v, "round", "total_load")?,
+                    max_load: need_u64(&v, "round", "max_load")?,
+                    halted: need_u64(&v, "round", "halted")?,
+                    offline: need_u64(&v, "round", "offline")?,
+                    dropped: need_u64(&v, "round", "dropped")?,
+                    delayed: need_u64(&v, "round", "delayed")?,
+                }))
+            }
             "summary" => Ok(Frame::Summary(RunSummary {
                 rounds: need_u64(&v, "summary", "rounds")?,
                 all_halted: v.get("all_halted").and_then(Json::as_bool).ok_or(
@@ -978,9 +1010,11 @@ mod tests {
                 fault: "wan".to_string(),
                 topology: "rr8".to_string(),
                 schedule: "v2batched".to_string(),
+                engine: "event-uniform-1-4".to_string(),
             }),
             Frame::Round(RoundMetrics {
                 round: 0,
+                vtime: 13, // != round: rendered explicitly and round-tripped
                 pulls: 1,
                 pushes: 2,
                 max_node_work: 3,

@@ -84,6 +84,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod event;
 pub mod export;
 pub mod fault;
 pub mod metrics;
@@ -93,6 +94,7 @@ pub mod rng;
 pub mod scratch;
 pub mod topology;
 
+pub use event::{Engine, EventQueue, Link, LinkPlan};
 pub use export::{ErrorCode, Frame, RunHeader, RunSummary, WireError};
 pub use fault::{
     Asymmetric, Bernoulli, Byzantine, Churn, Compose, Delay, FaultModel, IntoFaultModel, Partition,

@@ -5,6 +5,16 @@
 pub struct RoundMetrics {
     /// Round index (0-based).
     pub round: u64,
+    /// Virtual time (simulated tick) at which the round executed.
+    ///
+    /// Under the round-synchronous engine this always equals
+    /// [`RoundMetrics::round`]. Under the event-driven engine
+    /// ([`crate::event::Engine::EventDriven`]) heterogeneous link
+    /// latencies stretch rounds over the virtual clock, so `vtime`
+    /// can run ahead of the row index. The wire export renders it only
+    /// when it differs from `round`, keeping historical frames
+    /// byte-stable.
+    pub vtime: u64,
     /// Total pull operations issued by live nodes.
     pub pulls: u64,
     /// Total push operations issued by live nodes.
@@ -166,6 +176,7 @@ mod tests {
         assert!(m.is_empty());
         m.rounds.push(RoundMetrics {
             round: 0,
+            vtime: 0,
             pulls: 10,
             pushes: 5,
             max_node_work: 4,
@@ -180,6 +191,7 @@ mod tests {
         });
         m.rounds.push(RoundMetrics {
             round: 1,
+            vtime: 1,
             pulls: 2,
             pushes: 8,
             max_node_work: 6,

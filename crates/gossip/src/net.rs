@@ -1,5 +1,6 @@
 //! The network simulator itself.
 
+use crate::event::{Engine, EventCore, TickCtx};
 use crate::fault::{FaultModel, IntoFaultModel, Perfect};
 use crate::metrics::{Metrics, RoundMetrics};
 use crate::protocol::{NodeControl, Protocol, Response};
@@ -34,6 +35,11 @@ pub struct NetworkConfig {
     /// [`Complete`], the paper's model — uniform over all `n` nodes);
     /// see [`crate::topology`] for the built-in overlays.
     pub topology: Arc<dyn Topology>,
+    /// Which execution engine steps the rounds (default:
+    /// [`Engine::RoundSync`], the paper's synchronous model; see
+    /// [`crate::event`] for the discrete-event engine and its
+    /// unit-latency byte-identity contract).
+    pub engine: Engine,
 }
 
 impl NetworkConfig {
@@ -48,6 +54,7 @@ impl NetworkConfig {
             fault: Arc::new(Perfect),
             schedule: RngSchedule::default(),
             topology: Arc::new(Complete),
+            engine: Engine::default(),
         }
     }
 
@@ -83,6 +90,15 @@ impl NetworkConfig {
     /// the pre-topology engine under both schedules).
     pub fn topology(mut self, topology: impl IntoTopology) -> Self {
         self.topology = topology.into_topology();
+        self
+    }
+
+    /// Selects the execution engine (default: [`Engine::RoundSync`]).
+    /// `Engine::EventDriven(LinkPlan::unit())` is byte-identical to the
+    /// default; other link plans make rounds genuinely asynchronous
+    /// (see [`crate::event`]).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
         self
     }
 }
@@ -155,6 +171,11 @@ pub struct Network<P: Protocol> {
     /// per-run state adjacent to the scratch so steady-state rounds
     /// stay zero-alloc.
     adjacency: Option<Adjacency>,
+    /// The discrete-event scheduler state, present iff the config
+    /// selected [`Engine::EventDriven`]; `round()` then advances one
+    /// virtual-time tick instead of one synchronous round (see
+    /// [`crate::event`]).
+    event: Option<EventCore<P>>,
 }
 
 impl<P: Protocol> Network<P> {
@@ -171,6 +192,10 @@ impl<P: Protocol> Network<P> {
             cfg.topology.is_complete(),
             "a topology must build an arena iff it is not complete"
         );
+        let event = match &cfg.engine {
+            Engine::RoundSync => None,
+            Engine::EventDriven(plan) => Some(EventCore::new(n, plan.clone())),
+        };
         Network {
             protocol,
             states,
@@ -182,6 +207,7 @@ impl<P: Protocol> Network<P> {
             pending_pool: Vec::new(),
             scratch: RoundScratch::new(n),
             adjacency,
+            event,
         }
     }
 
@@ -236,13 +262,20 @@ impl<P: Protocol> Network<P> {
     }
 
     /// Messages currently in flight beyond the normal one-round latency
-    /// (non-zero only under a fault model with delays).
+    /// (non-zero only under a fault model with delays or an event-driven
+    /// link plan with latencies above one tick).
     pub fn in_flight(&self) -> usize {
-        self.pending.iter().map(Vec::len).sum()
+        self.pending.iter().map(Vec::len).sum::<usize>()
+            + self.event.as_ref().map_or(0, EventCore::in_flight)
     }
 
     fn use_parallel(&self) -> bool {
-        self.cfg.parallel && self.states.len() >= self.cfg.parallel_threshold
+        // The event engine is inherently sequential: its determinism
+        // contract is the heap's total (time, seq) order, which admits
+        // no data-parallel phase sweeps.
+        self.event.is_none()
+            && self.cfg.parallel
+            && self.states.len() >= self.cfg.parallel_threshold
     }
 
     /// The number of threads this network's rounds actually use: 1 when
@@ -280,6 +313,9 @@ impl<P: Protocol> Network<P> {
     /// anyway — this is the `effective_parallelism() == 1` case the
     /// driver surfaces instead of silently ignoring the knob).
     pub fn round(&mut self) -> RoundMetrics {
+        if self.event.is_some() {
+            return self.event_round();
+        }
         let n = self.states.len();
         let seed = self.cfg.seed;
         let round = self.round;
@@ -746,6 +782,7 @@ impl<P: Protocol> Network<P> {
 
         let rm = RoundMetrics {
             round,
+            vtime: round,
             pulls: pull_counts.iter().sum(),
             pushes: pushes_total,
             max_node_work: max_work,
@@ -759,6 +796,33 @@ impl<P: Protocol> Network<P> {
             delayed,
         };
         self.metrics.rounds.push(rm);
+        self.round += 1;
+        rm
+    }
+
+    /// One `round()` under the event engine: advance virtual time to
+    /// the next tick holding events and execute it. The core cannot
+    /// borrow the network's buffers permanently (the round engine
+    /// shares them), so each tick borrows them through a `TickCtx`.
+    fn event_round(&mut self) -> RoundMetrics {
+        let mut core = self.event.take().expect("event engine selected");
+        let fault = Arc::clone(&self.cfg.fault);
+        let rm = {
+            let mut ctx = TickCtx {
+                protocol: &self.protocol,
+                states: &mut self.states,
+                halted: &mut self.halted,
+                scratch: &mut self.scratch,
+                metrics: &mut self.metrics,
+                adjacency: self.adjacency.as_ref(),
+                seed: self.cfg.seed,
+                fault: fault.as_ref(),
+                schedule: self.cfg.schedule,
+                round: self.round,
+            };
+            core.tick(&mut ctx)
+        };
+        self.event = Some(core);
         self.round += 1;
         rm
     }

@@ -16,6 +16,7 @@ use gossip_sim::metrics::RoundMetrics;
 fn golden_frames() -> Vec<Frame> {
     let round = |round: u64, pulls: u64, halted: u64| RoundMetrics {
         round,
+        vtime: round, // == round: stays invisible on the wire
         pulls,
         pushes: pulls / 3,
         max_node_work: 17,
@@ -40,6 +41,7 @@ fn golden_frames() -> Vec<Frame> {
             fault: "wan".to_string(),
             topology: "rr8".to_string(),
             schedule: "v2batched".to_string(),
+            engine: String::new(), // default engine: stays off the wire
         }),
         Frame::Round(round(0, 4096, 0)),
         Frame::Round(round(1, 4099, 7)),

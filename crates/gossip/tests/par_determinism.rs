@@ -18,6 +18,7 @@
 //! even a reordering that conserves multisets is caught — delivery
 //! order is part of the deterministic contract).
 
+use gossip_sim::event::{Engine, LinkPlan};
 use gossip_sim::fault::{Bernoulli, Churn, Compose, Delay};
 use gossip_sim::net::{Network, NetworkConfig};
 use gossip_sim::protocol::{NodeControl, Protocol, Response, Served};
@@ -204,6 +205,30 @@ fn run_cell(
     (net.states().to_vec(), net.metrics().rounds.clone(), halted)
 }
 
+/// Same observable trace, produced by the event-driven engine under a
+/// given link plan (the event engine steps nodes sequentially by
+/// construction, so there is no parallel knob here).
+fn run_event_cell(
+    n: usize,
+    rounds: usize,
+    schedule: RngSchedule,
+    fault: &Arc<dyn gossip_sim::fault::FaultModel>,
+    topology: &Arc<dyn gossip_sim::topology::Topology>,
+    plan: LinkPlan,
+) -> Trace {
+    let cfg = NetworkConfig::with_seed(0x5eed)
+        .fault(Arc::clone(fault))
+        .topology(Arc::clone(topology))
+        .rng_schedule(schedule)
+        .engine(Engine::EventDriven(plan));
+    let mut net = Network::new(TokenMix, initial_states(n), cfg);
+    for _ in 0..rounds {
+        net.round();
+    }
+    let halted = (0..n).map(|i| net.is_halted(i)).collect();
+    (net.states().to_vec(), net.metrics().rounds.clone(), halted)
+}
+
 /// The full grid: {V1Compat, V2Batched} × {complete, hypercube,
 /// rr8, ring16, torus} × {perfect, wan, flaky} × threads {2, 4, 8},
 /// several repetitions per cell, every repetition compared
@@ -255,6 +280,70 @@ fn hardest_cell_survives_many_repetitions() {
     for rep in 0..25 {
         let par = pool.install(|| run_cell(n, rounds, RngSchedule::V2Batched, &fault, &topo, true));
         assert_eq!(par, baseline, "rep {rep} diverged");
+    }
+}
+
+/// The unit-latency degeneracy at the raw-network level, across the
+/// same adversarial grid the parallel suite runs: for every
+/// {schedule} × {topology} × {fault model} cell, the event engine
+/// under `LinkPlan::unit()` must produce the identical Trace —
+/// per-node states (order-sensitive rolling hashes), per-round
+/// metrics, and the halted set — as the round-synchronous engine.
+#[test]
+fn event_unit_matches_round_sync_across_the_grid() {
+    let n = 512;
+    let rounds = 10;
+    let faults = fault_models();
+    let topos = topologies();
+    for schedule in [RngSchedule::V1Compat, RngSchedule::V2Batched] {
+        for (topo_name, topo) in &topos {
+            for (fault_name, fault) in &faults {
+                let round_sync = run_cell(n, rounds, schedule, fault, topo, false);
+                let event = run_event_cell(n, rounds, schedule, fault, topo, LinkPlan::unit());
+                assert_eq!(
+                    event, round_sync,
+                    "engines diverged: {schedule:?}/{topo_name}/{fault_name}"
+                );
+            }
+        }
+    }
+}
+
+/// Event-driven scheduling is thread-count-invariant: the heap's
+/// (time, seq) total order — not rayon's chunk claiming — decides
+/// every interleaving, so running the identical heterogeneous-latency
+/// cell inside 1-, 2-, and 4-thread pools must be byte-identical. The
+/// plan here has real multi-tick latencies and loss, so the event
+/// paths that *don't* exist under unit links are exercised too.
+#[test]
+fn event_scheduling_is_thread_count_invariant() {
+    let n = 512;
+    let rounds = 16;
+    let plan = LinkPlan::Uniform {
+        min: 1,
+        max: 3,
+        loss_ppm: 20_000,
+    };
+    let fault = fault_models().remove(1).1; // wan: loss + delay faults on top
+    let topo = RandomRegular(8).into_topology();
+    let run = || {
+        run_event_cell(
+            n,
+            rounds,
+            RngSchedule::V2Batched,
+            &fault,
+            &topo,
+            plan.clone(),
+        )
+    };
+    let baseline = run();
+    for threads in [1usize, 2, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        let trace = pool.install(run);
+        assert_eq!(trace, baseline, "threads={threads}");
     }
 }
 

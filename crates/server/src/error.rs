@@ -2,7 +2,7 @@
 //!
 //! Every failure a session can report on the wire is either a
 //! [`ServerError`] (codes `2xx`, defined here), a
-//! [`DriverError`](lpt_gossip::DriverError) (codes `101`–`111`), or a
+//! [`DriverError`](lpt_gossip::DriverError) (codes `101`–`112`), or a
 //! [`SpecError`](lpt_gossip::SpecError) (codes `120`–`123`) — all
 //! rendered through the same [`ErrorCode`] trait into
 //! `{"frame":"error","code":...,"kind":...,"detail":...}` frames.
@@ -65,6 +65,8 @@ pub enum ServerError {
         /// The deadline that elapsed, in milliseconds.
         millis: u64,
     },
+    /// The requested execution engine does not exist.
+    UnknownEngine(String),
 }
 
 impl fmt::Display for ServerError {
@@ -114,6 +116,9 @@ impl fmt::Display for ServerError {
                     "run exceeded the {millis} ms solve deadline and was cancelled"
                 )
             }
+            ServerError::UnknownEngine(name) => {
+                write!(f, "no execution engine named {name:?}")
+            }
         }
     }
 }
@@ -137,6 +142,7 @@ impl ErrorCode for ServerError {
             ServerError::IdleTimeout { .. } => 211,
             ServerError::WorkerPanicked { .. } => 212,
             ServerError::SolveTimeout { .. } => 213,
+            ServerError::UnknownEngine(_) => 214,
         }
     }
 
@@ -156,6 +162,7 @@ impl ErrorCode for ServerError {
             ServerError::IdleTimeout { .. } => "idle-timeout",
             ServerError::WorkerPanicked { .. } => "worker-panicked",
             ServerError::SolveTimeout { .. } => "solve-timeout",
+            ServerError::UnknownEngine(_) => "unknown-engine",
         }
     }
 }
@@ -186,9 +193,10 @@ mod tests {
                 detail: String::new(),
             },
             ServerError::SolveTimeout { millis: 0 },
+            ServerError::UnknownEngine(String::new()),
         ];
         let codes: Vec<u16> = all.iter().map(ErrorCode::code).collect();
-        assert_eq!(codes, (200..214).collect::<Vec<u16>>());
+        assert_eq!(codes, (200..215).collect::<Vec<u16>>());
         let mut kinds: Vec<&str> = all.iter().map(|e| e.kind()).collect();
         kinds.sort_unstable();
         kinds.dedup();

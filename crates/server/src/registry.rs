@@ -79,6 +79,13 @@ fn header_for(key: &RunSpecKey) -> RunHeader {
         fault: key.fault.clone(),
         topology: key.topology.clone(),
         schedule: key.schedule.name().to_string(),
+        // Empty for the default engine, so historical header frames
+        // stay byte-identical.
+        engine: if key.engine.is_default() {
+            String::new()
+        } else {
+            key.engine.name()
+        },
     }
 }
 

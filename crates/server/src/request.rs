@@ -14,12 +14,15 @@
 //! default `4·n`), `algorithm` (canonical [`AlgorithmSpec`] encoding,
 //! default `low-load`), `seed` (0), `stop` (`full` or `budget:N`),
 //! `max_rounds` (20 000), `doubling` (number or absent), `fault`
-//! (`perfect`), `topology` (`complete`), `schedule` (`v2batched`).
+//! (`perfect`), `topology` (`complete`), `schedule` (`v2batched`),
+//! `engine` (`round-sync`; any canonical `gossip_sim::event::Engine`
+//! name, e.g. `event-unit` or `event-uniform-1-4`).
 //! A solve request decodes into exactly the [`RunSpecKey`] that keys
 //! the report cache, so "same request" and "same cache key" are the
 //! same notion by construction.
 
 use crate::error::ServerError;
+use gossip_sim::event::Engine;
 use gossip_sim::export::{ErrorCode, Json, ObjBuilder, WireError};
 use lpt_gossip::spec::{is_name_token, AlgorithmSpec, RunSpecKey, StopSpec};
 use lpt_gossip::RngSchedule;
@@ -149,6 +152,9 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
             let schedule_name = opt_name(&v, "schedule", RngSchedule::default().name())?;
             let schedule = RngSchedule::parse(&schedule_name)
                 .ok_or_else(|| wire(ServerError::UnknownSchedule(schedule_name.clone())))?;
+            let engine_name = opt_name(&v, "engine", "round-sync")?;
+            let engine = Engine::parse(&engine_name)
+                .ok_or_else(|| wire(ServerError::UnknownEngine(engine_name.clone())))?;
             Ok(Request::Solve(RunSpecKey {
                 workload,
                 elements: opt_u64(&v, "elements", n.saturating_mul(4))?,
@@ -161,6 +167,7 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
                 fault: opt_name(&v, "fault", "perfect")?,
                 topology: opt_name(&v, "topology", "complete")?,
                 schedule,
+                engine,
             }))
         }
         other => Err(wire(ServerError::UnknownCommand(other.to_string()))),
@@ -184,10 +191,17 @@ pub fn solve_request_line(key: &RunSpecKey) -> String {
         Some(f) => b.f64("doubling", f.value()),
         None => b,
     };
-    b.str("fault", &key.fault)
+    let b = b
+        .str("fault", &key.fault)
         .str("topology", &key.topology)
-        .str("schedule", key.schedule.name())
-        .finish()
+        .str("schedule", key.schedule.name());
+    // Like the canonical spec string: the default engine stays off the
+    // line, so historical request bytes are reproduced exactly.
+    if key.engine.is_default() {
+        b.finish()
+    } else {
+        b.str("engine", &key.engine.name()).finish()
+    }
 }
 
 #[cfg(test)]
@@ -217,6 +231,7 @@ mod tests {
         key.fault = "wan".to_string();
         key.topology = "rr8".to_string();
         key.schedule = RngSchedule::V1Compat;
+        key.engine = Engine::parse("event-uniform-1-4-loss-2000").unwrap();
         let line = solve_request_line(&key);
         assert_eq!(parse_request(&line).unwrap(), Request::Solve(key));
     }
@@ -251,6 +266,12 @@ mod tests {
                 .unwrap_err()
                 .code,
             207
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"solve","workload":"duo-disk","n":4,"engine":"event-warp"}"#)
+                .unwrap_err()
+                .code,
+            214
         );
         assert_eq!(parse_request(r#"{"cmd":"stats"}"#).unwrap(), Request::Stats);
         assert_eq!(

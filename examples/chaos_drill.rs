@@ -2,12 +2,16 @@
 //! run, a run that blows its solve deadline, and a dead session — and
 //! watch the service answer each one with a typed error frame while
 //! the worker pool stays at full width, no cache key wedges, and a
-//! retrying client recovers byte-exact results.
+//! retrying client recovers byte-exact results. A final drill drives
+//! the event-driven engine over the wire: unit links replay the
+//! round-sync trajectory under its own cache key, and a misspelled
+//! engine name earns a typed `unknown-engine` frame.
 //!
 //! ```sh
 //! cargo run --release --example chaos_drill
 //! ```
 
+use lpt_gossip::Engine;
 use lpt_server::{
     Client, RetryPolicy, RunSpecKey, Server, ServerConfig, StopSpec, CHAOS_PANIC_WORKLOAD,
 };
@@ -117,6 +121,37 @@ fn main() -> std::io::Result<()> {
 
     client.shutdown()?;
     server.wait();
-    println!("\nall three drills passed; server drained cleanly");
+
+    // ── Drill 4: the event engine is addressable from the wire ──────
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default())?;
+    let mut client = Client::connect(server.addr())?;
+    let mut key = RunSpecKey::new("duo-disk", 1024, 128, 7);
+    let sync = client.solve(&key)?;
+    key.engine = Engine::parse("event-unit").expect("canonical name");
+    let event = client.solve(&key)?;
+    let (s, e) = (
+        sync.summary.as_ref().expect("run"),
+        event.summary.as_ref().expect("run"),
+    );
+    println!(
+        "event-unit over the wire: {} rounds (round-sync {}), same trajectory",
+        e.rounds, s.rounds
+    );
+    assert_eq!(e.rounds, s.rounds, "unit links replay round-sync");
+    let stats = client.stats()?;
+    assert_eq!(
+        stats.runs, 2,
+        "distinct engines are distinct cache keys: both runs executed"
+    );
+
+    // A misspelled engine is a typed refusal, not a silent default.
+    let frame =
+        client.raw_line(r#"{"cmd":"solve","workload":"duo-disk","n":64,"engine":"event-warp"}"#)?;
+    println!("unknown engine -> {}", frame.trim_end());
+    assert!(frame.contains(r#""code":214"#), "unknown-engine frame");
+
+    client.shutdown()?;
+    server.wait();
+    println!("\nall four drills passed; server drained cleanly");
     Ok(())
 }
