@@ -142,7 +142,11 @@ pub struct Link {
     pub loss_ppm: u32,
     /// Link rate in message words per tick; `u32::MAX` means unlimited.
     /// A finite rate adds a serialization delay to pushed messages (see
-    /// [`Link::serialization_ticks`]).
+    /// [`Link::serialization_ticks`]). `0` is not a valid rate: a link
+    /// that can never move a word would stall its messages forever, so
+    /// zero is rejected in debug builds and treated as unlimited in
+    /// release builds (no current [`LinkPlan`] produces it; the guard
+    /// exists for hand-built links and future finite-rate plans).
     pub rate: u32,
 }
 
@@ -160,7 +164,12 @@ impl Link {
     /// Extra ticks a `words`-word message spends serializing onto this
     /// link beyond its latency: 0 on an unlimited-rate link, otherwise
     /// `(words - 1) / rate` (the first word rides the latency itself).
+    ///
+    /// `rate == 0` is a construction error (see [`Link::rate`]): it
+    /// panics in debug builds and falls back to unlimited in release
+    /// builds rather than dividing by zero or stalling the queue.
     pub fn serialization_ticks(&self, words: u64) -> u64 {
+        debug_assert!(self.rate > 0, "a zero-rate link can never deliver");
         if self.rate == u32::MAX || self.rate == 0 {
             0
         } else {

@@ -191,7 +191,8 @@ fn execute_med(
         .max_rounds(key.max_rounds)
         .fault_model(scenario.fault_model())
         .topology(topology.topology())
-        .rng_schedule(key.schedule);
+        .rng_schedule(key.schedule)
+        .engine(key.engine.clone());
     if let Some(flag) = cancel {
         driver = driver.cancel_flag(flag);
     }
@@ -243,7 +244,8 @@ fn execute_planted_hs(
         .max_rounds(key.max_rounds)
         .fault_model(scenario.fault_model())
         .topology(topology.topology())
-        .rng_schedule(key.schedule);
+        .rng_schedule(key.schedule)
+        .engine(key.engine.clone());
     if let Some(flag) = cancel {
         driver = driver.cancel_flag(flag);
     }
@@ -325,6 +327,40 @@ mod tests {
             panic!("no summary")
         };
         assert!(s.consensus.as_deref().unwrap().starts_with("hs:"));
+    }
+
+    /// The engine on the key must reach the driver, not just the cache
+    /// key and header: a multi-tick link plan produces a genuinely
+    /// different trajectory than round-sync, so a spec requesting it
+    /// must render a different round count (a run that merely relabels
+    /// the round-sync trajectory would pass every byte-determinism
+    /// test while being wrong).
+    #[test]
+    fn requested_engine_drives_the_run() {
+        use lpt_gossip::Engine;
+        let sync_key = RunSpecKey::new("duo-disk", 128, 32, 1);
+        let mut event_key = sync_key.clone();
+        event_key.engine = Engine::parse("event-const-3").unwrap();
+        let sync = execute(&sync_key);
+        let event = execute(&event_key);
+        let (sf, ef) = (frames_of(&sync), frames_of(&event));
+        let Frame::Header(h) = &ef[0] else {
+            panic!("no header")
+        };
+        assert_eq!(h.engine, "event-const-3", "header carries the engine");
+        let (Frame::Summary(ss), Frame::Summary(es)) = (sf.last().unwrap(), ef.last().unwrap())
+        else {
+            panic!("no summaries")
+        };
+        assert!(
+            es.rounds > ss.rounds,
+            "latency-3 links must stretch the run over more rounds than \
+             round-sync ({} vs {}); equal counts mean the engine never \
+             reached the driver",
+            es.rounds,
+            ss.rounds
+        );
+        assert!(es.all_halted, "the event run must still converge");
     }
 
     #[test]

@@ -362,6 +362,56 @@ fn adversarial_scenario_replies_are_cached_byte_exact() {
     assert_eq!(stats.hits, 2);
 }
 
+/// A non-default engine requested over the wire must actually drive
+/// the run, not just relabel it: a latency-3 link plan stretches the
+/// trajectory over more rounds than round-sync, the header echoes the
+/// engine name, and each engine caches under its own key with
+/// byte-exact replay. (The unit-latency plan is byte-identical to
+/// round-sync by the degeneracy contract, so only a non-unit plan can
+/// detect an engine that silently never reaches the driver.)
+#[test]
+fn non_default_engine_diverges_over_the_wire_and_caches_separately() {
+    use lpt_gossip::Engine;
+    let server = spawn(small_cfg());
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let sync_key = demo_key(13);
+    let mut event_key = sync_key.clone();
+    event_key.engine = Engine::parse("event-const-3").unwrap();
+
+    let sync = client.solve(&sync_key).unwrap();
+    let event = client.solve(&event_key).unwrap();
+    assert!(sync.error.is_none(), "{:?}", sync.error);
+    assert!(event.error.is_none(), "{:?}", event.error);
+
+    let header = event.header.as_ref().unwrap();
+    assert_eq!(header.engine, "event-const-3");
+    assert_eq!(sync.header.as_ref().unwrap().engine, "");
+
+    let (ss, es) = (
+        sync.summary.as_ref().unwrap(),
+        event.summary.as_ref().unwrap(),
+    );
+    assert!(
+        es.rounds > ss.rounds,
+        "latency-3 links must cost more rounds than round-sync \
+         ({} vs {}); equal counts mean the engine was never applied",
+        es.rounds,
+        ss.rounds
+    );
+    assert!(es.all_halted, "the event run must still converge");
+    assert_eq!(event.rounds.len() as u64, es.rounds);
+
+    // Distinct engines are distinct cache keys; replays are byte-exact
+    // and never re-execute.
+    assert_eq!(server.stats().runs, 2, "one driver run per engine");
+    let warm = client.solve(&event_key).unwrap();
+    assert_eq!(warm.raw, event.raw, "event reply must replay byte-exact");
+    let stats = server.stats();
+    assert_eq!(stats.runs, 2, "the replay must hit the cache");
+    assert_eq!(stats.hits, 1);
+}
+
 #[test]
 fn shutdown_acknowledges_then_drains_everything() {
     let server = spawn(small_cfg());

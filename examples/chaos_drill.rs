@@ -4,8 +4,10 @@
 //! the worker pool stays at full width, no cache key wedges, and a
 //! retrying client recovers byte-exact results. A final drill drives
 //! the event-driven engine over the wire: unit links replay the
-//! round-sync trajectory under its own cache key, and a misspelled
-//! engine name earns a typed `unknown-engine` frame.
+//! round-sync trajectory under its own cache key, latency-3 links
+//! demonstrably stretch the run (proving the engine reaches the
+//! driver, not just the cache key), and a misspelled engine name earns
+//! a typed `unknown-engine` frame.
 //!
 //! ```sh
 //! cargo run --release --example chaos_drill
@@ -143,6 +145,29 @@ fn main() -> std::io::Result<()> {
         stats.runs, 2,
         "distinct engines are distinct cache keys: both runs executed"
     );
+
+    // Unit links are byte-identical to round-sync by contract, so they
+    // cannot tell whether the engine actually reached the driver. A
+    // latency-3 plan can: every round trip now costs three ticks, so
+    // the trajectory must stretch over strictly more rounds.
+    key.engine = Engine::parse("event-const-3").expect("canonical name");
+    let het = client.solve(&key)?;
+    let h = het.summary.as_ref().expect("run");
+    println!(
+        "event-const-3 over the wire: {} rounds (round-sync {}), genuinely asynchronous",
+        h.rounds, s.rounds
+    );
+    assert!(
+        h.rounds > s.rounds,
+        "latency-3 links must cost more rounds than round-sync"
+    );
+    assert!(h.all_halted, "the asynchronous run still converges");
+    assert_eq!(
+        het.header.as_ref().expect("header").engine,
+        "event-const-3",
+        "header echoes the requested engine"
+    );
+    assert_eq!(client.stats()?.runs, 3, "third engine, third cache key");
 
     // A misspelled engine is a typed refusal, not a silent default.
     let frame =

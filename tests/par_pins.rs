@@ -9,7 +9,9 @@
 //! the five parallel phases would move a round count or an op total
 //! here.
 
-use lpt_gossip::{Algorithm, Bernoulli, Compose, Delay, Driver, ExecInfo, RngSchedule};
+use lpt_gossip::{
+    Algorithm, Bernoulli, Compose, Delay, Driver, Engine, ExecInfo, LinkPlan, RngSchedule,
+};
 use lpt_problems::{IdPointD, Meb, Med};
 use lpt_workloads::med::{duo_disk, triple_disk};
 use std::sync::Arc;
@@ -149,6 +151,46 @@ fn faulted_runs_match_sequential_field_for_field() {
                     r.consensus_output().map(|b| b.value.r2.to_bits()),
                 ));
             }
+        }
+        out
+    };
+    let seq = run(1);
+    for threads in [2, 4] {
+        let par = pool(threads).install(|| run(threads));
+        assert_eq!(par, seq, "threads={threads}");
+    }
+}
+
+/// Event-driven scheduling is thread-count-invariant: the same specs
+/// under pools of 1, 2, and 4 threads produce field-identical reports
+/// for both the degenerate unit plan and a genuinely asynchronous
+/// heterogeneous plan. The event queue's (time, seq) total order — not
+/// any accident of chunk scheduling — decides delivery order, so the
+/// ambient pool width must be invisible to the trajectory.
+#[test]
+fn event_engine_runs_are_thread_count_invariant() {
+    let points = duo_disk(128, 5);
+    let run = |threads: usize| {
+        let mut out = Vec::new();
+        for plan in [LinkPlan::unit(), LinkPlan::uniform(1, 4)] {
+            let mut d = Driver::new(Med)
+                .nodes(128)
+                .seed(5)
+                .max_rounds(2_000)
+                .engine(Engine::EventDriven(plan));
+            d = if threads > 1 {
+                d.parallel_threshold(1)
+            } else {
+                d.parallel(false)
+            };
+            let r = d.run(&points).expect("run");
+            out.push((
+                r.rounds,
+                r.metrics.rounds.clone(),
+                r.faults,
+                r.all_halted,
+                r.consensus_output().map(|b| b.value.r2.to_bits()),
+            ));
         }
         out
     };
