@@ -10,7 +10,14 @@
 //!
 //! Usage: `perf_report [--smoke] [--schedule v1compat|v2batched]
 //! [--engine NAME] [--topology] [--threads N] [--parallel-sweep]
-//! [--out PATH] [--trend-out PATH] [--check BASELINE.json]`
+//! [--phases] [--out PATH] [--trend-out PATH] [--check BASELINE.json]`
+//!
+//! `--phases` attaches a [`FlightRecorder`] to every cell's network and
+//! emits the per-phase wall breakdown (`phases_us` map, one
+//! `cell/phase` entry per non-zero phase) into the `--trend-out`
+//! artifact. Recording is observational only — op counts are
+//! byte-identical with or without it, which `--phases --check` proves
+//! on every CI run.
 //!
 //! `--engine NAME` selects the execution engine for every cell (any
 //! canonical [`Engine`] name: `round-sync` (default), `event-unit`,
@@ -55,8 +62,10 @@
 //! check is a regression tripwire, the op check is the determinism
 //! gate). Any violation exits non-zero.
 
+use gossip_sim::obs::Phase;
 use gossip_sim::{
-    Engine, Network, NetworkConfig, NodeControl, PhaseRng, Protocol, Response, RngSchedule, Served,
+    Engine, FlightRecorder, Network, NetworkConfig, NodeControl, ObsSummary, PhaseRng, Protocol,
+    Response, RngSchedule, Served,
 };
 use lpt_gossip::driver::scatter;
 use lpt_gossip::high_load::{HighLoadClarkson, HighLoadConfig};
@@ -84,6 +93,8 @@ struct Cell {
     wall_ms: f64,
     rounds_per_sec: f64,
     peak_rss_kb: Option<u64>,
+    /// Per-phase wall breakdown, present only under `--phases`.
+    obs: Option<ObsSummary>,
 }
 
 /// Peak resident set size in kB (`VmHWM`), Linux only. Monotone over
@@ -100,8 +111,21 @@ const SEED: u64 = 2024;
 /// for every grid cell so the installed pool is actually exercised.
 static FORCE_PARALLEL: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
 
+/// Set by `--phases`: attach a [`FlightRecorder`] to every cell and
+/// emit the phase breakdown into the trend artifact.
+static PHASES: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
 /// Set by `--engine`: the execution engine every grid cell runs under.
 static ENGINE: std::sync::OnceLock<Engine> = std::sync::OnceLock::new();
+
+/// Installs a flight recorder when `--phases` asked for one. Purely
+/// observational: the recorder only reads values the engine computed
+/// anyway, so ops and trajectories are unchanged.
+fn instrument<P: Protocol>(net: &mut Network<P>) {
+    if PHASES.load(std::sync::atomic::Ordering::Relaxed) {
+        net.set_recorder(Box::new(FlightRecorder::new()));
+    }
+}
 
 fn engine() -> Engine {
     ENGINE.get().cloned().unwrap_or_default()
@@ -147,6 +171,7 @@ fn run_low_load(n: usize, scenario: Scenario, schedule: RngSchedule, topo: Topol
             .topology(topo.topology()),
     );
     let mut net = Network::new(proto, states, cfg);
+    instrument(&mut net);
     let t = Instant::now();
     let outcome = net.run(round_cap(n));
     let wall = t.elapsed();
@@ -174,6 +199,7 @@ fn run_high_load(
             .topology(topo.topology()),
     );
     let mut net = Network::new(proto, states, cfg);
+    instrument(&mut net);
     let t = Instant::now();
     let outcome = net.run(round_cap(n));
     let wall = t.elapsed();
@@ -201,6 +227,7 @@ fn cell<P: Protocol>(
         wall_ms,
         rounds_per_sec: rounds as f64 / wall.as_secs_f64().max(1e-9),
         peak_rss_kb: peak_rss_kb(),
+        obs: net.recorder().summary(),
     }
 }
 
@@ -274,6 +301,7 @@ fn run_rumor_step(n: usize, warmup: u64, window: u64, schedule: RngSchedule) -> 
         .collect();
     let cfg = tuned(NetworkConfig::with_seed(SEED).rng_schedule(schedule));
     let mut net = Network::new(PushRumor, states, cfg);
+    instrument(&mut net);
     for _ in 0..warmup {
         net.round();
     }
@@ -301,6 +329,7 @@ fn run_rumor_step(n: usize, warmup: u64, window: u64, schedule: RngSchedule) -> 
         wall_ms: wall.as_secs_f64() * 1e3,
         rounds_per_sec: window as f64 / wall.as_secs_f64().max(1e-9),
         peak_rss_kb: peak_rss_kb(),
+        obs: net.recorder().summary(),
     }
 }
 
@@ -332,6 +361,7 @@ fn run_thread_sweep(schedule: RngSchedule, n: usize, warmup: u64, window: u64) -
                     .rng_schedule(schedule)
                     .engine(engine());
                 let mut net = Network::new(PushRumor, states, cfg);
+                instrument(&mut net);
                 for _ in 0..warmup {
                     net.round();
                 }
@@ -359,6 +389,7 @@ fn run_thread_sweep(schedule: RngSchedule, n: usize, warmup: u64, window: u64) -
                     wall_ms: wall.as_secs_f64() * 1e3,
                     rounds_per_sec: window as f64 / wall.as_secs_f64().max(1e-9),
                     peak_rss_kb: peak_rss_kb(),
+                    obs: net.recorder().summary(),
                 }
             })
         })
@@ -504,6 +535,9 @@ fn main() {
     }
     let trend_path = flag_value("--trend-out");
     let check_path = flag_value("--check");
+    if args.iter().any(|a| a == "--phases") {
+        PHASES.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
     let topology_grid = args.iter().any(|a| a == "--topology");
     let parallel_sweep = args.iter().any(|a| a == "--parallel-sweep");
     let threads_override: Option<usize> = flag_value("--threads").map(|v| {
@@ -616,7 +650,37 @@ fn main() {
             );
             trend.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
         }
-        trend.push_str("  }\n}\n");
+        trend.push_str("  }");
+        // Under --phases each cell carries its recorder summary: emit
+        // the per-phase wall breakdown as a flat `cell/phase` map so
+        // phase-level history charts from the same artifact.
+        let phase_entries: Vec<String> = cells
+            .iter()
+            .filter_map(|c| c.obs.as_ref().map(|obs| (c, obs)))
+            .flat_map(|(c, obs)| {
+                Phase::ALL.iter().filter_map(move |&phase| {
+                    let us = obs.phase_us(phase);
+                    (us > 0).then(|| {
+                        format!(
+                            "    \"{}/n={}/{}/{}/t{}/{}\": {}",
+                            c.algo,
+                            c.n,
+                            c.scenario,
+                            c.topology,
+                            c.threads,
+                            phase.name(),
+                            us
+                        )
+                    })
+                })
+            })
+            .collect();
+        if !phase_entries.is_empty() {
+            trend.push_str(",\n  \"phases_us\": {\n");
+            trend.push_str(&phase_entries.join(",\n"));
+            trend.push_str("\n  }");
+        }
+        trend.push_str("\n}\n");
         std::fs::write(&trend_path, &trend).expect("write trend artifact");
         eprintln!("[perf_report] wrote {trend_path}");
     }

@@ -46,6 +46,7 @@ use crate::hypercube::hypercube_clarkson;
 use crate::low_load::{LowLoadClarkson, LowLoadConfig, LowLoadState};
 use gossip_sim::event::Engine;
 use gossip_sim::fault::{FaultModel, IntoFaultModel, Perfect};
+use gossip_sim::obs::{FlightRecorder, ObsSummary};
 use gossip_sim::topology::{Complete, IntoTopology, Topology};
 use gossip_sim::{Metrics, Network, NetworkConfig, Protocol, RngSchedule, RunOutcome};
 use lpt::{BasisOf, LpType};
@@ -588,6 +589,15 @@ pub struct RunReport<O> {
     /// spec differ only here across pool sizes, and the server never
     /// renders it on the wire (cache exactness).
     pub exec: ExecInfo,
+    /// Observability summary of the run — per-phase wall-clock spans and
+    /// engine counters from an attached [`FlightRecorder`] — when the
+    /// run was built with [`Driver::record_phases`] (`None` otherwise,
+    /// and always `None` for the analytic hypercube baseline, which
+    /// steps no network). Like [`RunReport::exec`], this is *not* part
+    /// of the deterministic payload: wall times vary across machines,
+    /// so the server never renders them into cached reply bytes — they
+    /// travel only in explicitly requested `trace` frames.
+    pub obs: Option<ObsSummary>,
     consensus: Option<O>,
 }
 
@@ -667,6 +677,11 @@ pub struct RunSpec<'a, T> {
     /// The execution engine the network is stepped with (round-sync or
     /// event-driven; see [`gossip_sim::event`]).
     pub engine: &'a Engine,
+    /// Attach a [`FlightRecorder`] to the network and surface its
+    /// summary in [`RunReport::obs`]. Observational only: the recorder
+    /// reads values the engine computed anyway, so this flag cannot
+    /// change a trajectory (and is excluded from every cache key).
+    pub record_phases: bool,
     /// Cooperative cancellation flag, checked between simulated rounds
     /// (`None` = not cancellable). See [`Driver::cancel_flag`].
     pub cancel: Option<&'a AtomicBool>,
@@ -743,6 +758,7 @@ pub struct Driver<P: DriverProblem<M>, M = LpMode> {
     schedule: RngSchedule,
     topology: Arc<dyn Topology>,
     engine: Engine,
+    record_phases: bool,
     cancel: Option<Arc<AtomicBool>>,
     _mode: PhantomData<fn() -> M>,
 }
@@ -763,6 +779,7 @@ impl<M, P: DriverProblem<M> + Clone> Clone for Driver<P, M> {
             schedule: self.schedule,
             topology: self.topology.clone(),
             engine: self.engine.clone(),
+            record_phases: self.record_phases,
             cancel: self.cancel.clone(),
             _mode: PhantomData,
         }
@@ -784,6 +801,7 @@ impl<M, P: DriverProblem<M>> fmt::Debug for Driver<P, M> {
             .field("schedule", &self.schedule)
             .field("topology", &self.topology)
             .field("engine", &self.engine)
+            .field("record_phases", &self.record_phases)
             .finish_non_exhaustive()
     }
 }
@@ -810,6 +828,7 @@ impl<M, P: DriverProblem<M>> Driver<P, M> {
             schedule: RngSchedule::default(),
             topology: Arc::new(Complete),
             engine: Engine::default(),
+            record_phases: false,
             cancel: None,
             _mode: PhantomData,
         }
@@ -946,6 +965,22 @@ impl<M, P: DriverProblem<M>> Driver<P, M> {
         self
     }
 
+    /// Attaches a [`FlightRecorder`] to the simulated network and
+    /// surfaces its summary (per-phase wall-clock histograms, engine
+    /// counters, heap high-water marks) in [`RunReport::obs`]. Off by
+    /// default — the no-op recorder path is provably free (the
+    /// steady-state allocation test runs through it) and the pinned
+    /// trajectories are byte-identical either way, because the recorder
+    /// only *reads* values the engine computed anyway and its wall
+    /// times never feed back into protocol state. The analytic
+    /// [`Algorithm::Hypercube`] baseline steps no network and reports
+    /// `obs: None` regardless of this flag.
+    #[must_use = "builder methods return the updated driver"]
+    pub fn record_phases(mut self, record: bool) -> Self {
+        self.record_phases = record;
+        self
+    }
+
     /// Installs a cooperative cancellation flag: the run loop checks it
     /// between simulated rounds and, once it reads `true`, abandons the
     /// run with [`DriverError::Cancelled`] instead of producing a
@@ -994,6 +1029,7 @@ impl<M, P: DriverProblem<M>> Driver<P, M> {
             schedule: self.schedule,
             topology: &self.topology,
             engine: &self.engine,
+            record_phases: self.record_phases,
             cancel: self.cancel.as_deref(),
         };
         self.problem.execute(&spec, elements)
@@ -1224,6 +1260,9 @@ fn run_low_load_driver<P: LpType + Clone + Sync>(
         .map(|h0| proto.initial_state(h0))
         .collect();
     let mut net = Network::new(proto, states, net_config(spec));
+    if spec.record_phases {
+        net.set_recorder(Box::new(FlightRecorder::new()));
+    }
     let (outcome, cause) = drive(
         &mut net,
         spec.stop,
@@ -1258,6 +1297,7 @@ fn run_low_load_driver<P: LpType + Clone + Sync>(
         schedule: spec.schedule,
         topology: spec.topology.name(),
         exec: ExecInfo::from_threads(net.effective_parallelism()),
+        obs: net.recorder().summary(),
     })
 }
 
@@ -1273,6 +1313,9 @@ fn run_high_load_driver<P: LpType + Clone + Sync>(
         .map(|h| proto.initial_state(h))
         .collect();
     let mut net = Network::new(proto, states, net_config(spec));
+    if spec.record_phases {
+        net.set_recorder(Box::new(FlightRecorder::new()));
+    }
     let (outcome, cause) = drive(
         &mut net,
         spec.stop,
@@ -1307,6 +1350,7 @@ fn run_high_load_driver<P: LpType + Clone + Sync>(
         schedule: spec.schedule,
         topology: spec.topology.name(),
         exec: ExecInfo::from_threads(net.effective_parallelism()),
+        obs: net.recorder().summary(),
     })
 }
 
@@ -1368,6 +1412,7 @@ fn run_hypercube_driver<P: LpType + Clone + Sync>(
         schedule: spec.schedule,
         topology: spec.topology.name(),
         exec: ExecInfo::sequential(),
+        obs: None,
     })
 }
 
@@ -1437,6 +1482,9 @@ fn run_hitting_set_driver(
         .map(|x0| proto.initial_state(x0))
         .collect();
     let mut net = Network::new(proto, states, net_config(spec));
+    if spec.record_phases {
+        net.set_recorder(Box::new(FlightRecorder::new()));
+    }
     let (outcome, cause) = drive(
         &mut net,
         spec.stop,
@@ -1464,6 +1512,7 @@ fn run_hitting_set_driver(
         schedule: spec.schedule,
         topology: spec.topology.name(),
         exec: ExecInfo::from_threads(net.effective_parallelism()),
+        obs: net.recorder().summary(),
     })
 }
 
@@ -1924,6 +1973,37 @@ mod tests {
     }
 
     #[test]
+    fn record_phases_is_observational_only() {
+        let points = triple_disk(128, 70);
+        let plain = Driver::new(Med)
+            .nodes(128)
+            .seed(70)
+            .run(&points)
+            .expect("run");
+        assert!(plain.obs.is_none(), "recording is opt-in");
+        let traced = Driver::new(Med)
+            .nodes(128)
+            .seed(70)
+            .record_phases(true)
+            .run(&points)
+            .expect("run");
+        // Same trajectory: the recorder only reads values the engine
+        // computed anyway.
+        assert_eq!(plain.rounds, traced.rounds);
+        assert_eq!(plain.metrics.total_ops(), traced.metrics.total_ops());
+        let obs = traced.obs.expect("recorder summary");
+        assert!(
+            obs.phase_calls.iter().any(|&c| c > 0),
+            "phases were spanned"
+        );
+        assert_eq!(
+            obs.phase_calls.iter().filter(|&&c| c > 0).count(),
+            6,
+            "round-sync engine spans pull/serve/compute/deliver/absorb/refill"
+        );
+    }
+
+    #[test]
     fn explicit_perfect_fault_model_matches_the_default() {
         // The pre-fault-subsystem trajectories themselves are pinned in
         // tests/faults.rs (the canonical copy); here we only check that
@@ -2366,6 +2446,7 @@ mod tests {
             schedule: RngSchedule::default(),
             topology: "complete",
             exec: ExecInfo::sequential(),
+            obs: None,
             consensus: None,
         };
         assert_eq!(report.best_output(), Some(&vec![2, 3]));

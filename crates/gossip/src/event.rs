@@ -57,6 +57,7 @@
 
 use crate::fault::FaultModel;
 use crate::metrics::{Metrics, RoundMetrics};
+use crate::obs::{Counter, Gauge, Phase, Recorder};
 use crate::protocol::{NodeControl, Protocol, Response};
 use crate::rng::{derive_rng, phase, BatchedSampler, BatchedUniform, PhaseRng, RngSchedule};
 use crate::scratch::RoundScratch;
@@ -559,6 +560,10 @@ pub(crate) struct TickCtx<'a, P: Protocol> {
     pub(crate) schedule: RngSchedule,
     /// Metrics row index (the network's round counter).
     pub(crate) round: u64,
+    /// The network's observability seam (see [`crate::obs`]): tick
+    /// spans, heap gauges, and stall counters report here — strictly
+    /// observational, nothing is read back.
+    pub(crate) recorder: &'a mut dyn Recorder,
 }
 
 /// The discrete-event scheduler state for one network.
@@ -652,11 +657,21 @@ impl<P: Protocol> EventCore<P> {
         }
         let offline_count = ctx.scratch.offline.count_ones();
 
+        // Heap depth is sampled at tick start (its per-run high water is
+        // the queue's memory footprint); the pop count below is both a
+        // running total and a per-tick high-water gauge.
+        ctx.recorder
+            .high_water(Gauge::HeapDepth, self.queue.len() as u64);
+        ctx.recorder.span_start(Phase::Tick);
         let mut acc = TickAcc::default();
+        let mut pops: u64 = 0;
         while self.queue.peek_time().is_some_and(|t| tick_of(t) == tick) {
             let (_, ev) = self.queue.pop().expect("peeked event");
+            pops += 1;
             self.dispatch(tick, ev, ctx, &mut acc);
         }
+        ctx.recorder.add(Counter::EventPops, pops);
+        ctx.recorder.high_water(Gauge::PopsPerTick, pops);
 
         // Schedule next-round starts in node-id order (see `restart`):
         // the induction that keeps same-tick same-class dispatch in
@@ -728,6 +743,7 @@ impl<P: Protocol> EventCore<P> {
                 self.push_batches.clear();
             }
         }
+        ctx.recorder.span_end(Phase::Tick);
         rm
     }
 
@@ -948,10 +964,11 @@ impl<P: Protocol> EventCore<P> {
                             continue;
                         }
                         let link = self.plan.link(seed, node, dest as NodeId);
-                        let deliver = tick
-                            + u64::from(link.latency - 1)
-                            + link.serialization_ticks(words)
-                            + delay;
+                        let stall = link.serialization_ticks(words);
+                        if stall > 0 {
+                            ctx.recorder.add(Counter::SerializationStalls, 1);
+                        }
+                        let deliver = tick + u64::from(link.latency - 1) + stall + delay;
                         if deliver > tick {
                             acc.delayed += 1;
                             self.in_flight += 1;

@@ -27,6 +27,7 @@
 //! is not.
 
 use crate::metrics::{Degradation, RoundMetrics};
+use crate::obs::{Counter, Gauge, Histogram, ObsSummary, Phase};
 use std::fmt;
 use std::io::{self, Write};
 
@@ -940,6 +941,163 @@ impl<W: Write> JsonlWriter<W> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Observability frames: `metrics` and `trace`
+// ---------------------------------------------------------------------------
+//
+// Both are *observational* protocol extensions: a `metrics` line is a
+// point-in-time server snapshot (never part of a run stream), and a
+// `trace` line is appended after a solve reply's `summary` only when
+// the request opted in — never stored in the report cache, so every
+// historical reply stays byte-exact. Readers that predate them route
+// the tags through `FrameError::UnknownFrame`, like the `stats` frame.
+
+/// Normalizes a name into a Prometheus-style flat metric token:
+/// lowercased, with every character outside `[a-z0-9_]` replaced by
+/// `_` (so the engine name `event-uniform-1-4` becomes
+/// `event_uniform_1_4`).
+pub fn sanitize_metric_name(name: &str) -> String {
+    name.chars()
+        .map(|c| match c.to_ascii_lowercase() {
+            c @ ('a'..='z' | '0'..='9' | '_') => c,
+            _ => '_',
+        })
+        .collect()
+}
+
+/// Appends one histogram's summary fields under `prefix`:
+/// `<prefix>_count`, then (only when non-empty, so absent distributions
+/// cost no bytes) `<prefix>_p50_us`, `<prefix>_p99_us`,
+/// `<prefix>_max_us`. Values are expected in microseconds.
+#[must_use]
+pub fn histogram_fields(mut b: ObjBuilder, prefix: &str, h: &Histogram) -> ObjBuilder {
+    b = b.u64(&format!("{prefix}_count"), h.count());
+    if !h.is_empty() {
+        b = b
+            .u64(&format!("{prefix}_p50_us"), h.percentile(50.0))
+            .u64(&format!("{prefix}_p99_us"), h.percentile(99.0))
+            .u64(&format!("{prefix}_max_us"), h.max());
+    }
+    b
+}
+
+/// A point-in-time server metrics snapshot, rendered by
+/// [`metrics_line`] as one `{"frame":"metrics",...}` JSONL line with
+/// Prometheus-style flat names.
+///
+/// The struct lives here (beside the other wire frames) so the line
+/// format is golden-testable without a live server; the server
+/// assembles one from its shared counters on each `metrics` command.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Total requests handled (any command).
+    pub requests: u64,
+    /// Solve replies served from the exact report cache.
+    pub hits: u64,
+    /// Solve requests that missed the cache.
+    pub misses: u64,
+    /// Driver runs actually executed.
+    pub runs: u64,
+    /// Requests answered with an error frame.
+    pub errors: u64,
+    /// Sessions currently open.
+    pub open_sessions: u64,
+    /// Worker threads in the pool.
+    pub workers: u64,
+    /// Worker jobs that panicked (contained, worker survived).
+    pub worker_panics: u64,
+    /// Jobs submitted but not yet picked up by a worker.
+    pub queue_depth: u64,
+    /// High-water mark of `queue_depth` over the server's life.
+    pub queue_depth_high_water: u64,
+    /// Ready entries in the report cache.
+    pub cache_entries: u64,
+    /// Total bytes of all ready cached replies.
+    pub cache_bytes: u64,
+    /// Entries evicted from the cache (LRU) over the server's life.
+    pub cache_evictions: u64,
+    /// Request latency (µs) for solves answered by a cold driver run.
+    pub latency_cold_us: Histogram,
+    /// Request latency (µs) for solves served from the cache.
+    pub latency_hit_us: Histogram,
+    /// Request latency (µs) for solves that waited on another
+    /// session's in-flight run (single-flight pending wait).
+    pub latency_pending_us: Histogram,
+    /// Request latency (µs) for requests answered with an error frame.
+    pub latency_error_us: Histogram,
+    /// Time (µs) jobs spent queued before a worker picked them up.
+    pub queue_wait_us: Histogram,
+    /// Time (µs) workers spent executing jobs.
+    pub worker_busy_us: Histogram,
+    /// Driver runs per engine, as `(canonical engine name, count)`
+    /// pairs; rendered name-sorted as `runs_engine_<name>` fields.
+    pub engine_runs: Vec<(String, u64)>,
+}
+
+/// Renders a [`MetricsSnapshot`] as one JSONL line (no trailing
+/// newline). Field order is fixed and golden-tested; counters first,
+/// then histogram blocks, then the name-sorted per-engine run counts.
+pub fn metrics_line(m: &MetricsSnapshot) -> String {
+    let mut b = ObjBuilder::new()
+        .str("frame", "metrics")
+        .u64("requests_total", m.requests)
+        .u64("hits_total", m.hits)
+        .u64("misses_total", m.misses)
+        .u64("runs_total", m.runs)
+        .u64("errors_total", m.errors)
+        .u64("open_sessions", m.open_sessions)
+        .u64("workers", m.workers)
+        .u64("worker_panics_total", m.worker_panics)
+        .u64("queue_depth", m.queue_depth)
+        .u64("queue_depth_high_water", m.queue_depth_high_water)
+        .u64("cache_entries", m.cache_entries)
+        .u64("cache_bytes", m.cache_bytes)
+        .u64("cache_evictions_total", m.cache_evictions);
+    b = histogram_fields(b, "latency_cold", &m.latency_cold_us);
+    b = histogram_fields(b, "latency_hit", &m.latency_hit_us);
+    b = histogram_fields(b, "latency_pending", &m.latency_pending_us);
+    b = histogram_fields(b, "latency_error", &m.latency_error_us);
+    b = histogram_fields(b, "queue_wait", &m.queue_wait_us);
+    b = histogram_fields(b, "worker_busy", &m.worker_busy_us);
+    let mut engines: Vec<&(String, u64)> = m.engine_runs.iter().collect();
+    engines.sort_by(|a, b| a.0.cmp(&b.0));
+    for (name, count) in engines {
+        b = b.u64(
+            &format!("runs_engine_{}", sanitize_metric_name(name)),
+            *count,
+        );
+    }
+    b.finish()
+}
+
+/// Renders a `trace` frame: the opt-in per-request phase wall breakdown
+/// appended after a solve reply's `summary` (no trailing newline).
+///
+/// `outcome` is the request's cache disposition (`cold`, `hit`,
+/// `pending`), `wall_us`/`queue_us` the request's server-side wall and
+/// queue-wait time. The engine's recorder summary renders only when the
+/// request actually ran a driver (`obs` is `Some`): phase wall totals,
+/// then counters and gauges, all flat snake_case names.
+pub fn trace_line(outcome: &str, wall_us: u64, queue_us: u64, obs: Option<&ObsSummary>) -> String {
+    let mut b = ObjBuilder::new()
+        .str("frame", "trace")
+        .str("outcome", outcome)
+        .u64("wall_us", wall_us)
+        .u64("queue_us", queue_us);
+    if let Some(s) = obs {
+        for p in Phase::ALL {
+            b = b.u64(&format!("phase_{}_us", p.name()), s.phase_us(p));
+        }
+        for c in Counter::ALL {
+            b = b.u64(c.name(), s.counter(c));
+        }
+        for g in Gauge::ALL {
+            b = b.u64(g.name(), s.gauge(g));
+        }
+    }
+    b.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1099,6 +1257,72 @@ mod tests {
         assert!(line.contains("\"partitioned_rounds\":5"), "{line}");
         assert!(line.contains("\"unhealed_partition\":true"), "{line}");
         assert_eq!(Frame::parse(&line).unwrap(), Frame::Summary(degraded));
+    }
+
+    #[test]
+    fn metrics_line_is_flat_parseable_json() {
+        let mut m = MetricsSnapshot {
+            requests: 5,
+            hits: 2,
+            misses: 3,
+            runs: 3,
+            ..MetricsSnapshot::default()
+        };
+        m.latency_cold_us.record(900);
+        m.engine_runs = vec![("round-sync".to_string(), 2), ("event-unit".to_string(), 1)];
+        let line = metrics_line(&m);
+        let v = Json::parse(&line).expect("metrics line parses");
+        assert_eq!(v.get("frame").unwrap().as_str(), Some("metrics"));
+        assert_eq!(v.get("requests_total").unwrap().as_u64(), Some(5));
+        assert_eq!(v.get("latency_cold_count").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("latency_cold_max_us").unwrap().as_u64(), Some(900));
+        // Empty histograms render only their count.
+        assert_eq!(v.get("latency_hit_count").unwrap().as_u64(), Some(0));
+        assert!(v.get("latency_hit_p50_us").is_none());
+        // Engine names are sanitized and sorted.
+        assert_eq!(v.get("runs_engine_event_unit").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("runs_engine_round_sync").unwrap().as_u64(), Some(2));
+        assert!(line.find("runs_engine_event_unit") < line.find("runs_engine_round_sync"));
+        // The tag routes through UnknownFrame for pre-metrics readers.
+        assert!(matches!(
+            Frame::parse(&line),
+            Err(FrameError::UnknownFrame(tag)) if tag == "metrics"
+        ));
+    }
+
+    #[test]
+    fn trace_line_renders_phases_only_for_real_runs() {
+        let hit = trace_line("hit", 120, 0, None);
+        let v = Json::parse(&hit).expect("trace line parses");
+        assert_eq!(v.get("frame").unwrap().as_str(), Some("trace"));
+        assert_eq!(v.get("outcome").unwrap().as_str(), Some("hit"));
+        assert_eq!(v.get("wall_us").unwrap().as_u64(), Some(120));
+        assert!(v.get("phase_serve_us").is_none(), "no run, no phases");
+
+        let mut obs = ObsSummary::default();
+        obs.phase_nanos[Phase::Serve.index()] = 42_000;
+        obs.counters[Counter::EventPops.index()] = 7;
+        obs.gauges[Gauge::HeapDepth.index()] = 11;
+        let cold = trace_line("cold", 950, 30, Some(&obs));
+        let v = Json::parse(&cold).expect("trace line parses");
+        assert_eq!(v.get("queue_us").unwrap().as_u64(), Some(30));
+        assert_eq!(v.get("phase_serve_us").unwrap().as_u64(), Some(42));
+        assert_eq!(v.get("event_pops").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("heap_depth").unwrap().as_u64(), Some(11));
+        assert!(matches!(
+            Frame::parse(&cold),
+            Err(FrameError::UnknownFrame(tag)) if tag == "trace"
+        ));
+    }
+
+    #[test]
+    fn metric_names_sanitize_to_flat_tokens() {
+        assert_eq!(sanitize_metric_name("round-sync"), "round_sync");
+        assert_eq!(
+            sanitize_metric_name("event-uniform-1-4"),
+            "event_uniform_1_4"
+        );
+        assert_eq!(sanitize_metric_name("A b.c"), "a_b_c");
     }
 
     #[test]

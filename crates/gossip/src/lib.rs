@@ -89,6 +89,7 @@ pub mod export;
 pub mod fault;
 pub mod metrics;
 pub mod net;
+pub mod obs;
 pub mod protocol;
 pub mod rng;
 pub mod scratch;
@@ -102,6 +103,7 @@ pub use fault::{
 };
 pub use metrics::{Degradation, Metrics, RoundMetrics};
 pub use net::{Network, NetworkConfig, RunOutcome};
+pub use obs::{FlightRecorder, Histogram, NoopRecorder, ObsSummary, Recorder};
 pub use protocol::{NodeControl, Protocol, Response, Served};
 pub use rng::{BatchedSampler, BatchedUniform, PhaseRng, RngSchedule};
 pub use topology::{Adjacency, IntoTopology, Topology};

@@ -3,8 +3,9 @@
 use crate::event::{Engine, EventCore, TickCtx};
 use crate::fault::{FaultModel, IntoFaultModel, Perfect};
 use crate::metrics::{Metrics, RoundMetrics};
+use crate::obs::{NoopRecorder, Phase, Recorder};
 use crate::protocol::{NodeControl, Protocol, Response};
-use crate::rng::{derive_rng, phase, BatchedSampler, BatchedUniform, PhaseRng, RngSchedule};
+use crate::rng::{derive_rng, phase, PhaseRng, RngSchedule};
 use crate::scratch::{RoundScratch, ServeStats};
 use crate::topology::{Adjacency, Complete, IntoTopology, Topology};
 use crate::NodeId;
@@ -176,6 +177,12 @@ pub struct Network<P: Protocol> {
     /// virtual-time tick instead of one synchronous round (see
     /// [`crate::event`]).
     event: Option<EventCore<P>>,
+    /// The observability seam (see [`crate::obs`]): phase spans, event
+    /// counters, and gauges report here. Defaults to the free
+    /// [`NoopRecorder`]; recording is strictly observational — nothing
+    /// a recorder sees can flow back into protocol state, so attaching
+    /// one cannot change a single byte of the run.
+    recorder: Box<dyn Recorder>,
 }
 
 impl<P: Protocol> Network<P> {
@@ -208,7 +215,22 @@ impl<P: Protocol> Network<P> {
             scratch: RoundScratch::new(n),
             adjacency,
             event,
+            recorder: Box::new(NoopRecorder),
         }
+    }
+
+    /// Attaches a [`Recorder`] (replacing the free default). Recording
+    /// is observational only: the engines hand the recorder values they
+    /// already computed and read nothing back, so the run's bytes are
+    /// identical with any recorder attached.
+    pub fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
+        self.recorder = recorder;
+    }
+
+    /// The attached recorder (the [`NoopRecorder`] unless
+    /// [`set_recorder`](Network::set_recorder) installed one).
+    pub fn recorder(&self) -> &dyn Recorder {
+        &*self.recorder
     }
 
     /// The topology's neighbor arena (`None` under [`Complete`]).
@@ -325,6 +347,7 @@ impl<P: Protocol> Network<P> {
         let perfect = fault.is_perfect();
         let schedule = self.cfg.schedule;
         let adj = self.adjacency.as_ref();
+        let rec: &mut dyn Recorder = &mut *self.recorder;
         let RoundScratch {
             offline,
             queries,
@@ -376,6 +399,7 @@ impl<P: Protocol> Network<P> {
         // ---- Phase 1: pull requests -----------------------------------
         // The pull count is recorded as each row is emitted, so no
         // later pass re-walks the query rows.
+        rec.span_start(Phase::Pull);
         {
             let states = &self.states;
             let halted = &self.halted;
@@ -402,6 +426,7 @@ impl<P: Protocol> Network<P> {
                 }
             }
         }
+        rec.span_end(Phase::Pull);
 
         // ---- V2 batch sweep: pull targets ------------------------------
         // One key schedule for the whole round's PULL_TARGET draws,
@@ -411,32 +436,22 @@ impl<P: Protocol> Network<P> {
         // which only ever read the pre-filled rows. Under a non-complete
         // topology the same keystream is spent on *neighbor-list
         // indices* (each draw Lemire-bounded by the drawing node's
-        // degree) and resolved through the CSR arena here, so the rows
-        // always hold final node ids either way.
+        // degree) and resolved through the CSR arena, so the rows always
+        // hold final node ids either way (the sweep itself lives with
+        // the scratch it refills; see `scratch::refill_dest_rows`).
         if schedule == RngSchedule::V2Batched {
-            match adj {
-                None => {
-                    let mut sampler = BatchedUniform::new(seed, round, phase::PULL_TARGET, n);
-                    for (row, &count) in pull_targets.iter_mut().zip(pull_counts.iter()) {
-                        row.clear();
-                        for _ in 0..count {
-                            row.push(sampler.next_index() as u32);
-                        }
-                    }
-                }
-                Some(a) => {
-                    let mut sampler = BatchedSampler::new(seed, round, phase::PULL_TARGET);
-                    for (i, (row, &count)) in
-                        pull_targets.iter_mut().zip(pull_counts.iter()).enumerate()
-                    {
-                        row.clear();
-                        let nbrs = a.row(i);
-                        for _ in 0..count {
-                            row.push(nbrs[sampler.next_in(nbrs.len())]);
-                        }
-                    }
-                }
-            }
+            crate::scratch::refill_dest_rows(
+                pull_targets,
+                &mut pull_counts.iter().map(|&c| c as usize),
+                crate::scratch::RefillKeys {
+                    seed,
+                    round,
+                    phase: phase::PULL_TARGET,
+                },
+                n,
+                adj,
+                rec,
+            );
         }
 
         // ---- Phase 2: serve pulls against the start-of-round snapshot --
@@ -446,6 +461,7 @@ impl<P: Protocol> Network<P> {
         // the puller as a failed pull but still counts as served work
         // and transmitted words (metrics account messages as *sent*,
         // with losses itemized under `dropped`).
+        rec.span_start(Phase::Serve);
         {
             let states = &self.states;
             let queries = &*queries;
@@ -552,8 +568,10 @@ impl<P: Protocol> Network<P> {
             cut_total += st.cut;
             byzantine_total += st.byzantine;
         }
+        rec.span_end(Phase::Serve);
 
         // ---- Phase 3: compute + emit pushes ----------------------------
+        rec.span_start(Phase::Compute);
         {
             let halted = &self.halted;
             let step = |i: usize,
@@ -593,36 +611,29 @@ impl<P: Protocol> Network<P> {
                 }
             }
         }
+        rec.span_end(Phase::Compute);
 
         // ---- V2 batch sweep: push destinations -------------------------
         // As with pull targets: one PUSH_DEST key schedule per round,
         // consumed in (node, message) order into the scratch rows the
         // delivery loop then reads.
         if schedule == RngSchedule::V2Batched {
-            match adj {
-                None => {
-                    let mut sampler = BatchedUniform::new(seed, round, phase::PUSH_DEST, n);
-                    for (row, out) in push_dests.iter_mut().zip(pushes.iter()) {
-                        row.clear();
-                        for _ in 0..out.len() {
-                            row.push(sampler.next_index() as u32);
-                        }
-                    }
-                }
-                Some(a) => {
-                    let mut sampler = BatchedSampler::new(seed, round, phase::PUSH_DEST);
-                    for (i, (row, out)) in push_dests.iter_mut().zip(pushes.iter()).enumerate() {
-                        row.clear();
-                        let nbrs = a.row(i);
-                        for _ in 0..out.len() {
-                            row.push(nbrs[sampler.next_in(nbrs.len())]);
-                        }
-                    }
-                }
-            }
+            crate::scratch::refill_dest_rows(
+                push_dests,
+                &mut pushes.iter().map(Vec::len),
+                crate::scratch::RefillKeys {
+                    seed,
+                    round,
+                    phase: phase::PUSH_DEST,
+                },
+                n,
+                adj,
+                rec,
+            );
         }
 
         // ---- Phase 4: deliver pushes, absorb ---------------------------
+        rec.span_start(Phase::Deliver);
         // Payloads are moved (drained), never cloned: each push has
         // exactly one destination — the inbox, the delay queue, or the
         // floor.
@@ -709,7 +720,9 @@ impl<P: Protocol> Network<P> {
                 }
             }
         }
+        rec.span_end(Phase::Deliver);
 
+        rec.span_start(Phase::Absorb);
         {
             let halted = &self.halted;
             let step =
@@ -743,6 +756,7 @@ impl<P: Protocol> Network<P> {
                 }
             }
         }
+        rec.span_end(Phase::Absorb);
 
         for i in 0..n {
             if compute_halts[i] || absorb_halts[i] {
@@ -819,6 +833,7 @@ impl<P: Protocol> Network<P> {
                 fault: fault.as_ref(),
                 schedule: self.cfg.schedule,
                 round: self.round,
+                recorder: &mut *self.recorder,
             };
             core.tick(&mut ctx)
         };

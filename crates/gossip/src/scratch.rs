@@ -17,7 +17,10 @@
 //! rebuild-everything engine. The pinned pre-fault trajectories in the
 //! workspace's `tests/faults.rs` enforce this.
 
+use crate::obs::{Counter, Phase, Recorder};
 use crate::protocol::{Protocol, Response};
+use crate::rng::{BatchedSampler, BatchedUniform};
+use crate::topology::Adjacency;
 
 /// Per-node phase-2 accounting, filled by the serve pass so the engine
 /// never re-walks the response rows to count work: `served`/`words`
@@ -146,6 +149,69 @@ pub(crate) struct RoundScratch<P: Protocol> {
     pub inboxes: Vec<Vec<P::Msg>>,
     /// Phase 4 output: whether node `i` halted in `absorb`.
     pub absorb_halts: Vec<bool>,
+}
+
+/// Selects the key schedule one refill sweep consumes: the run seed
+/// plus the (round, phase) pair that domain-separates this sweep's
+/// keystream from every other draw in the run.
+#[derive(Clone, Copy)]
+pub(crate) struct RefillKeys {
+    /// The run seed.
+    pub seed: u64,
+    /// The round whose destinations are being refilled.
+    pub round: u64,
+    /// Phase tag (`phase::PULL_TARGET` or `phase::PUSH_DEST`).
+    pub phase: u64,
+}
+
+/// One V2 batched refill sweep: fills destination `rows` (pull targets
+/// or push destinations) from a single per-round key schedule, consumed
+/// in row order — `rows[i]` gets `counts[i]` draws. Under a
+/// non-complete topology each draw is a neighbor-list index resolved
+/// through the CSR arena, so rows always hold final node ids.
+///
+/// The sweep is recorded as a [`Phase::Refill`] span (with
+/// [`Counter::RefillRows`] counting the draws); recording only reads
+/// values the sweep computed anyway, so an attached recorder cannot
+/// perturb the keystream or the rows.
+pub(crate) fn refill_dest_rows(
+    rows: &mut [Vec<u32>],
+    counts: &mut dyn Iterator<Item = usize>,
+    keys: RefillKeys,
+    n: usize,
+    adj: Option<&Adjacency>,
+    rec: &mut dyn Recorder,
+) {
+    let RefillKeys { seed, round, phase } = keys;
+    rec.span_start(Phase::Refill);
+    let mut drawn: u64 = 0;
+    match adj {
+        None => {
+            let mut sampler = BatchedUniform::new(seed, round, phase, n);
+            for row in rows.iter_mut() {
+                let count = counts.next().unwrap_or(0);
+                row.clear();
+                for _ in 0..count {
+                    row.push(sampler.next_index() as u32);
+                }
+                drawn += count as u64;
+            }
+        }
+        Some(a) => {
+            let mut sampler = BatchedSampler::new(seed, round, phase);
+            for (i, row) in rows.iter_mut().enumerate() {
+                let count = counts.next().unwrap_or(0);
+                row.clear();
+                let nbrs = a.row(i);
+                for _ in 0..count {
+                    row.push(nbrs[sampler.next_in(nbrs.len())]);
+                }
+                drawn += count as u64;
+            }
+        }
+    }
+    rec.add(Counter::RefillRows, drawn);
+    rec.span_end(Phase::Refill);
 }
 
 impl<P: Protocol> RoundScratch<P> {

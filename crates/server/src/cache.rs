@@ -36,6 +36,9 @@ struct Inner {
     /// Monotonic use counter backing the LRU order.
     tick: u64,
     ready_count: usize,
+    /// Total bytes held by ready entries (exact: adjusted on insert and
+    /// evict, never estimated).
+    bytes: usize,
 }
 
 /// A bounded single-flight LRU cache of rendered reply streams.
@@ -45,12 +48,22 @@ pub struct ReportCache {
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 /// The outcome of a cache probe.
 pub enum Lookup {
     /// Cached bytes, ready to stream as-is.
-    Hit(Arc<Vec<u8>>),
+    Hit {
+        /// The cached reply stream.
+        bytes: Arc<Vec<u8>>,
+        /// Whether this probe blocked on another session's in-flight
+        /// computation before the bytes landed (still counted as a hit
+        /// — no run happened on our behalf — but latency-wise a
+        /// different animal, which the server's metrics plane splits
+        /// out).
+        waited: bool,
+    },
     /// Not cached; the caller must compute the entry and then call
     /// [`PendingGuard::fulfill`]. Other sessions asking for the same
     /// key will block until it does (or the guard drops).
@@ -75,11 +88,13 @@ impl ReportCache {
                 slots: HashMap::new(),
                 tick: 0,
                 ready_count: 0,
+                bytes: 0,
             }),
             ready: Condvar::new(),
             capacity: capacity.max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         })
     }
 
@@ -88,6 +103,7 @@ impl ReportCache {
     /// resolves (counted as a hit — no run happened on our behalf).
     pub fn lookup(self: &Arc<Self>, key: &RunSpecKey) -> Lookup {
         let mut inner = self.inner.lock().unwrap();
+        let mut waited = false;
         loop {
             match inner.slots.get(key) {
                 Some(Slot::Ready { .. }) => {
@@ -99,11 +115,12 @@ impl ReportCache {
                     *last_used = tick;
                     let bytes = bytes.clone();
                     self.hits.fetch_add(1, Ordering::Relaxed);
-                    return Lookup::Hit(bytes);
+                    return Lookup::Hit { bytes, waited };
                 }
                 Some(Slot::Pending) => {
                     // Another session is computing this key; wait for
                     // it rather than running the same spec twice.
+                    waited = true;
                     inner = self.ready.wait(inner).unwrap();
                 }
                 None => {
@@ -123,6 +140,7 @@ impl ReportCache {
         let mut inner = self.inner.lock().unwrap();
         inner.tick += 1;
         let tick = inner.tick;
+        let len = bytes.len();
         let was_pending = matches!(
             inner.slots.insert(
                 key.clone(),
@@ -135,6 +153,7 @@ impl ReportCache {
         );
         debug_assert!(was_pending, "fulfilled a slot nobody reserved");
         inner.ready_count += 1;
+        inner.bytes += len;
         while inner.ready_count > self.capacity {
             let victim = inner
                 .slots
@@ -147,8 +166,11 @@ impl ReportCache {
                 .map(|(_, k)| k.clone());
             match victim {
                 Some(k) => {
-                    inner.slots.remove(&k);
+                    if let Some(Slot::Ready { bytes, .. }) = inner.slots.remove(&k) {
+                        inner.bytes -= bytes.len();
+                    }
                     inner.ready_count -= 1;
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
                 }
                 None => break, // capacity 1 and only the fresh entry is ready
             }
@@ -181,6 +203,17 @@ impl ReportCache {
     /// Number of ready (replayable) entries currently cached.
     pub fn len(&self) -> usize {
         self.inner.lock().unwrap().ready_count
+    }
+
+    /// Total bytes held by ready entries (exact accounting: adjusted
+    /// on every insert and eviction).
+    pub fn bytes_total(&self) -> u64 {
+        self.inner.lock().unwrap().bytes as u64
+    }
+
+    /// Ready entries evicted by the LRU policy so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Whether the cache holds no ready entries.
@@ -225,12 +258,15 @@ mod tests {
             panic!("expected miss")
         };
         let published = guard.fulfill(b"reply".to_vec());
-        let Lookup::Hit(bytes) = cache.lookup(&key(1)) else {
+        let Lookup::Hit { bytes, waited } = cache.lookup(&key(1)) else {
             panic!("expected hit")
         };
         assert_eq!(bytes.as_slice(), b"reply");
+        assert!(!waited, "entry was ready; no pending wait happened");
         assert!(Arc::ptr_eq(&published, &bytes), "hit shares the cold bytes");
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.bytes_total(), b"reply".len() as u64);
+        assert_eq!(cache.evictions(), 0);
     }
 
     #[test]
@@ -245,7 +281,7 @@ mod tests {
                     thread::sleep(std::time::Duration::from_millis(30));
                     guard.fulfill(b"once".to_vec()).as_slice().to_vec()
                 }
-                Lookup::Hit(bytes) => bytes.as_slice().to_vec(),
+                Lookup::Hit { bytes, .. } => bytes.as_slice().to_vec(),
             }));
         }
         for h in handles {
@@ -268,7 +304,7 @@ mod tests {
                     g.fulfill(b"rescued".to_vec());
                     true
                 }
-                Lookup::Hit(_) => false,
+                Lookup::Hit { .. } => false,
             })
         };
         thread::sleep(std::time::Duration::from_millis(30));
@@ -287,15 +323,38 @@ mod tests {
             g.fulfill(vec![seed as u8]);
             if seed == 1 {
                 // Touch seed 0 so seed 1 becomes the LRU victim.
-                assert!(matches!(cache.lookup(&key(0)), Lookup::Hit(_)));
+                assert!(matches!(cache.lookup(&key(0)), Lookup::Hit { .. }));
             }
         }
         assert_eq!(cache.len(), 2);
-        assert!(matches!(cache.lookup(&key(0)), Lookup::Hit(_)));
-        assert!(matches!(cache.lookup(&key(2)), Lookup::Hit(_)));
+        assert!(matches!(cache.lookup(&key(0)), Lookup::Hit { .. }));
+        assert!(matches!(cache.lookup(&key(2)), Lookup::Hit { .. }));
         let Lookup::Miss(g) = cache.lookup(&key(1)) else {
             panic!("seed 1 should have been evicted")
         };
         drop(g);
+        assert_eq!(cache.evictions(), 1, "one LRU eviction happened");
+        assert_eq!(cache.bytes_total(), 2, "two one-byte entries remain");
+    }
+
+    #[test]
+    fn pending_waiters_report_the_wait() {
+        let cache = ReportCache::new(4);
+        let Lookup::Miss(guard) = cache.lookup(&key(9)) else {
+            panic!("expected miss")
+        };
+        let waiter = {
+            let cache = cache.clone();
+            thread::spawn(move || match cache.lookup(&key(9)) {
+                Lookup::Hit { waited, .. } => waited,
+                Lookup::Miss(_) => panic!("fulfilled entries must hit"),
+            })
+        };
+        thread::sleep(std::time::Duration::from_millis(30));
+        guard.fulfill(b"late".to_vec());
+        assert!(
+            waiter.join().unwrap(),
+            "the waiter blocked on the pending slot"
+        );
     }
 }

@@ -249,7 +249,21 @@ impl Client {
             open_sessions: field("open_sessions")?,
             workers: field("workers")?,
             worker_panics: field("worker_panics")?,
+            queue_depth: field("queue_depth")?,
+            cache_bytes: field("cache_bytes")?,
         })
+    }
+
+    /// Fetches the server's full metrics snapshot as the raw `metrics`
+    /// frame line (flat Prometheus-style fields; parse with
+    /// [`Json`]). The frame tag is verified before returning.
+    pub fn metrics_line(&mut self) -> io::Result<String> {
+        let line = self.raw_line("{\"cmd\":\"metrics\"}")?;
+        let v = Json::parse(line.trim_end()).map_err(|e| bad_data(format!("bad metrics: {e}")))?;
+        if v.get("frame").and_then(Json::as_str) != Some("metrics") {
+            return Err(bad_data(format!("expected a metrics frame, got: {line}")));
+        }
+        Ok(line.trim_end().to_string())
     }
 
     /// Asks the server to shut down gracefully; returns once the

@@ -78,7 +78,7 @@ impl fmt::Display for ServerError {
             ServerError::UnknownCommand(cmd) => {
                 write!(
                     f,
-                    "unknown command {cmd:?} (expected solve, stats, shutdown)"
+                    "unknown command {cmd:?} (expected solve, stats, metrics, shutdown)"
                 )
             }
             ServerError::MissingField(field) => {

@@ -26,6 +26,14 @@
 //! [`Client`] pairs this with a deterministic capped-backoff
 //! [`RetryPolicy`] for connects and idempotent resubmits.
 //!
+//! An observability plane rides alongside without perturbing any of
+//! the above: the `metrics` command snapshots per-outcome latency
+//! histograms, queue and cache gauges, and per-engine run counts
+//! ([`ServerObs`]), and a `"trace": true` solve field appends a
+//! per-request `trace` frame after the reply stream. Wall-clock
+//! timing is observational only — it never enters the cache key or
+//! the cached reply bytes.
+//!
 //! ## Quick start
 //!
 //! ```no_run
@@ -46,6 +54,7 @@
 pub mod cache;
 pub mod client;
 pub mod error;
+pub mod metrics;
 pub mod pool;
 pub mod registry;
 pub mod request;
@@ -54,8 +63,12 @@ pub mod server;
 pub use cache::{Lookup, PendingGuard, ReportCache};
 pub use client::{Client, RetryPolicy, SolveReply};
 pub use error::ServerError;
+pub use metrics::{Outcome, ServerObs};
 pub use pool::WorkerPool;
-pub use registry::{execute, execute_with_cancel, ExecOutcome, CHAOS_PANIC_WORKLOAD, WORKLOADS};
+pub use registry::{
+    execute, execute_with_cancel, execute_with_options, ExecOutcome, CHAOS_PANIC_WORKLOAD,
+    WORKLOADS,
+};
 pub use request::{parse_request, solve_request_line, Request};
 pub use server::{Server, ServerConfig, ServerHandle, ServerStats, MAX_REQUEST_LINE};
 

@@ -17,6 +17,7 @@
 
 use crate::error::ServerError;
 use gossip_sim::export::{Frame, RunHeader, RunSummary, WireError};
+use gossip_sim::ObsSummary;
 use lpt_gossip::driver::{Algorithm, Driver, RunReport, StopCondition};
 use lpt_gossip::spec::{AlgorithmSpec, RunSpecKey, StopSpec};
 use lpt_problems::Med;
@@ -52,12 +53,19 @@ pub struct ExecOutcome {
     /// counter, which the smoke test uses to prove cache hits do not
     /// re-execute.
     pub ran_driver: bool,
+    /// The run's recorder summary, when the execution was asked to
+    /// record phases ([`execute_with_options`]) and the driver produced
+    /// a report. Deliberately *outside* `bytes`: wall times are not a
+    /// function of the spec, so they never enter the cacheable reply —
+    /// the server renders them only into per-request `trace` frames.
+    pub obs: Option<ObsSummary>,
 }
 
 fn error_reply(err: WireError) -> ExecOutcome {
     ExecOutcome {
         bytes: frame_bytes(&[Frame::Error(err)]),
         ran_driver: false,
+        obs: None,
     }
 }
 
@@ -127,7 +135,7 @@ fn wire_stop<T>(spec: StopSpec) -> StopCondition<T> {
 /// Runs the spec and renders the full reply byte stream. Total: every
 /// failure mode becomes a typed error frame.
 pub fn execute(key: &RunSpecKey) -> ExecOutcome {
-    execute_with_cancel(key, None)
+    execute_with_options(key, None, false)
 }
 
 /// [`execute`] with a cooperative cancellation flag threaded into the
@@ -137,6 +145,20 @@ pub fn execute(key: &RunSpecKey) -> ExecOutcome {
 /// per-request solve deadline raises it on timeout. A never-raised
 /// flag is byte-invisible — the reply is identical to [`execute`]'s.
 pub fn execute_with_cancel(key: &RunSpecKey, cancel: Option<Arc<AtomicBool>>) -> ExecOutcome {
+    execute_with_options(key, cancel, false)
+}
+
+/// [`execute_with_cancel`] with an opt-in phase recorder
+/// ([`Driver::record_phases`]): when `record_phases` is set the
+/// outcome's [`obs`](ExecOutcome::obs) carries the run's
+/// [`ObsSummary`]. Recording is observational by the engine's
+/// contract, so `bytes` are byte-identical whatever the flag says —
+/// the unit test below pins that.
+pub fn execute_with_options(
+    key: &RunSpecKey,
+    cancel: Option<Arc<AtomicBool>>,
+    record_phases: bool,
+) -> ExecOutcome {
     if key.workload == CHAOS_PANIC_WORKLOAD {
         // Not an error reply: the whole point is an uncontrolled
         // panic for the pool's catch_unwind boundary to contain.
@@ -159,10 +181,10 @@ pub fn execute_with_cancel(key: &RunSpecKey, cancel: Option<Arc<AtomicBool>>) ->
         }
     };
     if key.workload == "planted-hs" {
-        return execute_planted_hs(key, scenario, topology, cancel);
+        return execute_planted_hs(key, scenario, topology, cancel, record_phases);
     }
     match MedDataset::parse(&key.workload) {
-        Some(ds) => execute_med(key, ds, scenario, topology, cancel),
+        Some(ds) => execute_med(key, ds, scenario, topology, cancel, record_phases),
         None => error_reply(WireError::from_error(&ServerError::UnknownWorkload(
             key.workload.clone(),
         ))),
@@ -175,6 +197,7 @@ fn execute_med(
     scenario: Scenario,
     topology: TopologyPreset,
     cancel: Option<Arc<AtomicBool>>,
+    record_phases: bool,
 ) -> ExecOutcome {
     if key.elements == 0 {
         return error_reply(WireError::from_error(&ServerError::BadField {
@@ -192,7 +215,8 @@ fn execute_med(
         .fault_model(scenario.fault_model())
         .topology(topology.topology())
         .rng_schedule(key.schedule)
-        .engine(key.engine.clone());
+        .engine(key.engine.clone())
+        .record_phases(record_phases);
     if let Some(flag) = cancel {
         driver = driver.cancel_flag(flag);
     }
@@ -209,11 +233,13 @@ fn execute_med(
             ExecOutcome {
                 bytes: render_report(key, &report, consensus),
                 ran_driver: true,
+                obs: report.obs,
             }
         }
         Err(e) => ExecOutcome {
             bytes: frame_bytes(&[Frame::Error(WireError::from_error(&e))]),
             ran_driver: true,
+            obs: None,
         },
     }
 }
@@ -223,6 +249,7 @@ fn execute_planted_hs(
     scenario: Scenario,
     topology: TopologyPreset,
     cancel: Option<Arc<AtomicBool>>,
+    record_phases: bool,
 ) -> ExecOutcome {
     // The generator needs d ≤ elements and draws set fillers without
     // replacement, so tiny ground sets are rejected up front.
@@ -245,7 +272,8 @@ fn execute_planted_hs(
         .fault_model(scenario.fault_model())
         .topology(topology.topology())
         .rng_schedule(key.schedule)
-        .engine(key.engine.clone());
+        .engine(key.engine.clone())
+        .record_phases(record_phases);
     if let Some(flag) = cancel {
         driver = driver.cancel_flag(flag);
     }
@@ -264,11 +292,13 @@ fn execute_planted_hs(
             ExecOutcome {
                 bytes: render_report(key, &report, consensus),
                 ran_driver: true,
+                obs: report.obs,
             }
         }
         Err(e) => ExecOutcome {
             bytes: frame_bytes(&[Frame::Error(WireError::from_error(&e))]),
             ran_driver: true,
+            obs: None,
         },
     }
 }
@@ -383,6 +413,20 @@ mod tests {
             };
             assert_eq!(e.code, code, "{workload}/{fault}/{topology}");
         }
+    }
+
+    #[test]
+    fn recorded_execution_is_byte_identical_and_carries_obs() {
+        let key = RunSpecKey::new("duo-disk", 96, 24, 4);
+        let plain = execute(&key);
+        let recorded = execute_with_options(&key, None, true);
+        assert_eq!(
+            plain.bytes, recorded.bytes,
+            "phase recording must not perturb the reply bytes"
+        );
+        assert!(plain.obs.is_none(), "recording is opt-in");
+        let obs = recorded.obs.expect("recorded run carries a summary");
+        assert!(obs.phase_calls.iter().any(|&c| c > 0));
     }
 
     #[test]

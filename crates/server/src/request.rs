@@ -6,6 +6,7 @@
 //! ```text
 //! {"cmd":"solve","workload":"duo-disk","n":256,"seed":42, ...}
 //! {"cmd":"stats"}
+//! {"cmd":"metrics"}
 //! {"cmd":"shutdown"}
 //! ```
 //!
@@ -20,6 +21,13 @@
 //! A solve request decodes into exactly the [`RunSpecKey`] that keys
 //! the report cache, so "same request" and "same cache key" are the
 //! same notion by construction.
+//!
+//! The one solve field *outside* the key is `trace` (boolean, default
+//! `false`): it asks the server to append an observational `trace`
+//! frame after the reply stream. Tracing never enters the cache key —
+//! a traced and an untraced request for the same spec share one cache
+//! entry and byte-identical reply frames; the trace frame is computed
+//! per-request and appended after them, never cached.
 
 use crate::error::ServerError;
 use gossip_sim::event::Engine;
@@ -31,9 +39,18 @@ use lpt_gossip::RngSchedule;
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
     /// Run (or replay from cache) the keyed spec and stream its report.
-    Solve(RunSpecKey),
+    Solve {
+        /// The cache key the reply is a pure function of.
+        key: RunSpecKey,
+        /// Append an observational `trace` frame after the reply
+        /// (never part of the key or the cached bytes).
+        trace: bool,
+    },
     /// Report server counters (cache hits/misses, runs, sessions).
     Stats,
+    /// Report the full metrics snapshot (latency histograms, queue and
+    /// cache gauges, per-engine run counts) as one `metrics` frame.
+    Metrics,
     /// Gracefully shut the server down.
     Shutdown,
 }
@@ -91,6 +108,7 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
         .ok_or_else(|| wire(ServerError::MissingField("cmd")))?;
     match cmd {
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
         "solve" => {
             let workload = match v.get("workload") {
@@ -155,20 +173,32 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
             let engine_name = opt_name(&v, "engine", "round-sync")?;
             let engine = Engine::parse(&engine_name)
                 .ok_or_else(|| wire(ServerError::UnknownEngine(engine_name.clone())))?;
-            Ok(Request::Solve(RunSpecKey {
-                workload,
-                elements: opt_u64(&v, "elements", n.saturating_mul(4))?,
-                algorithm,
-                n,
-                seed: opt_u64(&v, "seed", 0)?,
-                stop,
-                max_rounds: opt_u64(&v, "max_rounds", 20_000)?,
-                doubling,
-                fault: opt_name(&v, "fault", "perfect")?,
-                topology: opt_name(&v, "topology", "complete")?,
-                schedule,
-                engine,
-            }))
+            let trace = match v.get("trace") {
+                None => false,
+                Some(t) => t.as_bool().ok_or_else(|| {
+                    wire(ServerError::BadField {
+                        field: "trace",
+                        detail: "expected a boolean".to_string(),
+                    })
+                })?,
+            };
+            Ok(Request::Solve {
+                key: RunSpecKey {
+                    workload,
+                    elements: opt_u64(&v, "elements", n.saturating_mul(4))?,
+                    algorithm,
+                    n,
+                    seed: opt_u64(&v, "seed", 0)?,
+                    stop,
+                    max_rounds: opt_u64(&v, "max_rounds", 20_000)?,
+                    doubling,
+                    fault: opt_name(&v, "fault", "perfect")?,
+                    topology: opt_name(&v, "topology", "complete")?,
+                    schedule,
+                    engine,
+                },
+                trace,
+            })
         }
         other => Err(wire(ServerError::UnknownCommand(other.to_string()))),
     }
@@ -211,14 +241,36 @@ mod tests {
     #[test]
     fn minimal_solve_gets_defaults() {
         let req = parse_request(r#"{"cmd":"solve","workload":"duo-disk","n":64}"#).unwrap();
-        let Request::Solve(key) = req else {
+        let Request::Solve { key, trace } = req else {
             panic!("expected solve")
         };
+        assert!(!trace, "tracing is opt-in");
         assert_eq!(key, {
             let mut k = RunSpecKey::new("duo-disk", 256, 64, 0);
             k.elements = 256; // 4·n
             k
         });
+    }
+
+    #[test]
+    fn trace_flag_parses_without_touching_the_key() {
+        let plain = parse_request(r#"{"cmd":"solve","workload":"duo-disk","n":64}"#).unwrap();
+        let traced =
+            parse_request(r#"{"cmd":"solve","workload":"duo-disk","n":64,"trace":true}"#).unwrap();
+        let (Request::Solve { key: a, trace: ta }, Request::Solve { key: b, trace: tb }) =
+            (plain, traced)
+        else {
+            panic!("expected solves")
+        };
+        assert_eq!(a, b, "trace must not enter the cache key");
+        assert!(!ta);
+        assert!(tb);
+        assert_eq!(
+            parse_request(r#"{"cmd":"solve","workload":"duo-disk","n":64,"trace":"yes"}"#)
+                .unwrap_err()
+                .code,
+            203
+        );
     }
 
     #[test]
@@ -233,7 +285,10 @@ mod tests {
         key.schedule = RngSchedule::V1Compat;
         key.engine = Engine::parse("event-uniform-1-4-loss-2000").unwrap();
         let line = solve_request_line(&key);
-        assert_eq!(parse_request(&line).unwrap(), Request::Solve(key));
+        assert_eq!(
+            parse_request(&line).unwrap(),
+            Request::Solve { key, trace: false }
+        );
     }
 
     #[test]
@@ -274,6 +329,10 @@ mod tests {
             214
         );
         assert_eq!(parse_request(r#"{"cmd":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request(r#"{"cmd":"metrics"}"#).unwrap(),
+            Request::Metrics
+        );
         assert_eq!(
             parse_request(r#"{"cmd":"shutdown"}"#).unwrap(),
             Request::Shutdown

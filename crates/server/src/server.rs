@@ -12,8 +12,17 @@
 //!   computed on a worker thread on a miss. Replies for equal specs
 //!   are byte-identical by construction.
 //! - `stats` → one `stats` frame with the server counters.
+//! - `metrics` → one `metrics` frame: the full observability snapshot
+//!   (latency histograms split by outcome, queue and cache gauges,
+//!   per-engine run counts) as flat Prometheus-style fields.
 //! - `shutdown` → one `bye` frame, then the whole server drains and
 //!   exits.
+//!
+//! A solve request carrying `"trace": true` additionally gets one
+//! `trace` frame *after* its reply stream — the phase wall-clock
+//! breakdown of that specific request. The trace flag is not part of
+//! the cache key and the trace frame is never cached, so the reply
+//! frames proper stay byte-identical to an untraced request.
 //!
 //! Malformed requests get an `error` frame and the session *stays
 //! open*; oversized lines and idle timeouts get a terminal `error`
@@ -35,10 +44,12 @@
 
 use crate::cache::{Lookup, ReportCache};
 use crate::error::ServerError;
+use crate::metrics::{Outcome, ServerObs};
 use crate::pool::WorkerPool;
 use crate::registry;
 use crate::request::{parse_request, Request};
-use gossip_sim::export::{Frame, ObjBuilder, WireError};
+use gossip_sim::export::{metrics_line, trace_line, Frame, MetricsSnapshot, ObjBuilder, WireError};
+use gossip_sim::ObsSummary;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -116,11 +127,16 @@ pub struct ServerStats {
     /// Worker jobs that panicked (each answered with a typed
     /// `worker-panicked` frame; the panic never killed a worker).
     pub worker_panics: u64,
+    /// Solve jobs currently queued or executing.
+    pub queue_depth: u64,
+    /// Total bytes held by cached reply streams.
+    pub cache_bytes: u64,
 }
 
 struct Shared {
     cache: Arc<ReportCache>,
     pool: WorkerPool,
+    obs: ServerObs,
     shutdown: AtomicBool,
     runs: AtomicU64,
     requests: AtomicU64,
@@ -144,7 +160,28 @@ impl Shared {
             // The job-boundary catch counts panics with their payload;
             // the pool's own catch is a backstop that should stay 0.
             worker_panics: self.worker_panics.load(Ordering::Relaxed) + self.pool.panics(),
+            queue_depth: self.obs.queue_depth(),
+            cache_bytes: self.cache.bytes_total(),
         }
+    }
+
+    fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let stats = self.stats();
+        let mut snap = MetricsSnapshot {
+            requests: stats.requests,
+            hits: stats.hits,
+            misses: stats.misses,
+            runs: stats.runs,
+            open_sessions: stats.open_sessions,
+            workers: stats.workers,
+            worker_panics: stats.worker_panics,
+            cache_entries: stats.cache_entries,
+            cache_bytes: stats.cache_bytes,
+            cache_evictions: self.cache.evictions(),
+            ..MetricsSnapshot::default()
+        };
+        self.obs.fill_snapshot(&mut snap);
+        snap
     }
 
     /// Flips the shutdown flag and pokes the accept loop awake with a
@@ -169,6 +206,7 @@ impl Server {
         let shared = Arc::new(Shared {
             cache: ReportCache::new(config.cache_capacity),
             pool: WorkerPool::new(config.workers, config.queue_capacity, config.engine_threads),
+            obs: ServerObs::new(),
             shutdown: AtomicBool::new(false),
             runs: AtomicU64::new(0),
             requests: AtomicU64::new(0),
@@ -286,6 +324,11 @@ fn stats_line(stats: &ServerStats) -> String {
         .u64("open_sessions", stats.open_sessions)
         .u64("workers", stats.workers)
         .u64("worker_panics", stats.worker_panics)
+        // Appended after the original fields so historical readers that
+        // pick fields by name keep working and the pinned field-order
+        // test only extends.
+        .u64("queue_depth", stats.queue_depth)
+        .u64("cache_bytes", stats.cache_bytes)
         .finish()
 }
 
@@ -297,11 +340,21 @@ enum After {
 /// What a worker job reports back to its session.
 enum JobResult {
     /// The run (or its typed error rendering) finished; bytes are a
-    /// pure function of the spec and safe to cache.
-    Done(Vec<u8>),
+    /// pure function of the spec and safe to cache. The observational
+    /// extras (recorder summary, queue wait) ride alongside and never
+    /// touch the cached bytes.
+    Done {
+        bytes: Vec<u8>,
+        obs: Option<Box<ObsSummary>>,
+        queue_us: u64,
+    },
     /// The job panicked; `catch_unwind` contained it. Not cacheable —
     /// nothing was rendered.
     Panicked(String),
+}
+
+fn micros(d: Duration) -> u64 {
+    d.as_micros() as u64
 }
 
 /// Best-effort extraction of a panic payload's message.
@@ -380,6 +433,7 @@ fn handle_line(shared: &Arc<Shared>, stream: &mut TcpStream, line: &str) -> io::
         Err(wire_err) => {
             // Bad requests are survivable: answer with the typed error
             // and keep the session open.
+            shared.obs.record_error();
             let line = Frame::Error(wire_err).to_line();
             stream.write_all(line.as_bytes())?;
             stream.write_all(b"\n")?;
@@ -397,33 +451,60 @@ fn handle_line(shared: &Arc<Shared>, stream: &mut TcpStream, line: &str) -> io::
             shared.begin_shutdown();
             Ok(After::Close)
         }
-        Request::Solve(key) => {
+        Request::Metrics => {
+            stream.write_all(metrics_line(&shared.metrics_snapshot()).as_bytes())?;
+            stream.write_all(b"\n")?;
+            Ok(After::KeepOpen)
+        }
+        Request::Solve { key, trace } => {
+            let started = Instant::now();
             if shared.shutdown.load(Ordering::SeqCst) {
+                shared.obs.record_error();
                 write_error(stream, &ServerError::ShuttingDown)?;
                 return Ok(After::Close);
             }
-            let bytes = match shared.cache.lookup(&key) {
-                Lookup::Hit(bytes) => bytes,
+            let (bytes, outcome, run_obs, queue_us) = match shared.cache.lookup(&key) {
+                Lookup::Hit { bytes, waited } => {
+                    // A plain hit replays instantly; a waited hit spent
+                    // its wall time blocked on someone else's run. The
+                    // latency histograms keep them apart.
+                    let outcome = if waited { Outcome::Wait } else { Outcome::Hit };
+                    (bytes, outcome, None, 0)
+                }
                 Lookup::Miss(guard) => {
                     let (tx, rx) = mpsc::channel();
                     let job_shared = shared.clone();
                     let job_key = key.clone();
+                    let engine_name = key.engine.name();
                     let cancel = Arc::new(AtomicBool::new(false));
                     let job_cancel = cancel.clone();
+                    let submitted = Instant::now();
+                    shared.obs.job_submitted();
                     let accepted = shared.pool.execute(move || {
+                        job_shared.obs.job_started();
+                        let queued = submitted.elapsed();
+                        let run_started = Instant::now();
                         // Contain panics at the job boundary so the
                         // session gets a typed frame (with the panic
                         // message) instead of a dead channel, and the
                         // worker keeps draining the queue.
                         let result = catch_unwind(AssertUnwindSafe(|| {
-                            registry::execute_with_cancel(&job_key, Some(job_cancel))
+                            registry::execute_with_options(&job_key, Some(job_cancel), trace)
                         }));
+                        job_shared
+                            .obs
+                            .record_job(micros(queued), micros(run_started.elapsed()));
                         let message = match result {
                             Ok(outcome) => {
                                 if outcome.ran_driver {
                                     job_shared.runs.fetch_add(1, Ordering::Relaxed);
+                                    job_shared.obs.record_engine_run(&engine_name);
                                 }
-                                JobResult::Done(outcome.bytes)
+                                JobResult::Done {
+                                    bytes: outcome.bytes,
+                                    obs: outcome.obs.map(Box::new),
+                                    queue_us: micros(queued),
+                                }
                             }
                             Err(payload) => {
                                 job_shared.worker_panics.fetch_add(1, Ordering::Relaxed);
@@ -433,7 +514,11 @@ fn handle_line(shared: &Arc<Shared>, stream: &mut TcpStream, line: &str) -> io::
                         let _ = tx.send(message);
                     });
                     if !accepted {
+                        // The job never entered the queue: undo the
+                        // submit so the depth gauge stays balanced.
                         // Guard drops here, releasing the pending slot.
+                        shared.obs.job_started();
+                        shared.obs.record_error();
                         write_error(stream, &ServerError::ShuttingDown)?;
                         return Ok(After::Close);
                     }
@@ -442,11 +527,19 @@ fn handle_line(shared: &Arc<Shared>, stream: &mut TcpStream, line: &str) -> io::
                         None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
                     };
                     match received {
-                        Ok(JobResult::Done(bytes)) => guard.fulfill(bytes),
+                        Ok(JobResult::Done {
+                            bytes,
+                            obs,
+                            queue_us,
+                        }) => (guard.fulfill(bytes), Outcome::Cold, obs, queue_us),
                         Ok(JobResult::Panicked(detail)) => {
                             // Guard drops unfulfilled: the pending slot
                             // is released and any waiter is promoted to
                             // re-run the key — no wedge.
+                            shared.obs.record_error();
+                            shared
+                                .obs
+                                .record_latency(Outcome::Error, micros(started.elapsed()));
                             write_error(stream, &ServerError::WorkerPanicked { detail })?;
                             return Ok(After::KeepOpen);
                         }
@@ -456,11 +549,19 @@ fn handle_line(shared: &Arc<Shared>, stream: &mut TcpStream, line: &str) -> io::
                             // nowhere (rx drops below) and is never
                             // cached — timing is not part of the spec.
                             cancel.store(true, Ordering::Relaxed);
+                            shared.obs.record_error();
+                            shared
+                                .obs
+                                .record_latency(Outcome::Error, micros(started.elapsed()));
                             let millis = shared.solve_timeout.map_or(0, |d| d.as_millis() as u64);
                             write_error(stream, &ServerError::SolveTimeout { millis })?;
                             return Ok(After::KeepOpen);
                         }
                         Err(RecvTimeoutError::Disconnected) => {
+                            shared.obs.record_error();
+                            shared
+                                .obs
+                                .record_latency(Outcome::Error, micros(started.elapsed()));
                             write_error(
                                 stream,
                                 &ServerError::Internal("worker died mid-run".to_string()),
@@ -471,6 +572,16 @@ fn handle_line(shared: &Arc<Shared>, stream: &mut TcpStream, line: &str) -> io::
                 }
             };
             stream.write_all(&bytes)?;
+            let wall_us = micros(started.elapsed());
+            shared.obs.record_latency(outcome, wall_us);
+            if trace {
+                // Appended after the (possibly cached) reply bytes and
+                // never cached itself, so the reply proper stays
+                // byte-identical to an untraced request.
+                let line = trace_line(outcome.name(), wall_us, queue_us, run_obs.as_deref());
+                stream.write_all(line.as_bytes())?;
+                stream.write_all(b"\n")?;
+            }
             Ok(After::KeepOpen)
         }
     }
@@ -494,6 +605,8 @@ mod tests {
             open_sessions: 6,
             workers: 7,
             worker_panics: 8,
+            queue_depth: 9,
+            cache_bytes: 10,
         });
         let v = Json::parse(&line).unwrap();
         assert_eq!(v.get("frame").and_then(Json::as_str), Some("stats"));
@@ -501,6 +614,16 @@ mod tests {
         assert_eq!(v.get("open_sessions").and_then(Json::as_u64), Some(6));
         assert_eq!(v.get("workers").and_then(Json::as_u64), Some(7));
         assert_eq!(v.get("worker_panics").and_then(Json::as_u64), Some(8));
+        // The PR-10 additions ride at the end of the frame: new fields
+        // append, existing fields never move.
+        assert_eq!(v.get("queue_depth").and_then(Json::as_u64), Some(9));
+        assert_eq!(v.get("cache_bytes").and_then(Json::as_u64), Some(10));
+        let panics_at = line.find("worker_panics").unwrap();
+        assert!(
+            line.find("queue_depth").unwrap() > panics_at
+                && line.find("cache_bytes").unwrap() > line.find("queue_depth").unwrap(),
+            "new stats fields must append after the historical ones"
+        );
     }
 
     #[test]

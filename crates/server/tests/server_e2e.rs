@@ -412,6 +412,123 @@ fn non_default_engine_diverges_over_the_wire_and_caches_separately() {
     assert_eq!(stats.hits, 1);
 }
 
+/// The metrics plane observes without perturbing: after a cold run and
+/// a cache hit the snapshot shows both latency histograms populated,
+/// the cold p50 at or above the hit p50 (a replay never costs more
+/// than the run it replays), and the run attributed to its engine.
+#[test]
+fn metrics_snapshot_splits_cold_and_hit_latencies() {
+    use gossip_sim::export::Json;
+    let server = spawn(small_cfg());
+    let mut client = Client::connect(server.addr()).unwrap();
+    let cold = client.solve(&demo_key(71)).unwrap();
+    assert!(cold.error.is_none());
+    let warm = client.solve(&demo_key(71)).unwrap();
+    assert_eq!(warm.raw, cold.raw);
+
+    let line = client.metrics_line().unwrap();
+    let v = Json::parse(&line).unwrap();
+    let u = |name: &str| {
+        v.get(name)
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("metrics frame is missing {name}: {line}"))
+    };
+    assert_eq!(u("requests_total"), 3, "two solves + this metrics call");
+    assert_eq!(u("hits_total"), 1);
+    assert_eq!(u("misses_total"), 1);
+    assert_eq!(u("runs_total"), 1);
+    assert_eq!(u("latency_cold_count"), 1);
+    assert_eq!(u("latency_hit_count"), 1);
+    assert!(
+        u("latency_cold_p50_us") >= u("latency_hit_p50_us"),
+        "a cache replay must not look slower than the run it replays: {line}"
+    );
+    assert_eq!(u("queue_wait_count"), 1, "one job crossed the queue");
+    assert_eq!(u("worker_busy_count"), 1);
+    assert_eq!(u("queue_depth"), 0, "nothing in flight at snapshot time");
+    assert_eq!(u("cache_entries"), 1);
+    assert!(u("cache_bytes") > 0, "the cached reply has bytes");
+    assert_eq!(u("runs_engine_round_sync"), 1, "run attributed to engine");
+}
+
+/// `"trace": true` appends exactly one trace frame after the reply —
+/// and the reply proper stays byte-identical to the untraced one, on
+/// both the cold and the cached path.
+#[test]
+fn traced_solves_append_a_frame_without_touching_reply_bytes() {
+    use gossip_sim::export::Json;
+    let server = spawn(small_cfg());
+    let mut client = Client::connect(server.addr()).unwrap();
+    let key = demo_key(81);
+    let untraced = client.solve(&key).unwrap();
+    assert!(untraced.error.is_none());
+
+    let traced_line = {
+        let line = lpt_server::solve_request_line(&key);
+        // Splice the trace flag into the canonical request line.
+        format!("{},\"trace\":true}}", &line[..line.len() - 1])
+    };
+    let mut run_traced = || {
+        let mut raw = Vec::new();
+        let mut first = client.raw_line(&traced_line).unwrap();
+        loop {
+            let v = Json::parse(first.trim_end()).unwrap();
+            if v.get("frame").and_then(Json::as_str) == Some("trace") {
+                return (raw, v);
+            }
+            raw.extend_from_slice(first.as_bytes());
+            first = client.raw_wait_line().unwrap();
+        }
+    };
+
+    // Cached path (the cold run above populated the cache).
+    let (hit_raw, hit_trace) = run_traced();
+    assert_eq!(
+        hit_raw, untraced.raw,
+        "traced hit reply must be byte-identical before the trace frame"
+    );
+    assert_eq!(hit_trace.get("outcome").and_then(Json::as_str), Some("hit"));
+    assert!(
+        hit_trace.get("phase_serve_us").is_none(),
+        "a replay has no phase breakdown — no run happened"
+    );
+
+    // Cold path: a fresh server recomputes with the recorder on; the
+    // bytes still match the recorder-off run bit for bit.
+    let cold_server = spawn(small_cfg());
+    let mut client = Client::connect(cold_server.addr()).unwrap();
+    let (cold_raw, cold_trace) = {
+        let mut raw = Vec::new();
+        let mut line = client.raw_line(&traced_line).unwrap();
+        loop {
+            let v = Json::parse(line.trim_end()).unwrap();
+            if v.get("frame").and_then(Json::as_str) == Some("trace") {
+                break (raw, v);
+            }
+            raw.extend_from_slice(line.as_bytes());
+            line = client.raw_wait_line().unwrap();
+        }
+    };
+    assert_eq!(
+        cold_raw, untraced.raw,
+        "recording phases must not change one reply byte"
+    );
+    assert_eq!(
+        cold_trace.get("outcome").and_then(Json::as_str),
+        Some("cold")
+    );
+    for phase in ["pull", "serve", "compute", "deliver", "absorb", "refill"] {
+        assert!(
+            cold_trace.get(&format!("phase_{phase}_us")).is_some(),
+            "cold trace must carry the {phase} phase: {cold_trace:?}"
+        );
+    }
+    assert!(
+        cold_trace.get("wall_us").and_then(Json::as_u64).is_some(),
+        "trace carries the request wall time"
+    );
+}
+
 #[test]
 fn shutdown_acknowledges_then_drains_everything() {
     let server = spawn(small_cfg());

@@ -75,11 +75,13 @@ fn main() -> std::io::Result<()> {
     }
 
     // Resubmit the first spec: the server replays the cold run's exact
-    // bytes without executing anything.
+    // bytes without executing anything. The in-process handle reads the
+    // same counters the `stats` command reports, without spending wire
+    // requests on them.
     let mut client = Client::connect(addr)?;
-    let before = client.stats()?;
+    let before = server.stats();
     let replay = client.solve(&specs[0].1)?;
-    let after = client.stats()?;
+    let after = server.stats();
     println!("\nresubmitting the {:?} spec:", specs[0].0);
     println!(
         "  byte-identical to cold run: {}",
@@ -90,6 +92,20 @@ fn main() -> std::io::Result<()> {
         before.hits, after.hits, before.runs, after.runs
     );
     assert_eq!(after.runs, before.runs, "a cache hit must not run");
+    // Every wire request so far was a solve, and every solve either
+    // replayed a cached reply or caused exactly one computation — the
+    // ledger must balance.
+    assert_eq!(
+        after.requests,
+        after.hits + after.misses,
+        "every solve is a hit or a miss"
+    );
+
+    // The observability plane: one `metrics` frame summarises all four
+    // sessions — per-outcome latency histograms, queue and cache
+    // gauges, per-engine run counts.
+    let metrics = client.metrics_line()?;
+    println!("\nmetrics snapshot:\n  {metrics}");
 
     client.shutdown()?;
     server.wait();

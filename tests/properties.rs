@@ -351,3 +351,74 @@ proptest! {
         }
     }
 }
+
+// ---- Observability histogram laws -----------------------------------
+//
+// The flight recorder's log-bucketed histogram backs every latency and
+// phase statistic the server reports. Its contract: percentiles never
+// understate (a bucket's ceiling bounds everything in it, and p100 is
+// the *exact* max), and merging is lossless in count, sum, and
+// extremes — so per-worker histograms can be folded into one snapshot
+// without distortion.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn histogram_percentiles_bound_every_recorded_value(
+        values in prop::collection::vec(0u64..1_000_000_000, 1..200),
+    ) {
+        let mut h = gossip_sim::Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let max = *values.iter().max().unwrap();
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.max(), max, "p100 is exact, not a bucket ceiling");
+        prop_assert_eq!(h.min(), *values.iter().min().unwrap());
+        prop_assert_eq!(h.sum(), values.iter().sum::<u64>());
+        for p in [0.0, 25.0, 50.0, 90.0, 99.0, 100.0] {
+            prop_assert!(
+                h.percentile(p) <= max,
+                "p{} = {} exceeds the recorded max {}",
+                p,
+                h.percentile(p),
+                max
+            );
+        }
+        // Percentiles are monotone in p.
+        prop_assert!(h.percentile(50.0) <= h.percentile(99.0));
+        prop_assert!(h.percentile(99.0) <= h.percentile(100.0));
+    }
+
+    #[test]
+    fn histogram_merge_preserves_count_sum_and_extremes(
+        a in prop::collection::vec(0u64..1_000_000, 0..100),
+        b in prop::collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        let mut ha = gossip_sim::Histogram::new();
+        for &v in &a {
+            ha.record(v);
+        }
+        let mut hb = gossip_sim::Histogram::new();
+        for &v in &b {
+            hb.record(v);
+        }
+        // Reference: one histogram fed the concatenation.
+        let mut all = gossip_sim::Histogram::new();
+        for &v in a.iter().chain(&b) {
+            all.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), (a.len() + b.len()) as u64);
+        prop_assert_eq!(ha.count(), all.count());
+        prop_assert_eq!(ha.sum(), all.sum());
+        prop_assert_eq!(ha.max(), all.max());
+        prop_assert_eq!(ha.min(), all.min());
+        prop_assert_eq!(
+            ha.buckets(),
+            all.buckets(),
+            "merge must equal recording the concatenation"
+        );
+    }
+}
